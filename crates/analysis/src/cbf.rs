@@ -1,0 +1,98 @@
+//! Standard Bloom-filter / CBF analysis (Eq. 1 and §II.A).
+
+/// False-positive rate of a standard Bloom filter or CBF (Eq. 1):
+/// `f = (1 − (1 − 1/m)^{kn})^k`.
+///
+/// `m` is the number of membership positions (bits for a Bloom filter,
+/// counters for a CBF), `n` the stored elements, `k` the hash count.
+pub fn fpr(n: u64, m: u64, k: u32) -> f64 {
+    assert!(m > 0, "m must be positive");
+    let exponent = (k as f64) * (n as f64) * (-(1.0 / m as f64)).ln_1p();
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// The asymptotic form `f ≈ (1 − e^{−kn/m})^k` (also Eq. 1).
+pub fn fpr_asymptotic(n: u64, m: u64, k: u32) -> f64 {
+    assert!(m > 0, "m must be positive");
+    (1.0 - (-(k as f64) * n as f64 / m as f64).exp()).powi(k as i32)
+}
+
+/// The FPR-optimal hash count `k = (m/n)·ln 2`, rounded to the better of
+/// the two neighbouring integers (§II.A).
+pub fn optimal_k(n: u64, m: u64) -> u32 {
+    assert!(n > 0 && m > 0);
+    let kf = (m as f64 / n as f64) * std::f64::consts::LN_2;
+    let lo = kf.floor().max(1.0) as u32;
+    let hi = lo + 1;
+    if fpr(n, m, lo) <= fpr(n, m, hi) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// CBF counters for a memory budget of `big_m` bits at counter width `c`
+/// (the paper's layout: `m = big_m / c`, `c = 4`).
+#[inline]
+pub fn counters_for_memory(big_m: u64, c: u32) -> u64 {
+    big_m / u64::from(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_m_over_n_10_k_7() {
+        // §II.A: "when m/n = 10 and k = 7, the false positive rate f is
+        // about 0.008".
+        let f = fpr_asymptotic(100_000, 1_000_000, 7);
+        assert!((f - 0.008).abs() < 0.002, "f = {f}");
+    }
+
+    #[test]
+    fn exact_and_asymptotic_agree_for_large_m() {
+        let (n, m, k) = (100_000, 1_000_000, 3);
+        let a = fpr(n, m, k);
+        let b = fpr_asymptotic(n, m, k);
+        assert!((a - b).abs() / b < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fpr_monotone_in_n_and_m() {
+        let k = 3;
+        assert!(fpr(10_000, 1 << 20, k) < fpr(20_000, 1 << 20, k));
+        assert!(fpr(10_000, 1 << 21, k) < fpr(10_000, 1 << 20, k));
+    }
+
+    #[test]
+    fn optimal_k_matches_ln2_rule() {
+        // m/n = 10 ⇒ k* ≈ 6.93 ⇒ 7.
+        assert_eq!(optimal_k(100_000, 1_000_000), 7);
+        // m/n = 20 ⇒ k* ≈ 13.86 ⇒ 14.
+        assert_eq!(optimal_k(100_000, 2_000_000), 14);
+    }
+
+    #[test]
+    fn optimal_k_beats_neighbours() {
+        let (n, m) = (100_000u64, 1_500_000u64);
+        let k = optimal_k(n, m);
+        let f = fpr(n, m, k);
+        if k > 1 {
+            assert!(f <= fpr(n, m, k - 1));
+        }
+        assert!(f <= fpr(n, m, k + 1));
+    }
+
+    #[test]
+    fn counters_for_memory_matches_paper_layout() {
+        // 4 Mb (decimal) at 4 bits/counter = 1 000 000 counters.
+        assert_eq!(counters_for_memory(4_000_000, 4), 1_000_000);
+    }
+
+    #[test]
+    fn fpr_edge_cases() {
+        assert_eq!(fpr(0, 100, 3), 0.0); // empty filter never errs
+        assert!(fpr(1_000_000, 10, 3) > 0.99); // overloaded filter ≈ always
+    }
+}

@@ -1,0 +1,171 @@
+//! The `n_max` heuristic (Eq. 11, §IV.B) and derived MPCBF shape parameters.
+//!
+//! The paper sizes each word's capacity with the inverse Poisson CDF:
+//! `n_max = PoissInv(1 − 1/l, n/l)` — i.e. pick the occupancy quantile at
+//! which, in expectation, *less than one* of the `l` words overflows. For
+//! MPCBF-g the word sees `gn` placement trials, so `λ = gn/l`.
+//! With this choice the paper "never observed any word overflow".
+
+use crate::math::poisson_inv_cdf;
+
+/// Eq. (11): `n_max = PoissInv(1 − 1/l, g·n/l)`.
+pub fn n_max_heuristic(n: u64, l: u64, g: u32) -> u64 {
+    assert!(l > 1, "need at least two words");
+    let lambda = g as u64 as f64 * n as f64 / l as f64;
+    let p = 1.0 - 1.0 / l as f64;
+    poisson_inv_cdf(p, lambda).max(1)
+}
+
+/// The fully derived shape of an MPCBF instance: word count, capacity and
+/// first-level size, as §III.B.3/§III.C prescribe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpcbfShape {
+    /// Number of words `l = M / w`.
+    pub l: u64,
+    /// Word size in bits.
+    pub w: u32,
+    /// Hash functions in total.
+    pub k: u32,
+    /// Memory accesses (words per element).
+    pub g: u32,
+    /// Per-word element capacity from Eq. (11).
+    pub n_max: u32,
+    /// Hashes applied in each word: `ceil(k/g)` for the fullest word.
+    pub k_per_word: u32,
+    /// First-level sub-vector size `b1 = w − ceil(k/g)·n_max`.
+    pub b1: u32,
+}
+
+/// Errors from shape derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Memory too small to hold at least two words of `w` bits.
+    TooFewWords {
+        /// Derived word count.
+        l: u64,
+    },
+    /// `w − ceil(k/g)·n_max` left no room for the first level.
+    FirstLevelTooSmall {
+        /// The (non-positive or sub-k) first-level size that resulted.
+        b1: i64,
+        /// The capacity term `ceil(k/g)·n_max`.
+        hierarchy_bits: u32,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::TooFewWords { l } => {
+                write!(f, "memory yields only {l} word(s); need at least 2")
+            }
+            ShapeError::FirstLevelTooSmall { b1, hierarchy_bits } => write!(
+                f,
+                "first level would be {b1} bits after reserving {hierarchy_bits} hierarchy bits; \
+                 increase memory or word size, or reduce k"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Derives the complete MPCBF-g shape for a memory budget of `big_m` bits.
+///
+/// Follows §III.B.3/§III.C: `l = M/w`, `n_max` from Eq. (11) (with `gn`
+/// trials), `b1 = w − ceil(k/g)·n_max`, requiring `b1 ≥ k` so a query has
+/// at least as many first-level positions as hashes.
+pub fn derive_shape(big_m: u64, w: u32, n: u64, k: u32, g: u32) -> Result<MpcbfShape, ShapeError> {
+    assert!(w >= 8 && k >= 1 && g >= 1 && k >= g);
+    let l = big_m / u64::from(w);
+    if l < 2 {
+        return Err(ShapeError::TooFewWords { l });
+    }
+    let n_max = n_max_heuristic(n, l, g) as u32;
+    let k_per_word = k.div_ceil(g);
+    let hierarchy_bits = k_per_word * n_max;
+    let b1 = i64::from(w) - i64::from(hierarchy_bits);
+    if b1 < i64::from(k_per_word.max(1)) {
+        return Err(ShapeError::FirstLevelTooSmall { b1, hierarchy_bits });
+    }
+    Ok(MpcbfShape {
+        l,
+        w,
+        k,
+        g,
+        n_max,
+        k_per_word,
+        b1: b1 as u32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_range_of_n_max_and_b1() {
+        // §IV.B: with w = 64, the heuristic picks n_max from 10 down to 7
+        // over the experimental memory range, i.e. b1 = 34..43 for k = 3.
+        for &big_m in &[4_000_000u64, 6_000_000, 8_000_000] {
+            let s = derive_shape(big_m, 64, 100_000, 3, 1).unwrap();
+            assert!(
+                (7..=10).contains(&s.n_max),
+                "M={big_m}: n_max = {}",
+                s.n_max
+            );
+            assert!((34..=43).contains(&s.b1), "M={big_m}: b1 = {}", s.b1);
+        }
+    }
+
+    #[test]
+    fn paper_range_k4() {
+        // §IV.B: b1 = 24..36 for k = 4, w = 64.
+        for &big_m in &[4_000_000u64, 6_000_000, 8_000_000] {
+            let s = derive_shape(big_m, 64, 100_000, 4, 1).unwrap();
+            assert!((24..=36).contains(&s.b1), "M={big_m}: b1 = {}", s.b1);
+        }
+    }
+
+    #[test]
+    fn overflow_never_expected_at_heuristic() {
+        // The defining property: expected overflowing words < 1.
+        use crate::overflow::overflow_exact;
+        let s = derive_shape(4_000_000, 64, 100_000, 3, 1).unwrap();
+        let per_word = overflow_exact(100_000, s.l, s.n_max + 1);
+        assert!(per_word * s.l as f64 <= 1.5, "expected overflows too high");
+    }
+
+    #[test]
+    fn g2_splits_hashes() {
+        let s = derive_shape(4_000_000, 64, 100_000, 3, 2).unwrap();
+        assert_eq!(s.k_per_word, 2); // ceil(3/2)
+        assert!(s.b1 >= 2);
+    }
+
+    #[test]
+    fn too_small_memory_errors() {
+        assert!(matches!(
+            derive_shape(64, 64, 1000, 3, 1),
+            Err(ShapeError::TooFewWords { .. })
+        ));
+    }
+
+    #[test]
+    fn overloaded_word_errors() {
+        // Tiny words with huge per-word load: no room for the first level.
+        let err = derive_shape(16_000, 16, 1_000_000, 4, 1).unwrap_err();
+        assert!(matches!(err, ShapeError::FirstLevelTooSmall { .. }));
+        // Display should render without panicking.
+        let _ = err.to_string();
+    }
+
+    #[test]
+    fn n_max_grows_with_load() {
+        let a = n_max_heuristic(100_000, 62_500, 1);
+        let b = n_max_heuristic(400_000, 62_500, 1);
+        assert!(b > a);
+        let c = n_max_heuristic(100_000, 62_500, 2);
+        assert!(c > a, "g=2 doubles the trials");
+    }
+}

@@ -1,0 +1,54 @@
+//! Analytical models from the MPCBF paper (IPDPS 2013).
+//!
+//! This crate implements, in pure safe Rust with no dependencies, every
+//! closed-form expression the paper derives:
+//!
+//! | Paper element | Module |
+//! |---|---|
+//! | Eq. (1): standard Bloom/CBF false-positive rate, optimal `k = (m/n)·ln 2` | [`cbf`] |
+//! | Eq. (2): PCBF-1 FPR; Eq. (3): PCBF-g FPR | [`pcbf`] |
+//! | Eq. (4)–(5): MPCBF-1 FPR (basic and improved HCBF); Eq. (8)–(9) and the per-word-average forms for MPCBF-g | [`mpcbf`] |
+//! | Eq. (6)/(10): word-overflow probability bounds, plus the exact binomial tail | [`overflow`] |
+//! | Eq. (11): the inverse-Poisson `n_max` heuristic (§IV.B) | [`heuristic`] |
+//! | §IV.C: brute-force optimal-`k` search for CBF and MPCBF-g | [`optimal_k`] |
+//! | (extension) inverse sizing: memory needed for a target FPR | [`tradeoff`] |
+//! | (extension) fingerprint-filter FPR models (dlCBF/RCBF) | [`fingerprint`] |
+//!
+//! plus the supporting special-function machinery (log-gamma, log-space
+//! binomial PMF, Poisson PMF/CDF/quantile) in [`math`].
+//!
+//! These models regenerate the paper's analytical figures (Figs. 2, 5, 6,
+//! 9, 10) and are cross-checked against the empirical filters in the
+//! workspace integration tests.
+//!
+//! ## Conventions
+//!
+//! * `n` — number of elements stored; `m` — number of counters (CBF view);
+//!   `big_m` — memory in **bits** (`big_m = 4·m` for a 4-bit-counter CBF and
+//!   `big_m = l·w` for any word-partitioned filter).
+//! * `l` — number of words; `w` — word size in bits; `k` — hash count;
+//!   `g` — memory accesses (words per element).
+//! * All probabilities are `f64`; sums over the binomial/Poisson occupancy
+//!   variable are truncated when the remaining tail is below `1e-18`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbf;
+pub mod fingerprint;
+pub mod heuristic;
+pub mod math;
+pub mod mpcbf;
+pub mod optimal_k;
+pub mod overflow;
+pub mod pcbf;
+pub mod tradeoff;
+
+pub use heuristic::{n_max_heuristic, MpcbfShape};
+pub use optimal_k::{optimal_k_cbf, optimal_k_mpcbf};
+
+/// Counters per 4-bit-counter CBF word of `w` bits (the paper's `w/4`).
+#[inline]
+pub fn counters_per_word(w: u32) -> u64 {
+    u64::from(w) / 4
+}

@@ -1,0 +1,294 @@
+//! Special functions and discrete-distribution machinery.
+//!
+//! Everything is computed in log space so the paper's occupancy sums —
+//! binomial weights with `n = 100 000` trials — stay well-conditioned.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)` for integer `n`.
+#[inline]
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln C(n, k)`; `-inf` if `k > n`.
+#[inline]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        f64::NEG_INFINITY
+    } else {
+        ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+    }
+}
+
+/// Log of the binomial PMF `P[X = j]`, `X ~ B(n, p)`.
+pub fn binomial_ln_pmf(n: u64, p: f64, j: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0,1]");
+    if j > n {
+        return f64::NEG_INFINITY;
+    }
+    if p == 0.0 {
+        return if j == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if j == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (-p).ln_1p()
+}
+
+/// Binomial PMF `P[X = j]`, `X ~ B(n, p)`.
+#[inline]
+pub fn binomial_pmf(n: u64, p: f64, j: u64) -> f64 {
+    binomial_ln_pmf(n, p, j).exp()
+}
+
+/// Exact binomial upper tail `P[X ≥ j0]`, `X ~ B(n, p)`, summed directly.
+pub fn binomial_tail_ge(n: u64, p: f64, j0: u64) -> f64 {
+    if j0 == 0 {
+        return 1.0;
+    }
+    if j0 > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let mean = n as f64 * p;
+    if (j0 as f64) <= mean {
+        // j0 below the mode: pmf(j0) may underflow even though the tail is
+        // large, so sum the (short) lower part and complement.
+        let mut lower = 0.0;
+        for j in 0..j0 {
+            lower += binomial_pmf(n, p, j);
+        }
+        return (1.0 - lower).clamp(0.0, 1.0);
+    }
+    // Sum upward from j0; terms decay geometrically past the mean.
+    let mut total = 0.0;
+    let mut term = binomial_pmf(n, p, j0);
+    total += term;
+    for j in j0 + 1..=n {
+        // Ratio-based recurrence avoids re-evaluating lgamma each step:
+        // pmf(j)/pmf(j-1) = ((n-j+1)/j) * (p/(1-p)).
+        term *= (n - j + 1) as f64 / j as f64 * (p / (1.0 - p));
+        total += term;
+        if term < 1e-300 || term < total * 1e-18 {
+            break;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Poisson PMF `P[X = j]`, `X ~ Poisson(λ)`.
+pub fn poisson_pmf(lambda: f64, j: u64) -> f64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    (j as f64 * lambda.ln() - lambda - ln_factorial(j)).exp()
+}
+
+/// Poisson CDF `P[X ≤ j]`.
+pub fn poisson_cdf(lambda: f64, j: u64) -> f64 {
+    let mut term = (-lambda).exp();
+    let mut cdf = term;
+    for i in 1..=j {
+        term *= lambda / i as f64;
+        cdf += term;
+    }
+    cdf.min(1.0)
+}
+
+/// Inverse Poisson CDF: the smallest `j` with `P[X ≤ j] ≥ p`
+/// (the paper's `PoissInv(p, λ)`, Eq. 11).
+pub fn poisson_inv_cdf(p: f64, lambda: f64) -> u64 {
+    assert!((0.0..1.0).contains(&p) || p == 1.0, "p = {p} out of [0,1]");
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    let mut term = (-lambda).exp();
+    let mut cdf = term;
+    let mut j = 0u64;
+    // Guard: for p extremely close to 1 the loop still terminates because
+    // cdf → 1; cap at a generous multiple of λ to be safe against rounding.
+    let cap = (lambda * 20.0 + 200.0) as u64;
+    while cdf < p && j < cap {
+        j += 1;
+        term *= lambda / j as f64;
+        cdf += term;
+    }
+    j
+}
+
+/// Kahan-compensated sum of `f(j) · w(j)` over `j = 0..`, where `w(j)` are
+/// `B(n, p)` binomial weights, truncated once the explored probability mass
+/// exceeds `1 − 1e-18` (covers the paper's Σ over word occupancy).
+pub fn binomial_expectation(n: u64, p: f64, mut f: impl FnMut(u64) -> f64) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    let mut mass = 0.0;
+    // Iterate with the multiplicative recurrence from j = 0.
+    if p <= 0.0 {
+        return f(0);
+    }
+    if p >= 1.0 {
+        return f(n);
+    }
+    let mut w = ((n as f64) * (-p).ln_1p()).exp(); // (1-p)^n
+    let ratio = p / (1.0 - p);
+    for j in 0..=n {
+        if w > 0.0 {
+            let term = w * f(j);
+            let y = term - comp;
+            let t = sum + y;
+            comp = (t - sum) - y;
+            sum = t;
+            mass += w;
+            if mass > 1.0 - 1e-18 {
+                break;
+            }
+        } else if j as f64 > n as f64 * p {
+            break; // weight underflowed past the mode: remaining mass ≈ 0
+        }
+        if j < n {
+            w *= (n - j) as f64 / (j + 1) as f64 * ratio;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1; Γ(5) = 24; Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(10, 0)).abs() < 1e-10);
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+        // Large n stays finite and accurate: C(100000, 2) = 4999950000.
+        assert!((ln_choose(100_000, 2) - 4_999_950_000f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 50;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|j| binomial_pmf(n, p, j)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate_p() {
+        assert_eq!(binomial_pmf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_pmf(10, 1.0, 9), 0.0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_direct_sum() {
+        let n = 40;
+        let p = 0.2;
+        for j0 in [0u64, 1, 5, 10, 20, 40, 41] {
+            let direct: f64 = (j0..=n).map(|j| binomial_pmf(n, p, j)).sum();
+            let tail = binomial_tail_ge(n, p, j0);
+            assert!((tail - direct).abs() < 1e-12, "j0 = {j0}: {tail} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_and_cdf_consistent() {
+        let lambda = 1.6;
+        let mut acc = 0.0;
+        for j in 0..=30 {
+            acc += poisson_pmf(lambda, j);
+            assert!((poisson_cdf(lambda, j) - acc).abs() < 1e-12, "j = {j}");
+        }
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_inv_cdf_is_quantile() {
+        let lambda = 1.6;
+        for &p in &[0.5, 0.9, 0.99, 0.9999, 1.0 - 1.0 / 65536.0] {
+            let j = poisson_inv_cdf(p, lambda);
+            assert!(poisson_cdf(lambda, j) >= p);
+            if j > 0 {
+                assert!(poisson_cdf(lambda, j - 1) < p);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_inv_cdf_paper_example() {
+        // §IV.B: the heuristic chooses n_max ∈ {7..10} for the experimental
+        // range l = 62500..250000 with n = 100000.
+        for &l in &[62_500u64, 125_000, 250_000] {
+            let lambda = 100_000.0 / l as f64;
+            let nmax = poisson_inv_cdf(1.0 - 1.0 / l as f64, lambda);
+            assert!((6..=11).contains(&nmax), "l = {l} gave n_max = {nmax}");
+        }
+    }
+
+    #[test]
+    fn binomial_expectation_of_constant_is_constant() {
+        let e = binomial_expectation(100_000, 1.0 / 62_500.0, |_| 1.0);
+        assert!((e - 1.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn binomial_expectation_of_identity_is_np() {
+        let n = 10_000u64;
+        let p = 3e-4;
+        let e = binomial_expectation(n, p, |j| j as f64);
+        assert!((e - n as f64 * p).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn binomial_expectation_degenerate() {
+        assert_eq!(binomial_expectation(10, 0.0, |j| j as f64), 0.0);
+        assert_eq!(binomial_expectation(10, 1.0, |j| j as f64), 10.0);
+    }
+}

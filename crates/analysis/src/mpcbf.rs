@@ -1,0 +1,171 @@
+//! MPCBF analysis: Eqs. (4), (5), (8), (9) and the per-word-average forms,
+//! §III.B–§III.C.
+//!
+//! MPCBF replaces each word's flat counter array with an HCBF whose
+//! *first-level* sub-vector of `b1` bits is the only part consulted by a
+//! membership query, so its FPR has the PCBF shape with `w/4` replaced by
+//! `b1`. The improved HCBF (§III.B.3) maximises `b1 = w − k·n_max`, which
+//! is where the accuracy win over CBF comes from.
+
+use crate::math::binomial_expectation;
+
+#[inline]
+fn word_fp(j: u64, b1: u64, j_hashes: f64, q_hashes: f64) -> f64 {
+    let not_set = ((j as f64) * j_hashes * (-(1.0 / b1 as f64)).ln_1p()).exp();
+    (1.0 - not_set).powf(q_hashes)
+}
+
+/// Eq. (4): FPR of MPCBF-1 with an explicit first-level size `b1`.
+pub fn fpr_mpcbf1_b1(n: u64, l: u64, k: u32, b1: u32) -> f64 {
+    assert!(l > 0 && b1 > 0);
+    binomial_expectation(n, 1.0 / l as f64, |j| {
+        word_fp(j, u64::from(b1), f64::from(k), f64::from(k))
+    })
+}
+
+/// Eq. (5): FPR of MPCBF-1 with the improved HCBF, `b1 = w − k·n_max`.
+pub fn fpr_mpcbf1(n: u64, l: u64, w: u32, k: u32, n_max: u32) -> f64 {
+    let b1 = w
+        .checked_sub(k * n_max)
+        .expect("w - k*n_max underflowed: word too small for n_max");
+    fpr_mpcbf1_b1(n, l, k, b1)
+}
+
+/// The paper's *average* FPR form for MPCBF-1 (below Eq. 5): substitutes
+/// the per-word average load `n_avg = n/l` for `n_max`, i.e.
+/// `b1 = w − k·n/l`. Optimistic relative to [`fpr_mpcbf1`]; used by the
+/// paper for Fig. 5.
+pub fn fpr_mpcbf1_avg(n: u64, l: u64, w: u32, k: u32) -> f64 {
+    let n_avg = n as f64 / l as f64;
+    let b1 = (f64::from(w) - f64::from(k) * n_avg).floor();
+    assert!(b1 >= 1.0, "average b1 < 1: word too loaded");
+    fpr_mpcbf1_b1(n, l, k, b1 as u32)
+}
+
+/// Eq. (8)/(9): FPR of MPCBF-g with an explicit first-level size `b1`.
+///
+/// Word occupancy follows `B(gn, 1/l)`; each word is checked with `k/g`
+/// hashes and the `g` word checks multiply (independence, as in Eq. 8).
+pub fn fpr_mpcbf_g_b1(n: u64, l: u64, k: u32, g: u32, b1: u32) -> f64 {
+    assert!(g >= 1 && k >= g, "need k >= g >= 1");
+    assert!(l > 0 && b1 > 0);
+    if g == 1 {
+        return fpr_mpcbf1_b1(n, l, k, b1);
+    }
+    let kg = f64::from(k) / f64::from(g);
+    let per_word = binomial_expectation(g as u64 * n, 1.0 / l as f64, |j| {
+        word_fp(j, u64::from(b1), kg, kg)
+    });
+    per_word.powi(g as i32)
+}
+
+/// Eq. (9) with the improved HCBF: `b1 = w − (k/g)·n'_max`.
+pub fn fpr_mpcbf_g(n: u64, l: u64, w: u32, k: u32, g: u32, n_max: u32) -> f64 {
+    let b1 = f64::from(w) - (f64::from(k) / f64::from(g)) * f64::from(n_max);
+    assert!(b1 >= 1.0, "w - (k/g)*n_max < 1: word too small");
+    fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32)
+}
+
+/// The average-form FPR for MPCBF-g (below Eq. 9): `b1 = w − k·n/l`
+/// (each word holds `n'_avg = gn/l` slots of `k/g` hashes each, so the
+/// hierarchy consumes `k·n/l` bits on average regardless of `g`).
+pub fn fpr_mpcbf_g_avg(n: u64, l: u64, w: u32, k: u32, g: u32) -> f64 {
+    let b1 = f64::from(w) - f64::from(k) * n as f64 / l as f64;
+    assert!(b1 >= 1.0, "average b1 < 1: word too loaded");
+    fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cbf, heuristic, pcbf};
+
+    const N: u64 = 100_000;
+    const BIG_M: u64 = 4_000_000;
+    const W: u32 = 64;
+    const L: u64 = BIG_M / W as u64;
+
+    #[test]
+    fn mpcbf1_beats_pcbf1_fig5() {
+        // The hierarchy enlarges the membership range (b1 > w/4), so
+        // MPCBF-1 must beat PCBF-1 at the same memory.
+        let n_max = heuristic::n_max_heuristic(N, L, 1);
+        let f_p1 = pcbf::fpr_pcbf1(N, L, W, 3);
+        let f_mp1 = fpr_mpcbf1(N, L, W, 3, n_max as u32);
+        assert!(f_mp1 < f_p1, "MPCBF-1 {f_mp1} vs PCBF-1 {f_p1}");
+    }
+
+    #[test]
+    fn mpcbf1_beats_cbf_at_k3_fig7() {
+        let n_max = heuristic::n_max_heuristic(N, L, 1);
+        let f_cbf = cbf::fpr(N, BIG_M / 4, 3);
+        let f_mp1 = fpr_mpcbf1(N, L, W, 3, n_max as u32);
+        assert!(f_mp1 < f_cbf, "MPCBF-1 {f_mp1} vs CBF {f_cbf}");
+    }
+
+    #[test]
+    fn mpcbf2_order_of_magnitude_better_than_cbf() {
+        // The headline claim: MPCBF-g (g ≥ 2) cuts FPR by ~an order of
+        // magnitude versus CBF at the same memory (abstract, §IV.B).
+        let n_max = heuristic::n_max_heuristic(N, L, 2);
+        let f_cbf = cbf::fpr(N, BIG_M / 4, 3);
+        let f_mp2 = fpr_mpcbf_g(N, L, W, 3, 2, n_max as u32);
+        assert!(
+            f_mp2 * 5.0 < f_cbf,
+            "MPCBF-2 {f_mp2} not ≪ CBF {f_cbf}"
+        );
+    }
+
+    #[test]
+    fn g_sweep_is_monotone() {
+        // Fig. 5 / §III.C: increasing g decreases the false positive rate.
+        let mut prev = f64::INFINITY;
+        for g in 1..=3u32 {
+            let n_max = heuristic::n_max_heuristic(N, L, g);
+            let b1 = (f64::from(W) - f64::from(6) / f64::from(g) * f64::from(n_max as u32))
+                .floor() as u32;
+            let f = fpr_mpcbf_g_b1(N, L, 6, g, b1);
+            assert!(f < prev, "g = {g}: {f} not below {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn avg_form_is_optimistic() {
+        // Average-load b1 ≥ worst-case b1, so the avg FPR is ≤ Eq. (5).
+        let n_max = heuristic::n_max_heuristic(N, L, 1) as u32;
+        let f_exact = fpr_mpcbf1(N, L, W, 3, n_max);
+        let f_avg = fpr_mpcbf1_avg(N, L, W, 3);
+        assert!(f_avg <= f_exact, "{f_avg} vs {f_exact}");
+    }
+
+    #[test]
+    fn wider_words_help_fig5() {
+        // Fig. 5: "increasing the word size can decrease the average rate".
+        let f32 = {
+            let l = BIG_M / 32;
+            fpr_mpcbf1_avg(N, l, 32, 3)
+        };
+        let f64_ = fpr_mpcbf1_avg(N, L, 64, 3);
+        assert!(f64_ < f32, "w=64 {f64_} vs w=32 {f32}");
+    }
+
+    #[test]
+    fn b1_form_matches_g1_specialisation() {
+        assert_eq!(
+            fpr_mpcbf_g_b1(N, L, 3, 1, 40),
+            fpr_mpcbf1_b1(N, L, 3, 40)
+        );
+    }
+
+    #[test]
+    fn empty_filter_zero_fpr() {
+        assert_eq!(fpr_mpcbf1_b1(0, L, 3, 40), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn oversized_nmax_panics() {
+        let _ = fpr_mpcbf1(N, L, 16, 4, 10); // 16 - 40 underflows
+    }
+}

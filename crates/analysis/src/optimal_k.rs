@@ -1,0 +1,122 @@
+//! Brute-force optimal-`k` search (§IV.C, Figs. 9–10).
+//!
+//! CBF's optimum follows the classical `(m/n)·ln 2` rule and grows with
+//! memory; MPCBF's optimum is found by exhaustive search over Eq. (8)
+//! because enlarging `k` also shrinks `b1 = w − ceil(k/g)·n_max` — the
+//! paper observes the MPCBF optimum stays nearly constant (k ≈ 3 for
+//! MPCBF-1, 4–5 for MPCBF-2, 5 for MPCBF-3).
+
+use crate::heuristic::derive_shape;
+use crate::{cbf, mpcbf};
+
+/// Optimal `k` for a standard CBF with `big_m` bits of memory at counter
+/// width `c` (Fig. 9's CBF series): the `(m/n)·ln 2` rule evaluated exactly.
+pub fn optimal_k_cbf(big_m: u64, c: u32, n: u64) -> u32 {
+    let m = big_m / u64::from(c);
+    cbf::optimal_k(n, m)
+}
+
+/// Result of the exhaustive MPCBF search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalK {
+    /// The FPR-minimising hash count.
+    pub k: u32,
+    /// The false-positive rate achieved at that `k`.
+    pub fpr: f64,
+}
+
+/// Exhaustive search for the `k` minimising MPCBF-g's FPR (Eq. 8 with the
+/// improved-HCBF `b1`), scanning `k = g..=k_cap`.
+///
+/// Infeasible `k` (first level too small) are skipped; returns `None` if
+/// no `k` is feasible at all.
+pub fn optimal_k_mpcbf(big_m: u64, w: u32, n: u64, g: u32, k_cap: u32) -> Option<OptimalK> {
+    let mut best: Option<OptimalK> = None;
+    for k in g.max(1)..=k_cap {
+        let Ok(shape) = derive_shape(big_m, w, n, k, g) else {
+            continue;
+        };
+        let fpr = mpcbf::fpr_mpcbf_g_b1(n, shape.l, k, g, shape.b1);
+        if best.is_none_or(|b| fpr < b.fpr) {
+            best = Some(OptimalK { k, fpr });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 100_000;
+
+    #[test]
+    fn cbf_optimum_grows_with_memory_fig9() {
+        // Fig. 9: CBF's optimal k climbs from ~6 to ~12 over 4–8 Mb.
+        let k4 = optimal_k_cbf(4_000_000, 4, N);
+        let k8 = optimal_k_cbf(8_000_000, 4, N);
+        assert!((5..=8).contains(&k4), "k at 4 Mb = {k4}");
+        assert!((11..=15).contains(&k8), "k at 8 Mb = {k8}");
+        assert!(k8 > k4);
+    }
+
+    #[test]
+    fn mpcbf1_optimum_is_nearly_constant_fig9() {
+        // Fig. 9: "for MPCBF, the optimal value of k is almost constant
+        // (k = 3 for MPCBF-1...)".
+        for &big_m in &[4_000_000u64, 5_000_000, 6_000_000, 7_000_000, 8_000_000] {
+            let got = optimal_k_mpcbf(big_m, 64, N, 1, 16).unwrap();
+            assert!(
+                (2..=4).contains(&got.k),
+                "M={big_m}: optimal k = {} (fpr {})",
+                got.k,
+                got.fpr
+            );
+        }
+    }
+
+    #[test]
+    fn mpcbf2_optimum_around_4_or_5_fig9() {
+        for &big_m in &[4_000_000u64, 6_000_000, 8_000_000] {
+            let got = optimal_k_mpcbf(big_m, 64, N, 2, 16).unwrap();
+            assert!(
+                (3..=6).contains(&got.k),
+                "M={big_m}: optimal k = {}",
+                got.k
+            );
+        }
+    }
+
+    #[test]
+    fn mpcbf3_beats_optimal_cbf_fig10() {
+        // Fig. 10: MPCBF-3's FPR at its optimum is about an order of
+        // magnitude below optimally-tuned CBF at 8 Mb.
+        let big_m = 8_000_000;
+        let k_cbf = optimal_k_cbf(big_m, 4, N);
+        let f_cbf = cbf::fpr(N, big_m / 4, k_cbf);
+        let got = optimal_k_mpcbf(big_m, 64, N, 3, 16).unwrap();
+        assert!(
+            got.fpr * 3.0 < f_cbf,
+            "MPCBF-3 {} vs optimal CBF {f_cbf}",
+            got.fpr
+        );
+    }
+
+    #[test]
+    fn search_result_is_a_true_minimum() {
+        let big_m = 6_000_000;
+        let best = optimal_k_mpcbf(big_m, 64, N, 1, 16).unwrap();
+        for k in 1..=16u32 {
+            if let Ok(s) = crate::heuristic::derive_shape(big_m, 64, N, k, 1) {
+                let f = crate::mpcbf::fpr_mpcbf_g_b1(N, s.l, k, 1, s.b1);
+                assert!(best.fpr <= f + 1e-18, "k = {k} beats the reported optimum");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        // One word only: shapes all fail.
+        assert!(optimal_k_mpcbf(64, 64, 1000, 1, 8).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! PCBF analysis: Eq. (2) (PCBF-1) and Eq. (3) (PCBF-g), §III.A.
+//!
+//! PCBF hashes each element to `g` of `l` words and to `k/g` of the
+//! `w/4` counters inside each word. A false positive needs all hashed
+//! counters nonzero; the occupancy of a word follows `B(n, 1/l)` (or
+//! `B(gn, 1/l)` for PCBF-g), which is what the paper's sums marginalise.
+
+use crate::math::binomial_expectation;
+
+/// Conditional FP probability inside one word holding `j` element-slots,
+/// each setting up to `kk` of `b` positions; the query checks `kk`
+/// positions: `(1 − (1 − 1/b)^{j·kk})^{kk}` with real-valued `kk`.
+#[inline]
+fn word_fp(j: u64, b: u64, j_hashes: f64, q_hashes: f64) -> f64 {
+    let not_set = ((j as f64) * j_hashes * (-(1.0 / b as f64)).ln_1p()).exp();
+    (1.0 - not_set).powf(q_hashes)
+}
+
+/// Eq. (2): false-positive rate of PCBF-1.
+///
+/// `n` elements, `l` words of `w` bits (holding `w/4` 4-bit counters),
+/// `k` hash functions all landing in one word.
+pub fn fpr_pcbf1(n: u64, l: u64, w: u32, k: u32) -> f64 {
+    assert!(l > 0 && w >= 8);
+    let b = u64::from(w) / 4;
+    binomial_expectation(n, 1.0 / l as f64, |j| {
+        word_fp(j, b, f64::from(k), f64::from(k))
+    })
+}
+
+/// Eq. (3): false-positive rate of PCBF-g.
+///
+/// Each element occupies `g` words with `k/g` hashes per word; a word's
+/// slot count follows `B(gn, 1/l)`. The paper treats the `g` word checks
+/// as independent, giving the outer power of `g`.
+pub fn fpr_pcbf_g(n: u64, l: u64, w: u32, k: u32, g: u32) -> f64 {
+    assert!(g >= 1 && k >= g, "need k >= g >= 1");
+    if g == 1 {
+        return fpr_pcbf1(n, l, w, k);
+    }
+    let b = u64::from(w) / 4;
+    let kg = f64::from(k) / f64::from(g);
+    let per_word = binomial_expectation(g as u64 * n, 1.0 / l as f64, |j| {
+        word_fp(j, b, kg, kg)
+    });
+    per_word.powi(g as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbf;
+
+    const N: u64 = 100_000;
+    const BIG_M: u64 = 4_000_000; // 4 Mb
+    const W: u32 = 64;
+    const L: u64 = BIG_M / W as u64;
+
+    #[test]
+    fn pcbf1_worse_than_cbf_fig2() {
+        // Fig. 2: PCBF-1 has a larger FPR than the standard CBF.
+        let f_cbf = cbf::fpr(N, BIG_M / 4, 3);
+        let f_p1 = fpr_pcbf1(N, L, W, 3);
+        assert!(f_p1 > f_cbf, "PCBF-1 {f_p1} should exceed CBF {f_cbf}");
+    }
+
+    #[test]
+    fn pcbf2_between_pcbf1_and_cbf_fig2() {
+        // Fig. 2: f_CBF < f_PCBF-2 < f_PCBF-1.
+        let f_cbf = cbf::fpr(N, BIG_M / 4, 4);
+        let f_p1 = fpr_pcbf1(N, L, W, 4);
+        let f_p2 = fpr_pcbf_g(N, L, W, 4, 2);
+        assert!(f_p2 < f_p1, "PCBF-2 {f_p2} should beat PCBF-1 {f_p1}");
+        assert!(f_p2 > f_cbf, "PCBF-2 {f_p2} should still trail CBF {f_cbf}");
+    }
+
+    #[test]
+    fn larger_words_converge_to_cbf_fig2() {
+        // §III.A.1: "when w increases the false positive rate of PCBF-1
+        // converges to that of CBF".
+        let f_cbf = cbf::fpr(N, BIG_M / 4, 3);
+        let mut prev_gap = f64::INFINITY;
+        for w in [16u32, 32, 64, 128, 256] {
+            let l = BIG_M / u64::from(w);
+            let gap = fpr_pcbf1(N, l, w, 3) - f_cbf;
+            assert!(gap >= -1e-6, "w = {w}: PCBF-1 below CBF?");
+            assert!(gap <= prev_gap + 1e-12, "gap not shrinking at w = {w}");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn fpr_monotone_in_memory() {
+        let f_small = fpr_pcbf1(N, 62_500, W, 3);
+        let f_large = fpr_pcbf1(N, 125_000, W, 3);
+        assert!(f_large < f_small);
+    }
+
+    #[test]
+    fn g1_reduces_to_pcbf1() {
+        let a = fpr_pcbf_g(N, L, W, 3, 1);
+        let b = fpr_pcbf1(N, L, W, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_filter_has_zero_fpr() {
+        assert_eq!(fpr_pcbf1(0, L, W, 3), 0.0);
+        assert_eq!(fpr_pcbf_g(0, L, W, 4, 2), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Design aids: inverse sizing and head-to-head comparisons.
+//!
+//! The paper's evaluation fixes memory and compares FPRs; a practitioner
+//! usually works the other way — "I need FPR ≤ 10⁻³ for 10⁶ flows, how
+//! much SRAM does each structure cost, and at how many memory accesses?"
+//! This module answers that by inverting the closed forms with a simple
+//! doubling + bisection search (all the FPR curves are monotone in
+//! memory, which [`crate::cbf`]/[`crate::mpcbf`] tests pin down).
+
+use crate::heuristic::derive_shape;
+use crate::{cbf, mpcbf};
+
+/// Upper bound on the memory search (1 Gbit) — configurations beyond this
+/// are outside any on-chip-memory scenario the paper targets.
+const MEMORY_CAP: u64 = 1 << 30;
+
+fn search_memory(target_fpr: f64, mut fpr_at: impl FnMut(u64) -> Option<f64>) -> Option<u64> {
+    assert!(target_fpr > 0.0 && target_fpr < 1.0, "target FPR out of (0,1)");
+    // Exponential search for a feasible upper bracket.
+    let mut hi = 1u64 << 10;
+    let mut lo = hi;
+    loop {
+        match fpr_at(hi) {
+            Some(f) if f <= target_fpr => break,
+            _ => {
+                lo = hi;
+                hi *= 2;
+                if hi > MEMORY_CAP {
+                    return None;
+                }
+            }
+        }
+    }
+    // Bisection to ~0.5% memory granularity.
+    while hi - lo > hi / 200 + 64 {
+        let mid = lo + (hi - lo) / 2;
+        match fpr_at(mid) {
+            Some(f) if f <= target_fpr => hi = mid,
+            _ => lo = mid,
+        }
+    }
+    Some(hi)
+}
+
+/// Minimum memory (bits) for a standard CBF (4-bit counters, given `k`)
+/// to reach `target_fpr` holding `n` elements.
+pub fn cbf_memory_for_fpr(n: u64, k: u32, target_fpr: f64) -> Option<u64> {
+    search_memory(target_fpr, |big_m| {
+        let m = big_m / 4;
+        (m > 0).then(|| cbf::fpr(n, m, k))
+    })
+}
+
+/// Minimum memory (bits) for MPCBF-g (word size `w`, given `k`, Eq.-(11)
+/// capacity) to reach `target_fpr` holding `n` elements.
+pub fn mpcbf_memory_for_fpr(n: u64, w: u32, k: u32, g: u32, target_fpr: f64) -> Option<u64> {
+    search_memory(target_fpr, |big_m| {
+        derive_shape(big_m, w, n, k, g)
+            .ok()
+            .map(|s| mpcbf::fpr_mpcbf_g_b1(n, s.l, k, g, s.b1))
+    })
+}
+
+/// A head-to-head design card at a target FPR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Memory in bits.
+    pub memory_bits: u64,
+    /// Memory accesses per query.
+    pub query_accesses: u32,
+    /// Bits per stored element.
+    pub bits_per_element: f64,
+}
+
+/// Compares CBF and MPCBF-g at the same target FPR, each with the given
+/// hash counts; returns `(cbf, mpcbf)` design points.
+pub fn compare_at_fpr(
+    n: u64,
+    k_cbf: u32,
+    k_mp: u32,
+    g: u32,
+    w: u32,
+    target_fpr: f64,
+) -> Option<(DesignPoint, DesignPoint)> {
+    let m_cbf = cbf_memory_for_fpr(n, k_cbf, target_fpr)?;
+    let m_mp = mpcbf_memory_for_fpr(n, w, k_mp, g, target_fpr)?;
+    Some((
+        DesignPoint {
+            memory_bits: m_cbf,
+            query_accesses: k_cbf,
+            bits_per_element: m_cbf as f64 / n as f64,
+        },
+        DesignPoint {
+            memory_bits: m_mp,
+            query_accesses: g,
+            bits_per_element: m_mp as f64 / n as f64,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 100_000;
+
+    #[test]
+    fn inverse_sizing_hits_the_target() {
+        let target = 1e-3;
+        let m = cbf_memory_for_fpr(N, 3, target).unwrap();
+        let achieved = cbf::fpr(N, m / 4, 3);
+        assert!(achieved <= target, "achieved {achieved} > target {target}");
+        // And is tight: 3% less memory must miss the target.
+        let tighter = cbf::fpr(N, (m - m / 30) / 4, 3);
+        assert!(tighter > target, "bound not tight: {tighter} <= {target}");
+    }
+
+    #[test]
+    fn mpcbf_inverse_sizing_hits_the_target() {
+        let target = 1e-3;
+        let m = mpcbf_memory_for_fpr(N, 64, 3, 1, target).unwrap();
+        let s = derive_shape(m, 64, N, 3, 1).unwrap();
+        let achieved = mpcbf::fpr_mpcbf_g_b1(N, s.l, 3, 1, s.b1);
+        assert!(achieved <= target);
+    }
+
+    #[test]
+    fn mpcbf_needs_less_memory_at_equal_k() {
+        // The paper's headline, inverted: same k = 3, same FPR target,
+        // MPCBF-1 needs meaningfully less memory than CBF.
+        let target = 5e-3;
+        let m_cbf = cbf_memory_for_fpr(N, 3, target).unwrap();
+        let m_mp = mpcbf_memory_for_fpr(N, 64, 3, 1, target).unwrap();
+        assert!(
+            (m_mp as f64) < 0.9 * m_cbf as f64,
+            "MPCBF {m_mp} not clearly below CBF {m_cbf}"
+        );
+    }
+
+    #[test]
+    fn compare_card_is_consistent() {
+        let (c, m) = compare_at_fpr(N, 3, 3, 2, 64, 1e-3).unwrap();
+        assert_eq!(c.query_accesses, 3);
+        assert_eq!(m.query_accesses, 2);
+        assert!(m.memory_bits < c.memory_bits);
+        assert!((c.bits_per_element - c.memory_bits as f64 / N as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        // FPR 1e-30 with k = 1 would need absurd memory.
+        assert_eq!(cbf_memory_for_fpr(N, 1, 1e-30), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn zero_target_panics() {
+        let _ = cbf_memory_for_fpr(N, 3, 0.0);
+    }
+}

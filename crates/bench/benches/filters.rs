@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks: per-operation latency of every filter
+//! (the microscopic version of Fig. 8 and Tables I–II).
+//!
+//! Groups: `query_member`, `query_nonmember` (short-circuit path),
+//! `insert`, `remove` — each across CBF, PCBF-1/2, MPCBF-1/2, dlCBF,
+//! VI-CBF at the same 4 Mb memory budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, Pcbf};
+use mpcbf_hash::Murmur3;
+use mpcbf_variants::{DlCbf, ViCbf};
+use std::hint::black_box;
+
+const BIG_M: u64 = 4_000_000;
+const N: u64 = 100_000;
+const K: u32 = 3;
+
+fn keys(range: std::ops::Range<u64>) -> Vec<[u8; 8]> {
+    range.map(|i| i.to_le_bytes()).collect()
+}
+
+/// Builds each contender pre-loaded with N members.
+macro_rules! loaded {
+    ($make:expr) => {{
+        let mut f = $make;
+        for key in keys(0..N) {
+            let _ = f.insert_bytes(&key);
+        }
+        f
+    }};
+}
+
+fn mpcbf(g: u32) -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(BIG_M)
+            .expected_items(N)
+            .hashes(K)
+            .accesses(g)
+            .seed(1)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let members = keys(0..10_000);
+    let strangers = keys(10_000_000..10_010_000);
+
+    macro_rules! bench_filter {
+        ($group:expr, $name:expr, $filter:expr) => {{
+            let f = $filter;
+            $group.bench_with_input(BenchmarkId::new($name, "member"), &members, |b, ks| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % ks.len();
+                    black_box(f.contains_bytes(&ks[i]))
+                })
+            });
+            $group.bench_with_input(BenchmarkId::new($name, "nonmember"), &strangers, |b, ks| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % ks.len();
+                    black_box(f.contains_bytes(&ks[i]))
+                })
+            });
+        }};
+    }
+
+    let mut g = c.benchmark_group("query");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    bench_filter!(g, "CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 1)));
+    bench_filter!(g, "PCBF-1", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 1)));
+    bench_filter!(g, "PCBF-2", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 2, 1)));
+    bench_filter!(g, "MPCBF-1", loaded!(mpcbf(1)));
+    bench_filter!(g, "MPCBF-2", loaded!(mpcbf(2)));
+    bench_filter!(g, "dlCBF", loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 1)));
+    bench_filter!(g, "VI-CBF", loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 1)));
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    macro_rules! bench_churn {
+        ($name:expr, $filter:expr) => {{
+            let mut f = $filter;
+            let churn = keys(50_000_000..50_010_000);
+            g.bench_function(BenchmarkId::new($name, "insert_remove"), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % churn.len();
+                    f.insert_bytes(&churn[i]).expect("insert");
+                    f.remove_bytes(&churn[i]).expect("remove");
+                })
+            });
+        }};
+    }
+
+    bench_churn!("CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 2)));
+    bench_churn!("PCBF-1", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 2)));
+    bench_churn!("MPCBF-1", loaded!(mpcbf(1)));
+    bench_churn!("MPCBF-2", loaded!(mpcbf(2)));
+    bench_churn!("dlCBF", loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 2)));
+    bench_churn!("VI-CBF", loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_updates);
+criterion_main!(benches);

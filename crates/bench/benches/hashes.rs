@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the hash substrate — §IV.B observes that
+//! hash computation dominates software filter latency, so digest cost is
+//! worth tracking per family and key length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpcbf_hash::{DoubleHasher, Fnv, Hasher128, Murmur3, XxHash};
+use std::hint::black_box;
+
+fn bench_digests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("digest");
+    g.sample_size(60);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for len in [5usize, 8, 16, 64, 256] {
+        let data: Vec<u8> = (0..len as u8).collect();
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("murmur3_x64_128", len), &data, |b, d| {
+            b.iter(|| black_box(Murmur3::hash128(1, d)))
+        });
+        g.bench_with_input(BenchmarkId::new("xxhash64", len), &data, |b, d| {
+            b.iter(|| black_box(XxHash::hash64(1, d)))
+        });
+        g.bench_with_input(BenchmarkId::new("fnv1a", len), &data, |b, d| {
+            b.iter(|| black_box(Fnv::hash128(1, d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("double_hashing");
+    g.sample_size(60);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let digest = Murmur3::hash128(7, b"index");
+    for k in [3u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("k_indices", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut dh = DoubleHasher::new(black_box(digest), 1 << 20);
+                let mut acc = 0usize;
+                for _ in 0..k {
+                    acc ^= dh.next_index();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(hash_benches, bench_digests, bench_index_stream);
+criterion_main!(hash_benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the HCBF word codec itself: the
+//! popcount-navigated increment/decrement/counter-read paths (§III.B.1),
+//! across word widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcbf_bitvec::{Word, W256};
+use mpcbf_core::HcbfWord;
+use std::hint::black_box;
+
+fn bench_word_ops<W: Word>(c: &mut Criterion, label: &str, b1: u32) {
+    let mut g = c.benchmark_group(format!("hcbf_{label}"));
+    g.sample_size(50);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    // A word loaded to half capacity with a spread of counters.
+    let make_loaded = || {
+        let mut w: HcbfWord<W> = HcbfWord::new();
+        let cap = W::BITS - b1;
+        let mut i = 0u32;
+        while w.total_count() < cap / 2 {
+            w.increment(i % b1, b1).unwrap();
+            i = i.wrapping_mul(7).wrapping_add(13);
+        }
+        w
+    };
+
+    let loaded = make_loaded();
+    g.bench_function(BenchmarkId::new("query", b1), |b| {
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 7) % b1;
+            black_box(loaded.query(p))
+        })
+    });
+    g.bench_function(BenchmarkId::new("counter_read", b1), |b| {
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 7) % b1;
+            black_box(loaded.counter(p, b1))
+        })
+    });
+    g.bench_function(BenchmarkId::new("increment_decrement", b1), |b| {
+        let mut w = make_loaded();
+        let mut p = 0u32;
+        b.iter(|| {
+            p = (p + 7) % b1;
+            w.increment(p, b1).unwrap();
+            w.decrement(p, b1).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_word_ops::<u32>(c, "u32", 20);
+    bench_word_ops::<u64>(c, "u64", 40);
+    bench_word_ops::<u128>(c, "u128", 80);
+    bench_word_ops::<W256>(c, "w256", 160);
+}
+
+criterion_group!(word_benches, benches);
+criterion_main!(word_benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark of the reduce-side join with and without filter
+//! pushdown (the timing core of Table IV, at bench-friendly scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpcbf_core::{Cbf, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use mpcbf_mapreduce::join::KeyFilter;
+use mpcbf_mapreduce::{reduce_side_join, JoinConfig};
+use mpcbf_workloads::patents::{PatentDataset, PatentSpec};
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    // ~65k citations, ~1.8k key patents: seconds-scale per iteration set.
+    let spec = PatentSpec::default().scaled_down(256);
+    let data = PatentDataset::generate(&spec);
+    let left: Vec<(u32, u16)> = data.patents.iter().map(|p| (p.id, p.year)).collect();
+    let right: Vec<(u32, u32)> = data.citations.iter().map(|c| (c.cited, c.citing)).collect();
+    let n_keys = left.len() as u64;
+    let big_m = 12 * n_keys;
+
+    let mut cbf = Cbf::<Murmur3>::with_memory(big_m, 3, 77);
+    for (k, _) in &left {
+        cbf.insert(k).unwrap();
+    }
+    let mut mp1: Mpcbf<u64> = Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(big_m)
+            .expected_items(n_keys)
+            .hashes(3)
+            .seed(77)
+            .build()
+            .unwrap(),
+    );
+    for (k, _) in &left {
+        let _ = mp1.insert(k);
+    }
+
+    let mut g = c.benchmark_group("reduce_side_join");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(right.len() as u64));
+    let cfg = JoinConfig::default();
+
+    let cases: Vec<(&str, Option<&dyn KeyFilter>)> = vec![
+        ("no_filter", None),
+        ("cbf_pushdown", Some(&cbf)),
+        ("mpcbf1_pushdown", Some(&mp1)),
+    ];
+    for (name, filter) in cases {
+        g.bench_with_input(BenchmarkId::new(name, right.len()), &filter, |b, f| {
+            b.iter(|| {
+                let (rows, stats) =
+                    reduce_side_join(&cfg, left.clone(), right.clone(), *f);
+                black_box((rows.len(), stats.job.map_output_records))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(mapreduce_benches, bench_join);
+criterion_main!(mapreduce_benches);

@@ -1,0 +1,130 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Supported flags (all optional):
+//!
+//! * `--scale N` — divide workload sizes by `N` (default 1 = paper scale);
+//! * `--trials N` — override the number of averaged trials;
+//! * `--out DIR` — directory for CSV output (default `results/`);
+//! * `--quiet` — suppress the human-readable table (CSV still written).
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload-size divisor.
+    pub scale: u64,
+    /// Trial-count override.
+    pub trials: Option<usize>,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+    /// Suppress stdout tables.
+    pub quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 1,
+            trials: None,
+            out_dir: "results".to_string(),
+            quiet: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // parsing, not collection building
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s| s >= 1)
+                        .unwrap_or_else(|| usage("--scale needs a positive integer"))
+                }
+                "--trials" => {
+                    args.trials = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&t| t >= 1)
+                            .unwrap_or_else(|| usage("--trials needs a positive integer")),
+                    )
+                }
+                "--out" => {
+                    args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a directory"))
+                }
+                "--quiet" => args.quiet = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+
+    /// Applies the scale divisor to a size.
+    pub fn scaled(&self, n: u64) -> u64 {
+        (n / self.scale).max(1)
+    }
+
+    /// Trials to run, given an experiment default.
+    pub fn trials_or(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::from_iter(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1);
+        assert_eq!(a.trials, None);
+        assert_eq!(a.out_dir, "results");
+        assert!(!a.quiet);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&["--scale", "10", "--trials", "3", "--out", "/tmp/x", "--quiet"]);
+        assert_eq!(a.scale, 10);
+        assert_eq!(a.trials, Some(3));
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        let a = parse(&["--scale", "1000"]);
+        assert_eq!(a.scaled(100), 1);
+        assert_eq!(a.scaled(100_000), 100);
+    }
+
+    #[test]
+    fn trials_or_default() {
+        assert_eq!(parse(&[]).trials_or(10), 10);
+        assert_eq!(parse(&["--trials", "2"]).trials_or(10), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation 7: the hardware projection of §IV.B.
+//!
+//! The paper argues that software timings (Fig. 8) are dominated by hash
+//! computation, and that "in a realistic experiment with hardware support
+//! for hashing … the performance of MPCBF-2 and PCBF-2 would be higher
+//! than that of CBF" — i.e. with hashing offloaded, per-operation latency
+//! is governed by the *measured* memory accesses and access bandwidth.
+//!
+//! This binary closes that loop: it takes the empirically metered
+//! accesses/bandwidth of every structure (the Tables I–II quantities) and
+//! projects per-query latency under a simple line-card memory model:
+//!
+//! ```text
+//! t_query = accesses × t_SRAM + hash_bits / bus_bits_per_ns
+//! ```
+//!
+//! with representative parameters (on-chip SRAM ≈ 1.5 ns per random
+//! access; 64-bit hash-bit delivery per ns). The absolute numbers are
+//! illustrative; the projected *ordering* — MPCBF-1 fastest, CBF slowest,
+//! and the gap widening with optimal k — is the paper's §IV.B claim.
+
+use mpcbf_analysis::{optimal_k_cbf, optimal_k_mpcbf};
+use mpcbf_bench::report::fixed;
+use mpcbf_bench::runner::Workload;
+use mpcbf_bench::{run_suite, Args, Contender, Table};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+const T_SRAM_NS: f64 = 1.5;
+const BUS_BITS_PER_NS: f64 = 64.0;
+
+fn project(accesses: f64, bits: f64) -> f64 {
+    accesses * T_SRAM_NS + bits / BUS_BITS_PER_NS
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let big_m = 8_000_000u64 / args.scale;
+    let trials = args.trials_or(2);
+
+    let make_workload = |trial: usize| {
+        let spec = SyntheticSpec {
+            test_set: n as usize,
+            queries: args.scaled(500_000) as usize,
+            churn_per_period: args.scaled(20_000) as usize,
+            seed: 0xAB7 + trial as u64,
+            ..SyntheticSpec::default()
+        };
+        let w = SyntheticWorkload::generate(&spec);
+        Workload {
+            inserts: w.test_set,
+            churn: w.churn,
+            queries: w.queries,
+        }
+    };
+
+    // Panel A: fixed k = 3 (the Fig. 8 setting, hardware-projected).
+    let mut t = Table::new(
+        &format!(
+            "Ablation — projected hardware latency, k = 3 (SRAM {T_SRAM_NS} ns, {BUS_BITS_PER_NS} bits/ns)"
+        ),
+        &["structure", "accesses", "bits", "t_query (ns)", "t_update (ns)"],
+    );
+    let rows = run_suite(&Contender::paper_five(), big_m, n, 3, trials, make_workload);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            fixed(r.query_accesses, 1),
+            fixed(r.query_bits, 0),
+            fixed(project(r.query_accesses, r.query_bits), 2),
+            fixed(project(r.update_accesses, r.update_bits), 2),
+        ]);
+    }
+    t.finish(&args.out_dir, "ablation_hardware_model_k3", args.quiet);
+
+    // Panel B: each structure at its optimal k (the Fig. 11 setting).
+    let mut t = Table::new(
+        "Ablation — projected hardware latency at optimal k",
+        &["structure", "k*", "accesses", "bits", "t_query (ns)"],
+    );
+    let k_cbf = optimal_k_cbf(big_m, 4, n);
+    let rows = run_suite(&[Contender::Cbf], big_m, n, k_cbf, trials, make_workload);
+    if let Some(r) = rows.first() {
+        t.row(vec![
+            "CBF".into(),
+            k_cbf.to_string(),
+            fixed(r.query_accesses, 1),
+            fixed(r.query_bits, 0),
+            fixed(project(r.query_accesses, r.query_bits), 2),
+        ]);
+    }
+    for g in 1..=3u32 {
+        if let Some(opt) = optimal_k_mpcbf(big_m, 64, n, g, 16) {
+            let rows = run_suite(&[Contender::Mpcbf { g }], big_m, n, opt.k, trials, make_workload);
+            if let Some(r) = rows.first() {
+                t.row(vec![
+                    format!("MPCBF-{g}"),
+                    opt.k.to_string(),
+                    fixed(r.query_accesses, 1),
+                    fixed(r.query_bits, 0),
+                    fixed(project(r.query_accesses, r.query_bits), 2),
+                ]);
+            }
+        }
+    }
+    t.finish(&args.out_dir, "ablation_hardware_model_optk", args.quiet);
+}

@@ -1,0 +1,79 @@
+//! Ablation 2: the FPR / word-overflow trade-off of §III.B.4.
+//!
+//! Sweeping `n_max` around the Eq.-(11) heuristic at fixed memory:
+//! smaller `n_max` ⇒ larger first level ⇒ lower FPR, but a larger chance
+//! that some word's hierarchy fills. Reports the analytic expected
+//! overflowing words, the measured refused inserts, and the measured FPR.
+
+use mpcbf_analysis::heuristic::n_max_heuristic;
+use mpcbf_analysis::overflow;
+use mpcbf_bench::report::sci;
+use mpcbf_bench::runner::{measure_workload, Workload};
+use mpcbf_bench::{Args, Table};
+use mpcbf_core::{Mpcbf, MpcbfConfig};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let big_m = 4_000_000u64 / args.scale;
+    let (k, w) = (3u32, 64u32);
+    let l = big_m / u64::from(w);
+    let pick = n_max_heuristic(n, l, 1);
+
+    let spec = SyntheticSpec {
+        test_set: n as usize,
+        queries: args.scaled(1_000_000) as usize,
+        churn_per_period: args.scaled(20_000) as usize,
+        seed: 0xAB2,
+        ..SyntheticSpec::default()
+    };
+    let sw = SyntheticWorkload::generate(&spec);
+    let workload = Workload {
+        inserts: sw.test_set,
+        churn: sw.churn,
+        queries: sw.queries,
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "Ablation — n_max sweep (M = {} Mb, k = {k}, l = {l}; Eq. 11 picks {pick})",
+            big_m as f64 / 1e6
+        ),
+        &[
+            "n_max",
+            "b1",
+            "E[overflowing words]",
+            "refused inserts",
+            "measured FPR",
+            "Eq.(11)",
+        ],
+    );
+
+    let lo = pick.saturating_sub(4).max(2) as u32;
+    let hi = (pick + 6) as u32;
+    for n_max in lo..=hi {
+        let Ok(cfg) = MpcbfConfig::builder()
+            .memory_bits(big_m)
+            .expected_items(n)
+            .hashes(k)
+            .n_max(n_max)
+            .seed(11)
+            .build()
+        else {
+            continue;
+        };
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        let m = measure_workload("mpcbf", &mut f, &workload);
+        let expected_overflow = l as f64 * overflow::overflow_exact(n, l, n_max + 1);
+        t.row(vec![
+            n_max.to_string(),
+            cfg.shape().b1.to_string(),
+            sci(expected_overflow),
+            m.skipped_inserts.to_string(),
+            sci(m.fpr),
+            if u64::from(n_max) == pick { "<-" } else { "" }.to_string(),
+        ]);
+    }
+    t.finish(&args.out_dir, "ablation_nmax", args.quiet);
+}

@@ -1,0 +1,86 @@
+//! Ablation 3: MPCBF against the related-work variants the paper cites
+//! (§II.B) — d-left CBF \[17\] and Variable-Increment CBF \[23\] — at equal
+//! memory, plus the standard CBF anchor.
+//!
+//! The point to land: dlCBF and VI-CBF buy accuracy with memory layout
+//! but still spend `d` / `k` memory accesses per query; MPCBF-1 is the
+//! only one at a single access.
+
+use mpcbf_bench::report::{fixed, sci};
+use mpcbf_bench::runner::{measure_workload, Workload};
+use mpcbf_bench::{Args, Table};
+use mpcbf_core::{Cbf, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use mpcbf_variants::{DlCbf, Rcbf, ViCbf};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let big_m = 4_000_000u64 / args.scale;
+    let k = 3u32;
+
+    let spec = SyntheticSpec {
+        test_set: n as usize,
+        queries: args.scaled(1_000_000) as usize,
+        churn_per_period: args.scaled(20_000) as usize,
+        seed: 0xAB3,
+        ..SyntheticSpec::default()
+    };
+    let sw = SyntheticWorkload::generate(&spec);
+    let workload = Workload {
+        inserts: sw.test_set,
+        churn: sw.churn,
+        queries: sw.queries,
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "Ablation — related-work variants at equal memory (M = {} Mb, n = {n})",
+            big_m as f64 / 1e6
+        ),
+        &[
+            "structure",
+            "memory bits",
+            "FPR",
+            "query accesses",
+            "query ms",
+        ],
+    );
+    let mut push = |m: mpcbf_bench::FilterMeasurement| {
+        t.row(vec![
+            m.name.clone(),
+            m.memory_bits.to_string(),
+            sci(m.fpr),
+            fixed(m.stats.queries.mean_accesses(), 1),
+            fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+        ]);
+    };
+
+    let mut cbf = Cbf::<Murmur3>::with_memory(big_m, k, 5);
+    push(measure_workload("CBF (k=3)", &mut cbf, &workload));
+
+    let mut dl = DlCbf::<Murmur3>::with_memory(big_m, 12, 5);
+    push(measure_workload("dlCBF (d=4, r=12)", &mut dl, &workload));
+
+    let mut vi = ViCbf::<Murmur3>::with_memory(big_m, k, 4, 5);
+    push(measure_workload("VI-CBF (k=3, L=4)", &mut vi, &workload));
+
+    let mut rc = Rcbf::<Murmur3>::with_memory(big_m, n, 5);
+    push(measure_workload("RCBF (rank-indexed)", &mut rc, &workload));
+
+    for g in [1u32, 2] {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(big_m)
+            .expected_items(n)
+            .hashes(k)
+            .accesses(g)
+            .seed(5)
+            .build()
+            .expect("mpcbf shape");
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        push(measure_workload(&format!("MPCBF-{g} (k=3)"), &mut f, &workload));
+    }
+
+    t.finish(&args.out_dir, "ablation_variants", args.quiet);
+}

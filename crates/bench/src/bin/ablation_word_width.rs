@@ -1,0 +1,76 @@
+//! Ablation 5: word width beyond the paper's sweep.
+//!
+//! The paper evaluates w = 16…64 (one CPU word per access); its analysis
+//! (Fig. 5) predicts further FPR gains from wider words. This ablation
+//! runs MPCBF-1 with 32-, 64-, 128-, 256- and 512-bit words at equal
+//! memory — the latter two modelling a DDR burst / full cache line as the
+//! "one memory access" unit.
+
+use mpcbf_bench::report::{fixed, sci};
+use mpcbf_bench::runner::{measure_workload, Workload};
+use mpcbf_bench::{Args, Table};
+use mpcbf_bitvec::{W256, W512};
+use mpcbf_core::{Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let big_m = 4_000_000u64 / args.scale;
+
+    let spec = SyntheticSpec {
+        test_set: n as usize,
+        queries: args.scaled(1_000_000) as usize,
+        churn_per_period: args.scaled(20_000) as usize,
+        seed: 0xAB5,
+        ..SyntheticSpec::default()
+    };
+    let sw = SyntheticWorkload::generate(&spec);
+    let workload = Workload {
+        inserts: sw.test_set,
+        churn: sw.churn,
+        queries: sw.queries,
+    };
+
+    let mut t = Table::new(
+        &format!("Ablation — word width, MPCBF-1 (M = {} Mb, n = {n}, k = 3)", big_m as f64 / 1e6),
+        &["word bits", "b1", "FPR", "query ms", "refused inserts"],
+    );
+
+    macro_rules! run_width {
+        ($w:expr, $ty:ty) => {{
+            match MpcbfConfig::builder()
+                .memory_bits(big_m)
+                .expected_items(n)
+                .hashes(3)
+                .word_bits($w)
+                .seed(9)
+                .build()
+            {
+                Ok(cfg) => {
+                    let mut f: Mpcbf<$ty, Murmur3> = Mpcbf::new(cfg);
+                    let m = measure_workload("mpcbf", &mut f, &workload);
+                    t.row(vec![
+                        $w.to_string(),
+                        cfg.shape().b1.to_string(),
+                        sci(m.fpr),
+                        fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+                        m.skipped_inserts.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    eprintln!("note: w = {} infeasible: {e}", $w);
+                }
+            }
+        }};
+    }
+
+    run_width!(32u32, u32);
+    run_width!(64u32, u64);
+    run_width!(128u32, u128);
+    run_width!(256u32, W256);
+    run_width!(512u32, W512);
+
+    t.finish(&args.out_dir, "ablation_word_width", args.quiet);
+}

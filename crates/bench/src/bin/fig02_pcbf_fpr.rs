@@ -1,0 +1,53 @@
+//! Figure 2: analytical false-positive rates of CBF, PCBF-1 and PCBF-2
+//! with different word sizes.
+//!
+//! Reproduces the paper's two observations: PCBF trails the standard CBF
+//! at every word size, and the gap shrinks as the word grows (§III.A.1:
+//! "when w increases the false positive rate of PCBF-1 converges to that
+//! of CBF").
+
+use mpcbf_analysis::{cbf, pcbf};
+use mpcbf_bench::report::sci;
+use mpcbf_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let k = 3u32;
+
+    // Panel A: word-size sweep at fixed memory (4 Mb).
+    let big_m = 4_000_000u64;
+    let mut t = Table::new(
+        &format!("Fig. 2a — FPR vs word size (M = 4 Mb, n = {n}, k = {k})"),
+        &["w (bits)", "CBF", "PCBF-1", "PCBF-2"],
+    );
+    let f_cbf = cbf::fpr(n, big_m / 4, k);
+    for w in [16u32, 32, 64, 128, 256] {
+        let l = big_m / u64::from(w);
+        t.row(vec![
+            w.to_string(),
+            sci(f_cbf),
+            sci(pcbf::fpr_pcbf1(n, l, w, k)),
+            sci(pcbf::fpr_pcbf_g(n, l, w, k, 2)),
+        ]);
+    }
+    t.finish(&args.out_dir, "fig02a_fpr_vs_word_size", args.quiet);
+
+    // Panel B: memory sweep at the paper's main word size (w = 64).
+    let w = 64u32;
+    let mut t = Table::new(
+        &format!("Fig. 2b — FPR vs memory (w = {w}, n = {n}, k = {k})"),
+        &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2"],
+    );
+    for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
+        let big_m = (mb * 1e6) as u64;
+        let l = big_m / u64::from(w);
+        t.row(vec![
+            format!("{mb:.1}"),
+            sci(cbf::fpr(n, big_m / 4, k)),
+            sci(pcbf::fpr_pcbf1(n, l, w, k)),
+            sci(pcbf::fpr_pcbf_g(n, l, w, k, 2)),
+        ]);
+    }
+    t.finish(&args.out_dir, "fig02b_fpr_vs_memory", args.quiet);
+}

@@ -1,0 +1,48 @@
+//! Figure 5: analytical false-positive rates of CBF, MPCBF-1 and MPCBF-2
+//! with k = 3 and different word sizes.
+//!
+//! Uses the paper's average-load form (b1 = w − k·n/l, the expression
+//! plotted in Fig. 5) and shows the headline analytical claim: "MPCBF-1
+//! has an order of magnitude lower false positive rate than the standard
+//! CBF, and increasing the word size can decrease the average rate".
+
+use mpcbf_analysis::{cbf, mpcbf};
+use mpcbf_bench::report::{fixed, sci};
+use mpcbf_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let k = 3u32;
+
+    let mut t = Table::new(
+        &format!("Fig. 5 — average FPR (k = {k}, n = {n})"),
+        &[
+            "memory (Mb)",
+            "CBF",
+            "MPCBF-1 w=16",
+            "MPCBF-1 w=32",
+            "MPCBF-1 w=64",
+            "MPCBF-2 w=64",
+            "CBF/MPCBF-1(64)",
+        ],
+    );
+    for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
+        let big_m = (mb * 1e6) as u64;
+        let f_cbf = cbf::fpr(n, big_m / 4, k);
+        let f16 = mpcbf::fpr_mpcbf1_avg(n, big_m / 16, 16, k);
+        let f32 = mpcbf::fpr_mpcbf1_avg(n, big_m / 32, 32, k);
+        let f64_ = mpcbf::fpr_mpcbf1_avg(n, big_m / 64, 64, k);
+        let f2 = mpcbf::fpr_mpcbf_g_avg(n, big_m / 64, 64, k, 2);
+        t.row(vec![
+            format!("{mb:.1}"),
+            sci(f_cbf),
+            sci(f16),
+            sci(f32),
+            sci(f64_),
+            sci(f2),
+            fixed(f_cbf / f64_, 1),
+        ]);
+    }
+    t.finish(&args.out_dir, "fig05_mpcbf_fpr", args.quiet);
+}

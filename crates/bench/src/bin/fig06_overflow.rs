@@ -1,0 +1,46 @@
+//! Figure 6: word-overflow probability of MPCBF-1 with n = 100 000 and
+//! k = 3, for w = 32 and w = 64.
+//!
+//! Plots (as rows) the paper's Eq. (6) Chernoff-style bound next to the
+//! exact binomial tail and the union bound over all words, across n_max;
+//! marks the Eq.-(11) heuristic choice. Reproduces the paper's point that
+//! w = 64 "gives more degrees of freedom on the choice of n_max and lower
+//! word overflow probability".
+
+use mpcbf_analysis::heuristic::n_max_heuristic;
+use mpcbf_analysis::overflow;
+use mpcbf_bench::report::sci;
+use mpcbf_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let big_m = 4_000_000u64;
+
+    for w in [32u64, 64] {
+        let l = big_m / w;
+        let pick = n_max_heuristic(n, l, 1);
+        let mut t = Table::new(
+            &format!(
+                "Fig. 6 — overflow probability (w = {w}, l = {l}, n = {n}; Eq. 11 picks n_max = {pick})"
+            ),
+            &[
+                "n_max",
+                "Eq.(6) bound",
+                "exact P[X>=n_max]",
+                "P[any word overflows]",
+                "heuristic",
+            ],
+        );
+        for n_max in 2..=20u32 {
+            t.row(vec![
+                n_max.to_string(),
+                sci(overflow::overflow_bound_mpcbf1(n, l, n_max)),
+                sci(overflow::overflow_exact(n, l, n_max)),
+                sci(overflow::any_word_overflow(n, l, n_max)),
+                if u64::from(n_max) == pick { "<- Eq.(11)" } else { "" }.to_string(),
+            ]);
+        }
+        t.finish(&args.out_dir, &format!("fig06_overflow_w{w}"), args.quiet);
+    }
+}

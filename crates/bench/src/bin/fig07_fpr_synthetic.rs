@@ -1,0 +1,67 @@
+//! Figure 7: empirical false-positive rates on the synthetic workload
+//! with k = 3 (panel a) and k = 4 (panel b), memory 4–8 Mb.
+//!
+//! The paper's observations to reproduce:
+//! * FPR falls near-exponentially with memory for every filter;
+//! * MPCBF falls faster than PCBF, and faster with larger g;
+//! * at k = 3, MPCBF-1 and MPCBF-2 beat the standard CBF;
+//! * at k = 4, MPCBF-1 is "a little larger" than CBF while MPCBF-2 still
+//!   wins clearly.
+
+use mpcbf_bench::report::sci;
+use mpcbf_bench::runner::Workload;
+use mpcbf_bench::{run_suite, Args, Contender, Table};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.trials_or(3);
+    let n = args.scaled(100_000);
+
+    for k in [3u32, 4] {
+        let mut t = Table::new(
+            &format!("Fig. 7 — empirical FPR, synthetic strings (k = {k}, n = {n}, {trials} trials)"),
+            &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"],
+        );
+        for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
+            let big_m = ((mb * 1e6) as u64) / args.scale;
+            let rows = run_suite(
+                &Contender::paper_five(),
+                big_m,
+                n,
+                k,
+                trials,
+                |trial| {
+                    let spec = SyntheticSpec {
+                        test_set: n as usize,
+                        queries: args.scaled(1_000_000) as usize,
+                        churn_per_period: args.scaled(20_000) as usize,
+                        seed: 0x5943 + (trial as u64) * 0x1_0001 + u64::from(k),
+                        ..SyntheticSpec::default()
+                    };
+                    let w = SyntheticWorkload::generate(&spec);
+                    Workload {
+                        inserts: w.test_set,
+                        churn: w.churn,
+                        queries: w.queries,
+                    }
+                },
+            );
+            let cell = |name: &str| {
+                rows.iter()
+                    .find(|r| r.name == name)
+                    .map(|r| sci(r.fpr))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            t.row(vec![
+                format!("{mb:.1}"),
+                cell("CBF"),
+                cell("PCBF-1"),
+                cell("PCBF-2"),
+                cell("MPCBF-1"),
+                cell("MPCBF-2"),
+            ]);
+        }
+        t.finish(&args.out_dir, &format!("fig07_fpr_synthetic_k{k}"), args.quiet);
+    }
+}

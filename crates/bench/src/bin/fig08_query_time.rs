@@ -1,0 +1,58 @@
+//! Figure 8: execution time of 1M queries with k = 3, versus memory.
+//!
+//! The paper's findings to reproduce in software (no hardware hashing):
+//! execution time is nearly flat in memory; PCBF-1/MPCBF-1 (one hash
+//! computation + one word) run faster than CBF, while the g = 2 variants
+//! pay for their extra word-selector hash. Absolute milliseconds are
+//! machine-specific; the ordering and flatness are the result.
+
+use mpcbf_bench::report::fixed;
+use mpcbf_bench::runner::Workload;
+use mpcbf_bench::{run_suite, Args, Contender, Table};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.trials_or(3);
+    let n = args.scaled(100_000);
+    let queries = args.scaled(1_000_000);
+    let k = 3u32;
+
+    let mut t = Table::new(
+        &format!("Fig. 8 — execution time of {queries} queries (k = {k}, {trials} trials, ms)"),
+        &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"],
+    );
+    for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
+        let big_m = ((mb * 1e6) as u64) / args.scale;
+        let rows = run_suite(&Contender::paper_five(), big_m, n, k, trials, |trial| {
+            let spec = SyntheticSpec {
+                test_set: n as usize,
+                queries: queries as usize,
+                churn_per_period: args.scaled(20_000) as usize,
+                seed: 0xF18 + trial as u64 * 7,
+                ..SyntheticSpec::default()
+            };
+            let w = SyntheticWorkload::generate(&spec);
+            Workload {
+                inserts: w.test_set,
+                churn: w.churn,
+                queries: w.queries,
+            }
+        });
+        let cell = |name: &str| {
+            rows.iter()
+                .find(|r| r.name == name)
+                .map(|r| fixed(r.query_ms, 1))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        t.row(vec![
+            format!("{mb:.1}"),
+            cell("CBF"),
+            cell("PCBF-1"),
+            cell("PCBF-2"),
+            cell("MPCBF-1"),
+            cell("MPCBF-2"),
+        ]);
+    }
+    t.finish(&args.out_dir, "fig08_query_time", args.quiet);
+}

@@ -1,0 +1,37 @@
+//! Figure 9: optimal numbers of hash functions to minimise the false
+//! positive rate, versus memory.
+//!
+//! CBF's optimum follows `(m/n)·ln 2` and climbs from ~6 to ~12 over
+//! 4–8 Mb; MPCBF's optimum — found by brute-force search over Eq. (8) —
+//! stays nearly constant (≈3 for MPCBF-1, 4–5 for MPCBF-2, ≈5 for
+//! MPCBF-3), because raising k also shrinks the first level.
+
+use mpcbf_analysis::{optimal_k_cbf, optimal_k_mpcbf};
+use mpcbf_bench::{Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(100_000);
+    let w = 64u32;
+
+    let mut t = Table::new(
+        &format!("Fig. 9 — optimal k vs memory (n = {n}, w = {w})"),
+        &["memory (Mb)", "CBF", "MPCBF-1", "MPCBF-2", "MPCBF-3"],
+    );
+    for mb in [4.0f64, 4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 7.5, 8.0] {
+        let big_m = (mb * 1e6) as u64;
+        let fmt = |g: u32| {
+            optimal_k_mpcbf(big_m, w, n, g, 16)
+                .map(|o| o.k.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        t.row(vec![
+            format!("{mb:.1}"),
+            optimal_k_cbf(big_m, 4, n).to_string(),
+            fmt(1),
+            fmt(2),
+            fmt(3),
+        ]);
+    }
+    t.finish(&args.out_dir, "fig09_optimal_k", args.quiet);
+}

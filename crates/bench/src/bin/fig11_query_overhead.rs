@@ -1,0 +1,97 @@
+//! Figure 11: query overhead when every filter runs at its optimal k —
+//! (a) memory accesses per query, (b) access bandwidth per query.
+//!
+//! To reproduce: CBF's per-query accesses climb with its optimal k
+//! (roughly 5–10 over the memory range, fractional because membership
+//! checks short-circuit at the first zero counter), while MPCBF-1/2/3
+//! hold constant ≈1.0 / ≈1.8 / ≈2.6 accesses regardless of memory.
+
+use mpcbf_analysis::{optimal_k_cbf, optimal_k_mpcbf};
+use mpcbf_bench::report::fixed;
+use mpcbf_bench::runner::Workload;
+use mpcbf_bench::{run_suite, Args, Contender, Table};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.trials_or(3);
+    let n = args.scaled(100_000);
+    let w = 64u32;
+
+    let mut acc = Table::new(
+        &format!("Fig. 11a — memory accesses per query at optimal k (n = {n})"),
+        &["memory (Mb)", "CBF", "MPCBF-1", "MPCBF-2", "MPCBF-3"],
+    );
+    let mut bw = Table::new(
+        &format!("Fig. 11b — access bandwidth (bits) per query at optimal k (n = {n})"),
+        &["memory (Mb)", "CBF", "MPCBF-1", "MPCBF-2", "MPCBF-3"],
+    );
+
+    for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
+        let big_m = ((mb * 1e6) as u64) / args.scale;
+        let make_workload = |trial: usize| {
+            let spec = SyntheticSpec {
+                test_set: n as usize,
+                queries: args.scaled(1_000_000) as usize,
+                churn_per_period: args.scaled(20_000) as usize,
+                seed: 0xF11 + trial as u64 * 17,
+                ..SyntheticSpec::default()
+            };
+            let wl = SyntheticWorkload::generate(&spec);
+            Workload {
+                inserts: wl.test_set,
+                churn: wl.churn,
+                queries: wl.queries,
+            }
+        };
+
+        let mut acc_cells = vec![format!("{mb:.1}")];
+        let mut bw_cells = vec![format!("{mb:.1}")];
+
+        let k_cbf = optimal_k_cbf(big_m, 4, n);
+        let rows = run_suite(&[Contender::Cbf], big_m, n, k_cbf, trials, make_workload);
+        match rows.first() {
+            Some(r) => {
+                acc_cells.push(fixed(r.query_accesses, 1));
+                bw_cells.push(fixed(r.query_bits, 0));
+            }
+            None => {
+                acc_cells.push("-".into());
+                bw_cells.push("-".into());
+            }
+        }
+
+        for g in 1..=3u32 {
+            match optimal_k_mpcbf(big_m, w, n, g, 16) {
+                Some(opt) => {
+                    let rows = run_suite(
+                        &[Contender::Mpcbf { g }],
+                        big_m,
+                        n,
+                        opt.k,
+                        trials,
+                        make_workload,
+                    );
+                    match rows.first() {
+                        Some(r) => {
+                            acc_cells.push(fixed(r.query_accesses, 1));
+                            bw_cells.push(fixed(r.query_bits, 0));
+                        }
+                        None => {
+                            acc_cells.push("-".into());
+                            bw_cells.push("-".into());
+                        }
+                    }
+                }
+                None => {
+                    acc_cells.push("-".into());
+                    bw_cells.push("-".into());
+                }
+            }
+        }
+        acc.row(acc_cells);
+        bw.row(bw_cells);
+    }
+    acc.finish(&args.out_dir, "fig11a_query_accesses", args.quiet);
+    bw.finish(&args.out_dir, "fig11b_query_bandwidth", args.quiet);
+}

@@ -1,0 +1,90 @@
+//! Runs every figure/table/ablation binary in sequence, collecting their
+//! CSV outputs under one results directory.
+//!
+//! ```text
+//! cargo run --release -p mpcbf-bench --bin reproduce_all            # paper scale
+//! cargo run --release -p mpcbf-bench --bin reproduce_all -- --scale 10
+//! ```
+//!
+//! Each experiment is a sibling binary in the same target directory, so
+//! this driver simply re-invokes them with the shared flags.
+
+use mpcbf_bench::Args;
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig02_pcbf_fpr",
+    "fig05_mpcbf_fpr",
+    "fig06_overflow",
+    "fig07_fpr_synthetic",
+    "fig08_query_time",
+    "fig09_optimal_k",
+    "fig10_fpr_optimal_k",
+    "fig11_query_overhead",
+    "fig12_fpr_traces",
+    "table1_query_overhead",
+    "table2_update_overhead",
+    "table3_trace_overhead",
+    "table4_mapreduce_join",
+    "ablation_hierarchy",
+    "ablation_nmax",
+    "ablation_variants",
+    "ablation_hash_families",
+    "ablation_word_width",
+    "ablation_concurrent",
+    "ablation_hardware_model",
+];
+
+fn main() {
+    let args = Args::parse();
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+
+    let grand_start = Instant::now();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = dir.join(exp);
+        if !path.exists() {
+            eprintln!("!! {exp}: binary not built (run with --release --bins)");
+            failures.push(*exp);
+            continue;
+        }
+        println!("\n#### running {exp} (scale {}) ####", args.scale);
+        let start = Instant::now();
+        let mut cmd = Command::new(&path);
+        cmd.arg("--scale")
+            .arg(args.scale.to_string())
+            .arg("--out")
+            .arg(&args.out_dir);
+        if let Some(t) = args.trials {
+            cmd.arg("--trials").arg(t.to_string());
+        }
+        if args.quiet {
+            cmd.arg("--quiet");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {
+                println!("#### {exp} done in {:.1}s ####", start.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("!! {exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("!! {exp} failed to start: {e}");
+                failures.push(*exp);
+            }
+        }
+    }
+
+    println!(
+        "\n== reproduce_all finished in {:.1}s; CSVs in {}/ ==",
+        grand_start.elapsed().as_secs_f64(),
+        args.out_dir
+    );
+    if !failures.is_empty() {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

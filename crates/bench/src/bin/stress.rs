@@ -1,0 +1,154 @@
+//! Differential stress harness: drives every counting filter with a
+//! randomized insert/remove/query/churn/codec mix against an exact
+//! multiset oracle, for as many rounds as you give it.
+//!
+//! ```text
+//! cargo run --release -p mpcbf-bench --bin stress              # ~1 M ops
+//! cargo run --release -p mpcbf-bench --bin stress -- --scale 10  # quick
+//! ```
+//!
+//! This is the "leave it running" layer above the proptest suites: no
+//! shrinking, but far more operations, periodic invariant sweeps, and
+//! codec round-trips injected mid-stream (encode → decode → continue),
+//! which property tests don't interleave.
+
+use mpcbf_bench::Args;
+use mpcbf_core::{Cbf, CountingFilter, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use mpcbf_variants::{DlCbf, Rcbf, ViCbf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const KEY_SPACE: u64 = 5_000;
+
+struct Driver {
+    oracle: HashMap<u64, u32>,
+    rng: StdRng,
+    ops: u64,
+    removes_rejected: u64,
+    inserts_refused: u64,
+}
+
+impl Driver {
+    fn new(seed: u64) -> Self {
+        Driver {
+            oracle: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            ops: 0,
+            removes_rejected: 0,
+            inserts_refused: 0,
+        }
+    }
+
+    /// One random operation; panics on any contract violation.
+    fn step<F: CountingFilter>(&mut self, f: &mut F) {
+        self.ops += 1;
+        let key = self.rng.gen_range(0..KEY_SPACE);
+        match self.rng.gen_range(0..10u32) {
+            // 40% inserts
+            0..=3 => {
+                if f.insert(&key).is_ok() {
+                    *self.oracle.entry(key).or_insert(0) += 1;
+                } else {
+                    self.inserts_refused += 1;
+                }
+            }
+            // 30% removes of live keys only (the supported contract)
+            4..=6 => {
+                if self.oracle.get(&key).copied().unwrap_or(0) > 0 {
+                    f.remove(&key).unwrap_or_else(|e| {
+                        panic!("remove of live key {key} failed: {e}")
+                    });
+                    *self.oracle.get_mut(&key).unwrap() -= 1;
+                } else {
+                    // Absent key: refusal is the expected outcome; a
+                    // (false-positive) success would void the oracle, so
+                    // compensate by treating it as an insert-then-remove.
+                    if f.remove(&key).is_ok() {
+                        self.removes_rejected += 1;
+                        let _ = f.insert(&key);
+                    }
+                }
+            }
+            // 30% queries
+            _ => {
+                let live = self.oracle.get(&key).copied().unwrap_or(0) > 0;
+                let claimed = f.contains(&key);
+                if live {
+                    assert!(claimed, "false negative for live key {key} at op {}", self.ops);
+                }
+            }
+        }
+    }
+
+    /// Full sweep: every live key must be present.
+    fn sweep<F: CountingFilter>(&self, f: &F) {
+        for (&key, &count) in &self.oracle {
+            if count > 0 {
+                assert!(f.contains(&key), "sweep: lost key {key} (count {count})");
+            }
+        }
+    }
+}
+
+fn stress_mpcbf(rounds: u64, seed: u64) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(400_000)
+        .expected_items(2_500)
+        .hashes(3)
+        .seed(seed)
+        .build()
+        .expect("shape");
+    let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    let mut d = Driver::new(seed ^ 0x51e5);
+    for round in 0..rounds {
+        d.step(&mut f);
+        if round % 10_000 == 9_999 {
+            d.sweep(&f);
+            // Codec round-trip mid-stream: the decoded filter must be a
+            // perfect continuation point.
+            f = Mpcbf::decode(&f.encode()).expect("codec roundtrip");
+            d.sweep(&f);
+        }
+    }
+    d.sweep(&f);
+    println!(
+        "  MPCBF-1: {} ops, {} refused inserts, {} FP-removes compensated — OK",
+        d.ops, d.inserts_refused, d.removes_rejected
+    );
+}
+
+fn stress_generic<F: CountingFilter>(name: &str, mut f: F, rounds: u64, seed: u64) {
+    let mut d = Driver::new(seed ^ 0x57e5);
+    for round in 0..rounds {
+        d.step(&mut f);
+        if round % 20_000 == 19_999 {
+            d.sweep(&f);
+        }
+    }
+    d.sweep(&f);
+    println!(
+        "  {name}: {} ops, {} refused inserts, {} FP-removes compensated — OK",
+        d.ops, d.inserts_refused, d.removes_rejected
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds = args.scaled(200_000);
+    println!("stress: {rounds} ops per structure, key space {KEY_SPACE}");
+
+    stress_mpcbf(rounds, 1);
+    stress_generic("CBF", Cbf::<Murmur3>::new(60_000, 3, 2), rounds, 2);
+    stress_generic(
+        "PCBF-2",
+        mpcbf_core::Pcbf::<Murmur3>::new(4_096, 64, 3, 2, 3),
+        rounds,
+        3,
+    );
+    stress_generic("dlCBF", DlCbf::<Murmur3>::new(4, 1024, 8, 12, 4), rounds, 4);
+    stress_generic("VI-CBF", ViCbf::<Murmur3>::new(30_000, 3, 4, 5), rounds, 5);
+    stress_generic("RCBF", Rcbf::<Murmur3>::new(8_192, 12, 2, 6), rounds, 6);
+    println!("stress: all structures clean");
+}

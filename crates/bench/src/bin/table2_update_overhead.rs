@@ -1,0 +1,65 @@
+//! Table II: update overhead (memory accesses + access bandwidth) with
+//! k = 3 and k = 4 on the synthetic workload's churn periods.
+//!
+//! Updates never short-circuit, so the expected rows are exact:
+//! PCBF-1/MPCBF-1 = 1.0 access, PCBF-2/MPCBF-2 = 2.0, CBF ≈ k (minus
+//! occasional counter-word sharing); MPCBF's update bandwidth exceeds its
+//! query bandwidth by the hierarchy-traversal bits (§III.B.2).
+
+use mpcbf_bench::report::fixed;
+use mpcbf_bench::runner::Workload;
+use mpcbf_bench::{run_suite, Args, Contender, Table};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.trials_or(3);
+    let n = args.scaled(100_000);
+    let big_m = 8_000_000u64 / args.scale;
+
+    let mut t = Table::new(
+        &format!("Table II — update overhead (M = {} Mb, n = {n})", big_m as f64 / 1e6),
+        &[
+            "structure",
+            "accesses (k=3)",
+            "bandwidth bits (k=3)",
+            "accesses (k=4)",
+            "bandwidth bits (k=4)",
+        ],
+    );
+
+    let mut per_k = Vec::new();
+    for k in [3u32, 4] {
+        let rows = run_suite(&Contender::paper_five(), big_m, n, k, trials, |trial| {
+            let spec = SyntheticSpec {
+                test_set: n as usize,
+                queries: args.scaled(100_000) as usize, // queries matter little here
+                churn_per_period: args.scaled(20_000) as usize,
+                periods: 2,
+                seed: 0x7A2 + trial as u64 * 3 + u64::from(k) * 101,
+                ..SyntheticSpec::default()
+            };
+            let w = SyntheticWorkload::generate(&spec);
+            Workload {
+                inserts: w.test_set,
+                churn: w.churn,
+                queries: w.queries,
+            }
+        });
+        per_k.push(rows);
+    }
+
+    for c in Contender::paper_five() {
+        let name = c.name();
+        let find = |rows: &[mpcbf_bench::AvgRow]| rows.iter().find(|r| r.name == name).cloned();
+        let (r3, r4) = (find(&per_k[0]), find(&per_k[1]));
+        t.row(vec![
+            name.clone(),
+            r3.as_ref().map(|r| fixed(r.update_accesses, 1)).unwrap_or("-".into()),
+            r3.as_ref().map(|r| fixed(r.update_bits, 0)).unwrap_or("-".into()),
+            r4.as_ref().map(|r| fixed(r.update_accesses, 1)).unwrap_or("-".into()),
+            r4.as_ref().map(|r| fixed(r.update_bits, 0)).unwrap_or("-".into()),
+        ]);
+    }
+    t.finish(&args.out_dir, "table2_update_overhead", args.quiet);
+}

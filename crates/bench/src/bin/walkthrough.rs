@@ -1,0 +1,97 @@
+//! Walkthrough: reproduces the paper's *worked examples* (Figs. 1, 3, 4)
+//! from the live data structures, printing the actual bit layouts — a
+//! correctness demonstration and a readable introduction to HCBF.
+//!
+//! ```text
+//! cargo run --release -p mpcbf-bench --bin walkthrough
+//! ```
+
+use mpcbf_core::hcbf::HcbfWord;
+use mpcbf_hash::budget::closed_form;
+
+fn render_word16(w: &HcbfWord<u16>, b1: u32) -> String {
+    let sizes = w.level_sizes(b1);
+    let mut out = String::new();
+    let mut start = 0u32;
+    for (level, &size) in sizes.iter().enumerate() {
+        out.push_str(&format!("v{}=[", level + 1));
+        for i in 0..size {
+            out.push(if w.raw() >> (start + i) & 1 == 1 { '1' } else { '0' });
+        }
+        out.push_str("] ");
+        start += size;
+    }
+    if start < 16 {
+        out.push_str(&format!("(unused: {} bits)", 16 - start));
+    }
+    out
+}
+
+fn main() {
+    println!("== Fig. 1 — CBF vs PCBF-1 access bandwidth (n=6, m=16, k=3) ==");
+    println!(
+        "CBF:    3 memory accesses, {} hash bits  (3 x log2 16)",
+        closed_form::cbf(3, 16)
+    );
+    println!(
+        "PCBF-1: 1 memory access,  {} hash bits  (log2 4 + 3 x log2 4)",
+        closed_form::pcbf(1, 3, 4, 16)
+    );
+
+    println!();
+    println!("== Fig. 3(b) — improved HCBF in a 16-bit word (k=3, n_max=2) ==");
+    let b1 = 16 - 3 * 2; // b_max = w − k·n_max = 10
+    println!("b1 = 16 - 3*2 = {b1} first-level bits");
+    let mut w: HcbfWord<u16> = HcbfWord::new();
+    println!("empty:             {}", render_word16(&w, b1));
+
+    println!("insert x0 -> bits {{0, 2, 4}}:");
+    for p in [0u32, 2, 4] {
+        w.increment(p, b1).unwrap();
+        println!("  after bit {p}:    {}", render_word16(&w, b1));
+    }
+    println!("insert x5 -> bits {{4, 6, 8}}:");
+    for p in [4u32, 6, 8] {
+        w.increment(p, b1).unwrap();
+        println!("  after bit {p}:    {}", render_word16(&w, b1));
+    }
+    println!("counters: {:?}", (0..b1).map(|p| w.counter(p, b1)).collect::<Vec<_>>());
+    println!(
+        "used {}/16 bits — \"the improved HCBF can fill the whole word and there is no remainder\"",
+        w.used_bits(b1)
+    );
+
+    println!();
+    println!("== Fig. 3 deletion — removing x5 restores the x0-only state ==");
+    let snapshot = *w.raw();
+    for p in [8u32, 6, 4] {
+        w.decrement(p, b1).unwrap();
+    }
+    println!("after delete x5:   {}", render_word16(&w, b1));
+    for p in [4u32, 6, 8] {
+        w.increment(p, b1).unwrap();
+    }
+    assert_eq!(*w.raw(), snapshot, "re-insertion must be bit-identical");
+    println!("re-insert x5:      bit-identical to the original word ✓");
+
+    println!();
+    println!("== Fig. 4 — four HCBF words, uneven hierarchy usage ==");
+    let mut words: Vec<HcbfWord<u16>> = vec![HcbfWord::new(); 4];
+    // Fill words 0 and 2 to capacity, leave 1 and 3 with headroom.
+    for p in [0u32, 2, 4, 4, 6, 8] {
+        words[0].increment(p, b1).unwrap();
+        words[2].increment(p, b1).unwrap();
+    }
+    for p in [1u32, 3, 5] {
+        words[1].increment(p, b1).unwrap();
+        words[3].increment(p, b1).unwrap();
+    }
+    for (i, w) in words.iter().enumerate() {
+        println!(
+            "w{i}: {} — {} spare increment(s)",
+            render_word16(w, b1),
+            w.remaining_capacity(b1)
+        );
+    }
+    println!("\n\"words w0 and w2 are full, while w1 and w3 can still accept three more membership bits\"");
+}

@@ -1,0 +1,31 @@
+//! The experiment harness behind every figure and table of the paper.
+//!
+//! Each binary in `src/bin/` regenerates one paper artifact (see
+//! `DESIGN.md`'s experiment index); this library holds what they share:
+//!
+//! * [`runner`] — drives any [`CountingFilter`] through the paper's
+//!   protocol (insert the test set → churn → query stream) while
+//!   collecting false-positive counts, metered access statistics and wall
+//!   times;
+//! * [`report`] — aligned-table printing plus CSV output into `results/`;
+//! * [`args`] — the tiny flag parser shared by the binaries
+//!   (`--scale N`, `--trials N`, `--out DIR`).
+//!
+//! Binaries default to the paper's full parameters; pass `--scale N` to
+//! divide workload sizes by `N` for a quick look. Run with `--release` —
+//! the timing experiments are meaningless in a debug build.
+//!
+//! [`CountingFilter`]: mpcbf_core::CountingFilter
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+pub mod runner;
+pub mod suite;
+
+pub use args::Args;
+pub use report::{write_csv, Table};
+pub use runner::{measure_workload, FilterMeasurement, Workload};
+pub use suite::{average, run_suite, AvgRow, Contender};

@@ -1,0 +1,182 @@
+//! Table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that can also be dumped as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned human-readable form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (w, cell) in widths.iter().zip(cells) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the CSV form (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Prints the table (unless quiet) and writes `<out_dir>/<name>.csv`.
+    pub fn finish(&self, out_dir: &str, name: &str, quiet: bool) {
+        if !quiet {
+            println!("{}", self.render());
+        }
+        if let Err(e) = write_csv(out_dir, name, &self.to_csv()) {
+            eprintln!("warning: could not write CSV for {name}: {e}");
+        }
+    }
+}
+
+/// Writes `contents` to `<dir>/<name>.csv`, creating the directory.
+pub fn write_csv(dir: &str, name: &str, contents: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = Path::new(dir).join(format!("{name}.csv"));
+    let mut f = fs::File::create(path)?;
+    f.write_all(contents.as_bytes())
+}
+
+/// Formats a probability in compact scientific notation.
+pub fn sci(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{p:.3e}")
+    }
+}
+
+/// Formats a float with `d` decimals.
+pub fn fixed(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("long-name"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("mpcbf-report-test");
+        let dir = dir.to_str().unwrap();
+        write_csv(dir, "t", "a,b\n1,2\n").unwrap();
+        let read = std::fs::read_to_string(Path::new(dir).join("t.csv")).unwrap();
+        assert_eq!(read, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn sci_and_fixed() {
+        assert_eq!(sci(0.0), "0");
+        assert!(sci(0.00123).starts_with("1.230e-3"));
+        assert_eq!(fixed(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,295 @@
+//! Drives filters through the paper's experimental protocol.
+//!
+//! Protocol (§IV.A): insert the test set, apply the update periods
+//! (deletes + fresh inserts, constant population), then run the query
+//! stream. The runner tracks ground-truth membership dynamically, so
+//! false positives are counted against the *live* set (churn-deleted keys
+//! that still report present are correctly counted as false positives).
+//!
+//! Two query passes are made: a metered pass collecting the
+//! memory-access / bandwidth statistics (Tables I–III), and an unmetered
+//! timed pass for the execution-time figures (Fig. 8), so metering
+//! overhead never pollutes timings.
+
+use mpcbf_core::metrics::AccessStats;
+use mpcbf_core::{CountingFilter, Filter};
+use mpcbf_hash::Key;
+use mpcbf_workloads::churn::ChurnPlan;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// A complete workload: initial inserts, churn, and the query stream.
+#[derive(Debug, Clone)]
+pub struct Workload<K> {
+    /// Keys inserted before anything else.
+    pub inserts: Vec<K>,
+    /// Update periods applied after the initial inserts.
+    pub churn: ChurnPlan<K>,
+    /// The query stream.
+    pub queries: Vec<K>,
+}
+
+impl<K> Workload<K> {
+    /// A workload with no churn.
+    pub fn without_churn(inserts: Vec<K>, queries: Vec<K>) -> Self {
+        Workload {
+            inserts,
+            churn: ChurnPlan::empty(),
+            queries,
+        }
+    }
+}
+
+/// Everything measured for one filter on one workload.
+#[derive(Debug, Clone)]
+pub struct FilterMeasurement {
+    /// Display name of the filter configuration.
+    pub name: String,
+    /// Measured false-positive rate (FPs / non-member queries).
+    pub fpr: f64,
+    /// Raw false-positive count.
+    pub false_positives: u64,
+    /// Non-member queries issued (the FPR denominator).
+    pub negatives: u64,
+    /// Metered access statistics, split by operation kind.
+    pub stats: AccessStats,
+    /// Wall time of the initial insert phase (unmetered pass not taken;
+    /// inserts are metered inline).
+    pub insert_wall: Duration,
+    /// Wall time of the churn phase.
+    pub churn_wall: Duration,
+    /// Wall time of the *unmetered* query pass (Fig. 8's metric).
+    pub query_wall: Duration,
+    /// Inserts refused (word overflow) — expected ≈ 0 at the paper's
+    /// heuristic; reported for transparency.
+    pub skipped_inserts: u64,
+    /// Deletes refused (NotPresent) during churn; should be 0 unless the
+    /// filter previously refused the insert of that key.
+    pub skipped_deletes: u64,
+    /// The filter's memory footprint in bits.
+    pub memory_bits: u64,
+}
+
+impl FilterMeasurement {
+    /// Queries per second of the unmetered pass.
+    pub fn queries_per_sec(&self, query_count: u64) -> f64 {
+        if self.query_wall.is_zero() {
+            f64::INFINITY
+        } else {
+            query_count as f64 / self.query_wall.as_secs_f64()
+        }
+    }
+}
+
+/// Runs `filter` through `workload` and measures everything.
+pub fn measure_workload<F, K>(name: &str, filter: &mut F, workload: &Workload<K>) -> FilterMeasurement
+where
+    F: CountingFilter,
+    K: Key + Eq + Hash + Clone,
+{
+    let mut stats = AccessStats::new();
+    let mut live: HashSet<K> = HashSet::with_capacity(workload.inserts.len() * 2);
+    let mut skipped_inserts = 0u64;
+    let mut skipped_deletes = 0u64;
+
+    // Phase 1: initial inserts (metered).
+    let t0 = Instant::now();
+    for key in &workload.inserts {
+        match filter.insert_bytes_cost(key.key_bytes().as_slice()) {
+            Ok(cost) => {
+                stats.inserts.record(cost);
+                live.insert(key.clone());
+            }
+            Err(_) => skipped_inserts += 1,
+        }
+    }
+    let insert_wall = t0.elapsed();
+
+    // Phase 2: churn periods (metered).
+    let t1 = Instant::now();
+    for period in &workload.churn.periods {
+        for key in &period.deletes {
+            match filter.remove_bytes_cost(key.key_bytes().as_slice()) {
+                Ok(cost) => {
+                    stats.removes.record(cost);
+                    live.remove(key);
+                }
+                Err(_) => skipped_deletes += 1,
+            }
+        }
+        for key in &period.inserts {
+            match filter.insert_bytes_cost(key.key_bytes().as_slice()) {
+                Ok(cost) => {
+                    stats.inserts.record(cost);
+                    live.insert(key.clone());
+                }
+                Err(_) => skipped_inserts += 1,
+            }
+        }
+    }
+    let churn_wall = t1.elapsed();
+
+    // Phase 3a: metered query pass (FPR + access stats).
+    let mut false_positives = 0u64;
+    let mut negatives = 0u64;
+    for key in &workload.queries {
+        let (hit, cost) = filter.contains_bytes_cost(key.key_bytes().as_slice());
+        stats.queries.record(cost);
+        if !live.contains(key) {
+            negatives += 1;
+            if hit {
+                false_positives += 1;
+            }
+        }
+    }
+
+    // Phase 3b: unmetered timed query pass (Fig. 8).
+    let t2 = Instant::now();
+    let mut acc = 0u64;
+    for key in &workload.queries {
+        acc += u64::from(filter.contains_bytes(key.key_bytes().as_slice()));
+    }
+    let query_wall = t2.elapsed();
+    std::hint::black_box(acc);
+
+    FilterMeasurement {
+        name: name.to_string(),
+        fpr: if negatives == 0 {
+            0.0
+        } else {
+            false_positives as f64 / negatives as f64
+        },
+        false_positives,
+        negatives,
+        stats,
+        insert_wall,
+        churn_wall,
+        query_wall,
+        skipped_inserts,
+        skipped_deletes,
+        memory_bits: filter.memory_bits(),
+    }
+}
+
+/// Like [`measure_workload`] but for insert-only filters (Bloom, BF-1);
+/// churn deletes are skipped (counted) since the filter cannot delete.
+pub fn measure_workload_insert_only<F, K>(
+    name: &str,
+    filter: &mut F,
+    workload: &Workload<K>,
+) -> FilterMeasurement
+where
+    F: Filter,
+    K: Key + Eq + Hash + Clone,
+{
+    let mut stats = AccessStats::new();
+    let mut live: HashSet<K> = HashSet::with_capacity(workload.inserts.len() * 2);
+    let t0 = Instant::now();
+    for key in &workload.inserts {
+        if filter.insert_bytes_cost(key.key_bytes().as_slice()).is_ok() {
+            live.insert(key.clone());
+        }
+    }
+    let insert_wall = t0.elapsed();
+
+    let mut false_positives = 0u64;
+    let mut negatives = 0u64;
+    for key in &workload.queries {
+        let (hit, cost) = filter.contains_bytes_cost(key.key_bytes().as_slice());
+        stats.queries.record(cost);
+        if !live.contains(key) {
+            negatives += 1;
+            if hit {
+                false_positives += 1;
+            }
+        }
+    }
+    let t2 = Instant::now();
+    let mut acc = 0u64;
+    for key in &workload.queries {
+        acc += u64::from(filter.contains_bytes(key.key_bytes().as_slice()));
+    }
+    let query_wall = t2.elapsed();
+    std::hint::black_box(acc);
+
+    FilterMeasurement {
+        name: name.to_string(),
+        fpr: if negatives == 0 {
+            0.0
+        } else {
+            false_positives as f64 / negatives as f64
+        },
+        false_positives,
+        negatives,
+        stats,
+        insert_wall,
+        churn_wall: Duration::ZERO,
+        query_wall,
+        skipped_inserts: 0,
+        skipped_deletes: workload.churn.total_deletes() as u64,
+        memory_bits: filter.memory_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcbf_core::Cbf;
+    use mpcbf_hash::Murmur3;
+    use mpcbf_workloads::churn::ChurnPeriod;
+
+    fn keys(range: std::ops::Range<u64>) -> Vec<u64> {
+        range.collect()
+    }
+
+    #[test]
+    fn fpr_counts_only_non_members() {
+        let mut f = Cbf::<Murmur3>::new(100_000, 3, 1);
+        let w = Workload::without_churn(keys(0..1000), keys(0..2000));
+        let m = measure_workload("cbf", &mut f, &w);
+        assert_eq!(m.negatives, 1000);
+        assert!(m.fpr < 0.05);
+        assert_eq!(m.stats.queries.ops(), 2000);
+        assert_eq!(m.stats.inserts.ops(), 1000);
+    }
+
+    #[test]
+    fn churn_updates_ground_truth() {
+        let mut f = Cbf::<Murmur3>::new(100_000, 3, 2);
+        let w = Workload {
+            inserts: keys(0..100),
+            churn: ChurnPlan {
+                periods: vec![ChurnPeriod {
+                    deletes: keys(0..50),
+                    inserts: keys(1000..1050),
+                }],
+            },
+            queries: keys(0..50), // all deleted ⇒ all negatives now
+        };
+        let m = measure_workload("cbf", &mut f, &w);
+        assert_eq!(m.negatives, 50);
+        assert_eq!(m.skipped_deletes, 0);
+        assert_eq!(m.stats.removes.ops(), 50);
+        assert_eq!(m.stats.inserts.ops(), 150);
+    }
+
+    #[test]
+    fn insert_only_runner_works() {
+        use mpcbf_core::BloomFilter;
+        let mut f = BloomFilter::<Murmur3>::new(100_000, 3, 3);
+        let w = Workload::without_churn(keys(0..500), keys(0..1000));
+        let m = measure_workload_insert_only("bloom", &mut f, &w);
+        assert_eq!(m.negatives, 500);
+        assert!(m.fpr < 0.05);
+    }
+
+    #[test]
+    fn queries_per_sec_is_finite_for_real_runs() {
+        let mut f = Cbf::<Murmur3>::new(10_000, 3, 4);
+        let w = Workload::without_churn(keys(0..100), keys(0..100_000));
+        let m = measure_workload("cbf", &mut f, &w);
+        let qps = m.queries_per_sec(100_000);
+        assert!(qps.is_finite() && qps > 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The contender suite: builds the paper's five filters at equal memory
+//! and runs them over a workload, averaging across trials
+//! (§IV.A: "we generate ten different test sets and query sets, perform
+//! the experiments over each one of them, and average the results").
+
+use crate::runner::{measure_workload, FilterMeasurement, Workload};
+use mpcbf_core::{Cbf, ConfigError, Mpcbf, MpcbfConfig, Pcbf};
+use mpcbf_hash::{Key, Murmur3};
+use std::hash::Hash;
+
+/// A filter configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contender {
+    /// Standard CBF (4-bit counters).
+    Cbf,
+    /// PCBF-g.
+    Pcbf {
+        /// Memory accesses per operation.
+        g: u32,
+    },
+    /// MPCBF-g over 64-bit words.
+    Mpcbf {
+        /// Memory accesses per operation.
+        g: u32,
+    },
+}
+
+impl Contender {
+    /// The paper's five-way comparison set (§IV.B).
+    pub fn paper_five() -> Vec<Contender> {
+        vec![
+            Contender::Cbf,
+            Contender::Pcbf { g: 1 },
+            Contender::Pcbf { g: 2 },
+            Contender::Mpcbf { g: 1 },
+            Contender::Mpcbf { g: 2 },
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Contender::Cbf => "CBF".to_string(),
+            Contender::Pcbf { g } => format!("PCBF-{g}"),
+            Contender::Mpcbf { g } => format!("MPCBF-{g}"),
+        }
+    }
+
+    /// Runs this contender over `workload` at `big_m` bits of memory with
+    /// `k` hashes (w = 64 throughout, as in the paper's experiments).
+    pub fn run<K>(
+        &self,
+        big_m: u64,
+        n_expected: u64,
+        k: u32,
+        seed: u64,
+        workload: &Workload<K>,
+    ) -> Result<FilterMeasurement, ConfigError>
+    where
+        K: Key + Eq + Hash + Clone,
+    {
+        const W: u32 = 64;
+        let name = self.name();
+        Ok(match self {
+            Contender::Cbf => {
+                let mut f = Cbf::<Murmur3>::with_memory(big_m, k, seed);
+                measure_workload(&name, &mut f, workload)
+            }
+            Contender::Pcbf { g } => {
+                let mut f = Pcbf::<Murmur3>::with_memory(big_m, W, k, *g, seed);
+                measure_workload(&name, &mut f, workload)
+            }
+            Contender::Mpcbf { g } => {
+                let config = MpcbfConfig::builder()
+                    .memory_bits(big_m)
+                    .expected_items(n_expected)
+                    .hashes(k)
+                    .accesses(*g)
+                    .word_bits(W)
+                    .seed(seed)
+                    .build()?;
+                let mut f: Mpcbf<u64> = Mpcbf::new(config);
+                measure_workload(&name, &mut f, workload)
+            }
+        })
+    }
+}
+
+/// Trial-averaged results for one contender.
+#[derive(Debug, Clone)]
+pub struct AvgRow {
+    /// Contender name.
+    pub name: String,
+    /// Mean false-positive rate.
+    pub fpr: f64,
+    /// Mean memory accesses per query.
+    pub query_accesses: f64,
+    /// Mean access bandwidth (hash bits) per query.
+    pub query_bits: f64,
+    /// Mean memory accesses per update (inserts + deletes).
+    pub update_accesses: f64,
+    /// Mean access bandwidth per update.
+    pub update_bits: f64,
+    /// Mean wall time of the unmetered query pass, in milliseconds.
+    pub query_ms: f64,
+    /// Total refused inserts across trials (word overflows).
+    pub skipped_inserts: u64,
+}
+
+/// Averages per-trial measurements (all for the same contender).
+pub fn average(rows: &[FilterMeasurement]) -> AvgRow {
+    assert!(!rows.is_empty());
+    let n = rows.len() as f64;
+    let mean = |f: &dyn Fn(&FilterMeasurement) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    AvgRow {
+        name: rows[0].name.clone(),
+        fpr: mean(&|r| r.fpr),
+        query_accesses: mean(&|r| r.stats.queries.mean_accesses()),
+        query_bits: mean(&|r| r.stats.queries.mean_hash_bits()),
+        update_accesses: mean(&|r| r.stats.updates().mean_accesses()),
+        update_bits: mean(&|r| r.stats.updates().mean_hash_bits()),
+        query_ms: mean(&|r| r.query_wall.as_secs_f64() * 1e3),
+        skipped_inserts: rows.iter().map(|r| r.skipped_inserts).sum(),
+    }
+}
+
+/// Runs every contender over per-trial workloads and averages.
+///
+/// `make_workload(trial)` must generate the trial's workload (different
+/// seed per trial); contenders whose configuration is infeasible at this
+/// memory (e.g. MPCBF with an overloaded word) are skipped.
+pub fn run_suite<K, F>(
+    contenders: &[Contender],
+    big_m: u64,
+    n_expected: u64,
+    k: u32,
+    trials: usize,
+    mut make_workload: F,
+) -> Vec<AvgRow>
+where
+    K: Key + Eq + Hash + Clone,
+    F: FnMut(usize) -> Workload<K>,
+{
+    let workloads: Vec<Workload<K>> = (0..trials).map(&mut make_workload).collect();
+    let mut out = Vec::new();
+    for c in contenders {
+        let mut rows = Vec::new();
+        let mut feasible = true;
+        for (trial, w) in workloads.iter().enumerate() {
+            match c.run(big_m, n_expected, k, 0xBEEF + trial as u64, w) {
+                Ok(m) => rows.push(m),
+                Err(e) => {
+                    eprintln!("note: {} infeasible at M={big_m}: {e}", c.name());
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible && !rows.is_empty() {
+            out.push(average(&rows));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Workload;
+
+    fn tiny_workload(trial: usize) -> Workload<u64> {
+        let base = trial as u64 * 1_000_000;
+        Workload::without_churn(
+            (base..base + 500).collect(),
+            (base..base + 2_000).collect(),
+        )
+    }
+
+    #[test]
+    fn paper_five_has_five() {
+        assert_eq!(Contender::paper_five().len(), 5);
+    }
+
+    #[test]
+    fn suite_runs_all_contenders() {
+        let rows = run_suite(
+            &Contender::paper_five(),
+            200_000,
+            500,
+            3,
+            2,
+            tiny_workload,
+        );
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(r.query_accesses >= 1.0, "{}: {}", r.name, r.query_accesses);
+            assert!(r.query_bits > 0.0);
+        }
+        // Access ordering: MPCBF-1 and PCBF-1 touch one word per query.
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        assert!(get("PCBF-1").query_accesses <= 1.0 + 1e-9);
+        assert!(get("MPCBF-1").query_accesses <= 1.0 + 1e-9);
+        assert!(get("CBF").query_accesses > get("MPCBF-1").query_accesses);
+    }
+
+    #[test]
+    fn infeasible_contender_is_skipped() {
+        // 2 kb of memory with 100k expected items: MPCBF infeasible.
+        let rows = run_suite(
+            &[Contender::Mpcbf { g: 1 }, Contender::Cbf],
+            2_048,
+            100_000,
+            3,
+            1,
+            tiny_workload,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "CBF");
+    }
+
+    #[test]
+    fn average_is_componentwise_mean() {
+        let rows = vec![
+            tiny_measurement(0.1, 1.0),
+            tiny_measurement(0.3, 3.0),
+        ];
+        let avg = average(&rows);
+        assert!((avg.fpr - 0.2).abs() < 1e-12);
+    }
+
+    fn tiny_measurement(fpr: f64, _x: f64) -> FilterMeasurement {
+        FilterMeasurement {
+            name: "t".into(),
+            fpr,
+            false_positives: 0,
+            negatives: 0,
+            stats: Default::default(),
+            insert_wall: Default::default(),
+            churn_wall: Default::default(),
+            query_wall: Default::default(),
+            skipped_inserts: 0,
+            skipped_deletes: 0,
+            memory_bits: 0,
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A plain fixed-length bit vector over 64-bit limbs.
+//!
+//! Backs the standard Bloom filter (§II.A) and the membership planes of the
+//! d-left/VI variants. Exposes its raw limbs so word-partitioned filters
+//! (BF-1) can fetch whole machine words and meter memory accesses.
+
+/// A fixed-length bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    limbs: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zeros bit vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            limbs: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to one. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let limb = &mut self.limbs[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *limb & mask != 0;
+        *limb |= mask;
+        was
+    }
+
+    /// Clears bit `i` to zero. Returns the previous value.
+    #[inline]
+    pub fn clear(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let limb = &mut self.limbs[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *limb & mask != 0;
+        *limb &= !mask;
+        was
+    }
+
+    /// Number of one bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Fill ratio: ones / len (0.0 for an empty vector).
+    #[inline]
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Resets every bit to zero, keeping the length.
+    pub fn clear_all(&mut self) {
+        self.limbs.fill(0);
+    }
+
+    /// The underlying 64-bit limbs (bit `i` lives in limb `i / 64`).
+    #[inline]
+    pub fn raw_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Heap memory used, in bits (the figure the paper's "memory
+    /// consumption" axis refers to: the vector itself).
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.limbs.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.get(0) && !v.get(129));
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut v = BitVec::new(100);
+        assert!(!v.set(63));
+        assert!(v.set(63)); // already set
+        assert!(v.get(63));
+        assert!(v.clear(63));
+        assert!(!v.clear(63)); // already clear
+        assert!(!v.get(63));
+    }
+
+    #[test]
+    fn count_and_fill_ratio() {
+        let mut v = BitVec::new(64);
+        for i in 0..32 {
+            v.set(i * 2);
+        }
+        assert_eq!(v.count_ones(), 32);
+        assert!((v.fill_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut v = BitVec::new(70);
+        v.set(0);
+        v.set(69);
+        v.clear_all();
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVec::new(0);
+        assert!(v.is_empty());
+        assert_eq!(v.fill_ratio(), 0.0);
+        assert_eq!(v.memory_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVec::new(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn limbs_rounded_up() {
+        let v = BitVec::new(65);
+        assert_eq!(v.raw_limbs().len(), 2);
+        assert_eq!(v.memory_bits(), 128);
+    }
+}

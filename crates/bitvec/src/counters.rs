@@ -1,0 +1,295 @@
+//! Packed `c`-bit saturating counters.
+//!
+//! The standard CBF (§II.A) replaces each membership bit with a `c`-bit
+//! counter; the paper uses `c = 4` ("four bits per counter have been shown
+//! to suffice for most applications"). [`CounterVec`] packs counters of any
+//! width 1–32 bits contiguously, allowing counters to straddle 64-bit limb
+//! boundaries, and implements the standard CBF overflow policy: a counter
+//! that reaches its maximum *saturates* (sticks) rather than wrapping, so
+//! membership is never lost — at the cost that a saturated counter can no
+//! longer be decremented reliably (tracked via [`CounterVec::saturations`]).
+
+/// A vector of packed `c`-bit saturating counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterVec {
+    limbs: Vec<u64>,
+    len: usize,
+    width: u32,
+    max: u64,
+    saturations: u64,
+}
+
+impl CounterVec {
+    /// Creates `len` zeroed counters of `width` bits each.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= width <= 32`.
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "counter width {width} not in 1..=32");
+        let total_bits = len * width as usize;
+        CounterVec {
+            limbs: vec![0; total_bits.div_ceil(64)],
+            len,
+            width,
+            max: (1u64 << width) - 1,
+            saturations: 0,
+        }
+    }
+
+    /// Number of counters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no counters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Counter width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Maximum representable counter value (`2^width − 1`).
+    #[inline]
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of increment attempts that hit a saturated counter.
+    #[inline]
+    pub fn saturations(&self) -> u64 {
+        self.saturations
+    }
+
+    #[inline]
+    fn bit_offset(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "counter index {i} out of range {}", self.len);
+        i * self.width as usize
+    }
+
+    /// Reads counter `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        let off = self.bit_offset(i);
+        let (limb, shift) = (off / 64, (off % 64) as u32);
+        let lo = self.limbs[limb] >> shift;
+        let val = if shift + self.width <= 64 {
+            lo
+        } else {
+            lo | (self.limbs[limb + 1] << (64 - shift))
+        };
+        val & self.max
+    }
+
+    #[inline]
+    fn put(&mut self, i: usize, value: u64) {
+        debug_assert!(value <= self.max);
+        let off = self.bit_offset(i);
+        let (limb, shift) = (off / 64, (off % 64) as u32);
+        self.limbs[limb] &= !(self.max << shift);
+        self.limbs[limb] |= value << shift;
+        if shift + self.width > 64 {
+            let spill = 64 - shift;
+            self.limbs[limb + 1] &= !(self.max >> spill);
+            self.limbs[limb + 1] |= value >> spill;
+        }
+    }
+
+    /// Increments counter `i`, saturating at the maximum.
+    ///
+    /// Returns the *new* value (the old maximum if saturated).
+    #[inline]
+    pub fn increment(&mut self, i: usize) -> u64 {
+        let v = self.get(i);
+        if v == self.max {
+            self.saturations += 1;
+            v
+        } else {
+            self.put(i, v + 1);
+            v + 1
+        }
+    }
+
+    /// Decrements counter `i`.
+    ///
+    /// A saturated counter is left untouched (the standard CBF policy:
+    /// once a counter saturates its true value is unknown, so it must stay
+    /// at maximum to preserve the no-false-negative guarantee). Returns the
+    /// new value, or `None` if the counter was already zero (an attempt to
+    /// delete an element that was never inserted).
+    #[inline]
+    pub fn decrement(&mut self, i: usize) -> Option<u64> {
+        let v = self.get(i);
+        match v {
+            0 => None,
+            v if v == self.max => Some(v),
+            v => {
+                self.put(i, v - 1);
+                Some(v - 1)
+            }
+        }
+    }
+
+    /// True if counter `i` is nonzero.
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.get(i) != 0
+    }
+
+    /// Number of nonzero counters.
+    pub fn count_nonzero(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i) != 0).count()
+    }
+
+    /// Sum of all counter values.
+    pub fn total(&self) -> u64 {
+        (0..self.len).map(|i| self.get(i)).sum()
+    }
+
+    /// Resets every counter to zero and clears the saturation count.
+    pub fn clear_all(&mut self) {
+        self.limbs.fill(0);
+        self.saturations = 0;
+    }
+
+    /// Memory used by the counter array, in bits (the paper's "memory
+    /// consumption" axis: `m` counters × `c` bits).
+    #[inline]
+    pub fn memory_bits(&self) -> usize {
+        self.len * self.width as usize
+    }
+
+    /// The raw 64-bit limbs backing the counters (for serialization).
+    #[inline]
+    pub fn raw_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Reconstructs a counter vector from raw limbs (the inverse of
+    /// [`CounterVec::raw_limbs`]), e.g. when decoding a wire format.
+    ///
+    /// # Panics
+    /// Panics if the limb count does not match `len`/`width`, or if the
+    /// width is out of range.
+    pub fn from_raw_parts(limbs: Vec<u64>, len: usize, width: u32, saturations: u64) -> Self {
+        assert!((1..=32).contains(&width), "counter width {width} not in 1..=32");
+        let expect = (len * width as usize).div_ceil(64);
+        assert_eq!(limbs.len(), expect, "limb count mismatch");
+        CounterVec {
+            limbs,
+            len,
+            width,
+            max: (1u64 << width) - 1,
+            saturations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_counters_basic() {
+        let mut c = CounterVec::new(100, 4);
+        assert_eq!(c.get(7), 0);
+        assert_eq!(c.increment(7), 1);
+        assert_eq!(c.increment(7), 2);
+        assert_eq!(c.get(7), 2);
+        assert_eq!(c.decrement(7), Some(1));
+        assert_eq!(c.decrement(7), Some(0));
+        assert_eq!(c.decrement(7), None);
+        assert_eq!(c.get(7), 0);
+    }
+
+    #[test]
+    fn saturation_sticks() {
+        let mut c = CounterVec::new(4, 2); // max = 3
+        for _ in 0..3 {
+            c.increment(1);
+        }
+        assert_eq!(c.get(1), 3);
+        assert_eq!(c.increment(1), 3);
+        assert_eq!(c.saturations(), 1);
+        // A saturated counter refuses to decrement below max.
+        assert_eq!(c.decrement(1), Some(3));
+        assert_eq!(c.get(1), 3);
+    }
+
+    #[test]
+    fn neighbours_are_independent() {
+        let mut c = CounterVec::new(64, 4);
+        c.increment(10);
+        c.increment(10);
+        c.increment(11);
+        assert_eq!(c.get(9), 0);
+        assert_eq!(c.get(10), 2);
+        assert_eq!(c.get(11), 1);
+        assert_eq!(c.get(12), 0);
+    }
+
+    #[test]
+    fn straddling_widths_work() {
+        // width 5: counters straddle limb boundaries (5 ∤ 64).
+        let mut c = CounterVec::new(200, 5);
+        for i in 0..200 {
+            for _ in 0..(i % 31) {
+                c.increment(i);
+            }
+        }
+        for i in 0..200 {
+            assert_eq!(c.get(i), (i % 31) as u64, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn width_boundaries() {
+        let mut c1 = CounterVec::new(10, 1);
+        assert_eq!(c1.max_value(), 1);
+        c1.increment(0);
+        assert_eq!(c1.increment(0), 1); // saturates immediately
+        let c32 = CounterVec::new(3, 32);
+        assert_eq!(c32.max_value(), u32::MAX as u64);
+    }
+
+    #[test]
+    fn totals_and_nonzero() {
+        let mut c = CounterVec::new(8, 4);
+        c.increment(0);
+        c.increment(0);
+        c.increment(5);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.count_nonzero(), 2);
+        c.clear_all();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn memory_bits_matches_definition() {
+        let c = CounterVec::new(1_000_000, 4);
+        assert_eq!(c.memory_bits(), 4_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 1..=32")]
+    fn zero_width_panics() {
+        let _ = CounterVec::new(1, 0);
+    }
+
+    #[test]
+    fn last_counter_straddles_cleanly() {
+        // 13 counters × 5 bits = 65 bits: last counter spans limbs.
+        let mut c = CounterVec::new(13, 5);
+        for _ in 0..31 {
+            c.increment(12);
+        }
+        assert_eq!(c.get(12), 31);
+        assert_eq!(c.get(11), 0);
+    }
+}

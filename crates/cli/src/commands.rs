@@ -1,0 +1,456 @@
+//! Command implementations for the `mpcbf` CLI.
+
+use crate::opts::{CliError, Kind, Opts};
+use mpcbf_analysis::tradeoff;
+use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use std::io::Write;
+
+type Keys<'a> = dyn Iterator<Item = Result<String, CliError>> + 'a;
+
+/// A filter loaded from (or destined for) a file.
+enum AnyFilter {
+    Mpcbf(Mpcbf<u64, Murmur3>),
+    Cbf(Cbf<Murmur3>),
+}
+
+impl AnyFilter {
+    fn contains(&self, key: &str) -> bool {
+        match self {
+            AnyFilter::Mpcbf(f) => f.contains(key),
+            AnyFilter::Cbf(f) => f.contains(key),
+        }
+    }
+
+    fn insert(&mut self, key: &str) -> Result<(), String> {
+        match self {
+            AnyFilter::Mpcbf(f) => f.insert(&key).map_err(|e| e.to_string()),
+            AnyFilter::Cbf(f) => f.insert(&key).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> Result<(), String> {
+        match self {
+            AnyFilter::Mpcbf(f) => f.remove(&key).map_err(|e| e.to_string()),
+            AnyFilter::Cbf(f) => f.remove(&key).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            AnyFilter::Mpcbf(f) => f.encode(),
+            AnyFilter::Cbf(f) => f.encode(),
+        }
+    }
+
+    fn decode(image: &[u8]) -> Result<Self, CliError> {
+        Mpcbf::<u64, Murmur3>::decode(image)
+            .map(AnyFilter::Mpcbf)
+            .or_else(|_| Cbf::<Murmur3>::decode(image).map(AnyFilter::Cbf))
+            .map_err(|e| CliError::Runtime(format!("cannot decode filter: {e}")))
+    }
+
+    fn load(path: &str) -> Result<Self, CliError> {
+        let image = std::fs::read(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+        Self::decode(&image)
+    }
+
+    fn store(&self, path: &str) -> Result<(), CliError> {
+        std::fs::write(path, self.encode())
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))
+    }
+}
+
+/// `mpcbf build`: construct a filter from a key stream and write it out.
+pub fn build(opts: &Opts, keys: &mut Keys<'_>) -> Result<(), CliError> {
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--out FILE is required".into()))?;
+    let items = opts.require_items()?;
+    let memory = opts.memory_or_default(items);
+
+    let mut filter = match opts.kind {
+        Kind::Mpcbf => {
+            let config = MpcbfConfig::builder()
+                .memory_bits(memory)
+                .expected_items(items)
+                .hashes(opts.hashes)
+                .accesses(opts.accesses)
+                .seed(opts.seed)
+                .build()
+                .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
+            AnyFilter::Mpcbf(Mpcbf::new(config))
+        }
+        Kind::Cbf => AnyFilter::Cbf(Cbf::with_memory(memory, opts.hashes, opts.seed)),
+    };
+
+    let mut inserted = 0u64;
+    let mut refused = 0u64;
+    for key in keys {
+        let key = key?;
+        if key.is_empty() {
+            continue;
+        }
+        match filter.insert(&key) {
+            Ok(()) => inserted += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    filter.store(out)?;
+    eprintln!("built {out}: {inserted} keys inserted, {refused} refused, {memory} bits");
+    Ok(())
+}
+
+/// `mpcbf query`: membership per key.
+pub fn query(opts: &Opts, keys: &mut Keys<'_>, out: &mut impl Write) -> Result<(), CliError> {
+    let filter = AnyFilter::load(opts.require_filter()?)?;
+    for key in keys {
+        let key = key?;
+        if key.is_empty() {
+            continue;
+        }
+        writeln!(out, "{key}\t{}", filter.contains(&key))
+            .map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+    }
+    Ok(())
+}
+
+/// `mpcbf insert` / `mpcbf remove`: update the filter file in place.
+pub fn update(opts: &Opts, keys: &mut Keys<'_>, inserting: bool) -> Result<(), CliError> {
+    let path = opts.require_filter()?;
+    let mut filter = AnyFilter::load(path)?;
+    let mut applied = 0u64;
+    let mut failed = 0u64;
+    for key in keys {
+        let key = key?;
+        if key.is_empty() {
+            continue;
+        }
+        let result = if inserting {
+            filter.insert(&key)
+        } else {
+            filter.remove(&key)
+        };
+        match result {
+            Ok(()) => applied += 1,
+            Err(msg) => {
+                failed += 1;
+                eprintln!("{key}: {msg}");
+            }
+        }
+    }
+    filter.store(path)?;
+    let verb = if inserting { "inserted" } else { "removed" };
+    eprintln!("{verb} {applied} keys ({failed} failed)");
+    Ok(())
+}
+
+/// `mpcbf stats`: structural and occupancy information.
+pub fn stats(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
+    let filter = AnyFilter::load(opts.require_filter()?)?;
+    let mut p = |line: String| {
+        writeln!(out, "{line}").map_err(|e| CliError::Runtime(format!("write error: {e}")))
+    };
+    match &filter {
+        AnyFilter::Mpcbf(f) => {
+            let s = f.shape();
+            p(format!("kind          MPCBF-{}", s.g))?;
+            p(format!("words         {} x {} bits", s.l, s.w))?;
+            p(format!("hashes (k)    {}", s.k))?;
+            p(format!("n_max / b1    {} / {}", s.n_max, s.b1))?;
+            p(format!("memory bits   {}", f.memory_bits()))?;
+            p(format!("items         {}", f.items()))?;
+            p(format!("overflows     {}", f.overflows()))?;
+            let loads = f.word_loads();
+            let max = loads.iter().max().copied().unwrap_or(0);
+            let nonempty = loads.iter().filter(|&&c| c > 0).count();
+            let total: u64 = loads.iter().map(|&c| u64::from(c)).sum();
+            p(format!(
+                "word loads    total {total}, max {max}/{}, {nonempty}/{} words occupied",
+                s.w - s.b1,
+                loads.len()
+            ))?;
+        }
+        AnyFilter::Cbf(f) => {
+            p("kind          CBF".to_string())?;
+            p(format!("counters      {} x 4 bits", f.len_counters()))?;
+            p(format!("hashes (k)    {}", f.num_hashes()))?;
+            p(format!("memory bits   {}", f.memory_bits()))?;
+            p(format!("items         {}", f.items()))?;
+            p(format!("saturations   {}", f.saturations()))?;
+        }
+    }
+    Ok(())
+}
+
+/// `mpcbf replay`: run a flow-monitor measurement over a real trace file
+/// (one `src,dst` record per line; dotted IPv4 or raw u32 fields), the
+/// §IV.D experiment on the user's own data.
+pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
+    use mpcbf_workloads::flowtrace::{parse_trace_records, FlowTrace};
+
+    let path = opts
+        .input
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--input TRACE is required".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+    let records =
+        parse_trace_records(&text).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    if records.is_empty() {
+        return Err(CliError::Runtime(format!("{path}: no records")));
+    }
+
+    // Track either --items flows or half the unique flows, whichever is
+    // smaller; one churn period of 20%.
+    let unique = {
+        let set: std::collections::HashSet<_> = records.iter().collect();
+        set.len()
+    };
+    let test_set = opts
+        .items
+        .map(|n| n as usize)
+        .unwrap_or(unique / 2)
+        .clamp(1, unique);
+    let trace = FlowTrace::from_records(records, test_set, test_set / 5, 1, opts.seed);
+    let memory = opts.memory_or_default(test_set as u64);
+
+    let config = MpcbfConfig::builder()
+        .memory_bits(memory)
+        .expected_items(test_set as u64)
+        .hashes(opts.hashes)
+        .accesses(opts.accesses)
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
+    let mut filter: Mpcbf<u64, Murmur3> = Mpcbf::new(config);
+
+    let mut live: std::collections::HashSet<(u32, u32)> = Default::default();
+    let mut refused = 0u64;
+    for flow in &trace.test_set {
+        if filter.insert(flow).is_ok() {
+            live.insert(*flow);
+        } else {
+            refused += 1;
+        }
+    }
+    for period in &trace.churn.periods {
+        for old in &period.deletes {
+            if filter.remove(old).is_ok() {
+                live.remove(old);
+            }
+        }
+        for new in &period.inserts {
+            if filter.insert(new).is_ok() {
+                live.insert(*new);
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut hits = 0u64;
+    let mut false_positives = 0u64;
+    let mut negatives = 0u64;
+    for record in &trace.records {
+        let claimed = filter.contains(record);
+        hits += u64::from(claimed);
+        if !live.contains(record) {
+            negatives += 1;
+            false_positives += u64::from(claimed);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let mut p = |line: String| {
+        writeln!(out, "{line}").map_err(|e| CliError::Runtime(format!("write error: {e}")))
+    };
+    p(format!("trace records     {}", trace.records.len()))?;
+    p(format!("unique flows      {unique}"))?;
+    p(format!("tracked flows     {test_set} ({refused} refused)"))?;
+    p(format!("filter memory     {memory} bits (MPCBF-{})", opts.accesses))?;
+    p(format!("tracked hits      {hits}"))?;
+    p(format!(
+        "false positives   {false_positives} / {negatives} untracked records ({:.4}%)",
+        if negatives == 0 { 0.0 } else { 100.0 * false_positives as f64 / negatives as f64 }
+    ))?;
+    p(format!(
+        "lookup rate       {:.1} M records/s",
+        trace.records.len() as f64 / elapsed.as_secs_f64() / 1e6
+    ))?;
+    Ok(())
+}
+
+/// `mpcbf size`: the inverse-sizing design card.
+pub fn size(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
+    let items = opts.require_items()?;
+    let fpr = opts
+        .fpr
+        .ok_or_else(|| CliError::Usage("--fpr F is required".into()))?;
+    let mut p = |line: String| {
+        writeln!(out, "{line}").map_err(|e| CliError::Runtime(format!("write error: {e}")))
+    };
+    p(format!("target: {items} items at FPR <= {fpr}"))?;
+    match tradeoff::cbf_memory_for_fpr(items, opts.hashes, fpr) {
+        Some(m) => p(format!(
+            "CBF (k={}):      {m} bits ({:.1} bits/item, {} accesses/query)",
+            opts.hashes,
+            m as f64 / items as f64,
+            opts.hashes
+        ))?,
+        None => p(format!("CBF (k={}):      unreachable", opts.hashes))?,
+    }
+    match tradeoff::mpcbf_memory_for_fpr(items, 64, opts.hashes, opts.accesses, fpr) {
+        Some(m) => p(format!(
+            "MPCBF-{} (k={}):  {m} bits ({:.1} bits/item, {} accesses/query)",
+            opts.accesses,
+            opts.hashes,
+            m as f64 / items as f64,
+            opts.accesses
+        ))?,
+        None => p(format!("MPCBF-{}:        unreachable", opts.accesses))?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(v: &[&str]) -> impl Iterator<Item = Result<String, CliError>> {
+        v.iter()
+            .map(|s| Ok(s.to_string()))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn opts(v: &[&str]) -> Opts {
+        Opts::parse(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mpcbf-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn build_query_roundtrip() {
+        let path = tmp("roundtrip.mpcbf");
+        let o = opts(&["--out", &path, "--items", "100"]);
+        build(&o, &mut keys(&["alpha", "beta", "gamma"])).unwrap();
+
+        let o = opts(&["--filter", &path]);
+        let mut out = Vec::new();
+        query(&o, &mut keys(&["alpha", "delta"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("alpha\ttrue"));
+        assert!(text.contains("delta\t")); // value may rarely be a FP
+    }
+
+    #[test]
+    fn build_cbf_kind_and_stats() {
+        let path = tmp("cbf.bin");
+        let o = opts(&["--out", &path, "--items", "50", "--kind", "cbf"]);
+        build(&o, &mut keys(&["x", "y"])).unwrap();
+        let o = opts(&["--filter", &path]);
+        let mut out = Vec::new();
+        stats(&o, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("kind          CBF"));
+        assert!(text.contains("items         2"));
+    }
+
+    #[test]
+    fn insert_and_remove_update_the_file() {
+        let path = tmp("update.mpcbf");
+        build(
+            &opts(&["--out", &path, "--items", "100"]),
+            &mut keys(&["keep"]),
+        )
+        .unwrap();
+        update(&opts(&["--filter", &path]), &mut keys(&["added"]), true).unwrap();
+        let mut out = Vec::new();
+        query(&opts(&["--filter", &path]), &mut keys(&["added"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("added\ttrue"));
+
+        update(&opts(&["--filter", &path]), &mut keys(&["added"]), false).unwrap();
+        let mut out = Vec::new();
+        query(&opts(&["--filter", &path]), &mut keys(&["added"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("added\tfalse"));
+    }
+
+    #[test]
+    fn mpcbf_stats_report_shape() {
+        let path = tmp("stats.mpcbf");
+        build(
+            &opts(&["--out", &path, "--items", "1000", "--accesses", "2"]),
+            &mut keys(&["a", "b", "c"]),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        stats(&opts(&["--filter", &path]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("MPCBF-2"), "{text}");
+        assert!(text.contains("items         3"));
+    }
+
+    #[test]
+    fn size_prints_both_structures() {
+        let mut out = Vec::new();
+        size(&opts(&["--items", "100000", "--fpr", "0.001"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("CBF (k=3)"));
+        assert!(text.contains("MPCBF-1"));
+    }
+
+    #[test]
+    fn missing_flags_are_usage_errors() {
+        assert!(matches!(
+            build(&opts(&["--items", "5"]), &mut keys(&[])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            size(&opts(&["--items", "5"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn replay_runs_on_a_tiny_trace() {
+        let path = tmp("trace.txt");
+        let mut text = String::from("# tiny trace\n");
+        for i in 0..200u32 {
+            // 50 unique flows, repeated 4x each.
+            text.push_str(&format!("10.0.0.{},192.168.1.{}\n", i % 50, i % 50));
+        }
+        std::fs::write(&path, text).unwrap();
+        let mut out = Vec::new();
+        replay(&opts(&["--input", &path, "--items", "20"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("trace records     200"), "{text}");
+        assert!(text.contains("unique flows      50"));
+        assert!(text.contains("tracked flows     20"));
+    }
+
+    #[test]
+    fn replay_rejects_garbage_traces() {
+        let path = tmp("bad_trace.txt");
+        std::fs::write(&path, "not,an,ip address here\n").unwrap();
+        assert!(matches!(
+            replay(&opts(&["--input", &path]), &mut Vec::new()),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_file_is_a_runtime_error() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"not a filter").unwrap();
+        assert!(matches!(
+            stats(&opts(&["--filter", &path]), &mut Vec::new()),
+            Err(CliError::Runtime(_))
+        ));
+    }
+}

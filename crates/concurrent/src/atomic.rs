@@ -1,0 +1,324 @@
+//! Lock-free MPCBF over 64-bit words.
+//!
+//! Every word is an `AtomicU64`; an update is a classic CAS loop: load the
+//! word, run the [`HcbfWord`] codec on the local copy, compare-and-swap.
+//! This works because an HCBF word is a pure value — the whole counter
+//! structure for that word fits in the one atomic cell, so word-level
+//! linearisability comes for free and contention only arises when two
+//! threads hash to the *same* word simultaneously (probability ≈ 1/l).
+
+use mpcbf_analysis::heuristic::MpcbfShape;
+use mpcbf_core::config::MpcbfConfig;
+use mpcbf_core::hcbf::HcbfWord;
+use mpcbf_core::FilterError;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_SALT: u64 = 0x4d50_4342_465f_5744;
+const GROUP_SALT: u64 = 0x4d50_4342_465f_4752;
+
+#[inline]
+fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
+    let base = k / g;
+    if t < k % g {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// A lock-free MPCBF (64-bit words only).
+pub struct AtomicMpcbf<H: Hasher128 = Murmur3> {
+    words: Vec<AtomicU64>,
+    shape: MpcbfShape,
+    seed: u64,
+    overflows: AtomicU64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> AtomicMpcbf<H> {
+    /// Creates a lock-free filter from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics unless the configuration uses 64-bit words.
+    pub fn new(config: MpcbfConfig) -> Self {
+        let shape = config.shape();
+        assert_eq!(shape.w, 64, "AtomicMpcbf requires 64-bit words");
+        let mut words = Vec::with_capacity(shape.l as usize);
+        words.resize_with(shape.l as usize, || AtomicU64::new(0));
+        AtomicMpcbf {
+            words,
+            shape,
+            seed: config.seed(),
+            overflows: AtomicU64::new(0),
+            _hasher: PhantomData,
+        }
+    }
+
+    /// The derived structural parameters.
+    pub fn shape(&self) -> MpcbfShape {
+        self.shape
+    }
+
+    /// Insertions refused because a word overflowed.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Total increments currently stored.
+    pub fn total_load(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|w| u64::from(w.load(Ordering::Relaxed).count_ones()))
+            .sum()
+    }
+
+    #[inline]
+    fn targets(&self, key: &[u8], out: &mut [(usize, u32); 64]) -> usize {
+        let digest = H::hash128(self.seed, key);
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.shape.l);
+        let mut n = 0;
+        for t in 0..self.shape.g {
+            let word = word_picker.next_index();
+            let k_t = split_hashes(self.shape.k, self.shape.g, t);
+            let mut inner = DoubleHasher::with_salt(
+                digest,
+                GROUP_SALT ^ u64::from(t),
+                u64::from(self.shape.b1),
+            );
+            for _ in 0..k_t {
+                out[n] = (word, inner.next_index() as u32);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// CAS loop applying `op` to one word. Returns `Err` if `op` reports
+    /// an error on the *current* value (no retry — the error is a property
+    /// of the state, e.g. overflow).
+    #[inline]
+    fn update_word(
+        &self,
+        word: usize,
+        mut op: impl FnMut(&mut HcbfWord<u64>) -> Result<(), FilterError>,
+    ) -> Result<(), FilterError> {
+        let cell = &self.words[word];
+        let mut current = cell.load(Ordering::Acquire);
+        loop {
+            let mut local = HcbfWord::from_raw(current);
+            op(&mut local)?;
+            match cell.compare_exchange_weak(
+                current,
+                *local.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Membership check.
+    pub fn contains<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> bool {
+        self.contains_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Membership check on raw bytes.
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let mut i = 0;
+        while i < n {
+            let word = targets[i].0;
+            // One atomic load serves every position in this word.
+            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+            while i < n && targets[i].0 == word {
+                if !snapshot.query(targets[i].1) {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        true
+    }
+
+    /// Inserts a key.
+    pub fn insert<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
+        self.insert_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Inserts raw bytes, rolling back on overflow.
+    pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let b1 = self.shape.b1;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            if let Err(e) = self.update_word(word, |w| w.increment(p, b1).map(|_| ())) {
+                for &(rw, rp) in targets[..i].iter().rev() {
+                    self.update_word(rw, |w| w.decrement(rp, b1).map(|_| ()))
+                        .expect("rollback decrement");
+                }
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Err(match e {
+                    FilterError::WordOverflow { .. } => FilterError::WordOverflow { word },
+                    other => other,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a key.
+    pub fn remove<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
+        self.remove_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Removes raw bytes, rolling back if the element is absent.
+    pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let b1 = self.shape.b1;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            if self.update_word(word, |w| w.decrement(p, b1).map(|_| ())).is_err() {
+                for &(rw, rp) in targets[..i].iter().rev() {
+                    self.update_word(rw, |w| w.increment(rp, b1).map(|_| ()))
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcbf_core::MpcbfConfig;
+
+    fn filter() -> AtomicMpcbf<Murmur3> {
+        let c = MpcbfConfig::builder()
+            .memory_bits(1_000_000)
+            .expected_items(10_000)
+            .hashes(3)
+            .seed(33)
+            .build()
+            .unwrap();
+        AtomicMpcbf::new(c)
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let f = filter();
+        for i in 0..3_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..3_000u64 {
+            assert!(f.contains(&i));
+        }
+        for i in 0..3_000u64 {
+            f.remove(&i).unwrap();
+        }
+        assert_eq!(f.total_load(), 0);
+    }
+
+    #[test]
+    fn agrees_with_sequential_filter() {
+        // Same config/seed ⇒ identical hashing ⇒ identical membership.
+        use mpcbf_core::{CountingFilter, Filter, Mpcbf};
+        let c = MpcbfConfig::builder()
+            .memory_bits(500_000)
+            .expected_items(5_000)
+            .hashes(3)
+            .seed(44)
+            .build()
+            .unwrap();
+        let atomic: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(c);
+        let mut seq: Mpcbf<u64, Murmur3> = Mpcbf::new(c);
+        for i in 0..2_000u64 {
+            atomic.insert(&i).unwrap();
+            seq.insert(&i).unwrap();
+        }
+        for i in 0..1_000u64 {
+            atomic.remove(&i).unwrap();
+            seq.remove(&i).unwrap();
+        }
+        for probe in 0..50_000u64 {
+            assert_eq!(
+                atomic.contains(&probe),
+                seq.contains(&probe),
+                "divergence at {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_inserts_all_visible() {
+        let f = filter();
+        let threads = 8u64;
+        let per = 1_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let f = &f;
+                s.spawn(move |_| {
+                    for i in t * per..(t + 1) * per {
+                        f.insert(&i).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for i in 0..threads * per {
+            assert!(f.contains(&i), "lost {i}");
+        }
+    }
+
+    #[test]
+    fn contended_single_word_stays_consistent() {
+        // Force every thread onto the same few words by inserting the same
+        // keys, then drain completely.
+        let f = filter();
+        let reps = 4u32; // capacity-safe: k·reps ≤ word capacity
+        crossbeam::scope(|s| {
+            for _ in 0..reps {
+                let f = &f;
+                s.spawn(move |_| {
+                    f.insert(&"hot-key").unwrap();
+                });
+            }
+        })
+        .unwrap();
+        assert!(f.contains(&"hot-key"));
+        for _ in 0..reps {
+            f.remove(&"hot-key").unwrap();
+        }
+        assert!(!f.contains(&"hot-key"));
+        assert_eq!(f.total_load(), 0);
+    }
+
+    #[test]
+    fn parallel_churn_drains_to_zero() {
+        let f = filter();
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let f = &f;
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        let k = t * 10_000 + i;
+                        f.insert(&k).unwrap();
+                        assert!(f.contains(&k));
+                        f.remove(&k).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(f.total_load(), 0);
+        assert_eq!(f.overflows(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Thread-safe MPCBF variants.
+//!
+//! The paper targets line-rate packet processing (IPDPS venue; §I motivates
+//! parallel CBF banks on routers), and MPCBF's layout is unusually friendly
+//! to concurrency: *all state an operation mutates lives inside the `g`
+//! words it hashes to*, so synchronisation can be per-word instead of
+//! per-filter. Two designs are provided:
+//!
+//! * [`sharded::ShardedMpcbf`] — words protected by a fixed pool of
+//!   [`parking_lot::Mutex`] shards. Works for any word width; writers to
+//!   different shards never contend.
+//! * [`atomic::AtomicMpcbf`] — lock-free for 64-bit words: each word is an
+//!   `AtomicU64` and every update is a single-word CAS loop around the
+//!   [`HcbfWord`] codec (possible precisely because an HCBF word is a
+//!   self-contained value type).
+//!
+//! ## Consistency model
+//!
+//! Per-word updates are atomic; an element spanning `g > 1` words is
+//! updated word-by-word, so a concurrent query can observe a *partially
+//! inserted* element (and miss it) or a *partially deleted* one (and still
+//! report it). Completed inserts are never missed, and the structure is
+//! always a valid HCBF — the same relaxation hardware CBF banks accept.
+//!
+//! [`HcbfWord`]: mpcbf_core::HcbfWord
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod sharded;
+
+pub use atomic::AtomicMpcbf;
+pub use sharded::ShardedMpcbf;

@@ -1,0 +1,326 @@
+//! Sharded-lock concurrent MPCBF.
+//!
+//! Words are grouped into a fixed number of shards (a power of two), each
+//! guarded by a [`parking_lot::Mutex`]. An operation locks only the shards
+//! of the `g` words it touches — one at a time, never nested, so there is
+//! no lock-ordering concern and no deadlock.
+
+use mpcbf_analysis::heuristic::MpcbfShape;
+use mpcbf_core::config::MpcbfConfig;
+use mpcbf_core::hcbf::HcbfWord;
+use mpcbf_core::FilterError;
+use mpcbf_bitvec::Word;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Salts mirroring the sequential filter's (kept equal so a sharded filter
+/// is query-compatible with a sequential one built from the same config).
+const WORD_SALT: u64 = 0x4d50_4342_465f_5744;
+const GROUP_SALT: u64 = 0x4d50_4342_465f_4752;
+
+#[inline]
+fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
+    let base = k / g;
+    if t < k % g {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// A thread-safe MPCBF using sharded mutexes.
+pub struct ShardedMpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
+    shards: Vec<Mutex<Vec<HcbfWord<W>>>>,
+    words_per_shard: usize,
+    shape: MpcbfShape,
+    seed: u64,
+    overflows: AtomicU64,
+    _hasher: PhantomData<H>,
+}
+
+impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
+    /// Creates a sharded filter from a validated configuration with the
+    /// given shard count (rounded up to a power of two, capped at the word
+    /// count).
+    ///
+    /// # Panics
+    /// Panics if the configuration's word size differs from `W::BITS`.
+    pub fn new(config: MpcbfConfig, shards: usize) -> Self {
+        let shape = config.shape();
+        assert_eq!(shape.w, W::BITS, "config word size mismatch");
+        let shard_count = shards
+            .next_power_of_two()
+            .clamp(1, (shape.l as usize).next_power_of_two());
+        let words_per_shard = (shape.l as usize).div_ceil(shard_count);
+        let shards = (0..shard_count)
+            .map(|s| {
+                let lo = s * words_per_shard;
+                let hi = ((s + 1) * words_per_shard).min(shape.l as usize);
+                Mutex::new(vec![HcbfWord::new(); hi.saturating_sub(lo)])
+            })
+            .collect();
+        ShardedMpcbf {
+            shards,
+            words_per_shard,
+            shape,
+            seed: config.seed(),
+            overflows: AtomicU64::new(0),
+            _hasher: PhantomData,
+        }
+    }
+
+    /// The derived structural parameters.
+    pub fn shape(&self) -> MpcbfShape {
+        self.shape
+    }
+
+    /// Insertions refused due to word overflow.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all word loads (total increments stored).
+    pub fn total_load(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().iter().map(|w| u64::from(w.total_count())).sum::<u64>())
+            .sum()
+    }
+
+    #[inline]
+    fn locate(&self, word: usize) -> (usize, usize) {
+        (word / self.words_per_shard, word % self.words_per_shard)
+    }
+
+    /// Collects the (word, position) targets of `key` (at most `k`).
+    #[inline]
+    fn targets(&self, key: &[u8], out: &mut [(usize, u32); 64]) -> usize {
+        let digest = H::hash128(self.seed, key);
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.shape.l);
+        let mut n = 0;
+        for t in 0..self.shape.g {
+            let word = word_picker.next_index();
+            let k_t = split_hashes(self.shape.k, self.shape.g, t);
+            let mut inner = DoubleHasher::with_salt(
+                digest,
+                GROUP_SALT ^ u64::from(t),
+                u64::from(self.shape.b1),
+            );
+            for _ in 0..k_t {
+                out[n] = (word, inner.next_index() as u32);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Membership check.
+    pub fn contains<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> bool {
+        self.contains_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Membership check on raw bytes.
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let mut i = 0;
+        while i < n {
+            // Check all positions of one word under a single lock hold.
+            let word = targets[i].0;
+            let (shard, local) = self.locate(word);
+            let guard = self.shards[shard].lock();
+            while i < n && targets[i].0 == word {
+                if !guard[local].query(targets[i].1) {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        true
+    }
+
+    /// Inserts a key.
+    pub fn insert<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
+        self.insert_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Inserts raw bytes, rolling back on overflow.
+    pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let b1 = self.shape.b1;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            let (shard, local) = self.locate(word);
+            let mut guard = self.shards[shard].lock();
+            if guard[local].increment(p, b1).is_err() {
+                drop(guard);
+                for &(rw, rp) in targets[..i].iter().rev() {
+                    let (rs, rl) = self.locate(rw);
+                    self.shards[rs].lock()[rl]
+                        .decrement(rp, b1)
+                        .expect("rollback decrement");
+                }
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Err(FilterError::WordOverflow { word });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a key.
+    pub fn remove<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
+        self.remove_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Removes raw bytes, rolling back if the element is absent.
+    pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let mut targets = [(0usize, 0u32); 64];
+        let n = self.targets(key, &mut targets);
+        let b1 = self.shape.b1;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            let (shard, local) = self.locate(word);
+            let mut guard = self.shards[shard].lock();
+            if guard[local].decrement(p, b1).is_err() {
+                drop(guard);
+                for &(rw, rp) in targets[..i].iter().rev() {
+                    let (rs, rl) = self.locate(rw);
+                    self.shards[rs].lock()[rl]
+                        .increment(rp, b1)
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcbf_core::MpcbfConfig;
+
+    fn filter() -> ShardedMpcbf<u64> {
+        let c = MpcbfConfig::builder()
+            .memory_bits(1_000_000)
+            .expected_items(10_000)
+            .hashes(3)
+            .seed(21)
+            .build()
+            .unwrap();
+        ShardedMpcbf::new(c, 64)
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let f = filter();
+        for i in 0..3_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..3_000u64 {
+            assert!(f.contains(&i));
+        }
+        for i in 0..3_000u64 {
+            f.remove(&i).unwrap();
+        }
+        assert_eq!(f.total_load(), 0);
+    }
+
+    #[test]
+    fn parallel_inserts_are_all_visible() {
+        let f = filter();
+        let threads = 8u64;
+        let per = 1_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let f = &f;
+                s.spawn(move |_| {
+                    for i in t * per..(t + 1) * per {
+                        f.insert(&i).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for i in 0..threads * per {
+            assert!(f.contains(&i), "lost {i}");
+        }
+        assert_eq!(f.overflows(), 0);
+    }
+
+    #[test]
+    fn parallel_insert_then_parallel_remove_drains() {
+        let f = filter();
+        let keys: Vec<u64> = (0..8_000).collect();
+        crossbeam::scope(|s| {
+            for chunk in keys.chunks(1_000) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for k in chunk {
+                        f.insert(k).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        crossbeam::scope(|s| {
+            for chunk in keys.chunks(1_000) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for k in chunk {
+                        f.remove(k).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(f.total_load(), 0);
+    }
+
+    #[test]
+    fn mixed_readers_and_writers_dont_lose_elements() {
+        let f = filter();
+        let stable: Vec<u64> = (0..2_000).collect();
+        for k in &stable {
+            f.insert(k).unwrap();
+        }
+        crossbeam::scope(|s| {
+            // Writers churn a disjoint key range.
+            for t in 0..4u64 {
+                let f = &f;
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        let k = 1_000_000 + t * 1_000 + i;
+                        f.insert(&k).unwrap();
+                        f.remove(&k).unwrap();
+                    }
+                });
+            }
+            // Readers continuously verify the stable set.
+            for _ in 0..4 {
+                let f = &f;
+                let stable = &stable;
+                s.spawn(move |_| {
+                    for _ in 0..5 {
+                        for k in stable {
+                            assert!(f.contains(k), "stable key {k} lost");
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn remove_absent_is_clean_under_contention() {
+        let f = filter();
+        f.insert(&"present").unwrap();
+        assert_eq!(f.remove(&"absent"), Err(FilterError::NotPresent));
+        assert!(f.contains(&"present"));
+    }
+}

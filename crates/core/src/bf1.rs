@@ -1,0 +1,251 @@
+//! BF-1 / BF-g: the one-memory-access Bloom filter (Qiao, Li & Chen,
+//! INFOCOM 2011 — the paper's reference \[11\] and its direct inspiration).
+//!
+//! The bit vector is partitioned into `l` words of `w` bits; an element is
+//! hashed to `g` words and to `k/g` bits inside each, so a query costs `g`
+//! memory accesses instead of `k`. The penalty is a higher false-positive
+//! rate — exactly the penalty MPCBF's hierarchical counters remove in the
+//! counting setting.
+
+use crate::metrics::{OpCost, WordTouches};
+use crate::traits::Filter;
+use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
+use mpcbf_bitvec::BitVec;
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// A word-partitioned Bloom filter with `g` memory accesses per operation.
+///
+/// ```
+/// use mpcbf_core::{BfG, Filter};
+/// use mpcbf_hash::Murmur3;
+///
+/// let mut bf1 = BfG::<Murmur3>::bf1(1024, 64, 3, 7);
+/// bf1.insert(&"pkt").unwrap();
+/// let (hit, cost) = bf1.contains_bytes_cost(b"pkt");
+/// assert!(hit && cost.word_accesses == 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfG<H: Hasher128 = Murmur3> {
+    bits: BitVec,
+    l: usize,
+    w: u32,
+    k: u32,
+    g: u32,
+    seed: u64,
+    items: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> BfG<H> {
+    /// Creates a BF-g over `l` words of `w` bits with `k` hashes spread
+    /// over `g` words.
+    ///
+    /// # Panics
+    /// Panics unless `l ≥ 2`, `w ∈ 8..=512`, `1 ≤ g ≤ k ≤ 64`, `g ≤ 8`.
+    pub fn new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Self {
+        assert!(l >= 2, "need at least two words");
+        assert!((8..=512).contains(&w), "word size {w} out of 8..=512");
+        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
+        assert!(g >= 1 && g <= k && g <= 8, "bad g = {g} for k = {k}");
+        BfG {
+            bits: BitVec::new(l * w as usize),
+            l,
+            w,
+            k,
+            g,
+            seed,
+            items: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// Convenience: BF-1 (single memory access).
+    pub fn bf1(l: usize, w: u32, k: u32, seed: u64) -> Self {
+        Self::new(l, w, k, 1, seed)
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.l
+    }
+
+    /// Word size in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.w
+    }
+
+    /// Memory accesses per operation.
+    pub fn accesses(&self) -> u32 {
+        self.g
+    }
+
+    /// Net insertions performed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    #[inline]
+    fn for_each_position(
+        &self,
+        key: &[u8],
+        mut visit: impl FnMut(usize, usize, u32) -> bool,
+    ) -> (u32, u32) {
+        // Returns (words evaluated, in-word positions evaluated); `visit`
+        // gets (word index, global bit index, group) and returns `false`
+        // to stop early (query short-circuit).
+        let digest = H::hash128(self.seed, key);
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.l as u64);
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        'outer: for t in 0..self.g {
+            let word = word_picker.next_index();
+            words_eval += 1;
+            let k_t = split_hashes(self.k, self.g, t);
+            let mut inner =
+                DoubleHasher::with_salt(digest, GROUP_SALT ^ u64::from(t), u64::from(self.w));
+            for _ in 0..k_t {
+                let off = inner.next_index();
+                pos_eval += 1;
+                if !visit(word, word * self.w as usize + off, t) {
+                    break 'outer;
+                }
+            }
+        }
+        (words_eval, pos_eval)
+    }
+}
+
+impl<H: Hasher128> Filter for BfG<H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut member = true;
+        let (words_eval, pos_eval) = self.for_each_position(key, |word, bit, _| {
+            touches.touch(word);
+            if self.bits.get(bit) {
+                true
+            } else {
+                member = false;
+                false
+            }
+        });
+        (
+            member,
+            OpCost {
+                word_accesses: touches.count(),
+                hash_bits: words_eval * bits_for(self.l as u64)
+                    + pos_eval * bits_for(u64::from(self.w)),
+            },
+        )
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut touches = WordTouches::new();
+        let mut sets = [0usize; 64];
+        let mut n_sets = 0usize;
+        let (words_eval, pos_eval) = self.for_each_position(key, |word, bit, _| {
+            touches.touch(word);
+            sets[n_sets] = bit;
+            n_sets += 1;
+            true
+        });
+        for &bit in &sets[..n_sets] {
+            self.bits.set(bit);
+        }
+        self.items += 1;
+        Ok(OpCost {
+            word_accesses: touches.count(),
+            hash_bits: words_eval * bits_for(self.l as u64)
+                + pos_eval * bits_for(u64::from(self.w)),
+        })
+    }
+
+    fn memory_bits(&self) -> u64 {
+        (self.l * self.w as usize) as u64
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_bf1_and_bf2() {
+        for g in [1u32, 2] {
+            let mut f = BfG::<Murmur3>::new(4096, 64, 3.max(g), g, 11);
+            for i in 0..2000u64 {
+                f.insert(&i).unwrap();
+            }
+            for i in 0..2000u64 {
+                assert!(f.contains(&i), "g={g}: false negative {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf1_query_touches_one_word() {
+        let mut f = BfG::<Murmur3>::bf1(4096, 64, 3, 5);
+        f.insert(&"hit").unwrap();
+        let (_, cost) = f.contains_bytes_cost(b"hit");
+        assert_eq!(cost.word_accesses, 1);
+        let (_, cost_miss) = f.contains_bytes_cost(b"definitely-missing-key");
+        assert_eq!(cost_miss.word_accesses, 1);
+    }
+
+    #[test]
+    fn bf2_member_query_touches_at_most_two_words() {
+        let mut f = BfG::<Murmur3>::new(4096, 64, 4, 2, 5);
+        f.insert(&"hit").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"hit");
+        assert!(hit);
+        assert!(cost.word_accesses <= 2);
+    }
+
+    #[test]
+    fn bf1_has_higher_fpr_than_standard_bloom() {
+        // The paper's premise (§II.B): BF-1 pays accuracy for speed.
+        use crate::bloom::BloomFilter;
+        let m = 1 << 18;
+        let n = 30_000u64;
+        let mut std_bf = BloomFilter::<Murmur3>::new(m, 3, 7);
+        let mut bf1 = BfG::<Murmur3>::bf1(m / 64, 64, 3, 7);
+        for i in 0..n {
+            std_bf.insert(&i).unwrap();
+            bf1.insert(&i).unwrap();
+        }
+        let trials = 200_000u64;
+        let fp_std = (n..n + trials).filter(|i| std_bf.contains(i)).count();
+        let fp_bf1 = (n..n + trials).filter(|i| bf1.contains(i)).count();
+        assert!(
+            fp_bf1 > fp_std,
+            "BF-1 {fp_bf1} should out-err standard BF {fp_std}"
+        );
+    }
+
+    #[test]
+    fn query_bandwidth_matches_paper_formula() {
+        // BF-1 worst case: log2(l) + k·log2(w) bits.
+        let mut f = BfG::<Murmur3>::bf1(4096, 64, 3, 5);
+        f.insert(&"k").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"k");
+        assert!(hit);
+        assert_eq!(cost.hash_bits, 12 + 3 * 6);
+    }
+
+    #[test]
+    fn memory_bits_is_l_times_w() {
+        let f = BfG::<Murmur3>::bf1(100, 64, 3, 0);
+        assert_eq!(f.memory_bits(), 6400);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad g")]
+    fn g_greater_than_k_panics() {
+        let _ = BfG::<Murmur3>::new(16, 64, 2, 3, 0);
+    }
+}

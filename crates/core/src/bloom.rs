@@ -1,0 +1,215 @@
+//! The standard Bloom filter (§II.A, reference \[1\]).
+//!
+//! An `m`-bit vector with `k` hashed positions per element. Included as the
+//! insert-only baseline underlying every counting variant; the BF-1/BF-g
+//! one-access generalisation lives in [`crate::bf1`].
+
+use crate::metrics::{OpCost, WordTouches};
+use crate::traits::Filter;
+use crate::FilterError;
+use mpcbf_bitvec::BitVec;
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// A standard Bloom filter over an `m`-bit vector.
+///
+/// ```
+/// use mpcbf_core::{BloomFilter, Filter};
+/// use mpcbf_hash::Murmur3;
+///
+/// let mut bf = BloomFilter::<Murmur3>::new(10_000, 3, 7);
+/// bf.insert(&1234u64).unwrap();
+/// assert!(bf.contains(&1234u64));
+/// // Insert-only: no `remove` — that's what the counting variants add.
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter<H: Hasher128 = Murmur3> {
+    bits: BitVec,
+    k: u32,
+    seed: u64,
+    /// Machine-word granularity used for access metering.
+    word_bits: u32,
+    items: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> BloomFilter<H> {
+    /// Creates a Bloom filter with `m` bits and `k` hash functions.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `k` is outside `1..=64`.
+    pub fn new(m: usize, k: u32, seed: u64) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
+        BloomFilter {
+            bits: BitVec::new(m),
+            k,
+            seed,
+            word_bits: 64,
+            items: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// Sets the machine-word width used when counting memory accesses.
+    pub fn with_word_bits(mut self, word_bits: u32) -> Self {
+        assert!(word_bits.is_power_of_two() && (8..=512).contains(&word_bits));
+        self.word_bits = word_bits;
+        self
+    }
+
+    /// Number of bits in the vector.
+    pub fn len_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of (net) insertions performed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Fraction of bits currently set.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    #[inline]
+    fn hasher(&self, key: &[u8]) -> DoubleHasher {
+        DoubleHasher::new(H::hash128(self.seed, key), self.bits.len() as u64)
+    }
+
+    #[inline]
+    fn word_of(&self, bit: usize) -> usize {
+        bit / self.word_bits as usize
+    }
+}
+
+impl<H: Hasher128> Filter for BloomFilter<H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut dh = self.hasher(key);
+        let mut touches = WordTouches::new();
+        let addr_bits = bits_for(self.bits.len() as u64);
+        let mut evaluated = 0u32;
+        let mut member = true;
+        for _ in 0..self.k {
+            let p = dh.next_index();
+            touches.touch(self.word_of(p));
+            evaluated += 1;
+            if !self.bits.get(p) {
+                member = false;
+                break; // short-circuit on first zero
+            }
+        }
+        (
+            member,
+            OpCost {
+                word_accesses: touches.count(),
+                hash_bits: evaluated * addr_bits,
+            },
+        )
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut dh = self.hasher(key);
+        let mut touches = WordTouches::new();
+        let addr_bits = bits_for(self.bits.len() as u64);
+        for _ in 0..self.k {
+            let p = dh.next_index();
+            touches.touch(self.word_of(p));
+            self.bits.set(p);
+        }
+        self.items += 1;
+        Ok(OpCost {
+            word_accesses: touches.count(),
+            hash_bits: self.k * addr_bits,
+        })
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.bits.len() as u64
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Bf = BloomFilter<Murmur3>;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = Bf::new(10_000, 3, 1);
+        for i in 0..500u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..500u64 {
+            assert!(f.contains(&i), "false negative for {i}");
+        }
+        assert_eq!(f.items(), 500);
+    }
+
+    #[test]
+    fn fpr_in_expected_ballpark() {
+        // m/n = 10, k = 3 ⇒ analytic FPR ≈ 2.4%; allow generous slack.
+        let mut f = Bf::new(100_000, 3, 2);
+        for i in 0..10_000u64 {
+            f.insert(&i).unwrap();
+        }
+        let fp = (10_000..60_000u64).filter(|i| f.contains(i)).count();
+        let rate = fp as f64 / 50_000.0;
+        let analytic = mpcbf_analysis::cbf::fpr(10_000, 100_000, 3);
+        assert!(
+            (rate - analytic).abs() < analytic,
+            "measured {rate} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn query_cost_short_circuits() {
+        let f = Bf::new(1 << 16, 4, 3);
+        // Empty filter: first probe misses, one word touched, one address.
+        let (hit, cost) = f.contains_bytes_cost(b"nope");
+        assert!(!hit);
+        assert_eq!(cost.word_accesses, 1);
+        assert_eq!(cost.hash_bits, 16);
+    }
+
+    #[test]
+    fn member_query_costs_full_k() {
+        let mut f = Bf::new(1 << 16, 4, 3);
+        f.insert(&"present").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"present");
+        assert!(hit);
+        assert_eq!(cost.hash_bits, 4 * 16);
+        assert!(cost.word_accesses >= 1 && cost.word_accesses <= 4);
+    }
+
+    #[test]
+    fn insert_cost_counts_distinct_words() {
+        let mut f = Bf::new(128, 8, 7).with_word_bits(64);
+        // Only 2 machine words exist, so accesses ≤ 2 despite k = 8.
+        let cost = f.insert_bytes_cost(b"x").unwrap();
+        assert!(cost.word_accesses <= 2);
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut f = Bf::new(1000, 3, 0);
+        assert_eq!(f.fill_ratio(), 0.0);
+        for i in 0..100u64 {
+            f.insert(&i).unwrap();
+        }
+        assert!(f.fill_ratio() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=64")]
+    fn zero_k_panics() {
+        let _ = Bf::new(100, 0, 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The standard Counting Bloom Filter (§II.A, reference \[3\]):
+//! `m` packed 4-bit counters, `k` hashed positions per element.
+//!
+//! This is the primary baseline of every figure and table in the paper.
+//! Counters saturate at 15 (the classic policy that preserves the
+//! no-false-negative guarantee); queries short-circuit at the first zero
+//! counter, which is what produces the fractional per-query access counts
+//! the paper reports (e.g. 2.1 for k = 3 on the trace workload).
+
+use crate::metrics::{OpCost, WordTouches};
+use crate::traits::{CountingFilter, Filter};
+use crate::FilterError;
+use mpcbf_bitvec::CounterVec;
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// A standard CBF with `m` counters of `c` bits.
+///
+/// ```
+/// use mpcbf_core::{Cbf, CountingFilter, Filter};
+/// use mpcbf_hash::Murmur3;
+///
+/// let mut cbf = Cbf::<Murmur3>::with_memory(4_000, 3, 42);
+/// cbf.insert(&"tcp:443").unwrap();
+/// assert!(cbf.contains(&"tcp:443"));
+/// cbf.remove(&"tcp:443").unwrap();
+/// assert!(!cbf.contains(&"tcp:443"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cbf<H: Hasher128 = Murmur3> {
+    counters: CounterVec,
+    k: u32,
+    seed: u64,
+    /// Machine-word granularity for access metering.
+    word_bits: u32,
+    items: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> Cbf<H> {
+    /// Creates a CBF with `m` counters of the paper's default 4 bits.
+    pub fn new(m: usize, k: u32, seed: u64) -> Self {
+        Self::with_counter_width(m, 4, k, seed)
+    }
+
+    /// Creates a CBF sized to a memory budget of `memory_bits`
+    /// (`m = memory_bits / 4`), the layout used in all comparisons.
+    pub fn with_memory(memory_bits: u64, k: u32, seed: u64) -> Self {
+        Self::new((memory_bits / 4) as usize, k, seed)
+    }
+
+    /// Creates a CBF with an explicit counter width.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, `k ∉ 1..=64` or `width ∉ 1..=32`.
+    pub fn with_counter_width(m: usize, width: u32, k: u32, seed: u64) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
+        Cbf {
+            counters: CounterVec::new(m, width),
+            k,
+            seed,
+            word_bits: 64,
+            items: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// Sets the machine-word width used when counting memory accesses.
+    pub fn with_word_bits(mut self, word_bits: u32) -> Self {
+        assert!(word_bits.is_power_of_two() && (8..=512).contains(&word_bits));
+        self.word_bits = word_bits;
+        self
+    }
+
+    /// Number of counters.
+    pub fn len_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Net insertions currently stored.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Number of increments that hit a saturated counter.
+    pub fn saturations(&self) -> u64 {
+        self.counters.saturations()
+    }
+
+    /// Value of counter `i` (for tests and diagnostics).
+    pub fn counter(&self, i: usize) -> u64 {
+        self.counters.get(i)
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The metering word width.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Raw storage view for serialization:
+    /// `(limbs, counter count, counter width, saturations)`.
+    pub fn raw_parts(&self) -> (&[u64], usize, u32, u64) {
+        (
+            self.counters.raw_limbs(),
+            self.counters.len(),
+            self.counters.width(),
+            self.counters.saturations(),
+        )
+    }
+
+    /// Rebuilds a filter from raw storage (the codec's decode path).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        limbs: Vec<u64>,
+        len: usize,
+        width: u32,
+        saturations: u64,
+        k: u32,
+        seed: u64,
+        word_bits: u32,
+        items: u64,
+    ) -> Self {
+        Cbf {
+            counters: CounterVec::from_raw_parts(limbs, len, width, saturations),
+            k,
+            seed,
+            word_bits,
+            items,
+            _hasher: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn hasher(&self, key: &[u8]) -> DoubleHasher {
+        DoubleHasher::new(H::hash128(self.seed, key), self.counters.len() as u64)
+    }
+
+    #[inline]
+    fn word_of(&self, counter: usize) -> usize {
+        counter * self.counters.width() as usize / self.word_bits as usize
+    }
+}
+
+impl<H: Hasher128> Filter for Cbf<H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut dh = self.hasher(key);
+        let mut touches = WordTouches::new();
+        let addr_bits = bits_for(self.counters.len() as u64);
+        let mut evaluated = 0u32;
+        let mut member = true;
+        for _ in 0..self.k {
+            let p = dh.next_index();
+            touches.touch(self.word_of(p));
+            evaluated += 1;
+            if !self.counters.is_set(p) {
+                member = false;
+                break;
+            }
+        }
+        (
+            member,
+            OpCost {
+                word_accesses: touches.count(),
+                hash_bits: evaluated * addr_bits,
+            },
+        )
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut dh = self.hasher(key);
+        let mut touches = WordTouches::new();
+        let addr_bits = bits_for(self.counters.len() as u64);
+        for _ in 0..self.k {
+            let p = dh.next_index();
+            touches.touch(self.word_of(p));
+            self.counters.increment(p);
+        }
+        self.items += 1;
+        Ok(OpCost {
+            word_accesses: touches.count(),
+            hash_bits: self.k * addr_bits,
+        })
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.counters.memory_bits() as u64
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.k
+    }
+}
+
+impl<H: Hasher128> CountingFilter for Cbf<H> {
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut dh = self.hasher(key);
+        let mut touches = WordTouches::new();
+        let addr_bits = bits_for(self.counters.len() as u64);
+        // First pass: verify presence so a bogus delete cannot corrupt the
+        // filter (decrementing a zero counter would manufacture false
+        // negatives for other elements).
+        let mut probe = self.hasher(key);
+        for _ in 0..self.k {
+            if !self.counters.is_set(probe.next_index()) {
+                return Err(FilterError::NotPresent);
+            }
+        }
+        for _ in 0..self.k {
+            let p = dh.next_index();
+            touches.touch(self.word_of(p));
+            self.counters.decrement(p);
+        }
+        self.items = self.items.saturating_sub(1);
+        Ok(OpCost {
+            word_accesses: touches.count(),
+            hash_bits: self.k * addr_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = Cbf<Murmur3>;
+
+    #[test]
+    fn insert_query_delete_roundtrip() {
+        let mut f = C::new(10_000, 3, 1);
+        f.insert(&"x").unwrap();
+        assert!(f.contains(&"x"));
+        f.remove(&"x").unwrap();
+        assert!(!f.contains(&"x"));
+        assert_eq!(f.items(), 0);
+    }
+
+    #[test]
+    fn no_false_negatives_under_churn() {
+        let mut f = C::new(50_000, 3, 2);
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        // Delete the first half; the second half must all remain.
+        for i in 0..2_500u64 {
+            f.remove(&i).unwrap();
+        }
+        for i in 2_500..5_000u64 {
+            assert!(f.contains(&i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn delete_absent_errors_and_preserves_state() {
+        let mut f = C::new(1_000, 3, 3);
+        f.insert(&"keep").unwrap();
+        let before: Vec<u64> = (0..1_000).map(|i| f.counter(i)).collect();
+        assert_eq!(f.remove(&"never-inserted"), Err(FilterError::NotPresent));
+        let after: Vec<u64> = (0..1_000).map(|i| f.counter(i)).collect();
+        assert_eq!(before, after);
+        assert!(f.contains(&"keep"));
+    }
+
+    #[test]
+    fn duplicate_inserts_need_matching_deletes() {
+        let mut f = C::new(1_000, 3, 4);
+        f.insert(&"dup").unwrap();
+        f.insert(&"dup").unwrap();
+        f.remove(&"dup").unwrap();
+        assert!(f.contains(&"dup"), "one copy should remain");
+        f.remove(&"dup").unwrap();
+        assert!(!f.contains(&"dup"));
+    }
+
+    #[test]
+    fn memory_matches_4_bits_per_counter() {
+        let f = C::with_memory(4_000_000, 3, 0);
+        assert_eq!(f.len_counters(), 1_000_000);
+        assert_eq!(f.memory_bits(), 4_000_000);
+    }
+
+    #[test]
+    fn query_short_circuit_on_empty_filter() {
+        let f = C::new(1 << 20, 3, 5);
+        let (hit, cost) = f.contains_bytes_cost(b"miss");
+        assert!(!hit);
+        assert_eq!(cost.word_accesses, 1);
+        assert_eq!(cost.hash_bits, 20);
+    }
+
+    #[test]
+    fn member_query_costs_k_addresses() {
+        let mut f = C::new(1 << 20, 3, 5);
+        f.insert(&"m").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"m");
+        assert!(hit);
+        assert_eq!(cost.hash_bits, 3 * 20);
+        assert!(cost.word_accesses <= 3);
+    }
+
+    #[test]
+    fn fpr_close_to_analytic() {
+        let n = 10_000u64;
+        let m = 100_000;
+        let mut f = C::new(m, 3, 6);
+        for i in 0..n {
+            f.insert(&i).unwrap();
+        }
+        let trials = 100_000u64;
+        let fp = (n..n + trials).filter(|i| f.contains(i)).count() as f64;
+        let rate = fp / trials as f64;
+        let analytic = mpcbf_analysis::cbf::fpr(n, m as u64, 3);
+        assert!(
+            (rate - analytic).abs() < 0.5 * analytic + 1e-3,
+            "measured {rate}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn saturation_does_not_lose_membership() {
+        let mut f = C::with_counter_width(64, 2, 2, 7); // counters max out at 3
+        for _ in 0..20 {
+            f.insert(&"hot").unwrap();
+        }
+        assert!(f.saturations() > 0);
+        assert!(f.contains(&"hot"));
+        // Deletes on saturated counters keep them stuck at max — still no
+        // false negative for the remaining copies.
+        for _ in 0..5 {
+            f.remove(&"hot").unwrap();
+        }
+        assert!(f.contains(&"hot"));
+    }
+}

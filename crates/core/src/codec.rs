@@ -1,0 +1,425 @@
+//! Wire format for shipping filters between nodes.
+//!
+//! The paper's MapReduce deployment *broadcasts the filter* to every map
+//! task through DistributedCache (§V) — which requires a byte encoding.
+//! This module defines a small, versioned, checksummed format:
+//!
+//! ```text
+//! magic  "MPCB"          4 bytes
+//! kind   u8              1 = CBF, 2 = MPCBF(u64 words)
+//! ver    u8              format version (currently 1)
+//! header fields          kind-specific, little-endian
+//! payload                raw limbs, little-endian u64s
+//! crc32  u32             IEEE CRC-32 of everything above
+//! ```
+//!
+//! No serde: the format is explicit, stable, and independent of Rust
+//! struct layout. Decoding validates the checksum, the magic, and every
+//! structural invariant before constructing a filter.
+
+use crate::cbf::Cbf;
+use crate::config::MpcbfConfig;
+use crate::mpcbf::Mpcbf;
+use crate::traits::Filter;
+use mpcbf_hash::Hasher128;
+
+/// Errors from decoding a filter image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// The magic bytes don't match.
+    BadMagic,
+    /// Unknown filter kind byte.
+    UnknownKind(u8),
+    /// Unsupported format version.
+    UnsupportedVersion(u8),
+    /// The CRC-32 does not match the contents.
+    ChecksumMismatch {
+        /// CRC stored in the image.
+        stored: u32,
+        /// CRC computed over the image.
+        computed: u32,
+    },
+    /// A header field is structurally invalid.
+    BadHeader(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "filter image truncated"),
+            CodecError::BadMagic => write!(f, "bad magic (not a filter image)"),
+            CodecError::UnknownKind(k) => write!(f, "unknown filter kind {k}"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#10x}, computed {computed:#10x}")
+            }
+            CodecError::BadHeader(what) => write!(f, "invalid header field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MAGIC: &[u8; 4] = b"MPCB";
+const VERSION: u8 = 1;
+const KIND_CBF: u8 = 1;
+const KIND_MPCBF64: u8 = 2;
+
+/// IEEE CRC-32 (reflected, poly 0xEDB88320), table-free bitwise variant —
+/// encoding happens once per broadcast, so simplicity beats speed here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.push(kind);
+        buf.push(VERSION);
+        Writer { buf }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn limbs(&mut self, limbs: &[u64]) {
+        self.buf.reserve(limbs.len() * 8);
+        for &l in limbs {
+            self.buf.extend_from_slice(&l.to_le_bytes());
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.u32(crc);
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates magic/kind/version/CRC and positions after the header.
+    fn open(buf: &'a [u8], kind: u8) -> Result<Self, CodecError> {
+        if buf.len() < MAGIC.len() + 2 + 4 {
+            return Err(CodecError::Truncated);
+        }
+        if &buf[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if buf[4] != kind {
+            return Err(CodecError::UnknownKind(buf[4]));
+        }
+        if buf[5] != VERSION {
+            return Err(CodecError::UnsupportedVersion(buf[5]));
+        }
+        let body = &buf[..buf.len() - 4];
+        let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Reader { buf: body, pos: 6 })
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let end = self.pos + 4;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let v = u32::from_le_bytes(self.buf[self.pos..end].try_into().expect("4 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let end = self.pos + 8;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn limbs(&mut self, count: usize) -> Result<Vec<u64>, CodecError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn expect_end(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::BadHeader("trailing bytes"))
+        }
+    }
+}
+
+impl<H: Hasher128> Cbf<H> {
+    /// Encodes the filter into the portable wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let (limbs, len, width, saturations) = self.raw_parts();
+        let mut w = Writer::new(KIND_CBF);
+        w.u64(len as u64);
+        w.u32(width);
+        w.u32(self.num_hashes());
+        w.u64(self.seed());
+        w.u32(self.word_bits());
+        w.u64(self.items());
+        w.u64(saturations);
+        w.limbs(limbs);
+        w.finish()
+    }
+
+    /// Decodes a filter previously produced by [`Cbf::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::open(buf, KIND_CBF)?;
+        let len = r.u64()? as usize;
+        let width = r.u32()?;
+        let k = r.u32()?;
+        let seed = r.u64()?;
+        let word_bits = r.u32()?;
+        let items = r.u64()?;
+        let saturations = r.u64()?;
+        if len == 0 || !(1..=32).contains(&width) {
+            return Err(CodecError::BadHeader("counter geometry"));
+        }
+        if !(1..=64).contains(&k) {
+            return Err(CodecError::BadHeader("hash count"));
+        }
+        if !word_bits.is_power_of_two() || !(8..=512).contains(&word_bits) {
+            return Err(CodecError::BadHeader("word bits"));
+        }
+        let limb_count = (len * width as usize).div_ceil(64);
+        let limbs = r.limbs(limb_count)?;
+        r.expect_end()?;
+        Ok(Self::from_raw_parts(limbs, len, width, saturations, k, seed, word_bits, items))
+    }
+}
+
+impl<H: Hasher128> Mpcbf<u64, H> {
+    /// Encodes the filter into the portable wire format
+    /// (64-bit-word filters only — the paper's deployment configuration).
+    pub fn encode(&self) -> Vec<u8> {
+        let shape = self.shape();
+        let mut w = Writer::new(KIND_MPCBF64);
+        w.u64(shape.l);
+        w.u32(shape.k);
+        w.u32(shape.g);
+        w.u32(shape.n_max);
+        w.u64(self.seed());
+        w.u64(self.items());
+        w.u64(self.overflows());
+        w.limbs(&self.raw_words());
+        w.finish()
+    }
+
+    /// Decodes a filter previously produced by [`Mpcbf::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::open(buf, KIND_MPCBF64)?;
+        let l = r.u64()?;
+        let k = r.u32()?;
+        let g = r.u32()?;
+        let n_max = r.u32()?;
+        let seed = r.u64()?;
+        let items = r.u64()?;
+        let overflows = r.u64()?;
+        if l < 2 {
+            return Err(CodecError::BadHeader("word count"));
+        }
+        let config = MpcbfConfig::builder()
+            .memory_bits(l * 64)
+            .expected_items(items.max(1))
+            .hashes(k)
+            .accesses(g)
+            .n_max(n_max)
+            .seed(seed)
+            .build()
+            .map_err(|_| CodecError::BadHeader("shape"))?;
+        let limbs = r.limbs(l as usize)?;
+        r.expect_end()?;
+        // Reject corrupted words: every word must satisfy the HCBF
+        // capacity invariant for this b1.
+        let b1 = config.shape().b1;
+        for (i, &raw) in limbs.iter().enumerate() {
+            let word = crate::hcbf::HcbfWord::<u64>::from_raw(raw);
+            if word.check_invariants(b1).is_err() {
+                let _ = i;
+                return Err(CodecError::BadHeader("word invariant"));
+            }
+        }
+        Ok(Self::from_raw_parts(config, limbs, items, overflows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{CountingFilter, Filter};
+    use mpcbf_hash::Murmur3;
+
+    fn loaded_cbf() -> Cbf<Murmur3> {
+        let mut f = Cbf::new(5_000, 3, 77);
+        for i in 0..1_000u64 {
+            f.insert(&i).unwrap();
+        }
+        f
+    }
+
+    fn loaded_mpcbf() -> Mpcbf<u64, Murmur3> {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(200_000)
+            .expected_items(2_000)
+            .hashes(3)
+            .seed(78)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        for i in 0..2_000u64 {
+            let _ = f.insert(&i);
+        }
+        f
+    }
+
+    #[test]
+    fn cbf_roundtrip_preserves_behaviour() {
+        let original = loaded_cbf();
+        let decoded = Cbf::<Murmur3>::decode(&original.encode()).unwrap();
+        for probe in 0..20_000u64 {
+            assert_eq!(original.contains(&probe), decoded.contains(&probe), "probe {probe}");
+        }
+        assert_eq!(original.items(), decoded.items());
+        // The decoded filter keeps working: delete + re-query.
+        let mut decoded = decoded;
+        decoded.remove(&5u64).unwrap();
+    }
+
+    #[test]
+    fn mpcbf_roundtrip_preserves_behaviour() {
+        let original = loaded_mpcbf();
+        let decoded = Mpcbf::<u64, Murmur3>::decode(&original.encode()).unwrap();
+        for probe in 0..20_000u64 {
+            assert_eq!(original.contains(&probe), decoded.contains(&probe), "probe {probe}");
+        }
+        assert_eq!(original.shape(), decoded.shape());
+        assert_eq!(original.items(), decoded.items());
+        let mut decoded = decoded;
+        decoded.remove(&7u64).unwrap();
+        assert!(!decoded.contains(&7u64) || original.contains(&7u64));
+    }
+
+    #[test]
+    fn bitflips_are_detected() {
+        let image = loaded_mpcbf().encode();
+        for pos in [0usize, 5, 6, 20, image.len() / 2, image.len() - 1] {
+            let mut corrupt = image.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(
+                Mpcbf::<u64, Murmur3>::decode(&corrupt).is_err(),
+                "bitflip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let image = loaded_cbf().encode();
+        for cut in [0usize, 3, 9, image.len() - 5] {
+            assert!(Cbf::<Murmur3>::decode(&image[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let cbf_image = loaded_cbf().encode();
+        assert!(matches!(
+            Mpcbf::<u64, Murmur3>::decode(&cbf_image),
+            Err(CodecError::UnknownKind(_))
+        ));
+        let mp_image = loaded_mpcbf().encode();
+        assert!(matches!(
+            Cbf::<Murmur3>::decode(&mp_image),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn wire_format_is_pinned() {
+        // Golden prefix: any change to magic/kind/version/header layout
+        // breaks cross-version compatibility and must fail this test.
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(1_024) // l = 16 words
+            .expected_items(10)
+            .hashes(3)
+            .seed(0x0102_0304_0506_0708)
+            .build()
+            .unwrap();
+        let f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        let image = f.encode();
+        // magic "MPCB", kind 2, version 1
+        assert_eq!(&image[..6], b"MPCB\x02\x01");
+        // l = 16 (LE u64), k = 3, g = 1 (LE u32s)
+        assert_eq!(&image[6..14], &16u64.to_le_bytes());
+        assert_eq!(&image[14..18], &3u32.to_le_bytes());
+        assert_eq!(&image[18..22], &1u32.to_le_bytes());
+        // n_max, then seed at its fixed offset
+        assert_eq!(&image[26..34], &0x0102_0304_0506_0708u64.to_le_bytes());
+        // Total size: 6 header + 8+4+4+4+8+8+8 fields + 16·8 payload + 4 CRC.
+        assert_eq!(image.len(), 6 + 44 + 128 + 4);
+    }
+
+    #[test]
+    fn empty_filter_roundtrips() {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(2_048)
+            .expected_items(5)
+            .hashes(2)
+            .build()
+            .unwrap();
+        let f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        let d = Mpcbf::<u64, Murmur3>::decode(&f.encode()).unwrap();
+        assert_eq!(d.items(), 0);
+        assert!(!d.contains(&1u64));
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CodecError::ChecksumMismatch { stored: 1, computed: 2 };
+        assert!(e.to_string().contains("checksum"));
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types shared by all filters.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors a filter operation can report.
+///
+/// Operations that fail leave the filter in the state it had before the
+/// operation began (partial updates are rolled back), so an `Err` never
+/// corrupts the structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterError {
+    /// An HCBF word ran out of hierarchy space (§III.B.4).
+    ///
+    /// With the paper's Eq.-(11) capacity heuristic this is rare enough
+    /// that the authors "never observe any word overflow"; when it does
+    /// happen the insert is refused and the filter is unchanged.
+    WordOverflow {
+        /// Index of the word that could not accommodate the increment.
+        word: usize,
+    },
+    /// A deletion targeted an element that is not in the filter
+    /// (one of its counters was already zero).
+    NotPresent,
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::WordOverflow { word } => {
+                write!(f, "HCBF word {word} overflowed: no hierarchy space left")
+            }
+            FilterError::NotPresent => {
+                write!(f, "cannot delete: element is not present in the filter")
+            }
+        }
+    }
+}
+
+impl Error for FilterError {}
+
+/// Errors raised while validating a filter configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The memory budget was zero or too small for the layout.
+    InsufficientMemory {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `expected_items` was zero.
+    ZeroItems,
+    /// The hash count was zero or exceeded the supported maximum.
+    BadHashCount {
+        /// The offending value.
+        k: u32,
+    },
+    /// `g` (memory accesses) was zero or exceeded `k`.
+    BadAccessCount {
+        /// The offending value.
+        g: u32,
+    },
+    /// The derived MPCBF shape was infeasible (first level too small).
+    Shape(mpcbf_analysis::heuristic::ShapeError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InsufficientMemory { detail } => {
+                write!(f, "insufficient memory: {detail}")
+            }
+            ConfigError::ZeroItems => write!(f, "expected_items must be positive"),
+            ConfigError::BadHashCount { k } => {
+                write!(f, "hash count {k} out of supported range 1..=64")
+            }
+            ConfigError::BadAccessCount { g } => {
+                write!(f, "access count g = {g} must satisfy 1 <= g <= k and g <= 8")
+            }
+            ConfigError::Shape(e) => write!(f, "infeasible MPCBF shape: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mpcbf_analysis::heuristic::ShapeError> for ConfigError {
+    fn from(e: mpcbf_analysis::heuristic::ShapeError) -> Self {
+        ConfigError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_render() {
+        assert!(FilterError::WordOverflow { word: 3 }.to_string().contains('3'));
+        assert!(FilterError::NotPresent.to_string().contains("not present"));
+        assert!(ConfigError::ZeroItems.to_string().contains("positive"));
+        assert!(ConfigError::BadHashCount { k: 0 }.to_string().contains('0'));
+    }
+
+    #[test]
+    fn shape_error_converts() {
+        let e = mpcbf_analysis::heuristic::derive_shape(64, 64, 100, 3, 1).unwrap_err();
+        let c: ConfigError = e.into();
+        assert!(matches!(c, ConfigError::Shape(_)));
+        assert!(std::error::Error::source(&c).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Access metering: the paper's "processing overhead" metrics.
+//!
+//! The paper characterises every filter by (a) **memory accesses** per
+//! operation — the number of distinct machine words fetched — and (b)
+//! **access bandwidth** — the number of hash/address bits the operation
+//! consumes (Tables I–III, Fig. 11). Queries *short-circuit*: a membership
+//! check stops at the first zero position, which is why the paper's
+//! measured per-query averages are fractional (e.g. 2.1 accesses for CBF
+//! and 1.8 for MPCBF-2 at k = 3).
+//!
+//! Each filter operation returns an [`OpCost`]; harnesses fold them into an
+//! [`AccessStats`] ledger per operation kind.
+
+/// The metered cost of one filter operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Distinct machine words fetched.
+    pub word_accesses: u32,
+    /// Hash/address bits consumed (the paper's access bandwidth).
+    pub hash_bits: u32,
+}
+
+impl OpCost {
+    /// A zero cost.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise sum.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // not an `Add` impl: takes/returns by value for metering folds
+    pub fn add(self, other: OpCost) -> OpCost {
+        OpCost {
+            word_accesses: self.word_accesses + other.word_accesses,
+            hash_bits: self.hash_bits + other.hash_bits,
+        }
+    }
+}
+
+/// Running totals for one kind of operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTally {
+    ops: u64,
+    word_accesses: u64,
+    hash_bits: u64,
+}
+
+impl OpTally {
+    /// Records one operation's cost.
+    #[inline]
+    pub fn record(&mut self, cost: OpCost) {
+        self.ops += 1;
+        self.word_accesses += u64::from(cost.word_accesses);
+        self.hash_bits += u64::from(cost.hash_bits);
+    }
+
+    /// Number of operations recorded.
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Mean memory accesses per operation (0 if none recorded).
+    #[inline]
+    pub fn mean_accesses(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.word_accesses as f64 / self.ops as f64
+        }
+    }
+
+    /// Mean access bandwidth (hash bits) per operation.
+    #[inline]
+    pub fn mean_hash_bits(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.hash_bits as f64 / self.ops as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    #[inline]
+    pub fn merge(&mut self, other: &OpTally) {
+        self.ops += other.ops;
+        self.word_accesses += other.word_accesses;
+        self.hash_bits += other.hash_bits;
+    }
+}
+
+/// Ledger of operation costs, split by kind as the paper's tables are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Membership queries.
+    pub queries: OpTally,
+    /// Insertions.
+    pub inserts: OpTally,
+    /// Deletions.
+    pub removes: OpTally,
+}
+
+impl AccessStats {
+    /// A fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combined update tally (inserts + removes), as Table II reports.
+    pub fn updates(&self) -> OpTally {
+        let mut t = self.inserts;
+        t.merge(&self.removes);
+        t
+    }
+
+    /// Merges another ledger.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.queries.merge(&other.queries);
+        self.inserts.merge(&other.inserts);
+        self.removes.merge(&other.removes);
+    }
+}
+
+/// Deduplicating tracker for word indices touched within one operation.
+///
+/// Operations touch at most a handful of words (`g ≤ 8` for MPCBF, `k ≤ 64`
+/// for CBF), so a linear scan over a stack buffer beats any hash set.
+#[derive(Debug)]
+pub struct WordTouches {
+    seen: [usize; 64],
+    len: usize,
+}
+
+impl WordTouches {
+    /// An empty tracker.
+    #[inline]
+    pub fn new() -> Self {
+        WordTouches { seen: [0; 64], len: 0 }
+    }
+
+    /// Records a touch of `word`; duplicate touches are free (a word
+    /// already fetched this operation stays in registers/cache).
+    #[inline]
+    pub fn touch(&mut self, word: usize) {
+        if self.seen[..self.len].contains(&word) {
+            return;
+        }
+        // If an operation somehow touches more than 64 distinct words we
+        // saturate rather than panic; no paper configuration approaches it.
+        if self.len < self.seen.len() {
+            self.seen[self.len] = word;
+            self.len += 1;
+        }
+    }
+
+    /// Number of distinct words touched.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.len as u32
+    }
+}
+
+impl Default for WordTouches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_cost_adds() {
+        let a = OpCost { word_accesses: 1, hash_bits: 22 };
+        let b = OpCost { word_accesses: 2, hash_bits: 10 };
+        assert_eq!(a.add(b), OpCost { word_accesses: 3, hash_bits: 32 });
+        assert_eq!(OpCost::zero().add(a), a);
+    }
+
+    #[test]
+    fn tally_means() {
+        let mut t = OpTally::default();
+        t.record(OpCost { word_accesses: 1, hash_bits: 30 });
+        t.record(OpCost { word_accesses: 3, hash_bits: 50 });
+        assert_eq!(t.ops(), 2);
+        assert!((t.mean_accesses() - 2.0).abs() < 1e-12);
+        assert!((t.mean_hash_bits() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tally_is_zero() {
+        let t = OpTally::default();
+        assert_eq!(t.mean_accesses(), 0.0);
+        assert_eq!(t.mean_hash_bits(), 0.0);
+    }
+
+    #[test]
+    fn updates_combines_inserts_and_removes() {
+        let mut s = AccessStats::new();
+        s.inserts.record(OpCost { word_accesses: 1, hash_bits: 10 });
+        s.removes.record(OpCost { word_accesses: 3, hash_bits: 20 });
+        let u = s.updates();
+        assert_eq!(u.ops(), 2);
+        assert!((u.mean_accesses() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_touches_dedupes() {
+        let mut t = WordTouches::new();
+        t.touch(5);
+        t.touch(9);
+        t.touch(5);
+        t.touch(9);
+        t.touch(1);
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn word_touches_saturates_safely() {
+        let mut t = WordTouches::new();
+        for w in 0..100 {
+            t.touch(w);
+        }
+        assert_eq!(t.count(), 64);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = AccessStats::new();
+        a.queries.record(OpCost { word_accesses: 1, hash_bits: 1 });
+        let mut b = AccessStats::new();
+        b.queries.record(OpCost { word_accesses: 3, hash_bits: 3 });
+        a.merge(&b);
+        assert_eq!(a.queries.ops(), 2);
+        assert!((a.queries.mean_accesses() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,660 @@
+//! MPCBF-1 / MPCBF-g: the Multiple-Partitioned Counting Bloom Filter
+//! (§III.B.2, §III.C) — the paper's contribution.
+//!
+//! The counter vector is an array of `l` machine words, each an
+//! [`HcbfWord`]. An element is hashed to `g` words (one hash each) and to
+//! `ceil(k/g)` first-level positions inside each word, so:
+//!
+//! * a **query** costs `g` memory accesses and reads only first-level
+//!   bits (`log2 l + k·log2 b1` hash bits);
+//! * an **update** costs the same `g` accesses plus the in-word popcount
+//!   traversal (no extra memory access — the word is already fetched);
+//! * the hierarchy stores each counter in exactly its value's worth of
+//!   bits, freeing `b1 = w − ceil(k/g)·n_max` first-level positions per
+//!   word — the source of the order-of-magnitude FPR win over CBF at
+//!   equal memory.
+//!
+//! Failed operations (word overflow, deleting an absent element) roll back
+//! any partial increments, so the filter always represents a consistent
+//! multiset.
+
+use crate::config::MpcbfConfig;
+use crate::hcbf::HcbfWord;
+use crate::metrics::{OpCost, WordTouches};
+use crate::traits::{CountingFilter, Filter};
+use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
+use mpcbf_analysis::heuristic::MpcbfShape;
+use mpcbf_bitvec::Word;
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// The Multiple-Partitioned Counting Bloom Filter.
+///
+/// Generic over the machine word `W` (default `u64`, the paper's main
+/// setting) and the hash family `H` (default Murmur3).
+///
+/// ```
+/// use mpcbf_core::{CountingFilter, Filter, Mpcbf1, MpcbfConfig};
+///
+/// let config = MpcbfConfig::builder()
+///     .memory_bits(100_000)
+///     .expected_items(1_000)
+///     .hashes(3)
+///     .build()
+///     .unwrap();
+/// let mut filter = Mpcbf1::new(config);
+/// filter.insert(&(0x0A00_0001u32, 0x0A00_0002u32)).unwrap(); // a flow
+/// let (hit, cost) = filter.contains_bytes_cost(&1u64.to_le_bytes());
+/// assert!(cost.word_accesses == 1); // one memory access, hit or miss
+/// let _ = hit;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
+    words: Vec<HcbfWord<W>>,
+    shape: MpcbfShape,
+    seed: u64,
+    items: u64,
+    overflows: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<W: Word, H: Hasher128> Mpcbf<W, H> {
+    /// Creates a filter from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration's word size differs from `W::BITS`.
+    pub fn new(config: MpcbfConfig) -> Self {
+        let shape = config.shape();
+        assert_eq!(
+            shape.w,
+            W::BITS,
+            "config word size {} != word type width {}",
+            shape.w,
+            W::BITS
+        );
+        Mpcbf {
+            words: vec![HcbfWord::new(); shape.l as usize],
+            shape,
+            seed: config.seed(),
+            items: 0,
+            overflows: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// The derived structural parameters.
+    pub fn shape(&self) -> MpcbfShape {
+        self.shape
+    }
+
+    /// Net elements currently stored.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Number of insertions refused because a word overflowed.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Reads the counter at (`word`, first-level position `p`) — for
+    /// diagnostics and tests.
+    pub fn counter(&self, word: usize, p: u32) -> u32 {
+        self.words[word].counter(p, self.shape.b1)
+    }
+
+    /// The hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Occupancy histogram: for each word, the total increments stored.
+    /// Useful for validating the Eq.-(11) heuristic empirically.
+    pub fn word_loads(&self) -> Vec<u32> {
+        self.words.iter().map(|w| w.total_count()).collect()
+    }
+
+    /// Resets the filter to empty, keeping its shape and seed.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = HcbfWord::new();
+        }
+        self.items = 0;
+        self.overflows = 0;
+    }
+
+    /// Estimates the multiplicity of `key` as the minimum of its hashed
+    /// counters (the count-min reading of a CBF; an overestimate, never
+    /// an underestimate, for elements inserted without overflow).
+    pub fn estimate_count(&self, key: &(impl mpcbf_hash::Key + ?Sized)) -> u32 {
+        let bytes = key.key_bytes();
+        let b1 = self.shape.b1;
+        let mut min = u32::MAX;
+        self.for_each_position(bytes.as_slice(), |word, p, _| {
+            min = min.min(self.words[word].counter(p, b1));
+            min > 0 // short-circuit once provably absent
+        });
+        if min == u32::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Merges `other` into `self` by adding counters position-wise — the
+    /// distributed-build pattern: shard the key space, build partial
+    /// filters in parallel, merge. Both filters must share an identical
+    /// shape and seed (so keys hash identically).
+    ///
+    /// Fails with [`FilterError::WordOverflow`] — *without modifying
+    /// `self`* — if any merged word would exceed its capacity.
+    pub fn absorb(&mut self, other: &Self) -> Result<(), FilterError> {
+        assert_eq!(self.shape, other.shape, "cannot merge differently-shaped filters");
+        assert_eq!(self.seed, other.seed, "cannot merge differently-seeded filters");
+        let b1 = self.shape.b1;
+        // Pre-check: every word must have room for the other's increments.
+        for (i, (mine, theirs)) in self.words.iter().zip(&other.words).enumerate() {
+            if mine.used_bits(b1) + theirs.total_count() > W::BITS {
+                return Err(FilterError::WordOverflow { word: i });
+            }
+        }
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            for p in 0..b1 {
+                for _ in 0..theirs.counter(p, b1) {
+                    mine.increment(p, b1).expect("capacity pre-checked");
+                }
+            }
+        }
+        self.items += other.items;
+        Ok(())
+    }
+
+    /// Visits the hashed (word, position, group) triples of `key`;
+    /// `visit` returning `false` short-circuits. Returns
+    /// (words evaluated, positions evaluated).
+    #[inline]
+    fn for_each_position(
+        &self,
+        key: &[u8],
+        mut visit: impl FnMut(usize, u32, u32) -> bool,
+    ) -> (u32, u32) {
+        let digest = H::hash128(self.seed, key);
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.shape.l);
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        'outer: for t in 0..self.shape.g {
+            let word = word_picker.next_index();
+            words_eval += 1;
+            let k_t = split_hashes(self.shape.k, self.shape.g, t);
+            let mut inner = DoubleHasher::with_salt(
+                digest,
+                GROUP_SALT ^ u64::from(t),
+                u64::from(self.shape.b1),
+            );
+            for _ in 0..k_t {
+                let p = inner.next_index() as u32;
+                pos_eval += 1;
+                if !visit(word, p, t) {
+                    break 'outer;
+                }
+            }
+        }
+        (words_eval, pos_eval)
+    }
+
+    #[inline]
+    fn base_cost(&self, words_eval: u32, pos_eval: u32, touches: &WordTouches) -> OpCost {
+        OpCost {
+            word_accesses: touches.count(),
+            hash_bits: words_eval * bits_for(self.shape.l)
+                + pos_eval * bits_for(u64::from(self.shape.b1)),
+        }
+    }
+}
+
+impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut member = true;
+        let (we, pe) = self.for_each_position(key, |word, p, _| {
+            touches.touch(word);
+            if self.words[word].query(p) {
+                true
+            } else {
+                member = false;
+                false
+            }
+        });
+        (member, self.base_cost(we, pe, &touches))
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut touches = WordTouches::new();
+        let b1 = self.shape.b1;
+        // Collect targets first (immutable pass), then apply with rollback.
+        let mut targets = [(0usize, 0u32); 64];
+        let mut n = 0usize;
+        let (we, pe) = self.for_each_position(key, |word, p, _| {
+            touches.touch(word);
+            targets[n] = (word, p);
+            n += 1;
+            true
+        });
+        let mut traversal_bits = 0u32;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            match self.words[word].increment(p, b1) {
+                Ok(report) => traversal_bits += report.traversal_bits,
+                Err(FilterError::WordOverflow { .. }) => {
+                    // Roll back the increments already applied.
+                    for &(rw, rp) in targets[..i].iter().rev() {
+                        self.words[rw]
+                            .decrement(rp, b1)
+                            .expect("rollback decrement must succeed");
+                    }
+                    self.overflows += 1;
+                    return Err(FilterError::WordOverflow { word });
+                }
+                Err(e) => unreachable!("increment cannot fail with {e:?}"),
+            }
+        }
+        self.items += 1;
+        let mut cost = self.base_cost(we, pe, &touches);
+        cost.hash_bits += traversal_bits;
+        Ok(cost)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.shape.l * u64::from(self.shape.w)
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.shape.k
+    }
+}
+
+impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut touches = WordTouches::new();
+        let b1 = self.shape.b1;
+        let mut targets = [(0usize, 0u32); 64];
+        let mut n = 0usize;
+        let (we, pe) = self.for_each_position(key, |word, p, _| {
+            touches.touch(word);
+            targets[n] = (word, p);
+            n += 1;
+            true
+        });
+        let mut traversal_bits = 0u32;
+        for i in 0..n {
+            let (word, p) = targets[i];
+            match self.words[word].decrement(p, b1) {
+                Ok(report) => traversal_bits += report.traversal_bits,
+                Err(FilterError::NotPresent) => {
+                    // Roll back: the element was not (fully) present.
+                    for &(rw, rp) in targets[..i].iter().rev() {
+                        self.words[rw]
+                            .increment(rp, b1)
+                            .expect("rollback increment must succeed");
+                    }
+                    return Err(FilterError::NotPresent);
+                }
+                Err(e) => unreachable!("decrement cannot fail with {e:?}"),
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+        let mut cost = self.base_cost(we, pe, &touches);
+        cost.hash_bits += traversal_bits;
+        Ok(cost)
+    }
+}
+
+impl<H: Hasher128> Mpcbf<u64, H> {
+    /// The raw word array (for the wire codec; 64-bit words only).
+    pub fn raw_words(&self) -> Vec<u64> {
+        self.words.iter().map(|w| *w.raw()).collect()
+    }
+
+    /// Rebuilds a filter from decoded raw words (the codec's decode path).
+    pub(crate) fn from_raw_parts(
+        config: crate::config::MpcbfConfig,
+        raw: Vec<u64>,
+        items: u64,
+        overflows: u64,
+    ) -> Self {
+        let shape = config.shape();
+        debug_assert_eq!(raw.len(), shape.l as usize);
+        Mpcbf {
+            words: raw.into_iter().map(HcbfWord::from_raw).collect(),
+            shape,
+            seed: config.seed(),
+            items,
+            overflows,
+            _hasher: PhantomData,
+        }
+    }
+}
+
+/// MPCBF-1 over 64-bit words: the paper's headline configuration.
+pub type Mpcbf1 = Mpcbf<u64, Murmur3>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcbfConfig;
+
+    fn small(g: u32) -> Mpcbf<u64> {
+        let c = MpcbfConfig::builder()
+            .memory_bits(1_000_000)
+            .expected_items(10_000)
+            .hashes(3)
+            .accesses(g)
+            .seed(99)
+            .build()
+            .unwrap();
+        Mpcbf::new(c)
+    }
+
+    #[test]
+    fn roundtrip_g1() {
+        let mut f = small(1);
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..5_000u64 {
+            assert!(f.contains(&i), "false negative {i}");
+        }
+        for i in 0..2_500u64 {
+            f.remove(&i).unwrap();
+        }
+        for i in 2_500..5_000u64 {
+            assert!(f.contains(&i), "lost {i} after churn");
+        }
+        assert_eq!(f.items(), 2_500);
+        assert_eq!(f.overflows(), 0);
+    }
+
+    #[test]
+    fn roundtrip_g2() {
+        let mut f = small(2);
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..5_000u64 {
+            assert!(f.contains(&i));
+        }
+        for i in 0..5_000u64 {
+            f.remove(&i).unwrap();
+        }
+        assert_eq!(f.items(), 0);
+        assert!(f.word_loads().iter().all(|&c| c == 0), "filter must be empty");
+    }
+
+    #[test]
+    fn query_is_one_access_for_g1() {
+        let mut f = small(1);
+        f.insert(&"x").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"x");
+        assert!(hit);
+        assert_eq!(cost.word_accesses, 1);
+        // Bandwidth: log2(l) + k·log2(b1).
+        let s = f.shape();
+        let expect = mpcbf_hash::mix::bits_for(s.l) + 3 * mpcbf_hash::mix::bits_for(s.b1.into());
+        assert_eq!(cost.hash_bits, expect);
+    }
+
+    #[test]
+    fn query_short_circuits_for_g2() {
+        let f = small(2);
+        let (hit, cost) = f.contains_bytes_cost(b"missing");
+        assert!(!hit);
+        assert_eq!(cost.word_accesses, 1, "empty filter: first probe decides");
+    }
+
+    #[test]
+    fn update_bandwidth_includes_traversal() {
+        let mut f = small(1);
+        // Insert the same key repeatedly: later increments must descend.
+        let c1 = f.insert_bytes_cost(b"dup").unwrap();
+        let c2 = f.insert_bytes_cost(b"dup").unwrap();
+        assert!(c2.hash_bits > c1.hash_bits, "{} vs {}", c2.hash_bits, c1.hash_bits);
+    }
+
+    #[test]
+    fn remove_absent_rolls_back() {
+        let mut f = small(1);
+        f.insert(&"present").unwrap();
+        let loads_before = f.word_loads();
+        assert_eq!(f.remove(&"absent"), Err(FilterError::NotPresent));
+        assert_eq!(f.word_loads(), loads_before);
+        assert!(f.contains(&"present"));
+    }
+
+    #[test]
+    fn overflow_rolls_back_cleanly() {
+        // Force overflow: tiny n_max so capacity is 3 increments per word.
+        let c = MpcbfConfig::builder()
+            .memory_bits(256) // l = 4 words: collisions guaranteed
+            .expected_items(1000)
+            .hashes(3)
+            .n_max(1)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(c);
+        let mut stored = Vec::new();
+        let mut overflowed = 0;
+        for i in 0..100u64 {
+            match f.insert(&i) {
+                Ok(()) => stored.push(i),
+                Err(FilterError::WordOverflow { .. }) => overflowed += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(overflowed > 0, "expected overflows with 4 tiny words");
+        assert_eq!(f.overflows(), overflowed);
+        // Everything that reported success must still be present.
+        for i in &stored {
+            assert!(f.contains(i), "lost stored element {i}");
+        }
+        // And the filter must still be able to drain cleanly.
+        for i in &stored {
+            f.remove(i).unwrap();
+        }
+        assert!(f.word_loads().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn fpr_beats_cbf_at_same_memory_k3() {
+        // Empirical counterpart of Fig. 7(a) at reduced scale.
+        use crate::cbf::Cbf;
+        let big_m = 1_000_000u64;
+        let n = 25_000u64;
+        let c = MpcbfConfig::builder()
+            .memory_bits(big_m)
+            .expected_items(n)
+            .hashes(3)
+            .seed(1234)
+            .build()
+            .unwrap();
+        let mut mp: Mpcbf<u64> = Mpcbf::new(c);
+        let mut cbf = Cbf::<Murmur3>::with_memory(big_m, 3, 1234);
+        for i in 0..n {
+            mp.insert(&i).unwrap();
+            cbf.insert(&i).unwrap();
+        }
+        let trials = 200_000u64;
+        let fp_mp = (n..n + trials).filter(|i| mp.contains(i)).count();
+        let fp_cbf = (n..n + trials).filter(|i| cbf.contains(i)).count();
+        assert!(
+            fp_mp < fp_cbf,
+            "MPCBF-1 {fp_mp} should beat CBF {fp_cbf} at k=3"
+        );
+    }
+
+    #[test]
+    fn g2_fpr_beats_g1() {
+        let big_m = 1_000_000u64;
+        let n = 25_000u64;
+        let build = |g: u32| {
+            let c = MpcbfConfig::builder()
+                .memory_bits(big_m)
+                .expected_items(n)
+                .hashes(3)
+                .accesses(g)
+                .seed(77)
+                .build()
+                .unwrap();
+            let mut f: Mpcbf<u64> = Mpcbf::new(c);
+            for i in 0..n {
+                // Eq. (11) leaves ≈1 expected word at capacity, so the
+                // occasional refused insert is within spec; it must stay rare.
+                let _ = f.insert(&i);
+            }
+            assert!(f.overflows() <= 5, "excessive overflows: {}", f.overflows());
+            f
+        };
+        let f1 = build(1);
+        let f2 = build(2);
+        let trials = 300_000u64;
+        let fp1 = (n..n + trials).filter(|i| f1.contains(i)).count();
+        let fp2 = (n..n + trials).filter(|i| f2.contains(i)).count();
+        assert!(fp2 < fp1, "MPCBF-2 {fp2} should beat MPCBF-1 {fp1}");
+    }
+
+    #[test]
+    fn no_overflow_at_paper_heuristic() {
+        // §IV.B: "we never observe any word overflow" with Eq. (11).
+        let mut f = small(1);
+        for i in 0..10_000u64 {
+            f.insert(&i).unwrap();
+        }
+        assert_eq!(f.overflows(), 0);
+        // Max word load stays within capacity k·n_max.
+        let s = f.shape();
+        let max_load = f.word_loads().into_iter().max().unwrap();
+        assert!(max_load <= s.w - s.b1);
+    }
+
+    #[test]
+    fn works_with_u32_words() {
+        let c = MpcbfConfig::builder()
+            .memory_bits(500_000)
+            .expected_items(5_000)
+            .hashes(3)
+            .word_bits(32)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u32> = Mpcbf::new(c);
+        for i in 0..2_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..2_000u64 {
+            assert!(f.contains(&i));
+        }
+    }
+
+    #[test]
+    fn estimate_count_tracks_multiplicity() {
+        let mut f = small(1);
+        assert_eq!(f.estimate_count(&"x"), 0);
+        for expect in 1..=5u32 {
+            f.insert(&"x").unwrap();
+            let est = f.estimate_count(&"x");
+            assert!(est >= expect, "estimate {est} under true count {expect}");
+        }
+        for _ in 0..5 {
+            f.remove(&"x").unwrap();
+        }
+        assert_eq!(f.estimate_count(&"x"), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut f = small(1);
+        for i in 0..100u64 {
+            f.insert(&i).unwrap();
+        }
+        f.clear();
+        assert_eq!(f.items(), 0);
+        assert!(f.word_loads().iter().all(|&c| c == 0));
+        assert!(!f.contains(&5u64));
+        // Still usable after clear.
+        f.insert(&5u64).unwrap();
+        assert!(f.contains(&5u64));
+    }
+
+    #[test]
+    fn absorb_merges_partial_filters() {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(1_000_000)
+            .expected_items(10_000)
+            .hashes(3)
+            .seed(99)
+            .build()
+            .unwrap();
+        let mut a: Mpcbf<u64> = Mpcbf::new(cfg);
+        let mut b: Mpcbf<u64> = Mpcbf::new(cfg);
+        let mut whole: Mpcbf<u64> = Mpcbf::new(cfg);
+        for i in 0..2_000u64 {
+            if i % 2 == 0 {
+                a.insert(&i).unwrap();
+            } else {
+                b.insert(&i).unwrap();
+            }
+            whole.insert(&i).unwrap();
+        }
+        a.absorb(&b).unwrap();
+        assert_eq!(a.items(), 2_000);
+        // Merged filter is bit-identical in behaviour to the whole build.
+        for probe in 0..50_000u64 {
+            assert_eq!(a.contains(&probe), whole.contains(&probe), "probe {probe}");
+        }
+        // And it drains cleanly.
+        for i in 0..2_000u64 {
+            a.remove(&i).unwrap();
+        }
+        assert!(a.word_loads().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn absorb_overflow_leaves_self_untouched() {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(256)
+            .expected_items(100)
+            .hashes(3)
+            .n_max(2)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut a: Mpcbf<u64> = Mpcbf::new(cfg);
+        let mut b: Mpcbf<u64> = Mpcbf::new(cfg);
+        // Load both halves to near capacity so the merge must overflow.
+        for i in 0..20u64 {
+            let _ = a.insert(&i);
+            let _ = b.insert(&(1000 + i));
+        }
+        let before = a.raw_words();
+        match a.absorb(&b) {
+            Ok(()) => {} // possible if loads landed disjointly
+            Err(FilterError::WordOverflow { .. }) => {
+                assert_eq!(a.raw_words(), before, "failed absorb must not mutate");
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "word type width")]
+    fn word_width_mismatch_panics() {
+        let c = MpcbfConfig::builder()
+            .memory_bits(500_000)
+            .expected_items(5_000)
+            .word_bits(32)
+            .build()
+            .unwrap();
+        let _f: Mpcbf<u64> = Mpcbf::new(c);
+    }
+}

@@ -1,0 +1,308 @@
+//! PCBF-1 / PCBF-g: the naïve partitioned CBF (§III.A).
+//!
+//! The counter vector is split into `l` words of `w` bits (`w/4` four-bit
+//! counters each). An element hashes to `g` words and to `k/g` counters
+//! inside each, so updates cost `g` memory accesses — but, with flat
+//! counters, the effective membership range per word is only `w/4`
+//! positions, which is why PCBF's FPR *trails* the standard CBF (Fig. 2).
+//! MPCBF (same partitioning, hierarchical counters) removes exactly this
+//! penalty.
+
+use crate::metrics::{OpCost, WordTouches};
+use crate::traits::{CountingFilter, Filter};
+use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
+use mpcbf_bitvec::CounterVec;
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// A partitioned CBF with `g` memory accesses per operation.
+///
+/// ```
+/// use mpcbf_core::{CountingFilter, Filter, Pcbf};
+/// use mpcbf_hash::Murmur3;
+///
+/// let mut pcbf = Pcbf::<Murmur3>::pcbf1(1024, 64, 3, 7);
+/// pcbf.insert(&"flow").unwrap();
+/// let (hit, cost) = pcbf.contains_bytes_cost(b"flow");
+/// assert!(hit);
+/// assert_eq!(cost.word_accesses, 1); // the whole point of PCBF-1
+/// pcbf.remove(&"flow").unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pcbf<H: Hasher128 = Murmur3> {
+    /// All words' counters, concatenated: word `i` owns counters
+    /// `[i·(w/4), (i+1)·(w/4))`.
+    counters: CounterVec,
+    l: usize,
+    w: u32,
+    counters_per_word: u32,
+    k: u32,
+    g: u32,
+    seed: u64,
+    items: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> Pcbf<H> {
+    /// Creates a PCBF-g over `l` words of `w` bits.
+    ///
+    /// # Panics
+    /// Panics unless `l ≥ 2`, `w` is a multiple of 4 in `16..=512`,
+    /// `1 ≤ g ≤ k ≤ 64` and `g ≤ 8`.
+    pub fn new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Self {
+        assert!(l >= 2, "need at least two words");
+        assert!((16..=512).contains(&w) && w.is_multiple_of(4), "bad word size {w}");
+        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
+        assert!(g >= 1 && g <= k && g <= 8, "bad g = {g} for k = {k}");
+        let cpw = w / 4;
+        Pcbf {
+            counters: CounterVec::new(l * cpw as usize, 4),
+            l,
+            w,
+            counters_per_word: cpw,
+            k,
+            g,
+            seed,
+            items: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// Creates a PCBF-g sized to a memory budget (`l = memory_bits / w`).
+    pub fn with_memory(memory_bits: u64, w: u32, k: u32, g: u32, seed: u64) -> Self {
+        Self::new((memory_bits / u64::from(w)) as usize, w, k, g, seed)
+    }
+
+    /// Convenience: PCBF-1.
+    pub fn pcbf1(l: usize, w: u32, k: u32, seed: u64) -> Self {
+        Self::new(l, w, k, 1, seed)
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.l
+    }
+
+    /// Word size in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.w
+    }
+
+    /// Memory accesses per update.
+    pub fn accesses(&self) -> u32 {
+        self.g
+    }
+
+    /// Net insertions currently stored.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Value of counter `slot` within `word` (tests/diagnostics).
+    pub fn counter(&self, word: usize, slot: u32) -> u64 {
+        self.counters
+            .get(word * self.counters_per_word as usize + slot as usize)
+    }
+
+    /// Visits each hashed (word, counter-index) pair; `visit` returns
+    /// `false` to short-circuit. Returns (words evaluated, slots evaluated).
+    #[inline]
+    fn for_each_slot(
+        &self,
+        key: &[u8],
+        mut visit: impl FnMut(usize, usize) -> bool,
+    ) -> (u32, u32) {
+        let digest = H::hash128(self.seed, key);
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.l as u64);
+        let mut words_eval = 0u32;
+        let mut slots_eval = 0u32;
+        'outer: for t in 0..self.g {
+            let word = word_picker.next_index();
+            words_eval += 1;
+            let k_t = split_hashes(self.k, self.g, t);
+            let mut inner = DoubleHasher::with_salt(
+                digest,
+                GROUP_SALT ^ u64::from(t),
+                u64::from(self.counters_per_word),
+            );
+            for _ in 0..k_t {
+                let slot = inner.next_index();
+                slots_eval += 1;
+                if !visit(word, word * self.counters_per_word as usize + slot) {
+                    break 'outer;
+                }
+            }
+        }
+        (words_eval, slots_eval)
+    }
+
+    #[inline]
+    fn cost(&self, words_eval: u32, slots_eval: u32, touches: &WordTouches) -> OpCost {
+        OpCost {
+            word_accesses: touches.count(),
+            hash_bits: words_eval * bits_for(self.l as u64)
+                + slots_eval * bits_for(u64::from(self.counters_per_word)),
+        }
+    }
+}
+
+impl<H: Hasher128> Filter for Pcbf<H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut member = true;
+        let (we, se) = self.for_each_slot(key, |word, idx| {
+            touches.touch(word);
+            if self.counters.is_set(idx) {
+                true
+            } else {
+                member = false;
+                false
+            }
+        });
+        (member, self.cost(we, se, &touches))
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let mut touches = WordTouches::new();
+        let mut slots = [0usize; 64];
+        let mut n = 0usize;
+        let (we, se) = self.for_each_slot(key, |word, idx| {
+            touches.touch(word);
+            slots[n] = idx;
+            n += 1;
+            true
+        });
+        for &idx in &slots[..n] {
+            self.counters.increment(idx);
+        }
+        self.items += 1;
+        Ok(self.cost(we, se, &touches))
+    }
+
+    fn memory_bits(&self) -> u64 {
+        (self.l as u64) * u64::from(self.w)
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.k
+    }
+}
+
+impl<H: Hasher128> CountingFilter for Pcbf<H> {
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        // Presence check first: refuse deletes of absent elements.
+        let mut present = true;
+        self.for_each_slot(key, |_, idx| {
+            if self.counters.is_set(idx) {
+                true
+            } else {
+                present = false;
+                false
+            }
+        });
+        if !present {
+            return Err(FilterError::NotPresent);
+        }
+        let mut touches = WordTouches::new();
+        let mut slots = [0usize; 64];
+        let mut n = 0usize;
+        let (we, se) = self.for_each_slot(key, |word, idx| {
+            touches.touch(word);
+            slots[n] = idx;
+            n += 1;
+            true
+        });
+        for &idx in &slots[..n] {
+            self.counters.decrement(idx);
+        }
+        self.items = self.items.saturating_sub(1);
+        Ok(self.cost(we, se, &touches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pcbf1_and_pcbf2() {
+        for g in [1u32, 2] {
+            let mut f = Pcbf::<Murmur3>::new(4096, 64, 3, g, 1);
+            for i in 0..1000u64 {
+                f.insert(&i).unwrap();
+            }
+            for i in 0..1000u64 {
+                assert!(f.contains(&i), "g={g}: false negative {i}");
+            }
+            for i in 0..500u64 {
+                f.remove(&i).unwrap();
+            }
+            for i in 500..1000u64 {
+                assert!(f.contains(&i), "g={g}: lost {i} after churn");
+            }
+        }
+    }
+
+    #[test]
+    fn pcbf1_update_is_one_access() {
+        let mut f = Pcbf::<Murmur3>::pcbf1(4096, 64, 3, 2);
+        let cost = f.insert_bytes_cost(b"a").unwrap();
+        assert_eq!(cost.word_accesses, 1);
+        // Fig. 1 layout bandwidth: log2(l) + k·log2(w/4).
+        assert_eq!(cost.hash_bits, 12 + 3 * 4);
+    }
+
+    #[test]
+    fn pcbf2_update_is_two_accesses() {
+        let mut f = Pcbf::<Murmur3>::new(4096, 64, 3, 2, 2);
+        let cost = f.insert_bytes_cost(b"a").unwrap();
+        assert!(cost.word_accesses <= 2);
+        // Hash split: first word gets 2 hashes, second 1.
+        assert_eq!(cost.hash_bits, 2 * 12 + 3 * 4);
+    }
+
+    #[test]
+    fn delete_absent_is_rejected() {
+        let mut f = Pcbf::<Murmur3>::pcbf1(1024, 64, 3, 3);
+        assert_eq!(f.remove(&"ghost"), Err(FilterError::NotPresent));
+    }
+
+    #[test]
+    fn fpr_worse_than_cbf_as_paper_shows() {
+        // Fig. 2's empirical counterpart at small scale.
+        use crate::cbf::Cbf;
+        let big_m = 1_000_000u64;
+        let n = 20_000u64;
+        let mut cbf = Cbf::<Murmur3>::with_memory(big_m, 3, 9);
+        let mut pcbf = Pcbf::<Murmur3>::with_memory(big_m, 64, 3, 1, 9);
+        for i in 0..n {
+            cbf.insert(&i).unwrap();
+            pcbf.insert(&i).unwrap();
+        }
+        let trials = 200_000u64;
+        let fp_cbf = (n..n + trials).filter(|i| cbf.contains(i)).count();
+        let fp_pcbf = (n..n + trials).filter(|i| pcbf.contains(i)).count();
+        assert!(
+            fp_pcbf > fp_cbf,
+            "PCBF-1 {fp_pcbf} should out-err CBF {fp_cbf}"
+        );
+    }
+
+    #[test]
+    fn memory_is_l_times_w() {
+        let f = Pcbf::<Murmur3>::pcbf1(1000, 64, 3, 0);
+        assert_eq!(f.memory_bits(), 64_000);
+    }
+
+    #[test]
+    fn counter_accessor_sees_increments() {
+        let mut f = Pcbf::<Murmur3>::pcbf1(16, 64, 3, 4);
+        f.insert(&"z").unwrap();
+        let total: u64 = (0..16)
+            .flat_map(|w| (0..16).map(move |s| (w, s)))
+            .map(|(w, s)| f.counter(w, s))
+            .sum();
+        assert_eq!(total, 3); // k increments landed somewhere
+    }
+}

@@ -1,0 +1,75 @@
+//! The filter traits: approximate membership ([`Filter`]) and dynamic-set
+//! support ([`CountingFilter`]).
+
+use crate::error::FilterError;
+use crate::metrics::OpCost;
+use mpcbf_hash::Key;
+
+/// An approximate-membership filter.
+///
+/// Semantics are the usual Bloom guarantees: `contains` may return false
+/// positives, never false negatives (for elements currently inserted and
+/// not removed).
+///
+/// Every primitive operation has a `_cost` variant that also reports the
+/// paper's processing-overhead metrics (memory accesses and hash bits);
+/// the plain variants are thin wrappers.
+pub trait Filter {
+    /// Membership check with metering.
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost);
+
+    /// Insertion with metering.
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError>;
+
+    /// Total memory footprint of the membership structure, in bits
+    /// (the paper's "memory consumption" axis).
+    fn memory_bits(&self) -> u64;
+
+    /// The number of hash functions `k`.
+    fn num_hashes(&self) -> u32;
+
+    /// Membership check on raw bytes.
+    #[inline]
+    fn contains_bytes(&self, key: &[u8]) -> bool {
+        self.contains_bytes_cost(key).0
+    }
+
+    /// Insertion of raw bytes.
+    #[inline]
+    fn insert_bytes(&mut self, key: &[u8]) -> Result<(), FilterError> {
+        self.insert_bytes_cost(key).map(|_| ())
+    }
+
+    /// Membership check for any [`Key`] type.
+    #[inline]
+    fn contains<K: Key + ?Sized>(&self, key: &K) -> bool {
+        self.contains_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Insertion of any [`Key`] type.
+    #[inline]
+    fn insert<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), FilterError> {
+        self.insert_bytes(key.key_bytes().as_slice())
+    }
+}
+
+/// A filter that also supports deletion (the "counting" in CBF).
+pub trait CountingFilter: Filter {
+    /// Deletion with metering.
+    ///
+    /// Deleting an element that is not present returns
+    /// [`FilterError::NotPresent`] and leaves the filter unchanged.
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError>;
+
+    /// Deletion of raw bytes.
+    #[inline]
+    fn remove_bytes(&mut self, key: &[u8]) -> Result<(), FilterError> {
+        self.remove_bytes_cost(key).map(|_| ())
+    }
+
+    /// Deletion of any [`Key`] type.
+    #[inline]
+    fn remove<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), FilterError> {
+        self.remove_bytes(key.key_bytes().as_slice())
+    }
+}

@@ -1,0 +1,177 @@
+//! Hash-bit accounting ("access bandwidth" in the paper).
+//!
+//! The paper reports, for each filter and operation, the number of hash bits
+//! the operation consumes — e.g. an MPCBF-1 query needs `log2(l)` bits to
+//! select one of `l` words plus `k·log2(b1)` bits to address `k` positions
+//! in the first-level sub-vector (§III.B.2). Tables I–III and Fig. 11b are
+//! denominated in these units.
+//!
+//! [`BitBudget`] is a tiny ledger the instrumented filters feed while they
+//! operate, so the harness reports *measured* bandwidth (including query
+//! short-circuiting, which is what makes the paper's per-query averages
+//! fractional) rather than only the closed-form worst case.
+
+use crate::mix::bits_for;
+
+/// Accumulates hash-bit consumption across operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BitBudget {
+    bits: u64,
+    ops: u64,
+}
+
+impl BitBudget {
+    /// A fresh, empty ledger.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges the bits needed to address a range of `n` values
+    /// (`ceil(log2 n)`), `times` times.
+    #[inline]
+    pub fn charge_range(&mut self, n: u64, times: u64) {
+        self.bits += u64::from(bits_for(n)) * times;
+    }
+
+    /// Charges an explicit number of bits.
+    #[inline]
+    pub fn charge_bits(&mut self, bits: u64) {
+        self.bits += bits;
+    }
+
+    /// Marks the completion of one filter operation (query/insert/delete).
+    #[inline]
+    pub fn end_op(&mut self) {
+        self.ops += 1;
+    }
+
+    /// Total bits charged so far.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of completed operations.
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Average bits per completed operation (0 if no operations).
+    #[inline]
+    pub fn bits_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.bits as f64 / self.ops as f64
+        }
+    }
+
+    /// Merges another ledger into this one (used when workers run sharded).
+    #[inline]
+    pub fn merge(&mut self, other: &BitBudget) {
+        self.bits += other.bits;
+        self.ops += other.ops;
+    }
+
+    /// Resets the ledger to empty.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Closed-form worst-case bandwidth formulas from the paper, for checking the
+/// measured ledgers against §III's analysis.
+pub mod closed_form {
+    use crate::mix::bits_for;
+
+    /// CBF query/insert/delete bandwidth: `k · log2(m)` bits for a counter
+    /// vector of `m` counters (§II.A with the paper's `m = l·w/4` layout).
+    pub fn cbf(k: u32, m: u64) -> u64 {
+        u64::from(k) * u64::from(bits_for(m))
+    }
+
+    /// PCBF-g bandwidth: `g·log2(l) + k·log2(w/4)` bits (§III.A.2); `g = 1`
+    /// gives the PCBF-1 expression of §III.A.1.
+    pub fn pcbf(g: u32, k: u32, l: u64, w: u32) -> u64 {
+        u64::from(g) * u64::from(bits_for(l)) + u64::from(k) * u64::from(bits_for(u64::from(w / 4)))
+    }
+
+    /// MPCBF-g *query* bandwidth: `g·log2(l) + k·log2(b1)` bits (§III.C).
+    pub fn mpcbf_query(g: u32, k: u32, l: u64, b1: u32) -> u64 {
+        u64::from(g) * u64::from(bits_for(l)) + u64::from(k) * u64::from(bits_for(u64::from(b1)))
+    }
+
+    /// MPCBF-g *update* worst-case bandwidth: the query bits plus the
+    /// popcount-traversal addressing of deeper levels,
+    /// `k·(log2 b2 + … + log2 bd)` (§III.B.2). `levels` are the level sizes
+    /// `b2..=bd` actually present.
+    pub fn mpcbf_update(g: u32, k: u32, l: u64, b1: u32, levels: &[u32]) -> u64 {
+        let deeper: u64 = levels.iter().map(|&b| u64::from(bits_for(u64::from(b)))).sum();
+        mpcbf_query(g, k, l, b1) + u64::from(k) * deeper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut b = BitBudget::new();
+        b.charge_range(1 << 16, 1); // 16 bits: word select
+        b.charge_range(64, 3); // 3 × 6 bits: in-word indices
+        b.end_op();
+        assert_eq!(b.total_bits(), 16 + 18);
+        assert_eq!(b.ops(), 1);
+        assert!((b.bits_per_op() - 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let b = BitBudget::new();
+        assert_eq!(b.total_bits(), 0);
+        assert_eq!(b.bits_per_op(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = BitBudget::new();
+        a.charge_bits(10);
+        a.end_op();
+        let mut b = BitBudget::new();
+        b.charge_bits(30);
+        b.end_op();
+        a.merge(&b);
+        assert_eq!(a.total_bits(), 40);
+        assert_eq!(a.ops(), 2);
+        assert!((a.bits_per_op() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut a = BitBudget::new();
+        a.charge_bits(5);
+        a.end_op();
+        a.reset();
+        assert_eq!(a, BitBudget::new());
+    }
+
+    #[test]
+    fn closed_form_examples_from_paper() {
+        // §III.A.1 example: CBF with k=3, m=16 counters needs 3·log2(16)=12
+        // bits; PCBF-1 with l=4, w=16 needs log2(4)+3·log2(4)=8 bits (Fig. 1).
+        assert_eq!(closed_form::cbf(3, 16), 12);
+        assert_eq!(closed_form::pcbf(1, 3, 4, 16), 8);
+    }
+
+    #[test]
+    fn closed_form_mpcbf_update_adds_level_bits() {
+        let q = closed_form::mpcbf_query(1, 3, 1 << 16, 43);
+        let u = closed_form::mpcbf_update(1, 3, 1 << 16, 43, &[12, 6]);
+        assert!(u > q);
+        assert_eq!(u - q, 3 * (4 + 3)); // log2(12)→4 bits, log2(6)→3 bits
+    }
+}

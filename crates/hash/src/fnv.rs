@@ -1,0 +1,64 @@
+//! FNV-1a (64-bit), the classic byte-at-a-time hash.
+//!
+//! Intentionally simple and of moderate quality; the workspace uses it only
+//! as a baseline hash family in ablations and as the inner mix for cheap
+//! auxiliary hashing (e.g. deriving shard ids in the MapReduce engine).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the FNV-1a 64-bit hash of `data`.
+///
+/// ```
+/// use mpcbf_hash::fnv::{fnv1a64, FNV_OFFSET};
+/// assert_eq!(fnv1a64(b""), FNV_OFFSET);
+/// ```
+#[inline]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a with the seed folded into the initial state.
+///
+/// Plain FNV has no seed; we mix the seed into the offset basis so distinct
+/// filter instances see independent functions.
+#[inline]
+pub fn fnv1a64_seeded(data: &[u8], seed: u64) -> u64 {
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME);
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn seeded_differs_from_unseeded() {
+        assert_ne!(fnv1a64_seeded(b"abc", 1), fnv1a64(b"abc"));
+        assert!(fnv1a64_seeded(b"abc", 0) == fnv1a64(b"abc"));
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        assert_ne!(fnv1a64_seeded(b"abc", 1), fnv1a64_seeded(b"abc", 2));
+    }
+}

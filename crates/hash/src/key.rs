@@ -1,0 +1,157 @@
+//! Zero-allocation key encoding.
+//!
+//! Filters hash byte strings. Workloads, however, produce 5-byte synthetic
+//! strings, IPv4 flow 2-tuples, patent ids, etc. The [`Key`] trait converts
+//! each into bytes without heap allocation: borrowed slices pass through,
+//! small scalar keys are encoded into an inline buffer.
+
+/// Bytes of a key: either borrowed from the caller or inlined on the stack.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyBytes<'a> {
+    /// A borrowed byte slice (strings, slices).
+    Borrowed(&'a [u8]),
+    /// Up to 16 bytes encoded inline (integers, tuples).
+    Inline([u8; 16], u8),
+}
+
+impl<'a> KeyBytes<'a> {
+    /// The encoded bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            KeyBytes::Borrowed(s) => s,
+            KeyBytes::Inline(buf, len) => &buf[..*len as usize],
+        }
+    }
+}
+
+impl AsRef<[u8]> for KeyBytes<'_> {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Anything usable as a filter key.
+pub trait Key {
+    /// Encodes the key as bytes, borrowing where possible.
+    fn key_bytes(&self) -> KeyBytes<'_>;
+}
+
+impl Key for [u8] {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self)
+    }
+}
+
+impl Key for &[u8] {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self)
+    }
+}
+
+impl<const N: usize> Key for [u8; N] {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self)
+    }
+}
+
+impl Key for str {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self.as_bytes())
+    }
+}
+
+impl Key for &str {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self.as_bytes())
+    }
+}
+
+impl Key for String {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self.as_bytes())
+    }
+}
+
+impl Key for Vec<u8> {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        KeyBytes::Borrowed(self)
+    }
+}
+
+macro_rules! int_key {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl Key for $t {
+            #[inline]
+            fn key_bytes(&self) -> KeyBytes<'_> {
+                let mut buf = [0u8; 16];
+                buf[..$n].copy_from_slice(&self.to_le_bytes());
+                KeyBytes::Inline(buf, $n)
+            }
+        })*
+    };
+}
+
+int_key!(u8 => 1, u16 => 2, u32 => 4, u64 => 8, u128 => 16, i32 => 4, i64 => 8);
+
+/// A flow 2-tuple `(source IP, destination IP)` — the paper's trace key
+/// (§IV.A: "a flow being defined by the 2-tuple of source IP address and
+/// destination IP address").
+impl Key for (u32, u32) {
+    #[inline]
+    fn key_bytes(&self) -> KeyBytes<'_> {
+        let mut buf = [0u8; 16];
+        buf[..4].copy_from_slice(&self.0.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.1.to_le_bytes());
+        KeyBytes::Inline(buf, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_and_bytes_agree() {
+        assert_eq!("abc".key_bytes().as_slice(), b"abc".key_bytes().as_slice());
+        assert_eq!(String::from("abc").key_bytes().as_slice(), b"abc");
+    }
+
+    #[test]
+    fn ints_are_little_endian() {
+        assert_eq!(0x01020304u32.key_bytes().as_slice(), &[4, 3, 2, 1]);
+        assert_eq!(1u8.key_bytes().as_slice(), &[1]);
+        assert_eq!(0u64.key_bytes().as_slice(), &[0; 8]);
+    }
+
+    #[test]
+    fn tuple_concatenates_both_halves() {
+        let k = (0xAABBCCDDu32, 0x11223344u32);
+        assert_eq!(
+            k.key_bytes().as_slice(),
+            &[0xDD, 0xCC, 0xBB, 0xAA, 0x44, 0x33, 0x22, 0x11]
+        );
+    }
+
+    #[test]
+    fn distinct_tuples_encode_distinctly() {
+        assert_ne!(
+            (1u32, 2u32).key_bytes().as_slice(),
+            (2u32, 1u32).key_bytes().as_slice()
+        );
+    }
+
+    #[test]
+    fn u128_uses_all_sixteen_bytes() {
+        let k = u128::MAX;
+        assert_eq!(k.key_bytes().as_slice(), &[0xFF; 16]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integer mixing and range-reduction primitives.
+//!
+//! These are the small building blocks the filters use to turn one 128-bit
+//! digest into word selectors and in-word indices without further passes
+//! over the key bytes.
+
+/// SplitMix64 finaliser (Steele, Lea & Flood; also Vigna's `splitmix64`).
+///
+/// A cheap, high-quality 64→64-bit bijective mixer. Used to derive extra
+/// independent hash values from a digest when more hash bits are needed
+/// than one digest provides (e.g. MPCBF-3 with large `k`).
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Lemire's fast range reduction: maps a uniform `x` in `[0, 2^64)` to a
+/// uniform value in `[0, n)` using a multiply-high instead of a modulo.
+///
+/// This is what makes non-power-of-two word counts cheap; for power-of-two
+/// ranges the filters use bit masks directly.
+#[inline]
+pub fn fast_range(x: u64, n: u64) -> u64 {
+    (((x as u128) * (n as u128)) >> 64) as u64
+}
+
+/// Multiply–shift hashing: extracts a `bits`-wide value from `x` using a
+/// fixed odd multiplier (Dietzfelbinger et al.). `bits` must be ≤ 64.
+#[inline]
+pub fn multiply_shift(x: u64, bits: u32) -> u64 {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        return 0;
+    }
+    let m = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    m >> (64 - bits)
+}
+
+/// Returns `ceil(log2(n))`, i.e. the number of hash bits needed to address
+/// a range of `n` values. `n = 0` and `n = 1` both need zero bits.
+#[inline]
+pub fn bits_for(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_bijective_on_sample() {
+        // Distinct inputs must give distinct outputs (bijection ⇒ injective).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn fast_range_bounds() {
+        for n in [1u64, 2, 3, 7, 100, 1 << 20, u64::MAX] {
+            for x in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+                assert!(fast_range(x, n) < n, "fast_range({x}, {n}) out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_covers_small_ranges() {
+        // Over a spread of inputs every bucket of a small range is hit.
+        let n = 8u64;
+        let mut hit = [false; 8];
+        for i in 0..1000u64 {
+            hit[fast_range(splitmix64(i), n) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn multiply_shift_width() {
+        for bits in 1..=16u32 {
+            for x in 0..500u64 {
+                assert!(multiply_shift(splitmix64(x), bits) < (1 << bits));
+            }
+        }
+        assert_eq!(multiply_shift(12345, 0), 0);
+    }
+
+    #[test]
+    fn bits_for_known_values() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(65), 7);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+}

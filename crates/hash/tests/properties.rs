@@ -1,0 +1,92 @@
+//! Property tests for the hash substrate.
+
+use mpcbf_hash::mix::{bits_for, fast_range, multiply_shift, splitmix64};
+use mpcbf_hash::{DoubleHasher, Fnv, Hasher128, Key, Murmur3, XxHash};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn digests_are_pure_functions(data in prop::collection::vec(any::<u8>(), 0..200), seed in any::<u64>()) {
+        prop_assert_eq!(Murmur3::hash128(seed, &data), Murmur3::hash128(seed, &data));
+        prop_assert_eq!(XxHash::hash128(seed, &data), XxHash::hash128(seed, &data));
+        prop_assert_eq!(Fnv::hash128(seed, &data), Fnv::hash128(seed, &data));
+    }
+
+    #[test]
+    fn append_changes_digest(data in prop::collection::vec(any::<u8>(), 0..64), extra in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(extra);
+        // Length is mixed into the finalisation, so extending must change
+        // the digest (for these families, with overwhelming probability —
+        // a violation here means a structural bug, not bad luck).
+        prop_assert_ne!(Murmur3::hash128(0, &data), Murmur3::hash128(0, &longer));
+        prop_assert_ne!(XxHash::hash64(0, &data), XxHash::hash64(0, &longer));
+    }
+
+    #[test]
+    fn fast_range_stays_in_range(x in any::<u64>(), n in 1u64..=u64::MAX) {
+        prop_assert!(fast_range(x, n) < n);
+    }
+
+    #[test]
+    fn multiply_shift_width_holds(x in any::<u64>(), bits in 0u32..=32) {
+        let v = multiply_shift(x, bits);
+        if bits < 64 {
+            prop_assert!(v < (1u64 << bits.max(1)) || bits == 0 && v == 0);
+        }
+    }
+
+    #[test]
+    fn bits_for_is_minimal(n in 2u64..=1 << 40) {
+        let b = bits_for(n);
+        prop_assert!((1u64 << b) >= n, "2^{b} < {n}");
+        prop_assert!((1u64 << (b - 1)) < n, "2^{} >= {n}", b - 1);
+    }
+
+    #[test]
+    fn splitmix_injective_on_pairs(a in any::<u64>(), b in any::<u64>()) {
+        if a != b {
+            prop_assert_ne!(splitmix64(a), splitmix64(b));
+        }
+    }
+
+    #[test]
+    fn double_hasher_is_deterministic_and_bounded(
+        digest in any::<u128>(),
+        range in 1u64..1_000_000,
+    ) {
+        let a: Vec<usize> = DoubleHasher::new(digest, range).take(16).collect();
+        let b: Vec<usize> = DoubleHasher::new(digest, range).take(16).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&i| (i as u64) < range));
+    }
+
+    #[test]
+    fn key_encoding_is_injective_within_type(a in any::<u64>(), b in any::<u64>()) {
+        if a != b {
+            let (ka, kb) = (a.key_bytes(), b.key_bytes());
+            prop_assert_ne!(ka.as_slice(), kb.as_slice());
+        }
+    }
+
+    #[test]
+    fn tuple_key_is_order_sensitive(a in any::<u32>(), b in any::<u32>()) {
+        if a != b {
+            let (ab, ba) = ((a, b), (b, a));
+            let (kab, kba) = (ab.key_bytes(), ba.key_bytes());
+            prop_assert_ne!(kab.as_slice(), kba.as_slice());
+        }
+    }
+}
+
+#[test]
+fn digest_collision_rate_is_negligible() {
+    // 100k distinct keys, no 128-bit digest collisions (a collision here
+    // would indicate a broken mixing stage, not chance).
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..100_000u64 {
+        assert!(seen.insert(Murmur3::hash128(1, &i.to_le_bytes())), "collision at {i}");
+    }
+}

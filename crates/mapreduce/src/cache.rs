@@ -1,0 +1,61 @@
+//! The DistributedCache analog.
+//!
+//! In the paper's Hadoop setup, the filter built from the smaller join
+//! input is "broadcasted to all map task nodes via DistributedCache,
+//! avoiding the network overhead for moving the file" (§V). In-process
+//! that broadcast is an [`std::sync::Arc`]; what still matters for the
+//! evaluation is *how many bytes* would travel to each node — a CBF
+//! broadcast costs its full counter vector, an MPCBF the same `M` bits —
+//! so [`Broadcast`] carries explicit byte accounting.
+
+use std::sync::Arc;
+
+/// A read-only blob shared with every map task, with byte accounting.
+#[derive(Debug, Clone)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    bytes: u64,
+}
+
+impl<T> Broadcast<T> {
+    /// Wraps `value`, recording that shipping it to one node would cost
+    /// `bytes` bytes.
+    pub fn new(value: T, bytes: u64) -> Self {
+        Broadcast { value: Arc::new(value), bytes }
+    }
+
+    /// The shared value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Bytes shipped per receiving node.
+    pub fn bytes_per_node(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total broadcast cost for `nodes` receivers.
+    pub fn total_bytes(&self, nodes: u64) -> u64 {
+        self.bytes * nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let b = Broadcast::new(vec![1u8, 2, 3], 4_000_000 / 8);
+        assert_eq!(b.get().len(), 3);
+        assert_eq!(b.bytes_per_node(), 500_000);
+        assert_eq!(b.total_bytes(3), 1_500_000);
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let b = Broadcast::new(String::from("filter"), 10);
+        let c = b.clone();
+        assert!(std::ptr::eq(b.get(), c.get()));
+    }
+}

@@ -1,0 +1,302 @@
+//! Reduce-side join with optional filter pushdown (§V, Fig. 13, Table IV).
+//!
+//! "The map function tags a key-value pair and produces `<k', tag>,
+//! <v', tag>` as the output; the reduce function first separates a list of
+//! all values associated with each join key into two sets according to the
+//! tag, and then performs a cross-product between values in these sets."
+//!
+//! With pushdown, a filter built from the smaller (left) input is
+//! broadcast to map tasks, which drop right-side records whose key fails
+//! the membership test — each dropped record is one fewer map output and
+//! that much less shuffle traffic. A false positive lets a matchless
+//! record through (wasted shuffle but correct output); false negatives
+//! cannot happen, so the join result is *identical* with and without any
+//! filter — a property the tests pin down.
+
+use crate::engine::{run_job, Emitter, JobConfig, JobStats};
+use mpcbf_core::Filter;
+use mpcbf_hash::Key;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// Object-safe membership test used by the map-side pushdown.
+pub trait KeyFilter: Sync {
+    /// Approximate membership of `key` (false positives allowed,
+    /// false negatives not).
+    fn test(&self, key: &[u8]) -> bool;
+}
+
+impl<F: Filter + Sync> KeyFilter for F {
+    #[inline]
+    fn test(&self, key: &[u8]) -> bool {
+        self.contains_bytes(key)
+    }
+}
+
+/// Join configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinConfig {
+    /// The underlying engine configuration.
+    pub job: JobConfig,
+}
+
+/// Statistics of one join run — the Table IV columns plus supporting data.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JoinStats {
+    /// Engine counters (map outputs, shuffle bytes, wall times).
+    pub job: JobStats,
+    /// Right-side records dropped by the pushdown filter.
+    pub filtered_out: u64,
+    /// Right-side records that passed the filter but had no left match
+    /// (shuffled in vain — the numerator of the join FPR).
+    pub false_positives: u64,
+    /// Right-side records with no left match (the FPR denominator).
+    pub matchless_records: u64,
+    /// Joined output rows.
+    pub output_rows: u64,
+}
+
+impl JoinStats {
+    /// The join false-positive rate Table IV reports: of the records that
+    /// a perfect filter would have dropped, the fraction that slipped
+    /// through.
+    pub fn join_fpr(&self) -> f64 {
+        if self.matchless_records == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.matchless_records as f64
+        }
+    }
+}
+
+/// A tagged value travelling through the shuffle.
+#[derive(Debug, Clone)]
+enum Tagged<A, B> {
+    Left(A),
+    Right(B),
+}
+
+/// Runs a reduce-side equi-join of `left ⋈ right` on their keys.
+///
+/// `filter`, if provided, is applied map-side to right-side records (the
+/// paper's pushdown). Returns the joined rows and the statistics.
+pub fn reduce_side_join<K, A, B>(
+    config: &JoinConfig,
+    left: Vec<(K, A)>,
+    right: Vec<(K, B)>,
+    filter: Option<&dyn KeyFilter>,
+) -> (Vec<(K, A, B)>, JoinStats)
+where
+    K: Key + Ord + Hash + Clone + Send + Sync,
+    A: Clone + Send + Sync,
+    B: Clone + Send + Sync,
+{
+    let start = Instant::now();
+    // Ground truth for FPR accounting (cheap relative to the join itself).
+    let left_keys: HashSet<&K> = left.iter().map(|(k, _)| k).collect();
+    let matchless = right
+        .iter()
+        .filter(|(k, _)| !left_keys.contains(k))
+        .count() as u64;
+    let right_total = right.len() as u64;
+
+    // Tag inputs. Left records always shuffle (the small side); right
+    // records go through the pushdown filter.
+    enum In<K, A, B> {
+        L(K, A),
+        R(K, B),
+    }
+    let inputs: Vec<In<K, A, B>> = left
+        .into_iter()
+        .map(|(k, a)| In::L(k, a))
+        .chain(right.into_iter().map(|(k, b)| In::R(k, b)))
+        .collect();
+
+    let (rows, job) = run_job(
+        &config.job,
+        inputs,
+        |record: In<K, A, B>, em: &mut Emitter<K, Tagged<A, B>>| match record {
+            In::L(k, a) => em.emit(k, Tagged::Left(a)),
+            In::R(k, b) => {
+                let pass = filter.is_none_or(|f| f.test(k.key_bytes().as_slice()));
+                if pass {
+                    em.emit(k, Tagged::Right(b));
+                }
+            }
+        },
+        |k: &K, values: Vec<Tagged<A, B>>, out: &mut Vec<(K, A, B)>| {
+            let mut lefts = Vec::new();
+            let mut rights = Vec::new();
+            for v in values {
+                match v {
+                    Tagged::Left(a) => lefts.push(a),
+                    Tagged::Right(b) => rights.push(b),
+                }
+            }
+            for a in &lefts {
+                for b in &rights {
+                    out.push((k.clone(), a.clone(), b.clone()));
+                }
+            }
+        },
+    );
+
+    let left_outputs = job.map_output_records.saturating_sub(0);
+    // Right-side map outputs = total map outputs − left records (all left
+    // records are emitted unconditionally).
+    let left_records = job.map_input_records - right_total;
+    let right_emitted = job.map_output_records - left_records;
+    let _ = left_outputs;
+    let filtered_out = right_total - right_emitted;
+    // Matched right records always pass (no false negatives), so the
+    // matchless records that slipped through are:
+    let matched = right_total - matchless;
+    let false_positives = right_emitted - matched;
+
+    let mut stats = JoinStats {
+        job,
+        filtered_out,
+        false_positives,
+        matchless_records: matchless,
+        output_rows: rows.len() as u64,
+    };
+    stats.job.total_wall = start.elapsed();
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcbf_core::{Cbf, Mpcbf1, MpcbfConfig};
+
+    #[allow(clippy::type_complexity)]
+    fn sample_tables() -> (Vec<(u32, u16)>, Vec<(u32, u32)>) {
+        // Left: 100 keys with payloads; right: 1000 records, 30% matching.
+        let left: Vec<(u32, u16)> = (0..100u32).map(|k| (k, (k % 50) as u16)).collect();
+        let right: Vec<(u32, u32)> = (0..1000u32)
+            .map(|i| {
+                let k = if i % 10 < 3 { i % 100 } else { 1_000 + i };
+                (k, i)
+            })
+            .collect();
+        (left, right)
+    }
+
+    fn join_rows_set(rows: &[(u32, u16, u32)]) -> HashSet<(u32, u16, u32)> {
+        rows.iter().copied().collect()
+    }
+
+    #[test]
+    fn join_matches_nested_loop_oracle() {
+        let (left, right) = sample_tables();
+        let mut oracle = HashSet::new();
+        for (lk, a) in &left {
+            for (rk, b) in &right {
+                if lk == rk {
+                    oracle.insert((*lk, *a, *b));
+                }
+            }
+        }
+        let (rows, stats) =
+            reduce_side_join(&JoinConfig::default(), left, right, None);
+        assert_eq!(join_rows_set(&rows), oracle);
+        assert_eq!(stats.filtered_out, 0);
+        assert_eq!(stats.output_rows, rows.len() as u64);
+    }
+
+    #[test]
+    fn pushdown_never_changes_the_result() {
+        let (left, right) = sample_tables();
+        let mut cbf = Cbf::<mpcbf_hash::Murmur3>::new(4096, 3, 7);
+        for (k, _) in &left {
+            cbf.insert(k).unwrap();
+        }
+        let (rows_plain, _) =
+            reduce_side_join(&JoinConfig::default(), left.clone(), right.clone(), None);
+        let (rows_filtered, stats) =
+            reduce_side_join(&JoinConfig::default(), left, right, Some(&cbf));
+        assert_eq!(join_rows_set(&rows_plain), join_rows_set(&rows_filtered));
+        assert!(stats.filtered_out > 0, "filter should drop matchless records");
+    }
+
+    #[test]
+    fn filter_reduces_map_outputs() {
+        let (left, right) = sample_tables();
+        let mut mp = Mpcbf1::new(
+            MpcbfConfig::builder()
+                .memory_bits(100_000)
+                .expected_items(100)
+                .hashes(3)
+                .build()
+                .unwrap(),
+        );
+        for (k, _) in &left {
+            mp.insert(k).unwrap();
+        }
+        let (_, plain) =
+            reduce_side_join(&JoinConfig::default(), left.clone(), right.clone(), None);
+        let (_, filt) = reduce_side_join(&JoinConfig::default(), left, right, Some(&mp));
+        assert!(
+            filt.job.map_output_records < plain.job.map_output_records,
+            "{} !< {}",
+            filt.job.map_output_records,
+            plain.job.map_output_records
+        );
+        assert!(filt.job.shuffle_bytes < plain.job.shuffle_bytes);
+    }
+
+    #[test]
+    fn fpr_accounting_is_exact_for_a_perfect_filter() {
+        struct Perfect(HashSet<Vec<u8>>);
+        impl KeyFilter for Perfect {
+            fn test(&self, key: &[u8]) -> bool {
+                self.0.contains(key)
+            }
+        }
+        let (left, right) = sample_tables();
+        let perfect = Perfect(
+            left.iter()
+                .map(|(k, _)| k.key_bytes().as_slice().to_vec())
+                .collect(),
+        );
+        let (_, stats) = reduce_side_join(&JoinConfig::default(), left, right, Some(&perfect));
+        assert_eq!(stats.false_positives, 0);
+        assert_eq!(stats.join_fpr(), 0.0);
+        assert_eq!(stats.filtered_out, stats.matchless_records);
+    }
+
+    #[test]
+    fn fpr_accounting_is_exact_for_a_pass_all_filter() {
+        struct PassAll;
+        impl KeyFilter for PassAll {
+            fn test(&self, _: &[u8]) -> bool {
+                true
+            }
+        }
+        let (left, right) = sample_tables();
+        let (_, stats) = reduce_side_join(&JoinConfig::default(), left, right, Some(&PassAll));
+        assert_eq!(stats.filtered_out, 0);
+        assert_eq!(stats.false_positives, stats.matchless_records);
+        assert_eq!(stats.join_fpr(), 1.0);
+    }
+
+    #[test]
+    fn empty_sides_are_fine() {
+        let (rows, stats) = reduce_side_join::<u32, u16, u32>(
+            &JoinConfig::default(),
+            Vec::new(),
+            vec![(1, 2), (3, 4)],
+            None,
+        );
+        assert!(rows.is_empty());
+        assert_eq!(stats.matchless_records, 2);
+        let (rows, _) = reduce_side_join::<u32, u16, u32>(
+            &JoinConfig::default(),
+            vec![(1, 9)],
+            Vec::new(),
+            None,
+        );
+        assert!(rows.is_empty());
+    }
+}

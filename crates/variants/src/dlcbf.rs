@@ -1,0 +1,307 @@
+//! The d-left Counting Bloom Filter (reference \[17\]).
+//!
+//! Layout: `d` subtables of `b` buckets, each bucket holding up to `cells`
+//! slots of `(fingerprint, counter)`. One base hash maps an element to a
+//! value `h ∈ [0, b·R)` (`R` = fingerprint range); per-subtable
+//! *permutations* of `h` yield the candidate `(bucket_i, fingerprint_i)`
+//! pairs. Because the permutations are bijections, two elements share a
+//! candidate fingerprint in one subtable **iff** their base hashes collide
+//! entirely — which makes deletion by fingerprint search safe (the
+//! original paper's key trick).
+//!
+//! Insert places the element next to an existing matching cell, or in the
+//! least-loaded candidate bucket (leftmost on ties — "d-left"). Queries
+//! check all `d` candidate buckets, so the query cost is `d` memory
+//! accesses: cheaper than CBF's `k` but still above MPCBF's `g = 1`.
+
+use mpcbf_core::metrics::{OpCost, WordTouches};
+use mpcbf_core::{CountingFilter, Filter, FilterError};
+use mpcbf_hash::mix::bits_for;
+use mpcbf_hash::{Hasher128, Murmur3};
+use std::marker::PhantomData;
+
+/// One cell: a fingerprint plus a small counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Cell {
+    fingerprint: u32,
+    count: u16,
+}
+
+/// A d-left CBF.
+#[derive(Debug, Clone)]
+pub struct DlCbf<H: Hasher128 = Murmur3> {
+    /// `d · b` buckets, subtable-major; each bucket is `cells` slots.
+    table: Vec<Cell>,
+    d: u32,
+    buckets: usize,
+    cells: usize,
+    /// Fingerprint bits; range `R = 2^r`.
+    r: u32,
+    /// Odd multipliers defining the per-subtable permutations.
+    perms: Vec<u64>,
+    counter_bits: u32,
+    seed: u64,
+    items: u64,
+    _hasher: PhantomData<H>,
+}
+
+impl<H: Hasher128> DlCbf<H> {
+    /// Creates a dlCBF with `d` subtables of `buckets` buckets holding
+    /// `cells` cells of `r`-bit fingerprints.
+    ///
+    /// # Panics
+    /// Panics unless `d ∈ 2..=8`, `buckets` is a power of two ≥ 2,
+    /// `cells ∈ 1..=64` and `r ∈ 4..=32`.
+    pub fn new(d: u32, buckets: usize, cells: usize, r: u32, seed: u64) -> Self {
+        assert!((2..=8).contains(&d), "d = {d} out of 2..=8");
+        assert!(buckets.is_power_of_two() && buckets >= 2, "buckets must be a power of two");
+        assert!((1..=64).contains(&cells), "cells = {cells} out of 1..=64");
+        assert!((4..=32).contains(&r), "fingerprint bits {r} out of 4..=32");
+        // Distinct odd multipliers give distinct permutations of
+        // [0, buckets·2^r) (a power-of-two modulus).
+        let perms: Vec<u64> = (0..d)
+            .map(|i| mpcbf_hash::mix::splitmix64(seed ^ u64::from(i) << 32) | 1)
+            .collect();
+        DlCbf {
+            table: vec![Cell::default(); d as usize * buckets * cells],
+            d,
+            buckets,
+            cells,
+            r,
+            perms,
+            counter_bits: 16,
+            seed,
+            items: 0,
+            _hasher: PhantomData,
+        }
+    }
+
+    /// Sizes a dlCBF to a memory budget with the classic parameters
+    /// `d = 4`, 8 cells/bucket: `buckets` is the largest power of two such
+    /// that `d·buckets·cells·(r + 16) ≤ memory_bits`.
+    pub fn with_memory(memory_bits: u64, r: u32, seed: u64) -> Self {
+        let (d, cells) = (4u32, 8usize);
+        let per_bucket = cells as u64 * (u64::from(r) + 16);
+        let max_buckets = (memory_bits / (u64::from(d) * per_bucket)).max(2);
+        let buckets = (1usize << (63 - max_buckets.leading_zeros())).max(2);
+        Self::new(d, buckets, cells, r, seed)
+    }
+
+    /// Net elements stored.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Total cells in use.
+    pub fn occupied_cells(&self) -> usize {
+        self.table.iter().filter(|c| c.count > 0).count()
+    }
+
+    /// Candidate (subtable-global bucket index, fingerprint) pairs of a key.
+    #[inline]
+    fn candidates(&self, key: &[u8]) -> impl Iterator<Item = (usize, u32)> + '_ {
+        let space = (self.buckets as u64) << self.r;
+        let h = H::hash64(self.seed, key) & (space - 1);
+        (0..self.d as usize).map(move |i| {
+            let p = (h.wrapping_mul(self.perms[i])) & (space - 1);
+            let bucket = (p >> self.r) as usize + i * self.buckets;
+            let fingerprint = (p & ((1u64 << self.r) - 1)) as u32;
+            (bucket, fingerprint)
+        })
+    }
+
+    #[inline]
+    fn bucket(&self, idx: usize) -> &[Cell] {
+        &self.table[idx * self.cells..(idx + 1) * self.cells]
+    }
+
+    #[inline]
+    fn bucket_mut(&mut self, idx: usize) -> &mut [Cell] {
+        &mut self.table[idx * self.cells..(idx + 1) * self.cells]
+    }
+
+    #[inline]
+    fn bucket_load(&self, idx: usize) -> usize {
+        self.bucket(idx).iter().filter(|c| c.count > 0).count()
+    }
+
+    #[inline]
+    fn cost(&self, accesses: u32) -> OpCost {
+        // Bandwidth: the base hash addresses [0, b·2^r); each subtable
+        // evaluation consumes log2(b) + r bits of it.
+        OpCost {
+            word_accesses: accesses,
+            hash_bits: accesses * (bits_for(self.buckets as u64) + self.r),
+        }
+    }
+}
+
+impl<H: Hasher128> Filter for DlCbf<H> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut evaluated = 0u32;
+        for (bucket, f) in self.candidates(key) {
+            touches.touch(bucket);
+            evaluated += 1;
+            if self
+                .bucket(bucket)
+                .iter()
+                .any(|c| c.count > 0 && c.fingerprint == f)
+            {
+                return (true, self.cost(evaluated));
+            }
+        }
+        (false, self.cost(evaluated))
+    }
+
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let cands: Vec<(usize, u32)> = self.candidates(key).collect();
+        // Existing matching cell anywhere? Increment it.
+        for &(bucket, f) in &cands {
+            if let Some(cell) = self
+                .bucket_mut(bucket)
+                .iter_mut()
+                .find(|c| c.count > 0 && c.fingerprint == f)
+            {
+                cell.count = cell.count.saturating_add(1);
+                self.items += 1;
+                return Ok(self.cost(self.d));
+            }
+        }
+        // d-left placement: least-loaded candidate bucket, leftmost wins.
+        let (&(bucket, f), _) = cands
+            .iter()
+            .zip(0..)
+            .min_by_key(|(&(b, _), i)| (self.bucket_load(b), *i))
+            .expect("d >= 2 candidates");
+        if let Some(cell) = self.bucket_mut(bucket).iter_mut().find(|c| c.count == 0) {
+            *cell = Cell { fingerprint: f, count: 1 };
+            self.items += 1;
+            Ok(self.cost(self.d))
+        } else {
+            // All candidate buckets full: structural overflow.
+            Err(FilterError::WordOverflow { word: bucket })
+        }
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.table.len() as u64 * u64::from(self.r + self.counter_bits)
+    }
+
+    fn num_hashes(&self) -> u32 {
+        // One base hash, d derived permutations.
+        self.d
+    }
+}
+
+impl<H: Hasher128> CountingFilter for DlCbf<H> {
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        let cands: Vec<(usize, u32)> = self.candidates(key).collect();
+        for &(bucket, f) in &cands {
+            if let Some(cell) = self
+                .bucket_mut(bucket)
+                .iter_mut()
+                .find(|c| c.count > 0 && c.fingerprint == f)
+            {
+                cell.count -= 1;
+                if cell.count == 0 {
+                    cell.fingerprint = 0;
+                }
+                self.items = self.items.saturating_sub(1);
+                return Ok(self.cost(self.d));
+            }
+        }
+        Err(FilterError::NotPresent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DlCbf<Murmur3> {
+        DlCbf::new(4, 1024, 8, 12, 42)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut f = small();
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        for i in 0..5_000u64 {
+            assert!(f.contains(&i), "false negative {i}");
+        }
+        for i in 0..2_500u64 {
+            f.remove(&i).unwrap();
+        }
+        for i in 2_500..5_000u64 {
+            assert!(f.contains(&i), "lost {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_share_a_cell() {
+        let mut f = small();
+        f.insert(&"dup").unwrap();
+        let cells_once = f.occupied_cells();
+        f.insert(&"dup").unwrap();
+        assert_eq!(f.occupied_cells(), cells_once, "duplicate must reuse the cell");
+        f.remove(&"dup").unwrap();
+        assert!(f.contains(&"dup"));
+        f.remove(&"dup").unwrap();
+        assert!(!f.contains(&"dup"));
+        assert_eq!(f.occupied_cells(), cells_once - 1);
+    }
+
+    #[test]
+    fn remove_absent_errors() {
+        let mut f = small();
+        assert_eq!(f.remove(&"ghost"), Err(FilterError::NotPresent));
+    }
+
+    #[test]
+    fn query_costs_at_most_d_accesses() {
+        let mut f = small();
+        f.insert(&"q").unwrap();
+        let (hit, cost) = f.contains_bytes_cost(b"q");
+        assert!(hit);
+        assert!(cost.word_accesses <= 4);
+        let (_, cost_miss) = f.contains_bytes_cost(b"definitely missing");
+        assert_eq!(cost_miss.word_accesses, 4, "a miss scans all d subtables");
+    }
+
+    #[test]
+    fn fpr_is_low_for_12_bit_fingerprints() {
+        let mut f = small();
+        let n = 10_000u64;
+        for i in 0..n {
+            f.insert(&i).unwrap();
+        }
+        let trials = 200_000u64;
+        let fp = (n..n + trials).filter(|i| f.contains(i)).count() as f64;
+        let rate = fp / trials as f64;
+        // ~ d·cells·2^-r ballpark ≈ 4·8/4096 ≈ 0.8%; assert under 2%.
+        assert!(rate < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn with_memory_respects_budget() {
+        let f = DlCbf::<Murmur3>::with_memory(4_000_000, 12, 7);
+        assert!(f.memory_bits() <= 4_000_000);
+        assert!(f.memory_bits() > 1_000_000, "should use most of the budget");
+    }
+
+    #[test]
+    fn load_balancing_spreads_cells() {
+        let mut f = DlCbf::<Murmur3>::new(4, 64, 8, 12, 3);
+        for i in 0..1_000u64 {
+            f.insert(&i).unwrap();
+        }
+        // No bucket should be near-full while others are empty: check the
+        // max bucket load is well under the capacity.
+        let max_load = (0..4 * 64).map(|b| f.bucket_load(b)).max().unwrap();
+        assert!(max_load <= 8, "max load {max_load}");
+        assert!(f.occupied_cells() >= 950, "duplicates should be rare here");
+    }
+}

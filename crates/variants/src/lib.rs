@@ -1,0 +1,43 @@
+//! Related-work CBF variants the paper positions itself against (§II.B).
+//!
+//! The paper's evaluation compares MPCBF against the standard CBF and its
+//! own PCBF strawman; its related-work section additionally discusses two
+//! well-known memory-optimised alternatives, implemented here so the
+//! extended benches can place MPCBF on the same chart:
+//!
+//! * [`dlcbf`] — the **d-left CBF** (Bonomi, Mitzenmacher, Panigrahy,
+//!   Singh & Varghese, ESA 2006; reference \[17\]): d-left hashing with
+//!   fingerprinted cells, "less than half the memory at the same false
+//!   positive rate" as CBF;
+//! * [`vicbf`] — the **Variable-Increment CBF** (Rottenstreich, Kanizo &
+//!   Keslassy, INFOCOM 2012; reference \[23\]): counters updated with
+//!   variable increments drawn from a `D_L` sequence, letting queries rule
+//!   out elements whose increment is inconsistent with the counter value;
+//! * [`rcbf`] — the **rank-indexed CBF** (Hua, Zhao, Lin & Xu, ICNP 2008;
+//!   reference \[18\]): fingerprint chains located by popcount-indexed
+//!   bitmaps — the direct ancestor of HCBF's in-word hierarchy;
+//! * [`twochoice`] — the **power-of-two-choices Bloom filter** (Lumetta &
+//!   Mitzenmacher; reference \[20\]): two hash groups, inserts commit the
+//!   lighter one — accuracy via extra hashing, the overhead §II.B calls
+//!   out.
+//!
+//! All implement the same [`Filter`]/[`CountingFilter`] traits and
+//! metered-cost interface as the core filters; note both still need `k`
+//! (or `d`) memory accesses per query — the overhead axis on which MPCBF
+//! wins regardless of accuracy.
+//!
+//! [`Filter`]: mpcbf_core::Filter
+//! [`CountingFilter`]: mpcbf_core::CountingFilter
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dlcbf;
+pub mod rcbf;
+pub mod twochoice;
+pub mod vicbf;
+
+pub use dlcbf::DlCbf;
+pub use rcbf::Rcbf;
+pub use twochoice::TwoChoiceBloom;
+pub use vicbf::ViCbf;

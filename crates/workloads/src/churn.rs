@@ -1,0 +1,66 @@
+//! Update-period ("churn") plans, as pure data.
+//!
+//! The paper exercises every counting filter with update periods: delete a
+//! fixed fraction of the live set, insert the same number of fresh keys, so
+//! the population stays constant while counters move (§IV.A). A
+//! [`ChurnPlan`] captures those periods independently of any filter type;
+//! harnesses replay it against whichever [`CountingFilter`] they measure.
+//!
+//! [`CountingFilter`]: https://docs.rs/mpcbf-core
+
+/// One update period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPeriod<K> {
+    /// Keys to delete (all currently live).
+    pub deletes: Vec<K>,
+    /// Fresh keys to insert afterwards.
+    pub inserts: Vec<K>,
+}
+
+/// A sequence of update periods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan<K> {
+    /// The periods, applied in order.
+    pub periods: Vec<ChurnPeriod<K>>,
+}
+
+impl<K> ChurnPlan<K> {
+    /// An empty plan.
+    pub fn empty() -> Self {
+        ChurnPlan { periods: Vec::new() }
+    }
+
+    /// Total delete operations across all periods.
+    pub fn total_deletes(&self) -> usize {
+        self.periods.iter().map(|p| p.deletes.len()).sum()
+    }
+
+    /// Total insert operations across all periods.
+    pub fn total_inserts(&self) -> usize {
+        self.periods.iter().map(|p| p.inserts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let plan = ChurnPlan {
+            periods: vec![
+                ChurnPeriod { deletes: vec![1, 2], inserts: vec![3, 4] },
+                ChurnPeriod { deletes: vec![5], inserts: vec![6] },
+            ],
+        };
+        assert_eq!(plan.total_deletes(), 3);
+        assert_eq!(plan.total_inserts(), 3);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan: ChurnPlan<u64> = ChurnPlan::empty();
+        assert_eq!(plan.total_deletes(), 0);
+        assert_eq!(plan.total_inserts(), 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! A synthetic IPv4 flow trace with the aggregate statistics of the
+//! paper's CAIDA Equinix-Chicago 2011 dataset (§IV.A, §IV.D).
+//!
+//! The real traces are not redistributable, so this module generates a
+//! stand-in that preserves every property the filters can observe:
+//!
+//! * **5 585 633 trace records over 292 363 unique flows** (a flow is the
+//!   src/dst IPv4 2-tuple) at full scale;
+//! * a heavy-tailed per-flow record count (Zipf, α ≈ 1.1 — the classic
+//!   Internet flow-size shape), so the query stream's hit pattern
+//!   concentrates on hot flows as a real trace's does;
+//! * a 200 K-flow test set sampled uniformly from the unique flows, with
+//!   churn periods of 40 K deletes + 40 K fresh-flow inserts.
+//!
+//! Since keys are hashed, their actual addresses are irrelevant — only the
+//! multiset structure matters, which is matched exactly. See `DESIGN.md`
+//! ("Substitutions") for the full argument.
+
+use crate::churn::{ChurnPeriod, ChurnPlan};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A flow key: (source IPv4, destination IPv4).
+pub type FlowKey = (u32, u32);
+
+/// Parameters of the trace generator; defaults are the paper's full scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTraceSpec {
+    /// Total trace records (paper: 5 585 633).
+    pub total_records: u64,
+    /// Unique flows in the trace (paper: 292 363).
+    pub unique_flows: usize,
+    /// Flows inserted into the filters (paper: 200 000).
+    pub test_set: usize,
+    /// Flows deleted/re-inserted per update period (paper: 40 000).
+    pub churn_per_period: usize,
+    /// Number of update periods.
+    pub periods: usize,
+    /// Zipf exponent for per-flow record counts.
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlowTraceSpec {
+    fn default() -> Self {
+        FlowTraceSpec {
+            total_records: 5_585_633,
+            unique_flows: 292_363,
+            test_set: 200_000,
+            churn_per_period: 40_000,
+            periods: 1,
+            alpha: 1.1,
+            seed: 0x4341_4944_4132_3031, // "CAIDA201"
+        }
+    }
+}
+
+impl FlowTraceSpec {
+    /// A scaled-down copy (sizes divided by `factor`), for tests.
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        self.total_records = (self.total_records / factor).max(1);
+        self.unique_flows = ((self.unique_flows as u64 / factor).max(1)) as usize;
+        self.test_set = ((self.test_set as u64 / factor).max(1)) as usize;
+        self.churn_per_period = ((self.churn_per_period as u64 / factor).max(1)) as usize;
+        // Keep the invariant test_set <= unique_flows.
+        self.test_set = self.test_set.min(self.unique_flows);
+        self
+    }
+}
+
+/// The generated trace.
+#[derive(Debug, Clone)]
+pub struct FlowTrace {
+    /// The unique flows, hottest first.
+    pub flows: Vec<FlowKey>,
+    /// The full record stream (each entry is one packet/flow-record),
+    /// fed to the filters as the query set.
+    pub records: Vec<FlowKey>,
+    /// The flows inserted into the filters before querying.
+    pub test_set: Vec<FlowKey>,
+    /// Churn plan (deletes from the test set, fresh-flow inserts).
+    pub churn: ChurnPlan<FlowKey>,
+}
+
+impl FlowTrace {
+    /// Generates the trace for `spec`, deterministically from its seed.
+    pub fn generate(spec: &FlowTraceSpec) -> Self {
+        assert!(spec.test_set <= spec.unique_flows);
+        assert!(spec.total_records >= spec.unique_flows as u64);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // Unique flow keys (random IPv4 pairs, deduplicated).
+        let mut seen: HashSet<FlowKey> = HashSet::with_capacity(spec.unique_flows * 2);
+        let fresh_flow = |rng: &mut StdRng, seen: &mut HashSet<FlowKey>| -> FlowKey {
+            loop {
+                let f = (rng.gen::<u32>(), rng.gen::<u32>());
+                if seen.insert(f) {
+                    return f;
+                }
+            }
+        };
+        let flows: Vec<FlowKey> = (0..spec.unique_flows)
+            .map(|_| fresh_flow(&mut rng, &mut seen))
+            .collect();
+
+        // Zipf record counts, hottest flow first; every flow appears at
+        // least once so the unique-flow count is exact.
+        let zipf = Zipf::new(spec.unique_flows, spec.alpha);
+        let mut counts = zipf.apportion(spec.total_records - spec.unique_flows as u64);
+        for c in &mut counts {
+            *c += 1;
+        }
+
+        // Expand and shuffle into an arrival order.
+        let mut records = Vec::with_capacity(spec.total_records as usize);
+        for (flow, &count) in flows.iter().zip(&counts) {
+            for _ in 0..count {
+                records.push(*flow);
+            }
+        }
+        records.shuffle(&mut rng);
+
+        // Test set: uniform sample of unique flows (paper: "200K unique
+        // flows randomly selected from the traces").
+        let mut test_set = flows.clone();
+        test_set.shuffle(&mut rng);
+        test_set.truncate(spec.test_set);
+
+        // Churn periods.
+        let mut live = test_set.clone();
+        let mut periods = Vec::with_capacity(spec.periods);
+        for _ in 0..spec.periods {
+            let del = spec.churn_per_period.min(live.len());
+            let mut deletes = Vec::with_capacity(del);
+            for _ in 0..del {
+                let idx = rng.gen_range(0..live.len());
+                deletes.push(live.swap_remove(idx));
+            }
+            let inserts: Vec<FlowKey> = (0..del)
+                .map(|_| fresh_flow(&mut rng, &mut seen))
+                .collect();
+            live.extend_from_slice(&inserts);
+            periods.push(ChurnPeriod { deletes, inserts });
+        }
+
+        FlowTrace {
+            flows,
+            records,
+            test_set,
+            churn: ChurnPlan { periods },
+        }
+    }
+}
+
+/// Errors from parsing an external trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A line did not have two comma/whitespace-separated fields.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field was not a parseable IPv4 address or u32.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadLine { line } => {
+                write!(f, "line {line}: expected `src,dst` or `src dst`")
+            }
+            TraceParseError::BadAddress { line } => {
+                write!(f, "line {line}: field is neither dotted IPv4 nor u32")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses one address field: dotted-quad IPv4 or a bare `u32`.
+fn parse_addr(field: &str, line: usize) -> Result<u32, TraceParseError> {
+    if let Ok(v) = field.parse::<u32>() {
+        return Ok(v);
+    }
+    if let Ok(ip) = field.parse::<std::net::Ipv4Addr>() {
+        return Ok(u32::from(ip));
+    }
+    Err(TraceParseError::BadAddress { line })
+}
+
+/// Parses a real flow trace from text — one record per line,
+/// `src,dst` or `src dst`, addresses as dotted IPv4 or raw u32 —
+/// so licensed CAIDA-style data can replace the synthetic stand-in
+/// (`#`-prefixed lines and blank lines are skipped).
+///
+/// The returned records preserve file order; combine with
+/// [`FlowTrace::from_records`] to derive the full workload.
+pub fn parse_trace_records(text: &str) -> Result<Vec<FlowKey>, TraceParseError> {
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(|ch: char| ch == ',' || ch.is_whitespace());
+        let src = fields.next().filter(|f| !f.is_empty());
+        let dst = fields.next().filter(|f| !f.is_empty());
+        match (src, dst) {
+            (Some(s), Some(d)) => {
+                records.push((parse_addr(s, line)?, parse_addr(d, line)?));
+            }
+            _ => return Err(TraceParseError::BadLine { line }),
+        }
+    }
+    Ok(records)
+}
+
+impl FlowTrace {
+    /// Builds a workload from an externally supplied record stream (e.g.
+    /// parsed real traces): extracts the unique flows, samples a test set
+    /// of `test_set` flows and `periods` churn periods using `seed`.
+    pub fn from_records(
+        records: Vec<FlowKey>,
+        test_set: usize,
+        churn_per_period: usize,
+        periods: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen: HashSet<FlowKey> = HashSet::new();
+        let mut flows = Vec::new();
+        for r in &records {
+            if seen.insert(*r) {
+                flows.push(*r);
+            }
+        }
+        let mut test = flows.clone();
+        test.shuffle(&mut rng);
+        test.truncate(test_set.min(flows.len()));
+
+        let fresh_flow = |rng: &mut StdRng, seen: &mut HashSet<FlowKey>| -> FlowKey {
+            loop {
+                let f = (rng.gen::<u32>(), rng.gen::<u32>());
+                if seen.insert(f) {
+                    return f;
+                }
+            }
+        };
+        let mut live = test.clone();
+        let mut churn_periods = Vec::with_capacity(periods);
+        for _ in 0..periods {
+            let del = churn_per_period.min(live.len());
+            let mut deletes = Vec::with_capacity(del);
+            for _ in 0..del {
+                let idx = rng.gen_range(0..live.len());
+                deletes.push(live.swap_remove(idx));
+            }
+            let inserts: Vec<FlowKey> = (0..del)
+                .map(|_| fresh_flow(&mut rng, &mut seen))
+                .collect();
+            live.extend_from_slice(&inserts);
+            churn_periods.push(ChurnPeriod { deletes, inserts });
+        }
+        FlowTrace {
+            flows,
+            records,
+            test_set: test,
+            churn: ChurnPlan { periods: churn_periods },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlowTraceSpec {
+        FlowTraceSpec::default().scaled_down(200)
+    }
+
+    #[test]
+    fn parses_mixed_formats() {
+        let text = "# comment\n10.0.0.1,10.0.0.2\n16909060 84281096\n\n1.2.3.4\t5.6.7.8\n";
+        let recs = parse_trace_records(text).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], (0x0A00_0001, 0x0A00_0002));
+        assert_eq!(recs[1], (16_909_060, 84_281_096));
+        assert_eq!(recs[2], (0x0102_0304, 0x0506_0708));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(
+            parse_trace_records("1.2.3.4,5.6.7.8\nonly-one-field\n"),
+            Err(TraceParseError::BadLine { line: 2 })
+        );
+        assert_eq!(
+            parse_trace_records("1.2.3.4,not-an-ip\n"),
+            Err(TraceParseError::BadAddress { line: 1 })
+        );
+        let _ = TraceParseError::BadLine { line: 2 }.to_string();
+    }
+
+    #[test]
+    fn from_records_builds_a_consistent_workload() {
+        let records: Vec<FlowKey> = (0..1000u32).map(|i| (i % 100, i % 37)).collect();
+        let t = FlowTrace::from_records(records.clone(), 50, 10, 2, 9);
+        assert_eq!(t.records, records);
+        let uniq: HashSet<_> = records.iter().collect();
+        assert_eq!(t.flows.len(), uniq.len());
+        assert_eq!(t.test_set.len(), 50);
+        assert_eq!(t.churn.periods.len(), 2);
+        // Churn inserts are flows not present in the trace.
+        for p in &t.churn.periods {
+            for i in &p.inserts {
+                assert!(!uniq.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = small();
+        let t = FlowTrace::generate(&spec);
+        assert_eq!(t.flows.len(), spec.unique_flows);
+        assert_eq!(t.records.len(), spec.total_records as usize);
+        assert_eq!(t.test_set.len(), spec.test_set);
+    }
+
+    #[test]
+    fn every_unique_flow_appears() {
+        let t = FlowTrace::generate(&small());
+        let in_trace: HashSet<_> = t.records.iter().collect();
+        assert_eq!(in_trace.len(), t.flows.len());
+    }
+
+    #[test]
+    fn record_distribution_is_heavy_tailed() {
+        let t = FlowTrace::generate(&small());
+        let mut counts: std::collections::HashMap<FlowKey, u64> = Default::default();
+        for r in &t.records {
+            *counts.entry(*r).or_default() += 1;
+        }
+        let mut sizes: Vec<u64> = counts.values().copied().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 1% of flows should carry well over 1% of traffic.
+        let top = sizes.len() / 100 + 1;
+        let head: u64 = sizes[..top].iter().sum();
+        let total: u64 = sizes.iter().sum();
+        assert!(
+            head as f64 / total as f64 > 0.05,
+            "head share {}",
+            head as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn test_set_is_subset_of_flows() {
+        let t = FlowTrace::generate(&small());
+        let all: HashSet<_> = t.flows.iter().collect();
+        assert!(t.test_set.iter().all(|f| all.contains(f)));
+        let uniq: HashSet<_> = t.test_set.iter().collect();
+        assert_eq!(uniq.len(), t.test_set.len(), "test set must be unique");
+    }
+
+    #[test]
+    fn churn_inserts_are_fresh_flows() {
+        let mut spec = small();
+        spec.periods = 2;
+        let t = FlowTrace::generate(&spec);
+        let all: HashSet<_> = t.flows.iter().collect();
+        for p in &t.churn.periods {
+            for i in &p.inserts {
+                assert!(!all.contains(i), "churn insert reused a trace flow");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FlowTrace::generate(&small());
+        let b = FlowTrace::generate(&small());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.test_set, b.test_set);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators for the MPCBF evaluation (§IV–§V).
+//!
+//! Three dataset families drive the paper's experiments; all are generated
+//! deterministically from seeds so every figure is reproducible bit-for-bit:
+//!
+//! * [`synthetic`] — the §IV.A synthetic sets: five-byte strings drawn from
+//!   `[a-zA-Z]`, a 100 K-element test set, a 1 M-element query set with an
+//!   80 % membership ratio, and churn periods that delete and re-insert
+//!   20 % of the set;
+//! * [`flowtrace`] — a **synthetic stand-in for the CAIDA Equinix-Chicago
+//!   2011 traces** (which are not redistributable): an IPv4 flow trace with
+//!   the paper's exact aggregate statistics (5 585 633 records, 292 363
+//!   unique src/dst 2-tuples) and a heavy-tailed (Zipf) flow-size
+//!   distribution, which is the property that matters to a filter — the
+//!   substitution is documented in `DESIGN.md`;
+//! * [`patents`] — an **NBER-shaped patent-citation dataset** standing in
+//!   for `cite75_99.txt`/`pat63_99.txt` in the MapReduce reduce-side-join
+//!   experiment (Table IV), matching the original's key cardinalities and
+//!   match rate.
+//!
+//! [`churn`] provides the paper's update-period driver as pure data (which
+//! keys to delete/insert per period), so any filter can replay it; and
+//! [`zipf`] implements the Zipf sampler the trace generator uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod flowtrace;
+pub mod patents;
+pub mod synthetic;
+pub mod zipf;
+
+pub use churn::ChurnPlan;
+pub use flowtrace::{FlowTrace, FlowTraceSpec};
+pub use patents::{PatentDataset, PatentSpec};
+pub use synthetic::{SyntheticSpec, SyntheticWorkload};

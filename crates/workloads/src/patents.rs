@@ -1,0 +1,210 @@
+//! An NBER-shaped patent-citation dataset for the MapReduce reduce-side
+//! join experiment (§V, Table IV).
+//!
+//! The paper joins the NBER citation file `cite75_99.txt` (16 522 438
+//! `(citing, cited)` records) against a key set of 71 661 patents drawn
+//! from `pat63_99.txt`. The original files are third-party data, so this
+//! generator produces a dataset with the same *join-relevant* shape:
+//!
+//! * the same key cardinalities (citation rows, distinct patent keys);
+//! * a configurable **match rate** — the fraction of citation rows whose
+//!   `cited` patent is in the key set, which determines how many map
+//!   outputs a perfect filter could drop (the quantity Table IV measures);
+//! * Zipf-skewed citation popularity (famous patents are cited often).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A patent identifier (NBER ids are 7-digit numbers).
+pub type PatentId = u32;
+
+/// One citation record: `citing` cites `cited`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Citation {
+    /// The citing patent.
+    pub citing: PatentId,
+    /// The cited patent.
+    pub cited: PatentId,
+}
+
+/// A patent-side record carrying join payload (grant year).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patent {
+    /// The patent id (the join key).
+    pub id: PatentId,
+    /// Grant year (payload carried through the join).
+    pub year: u16,
+}
+
+/// Parameters; defaults are the paper's full NBER scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatentSpec {
+    /// Citation records (paper: 16 522 438).
+    pub citations: u64,
+    /// Patents in the join key set (paper: 71 661).
+    pub key_patents: usize,
+    /// Pool of patent ids citations can reference (superset of the keys).
+    pub universe: usize,
+    /// Fraction of citations whose `cited` end is in the key set.
+    pub match_rate: f64,
+    /// Zipf exponent for citation popularity.
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PatentSpec {
+    fn default() -> Self {
+        PatentSpec {
+            citations: 16_522_438,
+            key_patents: 71_661,
+            universe: 3_000_000,
+            match_rate: 0.25,
+            alpha: 1.05,
+            seed: 0x4e42_4552_5041_5431, // "NBERPAT1"
+        }
+    }
+}
+
+impl PatentSpec {
+    /// A scaled-down copy for tests and CI-sized runs.
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        assert!(factor >= 1);
+        self.citations = (self.citations / factor).max(1);
+        self.key_patents = ((self.key_patents as u64 / factor).max(1)) as usize;
+        self.universe = ((self.universe as u64 / factor).max(16)) as usize;
+        self.key_patents = self.key_patents.min(self.universe);
+        self
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct PatentDataset {
+    /// The patent-side table (the smaller join input, used to build the
+    /// filter broadcast via the DistributedCache analog).
+    pub patents: Vec<Patent>,
+    /// The citation-side table (the large input that gets filtered).
+    pub citations: Vec<Citation>,
+}
+
+impl PatentDataset {
+    /// Generates the dataset for `spec`, deterministically from its seed.
+    pub fn generate(spec: &PatentSpec) -> Self {
+        assert!(spec.key_patents <= spec.universe);
+        assert!((0.0..=1.0).contains(&spec.match_rate));
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // Patent ids: a shuffled prefix of the universe gives the key set.
+        // Ids start at 1_000_000 to resemble NBER's 7-digit numbering.
+        let mut ids: Vec<PatentId> = (0..spec.universe as u32).map(|i| 1_000_000 + i).collect();
+        ids.shuffle(&mut rng);
+        let key_ids = &ids[..spec.key_patents];
+        let nonkey_ids = &ids[spec.key_patents..];
+
+        let patents: Vec<Patent> = key_ids
+            .iter()
+            .map(|&id| Patent {
+                id,
+                year: rng.gen_range(1963..=1999),
+            })
+            .collect();
+
+        // Citation popularity over the key set is Zipf-skewed; non-matching
+        // citations reference the rest of the universe uniformly.
+        let zipf = Zipf::new(spec.key_patents.max(1), spec.alpha);
+        let mut citations = Vec::with_capacity(spec.citations as usize);
+        for _ in 0..spec.citations {
+            let citing = 1_000_000 + rng.gen_range(0..spec.universe as u32);
+            let cited = if rng.gen_bool(spec.match_rate) || nonkey_ids.is_empty() {
+                key_ids[zipf.sample(&mut rng) - 1]
+            } else {
+                nonkey_ids[rng.gen_range(0..nonkey_ids.len())]
+            };
+            citations.push(Citation { citing, cited });
+        }
+
+        PatentDataset { patents, citations }
+    }
+
+    /// The fraction of citations whose `cited` end is a key patent
+    /// (ground truth for Table IV's filtering-effectiveness numbers).
+    pub fn true_match_rate(&self) -> f64 {
+        let keys: std::collections::HashSet<PatentId> =
+            self.patents.iter().map(|p| p.id).collect();
+        let hits = self
+            .citations
+            .iter()
+            .filter(|c| keys.contains(&c.cited))
+            .count();
+        hits as f64 / self.citations.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PatentSpec {
+        PatentSpec::default().scaled_down(500)
+    }
+
+    #[test]
+    fn cardinalities_match_spec() {
+        let spec = small();
+        let d = PatentDataset::generate(&spec);
+        assert_eq!(d.patents.len(), spec.key_patents);
+        assert_eq!(d.citations.len(), spec.citations as usize);
+    }
+
+    #[test]
+    fn key_ids_are_unique() {
+        let d = PatentDataset::generate(&small());
+        let set: std::collections::HashSet<_> = d.patents.iter().map(|p| p.id).collect();
+        assert_eq!(set.len(), d.patents.len());
+    }
+
+    #[test]
+    fn match_rate_is_close() {
+        let mut spec = small();
+        spec.citations = 50_000;
+        let d = PatentDataset::generate(&spec);
+        let rate = d.true_match_rate();
+        assert!(
+            (rate - spec.match_rate).abs() < 0.02,
+            "rate {rate} vs spec {}",
+            spec.match_rate
+        );
+    }
+
+    #[test]
+    fn years_in_nber_range() {
+        let d = PatentDataset::generate(&small());
+        assert!(d.patents.iter().all(|p| (1963..=1999).contains(&p.year)));
+    }
+
+    #[test]
+    fn citation_popularity_is_skewed() {
+        let mut spec = small();
+        spec.citations = 50_000;
+        spec.match_rate = 1.0; // all citations hit the key set
+        let d = PatentDataset::generate(&spec);
+        let mut counts: std::collections::HashMap<PatentId, u64> = Default::default();
+        for c in &d.citations {
+            *counts.entry(c.cited).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let mean = spec.citations as f64 / counts.len() as f64;
+        assert!(max as f64 > 5.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PatentDataset::generate(&small());
+        let b = PatentDataset::generate(&small());
+        assert_eq!(a.citations.len(), b.citations.len());
+        assert_eq!(a.citations[..50], b.citations[..50]);
+    }
+}

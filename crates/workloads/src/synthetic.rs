@@ -1,0 +1,234 @@
+//! The §IV.A synthetic workload.
+//!
+//! "We synthesize a test set and a query set, each containing five-byte
+//! strings; each string is randomly generated from the alphabet
+//! `{a–z, A–Z}`. The test set contains 100K unique strings that are
+//! inserted into the filters, while the query set contains 1M strings, of
+//! which 80% belongs to the test set. During an update period, 20K strings
+//! are deleted from the filters, and another 20K strings are inserted,
+//! maintaining a constant number of strings in the filters."
+
+use crate::churn::{ChurnPeriod, ChurnPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A five-byte synthetic string key.
+pub type StrKey = [u8; 5];
+
+const ALPHABET: &[u8; 52] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// Parameters of the synthetic workload; defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Unique strings inserted into the filters (paper: 100 000).
+    pub test_set: usize,
+    /// Query-set size (paper: 1 000 000).
+    pub queries: usize,
+    /// Fraction of queries drawn from the test set (paper: 0.8).
+    pub member_ratio: f64,
+    /// Strings deleted and re-inserted per update period (paper: 20 000).
+    pub churn_per_period: usize,
+    /// Number of update periods to generate.
+    pub periods: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            test_set: 100_000,
+            queries: 1_000_000,
+            member_ratio: 0.8,
+            churn_per_period: 20_000,
+            periods: 1,
+            seed: 0x5943_4e54_4845_5449, // "SYNTHETI"
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// A scaled-down copy (sizes divided by `factor`, minimum 1), for
+    /// fast tests and CI-sized benches.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        assert!(factor >= 1);
+        self.test_set = (self.test_set / factor).max(1);
+        self.queries = (self.queries / factor).max(1);
+        self.churn_per_period = (self.churn_per_period / factor).max(1);
+        self
+    }
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    /// Unique strings to insert before querying.
+    pub test_set: Vec<StrKey>,
+    /// The query stream (`member_ratio` of them are members).
+    pub queries: Vec<StrKey>,
+    /// Which queries are true members (parallel to `queries`), so FPR can
+    /// be computed without a second membership oracle.
+    pub is_member: Vec<bool>,
+    /// The churn plan for the update periods.
+    pub churn: ChurnPlan<StrKey>,
+}
+
+impl SyntheticWorkload {
+    /// Generates the workload for `spec`, deterministically from its seed.
+    pub fn generate(spec: &SyntheticSpec) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spec.member_ratio),
+            "member_ratio out of range"
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut seen: HashSet<StrKey> = HashSet::with_capacity(spec.test_set * 2);
+
+        let fresh_unique = |rng: &mut StdRng, seen: &mut HashSet<StrKey>| -> StrKey {
+            loop {
+                let k = random_key(rng);
+                if seen.insert(k) {
+                    return k;
+                }
+            }
+        };
+
+        let test_set: Vec<StrKey> = (0..spec.test_set)
+            .map(|_| fresh_unique(&mut rng, &mut seen))
+            .collect();
+
+        // Non-member queries must not collide with the test set (or with
+        // future churn inserts), otherwise FPR accounting is polluted.
+        let mut queries = Vec::with_capacity(spec.queries);
+        let mut is_member = Vec::with_capacity(spec.queries);
+        for _ in 0..spec.queries {
+            if rng.gen_bool(spec.member_ratio) && !test_set.is_empty() {
+                queries.push(test_set[rng.gen_range(0..test_set.len())]);
+                is_member.push(true);
+            } else {
+                queries.push(fresh_unique(&mut rng, &mut seen));
+                is_member.push(false);
+            }
+        }
+
+        // Churn periods: delete a random sample of the live set, insert the
+        // same number of fresh strings (constant filter population).
+        let mut live = test_set.clone();
+        let mut periods = Vec::with_capacity(spec.periods);
+        for _ in 0..spec.periods {
+            let del = spec.churn_per_period.min(live.len());
+            let mut deletes = Vec::with_capacity(del);
+            for _ in 0..del {
+                let idx = rng.gen_range(0..live.len());
+                deletes.push(live.swap_remove(idx));
+            }
+            let inserts: Vec<StrKey> = (0..del)
+                .map(|_| fresh_unique(&mut rng, &mut seen))
+                .collect();
+            live.extend_from_slice(&inserts);
+            periods.push(ChurnPeriod { deletes, inserts });
+        }
+
+        SyntheticWorkload {
+            test_set,
+            queries,
+            is_member,
+            churn: ChurnPlan { periods },
+        }
+    }
+}
+
+#[inline]
+fn random_key(rng: &mut StdRng) -> StrKey {
+    let mut k = [0u8; 5];
+    for b in &mut k {
+        *b = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> SyntheticSpec {
+        SyntheticSpec::default().scaled_down(100)
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let spec = small_spec();
+        let w = SyntheticWorkload::generate(&spec);
+        assert_eq!(w.test_set.len(), spec.test_set);
+        assert_eq!(w.queries.len(), spec.queries);
+        assert_eq!(w.is_member.len(), spec.queries);
+        assert_eq!(w.churn.periods.len(), 1);
+        assert_eq!(w.churn.periods[0].deletes.len(), spec.churn_per_period);
+        assert_eq!(w.churn.periods[0].inserts.len(), spec.churn_per_period);
+    }
+
+    #[test]
+    fn test_set_is_unique() {
+        let w = SyntheticWorkload::generate(&small_spec());
+        let set: HashSet<_> = w.test_set.iter().collect();
+        assert_eq!(set.len(), w.test_set.len());
+    }
+
+    #[test]
+    fn alphabet_is_respected() {
+        let w = SyntheticWorkload::generate(&small_spec());
+        for k in w.test_set.iter().chain(w.queries.iter()) {
+            for &b in k {
+                assert!(b.is_ascii_alphabetic(), "byte {b} not alphabetic");
+            }
+        }
+    }
+
+    #[test]
+    fn member_flags_are_accurate() {
+        let w = SyntheticWorkload::generate(&small_spec());
+        let set: HashSet<_> = w.test_set.iter().collect();
+        for (q, &m) in w.queries.iter().zip(&w.is_member) {
+            assert_eq!(set.contains(q), m);
+        }
+    }
+
+    #[test]
+    fn member_ratio_close_to_spec() {
+        let mut spec = SyntheticSpec::default().scaled_down(10);
+        spec.queries = 100_000;
+        let w = SyntheticWorkload::generate(&spec);
+        let members = w.is_member.iter().filter(|&&m| m).count() as f64;
+        let ratio = members / w.queries.len() as f64;
+        assert!((ratio - 0.8).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn churn_preserves_population_and_freshness() {
+        let mut spec = small_spec();
+        spec.periods = 3;
+        let w = SyntheticWorkload::generate(&spec);
+        let mut live: HashSet<_> = w.test_set.iter().copied().collect();
+        for p in &w.churn.periods {
+            for d in &p.deletes {
+                assert!(live.remove(d), "deleting something not live");
+            }
+            for i in &p.inserts {
+                assert!(live.insert(*i), "churn insert collided");
+            }
+        }
+        assert_eq!(live.len(), w.test_set.len());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SyntheticWorkload::generate(&small_spec());
+        let b = SyntheticWorkload::generate(&small_spec());
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.queries, b.queries);
+        let mut spec = small_spec();
+        spec.seed ^= 1;
+        let c = SyntheticWorkload::generate(&spec);
+        assert_ne!(a.test_set, c.test_set);
+    }
+}

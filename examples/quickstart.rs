@@ -1,0 +1,81 @@
+//! Quickstart: build an MPCBF, insert, query, delete, inspect.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpcbf::prelude::*;
+
+fn main() {
+    // Size the filter the way the paper does (§III.B.3): give it a memory
+    // budget and an expected element count; the builder derives the word
+    // layout, the Eq.-(11) per-word capacity n_max and the maximised
+    // first-level size b1 = w − k·n_max.
+    let config = MpcbfConfig::builder()
+        .memory_bits(1_000_000) // 1 Mb
+        .expected_items(20_000)
+        .hashes(3) // k
+        .accesses(1) // g: one memory access per op (MPCBF-1)
+        .build()
+        .expect("feasible configuration");
+
+    let shape = config.shape();
+    println!(
+        "MPCBF-{}: {} words x {} bits, k = {}, n_max = {}, b1 = {}",
+        shape.g, shape.l, shape.w, shape.k, shape.n_max, shape.b1
+    );
+
+    let mut filter = Mpcbf1::new(config);
+
+    // Insert some members. Keys are anything byte-like: strings,
+    // integers, IPv4 flow 2-tuples ...
+    filter.insert(&"alice").unwrap();
+    filter.insert(&"bob").unwrap();
+    filter.insert(&42u64).unwrap();
+    filter.insert(&(0xC0A8_0001u32, 0x0808_0808u32)).unwrap(); // a flow
+
+    assert!(filter.contains(&"alice"));
+    assert!(filter.contains(&42u64));
+    // A query for "mallory" is *probably* false — false positives are
+    // possible (that's the "approximate" in AMQ), false negatives never.
+    println!("contains('mallory') -> {}", filter.contains(&"mallory"));
+
+    // Counting means deletion works — the whole point over a Bloom filter.
+    filter.remove(&"bob").unwrap();
+    assert!(!filter.contains(&"bob"));
+
+    // Deleting something that was never inserted is refused, not corrupting:
+    assert!(filter.remove(&"never-inserted").is_err());
+
+    // Every operation can be metered with the paper's overhead units.
+    let (hit, cost) = filter.contains_bytes_cost(b"alice");
+    println!(
+        "query('alice') -> {hit}; {} memory access(es), {} hash bits",
+        cost.word_accesses, cost.hash_bits
+    );
+
+    // Bulk behaviour: insert 20k, measure the false-positive rate.
+    // The Eq.-(11) capacity heuristic deliberately leaves ~1 expected word
+    // at capacity, so an insert can occasionally be refused — the filter
+    // stays consistent and the caller decides (retry elsewhere, resize...).
+    let mut refused = 0u64;
+    for i in 0..20_000u64 {
+        if filter.insert(&i).is_err() {
+            refused += 1;
+        }
+    }
+    if refused > 0 {
+        println!("{refused} insert(s) refused by word overflow (state stays consistent)");
+    }
+    let trials = 200_000u64;
+    let fp = (1_000_000..1_000_000 + trials)
+        .filter(|i: &u64| filter.contains(i))
+        .count();
+    println!(
+        "measured FPR at ~{} items in {} bits: {:.4}%",
+        filter.items(),
+        filter.memory_bits(),
+        100.0 * fp as f64 / trials as f64
+    );
+    println!("word overflows so far: {}", filter.overflows());
+}

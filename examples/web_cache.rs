@@ -1,0 +1,126 @@
+//! Summary-Cache-style cooperative web caching — the application CBF was
+//! invented for (Fan, Cao, Almeida & Broder, the paper's reference \[3\]):
+//! each proxy keeps a compact *summary* of every sibling's cache and only
+//! forwards a miss to a sibling whose summary claims a hit. Counting is
+//! essential because cached objects are evicted continuously.
+//!
+//! ```text
+//! cargo run --release --example web_cache
+//! ```
+
+use mpcbf::core::{CountingFilter, Filter, Mpcbf1, MpcbfConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+const PROXIES: usize = 4;
+const CACHE_CAPACITY: usize = 20_000;
+const REQUESTS: usize = 200_000;
+
+struct Proxy {
+    /// Objects actually cached (FIFO eviction for simplicity).
+    cache: HashSet<u64>,
+    order: std::collections::VecDeque<u64>,
+    /// This proxy's summary filter, mirrored at the siblings.
+    summary: Mpcbf1,
+}
+
+impl Proxy {
+    fn new(seed: u64) -> Self {
+        let config = MpcbfConfig::builder()
+            .memory_bits(1_200_000)
+            .expected_items(CACHE_CAPACITY as u64)
+            .hashes(3)
+            .seed(seed)
+            .build()
+            .expect("summary shape");
+        Proxy {
+            cache: HashSet::with_capacity(CACHE_CAPACITY),
+            order: Default::default(),
+            summary: Mpcbf1::new(config),
+        }
+    }
+
+    fn admit(&mut self, url: u64) {
+        if !self.cache.insert(url) {
+            return;
+        }
+        self.order.push_back(url);
+        let _ = self.summary.insert(&url);
+        if self.cache.len() > CACHE_CAPACITY {
+            // Evict the oldest object and update the summary — the
+            // operation a plain Bloom filter cannot do.
+            let old = self.order.pop_front().expect("non-empty");
+            self.cache.remove(&old);
+            let _ = self.summary.remove(&old);
+        }
+    }
+
+    fn has(&self, url: u64) -> bool {
+        self.cache.contains(&url)
+    }
+
+    fn summary_says(&self, url: u64) -> bool {
+        self.summary.contains(&url)
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut proxies: Vec<Proxy> = (0..PROXIES as u64).map(Proxy::new).collect();
+
+    // Zipf-ish request stream over a 200k-object universe: hot objects
+    // are requested by many clients through different proxies.
+    let universe = 200_000u64;
+    let mut local_hits = 0u64;
+    let mut sibling_hits = 0u64;
+    let mut useless_forwards = 0u64; // summary said yes, sibling had evicted
+    let mut origin_fetches = 0u64;
+
+    for _ in 0..REQUESTS {
+        let url = {
+            // Mixture: 30% of traffic over a hot 1% of objects.
+            if rng.gen_bool(0.3) {
+                rng.gen_range(0..universe / 100)
+            } else {
+                rng.gen_range(0..universe)
+            }
+        };
+        let at = rng.gen_range(0..PROXIES);
+        if proxies[at].has(url) {
+            local_hits += 1;
+            continue;
+        }
+        // Consult the siblings' summaries before going to the origin.
+        let mut served = false;
+        for (i, p) in proxies.iter().enumerate() {
+            if i != at && p.summary_says(url) {
+                if p.has(url) {
+                    sibling_hits += 1;
+                    served = true;
+                } else {
+                    // A false positive (or an in-flight eviction): one
+                    // wasted inter-proxy request — the cost the paper's
+                    // lower FPR directly reduces.
+                    useless_forwards += 1;
+                }
+                break;
+            }
+        }
+        if !served {
+            origin_fetches += 1;
+            proxies[at].admit(url);
+        }
+    }
+
+    println!("requests            {REQUESTS}");
+    println!("local hits          {local_hits}");
+    println!("sibling hits        {sibling_hits}");
+    println!("useless forwards    {useless_forwards}  (summary false positives)");
+    println!("origin fetches      {origin_fetches}");
+    let total_cached: usize = proxies.iter().map(|p| p.cache.len()).sum();
+    println!("objects cached      {total_cached} across {PROXIES} proxies");
+    let forward_rate = useless_forwards as f64
+        / (useless_forwards + sibling_hits + origin_fetches).max(1) as f64;
+    println!("wasted-forward rate {:.3}%", forward_rate * 100.0);
+}

@@ -1,0 +1,174 @@
+//! Cross-checks the analysis crate against the real filters: measured
+//! false-positive rates must land within statistical tolerance of the
+//! paper's closed forms (Eqs. 1, 2, 4), and the overflow model must match
+//! observed refusals.
+
+use mpcbf::analysis::{cbf as cbf_model, heuristic, mpcbf as mpcbf_model, overflow, pcbf as pcbf_model};
+use mpcbf::core::{Cbf, Filter, Mpcbf, MpcbfConfig, Pcbf};
+use mpcbf::hash::Murmur3;
+
+const N: u64 = 20_000;
+const BIG_M: u64 = 1_000_000;
+const TRIALS: u64 = 400_000;
+
+/// Measured FPR must be within ±40% of the analytic value (binomial noise
+/// at these trial counts is ≪ that; the slack covers model approximations
+/// such as double hashing and integer b1).
+fn assert_close(measured: f64, analytic: f64, what: &str) {
+    assert!(
+        (measured - analytic).abs() <= 0.4 * analytic + 3e-4,
+        "{what}: measured {measured:.6} vs analytic {analytic:.6}"
+    );
+}
+
+fn measure<F: Filter>(f: &F) -> f64 {
+    let fp = (N..N + TRIALS)
+        .filter(|i| f.contains_bytes(&i.to_le_bytes()))
+        .count();
+    fp as f64 / TRIALS as f64
+}
+
+#[test]
+fn cbf_matches_eq1() {
+    let mut f = Cbf::<Murmur3>::with_memory(BIG_M, 3, 101);
+    for i in 0..N {
+        f.insert(&i).unwrap();
+    }
+    assert_close(measure(&f), cbf_model::fpr(N, BIG_M / 4, 3), "CBF k=3");
+}
+
+#[test]
+fn cbf_matches_eq1_k5() {
+    let mut f = Cbf::<Murmur3>::with_memory(BIG_M, 5, 102);
+    for i in 0..N {
+        f.insert(&i).unwrap();
+    }
+    assert_close(measure(&f), cbf_model::fpr(N, BIG_M / 4, 5), "CBF k=5");
+}
+
+#[test]
+fn pcbf1_matches_eq2() {
+    let mut f = Pcbf::<Murmur3>::with_memory(BIG_M, 64, 3, 1, 103);
+    for i in 0..N {
+        f.insert(&i).unwrap();
+    }
+    let analytic = pcbf_model::fpr_pcbf1(N, BIG_M / 64, 64, 3);
+    assert_close(measure(&f), analytic, "PCBF-1");
+}
+
+#[test]
+fn pcbf2_matches_eq3() {
+    let mut f = Pcbf::<Murmur3>::with_memory(BIG_M, 64, 4, 2, 104);
+    for i in 0..N {
+        f.insert(&i).unwrap();
+    }
+    // Eq. (3) uses the continuous k/g = 2 split; k = 4, g = 2 is exact.
+    let analytic = pcbf_model::fpr_pcbf_g(N, BIG_M / 64, 64, 4, 2);
+    assert_close(measure(&f), analytic, "PCBF-2");
+}
+
+#[test]
+fn mpcbf1_matches_eq4() {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(BIG_M)
+        .expected_items(N)
+        .hashes(3)
+        .seed(105)
+        .build()
+        .unwrap();
+    let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+    let mut refused = 0;
+    for i in 0..N {
+        if f.insert(&i).is_err() {
+            refused += 1;
+        }
+    }
+    assert!(refused <= 3, "too many refusals: {refused}");
+    let analytic = mpcbf_model::fpr_mpcbf1_b1(N, cfg.shape().l, 3, cfg.shape().b1);
+    assert_close(measure(&f), analytic, "MPCBF-1");
+}
+
+#[test]
+fn mpcbf2_matches_eq8() {
+    // k = 4, g = 2 gives an exact 2+2 split, matching Eq. (8)'s k/g.
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(BIG_M)
+        .expected_items(N)
+        .hashes(4)
+        .accesses(2)
+        .seed(106)
+        .build()
+        .unwrap();
+    let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+    for i in 0..N {
+        let _ = f.insert(&i);
+    }
+    let analytic = mpcbf_model::fpr_mpcbf_g_b1(N, cfg.shape().l, 4, 2, cfg.shape().b1);
+    assert_close(measure(&f), analytic, "MPCBF-2");
+}
+
+#[test]
+fn overflow_model_matches_observed_word_loads() {
+    // With a deliberately small n_max, the number of words that exceed
+    // capacity should match the binomial model within noise.
+    let n_max = 4u32;
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(BIG_M)
+        .expected_items(N)
+        .hashes(3)
+        .n_max(n_max)
+        .seed(107)
+        .build()
+        .unwrap();
+    let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+    let mut refused = 0u64;
+    for i in 0..N {
+        if f.insert(&i).is_err() {
+            refused += 1;
+        }
+    }
+    let l = cfg.shape().l;
+    // Expected *elements* refused ≈ E[excess over capacity]; a cheap and
+    // robust check: refusals happen, and the count is within an order of
+    // magnitude of l·P[X > n_max] (each overflowing word refuses ≥ 1).
+    let expected_words = l as f64 * overflow::overflow_exact(N, l, n_max + 1);
+    assert!(refused > 0, "expected refusals at n_max = {n_max}");
+    assert!(
+        (refused as f64) < 20.0 * expected_words + 20.0,
+        "refused {refused} ≫ model {expected_words}"
+    );
+}
+
+#[test]
+fn heuristic_keeps_overflow_negligible() {
+    // Eq. (11) targets ≤ 1 *expected* word at capacity, so a handful of
+    // refusals per 10k inserts is within spec — and refusals must never
+    // cost a successfully inserted element.
+    for seed in [1u64, 2, 3] {
+        let n = N / 2;
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(BIG_M)
+            .expected_items(n)
+            .hashes(3)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        let mut stored = Vec::new();
+        for i in 0..n {
+            if f.insert(&i).is_ok() {
+                stored.push(i);
+            }
+        }
+        assert!(
+            f.overflows() <= 5,
+            "seed {seed}: {} refusals is far beyond the ~1-word design target",
+            f.overflows()
+        );
+        for i in &stored {
+            assert!(f.contains(i), "seed {seed}: stored element {i} lost");
+        }
+        let pick = heuristic::n_max_heuristic(n, cfg.shape().l, 1);
+        assert_eq!(pick as u32, cfg.shape().n_max);
+    }
+}

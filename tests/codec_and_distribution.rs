@@ -1,0 +1,145 @@
+//! Cross-crate distribution scenario: build partial filters on "nodes",
+//! merge them, ship the result over the wire format, and use the decoded
+//! image as the pushdown filter in a MapReduce join — the full §V
+//! deployment path, in one test file.
+
+use mpcbf::core::{Cbf, Filter, Mpcbf, MpcbfConfig};
+use mpcbf::hash::Murmur3;
+use mpcbf::mapreduce::{reduce_side_join, Broadcast, JoinConfig};
+use mpcbf::workloads::patents::{PatentDataset, PatentSpec};
+use proptest::prelude::*;
+
+fn config(memory: u64, items: u64, seed: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(memory)
+        .expected_items(items)
+        .hashes(3)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn distributed_build_then_broadcast_then_join() {
+    let spec = PatentSpec::default().scaled_down(256);
+    let data = PatentDataset::generate(&spec);
+    let left: Vec<(u32, u16)> = data.patents.iter().map(|p| (p.id, p.year)).collect();
+    let right: Vec<(u32, u32)> = data.citations.iter().map(|c| (c.cited, c.citing)).collect();
+    let n_keys = left.len() as u64;
+    let cfg = config(40 * n_keys, n_keys, 2026);
+
+    // "Nodes" build partial filters over shards of the key table …
+    let shards: Vec<&[(u32, u16)]> = left.chunks(left.len().div_ceil(3)).collect();
+    let mut partials: Vec<Mpcbf<u64, Murmur3>> = shards
+        .iter()
+        .map(|shard| {
+            let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+            for (k, _) in *shard {
+                f.insert(k).unwrap();
+            }
+            f
+        })
+        .collect();
+
+    // … the coordinator merges them …
+    let mut merged = partials.remove(0);
+    for p in &partials {
+        merged.absorb(p).unwrap();
+    }
+    assert_eq!(merged.items(), n_keys);
+
+    // … encodes for DistributedCache, every mapper decodes its copy.
+    let image = merged.encode();
+    let broadcast = Broadcast::new(image.clone(), image.len() as u64);
+    let decoded = Mpcbf::<u64, Murmur3>::decode(broadcast.get()).unwrap();
+
+    // The decoded filter drives the pushdown; result must equal no-filter.
+    let (rows_plain, _) = reduce_side_join(&JoinConfig::default(), left.clone(), right.clone(), None);
+    let (rows_push, stats) =
+        reduce_side_join(&JoinConfig::default(), left, right, Some(&decoded));
+    assert_eq!(rows_plain.len(), rows_push.len());
+    assert!(stats.filtered_out > 0, "decoded filter should still filter");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mpcbf_codec_roundtrips_arbitrary_populations(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let cfg = config(100_000, 1_000, seed);
+        let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        for k in &keys {
+            let _ = f.insert(k);
+        }
+        let decoded = Mpcbf::<u64, Murmur3>::decode(&f.encode()).unwrap();
+        prop_assert_eq!(decoded.shape(), f.shape());
+        prop_assert_eq!(decoded.items(), f.items());
+        for k in &keys {
+            prop_assert_eq!(decoded.contains(k), f.contains(k));
+        }
+        for probe in 0u64..2_000 {
+            prop_assert_eq!(decoded.contains(&probe), f.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn cbf_codec_roundtrips_arbitrary_populations(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        k in 1u32..=6,
+    ) {
+        let mut f = Cbf::<Murmur3>::new(4_096, k, 9);
+        for key in &keys {
+            f.insert(key).unwrap();
+        }
+        let decoded = Cbf::<Murmur3>::decode(&f.encode()).unwrap();
+        for key in &keys {
+            prop_assert!(decoded.contains(key));
+        }
+        for probe in 0u64..2_000 {
+            prop_assert_eq!(decoded.contains(&probe), f.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn random_corruption_never_yields_a_filter_silently(
+        flip_byte in 6usize..80,
+        flip_bit in 0u8..8,
+    ) {
+        // Corrupt a byte in the header/payload region (skipping magic and
+        // kind so we test CRC coverage, not just magic checks).
+        let cfg = config(50_000, 500, 3);
+        let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        for i in 0..200u64 {
+            let _ = f.insert(&i);
+        }
+        let mut image = f.encode();
+        let pos = flip_byte % (image.len() - 10);
+        let pos = pos.max(6);
+        image[pos] ^= 1 << flip_bit;
+        prop_assert!(Mpcbf::<u64, Murmur3>::decode(&image).is_err());
+    }
+
+    #[test]
+    fn merge_equals_union_build(
+        xs in prop::collection::vec(0u64..100_000, 0..150),
+        ys in prop::collection::vec(100_000u64..200_000, 0..150),
+    ) {
+        let cfg = config(200_000, 2_000, 8);
+        let mut a: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        let mut b: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        let mut whole: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        for x in &xs {
+            a.insert(x).unwrap();
+            whole.insert(x).unwrap();
+        }
+        for y in &ys {
+            b.insert(y).unwrap();
+            whole.insert(y).unwrap();
+        }
+        a.absorb(&b).unwrap();
+        prop_assert_eq!(a.raw_words(), whole.raw_words(), "merged != whole build");
+    }
+}

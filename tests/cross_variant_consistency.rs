@@ -1,0 +1,78 @@
+//! The three MPCBF implementations — sequential, sharded-lock, lock-free —
+//! share salts and layout, so under the same configuration and operation
+//! sequence they must be *bit-for-bit interchangeable* for membership.
+
+use mpcbf::concurrent::{AtomicMpcbf, ShardedMpcbf};
+use mpcbf::core::{CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf::hash::Murmur3;
+
+fn config(g: u32) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(500_000)
+        .expected_items(5_000)
+        .hashes(3)
+        .accesses(g)
+        .seed(2024)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn all_three_agree_after_identical_history() {
+    for g in [1u32, 2] {
+        let cfg = config(g);
+        let mut seq: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        let sharded: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 64);
+        let atomic: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(cfg);
+
+        for i in 0..4_000u64 {
+            let a = seq.insert(&i).is_ok();
+            let b = sharded.insert(&i).is_ok();
+            let c = atomic.insert(&i).is_ok();
+            assert_eq!(a, b, "g={g}: insert {i} diverged (sharded)");
+            assert_eq!(a, c, "g={g}: insert {i} diverged (atomic)");
+        }
+        for i in 0..2_000u64 {
+            let a = seq.remove(&i).is_ok();
+            let b = sharded.remove(&i).is_ok();
+            let c = atomic.remove(&i).is_ok();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+        for probe in 0..30_000u64 {
+            let a = seq.contains(&probe);
+            assert_eq!(a, sharded.contains(&probe), "g={g}: probe {probe} (sharded)");
+            assert_eq!(a, atomic.contains(&probe), "g={g}: probe {probe} (atomic)");
+        }
+    }
+}
+
+#[test]
+fn concurrent_variants_drain_like_sequential() {
+    let cfg = config(1);
+    let sharded: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 16);
+    let atomic: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(cfg);
+    for i in 0..3_000u64 {
+        sharded.insert(&i).unwrap();
+        atomic.insert(&i).unwrap();
+    }
+    for i in 0..3_000u64 {
+        sharded.remove(&i).unwrap();
+        atomic.remove(&i).unwrap();
+    }
+    assert_eq!(sharded.total_load(), 0);
+    assert_eq!(atomic.total_load(), 0);
+}
+
+#[test]
+fn shard_count_does_not_change_semantics() {
+    let cfg = config(2);
+    let a: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 1);
+    let b: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 1024);
+    for i in 0..2_000u64 {
+        assert_eq!(a.insert(&i).is_ok(), b.insert(&i).is_ok());
+    }
+    for probe in 0..20_000u64 {
+        assert_eq!(a.contains(&probe), b.contains(&probe), "probe {probe}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-filter property tests: every counting filter in the workspace is
+//! driven with arbitrary insert/remove/query scripts against a multiset
+//! oracle, checking the Bloom contract — **no false negatives, ever** —
+//! plus clean rejection of invalid deletes.
+
+use mpcbf::core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, Pcbf};
+use mpcbf::hash::Murmur3;
+use mpcbf::variants::{DlCbf, ViCbf};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    Query(u16),
+}
+
+fn scripts() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u16..300).prop_map(Op::Insert),
+            (0u16..300).prop_map(Op::Remove),
+            (0u16..600).prop_map(Op::Query),
+        ],
+        0..250,
+    )
+}
+
+/// Drives one filter through a script against a multiset oracle.
+///
+/// The Bloom deletion contract only covers deleting elements that were
+/// actually inserted. A delete of an *absent* key may — with
+/// false-positive probability — pass the presence check and decrement
+/// counters belonging to other elements; after that the no-false-negative
+/// guarantee is void (this is the classic CBF hazard, and exactly why all
+/// our filters pre-check presence). The driver therefore marks the run
+/// `tainted` when an absent-key delete slips through, and stops asserting
+/// the guarantee from that point on (while still checking the structure
+/// doesn't panic or corrupt).
+fn drive<F: CountingFilter>(filter: &mut F, script: &[Op]) {
+    let mut oracle: HashMap<u16, u32> = HashMap::new();
+    let mut tainted = false;
+    for op in script {
+        match *op {
+            Op::Insert(key) => {
+                if filter.insert(&u64::from(key)).is_ok() {
+                    *oracle.entry(key).or_insert(0) += 1;
+                }
+            }
+            Op::Remove(key) => {
+                let present = oracle.get(&key).copied().unwrap_or(0) > 0;
+                match filter.remove(&u64::from(key)) {
+                    Ok(()) => {
+                        if present {
+                            *oracle.get_mut(&key).unwrap() -= 1;
+                        } else {
+                            // False-positive deletion: contract void.
+                            tainted = true;
+                        }
+                    }
+                    Err(_) => {
+                        // Refusal is always allowed; nothing changed,
+                        // which the sweep below verifies.
+                    }
+                }
+            }
+            Op::Query(key) => {
+                let present = oracle.get(&key).copied().unwrap_or(0) > 0;
+                let claimed = filter.contains(&u64::from(key));
+                if present && !tainted {
+                    assert!(claimed, "false negative for live key {key}");
+                }
+            }
+        }
+        // Sweep: every live oracle key must be claimed present.
+        if !tainted {
+            for (&key, &count) in &oracle {
+                if count > 0 {
+                    assert!(
+                        filter.contains(&u64::from(key)),
+                        "false negative for {key} (count {count}) after {op:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cbf_never_false_negative(script in scripts()) {
+        let mut f = Cbf::<Murmur3>::new(8192, 3, 11);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn pcbf1_never_false_negative(script in scripts()) {
+        let mut f = Pcbf::<Murmur3>::new(512, 64, 3, 1, 11);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn pcbf2_never_false_negative(script in scripts()) {
+        let mut f = Pcbf::<Murmur3>::new(512, 64, 3, 2, 11);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn mpcbf1_never_false_negative(script in scripts()) {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(64 * 512)
+            .expected_items(300)
+            .hashes(3)
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn mpcbf2_never_false_negative(script in scripts()) {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(64 * 512)
+            .expected_items(300)
+            .hashes(3)
+            .accesses(2)
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn dlcbf_never_false_negative(script in scripts()) {
+        let mut f = DlCbf::<Murmur3>::new(4, 64, 8, 12, 11);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn vicbf_never_false_negative(script in scripts()) {
+        let mut f = ViCbf::<Murmur3>::new(4096, 3, 4, 11);
+        drive(&mut f, &script);
+    }
+
+    #[test]
+    fn mpcbf_drains_to_empty(keys in prop::collection::vec(0u64..10_000, 0..200)) {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(64 * 1024)
+            .expected_items(500)
+            .hashes(3)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        let mut stored = Vec::new();
+        for k in &keys {
+            if f.insert(k).is_ok() {
+                stored.push(*k);
+            }
+        }
+        for k in &stored {
+            f.remove(k).unwrap();
+        }
+        prop_assert!(f.word_loads().iter().all(|&c| c == 0), "residual counters after drain");
+    }
+}

@@ -1,0 +1,134 @@
+//! Every hash family must drive every filter correctly — the families are
+//! interchangeable type parameters, so a regression in one digest breaks
+//! no-false-negatives here rather than silently skewing FPR figures.
+
+use mpcbf::core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf::hash::{Fnv, Hasher128, Murmur3, SipHash, XxHash};
+
+fn roundtrip_mpcbf<H: Hasher128>() {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(400_000)
+        .expected_items(3_000)
+        .hashes(3)
+        .seed(99)
+        .build()
+        .unwrap();
+    let mut f: Mpcbf<u64, H> = Mpcbf::new(cfg);
+    for i in 0..3_000u64 {
+        f.insert(&i).unwrap();
+    }
+    for i in 0..3_000u64 {
+        assert!(f.contains(&i), "false negative {i}");
+    }
+    for i in 0..1_500u64 {
+        f.remove(&i).unwrap();
+    }
+    for i in 1_500..3_000u64 {
+        assert!(f.contains(&i), "lost {i} after churn");
+    }
+}
+
+fn roundtrip_cbf<H: Hasher128>() {
+    let mut f: Cbf<H> = Cbf::with_memory(200_000, 3, 7);
+    for i in 0..2_000u64 {
+        f.insert(&i).unwrap();
+    }
+    for i in 0..2_000u64 {
+        assert!(f.contains(&i));
+    }
+}
+
+#[test]
+fn murmur3_drives_all_filters() {
+    roundtrip_mpcbf::<Murmur3>();
+    roundtrip_cbf::<Murmur3>();
+}
+
+#[test]
+fn xxhash_drives_all_filters() {
+    roundtrip_mpcbf::<XxHash>();
+    roundtrip_cbf::<XxHash>();
+}
+
+#[test]
+fn fnv_drives_all_filters() {
+    roundtrip_mpcbf::<Fnv>();
+    roundtrip_cbf::<Fnv>();
+}
+
+#[test]
+fn siphash_drives_all_filters() {
+    roundtrip_mpcbf::<SipHash>();
+    roundtrip_cbf::<SipHash>();
+}
+
+#[test]
+fn families_give_statistically_similar_fpr() {
+    // Same config, different digests: the measured FPRs must agree within
+    // binomial noise — a family whose FPR is way off has a bias bug.
+    fn fpr<H: Hasher128>() -> f64 {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(400_000)
+            .expected_items(10_000)
+            .hashes(3)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64, H> = Mpcbf::new(cfg);
+        for i in 0..10_000u64 {
+            let _ = f.insert(&i);
+        }
+        let trials = 200_000u64;
+        let fp = (1_000_000..1_000_000 + trials)
+            .filter(|i: &u64| f.contains(i))
+            .count();
+        fp as f64 / trials as f64
+    }
+    let rates = [
+        fpr::<Murmur3>(),
+        fpr::<XxHash>(),
+        fpr::<Fnv>(),
+        fpr::<SipHash>(),
+    ];
+    let mean: f64 = rates.iter().sum::<f64>() / rates.len() as f64;
+    for (i, r) in rates.iter().enumerate() {
+        assert!(
+            (r - mean).abs() < 0.5 * mean + 5e-4,
+            "family {i}: rate {r} vs mean {mean} — biased digest?"
+        );
+    }
+}
+
+#[test]
+fn seeds_give_independent_filters() {
+    // Two filters with different seeds must not share false positives
+    // (the cascading-filters trick depends on this independence).
+    let build = |seed: u64| {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(100_000)
+            .expected_items(5_000)
+            .hashes(3)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+        for i in 0..5_000u64 {
+            let _ = f.insert(&i);
+        }
+        f
+    };
+    let (a, b) = (build(1), build(2));
+    let trials = 100_000u64;
+    let mut fp_a = 0u64;
+    let mut fp_both = 0u64;
+    for i in 1_000_000..1_000_000 + trials {
+        let ha = a.contains(&i);
+        fp_a += u64::from(ha);
+        fp_both += u64::from(ha && b.contains(&i));
+    }
+    // P[both] ≈ P[a]² ≪ P[a]; allow generous slack.
+    assert!(
+        fp_both * 4 < fp_a || fp_a < 20,
+        "seeds correlated: both {fp_both} vs single {fp_a}"
+    );
+}

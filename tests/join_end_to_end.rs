@@ -1,0 +1,133 @@
+//! End-to-end §V pipeline: generate patent data, build each filter from
+//! the small side, run the reduce-side join — the result must be
+//! identical for every filter (no false negatives ⇒ no lost matches),
+//! and the Table IV orderings must hold.
+
+use mpcbf::core::{Cbf, Filter, Mpcbf, MpcbfConfig};
+use mpcbf::hash::Murmur3;
+use mpcbf::mapreduce::join::KeyFilter;
+use mpcbf::mapreduce::{reduce_side_join, JoinConfig, JoinStats};
+use mpcbf::workloads::patents::{PatentDataset, PatentSpec};
+
+#[allow(clippy::type_complexity)]
+fn data() -> (Vec<(u32, u16)>, Vec<(u32, u32)>) {
+    let spec = PatentSpec::default().scaled_down(64); // ~258k citations
+    let d = PatentDataset::generate(&spec);
+    (
+        d.patents.iter().map(|p| (p.id, p.year)).collect(),
+        d.citations.iter().map(|c| (c.cited, c.citing)).collect(),
+    )
+}
+
+/// Builds an MPCBF sized so every key insert succeeds, doubling memory on
+/// refusal — the realistic sizing loop a deployment would use, since a
+/// refused key would silently drop its join matches.
+fn mpcbf_for_keys(left: &[(u32, u16)], g: u32, mut big_m: u64, seed: u64) -> Mpcbf<u64> {
+    loop {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(big_m)
+            .expected_items(left.len() as u64)
+            .hashes(3)
+            .accesses(g)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
+        if left.iter().all(|(k, _)| f.insert(k).is_ok()) {
+            return f;
+        }
+        big_m *= 2;
+    }
+}
+
+fn run(
+    left: &[(u32, u16)],
+    right: &[(u32, u32)],
+    filter: Option<&dyn KeyFilter>,
+) -> (usize, JoinStats) {
+    let (rows, stats) = reduce_side_join(
+        &JoinConfig::default(),
+        left.to_vec(),
+        right.to_vec(),
+        filter,
+    );
+    (rows.len(), stats)
+}
+
+#[test]
+fn all_filters_produce_the_same_join() {
+    let (left, right) = data();
+    let n_keys = left.len() as u64;
+    let big_m = 24 * n_keys;
+
+    let mut cbf = Cbf::<Murmur3>::with_memory(big_m, 3, 5);
+    for (k, _) in &left {
+        cbf.insert(k).unwrap();
+    }
+    let mp1 = mpcbf_for_keys(&left, 1, big_m, 5);
+
+    let (rows_plain, plain) = run(&left, &right, None);
+    let (rows_cbf, s_cbf) = run(&left, &right, Some(&cbf));
+    let (rows_mp1, s_mp1) = run(&left, &right, Some(&mp1));
+
+    assert_eq!(rows_plain, rows_cbf, "CBF pushdown changed the join");
+    assert_eq!(rows_plain, rows_mp1, "MPCBF pushdown changed the join");
+
+    // Both filters must actually reduce the shuffle.
+    assert!(s_cbf.job.map_output_records < plain.job.map_output_records);
+    assert!(s_mp1.job.map_output_records < plain.job.map_output_records);
+}
+
+#[test]
+fn mpcbf_filters_better_than_cbf_table4() {
+    let (left, right) = data();
+    let n_keys = left.len() as u64;
+    // 24 bits/key: tight enough that CBF visibly leaks, roomy enough that
+    // MPCBF's per-word loads stay in the regime the paper evaluates.
+    let big_m = 24 * n_keys;
+
+    let mut cbf = Cbf::<Murmur3>::with_memory(big_m, 3, 6);
+    for (k, _) in &left {
+        cbf.insert(k).unwrap();
+    }
+    let mp1 = mpcbf_for_keys(&left, 1, big_m, 6);
+    let mp2 = mpcbf_for_keys(&left, 2, big_m, 6);
+
+    let (_, s_cbf) = run(&left, &right, Some(&cbf));
+    let (_, s_mp1) = run(&left, &right, Some(&mp1));
+    let (_, s_mp2) = run(&left, &right, Some(&mp2));
+
+    // Table IV ordering: CBF > MPCBF-1 > MPCBF-2 in join FPR, and the
+    // map-output counts follow.
+    assert!(
+        s_cbf.join_fpr() > s_mp1.join_fpr(),
+        "CBF {} vs MPCBF-1 {}",
+        s_cbf.join_fpr(),
+        s_mp1.join_fpr()
+    );
+    assert!(
+        s_mp1.join_fpr() > s_mp2.join_fpr(),
+        "MPCBF-1 {} vs MPCBF-2 {}",
+        s_mp1.join_fpr(),
+        s_mp2.join_fpr()
+    );
+    assert!(s_cbf.job.map_output_records > s_mp1.job.map_output_records);
+    assert!(s_mp1.job.map_output_records > s_mp2.job.map_output_records);
+}
+
+#[test]
+fn join_fpr_accounting_is_internally_consistent() {
+    let (left, right) = data();
+    let n_keys = left.len() as u64;
+    let mut cbf = Cbf::<Murmur3>::with_memory(12 * n_keys, 3, 7);
+    for (k, _) in &left {
+        cbf.insert(k).unwrap();
+    }
+    let (_, s) = run(&left, &right, Some(&cbf));
+    assert_eq!(
+        s.filtered_out + s.false_positives,
+        s.matchless_records,
+        "matchless records must split into filtered + leaked"
+    );
+    assert!(s.join_fpr() >= 0.0 && s.join_fpr() <= 1.0);
+}

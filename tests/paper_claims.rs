@@ -1,0 +1,171 @@
+//! End-to-end checks of the paper's headline claims, at test-sized scale.
+//!
+//! These are the assertions EXPERIMENTS.md reports at full scale; here
+//! they run in seconds and pin the *shape* of every result: who wins,
+//! in which direction, and the constant-access behaviour.
+
+
+use mpcbf::core::{Cbf, CountingFilter, Mpcbf, MpcbfConfig, Pcbf};
+use mpcbf::hash::Murmur3;
+use mpcbf::workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+use std::collections::HashSet;
+
+const BIG_M: u64 = 800_000;
+const N: usize = 20_000;
+
+struct Run {
+    fpr: f64,
+    query_accesses: f64,
+    update_accesses: f64,
+}
+
+fn run_filter<F: CountingFilter>(f: &mut F, w: &SyntheticWorkload) -> Run {
+    let mut q = mpcbf::core::metrics::AccessStats::new();
+    let mut live: HashSet<[u8; 5]> = HashSet::new();
+    for k in &w.test_set {
+        if f.insert_bytes_cost(k).is_ok() {
+            live.insert(*k);
+        }
+    }
+    for p in &w.churn.periods {
+        for k in &p.deletes {
+            if f.remove_bytes_cost(k).map(|c| q.removes.record(c)).is_ok() {
+                live.remove(k);
+            }
+        }
+        for k in &p.inserts {
+            if f.insert_bytes_cost(k).map(|c| q.inserts.record(c)).is_ok() {
+                live.insert(*k);
+            }
+        }
+    }
+    let mut fp = 0u64;
+    let mut neg = 0u64;
+    for key in &w.queries {
+        let (hit, cost) = f.contains_bytes_cost(key);
+        q.queries.record(cost);
+        if !live.contains(key) {
+            neg += 1;
+            fp += u64::from(hit);
+        }
+    }
+    Run {
+        fpr: fp as f64 / neg as f64,
+        query_accesses: q.queries.mean_accesses(),
+        update_accesses: q.updates().mean_accesses(),
+    }
+}
+
+fn workload() -> SyntheticWorkload {
+    SyntheticWorkload::generate(&SyntheticSpec {
+        test_set: N,
+        queries: 300_000,
+        churn_per_period: N / 5,
+        periods: 1,
+        member_ratio: 0.8,
+        seed: 0xC1A1,
+    })
+}
+
+fn mpcbf(g: u32, k: u32) -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(BIG_M)
+            .expected_items(N as u64)
+            .hashes(k)
+            .accesses(g)
+            .seed(9)
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn headline_fpr_ordering_at_k3() {
+    // Fig. 7(a): PCBF-1 > PCBF-2 > CBF > MPCBF-1 > MPCBF-2.
+    let w = workload();
+    let cbf = run_filter(&mut Cbf::<Murmur3>::with_memory(BIG_M, 3, 9), &w);
+    let pcbf1 = run_filter(&mut Pcbf::<Murmur3>::with_memory(BIG_M, 64, 3, 1, 9), &w);
+    let pcbf2 = run_filter(&mut Pcbf::<Murmur3>::with_memory(BIG_M, 64, 3, 2, 9), &w);
+    let mp1 = run_filter(&mut mpcbf(1, 3), &w);
+    let mp2 = run_filter(&mut mpcbf(2, 3), &w);
+
+    assert!(pcbf1.fpr > pcbf2.fpr, "PCBF-1 {} vs PCBF-2 {}", pcbf1.fpr, pcbf2.fpr);
+    assert!(pcbf2.fpr > cbf.fpr, "PCBF-2 {} vs CBF {}", pcbf2.fpr, cbf.fpr);
+    assert!(cbf.fpr > mp1.fpr, "CBF {} vs MPCBF-1 {}", cbf.fpr, mp1.fpr);
+    assert!(mp1.fpr > mp2.fpr, "MPCBF-1 {} vs MPCBF-2 {}", mp1.fpr, mp2.fpr);
+    // Abstract: "reduces the false positive rate by an order of magnitude".
+    assert!(
+        cbf.fpr / mp2.fpr > 5.0,
+        "MPCBF-2 should be ≫ CBF: {} vs {}",
+        mp2.fpr,
+        cbf.fpr
+    );
+}
+
+#[test]
+fn access_counts_match_tables_one_and_two() {
+    let w = workload();
+    let cbf = run_filter(&mut Cbf::<Murmur3>::with_memory(BIG_M, 3, 9), &w);
+    let pcbf1 = run_filter(&mut Pcbf::<Murmur3>::with_memory(BIG_M, 64, 3, 1, 9), &w);
+    let pcbf2 = run_filter(&mut Pcbf::<Murmur3>::with_memory(BIG_M, 64, 3, 2, 9), &w);
+    let mp1 = run_filter(&mut mpcbf(1, 3), &w);
+    let mp2 = run_filter(&mut mpcbf(2, 3), &w);
+
+    // Table I: one-access variants are exactly 1.0 per query.
+    assert!((pcbf1.query_accesses - 1.0).abs() < 1e-9);
+    assert!((mp1.query_accesses - 1.0).abs() < 1e-9);
+    // g = 2 variants: fractional between 1 and 2 (short-circuiting).
+    assert!(mp2.query_accesses > 1.0 && mp2.query_accesses < 2.0, "{}", mp2.query_accesses);
+    assert!(pcbf2.query_accesses > 1.0 && pcbf2.query_accesses < 2.0);
+    // CBF: between the g = 2 variants and its k = 3 worst case.
+    assert!(cbf.query_accesses > mp2.query_accesses);
+    assert!(cbf.query_accesses <= 3.0);
+
+    // Table II: updates never short-circuit.
+    assert!((pcbf1.update_accesses - 1.0).abs() < 1e-9);
+    assert!((mp1.update_accesses - 1.0).abs() < 1e-9);
+    assert!((mp2.update_accesses - 2.0).abs() < 0.01, "{}", mp2.update_accesses);
+    assert!(cbf.update_accesses > 2.5, "{}", cbf.update_accesses);
+}
+
+#[test]
+fn k4_brings_mpcbf1_close_to_cbf() {
+    // §IV.B: at k = 4 "MPCBF-1 has a little larger false positive rate
+    // than CBF" — i.e. the two land within a small factor, while MPCBF-2
+    // still clearly wins.
+    let w = workload();
+    let cbf = run_filter(&mut Cbf::<Murmur3>::with_memory(BIG_M, 4, 10), &w);
+    let mp1 = run_filter(&mut mpcbf(1, 4), &w);
+    let mp2 = run_filter(&mut mpcbf(2, 4), &w);
+    assert!(
+        mp1.fpr < cbf.fpr * 4.0 && cbf.fpr < mp1.fpr * 4.0,
+        "k=4: MPCBF-1 {} and CBF {} should be close",
+        mp1.fpr,
+        cbf.fpr
+    );
+    assert!(mp2.fpr < cbf.fpr, "k=4: MPCBF-2 {} vs CBF {}", mp2.fpr, cbf.fpr);
+}
+
+#[test]
+fn constant_accesses_regardless_of_memory() {
+    // Fig. 11a: MPCBF-g's accesses don't grow with memory.
+    let w = workload();
+    for big_m in [600_000u64, 1_200_000, 2_400_000] {
+        let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(
+            MpcbfConfig::builder()
+                .memory_bits(big_m)
+                .expected_items(N as u64)
+                .hashes(3)
+                .seed(9)
+                .build()
+                .unwrap(),
+        );
+        let run = run_filter(&mut f, &w);
+        assert!(
+            (run.query_accesses - 1.0).abs() < 1e-9,
+            "M={big_m}: {}",
+            run.query_accesses
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Pins the experimental protocol itself: hand-computed miniature
+//! workloads through the public APIs, so a regression in the harness
+//! (ground-truth tracking, churn ordering, FPR accounting, key encoding)
+//! cannot silently skew every figure.
+
+use mpcbf::core::{Cbf, CountingFilter, Filter};
+use mpcbf::hash::{Key, Murmur3};
+use mpcbf::workloads::churn::{ChurnPeriod, ChurnPlan};
+use mpcbf::workloads::flowtrace::{FlowTrace, FlowTraceSpec};
+use mpcbf::workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+use std::collections::HashSet;
+
+#[test]
+fn synthetic_spec_defaults_are_the_papers() {
+    let s = SyntheticSpec::default();
+    assert_eq!(s.test_set, 100_000);
+    assert_eq!(s.queries, 1_000_000);
+    assert_eq!(s.member_ratio, 0.8);
+    assert_eq!(s.churn_per_period, 20_000);
+}
+
+#[test]
+fn flow_spec_defaults_are_the_papers() {
+    let s = FlowTraceSpec::default();
+    assert_eq!(s.total_records, 5_585_633);
+    assert_eq!(s.unique_flows, 292_363);
+    assert_eq!(s.test_set, 200_000);
+    assert_eq!(s.churn_per_period, 40_000);
+}
+
+#[test]
+fn churn_keeps_population_constant_through_a_real_filter() {
+    // The §IV.A invariant: "maintaining a constant number of strings in
+    // the filters" — verified against a live CBF's item count.
+    let spec = SyntheticSpec {
+        test_set: 2_000,
+        queries: 10,
+        churn_per_period: 400,
+        periods: 3,
+        ..SyntheticSpec::default()
+    };
+    let w = SyntheticWorkload::generate(&spec);
+    let mut f = Cbf::<Murmur3>::new(50_000, 3, 1);
+    for k in &w.test_set {
+        f.insert(k).unwrap();
+    }
+    assert_eq!(f.items(), 2_000);
+    for p in &w.churn.periods {
+        for k in &p.deletes {
+            f.remove(k).unwrap();
+        }
+        for k in &p.inserts {
+            f.insert(k).unwrap();
+        }
+        assert_eq!(f.items(), 2_000, "population drifted");
+    }
+}
+
+#[test]
+fn fpr_accounting_matches_a_hand_computed_case() {
+    // 4 members + 4 strangers; a perfect filter must report fpr = 0 with
+    // 4 negatives — the runner's denominators are exactly determined.
+    let mut f = Cbf::<Murmur3>::new(1 << 16, 4, 3);
+    let members: Vec<u64> = vec![1, 2, 3, 4];
+    let strangers: Vec<u64> = vec![100, 200, 300, 400];
+    for m in &members {
+        Filter::insert(&mut f, m).unwrap();
+    }
+    let mut negatives = 0;
+    let mut false_positives = 0;
+    for q in members.iter().chain(&strangers) {
+        let hit = f.contains(q);
+        if !members.contains(q) {
+            negatives += 1;
+            false_positives += u32::from(hit);
+        } else {
+            assert!(hit);
+        }
+    }
+    assert_eq!(negatives, 4);
+    // At 65k counters with 4 items, a false positive would be ≈ 1e-13.
+    assert_eq!(false_positives, 0);
+}
+
+#[test]
+fn trace_from_records_respects_arrival_order_for_queries() {
+    let records = vec![(1u32, 2u32), (3, 4), (1, 2), (5, 6), (1, 2)];
+    let t = FlowTrace::from_records(records.clone(), 2, 1, 1, 7);
+    assert_eq!(t.records, records, "query stream must be the raw arrivals");
+    assert_eq!(t.flows.len(), 3);
+}
+
+#[test]
+fn churn_plan_is_exactly_replayable() {
+    // Replaying a plan twice against two filters gives identical states.
+    let plan = ChurnPlan {
+        periods: vec![
+            ChurnPeriod { deletes: vec![1u64, 2], inserts: vec![10, 11] },
+            ChurnPeriod { deletes: vec![10], inserts: vec![20] },
+        ],
+    };
+    let run = |seed: u64| {
+        let mut f = Cbf::<Murmur3>::new(4_096, 3, seed);
+        for k in [1u64, 2, 3] {
+            f.insert(&k).unwrap();
+        }
+        for p in &plan.periods {
+            for k in &p.deletes {
+                f.remove(k).unwrap();
+            }
+            for k in &p.inserts {
+                f.insert(k).unwrap();
+            }
+        }
+        (0..4_096).map(|i| f.counter(i)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(9), run(9));
+    // Live set after the plan: {3, 11, 20}.
+    let mut f = Cbf::<Murmur3>::new(4_096, 3, 9);
+    for k in [1u64, 2, 3] {
+        f.insert(&k).unwrap();
+    }
+    for p in &plan.periods {
+        for k in &p.deletes {
+            f.remove(k).unwrap();
+        }
+        for k in &p.inserts {
+            f.insert(k).unwrap();
+        }
+    }
+    for live in [3u64, 11, 20] {
+        assert!(f.contains(&live));
+    }
+    assert_eq!(f.items(), 3);
+}
+
+#[test]
+fn key_encodings_are_stable_across_reruns() {
+    // The workloads hand [u8; 5] and (u32, u32) keys to the filters; their
+    // byte encodings are part of the reproducibility contract.
+    let s: [u8; 5] = *b"AbCdE";
+    assert_eq!(s.key_bytes().as_slice(), b"AbCdE");
+    let f = (0x01020304u32, 0x05060708u32);
+    assert_eq!(
+        f.key_bytes().as_slice(),
+        &[4, 3, 2, 1, 8, 7, 6, 5],
+        "flow keys are little-endian (src, dst)"
+    );
+}
+
+#[test]
+fn query_membership_split_is_deterministic() {
+    let spec = SyntheticSpec::default().scaled_down(500);
+    let a = SyntheticWorkload::generate(&spec);
+    let b = SyntheticWorkload::generate(&spec);
+    assert_eq!(a.is_member, b.is_member);
+    let members: HashSet<_> = a.test_set.iter().collect();
+    for (q, &m) in a.queries.iter().zip(&a.is_member) {
+        assert_eq!(members.contains(q), m);
+    }
+}
