@@ -11,7 +11,7 @@
 /// `entries_visible` stored fingerprints of `r` bits:
 /// `1 − (1 − 2^−r)^entries_visible`.
 pub fn fpr_fingerprint(r: u32, entries_visible: f64) -> f64 {
-    assert!(r >= 1 && r <= 64, "fingerprint bits out of range");
+    assert!((1..=64).contains(&r), "fingerprint bits out of range");
     assert!(entries_visible >= 0.0);
     // `ln_1p(-2^-r)` = ln(1 − 2^-r); miss = (1−2^-r)^E = exp(E·ln(1−2^-r)).
     let miss = (entries_visible * (-(0.5f64.powi(r as i32))).ln_1p()).exp();

@@ -234,7 +234,10 @@ mod tests {
         for j0 in [0u64, 1, 5, 10, 20, 40, 41] {
             let direct: f64 = (j0..=n).map(|j| binomial_pmf(n, p, j)).sum();
             let tail = binomial_tail_ge(n, p, j0);
-            assert!((tail - direct).abs() < 1e-12, "j0 = {j0}: {tail} vs {direct}");
+            assert!(
+                (tail - direct).abs() < 1e-12,
+                "j0 = {j0}: {tail} vs {direct}"
+            );
         }
     }
 

@@ -110,10 +110,7 @@ mod tests {
         let n_max = heuristic::n_max_heuristic(N, L, 2);
         let f_cbf = cbf::fpr(N, BIG_M / 4, 3);
         let f_mp2 = fpr_mpcbf_g(N, L, W, 3, 2, n_max as u32);
-        assert!(
-            f_mp2 * 5.0 < f_cbf,
-            "MPCBF-2 {f_mp2} not ≪ CBF {f_cbf}"
-        );
+        assert!(f_mp2 * 5.0 < f_cbf, "MPCBF-2 {f_mp2} not ≪ CBF {f_cbf}");
     }
 
     #[test]
@@ -122,8 +119,8 @@ mod tests {
         let mut prev = f64::INFINITY;
         for g in 1..=3u32 {
             let n_max = heuristic::n_max_heuristic(N, L, g);
-            let b1 = (f64::from(W) - f64::from(6) / f64::from(g) * f64::from(n_max as u32))
-                .floor() as u32;
+            let b1 = (f64::from(W) - f64::from(6) / f64::from(g) * f64::from(n_max as u32)).floor()
+                as u32;
             let f = fpr_mpcbf_g_b1(N, L, 6, g, b1);
             assert!(f < prev, "g = {g}: {f} not below {prev}");
             prev = f;
@@ -152,10 +149,7 @@ mod tests {
 
     #[test]
     fn b1_form_matches_g1_specialisation() {
-        assert_eq!(
-            fpr_mpcbf_g_b1(N, L, 3, 1, 40),
-            fpr_mpcbf1_b1(N, L, 3, 40)
-        );
+        assert_eq!(fpr_mpcbf_g_b1(N, L, 3, 1, 40), fpr_mpcbf1_b1(N, L, 3, 40));
     }
 
     #[test]

@@ -79,11 +79,7 @@ mod tests {
     fn mpcbf2_optimum_around_4_or_5_fig9() {
         for &big_m in &[4_000_000u64, 6_000_000, 8_000_000] {
             let got = optimal_k_mpcbf(big_m, 64, N, 2, 16).unwrap();
-            assert!(
-                (3..=6).contains(&got.k),
-                "M={big_m}: optimal k = {}",
-                got.k
-            );
+            assert!((3..=6).contains(&got.k), "M={big_m}: optimal k = {}", got.k);
         }
     }
 

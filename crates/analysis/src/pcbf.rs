@@ -40,9 +40,7 @@ pub fn fpr_pcbf_g(n: u64, l: u64, w: u32, k: u32, g: u32) -> f64 {
     }
     let b = u64::from(w) / 4;
     let kg = f64::from(k) / f64::from(g);
-    let per_word = binomial_expectation(g as u64 * n, 1.0 / l as f64, |j| {
-        word_fp(j, b, kg, kg)
-    });
+    let per_word = binomial_expectation(g as u64 * n, 1.0 / l as f64, |j| word_fp(j, b, kg, kg));
     per_word.powi(g as i32)
 }
 

@@ -15,7 +15,10 @@ use crate::{cbf, mpcbf};
 const MEMORY_CAP: u64 = 1 << 30;
 
 fn search_memory(target_fpr: f64, mut fpr_at: impl FnMut(u64) -> Option<f64>) -> Option<u64> {
-    assert!(target_fpr > 0.0 && target_fpr < 1.0, "target FPR out of (0,1)");
+    assert!(
+        target_fpr > 0.0 && target_fpr < 1.0,
+        "target FPR out of (0,1)"
+    );
     // Exponential search for a feasible upper bracket.
     let mut hi = 1u64 << 10;
     let mut lo = hi;

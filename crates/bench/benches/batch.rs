@@ -1,0 +1,147 @@
+//! Batch-pipeline micro-benchmarks: the scalar loop vs the batched
+//! hash-all → prefetch-all → probe-all operations, at batch sizes
+//! 1, 8, 64 and 512 (1 isolates the dispatch overhead; 512 shows the
+//! asymptote; 8/64 bracket realistic packet-burst sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use std::hint::black_box;
+
+const BIG_M: u64 = 4_000_000;
+const N: u64 = 100_000;
+const K: u32 = 3;
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+fn keys(range: std::ops::Range<u64>) -> Vec<[u8; 8]> {
+    range.map(|i| i.to_le_bytes()).collect()
+}
+
+fn views(keys: &[[u8; 8]]) -> Vec<&[u8]> {
+    keys.iter().map(|k| k.as_slice()).collect()
+}
+
+fn mpcbf(g: u32) -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(BIG_M)
+            .expected_items(N)
+            .hashes(K)
+            .accesses(g)
+            .seed(1)
+            .build()
+            .unwrap(),
+    )
+}
+
+macro_rules! loaded {
+    ($make:expr) => {{
+        let mut f = $make;
+        for key in keys(0..N) {
+            let _ = f.insert_bytes(&key);
+        }
+        f
+    }};
+}
+
+fn bench_query_batches(c: &mut Criterion) {
+    // 50/50 member/stranger mix so both the hit path and the
+    // short-circuit path are exercised.
+    let mut mix = keys(0..4_096);
+    mix.extend(keys(10_000_000..10_004_096));
+    let mix_views = views(&mix);
+
+    let mut g = c.benchmark_group("query_batch");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    macro_rules! bench_filter {
+        ($name:expr, $filter:expr) => {{
+            let f = $filter;
+            for &batch in &BATCH_SIZES {
+                g.bench_with_input(
+                    BenchmarkId::new(concat!($name, "/scalar"), batch),
+                    &batch,
+                    |b, &batch| {
+                        let mut off = 0;
+                        b.iter(|| {
+                            off = (off + batch) % (mix_views.len() - batch);
+                            let mut hits = 0u32;
+                            for k in &mix_views[off..off + batch] {
+                                hits += u32::from(f.contains_bytes(k));
+                            }
+                            black_box(hits)
+                        })
+                    },
+                );
+                g.bench_with_input(
+                    BenchmarkId::new(concat!($name, "/batch"), batch),
+                    &batch,
+                    |b, &batch| {
+                        let mut off = 0;
+                        b.iter(|| {
+                            off = (off + batch) % (mix_views.len() - batch);
+                            black_box(f.contains_batch_cost(&mix_views[off..off + batch]))
+                        })
+                    },
+                );
+            }
+        }};
+    }
+
+    bench_filter!("CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 1)));
+    bench_filter!("MPCBF-1", loaded!(mpcbf(1)));
+    bench_filter!("MPCBF-2", loaded!(mpcbf(2)));
+    g.finish();
+}
+
+fn bench_update_batches(c: &mut Criterion) {
+    let churn = keys(50_000_000..50_000_512);
+    let churn_views = views(&churn);
+
+    let mut g = c.benchmark_group("update_batch");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    macro_rules! bench_filter {
+        ($name:expr, $filter:expr) => {{
+            let mut f = $filter;
+            for &batch in &BATCH_SIZES {
+                g.bench_with_input(
+                    BenchmarkId::new(concat!($name, "/scalar"), batch),
+                    &batch,
+                    |b, &batch| {
+                        b.iter(|| {
+                            for k in &churn_views[..batch] {
+                                f.insert_bytes(k).expect("insert");
+                            }
+                            for k in &churn_views[..batch] {
+                                f.remove_bytes(k).expect("remove");
+                            }
+                        })
+                    },
+                );
+                g.bench_with_input(
+                    BenchmarkId::new(concat!($name, "/batch"), batch),
+                    &batch,
+                    |b, &batch| {
+                        b.iter(|| {
+                            black_box(f.insert_batch_cost(&churn_views[..batch]));
+                            black_box(f.remove_batch_cost(&churn_views[..batch]));
+                        })
+                    },
+                );
+            }
+        }};
+    }
+
+    bench_filter!("CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 2)));
+    bench_filter!("MPCBF-1", loaded!(mpcbf(1)));
+    bench_filter!("MPCBF-2", loaded!(mpcbf(2)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_batches, bench_update_batches);
+criterion_main!(benches);

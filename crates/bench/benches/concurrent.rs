@@ -72,45 +72,53 @@ fn bench_contended(c: &mut Criterion) {
     let ops = 20_000u64;
     g.throughput(Throughput::Elements(ops * threads as u64));
 
-    g.bench_with_input(BenchmarkId::new("sharded_mixed", threads), &threads, |b, &t| {
-        b.iter(|| {
-            let f: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(config(), 256);
-            crossbeam::scope(|s| {
-                for tid in 0..t as u64 {
-                    let f = &f;
-                    s.spawn(move |_| {
-                        for i in 0..ops {
-                            let k = (tid << 32) | i;
-                            f.insert(&k).unwrap();
-                            black_box(f.contains(&k));
-                            f.remove(&k).unwrap();
-                        }
-                    });
-                }
+    g.bench_with_input(
+        BenchmarkId::new("sharded_mixed", threads),
+        &threads,
+        |b, &t| {
+            b.iter(|| {
+                let f: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(config(), 256);
+                crossbeam::scope(|s| {
+                    for tid in 0..t as u64 {
+                        let f = &f;
+                        s.spawn(move |_| {
+                            for i in 0..ops {
+                                let k = (tid << 32) | i;
+                                f.insert(&k).unwrap();
+                                black_box(f.contains(&k));
+                                f.remove(&k).unwrap();
+                            }
+                        });
+                    }
+                })
+                .unwrap();
             })
-            .unwrap();
-        })
-    });
+        },
+    );
 
-    g.bench_with_input(BenchmarkId::new("atomic_mixed", threads), &threads, |b, &t| {
-        b.iter(|| {
-            let f: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(config());
-            crossbeam::scope(|s| {
-                for tid in 0..t as u64 {
-                    let f = &f;
-                    s.spawn(move |_| {
-                        for i in 0..ops {
-                            let k = (tid << 32) | i;
-                            f.insert(&k).unwrap();
-                            black_box(f.contains(&k));
-                            f.remove(&k).unwrap();
-                        }
-                    });
-                }
+    g.bench_with_input(
+        BenchmarkId::new("atomic_mixed", threads),
+        &threads,
+        |b, &t| {
+            b.iter(|| {
+                let f: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(config());
+                crossbeam::scope(|s| {
+                    for tid in 0..t as u64 {
+                        let f = &f;
+                        s.spawn(move |_| {
+                            for i in 0..ops {
+                                let k = (tid << 32) | i;
+                                f.insert(&k).unwrap();
+                                black_box(f.contains(&k));
+                                f.remove(&k).unwrap();
+                            }
+                        });
+                    }
+                })
+                .unwrap();
             })
-            .unwrap();
-        })
-    });
+        },
+    );
     g.finish();
 }
 

@@ -72,12 +72,28 @@ fn bench_queries(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(500));
     bench_filter!(g, "CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 1)));
-    bench_filter!(g, "PCBF-1", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 1)));
-    bench_filter!(g, "PCBF-2", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 2, 1)));
+    bench_filter!(
+        g,
+        "PCBF-1",
+        loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 1))
+    );
+    bench_filter!(
+        g,
+        "PCBF-2",
+        loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 2, 1))
+    );
     bench_filter!(g, "MPCBF-1", loaded!(mpcbf(1)));
     bench_filter!(g, "MPCBF-2", loaded!(mpcbf(2)));
-    bench_filter!(g, "dlCBF", loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 1)));
-    bench_filter!(g, "VI-CBF", loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 1)));
+    bench_filter!(
+        g,
+        "dlCBF",
+        loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 1))
+    );
+    bench_filter!(
+        g,
+        "VI-CBF",
+        loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 1))
+    );
     g.finish();
 }
 
@@ -103,11 +119,20 @@ fn bench_updates(c: &mut Criterion) {
     }
 
     bench_churn!("CBF", loaded!(Cbf::<Murmur3>::with_memory(BIG_M, K, 2)));
-    bench_churn!("PCBF-1", loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 2)));
+    bench_churn!(
+        "PCBF-1",
+        loaded!(Pcbf::<Murmur3>::with_memory(BIG_M, 64, K, 1, 2))
+    );
     bench_churn!("MPCBF-1", loaded!(mpcbf(1)));
     bench_churn!("MPCBF-2", loaded!(mpcbf(2)));
-    bench_churn!("dlCBF", loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 2)));
-    bench_churn!("VI-CBF", loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 2)));
+    bench_churn!(
+        "dlCBF",
+        loaded!(DlCbf::<Murmur3>::with_memory(BIG_M, 12, 2))
+    );
+    bench_churn!(
+        "VI-CBF",
+        loaded!(ViCbf::<Murmur3>::with_memory(BIG_M, K, 4, 2))
+    );
     g.finish();
 }
 

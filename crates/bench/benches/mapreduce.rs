@@ -50,8 +50,7 @@ fn bench_join(c: &mut Criterion) {
     for (name, filter) in cases {
         g.bench_with_input(BenchmarkId::new(name, right.len()), &filter, |b, f| {
             b.iter(|| {
-                let (rows, stats) =
-                    reduce_side_join(&cfg, left.clone(), right.clone(), *f);
+                let (rows, stats) = reduce_side_join(&cfg, left.clone(), right.clone(), *f);
                 black_box((rows.len(), stats.job.map_output_records))
             })
         });

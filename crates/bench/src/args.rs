@@ -60,7 +60,9 @@ impl Args {
                     )
                 }
                 "--out" => {
-                    args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a directory"))
+                    args.out_dir = it
+                        .next()
+                        .unwrap_or_else(|| usage("--out needs a directory"))
                 }
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => usage(""),
@@ -108,7 +110,9 @@ mod tests {
 
     #[test]
     fn all_flags() {
-        let a = parse(&["--scale", "10", "--trials", "3", "--out", "/tmp/x", "--quiet"]);
+        let a = parse(&[
+            "--scale", "10", "--trials", "3", "--out", "/tmp/x", "--quiet",
+        ]);
         assert_eq!(a.scale, 10);
         assert_eq!(a.trials, Some(3));
         assert_eq!(a.out_dir, "/tmp/x");

@@ -91,7 +91,14 @@ fn main() {
     }
     for g in 1..=3u32 {
         if let Some(opt) = optimal_k_mpcbf(big_m, 64, n, g, 16) {
-            let rows = run_suite(&[Contender::Mpcbf { g }], big_m, n, opt.k, trials, make_workload);
+            let rows = run_suite(
+                &[Contender::Mpcbf { g }],
+                big_m,
+                n,
+                opt.k,
+                trials,
+                make_workload,
+            );
             if let Some(r) = rows.first() {
                 t.row(vec![
                     format!("MPCBF-{g}"),

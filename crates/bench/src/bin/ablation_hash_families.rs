@@ -41,29 +41,52 @@ fn main() {
         .expect("shape");
 
     let mut t = Table::new(
-        &format!("Ablation — hash families, MPCBF-1 (M = {} Mb, n = {n}, k = 3)", big_m as f64 / 1e6),
+        &format!(
+            "Ablation — hash families, MPCBF-1 (M = {} Mb, n = {n}, k = 3)",
+            big_m as f64 / 1e6
+        ),
         &["hash family", "FPR", "query ms", "refused inserts"],
     );
 
     {
         let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
         let m = measure_workload("Murmur3 x64-128", &mut f, &workload);
-        t.row(vec![m.name.clone(), sci(m.fpr), fixed(m.query_wall.as_secs_f64() * 1e3, 1), m.skipped_inserts.to_string()]);
+        t.row(vec![
+            m.name.clone(),
+            sci(m.fpr),
+            fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+            m.skipped_inserts.to_string(),
+        ]);
     }
     {
         let mut f: Mpcbf<u64, XxHash> = Mpcbf::new(cfg);
         let m = measure_workload("xxHash64 x2", &mut f, &workload);
-        t.row(vec![m.name.clone(), sci(m.fpr), fixed(m.query_wall.as_secs_f64() * 1e3, 1), m.skipped_inserts.to_string()]);
+        t.row(vec![
+            m.name.clone(),
+            sci(m.fpr),
+            fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+            m.skipped_inserts.to_string(),
+        ]);
     }
     {
         let mut f: Mpcbf<u64, Fnv> = Mpcbf::new(cfg);
         let m = measure_workload("FNV-1a + splitmix", &mut f, &workload);
-        t.row(vec![m.name.clone(), sci(m.fpr), fixed(m.query_wall.as_secs_f64() * 1e3, 1), m.skipped_inserts.to_string()]);
+        t.row(vec![
+            m.name.clone(),
+            sci(m.fpr),
+            fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+            m.skipped_inserts.to_string(),
+        ]);
     }
     {
         let mut f: Mpcbf<u64, SipHash> = Mpcbf::new(cfg);
         let m = measure_workload("SipHash-2-4 (keyed)", &mut f, &workload);
-        t.row(vec![m.name.clone(), sci(m.fpr), fixed(m.query_wall.as_secs_f64() * 1e3, 1), m.skipped_inserts.to_string()]);
+        t.row(vec![
+            m.name.clone(),
+            sci(m.fpr),
+            fixed(m.query_wall.as_secs_f64() * 1e3, 1),
+            m.skipped_inserts.to_string(),
+        ]);
     }
 
     t.finish(&args.out_dir, "ablation_hash_families", args.quiet);

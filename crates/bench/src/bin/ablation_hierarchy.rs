@@ -41,13 +41,21 @@ fn main() {
     };
 
     let mut t = Table::new(
-        &format!("Ablation — hierarchy vs first-level size (M = {} Mb, k = {k}, w = {w})", big_m as f64 / 1e6),
+        &format!(
+            "Ablation — hierarchy vs first-level size (M = {} Mb, k = {k}, w = {w})",
+            big_m as f64 / 1e6
+        ),
         &["configuration", "b1", "FPR", "refused inserts"],
     );
 
     let mut pcbf = Pcbf::<Murmur3>::with_memory(big_m, w, k, 1, 7);
     let m = measure_workload("PCBF-1 (flat counters)", &mut pcbf, &workload);
-    t.row(vec![m.name.clone(), (w / 4).to_string(), sci(m.fpr), m.skipped_inserts.to_string()]);
+    t.row(vec![
+        m.name.clone(),
+        (w / 4).to_string(),
+        sci(m.fpr),
+        m.skipped_inserts.to_string(),
+    ]);
 
     let cfg = MpcbfConfig::builder()
         .memory_bits(big_m)
@@ -59,7 +67,12 @@ fn main() {
         .expect("forced-b1 shape");
     let mut mp_flat: Mpcbf<u64> = Mpcbf::new(cfg);
     let m = measure_workload("MPCBF-1, b1 forced to w/4", &mut mp_flat, &workload);
-    t.row(vec![m.name.clone(), cfg.shape().b1.to_string(), sci(m.fpr), m.skipped_inserts.to_string()]);
+    t.row(vec![
+        m.name.clone(),
+        cfg.shape().b1.to_string(),
+        sci(m.fpr),
+        m.skipped_inserts.to_string(),
+    ]);
 
     let cfg = MpcbfConfig::builder()
         .memory_bits(big_m)
@@ -70,7 +83,12 @@ fn main() {
         .expect("improved shape");
     let mut mp_full: Mpcbf<u64> = Mpcbf::new(cfg);
     let m = measure_workload("MPCBF-1, improved HCBF", &mut mp_full, &workload);
-    t.row(vec![m.name.clone(), cfg.shape().b1.to_string(), sci(m.fpr), m.skipped_inserts.to_string()]);
+    t.row(vec![
+        m.name.clone(),
+        cfg.shape().b1.to_string(),
+        sci(m.fpr),
+        m.skipped_inserts.to_string(),
+    ]);
 
     t.finish(&args.out_dir, "ablation_hierarchy", args.quiet);
 }

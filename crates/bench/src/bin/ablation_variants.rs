@@ -79,7 +79,11 @@ fn main() {
             .build()
             .expect("mpcbf shape");
         let mut f: Mpcbf<u64> = Mpcbf::new(cfg);
-        push(measure_workload(&format!("MPCBF-{g} (k=3)"), &mut f, &workload));
+        push(measure_workload(
+            &format!("MPCBF-{g} (k=3)"),
+            &mut f,
+            &workload,
+        ));
     }
 
     t.finish(&args.out_dir, "ablation_variants", args.quiet);

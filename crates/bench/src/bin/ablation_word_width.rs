@@ -34,7 +34,10 @@ fn main() {
     };
 
     let mut t = Table::new(
-        &format!("Ablation — word width, MPCBF-1 (M = {} Mb, n = {n}, k = 3)", big_m as f64 / 1e6),
+        &format!(
+            "Ablation — word width, MPCBF-1 (M = {} Mb, n = {n}, k = 3)",
+            big_m as f64 / 1e6
+        ),
         &["word bits", "b1", "FPR", "query ms", "refused inserts"],
     );
 

@@ -38,7 +38,12 @@ fn main() {
                 sci(overflow::overflow_bound_mpcbf1(n, l, n_max)),
                 sci(overflow::overflow_exact(n, l, n_max)),
                 sci(overflow::any_word_overflow(n, l, n_max)),
-                if u64::from(n_max) == pick { "<- Eq.(11)" } else { "" }.to_string(),
+                if u64::from(n_max) == pick {
+                    "<- Eq.(11)"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]);
         }
         t.finish(&args.out_dir, &format!("fig06_overflow_w{w}"), args.quiet);

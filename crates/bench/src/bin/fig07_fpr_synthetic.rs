@@ -20,33 +20,35 @@ fn main() {
 
     for k in [3u32, 4] {
         let mut t = Table::new(
-            &format!("Fig. 7 — empirical FPR, synthetic strings (k = {k}, n = {n}, {trials} trials)"),
-            &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"],
+            &format!(
+                "Fig. 7 — empirical FPR, synthetic strings (k = {k}, n = {n}, {trials} trials)"
+            ),
+            &[
+                "memory (Mb)",
+                "CBF",
+                "PCBF-1",
+                "PCBF-2",
+                "MPCBF-1",
+                "MPCBF-2",
+            ],
         );
         for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
             let big_m = ((mb * 1e6) as u64) / args.scale;
-            let rows = run_suite(
-                &Contender::paper_five(),
-                big_m,
-                n,
-                k,
-                trials,
-                |trial| {
-                    let spec = SyntheticSpec {
-                        test_set: n as usize,
-                        queries: args.scaled(1_000_000) as usize,
-                        churn_per_period: args.scaled(20_000) as usize,
-                        seed: 0x5943 + (trial as u64) * 0x1_0001 + u64::from(k),
-                        ..SyntheticSpec::default()
-                    };
-                    let w = SyntheticWorkload::generate(&spec);
-                    Workload {
-                        inserts: w.test_set,
-                        churn: w.churn,
-                        queries: w.queries,
-                    }
-                },
-            );
+            let rows = run_suite(&Contender::paper_five(), big_m, n, k, trials, |trial| {
+                let spec = SyntheticSpec {
+                    test_set: n as usize,
+                    queries: args.scaled(1_000_000) as usize,
+                    churn_per_period: args.scaled(20_000) as usize,
+                    seed: 0x5943 + (trial as u64) * 0x1_0001 + u64::from(k),
+                    ..SyntheticSpec::default()
+                };
+                let w = SyntheticWorkload::generate(&spec);
+                Workload {
+                    inserts: w.test_set,
+                    churn: w.churn,
+                    queries: w.queries,
+                }
+            });
             let cell = |name: &str| {
                 rows.iter()
                     .find(|r| r.name == name)
@@ -62,6 +64,10 @@ fn main() {
                 cell("MPCBF-2"),
             ]);
         }
-        t.finish(&args.out_dir, &format!("fig07_fpr_synthetic_k{k}"), args.quiet);
+        t.finish(
+            &args.out_dir,
+            &format!("fig07_fpr_synthetic_k{k}"),
+            args.quiet,
+        );
     }
 }

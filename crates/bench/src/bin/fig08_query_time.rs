@@ -20,7 +20,14 @@ fn main() {
 
     let mut t = Table::new(
         &format!("Fig. 8 — execution time of {queries} queries (k = {k}, {trials} trials, ms)"),
-        &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"],
+        &[
+            "memory (Mb)",
+            "CBF",
+            "PCBF-1",
+            "PCBF-2",
+            "MPCBF-1",
+            "MPCBF-2",
+        ],
     );
     for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
         let big_m = ((mb * 1e6) as u64) / args.scale;

@@ -61,7 +61,11 @@ fn main() {
 
         // CBF at its optimum.
         let rows = run_suite(&[Contender::Cbf], big_m, n, k_cbf, trials, make_workload);
-        cells.push(rows.first().map(|r| sci(r.fpr)).unwrap_or_else(|| "-".into()));
+        cells.push(
+            rows.first()
+                .map(|r| sci(r.fpr))
+                .unwrap_or_else(|| "-".into()),
+        );
 
         // MPCBF-g at each one's optimum.
         for g in 1..=3u32 {
@@ -76,7 +80,11 @@ fn main() {
                         trials,
                         make_workload,
                     );
-                    cells.push(rows.first().map(|r| sci(r.fpr)).unwrap_or_else(|| "-".into()));
+                    cells.push(
+                        rows.first()
+                            .map(|r| sci(r.fpr))
+                            .unwrap_or_else(|| "-".into()),
+                    );
                 }
                 None => {
                     cells.push("-".into());

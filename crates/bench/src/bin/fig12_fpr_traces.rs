@@ -29,14 +29,23 @@ fn main() {
             n,
             trace.records.len()
         ),
-        &["memory (Mb)", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"],
+        &[
+            "memory (Mb)",
+            "CBF",
+            "PCBF-1",
+            "PCBF-2",
+            "MPCBF-1",
+            "MPCBF-2",
+        ],
     );
     for mb in [8.0f64, 10.0, 12.0, 14.0, 16.0] {
         let big_m = ((mb * 1e6) as u64) / args.scale;
-        let rows = run_suite(&Contender::paper_five(), big_m, n, 3, trials, |_| Workload {
-            inserts: trace.test_set.clone(),
-            churn: trace.churn.clone(),
-            queries: trace.records.clone(),
+        let rows = run_suite(&Contender::paper_five(), big_m, n, 3, trials, |_| {
+            Workload {
+                inserts: trace.test_set.clone(),
+                churn: trace.churn.clone(),
+                queries: trace.records.clone(),
+            }
         });
         let cell = |name: &str| {
             rows.iter()

@@ -65,7 +65,10 @@ fn main() {
         }
         match cmd.status() {
             Ok(s) if s.success() => {
-                println!("#### {exp} done in {:.1}s ####", start.elapsed().as_secs_f64());
+                println!(
+                    "#### {exp} done in {:.1}s ####",
+                    start.elapsed().as_secs_f64()
+                );
             }
             Ok(s) => {
                 eprintln!("!! {exp} exited with {s}");

@@ -57,9 +57,8 @@ impl Driver {
             // 30% removes of live keys only (the supported contract)
             4..=6 => {
                 if self.oracle.get(&key).copied().unwrap_or(0) > 0 {
-                    f.remove(&key).unwrap_or_else(|e| {
-                        panic!("remove of live key {key} failed: {e}")
-                    });
+                    f.remove(&key)
+                        .unwrap_or_else(|e| panic!("remove of live key {key} failed: {e}"));
                     *self.oracle.get_mut(&key).unwrap() -= 1;
                 } else {
                     // Absent key: refusal is the expected outcome; a
@@ -76,7 +75,11 @@ impl Driver {
                 let live = self.oracle.get(&key).copied().unwrap_or(0) > 0;
                 let claimed = f.contains(&key);
                 if live {
-                    assert!(claimed, "false negative for live key {key} at op {}", self.ops);
+                    assert!(
+                        claimed,
+                        "false negative for live key {key} at op {}",
+                        self.ops
+                    );
                 }
             }
         }

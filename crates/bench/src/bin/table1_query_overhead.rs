@@ -19,7 +19,10 @@ fn main() {
     let big_m = 8_000_000u64 / args.scale;
 
     let mut t = Table::new(
-        &format!("Table I — query overhead (M = {} Mb, n = {n})", big_m as f64 / 1e6),
+        &format!(
+            "Table I — query overhead (M = {} Mb, n = {n})",
+            big_m as f64 / 1e6
+        ),
         &[
             "structure",
             "accesses (k=3)",
@@ -51,16 +54,22 @@ fn main() {
 
     for c in Contender::paper_five() {
         let name = c.name();
-        let find = |rows: &[mpcbf_bench::AvgRow]| {
-            rows.iter().find(|r| r.name == name).cloned()
-        };
+        let find = |rows: &[mpcbf_bench::AvgRow]| rows.iter().find(|r| r.name == name).cloned();
         let (r3, r4) = (find(&per_k[0]), find(&per_k[1]));
         t.row(vec![
             name.clone(),
-            r3.as_ref().map(|r| fixed(r.query_accesses, 1)).unwrap_or("-".into()),
-            r3.as_ref().map(|r| fixed(r.query_bits, 0)).unwrap_or("-".into()),
-            r4.as_ref().map(|r| fixed(r.query_accesses, 1)).unwrap_or("-".into()),
-            r4.as_ref().map(|r| fixed(r.query_bits, 0)).unwrap_or("-".into()),
+            r3.as_ref()
+                .map(|r| fixed(r.query_accesses, 1))
+                .unwrap_or("-".into()),
+            r3.as_ref()
+                .map(|r| fixed(r.query_bits, 0))
+                .unwrap_or("-".into()),
+            r4.as_ref()
+                .map(|r| fixed(r.query_accesses, 1))
+                .unwrap_or("-".into()),
+            r4.as_ref()
+                .map(|r| fixed(r.query_bits, 0))
+                .unwrap_or("-".into()),
         ]);
     }
     t.finish(&args.out_dir, "table1_query_overhead", args.quiet);

@@ -18,7 +18,10 @@ fn main() {
     let big_m = 8_000_000u64 / args.scale;
 
     let mut t = Table::new(
-        &format!("Table II — update overhead (M = {} Mb, n = {n})", big_m as f64 / 1e6),
+        &format!(
+            "Table II — update overhead (M = {} Mb, n = {n})",
+            big_m as f64 / 1e6
+        ),
         &[
             "structure",
             "accesses (k=3)",
@@ -55,10 +58,18 @@ fn main() {
         let (r3, r4) = (find(&per_k[0]), find(&per_k[1]));
         t.row(vec![
             name.clone(),
-            r3.as_ref().map(|r| fixed(r.update_accesses, 1)).unwrap_or("-".into()),
-            r3.as_ref().map(|r| fixed(r.update_bits, 0)).unwrap_or("-".into()),
-            r4.as_ref().map(|r| fixed(r.update_accesses, 1)).unwrap_or("-".into()),
-            r4.as_ref().map(|r| fixed(r.update_bits, 0)).unwrap_or("-".into()),
+            r3.as_ref()
+                .map(|r| fixed(r.update_accesses, 1))
+                .unwrap_or("-".into()),
+            r3.as_ref()
+                .map(|r| fixed(r.update_bits, 0))
+                .unwrap_or("-".into()),
+            r4.as_ref()
+                .map(|r| fixed(r.update_accesses, 1))
+                .unwrap_or("-".into()),
+            r4.as_ref()
+                .map(|r| fixed(r.update_bits, 0))
+                .unwrap_or("-".into()),
         ]);
     }
     t.finish(&args.out_dir, "table2_update_overhead", args.quiet);

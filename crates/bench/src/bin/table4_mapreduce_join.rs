@@ -35,11 +35,7 @@ fn main() {
     let big_m = (20 * n_keys).max(4096);
 
     let left: Vec<(u32, u16)> = data.patents.iter().map(|p| (p.id, p.year)).collect();
-    let right: Vec<(u32, u32)> = data
-        .citations
-        .iter()
-        .map(|c| (c.cited, c.citing))
-        .collect();
+    let right: Vec<(u32, u32)> = data.citations.iter().map(|c| (c.cited, c.citing)).collect();
 
     let trials = args.trials_or(3);
     let mut t = Table::new(
@@ -106,9 +102,7 @@ fn main() {
                 let mut exceptions = std::collections::HashSet::new();
                 for (k, _) in &left {
                     if f.insert(k).is_err() {
-                        exceptions.insert(
-                            mpcbf_hash::Key::key_bytes(k).as_slice().to_vec(),
-                        );
+                        exceptions.insert(mpcbf_hash::Key::key_bytes(k).as_slice().to_vec());
                     }
                 }
                 if !exceptions.is_empty() {
@@ -119,7 +113,10 @@ fn main() {
                 }
                 (
                     format!("MPCBF-{g}"),
-                    Some(Box::new(WithExceptions { filter: f, exceptions })),
+                    Some(Box::new(WithExceptions {
+                        filter: f,
+                        exceptions,
+                    })),
                 )
             }
         };
@@ -129,12 +126,8 @@ fn main() {
         let mut last_stats = None;
         let mut rows_count = 0u64;
         for _ in 0..trials {
-            let (rows, stats) = reduce_side_join(
-                &cfg,
-                left.clone(),
-                right.clone(),
-                filter.as_deref(),
-            );
+            let (rows, stats) =
+                reduce_side_join(&cfg, left.clone(), right.clone(), filter.as_deref());
             total_ms += stats.job.total_wall.as_secs_f64() * 1e3;
             rows_count = rows.len() as u64;
             last_stats = Some(stats);

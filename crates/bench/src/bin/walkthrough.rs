@@ -16,7 +16,11 @@ fn render_word16(w: &HcbfWord<u16>, b1: u32) -> String {
     for (level, &size) in sizes.iter().enumerate() {
         out.push_str(&format!("v{}=[", level + 1));
         for i in 0..size {
-            out.push(if w.raw() >> (start + i) & 1 == 1 { '1' } else { '0' });
+            out.push(if w.raw() >> (start + i) & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            });
         }
         out.push_str("] ");
         start += size;
@@ -55,7 +59,10 @@ fn main() {
         w.increment(p, b1).unwrap();
         println!("  after bit {p}:    {}", render_word16(&w, b1));
     }
-    println!("counters: {:?}", (0..b1).map(|p| w.counter(p, b1)).collect::<Vec<_>>());
+    println!(
+        "counters: {:?}",
+        (0..b1).map(|p| w.counter(p, b1)).collect::<Vec<_>>()
+    );
     println!(
         "used {}/16 bits — \"the improved HCBF can fill the whole word and there is no remainder\"",
         w.used_bits(b1)

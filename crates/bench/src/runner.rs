@@ -83,7 +83,11 @@ impl FilterMeasurement {
 }
 
 /// Runs `filter` through `workload` and measures everything.
-pub fn measure_workload<F, K>(name: &str, filter: &mut F, workload: &Workload<K>) -> FilterMeasurement
+pub fn measure_workload<F, K>(
+    name: &str,
+    filter: &mut F,
+    workload: &Workload<K>,
+) -> FilterMeasurement
 where
     F: CountingFilter,
     K: Key + Eq + Hash + Clone,

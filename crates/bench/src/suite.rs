@@ -170,10 +170,7 @@ mod tests {
 
     fn tiny_workload(trial: usize) -> Workload<u64> {
         let base = trial as u64 * 1_000_000;
-        Workload::without_churn(
-            (base..base + 500).collect(),
-            (base..base + 2_000).collect(),
-        )
+        Workload::without_churn((base..base + 500).collect(), (base..base + 2_000).collect())
     }
 
     #[test]
@@ -183,14 +180,7 @@ mod tests {
 
     #[test]
     fn suite_runs_all_contenders() {
-        let rows = run_suite(
-            &Contender::paper_five(),
-            200_000,
-            500,
-            3,
-            2,
-            tiny_workload,
-        );
+        let rows = run_suite(&Contender::paper_five(), 200_000, 500, 3, 2, tiny_workload);
         assert_eq!(rows.len(), 5);
         for r in &rows {
             assert!(r.query_accesses >= 1.0, "{}: {}", r.name, r.query_accesses);
@@ -220,10 +210,7 @@ mod tests {
 
     #[test]
     fn average_is_componentwise_mean() {
-        let rows = vec![
-            tiny_measurement(0.1, 1.0),
-            tiny_measurement(0.3, 3.0),
-        ];
+        let rows = vec![tiny_measurement(0.1, 1.0), tiny_measurement(0.3, 3.0)];
         let avg = average(&rows);
         assert!((avg.fpr - 0.2).abs() < 1e-12);
     }

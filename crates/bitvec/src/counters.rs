@@ -25,7 +25,10 @@ impl CounterVec {
     /// # Panics
     /// Panics unless `1 <= width <= 32`.
     pub fn new(len: usize, width: u32) -> Self {
-        assert!((1..=32).contains(&width), "counter width {width} not in 1..=32");
+        assert!(
+            (1..=32).contains(&width),
+            "counter width {width} not in 1..=32"
+        );
         let total_bits = len * width as usize;
         CounterVec {
             limbs: vec![0; total_bits.div_ceil(64)],
@@ -177,7 +180,10 @@ impl CounterVec {
     /// Panics if the limb count does not match `len`/`width`, or if the
     /// width is out of range.
     pub fn from_raw_parts(limbs: Vec<u64>, len: usize, width: u32, saturations: u64) -> Self {
-        assert!((1..=32).contains(&width), "counter width {width} not in 1..=32");
+        assert!(
+            (1..=32).contains(&width),
+            "counter width {width} not in 1..=32"
+        );
         let expect = (len * width as usize).div_ceil(64);
         assert_eq!(limbs.len(), expect, "limb count mismatch");
         CounterVec {

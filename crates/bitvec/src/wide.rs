@@ -241,8 +241,18 @@ mod tests {
         let mut wide = WideWord::<2>::zero();
         let mut narrow: u128 = 0;
         let ops: [(u8, u32); 12] = [
-            (0, 5), (0, 77), (0, 127), (1, 40), (0, 64), (2, 63),
-            (0, 100), (1, 0), (2, 90), (0, 3), (1, 127), (2, 1),
+            (0, 5),
+            (0, 77),
+            (0, 127),
+            (1, 40),
+            (0, 64),
+            (2, 63),
+            (0, 100),
+            (1, 0),
+            (2, 90),
+            (0, 3),
+            (1, 127),
+            (2, 1),
         ];
         for (op, pos) in ops {
             match op {

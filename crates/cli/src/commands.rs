@@ -269,11 +269,18 @@ pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
     p(format!("trace records     {}", trace.records.len()))?;
     p(format!("unique flows      {unique}"))?;
     p(format!("tracked flows     {test_set} ({refused} refused)"))?;
-    p(format!("filter memory     {memory} bits (MPCBF-{})", opts.accesses))?;
+    p(format!(
+        "filter memory     {memory} bits (MPCBF-{})",
+        opts.accesses
+    ))?;
     p(format!("tracked hits      {hits}"))?;
     p(format!(
         "false positives   {false_positives} / {negatives} untracked records ({:.4}%)",
-        if negatives == 0 { 0.0 } else { 100.0 * false_positives as f64 / negatives as f64 }
+        if negatives == 0 {
+            0.0
+        } else {
+            100.0 * false_positives as f64 / negatives as f64
+        }
     ))?;
     p(format!(
         "lookup rate       {:.1} M records/s",

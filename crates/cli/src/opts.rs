@@ -183,8 +183,20 @@ mod tests {
     #[test]
     fn full_build_flags() {
         let o = parse(&[
-            "--out", "f.bin", "--items", "100k", "--memory-bits", "4M",
-            "--hashes", "4", "--accesses", "2", "--kind", "cbf", "--seed", "9",
+            "--out",
+            "f.bin",
+            "--items",
+            "100k",
+            "--memory-bits",
+            "4M",
+            "--hashes",
+            "4",
+            "--accesses",
+            "2",
+            "--kind",
+            "cbf",
+            "--seed",
+            "9",
         ])
         .unwrap();
         assert_eq!(o.out.as_deref(), Some("f.bin"));
@@ -208,9 +220,15 @@ mod tests {
     fn errors_are_usage_errors() {
         assert!(matches!(parse(&["--bogus"]), Err(CliError::Usage(_))));
         assert!(matches!(parse(&["--items"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["--items", "abc"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["--items", "abc"]),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(parse(&["--fpr", "1.5"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["--kind", "weird"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["--kind", "weird"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

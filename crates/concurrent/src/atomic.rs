@@ -10,7 +10,7 @@
 use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
-use mpcbf_core::FilterError;
+use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -184,7 +184,10 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         let b1 = self.shape.b1;
         for i in 0..n {
             let (word, p) = targets[i];
-            if self.update_word(word, |w| w.decrement(p, b1).map(|_| ())).is_err() {
+            if self
+                .update_word(word, |w| w.decrement(p, b1).map(|_| ()))
+                .is_err()
+            {
                 for &(rw, rp) in targets[..i].iter().rev() {
                     self.update_word(rw, |w| w.increment(rp, b1).map(|_| ()))
                         .expect("rollback increment");
@@ -193,6 +196,135 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             }
         }
         Ok(())
+    }
+
+    /// Plans a key's probes. The plan uses the same `WORD_SALT`/`GROUP_SALT`
+    /// streams as [`Self::targets`], so planned and scalar operations place
+    /// elements identically.
+    #[inline]
+    fn plan(&self, key: &[u8]) -> ProbePlan {
+        ProbePlan::partitioned(
+            H::hash128(self.seed, key),
+            self.shape.l,
+            self.shape.k,
+            self.shape.g,
+            u64::from(self.shape.b1),
+        )
+    }
+
+    /// Prefetches every word a batch of plans will touch.
+    #[inline]
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        for plan in plans {
+            for &w in plan.words() {
+                prefetch_read(&self.words[w as usize]);
+            }
+        }
+    }
+
+    /// Inserts one planned key: one CAS per *group* (the whole group's
+    /// increments land word-atomically), with cross-group rollback on
+    /// overflow. Placement and final state are identical to the scalar
+    /// path; the per-word granularity is strictly coarser.
+    fn insert_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            if self
+                .update_word(word, |w| w.increment_all(probes, b1).map(|_| ()))
+                .is_err()
+            {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    self.update_word(rw, |w| w.decrement_all(rp, b1).map(|_| ()))
+                        .expect("rollback decrement");
+                }
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Err(FilterError::WordOverflow { word });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror of [`Self::insert_planned`] for removal.
+    fn remove_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            if self
+                .update_word(word, |w| w.decrement_all(probes, b1).map(|_| ()))
+                .is_err()
+            {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    self.update_word(rw, |w| w.increment_all(rp, b1).map(|_| ()))
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched membership check: hash all keys, prefetch all target words,
+    /// then probe. Each word is read as one atomic snapshot.
+    pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
+        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
+        self.prefetch_batch(&plans);
+        plans
+            .iter()
+            .map(|plan| {
+                for (word, probes) in plan.groups() {
+                    let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+                    let (all_set, _) = snapshot.query_all(probes);
+                    if !all_set {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
+    }
+
+    /// Batched insertion (hash all → prefetch all → update all, in key
+    /// order). Per-key results are in input order.
+    pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
+        self.prefetch_batch(&plans);
+        let b1 = self.shape.b1;
+        plans
+            .iter()
+            .map(|plan| self.insert_planned(plan, b1))
+            .collect()
+    }
+
+    /// Batched removal (hash all → prefetch all → update all, in key
+    /// order). Per-key results are in input order.
+    pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
+        self.prefetch_batch(&plans);
+        let b1 = self.shape.b1;
+        plans
+            .iter()
+            .map(|plan| self.remove_planned(plan, b1))
+            .collect()
+    }
+
+    /// Batched membership for any [`mpcbf_hash::Key`] type.
+    pub fn contains_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<bool> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.contains_batch_bytes(&views)
+    }
+
+    /// Batched insertion for any [`mpcbf_hash::Key`] type.
+    pub fn insert_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.insert_batch_bytes(&views)
+    }
+
+    /// Batched removal for any [`mpcbf_hash::Key`] type.
+    pub fn remove_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.remove_batch_bytes(&views)
     }
 }
 
@@ -254,6 +386,37 @@ mod tests {
                 seq.contains(&probe),
                 "divergence at {probe}"
             );
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_and_sequential() {
+        use mpcbf_core::{CountingFilter, Filter, Mpcbf};
+        let c = MpcbfConfig::builder()
+            .memory_bits(500_000)
+            .expected_items(5_000)
+            .hashes(3)
+            .seed(44)
+            .build()
+            .unwrap();
+        let atomic: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(c);
+        let mut seq: Mpcbf<u64, Murmur3> = Mpcbf::new(c);
+        let keys: Vec<u64> = (0..2_000).collect();
+        for r in atomic.insert_batch(&keys) {
+            r.unwrap();
+        }
+        for k in &keys {
+            seq.insert(k).unwrap();
+        }
+        let removals: Vec<u64> = (1_000..3_000).collect();
+        let atomic_r = atomic.remove_batch(&removals);
+        let seq_r: Vec<_> = removals.iter().map(|k| seq.remove(k)).collect();
+        assert_eq!(atomic_r, seq_r);
+        let probes: Vec<u64> = (0..20_000).collect();
+        let batched = atomic.contains_batch(&probes);
+        for (k, hit) in probes.iter().zip(&batched) {
+            assert_eq!(seq.contains(k), *hit, "divergence at {k}");
+            assert_eq!(atomic.contains(k), *hit, "scalar/batch divergence at {k}");
         }
     }
 

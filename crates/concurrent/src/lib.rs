@@ -6,13 +6,21 @@
 //! words it hashes to*, so synchronisation can be per-word instead of
 //! per-filter. Two designs are provided:
 //!
-//! * [`sharded::ShardedMpcbf`] — words protected by a fixed pool of
-//!   [`parking_lot::Mutex`] shards. Works for any word width; writers to
-//!   different shards never contend.
+//! * [`sharded::ShardedMpcbf`] — the key space is partitioned into a
+//!   power-of-two pool of *independent sub-filters*, each guarded by one
+//!   [`parking_lot::Mutex`]. The shard index comes from digest bits
+//!   disjoint from the probe bits (see `sharded`'s module docs), so every
+//!   element lives entirely in one shard: a scalar operation takes exactly
+//!   one lock and a batch operation takes each lock at most once.
 //! * [`atomic::AtomicMpcbf`] — lock-free for 64-bit words: each word is an
 //!   `AtomicU64` and every update is a single-word CAS loop around the
 //!   [`HcbfWord`] codec (possible precisely because an HCBF word is a
 //!   self-contained value type).
+//!
+//! Both expose the batch-first pipeline (`contains_batch` /
+//! `insert_batch` / `remove_batch`): hash every key up front, prefetch the
+//! target words, then probe or update — with per-key results in input
+//! order and state bit-identical to the equivalent scalar loop.
 //!
 //! ## Consistency model
 //!
@@ -21,6 +29,8 @@
 //! inserted* element (and miss it) or a *partially deleted* one (and still
 //! report it). Completed inserts are never missed, and the structure is
 //! always a valid HCBF — the same relaxation hardware CBF banks accept.
+//! Sharded batch updates hold the shard lock for the whole per-shard run,
+//! so within one shard a batch is observed atomically.
 //!
 //! [`HcbfWord`]: mpcbf_core::HcbfWord
 

@@ -1,39 +1,67 @@
-//! Sharded-lock concurrent MPCBF.
+//! Sharded-lock concurrent MPCBF with a batch-first query pipeline.
 //!
-//! Words are grouped into a fixed number of shards (a power of two), each
-//! guarded by a [`parking_lot::Mutex`]. An operation locks only the shards
-//! of the `g` words it touches — one at a time, never nested, so there is
-//! no lock-ordering concern and no deadlock.
+//! # Layout: one shard = one independent sub-filter
+//!
+//! Unlike a word-interleaved scheme (where the `g` words of one element can
+//! land in `g` different shards and an operation must take several locks),
+//! this design partitions the *key space*: each shard owns a private array
+//! of `HcbfWord`s and every element lives entirely inside one shard. A
+//! scalar operation therefore takes **exactly one lock**, and a batch
+//! operation takes each lock **at most once** (see the bit-split below for
+//! how keys are routed).
+//!
+//! # Bit-split: shard bits are disjoint from probe bits
+//!
+//! The 128-bit digest of a key is split into two non-overlapping fields:
+//!
+//! ```text
+//! bit 127 ──────── bit 112 | bit 111 ───────────────────────────── bit 0
+//!   shard selector (16 b)  |  probe digest (112 b)
+//! ```
+//!
+//! * the **top [`SHARD_BITS`] bits** select the shard (masked down to the
+//!   power-of-two shard count);
+//! * the **low `128 − SHARD_BITS` bits** feed [`ProbePlan::partitioned`],
+//!   which derives the word picker (`WORD_SALT` stream) and the per-group
+//!   position streams (`GROUP_SALT` streams) exactly as the sequential
+//!   filter does.
+//!
+//! Because the shard selector is never read by the probe streams and the
+//! probe digest is never read by the selector, shard routing is
+//! statistically independent of in-shard placement: conditioning on "key
+//! landed in shard s" reveals nothing about which words it probes there.
+//!
+//! # Batch pipeline
+//!
+//! [`ShardedMpcbf::contains_batch_bytes`] and friends run the three-stage
+//! pipeline: (1) hash every key and build its [`ProbePlan`], (2) group keys
+//! by shard — a stable sort, so keys within one shard are processed in
+//! their original batch order, which keeps duplicate keys in a batch
+//! behaving exactly like a scalar loop — then per shard take the lock once
+//! and prefetch every word the shard's keys will touch, (3) probe/update.
 
 use mpcbf_analysis::heuristic::MpcbfShape;
+use mpcbf_bitvec::Word;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
-use mpcbf_core::FilterError;
-use mpcbf_bitvec::Word;
-use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
+use mpcbf_hash::{Hasher128, Murmur3};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Salts mirroring the sequential filter's (kept equal so a sharded filter
-/// is query-compatible with a sequential one built from the same config).
-const WORD_SALT: u64 = 0x4d50_4342_465f_5744;
-const GROUP_SALT: u64 = 0x4d50_4342_465f_4752;
+/// Digest bits reserved for shard selection (the top bits of the 128-bit
+/// digest). The probe planner only ever sees the remaining low bits, so the
+/// two fields share no entropy. Caps the shard count at `2^SHARD_BITS`.
+pub const SHARD_BITS: u32 = 16;
 
-#[inline]
-fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
-    let base = k / g;
-    if t < k % g {
-        base + 1
-    } else {
-        base
-    }
-}
-
-/// A thread-safe MPCBF using sharded mutexes.
+/// A thread-safe MPCBF: a power-of-two pool of independent sub-filters,
+/// each guarded by one [`parking_lot::Mutex`], with keys routed by a digest
+/// field disjoint from the probe bits.
 pub struct ShardedMpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
     shards: Vec<Mutex<Vec<HcbfWord<W>>>>,
-    words_per_shard: usize,
+    shard_mask: u64,
+    words_per_shard: u64,
     shape: MpcbfShape,
     seed: u64,
     overflows: AtomicU64,
@@ -42,8 +70,12 @@ pub struct ShardedMpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
 
 impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// Creates a sharded filter from a validated configuration with the
-    /// given shard count (rounded up to a power of two, capped at the word
-    /// count).
+    /// given shard count (rounded up to a power of two, capped at
+    /// `2^SHARD_BITS` and at the word count).
+    ///
+    /// The configuration's `l` words are distributed evenly across the
+    /// shards; each shard is an independent `ceil(l / shards)`-word
+    /// sub-filter.
     ///
     /// # Panics
     /// Panics if the configuration's word size differs from `W::BITS`.
@@ -52,18 +84,16 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         assert_eq!(shape.w, W::BITS, "config word size mismatch");
         let shard_count = shards
             .next_power_of_two()
-            .clamp(1, (shape.l as usize).next_power_of_two());
-        let words_per_shard = (shape.l as usize).div_ceil(shard_count);
+            .clamp(1, (shape.l as usize).next_power_of_two())
+            .min(1 << SHARD_BITS);
+        let words_per_shard = (shape.l as usize).div_ceil(shard_count).max(1);
         let shards = (0..shard_count)
-            .map(|s| {
-                let lo = s * words_per_shard;
-                let hi = ((s + 1) * words_per_shard).min(shape.l as usize);
-                Mutex::new(vec![HcbfWord::new(); hi.saturating_sub(lo)])
-            })
+            .map(|_| Mutex::new(vec![HcbfWord::new(); words_per_shard]))
             .collect();
         ShardedMpcbf {
             shards,
-            words_per_shard,
+            shard_mask: shard_count as u64 - 1,
+            words_per_shard: words_per_shard as u64,
             shape,
             seed: config.seed(),
             overflows: AtomicU64::new(0),
@@ -76,6 +106,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         self.shape
     }
 
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Insertions refused due to word overflow.
     pub fn overflows(&self) -> u64 {
         self.overflows.load(Ordering::Relaxed)
@@ -85,35 +120,86 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     pub fn total_load(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().iter().map(|w| u64::from(w.total_count())).sum::<u64>())
+            .map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|w| u64::from(w.total_count()))
+                    .sum::<u64>()
+            })
             .sum()
     }
 
+    /// Splits a digest into (shard index, probe digest) along the
+    /// documented bit boundary.
     #[inline]
-    fn locate(&self, word: usize) -> (usize, usize) {
-        (word / self.words_per_shard, word % self.words_per_shard)
+    fn split_digest(&self, digest: u128) -> (usize, u128) {
+        let shard = ((digest >> (128 - SHARD_BITS)) as u64 & self.shard_mask) as usize;
+        let probe_digest = digest & ((1u128 << (128 - SHARD_BITS)) - 1);
+        (shard, probe_digest)
     }
 
-    /// Collects the (word, position) targets of `key` (at most `k`).
+    /// Hashes `key` and plans its probes inside its home shard.
     #[inline]
-    fn targets(&self, key: &[u8], out: &mut [(usize, u32); 64]) -> usize {
-        let digest = H::hash128(self.seed, key);
-        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.shape.l);
-        let mut n = 0;
-        for t in 0..self.shape.g {
-            let word = word_picker.next_index();
-            let k_t = split_hashes(self.shape.k, self.shape.g, t);
-            let mut inner = DoubleHasher::with_salt(
-                digest,
-                GROUP_SALT ^ u64::from(t),
-                u64::from(self.shape.b1),
-            );
-            for _ in 0..k_t {
-                out[n] = (word, inner.next_index() as u32);
-                n += 1;
+    fn plan(&self, key: &[u8]) -> (usize, ProbePlan) {
+        let (shard, probe_digest) = self.split_digest(H::hash128(self.seed, key));
+        let plan = ProbePlan::partitioned(
+            probe_digest,
+            self.words_per_shard,
+            self.shape.k,
+            self.shape.g,
+            u64::from(self.shape.b1),
+        );
+        (shard, plan)
+    }
+
+    /// Queries one planned key against its (already locked) shard.
+    #[inline]
+    fn query_planned(words: &[HcbfWord<W>], plan: &ProbePlan) -> bool {
+        for (word, probes) in plan.groups() {
+            let (all_set, _) = words[word].query_all(probes);
+            if !all_set {
+                return false;
             }
         }
-        n
+        true
+    }
+
+    /// Inserts one planned key into its (already locked) shard, rolling
+    /// back every applied group on overflow.
+    fn insert_planned(
+        words: &mut [HcbfWord<W>],
+        plan: &ProbePlan,
+        b1: u32,
+    ) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            if words[word].increment_all(probes, b1).is_err() {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    words[rw].decrement_all(rp, b1).expect("rollback decrement");
+                }
+                return Err(FilterError::WordOverflow { word });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one planned key from its (already locked) shard, rolling
+    /// back every applied group if the element turns out absent.
+    fn remove_planned(
+        words: &mut [HcbfWord<W>],
+        plan: &ProbePlan,
+        b1: u32,
+    ) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            if words[word].decrement_all(probes, b1).is_err() {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    words[rw].increment_all(rp, b1).expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
     }
 
     /// Membership check.
@@ -121,24 +207,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         self.contains_bytes(key.key_bytes().as_slice())
     }
 
-    /// Membership check on raw bytes.
+    /// Membership check on raw bytes: one lock, `g` word reads.
     pub fn contains_bytes(&self, key: &[u8]) -> bool {
-        let mut targets = [(0usize, 0u32); 64];
-        let n = self.targets(key, &mut targets);
-        let mut i = 0;
-        while i < n {
-            // Check all positions of one word under a single lock hold.
-            let word = targets[i].0;
-            let (shard, local) = self.locate(word);
-            let guard = self.shards[shard].lock();
-            while i < n && targets[i].0 == word {
-                if !guard[local].query(targets[i].1) {
-                    return false;
-                }
-                i += 1;
-            }
-        }
-        true
+        let (shard, plan) = self.plan(key);
+        let guard = self.shards[shard].lock();
+        Self::query_planned(&guard, &plan)
     }
 
     /// Inserts a key.
@@ -146,28 +219,16 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         self.insert_bytes(key.key_bytes().as_slice())
     }
 
-    /// Inserts raw bytes, rolling back on overflow.
+    /// Inserts raw bytes under a single lock, rolling back on overflow.
     pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
-        let mut targets = [(0usize, 0u32); 64];
-        let n = self.targets(key, &mut targets);
-        let b1 = self.shape.b1;
-        for i in 0..n {
-            let (word, p) = targets[i];
-            let (shard, local) = self.locate(word);
-            let mut guard = self.shards[shard].lock();
-            if guard[local].increment(p, b1).is_err() {
-                drop(guard);
-                for &(rw, rp) in targets[..i].iter().rev() {
-                    let (rs, rl) = self.locate(rw);
-                    self.shards[rs].lock()[rl]
-                        .decrement(rp, b1)
-                        .expect("rollback decrement");
-                }
-                self.overflows.fetch_add(1, Ordering::Relaxed);
-                return Err(FilterError::WordOverflow { word });
-            }
+        let (shard, plan) = self.plan(key);
+        let mut guard = self.shards[shard].lock();
+        let result = Self::insert_planned(&mut guard, &plan, self.shape.b1);
+        drop(guard);
+        if result.is_err() {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(())
+        result
     }
 
     /// Removes a key.
@@ -175,27 +236,116 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         self.remove_bytes(key.key_bytes().as_slice())
     }
 
-    /// Removes raw bytes, rolling back if the element is absent.
+    /// Removes raw bytes under a single lock, rolling back if absent.
     pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
-        let mut targets = [(0usize, 0u32); 64];
-        let n = self.targets(key, &mut targets);
-        let b1 = self.shape.b1;
-        for i in 0..n {
-            let (word, p) = targets[i];
-            let (shard, local) = self.locate(word);
-            let mut guard = self.shards[shard].lock();
-            if guard[local].decrement(p, b1).is_err() {
-                drop(guard);
-                for &(rw, rp) in targets[..i].iter().rev() {
-                    let (rs, rl) = self.locate(rw);
-                    self.shards[rs].lock()[rl]
-                        .increment(rp, b1)
-                        .expect("rollback increment");
-                }
-                return Err(FilterError::NotPresent);
+        let (shard, plan) = self.plan(key);
+        let mut guard = self.shards[shard].lock();
+        Self::remove_planned(&mut guard, &plan, self.shape.b1)
+    }
+
+    /// Plans a whole batch and returns key indices stably sorted by shard,
+    /// so each shard's keys form one contiguous run in original order.
+    fn plan_batch(&self, keys: &[&[u8]]) -> (Vec<(usize, ProbePlan)>, Vec<usize>) {
+        let plans: Vec<(usize, ProbePlan)> = keys.iter().map(|k| self.plan(k)).collect();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| plans[i].0);
+        (plans, order)
+    }
+
+    /// Runs `body` once per shard that has keys in the batch, holding that
+    /// shard's lock exactly once for its whole contiguous run of keys.
+    fn for_each_shard_run(
+        &self,
+        plans: &[(usize, ProbePlan)],
+        order: &[usize],
+        mut body: impl FnMut(&mut Vec<HcbfWord<W>>, &[usize]),
+    ) {
+        let mut i = 0;
+        while i < order.len() {
+            let shard = plans[order[i]].0;
+            let start = i;
+            while i < order.len() && plans[order[i]].0 == shard {
+                i += 1;
             }
+            let run = &order[start..i];
+            let mut guard = self.shards[shard].lock();
+            // Stage 2 of the pipeline: with the shard resident, prefetch
+            // every word this run will touch before any probing starts.
+            for &idx in run {
+                for &w in plans[idx].1.words() {
+                    prefetch_read(&guard[w as usize]);
+                }
+            }
+            body(&mut guard, run);
         }
-        Ok(())
+    }
+
+    /// Batched membership check: hashes all keys, then visits each shard
+    /// once (lock → prefetch → probe). Results are in input order.
+    pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
+        let (plans, order) = self.plan_batch(keys);
+        let mut out = vec![false; keys.len()];
+        self.for_each_shard_run(&plans, &order, |words, run| {
+            for &idx in run {
+                out[idx] = Self::query_planned(words, &plans[idx].1);
+            }
+        });
+        out
+    }
+
+    /// Batched insertion: each shard lock is taken once; keys within a
+    /// shard are applied in batch order, so duplicates behave exactly as a
+    /// scalar loop would. Per-key results are in input order.
+    pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        let (plans, order) = self.plan_batch(keys);
+        let b1 = self.shape.b1;
+        let mut out = vec![Ok(()); keys.len()];
+        let mut failed = 0u64;
+        self.for_each_shard_run(&plans, &order, |words, run| {
+            for &idx in run {
+                let r = Self::insert_planned(words, &plans[idx].1, b1);
+                if r.is_err() {
+                    failed += 1;
+                }
+                out[idx] = r;
+            }
+        });
+        self.overflows.fetch_add(failed, Ordering::Relaxed);
+        out
+    }
+
+    /// Batched removal: mirror of [`Self::insert_batch_bytes`].
+    pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        let (plans, order) = self.plan_batch(keys);
+        let b1 = self.shape.b1;
+        let mut out = vec![Ok(()); keys.len()];
+        self.for_each_shard_run(&plans, &order, |words, run| {
+            for &idx in run {
+                out[idx] = Self::remove_planned(words, &plans[idx].1, b1);
+            }
+        });
+        out
+    }
+
+    /// Batched membership for any [`mpcbf_hash::Key`] type.
+    pub fn contains_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<bool> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.contains_batch_bytes(&views)
+    }
+
+    /// Batched insertion for any [`mpcbf_hash::Key`] type.
+    pub fn insert_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.insert_batch_bytes(&views)
+    }
+
+    /// Batched removal for any [`mpcbf_hash::Key`] type.
+    pub fn remove_batch<K: mpcbf_hash::Key>(&self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.remove_batch_bytes(&views)
     }
 }
 
@@ -231,6 +381,69 @@ mod tests {
     }
 
     #[test]
+    fn shard_routing_uses_disjoint_bits() {
+        // Two digests that differ only in the shard field must produce
+        // identical probe plans; two that differ only in the probe field
+        // must land in the same shard.
+        let f = filter();
+        let base: u128 = 0x0123_4567_89ab_cdef_0011_2233_4455_6677;
+        // Flip the lowest shard-field bit (bit 112) so it survives the
+        // power-of-two shard mask.
+        let shard_flip = base ^ (1u128 << (128 - SHARD_BITS));
+        let probe_flip = base ^ 1u128;
+        let (s0, p0) = f.split_digest(base);
+        let (s1, p1) = f.split_digest(shard_flip);
+        let (s2, p2) = f.split_digest(probe_flip);
+        assert_ne!(s0, s1, "flipping a shard bit must change the shard");
+        assert_eq!(p0, p1, "shard bits must not leak into the probe digest");
+        assert_eq!(s0, s2, "probe bits must not leak into the shard index");
+        assert_ne!(p0, p2);
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop() {
+        let scalar = filter();
+        let batch = filter();
+        let keys: Vec<u64> = (0..2_000).collect();
+        for k in &keys {
+            scalar.insert(k).unwrap();
+        }
+        let results = batch.insert_batch(&keys);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(scalar.total_load(), batch.total_load());
+
+        let probes: Vec<u64> = (1_000..5_000).collect();
+        let batched = batch.contains_batch(&probes);
+        for (k, hit) in probes.iter().zip(&batched) {
+            assert_eq!(scalar.contains(k), *hit, "divergence at {k}");
+        }
+
+        let removals: Vec<u64> = (500..2_500).collect();
+        let scalar_r: Vec<_> = removals.iter().map(|k| scalar.remove(k)).collect();
+        let batch_r = batch.remove_batch(&removals);
+        assert_eq!(scalar_r, batch_r);
+        assert_eq!(scalar.total_load(), batch.total_load());
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_behave_like_scalar() {
+        let scalar = filter();
+        let batch = filter();
+        let keys: Vec<u64> = vec![7, 7, 7, 42, 7, 42];
+        for k in &keys {
+            scalar.insert(k).unwrap();
+        }
+        batch.insert_batch(&keys);
+        assert_eq!(scalar.total_load(), batch.total_load());
+        // Remove one more 7 than was inserted: the extra must fail in both.
+        let removals: Vec<u64> = vec![7, 7, 7, 7, 7];
+        let scalar_r: Vec<_> = removals.iter().map(|k| scalar.remove(k)).collect();
+        let batch_r = batch.remove_batch(&removals);
+        assert_eq!(scalar_r, batch_r);
+        assert_eq!(batch_r[4], Err(FilterError::NotPresent));
+    }
+
+    #[test]
     fn parallel_inserts_are_all_visible() {
         let f = filter();
         let threads = 8u64;
@@ -250,6 +463,29 @@ mod tests {
             assert!(f.contains(&i), "lost {i}");
         }
         assert_eq!(f.overflows(), 0);
+    }
+
+    #[test]
+    fn parallel_batch_inserts_are_all_visible() {
+        let f = filter();
+        let threads = 4u64;
+        let per = 1_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let f = &f;
+                s.spawn(move |_| {
+                    let keys: Vec<u64> = (t * per..(t + 1) * per).collect();
+                    for r in f.insert_batch(&keys) {
+                        r.unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let keys: Vec<u64> = (0..threads * per).collect();
+        for (k, hit) in keys.iter().zip(f.contains_batch(&keys)) {
+            assert!(hit, "lost {k}");
+        }
     }
 
     #[test]
@@ -289,14 +525,20 @@ mod tests {
             f.insert(k).unwrap();
         }
         crossbeam::scope(|s| {
-            // Writers churn a disjoint key range.
+            // Writers churn a disjoint key range, in batches.
             for t in 0..4u64 {
                 let f = &f;
                 s.spawn(move |_| {
-                    for i in 0..500u64 {
-                        let k = 1_000_000 + t * 1_000 + i;
-                        f.insert(&k).unwrap();
-                        f.remove(&k).unwrap();
+                    for i in 0..50u64 {
+                        let keys: Vec<u64> = (0..10)
+                            .map(|j| 1_000_000 + t * 1_000 + i * 10 + j)
+                            .collect();
+                        for r in f.insert_batch(&keys) {
+                            r.unwrap();
+                        }
+                        for r in f.remove_batch(&keys) {
+                            r.unwrap();
+                        }
                     }
                 });
             }
@@ -306,8 +548,8 @@ mod tests {
                 let stable = &stable;
                 s.spawn(move |_| {
                     for _ in 0..5 {
-                        for k in stable {
-                            assert!(f.contains(k), "stable key {k} lost");
+                        for hit in f.contains_batch(stable) {
+                            assert!(hit, "stable key lost");
                         }
                     }
                 });

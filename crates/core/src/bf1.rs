@@ -8,6 +8,7 @@
 //! counting setting.
 
 use crate::metrics::{OpCost, WordTouches};
+use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::Filter;
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::BitVec;
@@ -115,6 +116,44 @@ impl<H: Hasher128> BfG<H> {
         }
         (words_eval, pos_eval)
     }
+
+    /// Stage 1 of the batch pipeline: hash every key into a partitioned
+    /// [`ProbePlan`] (same word-selector and per-group streams as
+    /// [`BfG::for_each_position`]).
+    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
+        keys.iter()
+            .map(|key| {
+                ProbePlan::partitioned(
+                    H::hash128(self.seed, key),
+                    self.l as u64,
+                    self.k,
+                    self.g,
+                    u64::from(self.w),
+                )
+            })
+            .collect()
+    }
+
+    /// Stage 2: request the first limb of every planned word.
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        let limbs = self.bits.raw_limbs();
+        let w = self.w as usize;
+        for plan in plans {
+            for &word in plan.words() {
+                prefetch_read(&limbs[word as usize * w / 64]);
+            }
+        }
+    }
+
+    /// The per-operation access bandwidth for a replayed plan prefix.
+    #[inline]
+    fn cost(&self, words_eval: u32, pos_eval: u32, touches: &WordTouches) -> OpCost {
+        OpCost {
+            word_accesses: touches.count(),
+            hash_bits: words_eval * bits_for(self.l as u64)
+                + pos_eval * bits_for(u64::from(self.w)),
+        }
+    }
 }
 
 impl<H: Hasher128> Filter for BfG<H> {
@@ -167,6 +206,57 @@ impl<H: Hasher128> Filter for BfG<H> {
 
     fn num_hashes(&self) -> u32 {
         self.k
+    }
+
+    /// Pipelined batch query: hash all keys, prefetch all planned words,
+    /// then probe group by group in scalar order (short-circuiting on the
+    /// first zero bit with the same words/positions accounting).
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut words_eval = 0u32;
+            let mut pos_eval = 0u32;
+            let mut member = true;
+            'groups: for (word, probes) in plan.groups() {
+                words_eval += 1;
+                for &off in probes {
+                    pos_eval += 1;
+                    touches.touch(word);
+                    if !self.bits.get(word * self.w as usize + off as usize) {
+                        member = false;
+                        break 'groups;
+                    }
+                }
+            }
+            hits.push(member);
+            total = total.add(self.cost(words_eval, pos_eval, &touches));
+        }
+        (hits, total)
+    }
+
+    /// Pipelined batch insert: bits are set strictly in key order.
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            for (word, probes) in plan.groups() {
+                for &off in probes {
+                    touches.touch(word);
+                    self.bits.set(word * self.w as usize + off as usize);
+                }
+            }
+            self.items += 1;
+            total = total.add(self.cost(self.g, self.k, &touches));
+            results.push(Ok(()));
+        }
+        (results, total)
     }
 }
 
@@ -247,5 +337,33 @@ mod tests {
     #[should_panic(expected = "bad g")]
     fn g_greater_than_k_panics() {
         let _ = BfG::<Murmur3>::new(16, 64, 2, 3, 0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop() {
+        for g in [1u32, 2] {
+            let mut batch = BfG::<Murmur3>::new(4096, 64, 3, g, 13);
+            let mut scalar = BfG::<Murmur3>::new(4096, 64, 3, g, 13);
+            let keys: Vec<Vec<u8>> = (0..400u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+            let (_, bi) = batch.insert_batch_cost(&views);
+            let mut si = OpCost::zero();
+            for k in &views {
+                si = si.add(scalar.insert_bytes_cost(k).unwrap());
+            }
+            assert_eq!(bi, si, "g={g}");
+
+            let probes: Vec<Vec<u8>> = (300..700u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let probe_views: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let (batch_hits, bq) = batch.contains_batch_cost(&probe_views);
+            let mut sq = OpCost::zero();
+            for (i, k) in probe_views.iter().enumerate() {
+                let (hit, cost) = scalar.contains_bytes_cost(k);
+                assert_eq!(hit, batch_hits[i], "g={g} key {i}");
+                sq = sq.add(cost);
+            }
+            assert_eq!(bq, sq, "g={g}");
+        }
     }
 }

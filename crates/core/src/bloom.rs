@@ -5,6 +5,7 @@
 //! one-access generalisation lives in [`crate::bf1`].
 
 use crate::metrics::{OpCost, WordTouches};
+use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::Filter;
 use crate::FilterError;
 use mpcbf_bitvec::BitVec;
@@ -83,6 +84,23 @@ impl<H: Hasher128> BloomFilter<H> {
     fn word_of(&self, bit: usize) -> usize {
         bit / self.word_bits as usize
     }
+
+    /// Stage 1 of the batch pipeline: hash every key into a [`ProbePlan`].
+    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
+        keys.iter()
+            .map(|key| ProbePlan::flat(H::hash128(self.seed, key), self.k, self.bits.len() as u64))
+            .collect()
+    }
+
+    /// Stage 2: request every planned limb before any probing starts.
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        let limbs = self.bits.raw_limbs();
+        for plan in plans {
+            for &p in plan.probes() {
+                prefetch_read(&limbs[p as usize / 64]);
+            }
+        }
+    }
 }
 
 impl<H: Hasher128> Filter for BloomFilter<H> {
@@ -132,6 +150,62 @@ impl<H: Hasher128> Filter for BloomFilter<H> {
 
     fn num_hashes(&self) -> u32 {
         self.k
+    }
+
+    /// Pipelined batch query: hash all keys, prefetch all planned limbs,
+    /// then probe each key replaying the scalar order (including the
+    /// short-circuit on the first zero bit).
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let addr_bits = bits_for(self.bits.len() as u64);
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut evaluated = 0u32;
+            let mut member = true;
+            for &p in plan.probes() {
+                let p = p as usize;
+                touches.touch(self.word_of(p));
+                evaluated += 1;
+                if !self.bits.get(p) {
+                    member = false;
+                    break;
+                }
+            }
+            hits.push(member);
+            total = total.add(OpCost {
+                word_accesses: touches.count(),
+                hash_bits: evaluated * addr_bits,
+            });
+        }
+        (hits, total)
+    }
+
+    /// Pipelined batch insert: plans and prefetches up front, then sets
+    /// bits strictly in key order (never fails for a plain Bloom filter).
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let addr_bits = bits_for(self.bits.len() as u64);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            for &p in plan.probes() {
+                let p = p as usize;
+                touches.touch(self.word_of(p));
+                self.bits.set(p);
+            }
+            self.items += 1;
+            total = total.add(OpCost {
+                word_accesses: touches.count(),
+                hash_bits: self.k * addr_bits,
+            });
+            results.push(Ok(()));
+        }
+        (results, total)
     }
 }
 
@@ -211,5 +285,32 @@ mod tests {
     #[should_panic(expected = "out of 1..=64")]
     fn zero_k_panics() {
         let _ = Bf::new(100, 0, 0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop() {
+        let mut batch = Bf::new(50_000, 3, 11);
+        let mut scalar = Bf::new(50_000, 3, 11);
+        let keys: Vec<Vec<u8>> = (0..300u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+        let (_, batch_cost) = batch.insert_batch_cost(&views);
+        let mut scalar_cost = OpCost::zero();
+        for k in &views {
+            scalar_cost = scalar_cost.add(scalar.insert_bytes_cost(k).unwrap());
+        }
+        assert_eq!(batch_cost, scalar_cost);
+        assert_eq!(batch.bits.raw_limbs(), scalar.bits.raw_limbs());
+
+        let probes: Vec<Vec<u8>> = (200..600u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let probe_views: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+        let (batch_hits, batch_qcost) = batch.contains_batch_cost(&probe_views);
+        let mut scalar_qcost = OpCost::zero();
+        for (i, k) in probe_views.iter().enumerate() {
+            let (hit, cost) = scalar.contains_bytes_cost(k);
+            assert_eq!(hit, batch_hits[i]);
+            scalar_qcost = scalar_qcost.add(cost);
+        }
+        assert_eq!(batch_qcost, scalar_qcost);
     }
 }

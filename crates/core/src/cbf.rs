@@ -8,6 +8,7 @@
 //! the paper reports (e.g. 2.1 for k = 3 on the trace workload).
 
 use crate::metrics::{OpCost, WordTouches};
+use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::{CountingFilter, Filter};
 use crate::FilterError;
 use mpcbf_bitvec::CounterVec;
@@ -146,6 +147,30 @@ impl<H: Hasher128> Cbf<H> {
     fn word_of(&self, counter: usize) -> usize {
         counter * self.counters.width() as usize / self.word_bits as usize
     }
+
+    /// Stage 1 of the batch pipeline: hash every key into a [`ProbePlan`].
+    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
+        keys.iter()
+            .map(|key| {
+                ProbePlan::flat(
+                    H::hash128(self.seed, key),
+                    self.k,
+                    self.counters.len() as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Stage 2: request every planned counter limb before probing.
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        let width = self.counters.width() as usize;
+        let limbs = self.counters.raw_limbs();
+        for plan in plans {
+            for &p in plan.probes() {
+                prefetch_read(&limbs[p as usize * width / 64]);
+            }
+        }
+    }
 }
 
 impl<H: Hasher128> Filter for Cbf<H> {
@@ -196,6 +221,62 @@ impl<H: Hasher128> Filter for Cbf<H> {
     fn num_hashes(&self) -> u32 {
         self.k
     }
+
+    /// Pipelined batch query: hash all keys, prefetch every planned
+    /// counter limb, then probe each key in scalar order (short-circuiting
+    /// on the first zero counter).
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let addr_bits = bits_for(self.counters.len() as u64);
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut evaluated = 0u32;
+            let mut member = true;
+            for &p in plan.probes() {
+                let p = p as usize;
+                touches.touch(self.word_of(p));
+                evaluated += 1;
+                if !self.counters.is_set(p) {
+                    member = false;
+                    break;
+                }
+            }
+            hits.push(member);
+            total = total.add(OpCost {
+                word_accesses: touches.count(),
+                hash_bits: evaluated * addr_bits,
+            });
+        }
+        (hits, total)
+    }
+
+    /// Pipelined batch insert: increments are applied strictly in key
+    /// order, so the counter array ends bit-identical to a scalar loop.
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let addr_bits = bits_for(self.counters.len() as u64);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            for &p in plan.probes() {
+                let p = p as usize;
+                touches.touch(self.word_of(p));
+                self.counters.increment(p);
+            }
+            self.items += 1;
+            total = total.add(OpCost {
+                word_accesses: touches.count(),
+                hash_bits: self.k * addr_bits,
+            });
+            results.push(Ok(()));
+        }
+        (results, total)
+    }
 }
 
 impl<H: Hasher128> CountingFilter for Cbf<H> {
@@ -222,6 +303,41 @@ impl<H: Hasher128> CountingFilter for Cbf<H> {
             word_accesses: touches.count(),
             hash_bits: self.k * addr_bits,
         })
+    }
+
+    /// Pipelined batch remove: each key runs the same unmetered presence
+    /// pass as the scalar path, then the metered decrements — applied in
+    /// key order, so an absent key leaves the counters untouched and later
+    /// keys in the batch see every earlier key's decrements.
+    fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let addr_bits = bits_for(self.counters.len() as u64);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            if plan
+                .probes()
+                .iter()
+                .any(|&p| !self.counters.is_set(p as usize))
+            {
+                results.push(Err(FilterError::NotPresent));
+                continue;
+            }
+            let mut touches = WordTouches::new();
+            for &p in plan.probes() {
+                let p = p as usize;
+                touches.touch(self.word_of(p));
+                self.counters.decrement(p);
+            }
+            self.items = self.items.saturating_sub(1);
+            total = total.add(OpCost {
+                word_accesses: touches.count(),
+                hash_bits: self.k * addr_bits,
+            });
+            results.push(Ok(()));
+        }
+        (results, total)
     }
 }
 
@@ -320,6 +436,40 @@ mod tests {
             (rate - analytic).abs() < 0.5 * analytic + 1e-3,
             "measured {rate}, analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_including_removes() {
+        let mut batch = C::new(20_000, 3, 8);
+        let mut scalar = C::new(20_000, 3, 8);
+        let keys: Vec<Vec<u8>> = (0..200u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+        let (_, bi) = batch.insert_batch_cost(&views);
+        let mut si = OpCost::zero();
+        for k in &views {
+            si = si.add(scalar.insert_bytes_cost(k).unwrap());
+        }
+        assert_eq!(bi, si);
+
+        // Remove a mix of present and absent keys (absent ones report
+        // NotPresent and no cost on both paths).
+        let mixed: Vec<Vec<u8>> = (100..300u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mixed_views: Vec<&[u8]> = mixed.iter().map(|k| k.as_slice()).collect();
+        let (batch_res, br) = batch.remove_batch_cost(&mixed_views);
+        let mut sr = OpCost::zero();
+        for (i, k) in mixed_views.iter().enumerate() {
+            match scalar.remove_bytes_cost(k) {
+                Ok(c) => {
+                    sr = sr.add(c);
+                    assert_eq!(batch_res[i], Ok(()));
+                }
+                Err(e) => assert_eq!(batch_res[i], Err(e)),
+            }
+        }
+        assert_eq!(br, sr);
+        assert_eq!(batch.raw_parts().0, scalar.raw_parts().0);
+        assert_eq!(batch.items(), scalar.items());
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl std::fmt::Display for CodecError {
             CodecError::UnknownKind(k) => write!(f, "unknown filter kind {k}"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             CodecError::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#10x}, computed {computed:#10x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#10x}, computed {computed:#10x}"
+                )
             }
             CodecError::BadHeader(what) => write!(f, "invalid header field: {what}"),
         }
@@ -220,7 +223,16 @@ impl<H: Hasher128> Cbf<H> {
         let limb_count = (len * width as usize).div_ceil(64);
         let limbs = r.limbs(limb_count)?;
         r.expect_end()?;
-        Ok(Self::from_raw_parts(limbs, len, width, saturations, k, seed, word_bits, items))
+        Ok(Self::from_raw_parts(
+            limbs,
+            len,
+            width,
+            saturations,
+            k,
+            seed,
+            word_bits,
+            items,
+        ))
     }
 }
 
@@ -313,7 +325,11 @@ mod tests {
         let original = loaded_cbf();
         let decoded = Cbf::<Murmur3>::decode(&original.encode()).unwrap();
         for probe in 0..20_000u64 {
-            assert_eq!(original.contains(&probe), decoded.contains(&probe), "probe {probe}");
+            assert_eq!(
+                original.contains(&probe),
+                decoded.contains(&probe),
+                "probe {probe}"
+            );
         }
         assert_eq!(original.items(), decoded.items());
         // The decoded filter keeps working: delete + re-query.
@@ -326,7 +342,11 @@ mod tests {
         let original = loaded_mpcbf();
         let decoded = Mpcbf::<u64, Murmur3>::decode(&original.encode()).unwrap();
         for probe in 0..20_000u64 {
-            assert_eq!(original.contains(&probe), decoded.contains(&probe), "probe {probe}");
+            assert_eq!(
+                original.contains(&probe),
+                decoded.contains(&probe),
+                "probe {probe}"
+            );
         }
         assert_eq!(original.shape(), decoded.shape());
         assert_eq!(original.items(), decoded.items());
@@ -352,7 +372,10 @@ mod tests {
     fn truncation_is_detected() {
         let image = loaded_cbf().encode();
         for cut in [0usize, 3, 9, image.len() - 5] {
-            assert!(Cbf::<Murmur3>::decode(&image[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                Cbf::<Murmur3>::decode(&image[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
@@ -418,7 +441,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = CodecError::ChecksumMismatch { stored: 1, computed: 2 };
+        let e = CodecError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
         assert!(e.to_string().contains("checksum"));
         assert!(CodecError::BadMagic.to_string().contains("magic"));
     }

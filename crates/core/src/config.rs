@@ -220,7 +220,11 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let b = || MpcbfConfig::builder().memory_bits(4_000_000).expected_items(100_000);
+        let b = || {
+            MpcbfConfig::builder()
+                .memory_bits(4_000_000)
+                .expected_items(100_000)
+        };
         assert!(matches!(
             b().expected_items(0).build(),
             Err(ConfigError::ZeroItems)

@@ -74,7 +74,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "hash count {k} out of supported range 1..=64")
             }
             ConfigError::BadAccessCount { g } => {
-                write!(f, "access count g = {g} must satisfy 1 <= g <= k and g <= 8")
+                write!(
+                    f,
+                    "access count g = {g} must satisfy 1 <= g <= k and g <= 8"
+                )
             }
             ConfigError::Shape(e) => write!(f, "infeasible MPCBF shape: {e}"),
         }
@@ -102,7 +105,9 @@ mod tests {
 
     #[test]
     fn display_messages_render() {
-        assert!(FilterError::WordOverflow { word: 3 }.to_string().contains('3'));
+        assert!(FilterError::WordOverflow { word: 3 }
+            .to_string()
+            .contains('3'));
         assert!(FilterError::NotPresent.to_string().contains("not present"));
         assert!(ConfigError::ZeroItems.to_string().contains("positive"));
         assert!(ConfigError::BadHashCount { k: 0 }.to_string().contains('0'));

@@ -210,6 +210,64 @@ impl<W: Word> HcbfWord<W> {
         }
     }
 
+    /// Batched membership for one word: checks the first-level positions
+    /// in `probes` in order, stopping at the first zero (the scalar query
+    /// short-circuit). Returns the verdict and how many positions were
+    /// evaluated, for bandwidth metering.
+    #[inline]
+    pub fn query_all(&self, probes: &[u32]) -> (bool, u32) {
+        let mut evaluated = 0u32;
+        for &p in probes {
+            evaluated += 1;
+            if !self.query(p) {
+                return (false, evaluated);
+            }
+        }
+        (true, evaluated)
+    }
+
+    /// Applies [`HcbfWord::increment`] to every position in order,
+    /// all-or-nothing: on the first overflow the word is rolled back to
+    /// its state before this call and the error returned. On success,
+    /// returns the summed traversal bits of all increments.
+    pub fn increment_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, FilterError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.increment(p, b1) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.decrement(q, b1)
+                            .expect("rollback of a fresh increment cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
+    /// Applies [`HcbfWord::decrement`] to every position in order,
+    /// all-or-nothing: on the first zero counter the word is rolled back
+    /// and [`FilterError::NotPresent`] returned. On success, returns the
+    /// summed traversal bits of all decrements.
+    pub fn decrement_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, FilterError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.decrement(p, b1) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.increment(q, b1)
+                            .expect("rollback of a fresh decrement cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
     /// The sizes of all non-empty levels, starting with `b1`.
     pub fn level_sizes(&self, b1: u32) -> Vec<u32> {
         let mut sizes = vec![b1];
@@ -315,7 +373,11 @@ mod tests {
         for &p in positions.iter().rev() {
             snapshots.pop();
             w.decrement(p, 40).unwrap();
-            assert_eq!(w.raw(), snapshots.last().unwrap(), "mismatch after removing {p}");
+            assert_eq!(
+                w.raw(),
+                snapshots.last().unwrap(),
+                "mismatch after removing {p}"
+            );
             assert!(w.check_invariants(40).is_ok());
         }
         assert!(w.is_empty());
@@ -454,6 +516,65 @@ mod tests {
             let expect = if p == 4 { 5 } else { 1 };
             assert_eq!(w.counter(p, 40), expect, "counter {p} after decrement");
         }
+    }
+
+    #[test]
+    fn query_all_short_circuits_like_scalar() {
+        let mut w = H64::new();
+        for p in [2u32, 4, 9] {
+            w.increment(p, 40).unwrap();
+        }
+        assert_eq!(w.query_all(&[2, 4, 9]), (true, 3));
+        assert_eq!(w.query_all(&[2, 5, 9]), (false, 2)); // stops at the zero
+        assert_eq!(w.query_all(&[7]), (false, 1));
+        assert_eq!(w.query_all(&[]), (true, 0));
+    }
+
+    #[test]
+    fn increment_all_matches_sequential_increments() {
+        let mut batch = H64::new();
+        let mut scalar = H64::new();
+        let probes = [3u32, 3, 17, 0];
+        let mut expect_bits = 0;
+        for &p in &probes {
+            expect_bits += scalar.increment(p, 40).unwrap().traversal_bits;
+        }
+        assert_eq!(batch.increment_all(&probes, 40).unwrap(), expect_bits);
+        assert_eq!(batch.raw(), scalar.raw());
+    }
+
+    #[test]
+    fn increment_all_rolls_back_on_overflow() {
+        let b1 = 10;
+        let mut w = H16::new();
+        for _ in 0..4 {
+            w.increment(0, b1).unwrap();
+        }
+        let before = *w.raw();
+        // Capacity is 6; 3 more increments cannot all fit.
+        assert!(matches!(
+            w.increment_all(&[1, 2, 3], b1),
+            Err(FilterError::WordOverflow { .. })
+        ));
+        assert_eq!(*w.raw(), before, "failed batch must not mutate");
+    }
+
+    #[test]
+    fn decrement_all_mirrors_and_rolls_back() {
+        let mut w = H64::new();
+        for p in [5u32, 5, 8] {
+            w.increment(p, 40).unwrap();
+        }
+        let before = *w.raw();
+        // Position 9 is empty: the whole batch must be undone.
+        assert_eq!(
+            w.decrement_all(&[5, 8, 9], 40),
+            Err(FilterError::NotPresent)
+        );
+        assert_eq!(*w.raw(), before);
+        // A valid batch drains exactly the inserted multiset.
+        w.decrement_all(&[5, 5, 8], 40).unwrap();
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -35,7 +35,11 @@
 //! assert!(!filter.contains(&"alice"));
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the `_mm_prefetch` cache hint inside
+// `plan::prefetch_read`, compiled solely under the opt-in `prefetch`
+// feature; portable builds keep the blanket forbid.
+#![cfg_attr(not(feature = "prefetch"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prefetch", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod bf1;
@@ -48,6 +52,7 @@ pub mod hcbf;
 pub mod metrics;
 pub mod mpcbf;
 pub mod pcbf;
+pub mod plan;
 pub mod traits;
 
 pub use codec::CodecError;
@@ -61,6 +66,7 @@ pub use hcbf::HcbfWord;
 pub use metrics::{AccessStats, OpCost, OpTally};
 pub use mpcbf::{Mpcbf, Mpcbf1};
 pub use pcbf::Pcbf;
+pub use plan::{prefetch_read, ProbePlan};
 pub use traits::{CountingFilter, Filter};
 
 /// Salt for the word-selector hash stream (`H_1..H_g` in the paper).
@@ -95,6 +101,7 @@ pub mod prelude {
     pub use crate::metrics::{AccessStats, OpCost};
     pub use crate::mpcbf::{Mpcbf, Mpcbf1};
     pub use crate::pcbf::Pcbf;
+    pub use crate::plan::ProbePlan;
     pub use crate::traits::{CountingFilter, Filter};
 }
 

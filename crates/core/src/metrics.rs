@@ -36,6 +36,16 @@ impl OpCost {
             hash_bits: self.hash_bits + other.hash_bits,
         }
     }
+
+    /// Folds per-key costs into one batch total.
+    ///
+    /// Batch operations report a single summed [`OpCost`]; this is the
+    /// canonical fold so every batch path aggregates identically to a
+    /// scalar loop calling [`OpCost::add`] per key.
+    #[inline]
+    pub fn accumulate<I: IntoIterator<Item = OpCost>>(costs: I) -> OpCost {
+        costs.into_iter().fold(OpCost::zero(), OpCost::add)
+    }
 }
 
 /// Running totals for one kind of operation.
@@ -136,7 +146,10 @@ impl WordTouches {
     /// An empty tracker.
     #[inline]
     pub fn new() -> Self {
-        WordTouches { seen: [0; 64], len: 0 }
+        WordTouches {
+            seen: [0; 64],
+            len: 0,
+        }
     }
 
     /// Records a touch of `word`; duplicate touches are free (a word
@@ -173,17 +186,61 @@ mod tests {
 
     #[test]
     fn op_cost_adds() {
-        let a = OpCost { word_accesses: 1, hash_bits: 22 };
-        let b = OpCost { word_accesses: 2, hash_bits: 10 };
-        assert_eq!(a.add(b), OpCost { word_accesses: 3, hash_bits: 32 });
+        let a = OpCost {
+            word_accesses: 1,
+            hash_bits: 22,
+        };
+        let b = OpCost {
+            word_accesses: 2,
+            hash_bits: 10,
+        };
+        assert_eq!(
+            a.add(b),
+            OpCost {
+                word_accesses: 3,
+                hash_bits: 32
+            }
+        );
         assert_eq!(OpCost::zero().add(a), a);
+    }
+
+    #[test]
+    fn op_cost_accumulates() {
+        let costs = [
+            OpCost {
+                word_accesses: 1,
+                hash_bits: 22,
+            },
+            OpCost {
+                word_accesses: 2,
+                hash_bits: 10,
+            },
+            OpCost {
+                word_accesses: 4,
+                hash_bits: 8,
+            },
+        ];
+        assert_eq!(
+            OpCost::accumulate(costs),
+            OpCost {
+                word_accesses: 7,
+                hash_bits: 40
+            }
+        );
+        assert_eq!(OpCost::accumulate(std::iter::empty()), OpCost::zero());
     }
 
     #[test]
     fn tally_means() {
         let mut t = OpTally::default();
-        t.record(OpCost { word_accesses: 1, hash_bits: 30 });
-        t.record(OpCost { word_accesses: 3, hash_bits: 50 });
+        t.record(OpCost {
+            word_accesses: 1,
+            hash_bits: 30,
+        });
+        t.record(OpCost {
+            word_accesses: 3,
+            hash_bits: 50,
+        });
         assert_eq!(t.ops(), 2);
         assert!((t.mean_accesses() - 2.0).abs() < 1e-12);
         assert!((t.mean_hash_bits() - 40.0).abs() < 1e-12);
@@ -199,8 +256,14 @@ mod tests {
     #[test]
     fn updates_combines_inserts_and_removes() {
         let mut s = AccessStats::new();
-        s.inserts.record(OpCost { word_accesses: 1, hash_bits: 10 });
-        s.removes.record(OpCost { word_accesses: 3, hash_bits: 20 });
+        s.inserts.record(OpCost {
+            word_accesses: 1,
+            hash_bits: 10,
+        });
+        s.removes.record(OpCost {
+            word_accesses: 3,
+            hash_bits: 20,
+        });
         let u = s.updates();
         assert_eq!(u.ops(), 2);
         assert!((u.mean_accesses() - 2.0).abs() < 1e-12);
@@ -229,9 +292,15 @@ mod tests {
     #[test]
     fn stats_merge() {
         let mut a = AccessStats::new();
-        a.queries.record(OpCost { word_accesses: 1, hash_bits: 1 });
+        a.queries.record(OpCost {
+            word_accesses: 1,
+            hash_bits: 1,
+        });
         let mut b = AccessStats::new();
-        b.queries.record(OpCost { word_accesses: 3, hash_bits: 3 });
+        b.queries.record(OpCost {
+            word_accesses: 3,
+            hash_bits: 3,
+        });
         a.merge(&b);
         assert_eq!(a.queries.ops(), 2);
         assert!((a.queries.mean_accesses() - 2.0).abs() < 1e-12);

@@ -21,6 +21,7 @@
 use crate::config::MpcbfConfig;
 use crate::hcbf::HcbfWord;
 use crate::metrics::{OpCost, WordTouches};
+use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_analysis::heuristic::MpcbfShape;
@@ -150,8 +151,14 @@ impl<W: Word, H: Hasher128> Mpcbf<W, H> {
     /// Fails with [`FilterError::WordOverflow`] — *without modifying
     /// `self`* — if any merged word would exceed its capacity.
     pub fn absorb(&mut self, other: &Self) -> Result<(), FilterError> {
-        assert_eq!(self.shape, other.shape, "cannot merge differently-shaped filters");
-        assert_eq!(self.seed, other.seed, "cannot merge differently-seeded filters");
+        assert_eq!(
+            self.shape, other.shape,
+            "cannot merge differently-shaped filters"
+        );
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge differently-seeded filters"
+        );
         let b1 = self.shape.b1;
         // Pre-check: every word must have room for the other's increments.
         for (i, (mine, theirs)) in self.words.iter().zip(&other.words).enumerate() {
@@ -209,6 +216,32 @@ impl<W: Word, H: Hasher128> Mpcbf<W, H> {
             word_accesses: touches.count(),
             hash_bits: words_eval * bits_for(self.shape.l)
                 + pos_eval * bits_for(u64::from(self.shape.b1)),
+        }
+    }
+
+    /// Stage 1 of the batch pipeline: hash every key into a partitioned
+    /// [`ProbePlan`] — the same word-selector and per-group streams as
+    /// [`Mpcbf::for_each_position`].
+    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
+        keys.iter()
+            .map(|key| {
+                ProbePlan::partitioned(
+                    H::hash128(self.seed, key),
+                    self.shape.l,
+                    self.shape.k,
+                    self.shape.g,
+                    u64::from(self.shape.b1),
+                )
+            })
+            .collect()
+    }
+
+    /// Stage 2: request every planned HCBF word before probing starts.
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        for plan in plans {
+            for &word in plan.words() {
+                prefetch_read(&self.words[word as usize]);
+            }
         }
     }
 }
@@ -272,6 +305,85 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
     fn num_hashes(&self) -> u32 {
         self.shape.k
     }
+
+    /// Pipelined batch query: hash all keys, prefetch every planned HCBF
+    /// word, then probe group by group via [`HcbfWord::query_all`] —
+    /// replaying the scalar evaluation order and short-circuit accounting.
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut words_eval = 0u32;
+            let mut pos_eval = 0u32;
+            let mut member = true;
+            for (word, probes) in plan.groups() {
+                words_eval += 1;
+                touches.touch(word);
+                let (all_set, evaluated) = self.words[word].query_all(probes);
+                pos_eval += evaluated;
+                if !all_set {
+                    member = false;
+                    break;
+                }
+            }
+            hits.push(member);
+            total = total.add(self.base_cost(words_eval, pos_eval, &touches));
+        }
+        (hits, total)
+    }
+
+    /// Pipelined batch insert: keys are applied strictly in order via
+    /// [`HcbfWord::increment_all`] per group; a word overflow rolls back
+    /// that key's earlier groups (the HCBF encoding is canonical in the
+    /// counter multiset, so the filter is left bit-identical to never
+    /// having attempted the key) and is reported per key.
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let b1 = self.shape.b1;
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut traversal_bits = 0u32;
+            let mut failed: Option<usize> = None;
+            let mut applied_groups = 0usize;
+            for (word, probes) in plan.groups() {
+                touches.touch(word);
+                match self.words[word].increment_all(probes, b1) {
+                    Ok(bits) => {
+                        traversal_bits += bits;
+                        applied_groups += 1;
+                    }
+                    Err(FilterError::WordOverflow { .. }) => {
+                        failed = Some(word);
+                        break;
+                    }
+                    Err(e) => unreachable!("increment cannot fail with {e:?}"),
+                }
+            }
+            if let Some(word) = failed {
+                let applied: Vec<(usize, &[u32])> = plan.groups().take(applied_groups).collect();
+                for &(rw, probes) in applied.iter().rev() {
+                    self.words[rw]
+                        .decrement_all(probes, b1)
+                        .expect("rollback decrement must succeed");
+                }
+                self.overflows += 1;
+                results.push(Err(FilterError::WordOverflow { word }));
+                continue;
+            }
+            self.items += 1;
+            let mut cost = self.base_cost(self.shape.g, self.shape.k, &touches);
+            cost.hash_bits += traversal_bits;
+            total = total.add(cost);
+            results.push(Ok(()));
+        }
+        (results, total)
+    }
 }
 
 impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
@@ -307,6 +419,54 @@ impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
         let mut cost = self.base_cost(we, pe, &touches);
         cost.hash_bits += traversal_bits;
         Ok(cost)
+    }
+
+    /// Pipelined batch remove: the mirror of the batch insert — keys are
+    /// drained strictly in order via [`HcbfWord::decrement_all`] per
+    /// group, with a [`FilterError::NotPresent`] rolling back that key's
+    /// earlier groups and costing nothing, exactly like the scalar path.
+    fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let b1 = self.shape.b1;
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut traversal_bits = 0u32;
+            let mut failed = false;
+            let mut applied_groups = 0usize;
+            for (word, probes) in plan.groups() {
+                touches.touch(word);
+                match self.words[word].decrement_all(probes, b1) {
+                    Ok(bits) => {
+                        traversal_bits += bits;
+                        applied_groups += 1;
+                    }
+                    Err(FilterError::NotPresent) => {
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => unreachable!("decrement cannot fail with {e:?}"),
+                }
+            }
+            if failed {
+                let applied: Vec<(usize, &[u32])> = plan.groups().take(applied_groups).collect();
+                for &(rw, probes) in applied.iter().rev() {
+                    self.words[rw]
+                        .increment_all(probes, b1)
+                        .expect("rollback increment must succeed");
+                }
+                results.push(Err(FilterError::NotPresent));
+                continue;
+            }
+            self.items = self.items.saturating_sub(1);
+            let mut cost = self.base_cost(self.shape.g, self.shape.k, &touches);
+            cost.hash_bits += traversal_bits;
+            total = total.add(cost);
+            results.push(Ok(()));
+        }
+        (results, total)
     }
 }
 
@@ -388,7 +548,10 @@ mod tests {
             f.remove(&i).unwrap();
         }
         assert_eq!(f.items(), 0);
-        assert!(f.word_loads().iter().all(|&c| c == 0), "filter must be empty");
+        assert!(
+            f.word_loads().iter().all(|&c| c == 0),
+            "filter must be empty"
+        );
     }
 
     #[test]
@@ -418,7 +581,12 @@ mod tests {
         // Insert the same key repeatedly: later increments must descend.
         let c1 = f.insert_bytes_cost(b"dup").unwrap();
         let c2 = f.insert_bytes_cost(b"dup").unwrap();
-        assert!(c2.hash_bits > c1.hash_bits, "{} vs {}", c2.hash_bits, c1.hash_bits);
+        assert!(
+            c2.hash_bits > c1.hash_bits,
+            "{} vs {}",
+            c2.hash_bits,
+            c1.hash_bits
+        );
     }
 
     #[test]
@@ -644,6 +812,86 @@ mod tests {
             }
             Err(e) => panic!("unexpected {e}"),
         }
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_for_all_ops() {
+        for g in [1u32, 2] {
+            let mut batch = small(g);
+            let mut scalar = small(g);
+            let keys: Vec<Vec<u8>> = (0..2_000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+            let (_, bi) = batch.insert_batch_cost(&views);
+            let mut si = OpCost::zero();
+            for k in &views {
+                si = si.add(scalar.insert_bytes_cost(k).unwrap());
+            }
+            assert_eq!(bi, si, "g={g}");
+            assert_eq!(batch.raw_words(), scalar.raw_words(), "g={g}");
+
+            let probes: Vec<Vec<u8>> = (1_000..4_000u64)
+                .map(|i| i.to_le_bytes().to_vec())
+                .collect();
+            let probe_views: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let (bh, bq) = batch.contains_batch_cost(&probe_views);
+            let mut sq = OpCost::zero();
+            for (i, k) in probe_views.iter().enumerate() {
+                let (hit, cost) = scalar.contains_bytes_cost(k);
+                assert_eq!(hit, bh[i], "g={g} key {i}");
+                sq = sq.add(cost);
+            }
+            assert_eq!(bq, sq, "g={g}");
+
+            // Remove a mix of present and absent keys.
+            let (br_res, br) = batch.remove_batch_cost(&probe_views);
+            let mut sr = OpCost::zero();
+            for (i, k) in probe_views.iter().enumerate() {
+                match scalar.remove_bytes_cost(k) {
+                    Ok(c) => {
+                        sr = sr.add(c);
+                        assert_eq!(br_res[i], Ok(()), "g={g} key {i}");
+                    }
+                    Err(e) => assert_eq!(br_res[i], Err(e), "g={g} key {i}"),
+                }
+            }
+            assert_eq!(br, sr, "g={g}");
+            assert_eq!(batch.raw_words(), scalar.raw_words(), "g={g}");
+            assert_eq!(batch.items(), scalar.items(), "g={g}");
+        }
+    }
+
+    #[test]
+    fn batch_insert_overflow_matches_scalar() {
+        let cfg = || {
+            MpcbfConfig::builder()
+                .memory_bits(256) // 4 tiny words: overflows guaranteed
+                .expected_items(1000)
+                .hashes(3)
+                .n_max(1)
+                .seed(5)
+                .build()
+                .unwrap()
+        };
+        let mut batch: Mpcbf<u64> = Mpcbf::new(cfg());
+        let mut scalar: Mpcbf<u64> = Mpcbf::new(cfg());
+        let keys: Vec<Vec<u8>> = (0..100u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let (batch_res, bi) = batch.insert_batch_cost(&views);
+        let mut si = OpCost::zero();
+        for (i, k) in views.iter().enumerate() {
+            match scalar.insert_bytes_cost(k) {
+                Ok(c) => {
+                    si = si.add(c);
+                    assert_eq!(batch_res[i], Ok(()), "key {i}");
+                }
+                Err(e) => assert_eq!(batch_res[i], Err(e), "key {i}"),
+            }
+        }
+        assert_eq!(bi, si);
+        assert_eq!(batch.raw_words(), scalar.raw_words());
+        assert_eq!(batch.overflows(), scalar.overflows());
+        assert_eq!(batch.items(), scalar.items());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! penalty.
 
 use crate::metrics::{OpCost, WordTouches};
+use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::CounterVec;
@@ -52,7 +53,10 @@ impl<H: Hasher128> Pcbf<H> {
     /// `1 ≤ g ≤ k ≤ 64` and `g ≤ 8`.
     pub fn new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Self {
         assert!(l >= 2, "need at least two words");
-        assert!((16..=512).contains(&w) && w.is_multiple_of(4), "bad word size {w}");
+        assert!(
+            (16..=512).contains(&w) && w.is_multiple_of(4),
+            "bad word size {w}"
+        );
         assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
         assert!(g >= 1 && g <= k && g <= 8, "bad g = {g} for k = {k}");
         let cpw = w / 4;
@@ -108,11 +112,7 @@ impl<H: Hasher128> Pcbf<H> {
     /// Visits each hashed (word, counter-index) pair; `visit` returns
     /// `false` to short-circuit. Returns (words evaluated, slots evaluated).
     #[inline]
-    fn for_each_slot(
-        &self,
-        key: &[u8],
-        mut visit: impl FnMut(usize, usize) -> bool,
-    ) -> (u32, u32) {
+    fn for_each_slot(&self, key: &[u8], mut visit: impl FnMut(usize, usize) -> bool) -> (u32, u32) {
         let digest = H::hash128(self.seed, key);
         let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, self.l as u64);
         let mut words_eval = 0u32;
@@ -144,6 +144,40 @@ impl<H: Hasher128> Pcbf<H> {
             hash_bits: words_eval * bits_for(self.l as u64)
                 + slots_eval * bits_for(u64::from(self.counters_per_word)),
         }
+    }
+
+    /// Stage 1 of the batch pipeline: hash every key into a partitioned
+    /// [`ProbePlan`] (word selector over `l`, per-group slot streams over
+    /// `w/4` counters — the same streams as [`Pcbf::for_each_slot`]).
+    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
+        keys.iter()
+            .map(|key| {
+                ProbePlan::partitioned(
+                    H::hash128(self.seed, key),
+                    self.l as u64,
+                    self.k,
+                    self.g,
+                    u64::from(self.counters_per_word),
+                )
+            })
+            .collect()
+    }
+
+    /// Stage 2: request the first limb of every planned word.
+    fn prefetch_batch(&self, plans: &[ProbePlan]) {
+        let limbs = self.counters.raw_limbs();
+        let w = self.w as usize;
+        for plan in plans {
+            for &word in plan.words() {
+                prefetch_read(&limbs[word as usize * w / 64]);
+            }
+        }
+    }
+
+    /// Global counter index of `slot` within `word`.
+    #[inline]
+    fn slot_index(&self, word: usize, slot: u32) -> usize {
+        word * self.counters_per_word as usize + slot as usize
     }
 }
 
@@ -187,6 +221,56 @@ impl<H: Hasher128> Filter for Pcbf<H> {
     fn num_hashes(&self) -> u32 {
         self.k
     }
+
+    /// Pipelined batch query: hash all, prefetch all planned words, then
+    /// probe in scalar order with identical short-circuit accounting.
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            let mut words_eval = 0u32;
+            let mut slots_eval = 0u32;
+            let mut member = true;
+            'groups: for (word, probes) in plan.groups() {
+                words_eval += 1;
+                for &slot in probes {
+                    slots_eval += 1;
+                    touches.touch(word);
+                    if !self.counters.is_set(self.slot_index(word, slot)) {
+                        member = false;
+                        break 'groups;
+                    }
+                }
+            }
+            hits.push(member);
+            total = total.add(self.cost(words_eval, slots_eval, &touches));
+        }
+        (hits, total)
+    }
+
+    /// Pipelined batch insert: increments applied strictly in key order.
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let mut touches = WordTouches::new();
+            for (word, probes) in plan.groups() {
+                for &slot in probes {
+                    touches.touch(word);
+                    self.counters.increment(self.slot_index(word, slot));
+                }
+            }
+            self.items += 1;
+            total = total.add(self.cost(self.g, self.k, &touches));
+            results.push(Ok(()));
+        }
+        (results, total)
+    }
 }
 
 impl<H: Hasher128> CountingFilter for Pcbf<H> {
@@ -218,6 +302,37 @@ impl<H: Hasher128> CountingFilter for Pcbf<H> {
         }
         self.items = self.items.saturating_sub(1);
         Ok(self.cost(we, se, &touches))
+    }
+
+    /// Pipelined batch remove: per key, the same unmetered presence pass
+    /// as the scalar path, then metered decrements in key order.
+    fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let plans = self.plan_batch(keys);
+        self.prefetch_batch(&plans);
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for plan in &plans {
+            let present = plan.groups().all(|(word, probes)| {
+                probes
+                    .iter()
+                    .all(|&slot| self.counters.is_set(self.slot_index(word, slot)))
+            });
+            if !present {
+                results.push(Err(FilterError::NotPresent));
+                continue;
+            }
+            let mut touches = WordTouches::new();
+            for (word, probes) in plan.groups() {
+                for &slot in probes {
+                    touches.touch(word);
+                    self.counters.decrement(self.slot_index(word, slot));
+                }
+            }
+            self.items = self.items.saturating_sub(1);
+            total = total.add(self.cost(self.g, self.k, &touches));
+            results.push(Ok(()));
+        }
+        (results, total)
     }
 }
 
@@ -293,6 +408,39 @@ mod tests {
     fn memory_is_l_times_w() {
         let f = Pcbf::<Murmur3>::pcbf1(1000, 64, 3, 0);
         assert_eq!(f.memory_bits(), 64_000);
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_including_removes() {
+        for g in [1u32, 2] {
+            let mut batch = Pcbf::<Murmur3>::new(4096, 64, 3, g, 17);
+            let mut scalar = Pcbf::<Murmur3>::new(4096, 64, 3, g, 17);
+            let keys: Vec<Vec<u8>> = (0..300u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+            let (_, bi) = batch.insert_batch_cost(&views);
+            let mut si = OpCost::zero();
+            for k in &views {
+                si = si.add(scalar.insert_bytes_cost(k).unwrap());
+            }
+            assert_eq!(bi, si, "g={g}");
+
+            let mixed: Vec<Vec<u8>> = (150..450u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let mixed_views: Vec<&[u8]> = mixed.iter().map(|k| k.as_slice()).collect();
+            let (batch_res, br) = batch.remove_batch_cost(&mixed_views);
+            let mut sr = OpCost::zero();
+            for (i, k) in mixed_views.iter().enumerate() {
+                match scalar.remove_bytes_cost(k) {
+                    Ok(c) => {
+                        sr = sr.add(c);
+                        assert_eq!(batch_res[i], Ok(()), "g={g} key {i}");
+                    }
+                    Err(e) => assert_eq!(batch_res[i], Err(e), "g={g} key {i}"),
+                }
+            }
+            assert_eq!(br, sr, "g={g}");
+            assert_eq!(batch.items(), scalar.items(), "g={g}");
+        }
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Probe planning: the hash stage of the batch pipeline.
+//!
+//! Scalar filter operations interleave hashing and probing per key. The
+//! batch pipeline splits them: a [`ProbePlan`] is the fully materialised
+//! hash stage of one key — every target word and every in-word position —
+//! computed up front so a batch can (1) hash all keys, (2) prefetch all
+//! target words, (3) probe all keys, without a hash computation stalling
+//! between dependent memory accesses.
+//!
+//! Two shapes cover every filter in the workspace:
+//!
+//! * [`ProbePlan::partitioned`] — the §III layout shared by BF-g, PCBF-g
+//!   and MPCBF-g: a word-selector stream (`WORD_SALT`) picks `g`
+//!   words out of `l`, and per word `t` an independent salted stream
+//!   (`GROUP_SALT ^ t`) yields that group's in-word positions,
+//!   with the `k` hashes spread over groups by `split_hashes`.
+//! * [`ProbePlan::flat`] — the classic unpartitioned layout of Bloom/CBF:
+//!   one unsalted double-hashing stream over the whole array.
+//!
+//! Plans cost pure hashing; the paper's access-bandwidth metering charges
+//! only *evaluated* address bits, so planning eagerly does not change any
+//! reported [`OpCost`](crate::OpCost) — the probe stage replays the plan
+//! in exactly the scalar order, including query short-circuiting.
+
+use crate::{split_hashes, GROUP_SALT, WORD_SALT};
+use mpcbf_hash::DoubleHasher;
+
+/// Upper bound on probe groups per plan (`g ≤ k ≤ 64`).
+pub const MAX_GROUPS: usize = 64;
+
+/// Upper bound on total probes per plan (`k ≤ 64`).
+pub const MAX_PROBES: usize = 64;
+
+/// The precomputed probe targets of one key: the hash stage of the batch
+/// pipeline, separated from the probe stage.
+///
+/// A plan is a flat fixed-size value (no heap), so a batch of plans is one
+/// contiguous allocation the probe stage streams through.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbePlan {
+    /// Target word per group (partitioned plans); unused for flat plans.
+    words: [u32; MAX_GROUPS],
+    /// Probe count per group; group `t`'s probes are the next
+    /// `group_len[t]` entries of `slots`.
+    group_len: [u8; MAX_GROUPS],
+    groups: u8,
+    /// In-word positions (partitioned) or global positions (flat), in
+    /// exactly the order the scalar path would evaluate them.
+    slots: [u32; MAX_PROBES],
+    probes: u8,
+}
+
+impl ProbePlan {
+    /// Plans a key for the partitioned layout: `g` words drawn from
+    /// `[0, l)` by the `WORD_SALT`-salted selector stream, and
+    /// per group `t` the `split_hashes(k, g, t)` positions in
+    /// `[0, inner_range)` drawn from the `GROUP_SALT ^ t` stream.
+    ///
+    /// This is bit-for-bit the hashing of the scalar `for_each_position`
+    /// walks in `BfG`, `Pcbf` and `Mpcbf`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > 64`, `g == 0` or `g > k`.
+    pub fn partitioned(digest: u128, l: u64, k: u32, g: u32, inner_range: u64) -> Self {
+        assert!(k >= 1 && k <= MAX_PROBES as u32, "k = {k} out of 1..=64");
+        assert!(g >= 1 && g <= k, "g = {g} out of 1..=k");
+        assert!(l <= 1 << 32, "word count {l} exceeds u32 plan entries");
+        assert!(
+            inner_range <= 1 << 32,
+            "inner range {inner_range} exceeds u32 plan entries"
+        );
+        let mut plan = ProbePlan {
+            words: [0; MAX_GROUPS],
+            group_len: [0; MAX_GROUPS],
+            groups: g as u8,
+            slots: [0; MAX_PROBES],
+            probes: 0,
+        };
+        let mut word_picker = DoubleHasher::with_salt(digest, WORD_SALT, l);
+        for t in 0..g {
+            plan.words[t as usize] = word_picker.next_index() as u32;
+            let k_t = split_hashes(k, g, t);
+            plan.group_len[t as usize] = k_t as u8;
+            let mut inner = DoubleHasher::with_salt(digest, GROUP_SALT ^ u64::from(t), inner_range);
+            for _ in 0..k_t {
+                plan.slots[plan.probes as usize] = inner.next_index() as u32;
+                plan.probes += 1;
+            }
+        }
+        plan
+    }
+
+    /// Plans a key for the flat layout: `k` positions in `[0, range)` from
+    /// the unsalted double-hashing stream — the hashing of `BloomFilter`
+    /// and `Cbf`.
+    ///
+    /// Flat plans have no groups; [`ProbePlan::probes`] is the whole plan.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > 64` or `range > u32::MAX + 1`.
+    pub fn flat(digest: u128, k: u32, range: u64) -> Self {
+        assert!(k >= 1 && k <= MAX_PROBES as u32, "k = {k} out of 1..=64");
+        assert!(
+            range <= 1 << 32,
+            "flat plan range {range} exceeds u32 positions"
+        );
+        let mut plan = ProbePlan {
+            words: [0; MAX_GROUPS],
+            group_len: [0; MAX_GROUPS],
+            groups: 0,
+            slots: [0; MAX_PROBES],
+            probes: k as u8,
+        };
+        let mut stream = DoubleHasher::new(digest, range);
+        for slot in plan.slots.iter_mut().take(k as usize) {
+            *slot = stream.next_index() as u32;
+        }
+        plan
+    }
+
+    /// Number of probe groups (`g`; 0 for flat plans).
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.groups as usize
+    }
+
+    /// Total probe count (`k`).
+    #[inline]
+    pub fn probe_count(&self) -> u32 {
+        u32::from(self.probes)
+    }
+
+    /// All planned positions in scalar evaluation order. For flat plans
+    /// these are global positions; for partitioned plans, in-word offsets
+    /// concatenated group by group.
+    #[inline]
+    pub fn probes(&self) -> &[u32] {
+        &self.slots[..self.probes as usize]
+    }
+
+    /// The target words of a partitioned plan (empty for flat plans).
+    #[inline]
+    pub fn words(&self) -> &[u32] {
+        &self.words[..self.groups as usize]
+    }
+
+    /// Iterates a partitioned plan's groups as `(word, in-word probes)`,
+    /// in scalar evaluation order.
+    #[inline]
+    pub fn groups(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        let mut cursor = 0usize;
+        (0..self.groups as usize).map(move |t| {
+            let len = self.group_len[t] as usize;
+            let probes = &self.slots[cursor..cursor + len];
+            cursor += len;
+            (self.words[t] as usize, probes)
+        })
+    }
+}
+
+/// Requests a best-effort CPU prefetch of the cache line holding `value`.
+///
+/// The probe stage calls this for every planned target word before any
+/// probing starts, so the loads overlap instead of serialising. With the
+/// `prefetch` feature enabled on x86-64 this lowers to
+/// `core::arch::x86_64::_mm_prefetch` (T0 hint); everywhere else it is a
+/// no-op, so portable builds keep `#![forbid(unsafe_code)]`.
+#[inline]
+pub fn prefetch_read<T>(value: &T) {
+    #[cfg(all(feature = "prefetch", target_arch = "x86_64"))]
+    #[allow(unsafe_code)]
+    // SAFETY: `_mm_prefetch` is a pure cache hint; it dereferences nothing
+    // and is defined for any address, valid or not.
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>((value as *const T).cast::<i8>());
+    }
+    #[cfg(not(all(feature = "prefetch", target_arch = "x86_64")))]
+    let _ = value;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcbf_hash::{Hasher128, Murmur3};
+
+    fn digest(key: u64) -> u128 {
+        Murmur3::hash128(7, &key.to_le_bytes())
+    }
+
+    #[test]
+    fn partitioned_matches_scalar_hashing() {
+        // The plan must replay exactly the word-selector and per-group
+        // streams the scalar for_each_position walks.
+        let (l, k, g, b1) = (4096u64, 3u32, 2u32, 40u64);
+        for key in 0..200u64 {
+            let d = digest(key);
+            let plan = ProbePlan::partitioned(d, l, k, g, b1);
+            assert_eq!(plan.group_count(), g as usize);
+            assert_eq!(plan.probe_count(), k);
+            let mut picker = DoubleHasher::with_salt(d, WORD_SALT, l);
+            let mut seen = 0u32;
+            for (t, (word, probes)) in plan.groups().enumerate() {
+                assert_eq!(word, picker.next_index());
+                let k_t = split_hashes(k, g, t as u32);
+                assert_eq!(probes.len() as u32, k_t);
+                let mut inner = DoubleHasher::with_salt(d, GROUP_SALT ^ t as u64, b1);
+                for &p in probes {
+                    assert_eq!(p as usize, inner.next_index());
+                }
+                seen += k_t;
+            }
+            assert_eq!(seen, k);
+        }
+    }
+
+    #[test]
+    fn flat_matches_scalar_hashing() {
+        let (k, m) = (5u32, 1u64 << 20);
+        for key in 0..200u64 {
+            let d = digest(key);
+            let plan = ProbePlan::flat(d, k, m);
+            assert_eq!(plan.group_count(), 0);
+            let mut stream = DoubleHasher::new(d, m);
+            for &p in plan.probes() {
+                assert_eq!(p as usize, stream.next_index());
+            }
+        }
+    }
+
+    #[test]
+    fn groups_cover_all_probes_in_order() {
+        let plan = ProbePlan::partitioned(digest(9), 1 << 16, 7, 3, 61);
+        let via_groups: Vec<u32> = plan
+            .groups()
+            .flat_map(|(_, probes)| probes.iter().copied())
+            .collect();
+        assert_eq!(via_groups.as_slice(), plan.probes());
+        // split_hashes(7, 3, ·) = [3, 2, 2].
+        let lens: Vec<usize> = plan.groups().map(|(_, p)| p.len()).collect();
+        assert_eq!(lens, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = ProbePlan::partitioned(digest(3), 500, 4, 2, 33);
+        let b = ProbePlan::partitioned(digest(3), 500, 4, 2, 33);
+        assert_eq!(a.words(), b.words());
+        assert_eq!(a.probes(), b.probes());
+    }
+
+    #[test]
+    fn prefetch_is_callable_on_anything() {
+        // A behavioural no-op either way; must simply not crash.
+        let word = 0xdead_beefu64;
+        prefetch_read(&word);
+        let vec = [1u64, 2, 3];
+        prefetch_read(&vec[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=k")]
+    fn partitioned_rejects_g_above_k() {
+        let _ = ProbePlan::partitioned(1, 64, 2, 3, 8);
+    }
+}

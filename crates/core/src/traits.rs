@@ -51,6 +51,60 @@ pub trait Filter {
     fn insert<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), FilterError> {
         self.insert_bytes(key.key_bytes().as_slice())
     }
+
+    /// Batched membership check with metering: one verdict per key, in key
+    /// order, plus the summed cost of the whole batch.
+    ///
+    /// The default delegates to [`Filter::contains_bytes_cost`] per key.
+    /// Implementations may override with a pipelined pass (hash all keys,
+    /// prefetch all target words, then probe), but an override **must** be
+    /// observationally identical to this scalar loop: same verdicts, same
+    /// total cost (including per-key query short-circuiting).
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        let mut hits = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for key in keys {
+            let (hit, cost) = self.contains_bytes_cost(key);
+            hits.push(hit);
+            total = total.add(cost);
+        }
+        (hits, total)
+    }
+
+    /// Batched insertion with metering: one result per key, in key order,
+    /// plus the summed cost of the *successful* insertions (a refused
+    /// insert reports no cost, exactly as the scalar call returns none).
+    ///
+    /// Keys are applied strictly in order, so overrides leave the filter
+    /// in the bit-identical state a scalar loop would.
+    fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for key in keys {
+            match self.insert_bytes_cost(key) {
+                Ok(cost) => {
+                    total = total.add(cost);
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        (results, total)
+    }
+
+    /// Batched membership check for any [`Key`] type (results only).
+    fn contains_batch<K: Key>(&self, keys: &[K]) -> Vec<bool> {
+        let owned: Vec<_> = keys.iter().map(Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.contains_batch_cost(&views).0
+    }
+
+    /// Batched insertion for any [`Key`] type (results only).
+    fn insert_batch<K: Key>(&mut self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.insert_batch_cost(&views).0
+    }
 }
 
 /// A filter that also supports deletion (the "counting" in CBF).
@@ -71,5 +125,33 @@ pub trait CountingFilter: Filter {
     #[inline]
     fn remove<K: Key + ?Sized>(&mut self, key: &K) -> Result<(), FilterError> {
         self.remove_bytes(key.key_bytes().as_slice())
+    }
+
+    /// Batched deletion with metering: one result per key, in key order,
+    /// plus the summed cost of the *successful* deletions (removing an
+    /// absent key reports [`FilterError::NotPresent`] and no cost).
+    ///
+    /// Keys are applied strictly in order; overrides must leave the filter
+    /// in the bit-identical state a scalar loop would.
+    fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let mut results = Vec::with_capacity(keys.len());
+        let mut total = OpCost::zero();
+        for key in keys {
+            match self.remove_bytes_cost(key) {
+                Ok(cost) => {
+                    total = total.add(cost);
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        (results, total)
+    }
+
+    /// Batched deletion for any [`Key`] type (results only).
+    fn remove_batch<K: Key>(&mut self, keys: &[K]) -> Vec<Result<(), FilterError>> {
+        let owned: Vec<_> = keys.iter().map(Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        self.remove_batch_cost(&views).0
     }
 }

@@ -109,7 +109,10 @@ pub mod closed_form {
     /// `k·(log2 b2 + … + log2 bd)` (§III.B.2). `levels` are the level sizes
     /// `b2..=bd` actually present.
     pub fn mpcbf_update(g: u32, k: u32, l: u64, b1: u32, levels: &[u32]) -> u64 {
-        let deeper: u64 = levels.iter().map(|&b| u64::from(bits_for(u64::from(b)))).sum();
+        let deeper: u64 = levels
+            .iter()
+            .map(|&b| u64::from(bits_for(u64::from(b))))
+            .sum();
         mpcbf_query(g, k, l, b1) + u64::from(k) * deeper
     }
 }

@@ -50,7 +50,11 @@ impl DoubleHasher {
     #[inline]
     pub fn with_salt(digest: u128, salt: u64, range: u64) -> Self {
         let h1 = splitmix64((digest as u64) ^ salt);
-        let h2 = splitmix64(((digest >> 64) as u64).wrapping_add(salt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let h2 = splitmix64(
+            ((digest >> 64) as u64)
+                .wrapping_add(salt)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
         Self::new(((h2 as u128) << 64) | h1 as u128, range)
     }
 
@@ -116,8 +120,12 @@ mod tests {
 
     #[test]
     fn salt_decorrelates_streams() {
-        let a: Vec<usize> = DoubleHasher::with_salt(digest(b"k"), 1, 1 << 20).take(8).collect();
-        let b: Vec<usize> = DoubleHasher::with_salt(digest(b"k"), 2, 1 << 20).take(8).collect();
+        let a: Vec<usize> = DoubleHasher::with_salt(digest(b"k"), 1, 1 << 20)
+            .take(8)
+            .collect();
+        let b: Vec<usize> = DoubleHasher::with_salt(digest(b"k"), 2, 1 << 20)
+            .take(8)
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -142,7 +150,10 @@ mod tests {
         }
         let mean = (10_000 * 3 / 64) as f64;
         for &c in &counts {
-            assert!((c as f64 - mean).abs() / mean < 0.25, "count {c} vs mean {mean}");
+            assert!(
+                (c as f64 - mean).abs() / mean < 0.25,
+                "count {c} vs mean {mean}"
+            );
         }
     }
 

@@ -87,6 +87,9 @@ fn digest_collision_rate_is_negligible() {
     // would indicate a broken mixing stage, not chance).
     let mut seen = std::collections::HashSet::new();
     for i in 0..100_000u64 {
-        assert!(seen.insert(Murmur3::hash128(1, &i.to_le_bytes())), "collision at {i}");
+        assert!(
+            seen.insert(Murmur3::hash128(1, &i.to_le_bytes())),
+            "collision at {i}"
+        );
     }
 }

@@ -21,7 +21,10 @@ impl<T> Broadcast<T> {
     /// Wraps `value`, recording that shipping it to one node would cost
     /// `bytes` bytes.
     pub fn new(value: T, bytes: u64) -> Self {
-        Broadcast { value: Arc::new(value), bytes }
+        Broadcast {
+            value: Arc::new(value),
+            bytes,
+        }
     }
 
     /// The shared value.

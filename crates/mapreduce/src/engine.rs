@@ -36,7 +36,10 @@ impl Default for JobConfig {
 impl JobConfig {
     /// A single-threaded configuration (deterministic output order).
     pub fn sequential() -> Self {
-        JobConfig { map_tasks: 1, reduce_tasks: 1 }
+        JobConfig {
+            map_tasks: 1,
+            reduce_tasks: 1,
+        }
     }
 }
 
@@ -121,7 +124,13 @@ where
     M: Fn(I, &mut Emitter<K, V>) + Sync,
     R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
 {
-    run_job_with_combiner(config, inputs, mapper, None::<fn(&K, Vec<V>) -> Vec<V>>, reducer)
+    run_job_with_combiner(
+        config,
+        inputs,
+        mapper,
+        None::<fn(&K, Vec<V>) -> Vec<V>>,
+        reducer,
+    )
 }
 
 /// [`run_job`] with an optional map-side **combiner** — Hadoop's standard
@@ -323,8 +332,20 @@ mod tests {
             ("the".to_string(), 3),
         ];
         assert_eq!(word_count(&JobConfig::sequential()), expected);
-        assert_eq!(word_count(&JobConfig { map_tasks: 4, reduce_tasks: 3 }), expected);
-        assert_eq!(word_count(&JobConfig { map_tasks: 8, reduce_tasks: 1 }), expected);
+        assert_eq!(
+            word_count(&JobConfig {
+                map_tasks: 4,
+                reduce_tasks: 3
+            }),
+            expected
+        );
+        assert_eq!(
+            word_count(&JobConfig {
+                map_tasks: 8,
+                reduce_tasks: 1
+            }),
+            expected
+        );
     }
 
     #[test]
@@ -344,7 +365,10 @@ mod tests {
     fn group_counts_match_distinct_keys() {
         let inputs: Vec<u64> = (0..1000).collect();
         let (_, stats) = run_job(
-            &JobConfig { map_tasks: 4, reduce_tasks: 4 },
+            &JobConfig {
+                map_tasks: 4,
+                reduce_tasks: 4,
+            },
             inputs,
             |x, em: &mut Emitter<u64, ()>| em.emit(x % 37, ()),
             |_, _, _: &mut Vec<()>| {},
@@ -358,7 +382,10 @@ mod tests {
     fn reducer_sees_all_values_of_a_key() {
         let inputs: Vec<u32> = (0..100).collect();
         let (out, _) = run_job(
-            &JobConfig { map_tasks: 3, reduce_tasks: 2 },
+            &JobConfig {
+                map_tasks: 3,
+                reduce_tasks: 2,
+            },
             inputs,
             |x, em: &mut Emitter<u32, u32>| em.emit(x % 10, x),
             |k, vs, out: &mut Vec<(u32, u32)>| {
@@ -372,7 +399,10 @@ mod tests {
     #[test]
     fn combiner_preserves_results_and_shrinks_shuffle() {
         let inputs: Vec<u64> = (0..10_000).collect();
-        let config = JobConfig { map_tasks: 4, reduce_tasks: 2 };
+        let config = JobConfig {
+            map_tasks: 4,
+            reduce_tasks: 2,
+        };
         let mapper = |x: u64, em: &mut Emitter<u64, u64>| em.emit(x % 25, 1);
         let reducer = |k: &u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
             out.push((*k, vs.iter().sum()));
@@ -392,7 +422,11 @@ mod tests {
         // to ≤ keys × map_tasks.
         assert_eq!(s_plain.map_output_records, s_comb.map_output_records);
         assert_eq!(s_plain.shuffled_records, 10_000);
-        assert!(s_comb.shuffled_records <= 25 * 4, "{}", s_comb.shuffled_records);
+        assert!(
+            s_comb.shuffled_records <= 25 * 4,
+            "{}",
+            s_comb.shuffled_records
+        );
         assert!(s_comb.shuffle_bytes < s_plain.shuffle_bytes);
     }
 

@@ -25,6 +25,15 @@ pub trait KeyFilter: Sync {
     /// Approximate membership of `key` (false positives allowed,
     /// false negatives not).
     fn test(&self, key: &[u8]) -> bool;
+
+    /// Batched membership test; must answer exactly like `keys.len()`
+    /// calls to [`KeyFilter::test`]. The default does precisely that, so
+    /// existing custom implementations keep working; filter-backed
+    /// implementations override it with the pipelined batch probe
+    /// (hash all → prefetch → probe).
+    fn test_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
+        keys.iter().map(|k| self.test(k)).collect()
+    }
 }
 
 impl<F: Filter + Sync> KeyFilter for F {
@@ -32,7 +41,16 @@ impl<F: Filter + Sync> KeyFilter for F {
     fn test(&self, key: &[u8]) -> bool {
         self.contains_bytes(key)
     }
+
+    #[inline]
+    fn test_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
+        self.contains_batch_cost(keys).0
+    }
 }
+
+/// Keys per batched pushdown probe: large enough to amortise the hash
+/// stage, small enough to stay cache-resident.
+const PUSHDOWN_BATCH: usize = 256;
 
 /// Join configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -95,22 +113,37 @@ where
     let start = Instant::now();
     // Ground truth for FPR accounting (cheap relative to the join itself).
     let left_keys: HashSet<&K> = left.iter().map(|(k, _)| k).collect();
-    let matchless = right
-        .iter()
-        .filter(|(k, _)| !left_keys.contains(k))
-        .count() as u64;
+    let matchless = right.iter().filter(|(k, _)| !left_keys.contains(k)).count() as u64;
     let right_total = right.len() as u64;
 
+    // Pushdown runs as a batched pre-pass: probe the right side's keys in
+    // chunks through the filter's batch pipeline (one hash stage, one
+    // prefetch stage, one probe stage per chunk) and keep only a bitmap.
+    let pass: Option<Vec<bool>> = filter.map(|f| {
+        let owned: Vec<_> = right.iter().map(|(k, _)| k.key_bytes()).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let mut out = Vec::with_capacity(views.len());
+        for chunk in views.chunks(PUSHDOWN_BATCH) {
+            out.extend(f.test_batch(chunk));
+        }
+        out
+    });
+
     // Tag inputs. Left records always shuffle (the small side); right
-    // records go through the pushdown filter.
+    // records carry their index into the pushdown bitmap.
     enum In<K, A, B> {
         L(K, A),
-        R(K, B),
+        R(usize, K, B),
     }
     let inputs: Vec<In<K, A, B>> = left
         .into_iter()
         .map(|(k, a)| In::L(k, a))
-        .chain(right.into_iter().map(|(k, b)| In::R(k, b)))
+        .chain(
+            right
+                .into_iter()
+                .enumerate()
+                .map(|(i, (k, b))| In::R(i, k, b)),
+        )
         .collect();
 
     let (rows, job) = run_job(
@@ -118,9 +151,8 @@ where
         inputs,
         |record: In<K, A, B>, em: &mut Emitter<K, Tagged<A, B>>| match record {
             In::L(k, a) => em.emit(k, Tagged::Left(a)),
-            In::R(k, b) => {
-                let pass = filter.is_none_or(|f| f.test(k.key_bytes().as_slice()));
-                if pass {
+            In::R(i, k, b) => {
+                if pass.as_ref().is_none_or(|p| p[i]) {
                     em.emit(k, Tagged::Right(b));
                 }
             }
@@ -198,8 +230,7 @@ mod tests {
                 }
             }
         }
-        let (rows, stats) =
-            reduce_side_join(&JoinConfig::default(), left, right, None);
+        let (rows, stats) = reduce_side_join(&JoinConfig::default(), left, right, None);
         assert_eq!(join_rows_set(&rows), oracle);
         assert_eq!(stats.filtered_out, 0);
         assert_eq!(stats.output_rows, rows.len() as u64);
@@ -217,7 +248,10 @@ mod tests {
         let (rows_filtered, stats) =
             reduce_side_join(&JoinConfig::default(), left, right, Some(&cbf));
         assert_eq!(join_rows_set(&rows_plain), join_rows_set(&rows_filtered));
-        assert!(stats.filtered_out > 0, "filter should drop matchless records");
+        assert!(
+            stats.filtered_out > 0,
+            "filter should drop matchless records"
+        );
     }
 
     #[test]
@@ -244,6 +278,41 @@ mod tests {
             plain.job.map_output_records
         );
         assert!(filt.job.shuffle_bytes < plain.job.shuffle_bytes);
+    }
+
+    #[test]
+    fn batched_pushdown_equals_scalar_pushdown() {
+        // A wrapper hiding the filter's batch override, forcing the
+        // default loop-over-`test` path of `KeyFilter::test_batch`.
+        struct ScalarOnly<'a>(&'a dyn KeyFilter);
+        impl KeyFilter for ScalarOnly<'_> {
+            fn test(&self, key: &[u8]) -> bool {
+                self.0.test(key)
+            }
+        }
+        let (left, right) = sample_tables();
+        let mut mp = Mpcbf1::new(
+            MpcbfConfig::builder()
+                .memory_bits(100_000)
+                .expected_items(100)
+                .hashes(3)
+                .build()
+                .unwrap(),
+        );
+        for (k, _) in &left {
+            mp.insert(k).unwrap();
+        }
+        let (rows_b, stats_b) = reduce_side_join(
+            &JoinConfig::default(),
+            left.clone(),
+            right.clone(),
+            Some(&mp),
+        );
+        let (rows_s, stats_s) =
+            reduce_side_join(&JoinConfig::default(), left, right, Some(&ScalarOnly(&mp)));
+        assert_eq!(join_rows_set(&rows_b), join_rows_set(&rows_s));
+        assert_eq!(stats_b.filtered_out, stats_s.filtered_out);
+        assert_eq!(stats_b.false_positives, stats_s.false_positives);
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl<H: Hasher128> DlCbf<H> {
     /// `cells ∈ 1..=64` and `r ∈ 4..=32`.
     pub fn new(d: u32, buckets: usize, cells: usize, r: u32, seed: u64) -> Self {
         assert!((2..=8).contains(&d), "d = {d} out of 2..=8");
-        assert!(buckets.is_power_of_two() && buckets >= 2, "buckets must be a power of two");
+        assert!(
+            buckets.is_power_of_two() && buckets >= 2,
+            "buckets must be a power of two"
+        );
         assert!((1..=64).contains(&cells), "cells = {cells} out of 1..=64");
         assert!((4..=32).contains(&r), "fingerprint bits {r} out of 4..=32");
         // Distinct odd multipliers give distinct permutations of
@@ -175,7 +178,10 @@ impl<H: Hasher128> Filter for DlCbf<H> {
             .min_by_key(|(&(b, _), i)| (self.bucket_load(b), *i))
             .expect("d >= 2 candidates");
         if let Some(cell) = self.bucket_mut(bucket).iter_mut().find(|c| c.count == 0) {
-            *cell = Cell { fingerprint: f, count: 1 };
+            *cell = Cell {
+                fingerprint: f,
+                count: 1,
+            };
             self.items += 1;
             Ok(self.cost(self.d))
         } else {
@@ -246,7 +252,11 @@ mod tests {
         f.insert(&"dup").unwrap();
         let cells_once = f.occupied_cells();
         f.insert(&"dup").unwrap();
-        assert_eq!(f.occupied_cells(), cells_once, "duplicate must reuse the cell");
+        assert_eq!(
+            f.occupied_cells(),
+            cells_once,
+            "duplicate must reuse the cell"
+        );
         f.remove(&"dup").unwrap();
         assert!(f.contains(&"dup"));
         f.remove(&"dup").unwrap();

@@ -133,6 +133,20 @@ impl<H: Hasher128> Filter for Rcbf<H> {
         (hit, self.cost())
     }
 
+    fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
+        // RCBF probes exactly one bucket per key, so the batch pipeline is
+        // ideal: hash every key, prefetch every bucket chain, then probe.
+        let slots: Vec<(usize, u32)> = keys.iter().map(|k| self.slot(k)).collect();
+        for &(bucket, _) in &slots {
+            mpcbf_core::prefetch_read(&self.buckets[bucket]);
+        }
+        let hits = slots
+            .iter()
+            .map(|&(bucket, f)| self.buckets[bucket].iter().any(|e| e.fingerprint == f))
+            .collect();
+        (hits, OpCost::accumulate(keys.iter().map(|_| self.cost())))
+    }
+
     fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
         let (bucket, f) = self.slot(key);
         let max = (1u16 << self.c) - 1;
@@ -142,7 +156,10 @@ impl<H: Hasher128> Filter for Rcbf<H> {
                     e.count += 1;
                 }
             }
-            None => self.buckets[bucket].push(Entry { fingerprint: f, count: 1 }),
+            None => self.buckets[bucket].push(Entry {
+                fingerprint: f,
+                count: 1,
+            }),
         }
         self.items += 1;
         Ok(self.cost())
@@ -215,6 +232,28 @@ mod tests {
         f.remove(&"dup").unwrap();
         assert!(!f.contains(&"dup"));
         assert_eq!(f.entries(), entries - 1);
+    }
+
+    #[test]
+    fn batch_contains_matches_scalar_loop() {
+        use mpcbf_hash::Key;
+        let mut f = small();
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        let keys: Vec<u64> = (2_500..7_500).collect();
+        let (hits, cost) = {
+            let owned: Vec<_> = keys.iter().map(mpcbf_hash::Key::key_bytes).collect();
+            let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+            f.contains_batch_cost(&views)
+        };
+        let mut scalar_cost = OpCost::zero();
+        for (k, hit) in keys.iter().zip(&hits) {
+            let (h, c) = f.contains_bytes_cost(k.key_bytes().as_slice());
+            assert_eq!(h, *hit, "divergence at {k}");
+            scalar_cost = scalar_cost.add(c);
+        }
+        assert_eq!(cost, scalar_cost);
     }
 
     #[test]

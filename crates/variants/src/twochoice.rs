@@ -77,7 +77,6 @@ impl<H: Hasher128> TwoChoiceBloom<H> {
     fn fresh_bits(&self, positions: &[usize]) -> usize {
         positions.iter().filter(|&&p| !self.bits.get(p)).count()
     }
-
 }
 
 impl<H: Hasher128> Filter for TwoChoiceBloom<H> {

@@ -27,7 +27,9 @@ pub struct ChurnPlan<K> {
 impl<K> ChurnPlan<K> {
     /// An empty plan.
     pub fn empty() -> Self {
-        ChurnPlan { periods: Vec::new() }
+        ChurnPlan {
+            periods: Vec::new(),
+        }
     }
 
     /// Total delete operations across all periods.
@@ -49,8 +51,14 @@ mod tests {
     fn totals() {
         let plan = ChurnPlan {
             periods: vec![
-                ChurnPeriod { deletes: vec![1, 2], inserts: vec![3, 4] },
-                ChurnPeriod { deletes: vec![5], inserts: vec![6] },
+                ChurnPeriod {
+                    deletes: vec![1, 2],
+                    inserts: vec![3, 4],
+                },
+                ChurnPeriod {
+                    deletes: vec![5],
+                    inserts: vec![6],
+                },
             ],
         };
         assert_eq!(plan.total_deletes(), 3);

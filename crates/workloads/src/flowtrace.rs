@@ -141,9 +141,7 @@ impl FlowTrace {
                 let idx = rng.gen_range(0..live.len());
                 deletes.push(live.swap_remove(idx));
             }
-            let inserts: Vec<FlowKey> = (0..del)
-                .map(|_| fresh_flow(&mut rng, &mut seen))
-                .collect();
+            let inserts: Vec<FlowKey> = (0..del).map(|_| fresh_flow(&mut rng, &mut seen)).collect();
             live.extend_from_slice(&inserts);
             periods.push(ChurnPeriod { deletes, inserts });
         }
@@ -266,9 +264,7 @@ impl FlowTrace {
                 let idx = rng.gen_range(0..live.len());
                 deletes.push(live.swap_remove(idx));
             }
-            let inserts: Vec<FlowKey> = (0..del)
-                .map(|_| fresh_flow(&mut rng, &mut seen))
-                .collect();
+            let inserts: Vec<FlowKey> = (0..del).map(|_| fresh_flow(&mut rng, &mut seen)).collect();
             live.extend_from_slice(&inserts);
             churn_periods.push(ChurnPeriod { deletes, inserts });
         }
@@ -276,7 +272,9 @@ impl FlowTrace {
             flows,
             records,
             test_set: test,
-            churn: ChurnPlan { periods: churn_periods },
+            churn: ChurnPlan {
+                periods: churn_periods,
+            },
         }
     }
 }

@@ -21,17 +21,24 @@
 //! [`churn`] provides the paper's update-period driver as pure data (which
 //! keys to delete/insert per period), so any filter can replay it; and
 //! [`zipf`] implements the Zipf sampler the trace generator uses.
+//!
+//! [`driver`] replays these protocols through the batch-first pipeline:
+//! it chunks each phase into fixed-size batches and drives them through
+//! the filters' `*_batch_cost` operations, with results identical to a
+//! scalar replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod driver;
 pub mod flowtrace;
 pub mod patents;
 pub mod synthetic;
 pub mod zipf;
 
 pub use churn::ChurnPlan;
+pub use driver::{replay_flowtrace, replay_synthetic, DriverReport, DEFAULT_BATCH};
 pub use flowtrace::{FlowTrace, FlowTraceSpec};
 pub use patents::{PatentDataset, PatentSpec};
 pub use synthetic::{SyntheticSpec, SyntheticWorkload};

@@ -132,8 +132,7 @@ impl PatentDataset {
     /// The fraction of citations whose `cited` end is a key patent
     /// (ground truth for Table IV's filtering-effectiveness numbers).
     pub fn true_match_rate(&self) -> f64 {
-        let keys: std::collections::HashSet<PatentId> =
-            self.patents.iter().map(|p| p.id).collect();
+        let keys: std::collections::HashSet<PatentId> = self.patents.iter().map(|p| p.id).collect();
         let hits = self
             .citations
             .iter()

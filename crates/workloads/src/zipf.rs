@@ -53,7 +53,7 @@ impl Zipf {
     }
 
     /// Draws a rank in `1..=n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // partition_point returns the count of entries < u, i.e. the first
         // index with cdf >= u; +1 converts to a 1-based rank.

@@ -51,7 +51,11 @@ fn main() {
     let (rows_plain, plain) = reduce_side_join(&cfg, left.clone(), right.clone(), None);
     let (rows_push, push) = reduce_side_join(&cfg, left, right, Some(broadcast.get()));
 
-    assert_eq!(rows_plain.len(), rows_push.len(), "pushdown must not change the join");
+    assert_eq!(
+        rows_plain.len(),
+        rows_push.len(),
+        "pushdown must not change the join"
+    );
 
     println!("\n                        no filter    MPCBF-2 pushdown");
     println!(
@@ -73,5 +77,9 @@ fn main() {
         "join FPR                       -    {:>11.1}%",
         push.join_fpr() * 100.0
     );
-    println!("output rows          {:>12}    {:>12}", rows_plain.len(), rows_push.len());
+    println!(
+        "output rows          {:>12}    {:>12}",
+        rows_plain.len(),
+        rows_push.len()
+    );
 }

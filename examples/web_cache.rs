@@ -120,7 +120,7 @@ fn main() {
     println!("origin fetches      {origin_fetches}");
     let total_cached: usize = proxies.iter().map(|p| p.cache.len()).sum();
     println!("objects cached      {total_cached} across {PROXIES} proxies");
-    let forward_rate = useless_forwards as f64
-        / (useless_forwards + sibling_hits + origin_fetches).max(1) as f64;
+    let forward_rate =
+        useless_forwards as f64 / (useless_forwards + sibling_hits + origin_fetches).max(1) as f64;
     println!("wasted-forward rate {:.3}%", forward_rate * 100.0);
 }

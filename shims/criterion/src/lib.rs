@@ -1,0 +1,299 @@
+//! Offline stand-in for `criterion`: same call surface
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`), minimal statistics. Each benchmark is
+//! calibrated from a single timed probe, then run for `sample_size`
+//! samples inside the configured measurement window; the mean and
+//! min/max per-iteration times are printed to stdout.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets) every routine runs exactly once, so the suite stays fast
+//! and benches double as smoke tests.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("insert", 64)` renders as `insert/64`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion accepted wherever criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the full benchmark id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench` plus optional filters.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A set of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget for the sampling phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the calibration phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets per-iteration throughput used in derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = self.qualify(id.into_benchmark_id());
+        self.run(&label, &mut f);
+    }
+
+    /// Runs one benchmark routine with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = self.qualify(id.into_benchmark_id());
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+
+    fn qualify(&self, id: String) -> String {
+        if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{label}: test-mode ok");
+            return;
+        }
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs a measurable slice of the warm-up budget.
+        let mut iters = 1u64;
+        let floor = (self.warm_up_time / 20).max(Duration::from_micros(50));
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= floor || iters >= u64::MAX / 2 {
+                let per_iter = b.elapsed.as_nanos().max(1) as u64 / iters.max(1);
+                let budget = self.measurement_time.as_nanos() as u64;
+                let per_sample = budget / self.sample_size.max(1) as u64;
+                iters = (per_sample / per_iter.max(1)).clamp(1, 1 << 40);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            best = best.min(b.elapsed);
+            worst = worst.max(b.elapsed);
+        }
+        let samples = self.sample_size as u64;
+        let mean_ns = total.as_nanos() as f64 / (samples * iters) as f64;
+        let best_ns = best.as_nanos() as f64 / iters as f64;
+        let worst_ns = worst.as_nanos() as f64 / iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / mean_ns * 1e3),
+            Throughput::Bytes(n) => format!(
+                " ({:.3} MiB/s)",
+                n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+            ),
+        });
+        println!(
+            "{label}: [{best_ns:.1} ns {mean_ns:.1} ns {worst_ns:.1} ns]{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("insert", 64).into_benchmark_id(),
+            "insert/64"
+        );
+        assert_eq!("plain".into_benchmark_id(), "plain");
+    }
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(50).measurement_time(Duration::from_secs(9));
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1, "test mode must run the routine exactly once");
+    }
+}

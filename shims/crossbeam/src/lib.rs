@@ -1,0 +1,68 @@
+//! Offline stand-in for `crossbeam`: scoped threads built on
+//! `std::thread::scope` (stable since Rust 1.63), exposing the
+//! `crossbeam::scope(|s| ...)` / `s.spawn(|_| ...)` call shape this
+//! workspace uses.
+
+use std::thread;
+
+/// Error type returned when a scoped thread panics.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle
+    /// (unused by this workspace, kept for crossbeam signature parity).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// this returns. Returns `Err` if any unjoined thread panicked (matching
+/// crossbeam's contract; with `std::thread::scope` a leaked panic aborts
+/// the parent via resume, so in practice this returns `Ok`).
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n = super::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

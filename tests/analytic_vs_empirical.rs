@@ -3,7 +3,9 @@
 //! paper's closed forms (Eqs. 1, 2, 4), and the overflow model must match
 //! observed refusals.
 
-use mpcbf::analysis::{cbf as cbf_model, heuristic, mpcbf as mpcbf_model, overflow, pcbf as pcbf_model};
+use mpcbf::analysis::{
+    cbf as cbf_model, heuristic, mpcbf as mpcbf_model, overflow, pcbf as pcbf_model,
+};
 use mpcbf::core::{Cbf, Filter, Mpcbf, MpcbfConfig, Pcbf};
 use mpcbf::hash::Murmur3;
 

@@ -1,0 +1,286 @@
+//! Batch/scalar equivalence: for **every** filter type in the workspace,
+//! the batch operations (`contains_batch_cost` / `insert_batch_cost` /
+//! `remove_batch_cost`) must be observationally identical to the scalar
+//! loop — same per-key results, same summed [`OpCost`], and bit-identical
+//! filter state (compared through the derived `Debug` rendering, which
+//! prints the full counter state).
+//!
+//! Key ranges are deliberately tiny so batches contain duplicate keys —
+//! the hard case for pipelined overrides, since a later duplicate must
+//! observe the earlier one's effect within the *same* batch.
+//!
+//! The [`ScalarOnly`] wrapper hides every batch override, so the same
+//! properties also exercise the default (delegating) trait
+//! implementations, pinning down the contract they define.
+
+use mpcbf::core::{
+    BfG, BloomFilter, Cbf, CountingFilter, Filter, FilterError, Mpcbf, MpcbfConfig, OpCost, Pcbf,
+};
+use mpcbf::hash::Murmur3;
+use mpcbf::variants::{DlCbf, Rcbf, TwoChoiceBloom, ViCbf};
+use proptest::prelude::*;
+use std::fmt::Debug;
+
+/// Forwards only the scalar required methods, hiding any batch override,
+/// so the trait's default batch implementations are the ones under test.
+#[derive(Debug, Clone)]
+struct ScalarOnly<F>(F);
+
+impl<F: Filter> Filter for ScalarOnly<F> {
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        self.0.contains_bytes_cost(key)
+    }
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        self.0.insert_bytes_cost(key)
+    }
+    fn memory_bits(&self) -> u64 {
+        self.0.memory_bits()
+    }
+    fn num_hashes(&self) -> u32 {
+        self.0.num_hashes()
+    }
+}
+
+impl<F: CountingFilter> CountingFilter for ScalarOnly<F> {
+    fn remove_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        self.0.remove_bytes_cost(key)
+    }
+}
+
+fn to_bytes(keys: &[u16]) -> Vec<Vec<u8>> {
+    keys.iter().map(|k| k.to_le_bytes().to_vec()).collect()
+}
+
+fn views(keys: &[Vec<u8>]) -> Vec<&[u8]> {
+    keys.iter().map(|k| k.as_slice()).collect()
+}
+
+/// Scalar reference loops with the exact accounting the batch contract
+/// promises (failed ops contribute no cost).
+fn scalar_inserts<F: Filter>(
+    f: &mut F,
+    keys: &[Vec<u8>],
+) -> (Vec<Result<(), FilterError>>, OpCost) {
+    let mut results = Vec::new();
+    let mut total = OpCost::zero();
+    for k in keys {
+        match f.insert_bytes_cost(k) {
+            Ok(c) => {
+                total = total.add(c);
+                results.push(Ok(()));
+            }
+            Err(e) => results.push(Err(e)),
+        }
+    }
+    (results, total)
+}
+
+fn scalar_queries<F: Filter>(f: &F, keys: &[Vec<u8>]) -> (Vec<bool>, OpCost) {
+    let mut hits = Vec::new();
+    let mut total = OpCost::zero();
+    for k in keys {
+        let (hit, c) = f.contains_bytes_cost(k);
+        hits.push(hit);
+        total = total.add(c);
+    }
+    (hits, total)
+}
+
+fn scalar_removes<F: CountingFilter>(
+    f: &mut F,
+    keys: &[Vec<u8>],
+) -> (Vec<Result<(), FilterError>>, OpCost) {
+    let mut results = Vec::new();
+    let mut total = OpCost::zero();
+    for k in keys {
+        match f.remove_bytes_cost(k) {
+            Ok(c) => {
+                total = total.add(c);
+                results.push(Ok(()));
+            }
+            Err(e) => results.push(Err(e)),
+        }
+    }
+    (results, total)
+}
+
+/// Insert-only equivalence (membership filters without deletion).
+fn check_filter<F: Filter + Clone + Debug>(
+    name: &str,
+    proto: F,
+    inserts: &[Vec<u8>],
+    queries: &[Vec<u8>],
+) {
+    let mut scalar = proto.clone();
+    let mut batch = proto;
+
+    let s = scalar_inserts(&mut scalar, inserts);
+    let b = batch.insert_batch_cost(&views(inserts));
+    assert_eq!(s, b, "{name}: insert results/cost diverged");
+    assert_eq!(
+        format!("{scalar:?}"),
+        format!("{batch:?}"),
+        "{name}: state diverged after inserts"
+    );
+
+    let s = scalar_queries(&scalar, queries);
+    let b = batch.contains_batch_cost(&views(queries));
+    assert_eq!(s, b, "{name}: query results/cost diverged");
+}
+
+/// Full insert/query/remove equivalence for counting filters.
+fn check_counting<F: CountingFilter + Clone + Debug>(
+    name: &str,
+    proto: F,
+    inserts: &[Vec<u8>],
+    queries: &[Vec<u8>],
+    removes: &[Vec<u8>],
+) {
+    let mut scalar = proto.clone();
+    let mut batch = proto;
+
+    let s = scalar_inserts(&mut scalar, inserts);
+    let b = batch.insert_batch_cost(&views(inserts));
+    assert_eq!(s, b, "{name}: insert results/cost diverged");
+    assert_eq!(
+        format!("{scalar:?}"),
+        format!("{batch:?}"),
+        "{name}: state diverged after inserts"
+    );
+
+    let s = scalar_queries(&scalar, queries);
+    let b = batch.contains_batch_cost(&views(queries));
+    assert_eq!(s, b, "{name}: query results/cost diverged");
+
+    let s = scalar_removes(&mut scalar, removes);
+    let b = batch.remove_batch_cost(&views(removes));
+    assert_eq!(s, b, "{name}: remove results/cost diverged");
+    assert_eq!(
+        format!("{scalar:?}"),
+        format!("{batch:?}"),
+        "{name}: state diverged after removes"
+    );
+}
+
+fn mpcbf(g: u32) -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(50_000)
+            .expected_items(500)
+            .hashes(3)
+            .accesses(g)
+            .seed(11)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// A deliberately tiny MPCBF so batches overflow words mid-batch,
+/// exercising the rollback + per-key `Err` path of the overrides.
+fn tiny_mpcbf() -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(256)
+            .expected_items(1)
+            .n_max(2)
+            .hashes(3)
+            .seed(5)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn key_lists() -> impl Strategy<Value = (Vec<u16>, Vec<u16>, Vec<u16>)> {
+    (
+        // Tiny key space ⇒ duplicates within a single batch are common.
+        prop::collection::vec(0u16..48, 0..60),
+        prop::collection::vec(0u16..96, 0..60),
+        prop::collection::vec(0u16..48, 0..60),
+    )
+}
+
+proptest! {
+    #[test]
+    fn counting_filters_batch_equals_scalar(
+        (inserts, queries, removes) in key_lists()
+    ) {
+        let (i, q, r) = (to_bytes(&inserts), to_bytes(&queries), to_bytes(&removes));
+        check_counting("CBF", Cbf::<Murmur3>::new(2_048, 3, 7), &i, &q, &r);
+        check_counting("PCBF-1", Pcbf::<Murmur3>::new(128, 64, 3, 1, 7), &i, &q, &r);
+        check_counting("PCBF-2", Pcbf::<Murmur3>::new(128, 64, 3, 2, 7), &i, &q, &r);
+        check_counting("MPCBF-1", mpcbf(1), &i, &q, &r);
+        check_counting("MPCBF-2", mpcbf(2), &i, &q, &r);
+        check_counting("MPCBF-tiny", tiny_mpcbf(), &i, &q, &r);
+        check_counting("dlCBF", DlCbf::<Murmur3>::with_memory(60_000, 12, 7), &i, &q, &r);
+        check_counting("VI-CBF", ViCbf::<Murmur3>::with_memory(60_000, 3, 4, 7), &i, &q, &r);
+        check_counting("RCBF", Rcbf::<Murmur3>::new(512, 12, 2, 7), &i, &q, &r);
+    }
+
+    #[test]
+    fn insert_only_filters_batch_equals_scalar(
+        (inserts, queries, _removes) in key_lists()
+    ) {
+        let (i, q) = (to_bytes(&inserts), to_bytes(&queries));
+        check_filter("Bloom", BloomFilter::<Murmur3>::new(4_096, 3, 7), &i, &q);
+        check_filter("BF-1", BfG::<Murmur3>::new(64, 64, 3, 1, 7), &i, &q);
+        check_filter("BF-2", BfG::<Murmur3>::new(64, 64, 3, 2, 7), &i, &q);
+        check_filter("2-choice", TwoChoiceBloom::<Murmur3>::new(4_096, 4, 7), &i, &q);
+    }
+
+    #[test]
+    fn default_impls_batch_equals_scalar(
+        (inserts, queries, removes) in key_lists()
+    ) {
+        let (i, q, r) = (to_bytes(&inserts), to_bytes(&queries), to_bytes(&removes));
+        // The wrapper strips every override, so these runs go through the
+        // trait's default batch implementations.
+        check_counting("ScalarOnly<CBF>", ScalarOnly(Cbf::<Murmur3>::new(2_048, 3, 7)), &i, &q, &r);
+        check_counting("ScalarOnly<MPCBF-1>", ScalarOnly(mpcbf(1)), &i, &q, &r);
+        check_counting("ScalarOnly<MPCBF-tiny>", ScalarOnly(tiny_mpcbf()), &i, &q, &r);
+        check_filter("ScalarOnly<Bloom>", ScalarOnly(BloomFilter::<Murmur3>::new(4_096, 3, 7)), &i, &q);
+    }
+}
+
+#[test]
+fn duplicate_heavy_batch_is_order_faithful() {
+    // One batch holding many copies of one key plus interleaved others;
+    // removals ask for one more copy than exists, so the final remove must
+    // fail in both paths at the same position.
+    let inserts = to_bytes(&[9, 9, 9, 3, 9, 3, 9]);
+    let removes = to_bytes(&[9, 9, 9, 9, 9, 9]);
+    let queries = to_bytes(&[9, 3, 77]);
+    check_counting("MPCBF-1 dup", mpcbf(1), &inserts, &queries, &removes);
+    check_counting(
+        "CBF dup",
+        Cbf::<Murmur3>::new(2_048, 3, 7),
+        &inserts,
+        &queries,
+        &removes,
+    );
+
+    // CBF's wide counters accept all five duplicates, so the removal
+    // results are exact: five succeed, the sixth fails.
+    let mut f = Cbf::<Murmur3>::new(2_048, 3, 7);
+    let i = views(&inserts);
+    let r = views(&removes);
+    let (ins, _) = f.insert_batch_cost(&i);
+    assert!(ins.iter().all(Result::is_ok));
+    let (rem, _) = f.remove_batch_cost(&r);
+    assert_eq!(rem.iter().filter(|x| x.is_ok()).count(), 5);
+    assert_eq!(rem[5], Err(FilterError::NotPresent));
+}
+
+#[test]
+fn empty_batches_are_noops() {
+    let mut f = mpcbf(1);
+    let empty: Vec<&[u8]> = Vec::new();
+    let before = format!("{f:?}");
+    let (hits, c1) = f.contains_batch_cost(&empty);
+    let (ins, c2) = f.insert_batch_cost(&empty);
+    let (rem, c3) = f.remove_batch_cost(&empty);
+    assert!(hits.is_empty() && ins.is_empty() && rem.is_empty());
+    assert_eq!(c1, OpCost::zero());
+    assert_eq!(c2, OpCost::zero());
+    assert_eq!(c3, OpCost::zero());
+    assert_eq!(format!("{f:?}"), before);
+}

@@ -10,6 +10,11 @@ fn roundtrip_mpcbf<H: Hasher128>() {
         .memory_bits(400_000)
         .expected_items(3_000)
         .hashes(3)
+        // Eq. (11) leaves ≈1 expected word at capacity, so with four hash
+        // families a refused insert is near-certain somewhere; this test
+        // unwraps every insert (it checks digest interchangeability, not
+        // the sizing margin), so give the words deterministic headroom.
+        .n_max(8)
         .seed(99)
         .build()
         .unwrap();

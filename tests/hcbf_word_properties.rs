@@ -16,10 +16,7 @@ enum Op {
 
 fn ops(b1: u32, len: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![
-            (0..b1).prop_map(Op::Inc),
-            (0..b1).prop_map(Op::Dec),
-        ],
+        prop_oneof![(0..b1).prop_map(Op::Inc), (0..b1).prop_map(Op::Dec),],
         0..len,
     )
 }
@@ -46,7 +43,10 @@ fn check_against_oracle<W: mpcbf::bitvec::Word>(b1: u32, script: &[Op]) {
             },
             Op::Dec(p) => match word.decrement(p, b1) {
                 Ok(report) => {
-                    assert!(oracle[p as usize] > 0, "decrement succeeded on zero counter");
+                    assert!(
+                        oracle[p as usize] > 0,
+                        "decrement succeeded on zero counter"
+                    );
                     oracle[p as usize] -= 1;
                     assert_eq!(report.new_count, oracle[p as usize], "dec report at {p}");
                 }

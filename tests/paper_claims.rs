@@ -4,7 +4,6 @@
 //! they run in seconds and pin the *shape* of every result: who wins,
 //! in which direction, and the constant-access behaviour.
 
-
 use mpcbf::core::{Cbf, CountingFilter, Mpcbf, MpcbfConfig, Pcbf};
 use mpcbf::hash::Murmur3;
 use mpcbf::workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
@@ -90,10 +89,25 @@ fn headline_fpr_ordering_at_k3() {
     let mp1 = run_filter(&mut mpcbf(1, 3), &w);
     let mp2 = run_filter(&mut mpcbf(2, 3), &w);
 
-    assert!(pcbf1.fpr > pcbf2.fpr, "PCBF-1 {} vs PCBF-2 {}", pcbf1.fpr, pcbf2.fpr);
-    assert!(pcbf2.fpr > cbf.fpr, "PCBF-2 {} vs CBF {}", pcbf2.fpr, cbf.fpr);
+    assert!(
+        pcbf1.fpr > pcbf2.fpr,
+        "PCBF-1 {} vs PCBF-2 {}",
+        pcbf1.fpr,
+        pcbf2.fpr
+    );
+    assert!(
+        pcbf2.fpr > cbf.fpr,
+        "PCBF-2 {} vs CBF {}",
+        pcbf2.fpr,
+        cbf.fpr
+    );
     assert!(cbf.fpr > mp1.fpr, "CBF {} vs MPCBF-1 {}", cbf.fpr, mp1.fpr);
-    assert!(mp1.fpr > mp2.fpr, "MPCBF-1 {} vs MPCBF-2 {}", mp1.fpr, mp2.fpr);
+    assert!(
+        mp1.fpr > mp2.fpr,
+        "MPCBF-1 {} vs MPCBF-2 {}",
+        mp1.fpr,
+        mp2.fpr
+    );
     // Abstract: "reduces the false positive rate by an order of magnitude".
     assert!(
         cbf.fpr / mp2.fpr > 5.0,
@@ -116,7 +130,11 @@ fn access_counts_match_tables_one_and_two() {
     assert!((pcbf1.query_accesses - 1.0).abs() < 1e-9);
     assert!((mp1.query_accesses - 1.0).abs() < 1e-9);
     // g = 2 variants: fractional between 1 and 2 (short-circuiting).
-    assert!(mp2.query_accesses > 1.0 && mp2.query_accesses < 2.0, "{}", mp2.query_accesses);
+    assert!(
+        mp2.query_accesses > 1.0 && mp2.query_accesses < 2.0,
+        "{}",
+        mp2.query_accesses
+    );
     assert!(pcbf2.query_accesses > 1.0 && pcbf2.query_accesses < 2.0);
     // CBF: between the g = 2 variants and its k = 3 worst case.
     assert!(cbf.query_accesses > mp2.query_accesses);
@@ -125,7 +143,11 @@ fn access_counts_match_tables_one_and_two() {
     // Table II: updates never short-circuit.
     assert!((pcbf1.update_accesses - 1.0).abs() < 1e-9);
     assert!((mp1.update_accesses - 1.0).abs() < 1e-9);
-    assert!((mp2.update_accesses - 2.0).abs() < 0.01, "{}", mp2.update_accesses);
+    assert!(
+        (mp2.update_accesses - 2.0).abs() < 0.01,
+        "{}",
+        mp2.update_accesses
+    );
     assert!(cbf.update_accesses > 2.5, "{}", cbf.update_accesses);
 }
 
@@ -144,7 +166,12 @@ fn k4_brings_mpcbf1_close_to_cbf() {
         mp1.fpr,
         cbf.fpr
     );
-    assert!(mp2.fpr < cbf.fpr, "k=4: MPCBF-2 {} vs CBF {}", mp2.fpr, cbf.fpr);
+    assert!(
+        mp2.fpr < cbf.fpr,
+        "k=4: MPCBF-2 {} vs CBF {}",
+        mp2.fpr,
+        cbf.fpr
+    );
 }
 
 #[test]

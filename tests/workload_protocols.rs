@@ -95,8 +95,14 @@ fn churn_plan_is_exactly_replayable() {
     // Replaying a plan twice against two filters gives identical states.
     let plan = ChurnPlan {
         periods: vec![
-            ChurnPeriod { deletes: vec![1u64, 2], inserts: vec![10, 11] },
-            ChurnPeriod { deletes: vec![10], inserts: vec![20] },
+            ChurnPeriod {
+                deletes: vec![1u64, 2],
+                inserts: vec![10, 11],
+            },
+            ChurnPeriod {
+                deletes: vec![10],
+                inserts: vec![20],
+            },
         ],
     };
     let run = |seed: u64| {
