@@ -5,7 +5,9 @@
 //! * `--scale N` — divide workload sizes by `N` (default 1 = paper scale);
 //! * `--trials N` — override the number of averaged trials;
 //! * `--out DIR` — directory for CSV output (default `results/`);
-//! * `--quiet` — suppress the human-readable table (CSV still written).
+//! * `--quiet` — suppress the human-readable table (CSV still written);
+//! * `--faults SEED` — run the seeded fault-injection campaign instead of
+//!   (or before) the normal workload (honoured by `stress`).
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -18,6 +20,8 @@ pub struct Args {
     pub out_dir: String,
     /// Suppress stdout tables.
     pub quiet: bool,
+    /// Fault-injection campaign seed (`--faults SEED`), if requested.
+    pub faults: Option<u64>,
 }
 
 impl Default for Args {
@@ -27,6 +31,7 @@ impl Default for Args {
             trials: None,
             out_dir: "results".to_string(),
             quiet: false,
+            faults: None,
         }
     }
 }
@@ -64,6 +69,13 @@ impl Args {
                         .next()
                         .unwrap_or_else(|| usage("--out needs a directory"))
                 }
+                "--faults" => {
+                    args.faults = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--faults needs a seed (u64)")),
+                    )
+                }
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -87,7 +99,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet]");
+    eprintln!("usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -111,12 +123,19 @@ mod tests {
     #[test]
     fn all_flags() {
         let a = parse(&[
-            "--scale", "10", "--trials", "3", "--out", "/tmp/x", "--quiet",
+            "--scale", "10", "--trials", "3", "--out", "/tmp/x", "--quiet", "--faults", "42",
         ]);
         assert_eq!(a.scale, 10);
         assert_eq!(a.trials, Some(3));
         assert_eq!(a.out_dir, "/tmp/x");
         assert!(a.quiet);
+        assert_eq!(a.faults, Some(42));
+    }
+
+    #[test]
+    fn faults_defaults_to_off() {
+        assert_eq!(parse(&[]).faults, None);
+        assert_eq!(parse(&["--faults", "0"]).faults, Some(0));
     }
 
     #[test]

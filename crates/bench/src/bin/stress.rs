@@ -11,11 +11,24 @@
 //! shrinking, but far more operations, periodic invariant sweeps, and
 //! codec round-trips injected mid-stream (encode → decode → continue),
 //! which property tests don't interleave.
+//!
+//! With `--faults SEED` the binary instead replays the seeded
+//! fault-injection campaign (see `mpcbf_workloads::faults`): every
+//! injected bit flip must be caught by `scrub()`, every poisoned shard by
+//! the epoch scrub, every dropped/duplicated batch op by population
+//! accounting, every forced overflow absorbed by `ResilientMpcbf` with
+//! zero false negatives, and every failed batch insert must leave the
+//! filter bit-identical. Any violation panics, failing CI.
 
 use mpcbf_bench::Args;
-use mpcbf_core::{Cbf, CountingFilter, Mpcbf, MpcbfConfig};
+use mpcbf_concurrent::ShardedMpcbf;
+use mpcbf_core::scrub::SEGMENT_WORDS;
+use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, ResilientMpcbf};
 use mpcbf_hash::Murmur3;
 use mpcbf_variants::{DlCbf, Rcbf, ViCbf};
+use mpcbf_workloads::driver::{replay_synthetic, replay_synthetic_faulty};
+use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
+use mpcbf_workloads::{FaultMix, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -137,8 +150,273 @@ fn stress_generic<F: CountingFilter>(name: &str, mut f: F, rounds: u64, seed: u6
     );
 }
 
+/// Drill 1: every surviving bit flip must be caught by `scrub()` and
+/// undoing the flips must restore a clean report.
+fn drill_scrub(plan: &FaultPlan) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(400_000)
+        .expected_items(2_500)
+        .hashes(3)
+        .seed(plan.seed)
+        .build()
+        .expect("shape");
+    let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    for i in 0..2_000u64 {
+        f.insert(&i).expect("healthy insert");
+    }
+    assert_eq!(f.verify(), Ok(()), "pre-damage filter must verify clean");
+    let seal = f.seal();
+    assert!(f.scrub(&seal).is_clean());
+
+    // Accumulate flips per word: two identical masks on one word cancel.
+    let l = f.raw_words().len() as u64;
+    let mut net: HashMap<usize, u64> = HashMap::new();
+    for (hint, mask) in plan.flips() {
+        let word = (hint % l) as usize;
+        f.corrupt_word_xor(word, mask);
+        *net.entry(word).or_insert(0) ^= mask;
+    }
+    let mut expected: Vec<usize> = net
+        .iter()
+        .filter(|&(_, &m)| m != 0)
+        .map(|(&w, _)| w / SEGMENT_WORDS)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+
+    let report = f.scrub(&seal);
+    assert_eq!(
+        report.corrupt_segments, expected,
+        "scrub must localise every flipped segment, and only those"
+    );
+    for (&word, &mask) in &net {
+        f.corrupt_word_xor(word, mask);
+    }
+    assert!(f.scrub(&seal).is_clean(), "undone damage must scrub clean");
+    println!(
+        "  scrub drill: {} flips over {} words → {} dirty segments detected — OK",
+        plan.flips().count(),
+        l,
+        expected.len()
+    );
+}
+
+/// Drill 2: poisoned shards must be caught by the sharded epoch scrub
+/// with correctly globalised segment indices.
+fn drill_epoch_scrub(plan: &FaultPlan) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(1_000_000)
+        .expected_items(10_000)
+        .hashes(3)
+        .seed(plan.seed ^ 0x5EED)
+        .build()
+        .expect("shape");
+    let f: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 64);
+    for i in 0..5_000u64 {
+        f.insert(&i).expect("healthy insert");
+    }
+    let seals = f.seal();
+    assert!(f.scrub(&seals).is_clean());
+
+    let shards = f.shard_count() as u64;
+    let words = f.shard_raw_words(0).len() as u64;
+    let per = seals[0].segments();
+    let mut net: HashMap<(usize, usize), u64> = HashMap::new();
+    for (shard_hint, word_hint, mask) in plan.poisonings() {
+        let (s, w) = ((shard_hint % shards) as usize, (word_hint % words) as usize);
+        f.corrupt_word_xor(s, w, mask);
+        *net.entry((s, w)).or_insert(0) ^= mask;
+    }
+    let mut expected: Vec<usize> = net
+        .iter()
+        .filter(|&(_, &m)| m != 0)
+        .map(|(&(s, w), _)| s * per + w / SEGMENT_WORDS)
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+
+    let report = f.scrub(&seals);
+    assert_eq!(
+        report.corrupt_segments, expected,
+        "epoch scrub must localise every poisoned shard segment"
+    );
+    for (&(s, w), &mask) in &net {
+        f.corrupt_word_xor(s, w, mask);
+    }
+    assert!(f.scrub(&seals).is_clean());
+    println!(
+        "  epoch-scrub drill: {} poisonings over {} shards → {} dirty segments detected — OK",
+        plan.poisonings().count(),
+        shards,
+        expected.len()
+    );
+}
+
+/// Drill 3: hot keys far past word capacity must be absorbed by the
+/// spillover path — lossless inserts, zero false negatives, full drain.
+fn drill_spillover(plan: &FaultPlan) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(256)
+        .expected_items(1_000)
+        .hashes(3)
+        .n_max(1)
+        .seed(plan.seed ^ 0x0F10)
+        .build()
+        .expect("shape");
+    let mut f: ResilientMpcbf = ResilientMpcbf::new(cfg);
+    let hot: Vec<(u64, u32)> = plan.hot_keys().collect();
+    for &(key, copies) in &hot {
+        for _ in 0..copies {
+            f.insert(&key).expect("spillover makes inserts lossless");
+        }
+        assert!(f.contains(&key), "zero false negatives under saturation");
+    }
+    assert!(
+        f.spilled_inserts() > 0,
+        "hot keys on a saturated shape must actually spill"
+    );
+    assert!(f.health().is_spilling());
+    for &(key, copies) in &hot {
+        for _ in 0..copies {
+            assert!(f.contains(&key), "key must stay visible while draining");
+            f.remove(&key).expect("every stored copy must drain");
+        }
+    }
+    assert_eq!(f.items(), 0, "campaign must drain completely");
+    assert_eq!(f.spill_occupancy(), 0);
+    println!(
+        "  spillover drill: {} hot keys, {} spilled inserts absorbed, drained to zero — OK",
+        hot.len(),
+        f.spilled_inserts()
+    );
+}
+
+/// Drill 4: a batch whose every insert overflows must leave the filter
+/// bit-identical, and a mixed batch must equal its scalar replay.
+fn drill_batch_rollback(plan: &FaultPlan) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(256)
+        .expected_items(1_000)
+        .hashes(3)
+        .n_max(1)
+        .seed(plan.seed ^ 0xB01)
+        .build()
+        .expect("shape");
+    let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    let hot = plan
+        .hot_keys()
+        .next()
+        .map(|(k, _)| k)
+        .unwrap_or(0xD00D)
+        .to_le_bytes();
+    // Fill the hot key to exact word capacity.
+    let mut stored = 0u32;
+    while f.insert_bytes_cost(&hot).is_ok() {
+        stored += 1;
+    }
+    assert!(stored > 0);
+
+    let before = f.raw_words().to_vec();
+    let all_hot: Vec<&[u8]> = vec![&hot; 16];
+    let (results, _) = f.insert_batch_cost(&all_hot);
+    assert!(
+        results.iter().all(Result::is_err),
+        "a full word must refuse every batched copy"
+    );
+    assert_eq!(
+        f.raw_words(),
+        &before[..],
+        "failed batch must leave the filter bit-identical"
+    );
+
+    // Mixed batch: overflowing keys interleaved with fresh ones must land
+    // exactly as a scalar loop would.
+    let fresh: Vec<[u8; 8]> = (1..=8u64).map(|i| (0xF00D + i).to_le_bytes()).collect();
+    let mut batch_keys: Vec<&[u8]> = Vec::new();
+    for k in &fresh {
+        batch_keys.push(&hot);
+        batch_keys.push(k.as_slice());
+    }
+    let mut scalar_f = f.clone();
+    let scalar: Vec<bool> = batch_keys
+        .iter()
+        .map(|k| scalar_f.insert_bytes_cost(k).is_ok())
+        .collect();
+    let (batched, _) = f.insert_batch_cost(&batch_keys);
+    let batched_ok: Vec<bool> = batched.iter().map(Result::is_ok).collect();
+    assert_eq!(batched_ok, scalar, "mid-batch failures must match scalar");
+    assert_eq!(
+        f.raw_words(),
+        scalar_f.raw_words(),
+        "mixed batch must leave the exact scalar state"
+    );
+    println!(
+        "  rollback drill: {stored}-deep word refused a 16-copy batch bit-identically, \
+         mixed batch matched scalar — OK"
+    );
+}
+
+/// Drill 5: dropped/duplicated batch ops must surface as an exact,
+/// reproducible population divergence.
+fn drill_stream_faults(plan: &FaultPlan) {
+    let spec = SyntheticSpec {
+        periods: 0,
+        ..SyntheticSpec::default()
+    }
+    .scaled_down(100);
+    let w = SyntheticWorkload::generate(&spec);
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(200_000)
+        .expected_items(2_000)
+        .hashes(3)
+        .seed(plan.seed ^ 0xD0D0)
+        .build()
+        .expect("shape");
+    let mut clean_f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    let clean = replay_synthetic(&mut clean_f, &w, 64);
+    let mut faulty_f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    let (faulty, log) = replay_synthetic_faulty(&mut faulty_f, &w, 64, plan);
+    assert!(!log.is_clean(), "plan must perturb the stream");
+    assert_eq!(
+        faulty_f.items() as i64,
+        clean_f.items() as i64 + log.delta(),
+        "population accounting must detect every drop and duplicate"
+    );
+    assert_eq!(
+        faulty.inserts as i64,
+        clean.inserts as i64 + log.delta(),
+        "attempt counts must shift by exactly the log"
+    );
+    println!(
+        "  stream drill: {} dropped + {} duplicated ops → population delta {} detected — OK",
+        log.dropped,
+        log.duplicated,
+        log.delta()
+    );
+}
+
+/// The `--faults SEED` campaign: replay one deterministic [`FaultPlan`]
+/// through every drill. Any undetected or unabsorbed fault panics.
+fn fault_campaign(seed: u64) {
+    let plan = FaultPlan::generate(seed, FaultMix::default());
+    println!(
+        "fault campaign: seed {seed}, {} injected faults",
+        plan.faults.len()
+    );
+    drill_scrub(&plan);
+    drill_epoch_scrub(&plan);
+    drill_spillover(&plan);
+    drill_batch_rollback(&plan);
+    drill_stream_faults(&plan);
+    println!("fault campaign: seed {seed} — all faults detected or absorbed");
+}
+
 fn main() {
     let args = Args::parse();
+    if let Some(seed) = args.faults {
+        fault_campaign(seed);
+        return;
+    }
     let rounds = args.scaled(200_000);
     println!("stress: {rounds} ops per structure, key space {KEY_SPACE}");
 

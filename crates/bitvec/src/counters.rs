@@ -173,6 +173,20 @@ impl CounterVec {
         &self.limbs
     }
 
+    /// XORs `mask` into limb `limb`, bypassing the counter accessors.
+    ///
+    /// This is a **fault-injection hook**: it simulates in-memory bit
+    /// flips (cosmic rays, faulty DIMMs) for corruption-detection tests
+    /// and deliberately may leave counters in states no sequence of
+    /// increments/decrements can produce. Never call it in normal
+    /// operation.
+    ///
+    /// # Panics
+    /// Panics if `limb` is out of range.
+    pub fn xor_limb(&mut self, limb: usize, mask: u64) {
+        self.limbs[limb] ^= mask;
+    }
+
     /// Reconstructs a counter vector from raw limbs (the inverse of
     /// [`CounterVec::raw_limbs`]), e.g. when decoding a wire format.
     ///
@@ -286,6 +300,20 @@ mod tests {
     #[should_panic(expected = "not in 1..=32")]
     fn zero_width_panics() {
         let _ = CounterVec::new(1, 0);
+    }
+
+    #[test]
+    fn xor_limb_flips_raw_bits() {
+        let mut c = CounterVec::new(32, 4);
+        c.increment(0); // counter 0 lives in bits 0..4 of limb 0
+        assert_eq!(c.get(0), 1);
+        c.xor_limb(0, 0b0010); // flip bit 1: counter becomes 3
+        assert_eq!(c.get(0), 3);
+        c.xor_limb(0, 0b0010); // flipping back restores the old value
+        assert_eq!(c.get(0), 1);
+        c.xor_limb(1, 1 << 63); // damage in limb 1 leaves limb 0 alone
+        assert_eq!(c.get(0), 1);
+        assert_ne!(c.get(31), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::opts::{CliError, Kind, Opts};
 use mpcbf_analysis::tradeoff;
-use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_core::{Cbf, CodecError, CountingFilter, Filter, Mpcbf, MpcbfConfig};
 use mpcbf_hash::Murmur3;
 use std::io::Write;
 
@@ -44,10 +44,19 @@ impl AnyFilter {
     }
 
     fn decode(image: &[u8]) -> Result<Self, CliError> {
-        Mpcbf::<u64, Murmur3>::decode(image)
-            .map(AnyFilter::Mpcbf)
-            .or_else(|_| Cbf::<Murmur3>::decode(image).map(AnyFilter::Cbf))
-            .map_err(|e| CliError::Runtime(format!("cannot decode filter: {e}")))
+        // Keep the error of the decoder the image was *for*: a corrupt
+        // MPCBF image fails the CBF fallback with `UnknownKind`, which
+        // would mask the precise diagnosis (checksum mismatch, truncation).
+        let first = match Mpcbf::<u64, Murmur3>::decode(image) {
+            Ok(f) => return Ok(AnyFilter::Mpcbf(f)),
+            Err(e) => e,
+        };
+        let e = match Cbf::<Murmur3>::decode(image) {
+            Ok(f) => return Ok(AnyFilter::Cbf(f)),
+            Err(CodecError::UnknownKind(_)) => first,
+            Err(e) => e,
+        };
+        Err(CliError::Runtime(format!("cannot decode filter: {e}")))
     }
 
     fn load(path: &str) -> Result<Self, CliError> {
@@ -83,7 +92,10 @@ pub fn build(opts: &Opts, keys: &mut Keys<'_>) -> Result<(), CliError> {
                 .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
             AnyFilter::Mpcbf(Mpcbf::new(config))
         }
-        Kind::Cbf => AnyFilter::Cbf(Cbf::with_memory(memory, opts.hashes, opts.seed)),
+        Kind::Cbf => AnyFilter::Cbf(
+            Cbf::try_with_memory(memory, opts.hashes, opts.seed)
+                .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?,
+        ),
     };
 
     let mut inserted = 0u64;
@@ -410,6 +422,47 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("CBF (k=3)"));
         assert!(text.contains("MPCBF-1"));
+    }
+
+    #[test]
+    fn infeasible_cbf_budget_is_a_runtime_error_not_a_panic() {
+        // 2 bits cannot hold a single 4-bit counter: the fallible
+        // constructor must surface this as a runtime error.
+        let path = tmp("tiny.bin");
+        let o = opts(&[
+            "--out",
+            &path,
+            "--items",
+            "5",
+            "--kind",
+            "cbf",
+            "--memory-bits",
+            "2",
+        ]);
+        let err = build(&o, &mut keys(&["x"])).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(ref m) if m.contains("infeasible")));
+    }
+
+    #[test]
+    fn corrupt_image_reports_the_precise_codec_error() {
+        // A flipped payload byte in an MPCBF image must surface the MPCBF
+        // decoder's checksum diagnosis, not the CBF fallback's
+        // "unknown filter kind" rejection of the MPCBF kind byte.
+        let path = tmp("corrupt.mpcbf");
+        let o = opts(&["--out", &path, "--items", "100"]);
+        build(&o, &mut keys(&["alpha", "beta"])).unwrap();
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x40;
+        std::fs::write(&path, &image).unwrap();
+        let err = match AnyFilter::load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt image decoded"),
+        };
+        assert!(
+            matches!(err, CliError::Runtime(ref m) if m.contains("checksum mismatch")),
+            "got: {err:?}"
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_core::config::MpcbfConfig;
-use mpcbf_core::hcbf::HcbfWord;
+use mpcbf_core::hcbf::{HcbfWord, WordError};
+use mpcbf_core::scrub::{segment_of, FilterSeal, ScrubReport};
 use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
 use std::marker::PhantomData;
@@ -102,8 +103,8 @@ impl<H: Hasher128> AtomicMpcbf<H> {
     fn update_word(
         &self,
         word: usize,
-        mut op: impl FnMut(&mut HcbfWord<u64>) -> Result<(), FilterError>,
-    ) -> Result<(), FilterError> {
+        mut op: impl FnMut(&mut HcbfWord<u64>) -> Result<(), WordError>,
+    ) -> Result<(), WordError> {
         let cell = &self.words[word];
         let mut current = cell.load(Ordering::Acquire);
         loop {
@@ -163,10 +164,7 @@ impl<H: Hasher128> AtomicMpcbf<H> {
                         .expect("rollback decrement");
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
-                return Err(match e {
-                    FilterError::WordOverflow { .. } => FilterError::WordOverflow { word },
-                    other => other,
-                });
+                return Err(e.at(word));
             }
         }
         Ok(())
@@ -326,6 +324,65 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
         self.remove_batch_bytes(&views)
     }
+
+    /// One `Acquire` load per word into a plain vector. Each word is
+    /// internally consistent (a word is one atomic cell); the vector as a
+    /// whole is a *point-in-time-per-word* snapshot, so seal/scrub pairs
+    /// are only meaningful when the filter is quiescent — concurrent
+    /// updates legitimately change CRCs.
+    pub fn raw_snapshot(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Checksums the current word array (see [`Self::raw_snapshot`] for
+    /// the quiescence caveat).
+    pub fn seal(&self) -> FilterSeal {
+        FilterSeal::compute(&self.raw_snapshot())
+    }
+
+    /// Structural self-check: re-walks every word's hierarchy invariants
+    /// against a fresh snapshot. Unlike seal/scrub this is sound even
+    /// under concurrency — every legitimate CAS publishes an
+    /// invariant-respecting word, so any violation is genuine damage.
+    pub fn verify(&self) -> Result<(), FilterError> {
+        let b1 = self.shape.b1;
+        for (i, w) in self.words.iter().enumerate() {
+            let word = HcbfWord::from_raw(w.load(Ordering::Acquire));
+            if word.check_invariants(b1).is_err() {
+                return Err(FilterError::CorruptionDetected {
+                    segment: segment_of(i),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Compares a fresh snapshot against `seal` segment by segment and
+    /// re-walks the word invariants; returns every damaged segment.
+    ///
+    /// # Panics
+    /// Panics if `seal` was computed over a different word count.
+    pub fn scrub(&self, seal: &FilterSeal) -> ScrubReport {
+        let snapshot = self.raw_snapshot();
+        let mut corrupt = seal.diff(&snapshot);
+        let b1 = self.shape.b1;
+        for (i, &raw) in snapshot.iter().enumerate() {
+            if HcbfWord::from_raw(raw).check_invariants(b1).is_err() {
+                corrupt.push(segment_of(i));
+            }
+        }
+        ScrubReport::new(seal.segments(), corrupt)
+    }
+
+    /// Fault-injection hook: atomically XORs `mask` into word `word`,
+    /// simulating an in-memory bit flip for scrub drills. Never part of
+    /// normal operation.
+    pub fn corrupt_word_xor(&self, word: usize, mask: u64) {
+        self.words[word].fetch_xor(mask, Ordering::AcqRel);
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +519,46 @@ mod tests {
         }
         assert!(!f.contains(&"hot-key"));
         assert_eq!(f.total_load(), 0);
+    }
+
+    #[test]
+    fn scrub_localises_injected_damage() {
+        use mpcbf_core::scrub::SEGMENT_WORDS;
+        let f = filter();
+        for i in 0..3_000u64 {
+            f.insert(&i).unwrap();
+        }
+        assert_eq!(f.verify(), Ok(()));
+        let seal = f.seal();
+        assert!(f.scrub(&seal).is_clean());
+
+        // One bit flip in word 200: exactly segment 200/64 = 3 is dirty.
+        f.corrupt_word_xor(200, 1 << 11);
+        let report = f.scrub(&seal);
+        assert_eq!(report.corrupt_segments, vec![200 / SEGMENT_WORDS]);
+        assert_eq!(report.segments_checked, seal.segments());
+
+        // Undo restores a clean scrub.
+        f.corrupt_word_xor(200, 1 << 11);
+        assert!(f.scrub(&seal).is_clean());
+    }
+
+    #[test]
+    fn verify_detects_invariant_breaking_flip() {
+        use mpcbf_core::scrub::segment_of;
+        let f = filter();
+        for i in 0..500u64 {
+            f.insert(&i).unwrap();
+        }
+        // A high bit with no supporting hierarchy below it breaks the
+        // level-walk invariant — detectable without any seal.
+        f.corrupt_word_xor(321, 1 << 63);
+        assert_eq!(
+            f.verify(),
+            Err(FilterError::CorruptionDetected {
+                segment: segment_of(321)
+            })
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_bitvec::Word;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
+use mpcbf_core::scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
 use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
 use mpcbf_hash::{Hasher128, Murmur3};
 use parking_lot::Mutex;
@@ -127,6 +128,35 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                     .sum::<u64>()
             })
             .sum()
+    }
+
+    /// Checksummed segments per shard (each shard is sealed and scrubbed
+    /// independently; global segment index = `shard · this + local`).
+    fn segments_per_shard(&self) -> usize {
+        (self.words_per_shard as usize).div_ceil(SEGMENT_WORDS)
+    }
+
+    /// Epoch-based structural self-check: takes each shard lock exactly
+    /// once (like the batch pipeline's shard runs) and re-walks every
+    /// word's hierarchy invariants. Concurrent operations on other shards
+    /// proceed untouched while one shard is being checked.
+    ///
+    /// Damage is reported as a global segment index: shard `s`, local
+    /// word `i` lands in segment `s · segments_per_shard + i / SEGMENT_WORDS`.
+    pub fn verify(&self) -> Result<(), FilterError> {
+        let b1 = self.shape.b1;
+        let per = self.segments_per_shard();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock();
+            for (i, w) in guard.iter().enumerate() {
+                if w.check_invariants(b1).is_err() {
+                    return Err(FilterError::CorruptionDetected {
+                        segment: s * per + i / SEGMENT_WORDS,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Splits a digest into (shard index, probe digest) along the
@@ -349,6 +379,73 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 }
 
+impl<H: Hasher128> ShardedMpcbf<u64, H> {
+    /// The raw word array of one shard (diagnostics and fault drills).
+    pub fn shard_raw_words(&self, shard: usize) -> Vec<u64> {
+        self.shards[shard].lock().iter().map(|w| *w.raw()).collect()
+    }
+
+    /// Epoch-based seal: checksums every shard's word array, taking each
+    /// shard lock exactly once. Returns one [`FilterSeal`] per shard.
+    ///
+    /// Like the sequential seal, any legitimate update after sealing
+    /// flips its segment's CRC, so seal/scrub pairs are meaningful on
+    /// quiescent (or per-shard-quiesced) filters — re-seal after updates.
+    pub fn seal(&self) -> Vec<FilterSeal> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.lock();
+                let raw: Vec<u64> = guard.iter().map(|w| *w.raw()).collect();
+                FilterSeal::compute(&raw)
+            })
+            .collect()
+    }
+
+    /// Epoch-based scrub: per shard, takes the lock once, recomputes the
+    /// segment CRCs against that shard's seal and re-walks the word
+    /// invariants. Damage is reported with global segment indices (see
+    /// [`ShardedMpcbf::verify`]).
+    ///
+    /// # Panics
+    /// Panics if `seals` was not produced by [`ShardedMpcbf::seal`] on an
+    /// identically-shaped filter.
+    pub fn scrub(&self, seals: &[FilterSeal]) -> ScrubReport {
+        assert_eq!(
+            seals.len(),
+            self.shards.len(),
+            "seal covers {} shards, filter has {}",
+            seals.len(),
+            self.shards.len()
+        );
+        let b1 = self.shape.b1;
+        let per = self.segments_per_shard();
+        let mut corrupt = Vec::new();
+        let mut checked = 0usize;
+        for (s, (shard, seal)) in self.shards.iter().zip(seals).enumerate() {
+            let guard = shard.lock();
+            let raw: Vec<u64> = guard.iter().map(|w| *w.raw()).collect();
+            corrupt.extend(seal.diff(&raw).into_iter().map(|seg| s * per + seg));
+            for (i, w) in guard.iter().enumerate() {
+                if w.check_invariants(b1).is_err() {
+                    corrupt.push(s * per + i / SEGMENT_WORDS);
+                }
+            }
+            checked += seal.segments();
+        }
+        ScrubReport::new(checked, corrupt)
+    }
+
+    /// Fault-injection hook: XORs `mask` into word `word` of shard
+    /// `shard`, simulating an in-memory bit flip for scrub drills. Never
+    /// part of normal operation.
+    pub fn corrupt_word_xor(&self, shard: usize, word: usize, mask: u64) {
+        let mut guard = self.shards[shard].lock();
+        let damaged = guard[word].raw() ^ mask;
+        guard[word] = HcbfWord::from_raw(damaged);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +653,49 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn epoch_scrub_localises_injected_damage() {
+        let f = filter();
+        for i in 0..3_000u64 {
+            f.insert(&i).unwrap();
+        }
+        assert_eq!(f.verify(), Ok(()));
+        let seals = f.seal();
+        assert_eq!(seals.len(), f.shard_count());
+        assert!(f.scrub(&seals).is_clean());
+
+        // Flip one bit in shard 5, word 3: exactly one global segment dirty.
+        f.corrupt_word_xor(5, 3, 1 << 20);
+        let report = f.scrub(&seals);
+        let per = seals[0].segments();
+        assert_eq!(report.corrupt_segments, vec![5 * per]);
+        assert_eq!(report.segments_checked, per * f.shard_count());
+
+        // Undo: clean again; damage in two shards reports both segments.
+        f.corrupt_word_xor(5, 3, 1 << 20);
+        assert!(f.scrub(&seals).is_clean());
+        f.corrupt_word_xor(0, 0, 1);
+        f.corrupt_word_xor(9, 1, 1 << 40);
+        let report = f.scrub(&seals);
+        assert_eq!(report.corrupt_segments, vec![0, 9 * per]);
+    }
+
+    #[test]
+    fn verify_detects_invariant_breaking_flip() {
+        let f = filter();
+        for i in 0..500u64 {
+            f.insert(&i).unwrap();
+        }
+        // Setting a high bit with no supporting hierarchy below it breaks
+        // the level-walk invariant in shard 2's word 0.
+        f.corrupt_word_xor(2, 0, 1 << 63);
+        let per = (f.shard_raw_words(0).len()).div_ceil(SEGMENT_WORDS);
+        assert_eq!(
+            f.verify(),
+            Err(FilterError::CorruptionDetected { segment: 2 * per })
+        );
     }
 
     #[test]

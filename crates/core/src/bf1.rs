@@ -10,7 +10,7 @@
 use crate::metrics::{OpCost, WordTouches};
 use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::Filter;
-use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
+use crate::{split_hashes, ConfigError, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::BitVec;
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
@@ -44,13 +44,35 @@ impl<H: Hasher128> BfG<H> {
     /// over `g` words.
     ///
     /// # Panics
-    /// Panics unless `l ≥ 2`, `w ∈ 8..=512`, `1 ≤ g ≤ k ≤ 64`, `g ≤ 8`.
+    /// Panics unless `l ≥ 2`, `w ∈ 8..=512`, `1 ≤ g ≤ k ≤ 64`, `g ≤ 8`;
+    /// use [`BfG::try_new`] to handle untrusted shapes as errors.
     pub fn new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Self {
-        assert!(l >= 2, "need at least two words");
-        assert!((8..=512).contains(&w), "word size {w} out of 8..=512");
-        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
-        assert!(g >= 1 && g <= k && g <= 8, "bad g = {g} for k = {k}");
-        BfG {
+        match Self::try_new(l, w, k, g, seed) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`BfG::new`]: validates the shape and
+    /// returns a [`ConfigError`] instead of panicking.
+    pub fn try_new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Result<Self, ConfigError> {
+        if l < 2 {
+            return Err(ConfigError::InsufficientMemory {
+                detail: "need at least two words".into(),
+            });
+        }
+        if !(8..=512).contains(&w) {
+            return Err(ConfigError::BadGeometry {
+                detail: format!("word size {w} out of 8..=512"),
+            });
+        }
+        if !(1..=64).contains(&k) {
+            return Err(ConfigError::BadHashCount { k });
+        }
+        if g < 1 || g > k || g > 8 {
+            return Err(ConfigError::BadAccessCount { g });
+        }
+        Ok(BfG {
             bits: BitVec::new(l * w as usize),
             l,
             w,
@@ -59,7 +81,7 @@ impl<H: Hasher128> BfG<H> {
             seed,
             items: 0,
             _hasher: PhantomData,
-        }
+        })
     }
 
     /// Convenience: BF-1 (single memory access).
@@ -334,9 +356,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad g")]
+    #[should_panic(expected = "must satisfy")]
     fn g_greater_than_k_panics() {
         let _ = BfG::<Murmur3>::new(16, 64, 2, 3, 0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_shapes() {
+        use crate::ConfigError;
+        assert!(matches!(
+            BfG::<Murmur3>::try_new(1, 64, 3, 1, 0),
+            Err(ConfigError::InsufficientMemory { .. })
+        ));
+        assert!(matches!(
+            BfG::<Murmur3>::try_new(16, 7, 3, 1, 0),
+            Err(ConfigError::BadGeometry { .. })
+        ));
+        assert_eq!(
+            BfG::<Murmur3>::try_new(16, 64, 0, 1, 0).err(),
+            Some(ConfigError::BadHashCount { k: 0 })
+        );
+        assert_eq!(
+            BfG::<Murmur3>::try_new(16, 64, 2, 3, 0).err(),
+            Some(ConfigError::BadAccessCount { g: 3 })
+        );
+        assert!(BfG::<Murmur3>::try_new(16, 64, 3, 2, 0).is_ok());
     }
 
     #[test]

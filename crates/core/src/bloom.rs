@@ -7,7 +7,7 @@
 use crate::metrics::{OpCost, WordTouches};
 use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::Filter;
-use crate::FilterError;
+use crate::{ConfigError, FilterError};
 use mpcbf_bitvec::BitVec;
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
@@ -39,18 +39,35 @@ impl<H: Hasher128> BloomFilter<H> {
     /// Creates a Bloom filter with `m` bits and `k` hash functions.
     ///
     /// # Panics
-    /// Panics if `m == 0` or `k` is outside `1..=64`.
+    /// Panics if `m == 0` or `k` is outside `1..=64`; use
+    /// [`BloomFilter::try_new`] to handle untrusted shapes as errors.
     pub fn new(m: usize, k: u32, seed: u64) -> Self {
-        assert!(m > 0, "m must be positive");
-        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
-        BloomFilter {
+        match Self::try_new(m, k, seed) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`BloomFilter::new`]: validates the shape
+    /// and returns a [`ConfigError`] instead of panicking, for callers
+    /// (CLIs, config loaders) handling untrusted parameters.
+    pub fn try_new(m: usize, k: u32, seed: u64) -> Result<Self, ConfigError> {
+        if m == 0 {
+            return Err(ConfigError::InsufficientMemory {
+                detail: "bit vector needs at least one bit".into(),
+            });
+        }
+        if !(1..=64).contains(&k) {
+            return Err(ConfigError::BadHashCount { k });
+        }
+        Ok(BloomFilter {
             bits: BitVec::new(m),
             k,
             seed,
             word_bits: 64,
             items: 0,
             _hasher: PhantomData,
-        }
+        })
     }
 
     /// Sets the machine-word width used when counting memory accesses.
@@ -282,9 +299,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of 1..=64")]
+    #[should_panic(expected = "1..=64")]
     fn zero_k_panics() {
         let _ = Bf::new(100, 0, 0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_shapes() {
+        use crate::ConfigError;
+        assert!(matches!(
+            Bf::try_new(0, 3, 0),
+            Err(ConfigError::InsufficientMemory { .. })
+        ));
+        assert_eq!(
+            Bf::try_new(100, 0, 0).err(),
+            Some(ConfigError::BadHashCount { k: 0 })
+        );
+        assert_eq!(
+            Bf::try_new(100, 65, 0).err(),
+            Some(ConfigError::BadHashCount { k: 65 })
+        );
+        assert!(Bf::try_new(100, 3, 0).is_ok());
     }
 
     #[test]

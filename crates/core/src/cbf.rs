@@ -9,8 +9,9 @@
 
 use crate::metrics::{OpCost, WordTouches};
 use crate::plan::{prefetch_read, ProbePlan};
+use crate::scrub::{segment_of, FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
-use crate::FilterError;
+use crate::{ConfigError, FilterError};
 use mpcbf_bitvec::CounterVec;
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
@@ -41,31 +42,77 @@ pub struct Cbf<H: Hasher128 = Murmur3> {
 
 impl<H: Hasher128> Cbf<H> {
     /// Creates a CBF with `m` counters of the paper's default 4 bits.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape; use [`Cbf::try_new`] to handle
+    /// untrusted parameters as errors.
     pub fn new(m: usize, k: u32, seed: u64) -> Self {
         Self::with_counter_width(m, 4, k, seed)
     }
 
+    /// Fallible counterpart of [`Cbf::new`].
+    pub fn try_new(m: usize, k: u32, seed: u64) -> Result<Self, ConfigError> {
+        Self::try_with_counter_width(m, 4, k, seed)
+    }
+
     /// Creates a CBF sized to a memory budget of `memory_bits`
     /// (`m = memory_bits / 4`), the layout used in all comparisons.
+    ///
+    /// # Panics
+    /// Panics on an invalid shape; use [`Cbf::try_with_memory`] to handle
+    /// untrusted parameters as errors.
     pub fn with_memory(memory_bits: u64, k: u32, seed: u64) -> Self {
         Self::new((memory_bits / 4) as usize, k, seed)
+    }
+
+    /// Fallible counterpart of [`Cbf::with_memory`].
+    pub fn try_with_memory(memory_bits: u64, k: u32, seed: u64) -> Result<Self, ConfigError> {
+        Self::try_new((memory_bits / 4) as usize, k, seed)
     }
 
     /// Creates a CBF with an explicit counter width.
     ///
     /// # Panics
-    /// Panics if `m == 0`, `k ∉ 1..=64` or `width ∉ 1..=32`.
+    /// Panics if `m == 0`, `k ∉ 1..=64` or `width ∉ 1..=32`; use
+    /// [`Cbf::try_with_counter_width`] to handle untrusted parameters as
+    /// errors.
     pub fn with_counter_width(m: usize, width: u32, k: u32, seed: u64) -> Self {
-        assert!(m > 0, "m must be positive");
-        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
-        Cbf {
+        match Self::try_with_counter_width(m, width, k, seed) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Cbf::with_counter_width`]: validates the
+    /// shape and returns a [`ConfigError`] instead of panicking, for
+    /// callers (CLIs, config loaders) handling untrusted parameters.
+    pub fn try_with_counter_width(
+        m: usize,
+        width: u32,
+        k: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if m == 0 {
+            return Err(ConfigError::InsufficientMemory {
+                detail: "counter vector needs at least one counter".into(),
+            });
+        }
+        if !(1..=32).contains(&width) {
+            return Err(ConfigError::BadGeometry {
+                detail: format!("counter width {width} out of 1..=32"),
+            });
+        }
+        if !(1..=64).contains(&k) {
+            return Err(ConfigError::BadHashCount { k });
+        }
+        Ok(Cbf {
             counters: CounterVec::new(m, width),
             k,
             seed,
             word_bits: 64,
             items: 0,
             _hasher: PhantomData,
-        }
+        })
     }
 
     /// Sets the machine-word width used when counting memory accesses.
@@ -114,6 +161,56 @@ impl<H: Hasher128> Cbf<H> {
             self.counters.width(),
             self.counters.saturations(),
         )
+    }
+
+    /// Checksums the current counter storage into a [`FilterSeal`].
+    ///
+    /// Take a seal whenever the filter is known healthy (after a batch of
+    /// updates, before going idle); [`Cbf::scrub`] later compares the
+    /// storage against it to localise silent memory corruption.
+    pub fn seal(&self) -> FilterSeal {
+        FilterSeal::compute(self.counters.raw_limbs())
+    }
+
+    /// Checks the structural invariants no sequence of operations can
+    /// violate: the padding bits past the last counter must stay zero.
+    ///
+    /// Flat counters carry far weaker invariants than the HCBF hierarchy
+    /// (any counter value is reachable), so `verify` alone catches only
+    /// flips landing in the padding; pair it with a [`Cbf::seal`] and
+    /// [`Cbf::scrub`] for full coverage.
+    pub fn verify(&self) -> Result<(), FilterError> {
+        let limbs = self.counters.raw_limbs();
+        if let Some((&last, _)) = limbs.split_last() {
+            let used = self.counters.memory_bits() - (limbs.len() - 1) * 64;
+            if used < 64 && (last >> used) != 0 {
+                return Err(FilterError::CorruptionDetected {
+                    segment: segment_of(limbs.len() - 1),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Scrubs the counter storage against a previously taken seal,
+    /// reporting every segment whose checksum or structural invariants no
+    /// longer hold.
+    ///
+    /// # Panics
+    /// Panics if `seal` was taken from a different-sized filter.
+    pub fn scrub(&self, seal: &FilterSeal) -> ScrubReport {
+        let mut corrupt = seal.diff(self.counters.raw_limbs());
+        if let Err(FilterError::CorruptionDetected { segment }) = self.verify() {
+            corrupt.push(segment);
+        }
+        ScrubReport::new(seal.segments(), corrupt)
+    }
+
+    /// Fault-injection hook: XORs `mask` into raw limb `limb`, simulating
+    /// an in-memory bit flip. Test/diagnostic use only — the damage is
+    /// exactly what [`Cbf::scrub`] exists to detect.
+    pub fn corrupt_limb_xor(&mut self, limb: usize, mask: u64) {
+        self.counters.xor_limb(limb, mask);
     }
 
     /// Rebuilds a filter from raw storage (the codec's decode path).
@@ -470,6 +567,72 @@ mod tests {
         assert_eq!(br, sr);
         assert_eq!(batch.raw_parts().0, scalar.raw_parts().0);
         assert_eq!(batch.items(), scalar.items());
+    }
+
+    #[test]
+    fn try_constructors_report_bad_shapes() {
+        use crate::ConfigError;
+        assert!(matches!(
+            C::try_new(0, 3, 0),
+            Err(ConfigError::InsufficientMemory { .. })
+        ));
+        assert!(matches!(
+            C::try_with_memory(3, 3, 0), // 3 bits -> zero counters
+            Err(ConfigError::InsufficientMemory { .. })
+        ));
+        assert!(matches!(
+            C::try_with_counter_width(100, 33, 3, 0),
+            Err(ConfigError::BadGeometry { .. })
+        ));
+        assert_eq!(
+            C::try_new(100, 0, 0).err(),
+            Some(ConfigError::BadHashCount { k: 0 })
+        );
+        assert!(C::try_new(100, 3, 0).is_ok());
+        assert!(C::try_with_memory(4_000, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn scrub_detects_injected_bit_flip() {
+        let mut f = C::new(10_000, 3, 11);
+        for i in 0..500u64 {
+            f.insert(&i).unwrap();
+        }
+        assert_eq!(f.verify(), Ok(()));
+        let seal = f.seal();
+        assert!(f.scrub(&seal).is_clean());
+
+        f.corrupt_limb_xor(100, 1 << 17);
+        let report = f.scrub(&seal);
+        assert_eq!(report.corrupt_segments, vec![segment_of(100)]);
+        assert_eq!(
+            report.to_result(),
+            Err(FilterError::CorruptionDetected {
+                segment: segment_of(100)
+            })
+        );
+
+        // Undo the flip: the same seal scrubs clean again.
+        f.corrupt_limb_xor(100, 1 << 17);
+        assert!(f.scrub(&seal).is_clean());
+    }
+
+    #[test]
+    fn verify_catches_padding_damage() {
+        // 100 counters x 4 bits = 400 bits: limb 6 uses 16 bits, the top
+        // 48 are padding no legitimate operation ever writes.
+        let mut f = C::new(100, 3, 0);
+        assert_eq!(f.verify(), Ok(()));
+        f.corrupt_limb_xor(6, 1 << 60);
+        assert_eq!(
+            f.verify(),
+            Err(FilterError::CorruptionDetected { segment: 0 })
+        );
+        // verify() damage also surfaces through a scrub of a clean seal.
+        f.corrupt_limb_xor(6, 1 << 60);
+        let seal = f.seal();
+        f.corrupt_limb_xor(6, 1 << 60);
+        assert_eq!(f.scrub(&seal).corrupt_segments, vec![0]);
     }
 
     #[test]

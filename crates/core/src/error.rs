@@ -22,6 +22,16 @@ pub enum FilterError {
     /// A deletion targeted an element that is not in the filter
     /// (one of its counters was already zero).
     NotPresent,
+    /// A verify/scrub pass found state that no sequence of filter
+    /// operations can produce: a structural invariant is violated or a
+    /// segment checksum no longer matches (e.g. a radiation-style bit
+    /// flip in memory). The filter's answers for keys hashing into the
+    /// damaged segment can no longer be trusted.
+    CorruptionDetected {
+        /// Index of the damaged word segment (see
+        /// [`crate::scrub::SEGMENT_WORDS`]).
+        segment: usize,
+    },
 }
 
 impl fmt::Display for FilterError {
@@ -32,6 +42,9 @@ impl fmt::Display for FilterError {
             }
             FilterError::NotPresent => {
                 write!(f, "cannot delete: element is not present in the filter")
+            }
+            FilterError::CorruptionDetected { segment } => {
+                write!(f, "memory corruption detected in word segment {segment}")
             }
         }
     }
@@ -61,6 +74,12 @@ pub enum ConfigError {
     },
     /// The derived MPCBF shape was infeasible (first level too small).
     Shape(mpcbf_analysis::heuristic::ShapeError),
+    /// A structural parameter (word size, counter width, word count, …)
+    /// is outside its supported range.
+    BadGeometry {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -80,6 +99,9 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::Shape(e) => write!(f, "infeasible MPCBF shape: {e}"),
+            ConfigError::BadGeometry { detail } => {
+                write!(f, "invalid filter geometry: {detail}")
+            }
         }
     }
 }
@@ -109,8 +131,16 @@ mod tests {
             .to_string()
             .contains('3'));
         assert!(FilterError::NotPresent.to_string().contains("not present"));
+        assert!(FilterError::CorruptionDetected { segment: 7 }
+            .to_string()
+            .contains("segment 7"));
         assert!(ConfigError::ZeroItems.to_string().contains("positive"));
         assert!(ConfigError::BadHashCount { k: 0 }.to_string().contains('0'));
+        assert!(ConfigError::BadGeometry {
+            detail: "w = 7".into()
+        }
+        .to_string()
+        .contains("w = 7"));
     }
 
     #[test]

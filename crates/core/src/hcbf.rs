@@ -29,6 +29,44 @@ use crate::FilterError;
 use mpcbf_bitvec::Word;
 use mpcbf_hash::mix::bits_for;
 
+/// Errors a single-word HCBF operation can report.
+///
+/// A word does not know its own index inside the enclosing filter, so its
+/// errors are *word-local*; callers attach the real word index via
+/// [`WordError::at`] at the point where the index is known. This makes a
+/// fabricated index (the old `WordOverflow { word: 0 }` placeholder)
+/// unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordError {
+    /// The word has no spare hierarchy bit for another increment.
+    Overflow,
+    /// A decrement targeted a counter that is already zero.
+    ZeroCounter,
+}
+
+impl WordError {
+    /// Converts a word-local error into the filter-level error for the
+    /// word at index `word`.
+    #[inline]
+    pub fn at(self, word: usize) -> FilterError {
+        match self {
+            WordError::Overflow => FilterError::WordOverflow { word },
+            WordError::ZeroCounter => FilterError::NotPresent,
+        }
+    }
+}
+
+impl std::fmt::Display for WordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WordError::Overflow => write!(f, "word overflow: no hierarchy space left"),
+            WordError::ZeroCounter => write!(f, "counter already zero"),
+        }
+    }
+}
+
+impl std::error::Error for WordError {}
+
 /// Report returned by a successful increment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IncrementReport {
@@ -135,14 +173,14 @@ impl<W: Word> HcbfWord<W> {
     ///
     /// Walks the chain of ones to its first zero, flips it, and splices a
     /// zero child slot into the next level. Fails with
-    /// [`FilterError::WordOverflow`] (word index 0; the caller substitutes
-    /// the real index) when the word has no spare bit, leaving the word
-    /// unchanged.
-    pub fn increment(&mut self, p: u32, b1: u32) -> Result<IncrementReport, FilterError> {
+    /// [`WordError::Overflow`] when the word has no spare bit, leaving the
+    /// word unchanged; the caller maps it to the filter-level error via
+    /// [`WordError::at`] with the real word index.
+    pub fn increment(&mut self, p: u32, b1: u32) -> Result<IncrementReport, WordError> {
         debug_assert!(p < b1 && b1 <= W::BITS);
         // Capacity: inserting always consumes exactly one bit.
         if self.used_bits(b1) >= W::BITS {
-            return Err(FilterError::WordOverflow { word: 0 });
+            return Err(WordError::Overflow);
         }
         let mut level_start = 0u32;
         let mut level_size = b1;
@@ -175,12 +213,12 @@ impl<W: Word> HcbfWord<W> {
     ///
     /// Walks to the deepest one on the chain, removes its (zero) child
     /// slot and clears the bit — the mirror of [`HcbfWord::increment`].
-    /// Fails with [`FilterError::NotPresent`] if the counter is zero,
+    /// Fails with [`WordError::ZeroCounter`] if the counter is zero,
     /// leaving the word unchanged.
-    pub fn decrement(&mut self, p: u32, b1: u32) -> Result<DecrementReport, FilterError> {
+    pub fn decrement(&mut self, p: u32, b1: u32) -> Result<DecrementReport, WordError> {
         debug_assert!(p < b1 && b1 <= W::BITS);
         if !self.bits.bit(p) {
-            return Err(FilterError::NotPresent);
+            return Err(WordError::ZeroCounter);
         }
         let mut level_start = 0u32;
         let mut level_size = b1;
@@ -230,7 +268,7 @@ impl<W: Word> HcbfWord<W> {
     /// all-or-nothing: on the first overflow the word is rolled back to
     /// its state before this call and the error returned. On success,
     /// returns the summed traversal bits of all increments.
-    pub fn increment_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, FilterError> {
+    pub fn increment_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, WordError> {
         let mut traversal_bits = 0u32;
         for (i, &p) in probes.iter().enumerate() {
             match self.increment(p, b1) {
@@ -249,9 +287,9 @@ impl<W: Word> HcbfWord<W> {
 
     /// Applies [`HcbfWord::decrement`] to every position in order,
     /// all-or-nothing: on the first zero counter the word is rolled back
-    /// and [`FilterError::NotPresent`] returned. On success, returns the
+    /// and [`WordError::ZeroCounter`] returned. On success, returns the
     /// summed traversal bits of all decrements.
-    pub fn decrement_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, FilterError> {
+    pub fn decrement_all(&mut self, probes: &[u32], b1: u32) -> Result<u32, WordError> {
         let mut traversal_bits = 0u32;
         for (i, &p) in probes.iter().enumerate() {
             match self.decrement(p, b1) {
@@ -455,20 +493,26 @@ mod tests {
             w.increment(0, b1).unwrap();
         }
         let before = *w.raw();
-        assert!(matches!(
-            w.increment(1, b1),
-            Err(FilterError::WordOverflow { .. })
-        ));
+        assert_eq!(w.increment(1, b1), Err(WordError::Overflow));
         assert_eq!(*w.raw(), before, "failed increment must not mutate");
         assert_eq!(w.counter(0, b1), 6);
     }
 
     #[test]
+    fn word_errors_map_to_filter_errors_with_real_index() {
+        assert_eq!(
+            WordError::Overflow.at(17),
+            FilterError::WordOverflow { word: 17 }
+        );
+        assert_eq!(WordError::ZeroCounter.at(3), FilterError::NotPresent);
+    }
+
+    #[test]
     fn decrement_of_zero_counter_errors() {
         let mut w = H64::new();
-        assert_eq!(w.decrement(7, 40), Err(FilterError::NotPresent));
+        assert_eq!(w.decrement(7, 40), Err(WordError::ZeroCounter));
         w.increment(6, 40).unwrap();
-        assert_eq!(w.decrement(7, 40), Err(FilterError::NotPresent));
+        assert_eq!(w.decrement(7, 40), Err(WordError::ZeroCounter));
         assert_eq!(w.counter(6, 40), 1);
     }
 
@@ -552,10 +596,7 @@ mod tests {
         }
         let before = *w.raw();
         // Capacity is 6; 3 more increments cannot all fit.
-        assert!(matches!(
-            w.increment_all(&[1, 2, 3], b1),
-            Err(FilterError::WordOverflow { .. })
-        ));
+        assert_eq!(w.increment_all(&[1, 2, 3], b1), Err(WordError::Overflow));
         assert_eq!(*w.raw(), before, "failed batch must not mutate");
     }
 
@@ -567,10 +608,7 @@ mod tests {
         }
         let before = *w.raw();
         // Position 9 is empty: the whole batch must be undone.
-        assert_eq!(
-            w.decrement_all(&[5, 8, 9], 40),
-            Err(FilterError::NotPresent)
-        );
+        assert_eq!(w.decrement_all(&[5, 8, 9], 40), Err(WordError::ZeroCounter));
         assert_eq!(*w.raw(), before);
         // A valid batch drains exactly the inserted multiset.
         w.decrement_all(&[5, 5, 8], 40).unwrap();

@@ -53,6 +53,8 @@ pub mod metrics;
 pub mod mpcbf;
 pub mod pcbf;
 pub mod plan;
+pub mod resilient;
+pub mod scrub;
 pub mod traits;
 
 pub use codec::CodecError;
@@ -62,11 +64,13 @@ pub use bloom::BloomFilter;
 pub use cbf::Cbf;
 pub use config::{MpcbfConfig, MpcbfConfigBuilder};
 pub use error::{ConfigError, FilterError};
-pub use hcbf::HcbfWord;
-pub use metrics::{AccessStats, OpCost, OpTally};
+pub use hcbf::{HcbfWord, WordError};
+pub use metrics::{AccessStats, HealthReport, OpCost, OpTally};
 pub use mpcbf::{Mpcbf, Mpcbf1};
 pub use pcbf::Pcbf;
 pub use plan::{prefetch_read, ProbePlan};
+pub use resilient::{ResilientMpcbf, ResilientSeal};
+pub use scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
 pub use traits::{CountingFilter, Filter};
 
 /// Salt for the word-selector hash stream (`H_1..H_g` in the paper).
@@ -98,10 +102,12 @@ pub mod prelude {
     pub use crate::cbf::Cbf;
     pub use crate::config::MpcbfConfig;
     pub use crate::error::{ConfigError, FilterError};
-    pub use crate::metrics::{AccessStats, OpCost};
+    pub use crate::metrics::{AccessStats, HealthReport, OpCost};
     pub use crate::mpcbf::{Mpcbf, Mpcbf1};
     pub use crate::pcbf::Pcbf;
     pub use crate::plan::ProbePlan;
+    pub use crate::resilient::{ResilientMpcbf, ResilientSeal};
+    pub use crate::scrub::{FilterSeal, ScrubReport};
     pub use crate::traits::{CountingFilter, Filter};
 }
 

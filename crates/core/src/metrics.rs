@@ -132,6 +132,47 @@ impl AccessStats {
     }
 }
 
+/// A point-in-time saturation snapshot of a counting filter.
+///
+/// The paper sizes words so overflow "never" happens on the expected
+/// workload; production traffic is skewed, so operators need to *see* how
+/// close a filter is to that cliff. `fill_ratio` and `max_word_load` track
+/// the main structure; the `spill_*` fields are nonzero only for
+/// [`ResilientMpcbf`](crate::resilient::ResilientMpcbf), which absorbs
+/// overflowing keys into a side structure instead of refusing them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReport {
+    /// Net elements currently stored (main structure).
+    pub items: u64,
+    /// Stored increments over total hierarchy capacity, in `[0, 1]`.
+    pub fill_ratio: f64,
+    /// Increments stored in the most loaded word.
+    pub max_word_load: u32,
+    /// Increments one word can hold (`w − b1`).
+    pub word_capacity: u32,
+    /// Inserts the main structure refused because a word overflowed.
+    pub overflows: u64,
+    /// Distinct keys currently living in the spill structure.
+    pub spill_keys: u64,
+    /// Total multiplicity stored in the spill structure.
+    pub spill_occupancy: u64,
+    /// Lifetime count of inserts routed to the spill structure.
+    pub spilled_inserts: u64,
+}
+
+impl HealthReport {
+    /// True if any key currently lives in the spill structure.
+    pub fn is_spilling(&self) -> bool {
+        self.spill_occupancy > 0
+    }
+
+    /// True if the most loaded word has no room for another increment —
+    /// the next insert hashing there will overflow (or spill).
+    pub fn is_saturated(&self) -> bool {
+        self.max_word_load >= self.word_capacity
+    }
+}
+
 /// Deduplicating tracker for word indices touched within one operation.
 ///
 /// Operations touch at most a handful of words (`g ≤ 8` for MPCBF, `k ≤ 64`

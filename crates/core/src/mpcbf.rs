@@ -19,9 +19,10 @@
 //! multiset.
 
 use crate::config::MpcbfConfig;
-use crate::hcbf::HcbfWord;
-use crate::metrics::{OpCost, WordTouches};
+use crate::hcbf::{HcbfWord, WordError};
+use crate::metrics::{HealthReport, OpCost, WordTouches};
 use crate::plan::{prefetch_read, ProbePlan};
+use crate::scrub::{segment_of, FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_analysis::heuristic::MpcbfShape;
@@ -219,6 +220,53 @@ impl<W: Word, H: Hasher128> Mpcbf<W, H> {
         }
     }
 
+    /// Structural self-check: re-walks every word's hierarchy levels
+    /// against the §III.B.1 invariants (bits in use ≤ word width, zero
+    /// tail beyond the used region, level sizes = previous level's
+    /// popcount). No sequence of filter operations can violate them, so a
+    /// failure means external damage — reported as the containing
+    /// [`crate::scrub::SEGMENT_WORDS`]-word segment.
+    pub fn verify(&self) -> Result<(), FilterError> {
+        let b1 = self.shape.b1;
+        for (i, w) in self.words.iter().enumerate() {
+            if w.check_invariants(b1).is_err() {
+                return Err(FilterError::CorruptionDetected {
+                    segment: segment_of(i),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Saturation snapshot: how close each word is to the overflow cliff.
+    /// The `spill_*` fields are zero for a bare `Mpcbf`; see
+    /// [`crate::resilient::ResilientMpcbf::health`].
+    pub fn health(&self) -> HealthReport {
+        let capacity = self.shape.w - self.shape.b1;
+        let mut total_load = 0u64;
+        let mut max_load = 0u32;
+        for w in &self.words {
+            let load = w.total_count();
+            total_load += u64::from(load);
+            max_load = max_load.max(load);
+        }
+        let total_capacity = self.shape.l * u64::from(capacity);
+        HealthReport {
+            items: self.items,
+            fill_ratio: if total_capacity == 0 {
+                0.0
+            } else {
+                total_load as f64 / total_capacity as f64
+            },
+            max_word_load: max_load,
+            word_capacity: capacity,
+            overflows: self.overflows,
+            spill_keys: 0,
+            spill_occupancy: 0,
+            spilled_inserts: 0,
+        }
+    }
+
     /// Stage 1 of the batch pipeline: hash every key into a partitioned
     /// [`ProbePlan`] — the same word-selector and per-group streams as
     /// [`Mpcbf::for_each_position`].
@@ -279,7 +327,8 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
             let (word, p) = targets[i];
             match self.words[word].increment(p, b1) {
                 Ok(report) => traversal_bits += report.traversal_bits,
-                Err(FilterError::WordOverflow { .. }) => {
+                Err(e) => {
+                    debug_assert_eq!(e, WordError::Overflow);
                     // Roll back the increments already applied.
                     for &(rw, rp) in targets[..i].iter().rev() {
                         self.words[rw]
@@ -287,9 +336,8 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
                             .expect("rollback decrement must succeed");
                     }
                     self.overflows += 1;
-                    return Err(FilterError::WordOverflow { word });
+                    return Err(e.at(word));
                 }
-                Err(e) => unreachable!("increment cannot fail with {e:?}"),
             }
         }
         self.items += 1;
@@ -349,7 +397,7 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
         for plan in &plans {
             let mut touches = WordTouches::new();
             let mut traversal_bits = 0u32;
-            let mut failed: Option<usize> = None;
+            let mut failed: Option<(usize, WordError)> = None;
             let mut applied_groups = 0usize;
             for (word, probes) in plan.groups() {
                 touches.touch(word);
@@ -358,14 +406,14 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
                         traversal_bits += bits;
                         applied_groups += 1;
                     }
-                    Err(FilterError::WordOverflow { .. }) => {
-                        failed = Some(word);
+                    Err(e) => {
+                        debug_assert_eq!(e, WordError::Overflow);
+                        failed = Some((word, e));
                         break;
                     }
-                    Err(e) => unreachable!("increment cannot fail with {e:?}"),
                 }
             }
-            if let Some(word) = failed {
+            if let Some((word, e)) = failed {
                 let applied: Vec<(usize, &[u32])> = plan.groups().take(applied_groups).collect();
                 for &(rw, probes) in applied.iter().rev() {
                     self.words[rw]
@@ -373,7 +421,7 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
                         .expect("rollback decrement must succeed");
                 }
                 self.overflows += 1;
-                results.push(Err(FilterError::WordOverflow { word }));
+                results.push(Err(e.at(word)));
                 continue;
             }
             self.items += 1;
@@ -403,16 +451,16 @@ impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
             let (word, p) = targets[i];
             match self.words[word].decrement(p, b1) {
                 Ok(report) => traversal_bits += report.traversal_bits,
-                Err(FilterError::NotPresent) => {
+                Err(e) => {
+                    debug_assert_eq!(e, WordError::ZeroCounter);
                     // Roll back: the element was not (fully) present.
                     for &(rw, rp) in targets[..i].iter().rev() {
                         self.words[rw]
                             .increment(rp, b1)
                             .expect("rollback increment must succeed");
                     }
-                    return Err(FilterError::NotPresent);
+                    return Err(e.at(word));
                 }
-                Err(e) => unreachable!("decrement cannot fail with {e:?}"),
             }
         }
         self.items = self.items.saturating_sub(1);
@@ -443,11 +491,11 @@ impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
                         traversal_bits += bits;
                         applied_groups += 1;
                     }
-                    Err(FilterError::NotPresent) => {
+                    Err(e) => {
+                        debug_assert_eq!(e, WordError::ZeroCounter);
                         failed = true;
                         break;
                     }
-                    Err(e) => unreachable!("decrement cannot fail with {e:?}"),
                 }
             }
             if failed {
@@ -474,6 +522,43 @@ impl<H: Hasher128> Mpcbf<u64, H> {
     /// The raw word array (for the wire codec; 64-bit words only).
     pub fn raw_words(&self) -> Vec<u64> {
         self.words.iter().map(|w| *w.raw()).collect()
+    }
+
+    /// Checksums the current word array for later [`Mpcbf::scrub`] passes.
+    /// Re-seal after every batch of legitimate updates — any update flips
+    /// its segment's CRC, exactly like a corruption would.
+    pub fn seal(&self) -> FilterSeal {
+        FilterSeal::compute(&self.raw_words())
+    }
+
+    /// Scrub pass: recomputes every segment CRC against `seal` *and*
+    /// re-checks every word's structural invariants, reporting all damaged
+    /// segments. A clean report proves the filter is bit-identical to its
+    /// sealed state.
+    ///
+    /// # Panics
+    /// Panics if `seal` was taken from a differently-sized filter.
+    pub fn scrub(&self, seal: &FilterSeal) -> ScrubReport {
+        let raw = self.raw_words();
+        let mut corrupt = seal.diff(&raw);
+        let b1 = self.shape.b1;
+        for (i, w) in self.words.iter().enumerate() {
+            if w.check_invariants(b1).is_err() {
+                corrupt.push(segment_of(i));
+            }
+        }
+        ScrubReport::new(seal.segments(), corrupt)
+    }
+
+    /// XORs `mask` into the raw bits of word `word`.
+    ///
+    /// This is a fault-injection hook for corruption drills: it simulates
+    /// a memory bit flip that no filter operation could produce, so
+    /// [`Mpcbf::verify`]/[`Mpcbf::scrub`] drills have a real defect to
+    /// find. Never part of normal operation.
+    pub fn corrupt_word_xor(&mut self, word: usize, mask: u64) {
+        let damaged = self.words[word].raw() ^ mask;
+        self.words[word] = HcbfWord::from_raw(damaged);
     }
 
     /// Rebuilds a filter from decoded raw words (the codec's decode path).

@@ -11,7 +11,7 @@
 use crate::metrics::{OpCost, WordTouches};
 use crate::plan::{prefetch_read, ProbePlan};
 use crate::traits::{CountingFilter, Filter};
-use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
+use crate::{split_hashes, ConfigError, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::CounterVec;
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
@@ -50,17 +50,36 @@ impl<H: Hasher128> Pcbf<H> {
     ///
     /// # Panics
     /// Panics unless `l ≥ 2`, `w` is a multiple of 4 in `16..=512`,
-    /// `1 ≤ g ≤ k ≤ 64` and `g ≤ 8`.
+    /// `1 ≤ g ≤ k ≤ 64` and `g ≤ 8`; use [`Pcbf::try_new`] to handle
+    /// untrusted shapes as errors.
     pub fn new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Self {
-        assert!(l >= 2, "need at least two words");
-        assert!(
-            (16..=512).contains(&w) && w.is_multiple_of(4),
-            "bad word size {w}"
-        );
-        assert!((1..=64).contains(&k), "k = {k} out of 1..=64");
-        assert!(g >= 1 && g <= k && g <= 8, "bad g = {g} for k = {k}");
+        match Self::try_new(l, w, k, g, seed) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Pcbf::new`]: validates the shape and
+    /// returns a [`ConfigError`] instead of panicking.
+    pub fn try_new(l: usize, w: u32, k: u32, g: u32, seed: u64) -> Result<Self, ConfigError> {
+        if l < 2 {
+            return Err(ConfigError::InsufficientMemory {
+                detail: "need at least two words".into(),
+            });
+        }
+        if !(16..=512).contains(&w) || !w.is_multiple_of(4) {
+            return Err(ConfigError::BadGeometry {
+                detail: format!("word size {w} must be a multiple of 4 in 16..=512"),
+            });
+        }
+        if !(1..=64).contains(&k) {
+            return Err(ConfigError::BadHashCount { k });
+        }
+        if g < 1 || g > k || g > 8 {
+            return Err(ConfigError::BadAccessCount { g });
+        }
         let cpw = w / 4;
-        Pcbf {
+        Ok(Pcbf {
             counters: CounterVec::new(l * cpw as usize, 4),
             l,
             w,
@@ -70,12 +89,28 @@ impl<H: Hasher128> Pcbf<H> {
             seed,
             items: 0,
             _hasher: PhantomData,
-        }
+        })
     }
 
     /// Creates a PCBF-g sized to a memory budget (`l = memory_bits / w`).
     pub fn with_memory(memory_bits: u64, w: u32, k: u32, g: u32, seed: u64) -> Self {
         Self::new((memory_bits / u64::from(w)) as usize, w, k, g, seed)
+    }
+
+    /// Fallible counterpart of [`Pcbf::with_memory`].
+    pub fn try_with_memory(
+        memory_bits: u64,
+        w: u32,
+        k: u32,
+        g: u32,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if w == 0 {
+            return Err(ConfigError::BadGeometry {
+                detail: "word size must be nonzero".into(),
+            });
+        }
+        Self::try_new((memory_bits / u64::from(w)) as usize, w, k, g, seed)
     }
 
     /// Convenience: PCBF-1.
@@ -441,6 +476,32 @@ mod tests {
             assert_eq!(br, sr, "g={g}");
             assert_eq!(batch.items(), scalar.items(), "g={g}");
         }
+    }
+
+    #[test]
+    fn try_new_reports_bad_shapes() {
+        use crate::ConfigError;
+        assert!(matches!(
+            Pcbf::<Murmur3>::try_new(1, 64, 3, 1, 0),
+            Err(ConfigError::InsufficientMemory { .. })
+        ));
+        assert!(matches!(
+            Pcbf::<Murmur3>::try_new(16, 30, 3, 1, 0),
+            Err(ConfigError::BadGeometry { .. })
+        ));
+        assert_eq!(
+            Pcbf::<Murmur3>::try_new(16, 64, 65, 1, 0).err(),
+            Some(ConfigError::BadHashCount { k: 65 })
+        );
+        assert_eq!(
+            Pcbf::<Murmur3>::try_new(16, 64, 3, 9, 0).err(),
+            Some(ConfigError::BadAccessCount { g: 9 })
+        );
+        assert!(matches!(
+            Pcbf::<Murmur3>::try_with_memory(1000, 0, 3, 1, 0),
+            Err(ConfigError::BadGeometry { .. })
+        ));
+        assert!(Pcbf::<Murmur3>::try_new(16, 64, 3, 2, 0).is_ok());
     }
 
     #[test]

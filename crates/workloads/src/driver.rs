@@ -12,6 +12,7 @@
 //! harnesses can switch between the two and compare throughput only.
 
 use crate::churn::ChurnPlan;
+use crate::faults::{FaultPlan, StreamFaultLog};
 use crate::flowtrace::FlowTrace;
 use crate::synthetic::SyntheticWorkload;
 use mpcbf_core::metrics::OpCost;
@@ -159,9 +160,34 @@ pub fn replay_flowtrace<F: CountingFilter>(
     report
 }
 
+/// Replays the §IV.A synthetic protocol with a [`FaultPlan`] perturbing
+/// the *insert* stream (operations dropped or delivered twice before the
+/// filter sees them), modelling delivery faults between a workload
+/// producer and the filter. Queries and churn replay unperturbed.
+///
+/// The returned [`StreamFaultLog`] is the ground truth the caller's
+/// oracle must reconstruct: the filter's population diverges from the
+/// clean replay by exactly `log.delta()` insertions, so a harness that
+/// compares `items()` (or `total_load`) against the oracle detects every
+/// injected drop and duplicate.
+pub fn replay_synthetic_faulty<F: CountingFilter>(
+    filter: &mut F,
+    workload: &SyntheticWorkload,
+    batch: usize,
+    plan: &FaultPlan,
+) -> (DriverReport, StreamFaultLog) {
+    let mut report = DriverReport::default();
+    let (perturbed, log) = plan.perturb_stream(&workload.test_set);
+    insert_batched(filter, &perturbed, batch, &mut report);
+    query_batched(filter, &workload.queries, None, batch, &mut report);
+    churn_batched(filter, &workload.churn, batch, &mut report);
+    (report, log)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultMix;
     use crate::flowtrace::FlowTraceSpec;
     use crate::synthetic::SyntheticSpec;
     use mpcbf_core::{Mpcbf1, MpcbfConfig};
@@ -261,6 +287,50 @@ mod tests {
         );
         assert_eq!(r.deletes, t.churn.total_deletes() as u64);
         assert!(r.cost.word_accesses > 0 && r.cost.hash_bits > 0);
+    }
+
+    #[test]
+    fn faulty_replay_diverges_by_exactly_the_log() {
+        use crate::faults::FaultPlan;
+        // No churn: after the insert phase the filter population must
+        // diverge from a clean replay by exactly the logged delta, which
+        // is what an oracle comparing populations would detect.
+        let spec = SyntheticSpec {
+            periods: 0,
+            ..SyntheticSpec::default()
+        }
+        .scaled_down(100);
+        let w = SyntheticWorkload::generate(&spec);
+        let mix = FaultMix {
+            bit_flips: 0,
+            poisoned_shards: 0,
+            dropped_ops: 4,
+            duplicated_ops: 2,
+            hot_keys: 0,
+        };
+        let plan = FaultPlan::generate(0xFEED, mix);
+
+        let mut clean_f = filter();
+        let clean = replay_synthetic(&mut clean_f, &w, DEFAULT_BATCH);
+        let mut faulty_f = filter();
+        let (faulty, log) = replay_synthetic_faulty(&mut faulty_f, &w, DEFAULT_BATCH, &plan);
+
+        assert!(!log.is_clean(), "default positions must actually perturb");
+        assert_eq!(
+            faulty.inserts as i64,
+            clean.inserts as i64 + log.delta(),
+            "insert attempts shift by the logged delta"
+        );
+        assert_eq!(
+            faulty_f.items() as i64,
+            clean_f.items() as i64 + log.delta(),
+            "population shift is exactly the injected divergence"
+        );
+        // Reproducibility: the same seed yields the same divergence.
+        let mut again_f = filter();
+        let (again, log2) = replay_synthetic_faulty(&mut again_f, &w, DEFAULT_BATCH, &plan);
+        assert_eq!((again, log2), (faulty, log));
+        assert_eq!(again_f.raw_words(), faulty_f.raw_words());
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is generated from a seed and describes a reproducible
+//! campaign of injected defects: in-memory bit flips (for the scrub
+//! drills), poisoned shards (for the concurrent epoch-scrub drills),
+//! dropped and duplicated batch operations (delivery faults the
+//! differential oracle must notice), and hot keys hammered far past a
+//! word's capacity (forcing overflow so the spillover path has real work).
+//!
+//! The plan is *pure data* — it names structure-agnostic *hints* (a word
+//! hint, a shard hint, an op-stream index hint) that the consumer reduces
+//! modulo its own geometry. The same seed therefore drives the same
+//! campaign against any filter shape, and a failing seed reported by CI
+//! reproduces locally with no shrinking step.
+//!
+//! The harness contract is detection, not tolerance: every injected
+//! defect must be *caught* by the matching check — flips by
+//! `scrub()`/`verify()`, stream faults by the oracle's population
+//! accounting — while hot-key overflows must be *absorbed* by
+//! `ResilientMpcbf` with zero false negatives. The campaign itself lives
+//! in the bench crate's `stress --faults <seed>` mode; this module only
+//! describes it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR `mask` into the word selected by `word_hint % word_count`
+    /// (a sequential filter's scrub drill).
+    FlipBit {
+        /// Reduced modulo the target's word count.
+        word_hint: u64,
+        /// Nonzero XOR mask.
+        mask: u64,
+    },
+    /// XOR `mask` into one word of one shard of a sharded filter
+    /// (the epoch-scrub drill).
+    PoisonShard {
+        /// Reduced modulo the target's shard count.
+        shard_hint: u64,
+        /// Reduced modulo the shard's word count.
+        word_hint: u64,
+        /// Nonzero XOR mask.
+        mask: u64,
+    },
+    /// Silently drop the operation at `op_hint % stream_len` from a batch
+    /// stream (a lost update the oracle must notice).
+    DropOp {
+        /// Reduced modulo the perturbed stream's length.
+        op_hint: u64,
+    },
+    /// Deliver the operation at `op_hint % stream_len` twice (a replayed
+    /// update the oracle must notice).
+    DuplicateOp {
+        /// Reduced modulo the perturbed stream's length.
+        op_hint: u64,
+    },
+    /// Insert one key `copies` times — far past a single word's counter
+    /// capacity, forcing `WordOverflow` so the spill path engages.
+    HotKey {
+        /// The key value (consumers insert its little-endian bytes).
+        key: u64,
+        /// How many copies to insert (always > 64, past any word budget).
+        copies: u32,
+    },
+}
+
+/// How many faults of each kind [`FaultPlan::generate`] draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultMix {
+    /// `Fault::FlipBit` count.
+    pub bit_flips: usize,
+    /// `Fault::PoisonShard` count.
+    pub poisoned_shards: usize,
+    /// `Fault::DropOp` count.
+    pub dropped_ops: usize,
+    /// `Fault::DuplicateOp` count.
+    pub duplicated_ops: usize,
+    /// `Fault::HotKey` count.
+    pub hot_keys: usize,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        FaultMix {
+            bit_flips: 4,
+            poisoned_shards: 3,
+            dropped_ops: 5,
+            duplicated_ops: 3,
+            hot_keys: 2,
+        }
+    }
+}
+
+/// A seeded, reproducible fault campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The generating seed (kept for reporting).
+    pub seed: u64,
+    /// Every injected defect, in generation order.
+    pub faults: Vec<Fault>,
+}
+
+/// What [`FaultPlan::perturb_stream`] did to a stream, so the harness
+/// knows the exact population divergence the oracle must detect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamFaultLog {
+    /// Operations silently dropped.
+    pub dropped: usize,
+    /// Operations delivered twice.
+    pub duplicated: usize,
+}
+
+impl StreamFaultLog {
+    /// Net length change of the perturbed stream
+    /// (`duplicated − dropped`).
+    pub fn delta(&self) -> i64 {
+        self.duplicated as i64 - self.dropped as i64
+    }
+
+    /// True if no stream fault was applied.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0 && self.duplicated == 0
+    }
+}
+
+impl FaultPlan {
+    /// Draws a plan from `seed` with the given mix. Same seed + same mix
+    /// ⇒ identical plan, on every platform (the in-tree `StdRng` is
+    /// portable and versioned).
+    pub fn generate(seed: u64, mix: FaultMix) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let nonzero_mask = |rng: &mut StdRng| -> u64 {
+            loop {
+                let m: u64 = rng.gen();
+                if m != 0 {
+                    return m;
+                }
+            }
+        };
+        for _ in 0..mix.bit_flips {
+            faults.push(Fault::FlipBit {
+                word_hint: rng.gen(),
+                mask: nonzero_mask(&mut rng),
+            });
+        }
+        for _ in 0..mix.poisoned_shards {
+            faults.push(Fault::PoisonShard {
+                shard_hint: rng.gen(),
+                word_hint: rng.gen(),
+                mask: nonzero_mask(&mut rng),
+            });
+        }
+        for _ in 0..mix.dropped_ops {
+            faults.push(Fault::DropOp { op_hint: rng.gen() });
+        }
+        for _ in 0..mix.duplicated_ops {
+            faults.push(Fault::DuplicateOp { op_hint: rng.gen() });
+        }
+        for _ in 0..mix.hot_keys {
+            faults.push(Fault::HotKey {
+                key: rng.gen(),
+                copies: 65 + rng.gen_range(0..64u32),
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// The bit flips, as `(word_hint, mask)` pairs.
+    pub fn flips(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::FlipBit { word_hint, mask } => Some((word_hint, mask)),
+            _ => None,
+        })
+    }
+
+    /// The shard poisonings, as `(shard_hint, word_hint, mask)` triples.
+    pub fn poisonings(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::PoisonShard {
+                shard_hint,
+                word_hint,
+                mask,
+            } => Some((shard_hint, word_hint, mask)),
+            _ => None,
+        })
+    }
+
+    /// The hot keys, as `(key, copies)` pairs.
+    pub fn hot_keys(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::HotKey { key, copies } => Some((key, copies)),
+            _ => None,
+        })
+    }
+
+    /// Applies the plan's drop/duplicate faults to an operation stream,
+    /// returning the perturbed stream and a log of what changed.
+    ///
+    /// Hints are reduced modulo the *original* length, so the same plan
+    /// perturbs the same positions regardless of application order; drops
+    /// win over duplicates on a position targeted by both. An empty
+    /// stream is returned untouched.
+    pub fn perturb_stream<K: Clone>(&self, ops: &[K]) -> (Vec<K>, StreamFaultLog) {
+        let mut log = StreamFaultLog::default();
+        if ops.is_empty() {
+            return (Vec::new(), log);
+        }
+        let n = ops.len() as u64;
+        let mut action = vec![1u8; ops.len()]; // copies to deliver per op
+        for f in &self.faults {
+            match *f {
+                Fault::DropOp { op_hint } => action[(op_hint % n) as usize] = 0,
+                Fault::DuplicateOp { op_hint } => {
+                    let i = (op_hint % n) as usize;
+                    if action[i] != 0 {
+                        action[i] = 2;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::with_capacity(ops.len() + 4);
+        for (op, &copies) in ops.iter().zip(&action) {
+            match copies {
+                0 => log.dropped += 1,
+                1 => out.push(op.clone()),
+                _ => {
+                    out.push(op.clone());
+                    out.push(op.clone());
+                    log.duplicated += 1;
+                }
+            }
+        }
+        (out, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, FaultMix::default());
+        let b = FaultPlan::generate(42, FaultMix::default());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, FaultMix::default());
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn mix_counts_are_respected() {
+        let mix = FaultMix {
+            bit_flips: 2,
+            poisoned_shards: 1,
+            dropped_ops: 3,
+            duplicated_ops: 4,
+            hot_keys: 5,
+        };
+        let plan = FaultPlan::generate(7, mix);
+        assert_eq!(plan.flips().count(), 2);
+        assert_eq!(plan.poisonings().count(), 1);
+        assert_eq!(plan.hot_keys().count(), 5);
+        assert_eq!(
+            plan.faults.len(),
+            2 + 1 + 3 + 4 + 5,
+            "every fault is materialised"
+        );
+    }
+
+    #[test]
+    fn masks_are_nonzero_and_hot_keys_exceed_word_capacity() {
+        for seed in 0..50u64 {
+            let plan = FaultPlan::generate(seed, FaultMix::default());
+            for (_, mask) in plan.flips() {
+                assert_ne!(mask, 0);
+            }
+            for (_, _, mask) in plan.poisonings() {
+                assert_ne!(mask, 0);
+            }
+            for (_, copies) in plan.hot_keys() {
+                // A 64-bit word can never hold 65 increments of one key,
+                // whatever b1 is: overflow is guaranteed.
+                assert!(copies > 64);
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_stream_logs_exact_divergence() {
+        let plan = FaultPlan::generate(9, FaultMix::default());
+        let ops: Vec<u64> = (0..1_000).collect();
+        let (out, log) = plan.perturb_stream(&ops);
+        assert!(!log.is_clean());
+        assert_eq!(
+            out.len() as i64,
+            ops.len() as i64 + log.delta(),
+            "perturbed length must match the log"
+        );
+        // Determinism: applying the same plan twice gives the same stream.
+        let (out2, log2) = plan.perturb_stream(&ops);
+        assert_eq!(out, out2);
+        assert_eq!(log, log2);
+    }
+
+    #[test]
+    fn perturb_preserves_order_of_survivors() {
+        let plan = FaultPlan::generate(11, FaultMix::default());
+        let ops: Vec<u64> = (0..500).collect();
+        let (out, _) = plan.perturb_stream(&ops);
+        let mut last = None;
+        for &v in &out {
+            if let Some(prev) = last {
+                assert!(v >= prev, "survivors must stay in order");
+            }
+            last = Some(v);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_untouched() {
+        let plan = FaultPlan::generate(13, FaultMix::default());
+        let (out, log) = plan.perturb_stream::<u64>(&[]);
+        assert!(out.is_empty());
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn no_stream_faults_means_identity() {
+        let mix = FaultMix {
+            dropped_ops: 0,
+            duplicated_ops: 0,
+            ..FaultMix::default()
+        };
+        let plan = FaultPlan::generate(17, mix);
+        let ops: Vec<u64> = (0..100).collect();
+        let (out, log) = plan.perturb_stream(&ops);
+        assert_eq!(out, ops);
+        assert!(log.is_clean());
+    }
+}

@@ -26,19 +26,28 @@
 //! it chunks each phase into fixed-size batches and drives them through
 //! the filters' `*_batch_cost` operations, with results identical to a
 //! scalar replay.
+//!
+//! [`faults`] adds seeded, reproducible fault-injection plans (bit flips,
+//! poisoned shards, dropped/duplicated batch ops, forced-overflow hot
+//! keys) that the stress harness replays against the scrub/spillover
+//! machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod driver;
+pub mod faults;
 pub mod flowtrace;
 pub mod patents;
 pub mod synthetic;
 pub mod zipf;
 
 pub use churn::ChurnPlan;
-pub use driver::{replay_flowtrace, replay_synthetic, DriverReport, DEFAULT_BATCH};
+pub use driver::{
+    replay_flowtrace, replay_synthetic, replay_synthetic_faulty, DriverReport, DEFAULT_BATCH,
+};
+pub use faults::{Fault, FaultMix, FaultPlan, StreamFaultLog};
 pub use flowtrace::{FlowTrace, FlowTraceSpec};
 pub use patents::{PatentDataset, PatentSpec};
 pub use synthetic::{SyntheticSpec, SyntheticWorkload};

@@ -1,0 +1,141 @@
+//! Decoder hardening: `codec::decode` must never panic and must return a
+//! structured [`CodecError`] on any malformed image — arbitrary bytes,
+//! truncations, and single-bit flips (which the CRC-32 is mathematically
+//! guaranteed to catch).
+
+use mpcbf::core::{Cbf, Filter, Mpcbf, MpcbfConfig};
+use mpcbf::hash::Murmur3;
+use proptest::prelude::*;
+
+fn mpcbf_image() -> Vec<u8> {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(8_192)
+        .expected_items(80)
+        .hashes(3)
+        .seed(0xDEC0DE)
+        .build()
+        .unwrap();
+    let mut f: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+    for i in 0..60u64 {
+        let _ = f.insert(&i);
+    }
+    f.encode()
+}
+
+fn cbf_image() -> Vec<u8> {
+    let mut f: Cbf<Murmur3> = Cbf::new(500, 3, 0xDEC0DE);
+    for i in 0..200u64 {
+        f.insert(&i).unwrap();
+    }
+    f.encode()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_either_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        // Random bytes cannot carry a valid CRC except by a 2^-32
+        // accident; both decoders must refuse with a structured error,
+        // never panic. The error's Display must render, too.
+        if let Err(e) = Mpcbf::<u64, Murmur3>::decode(&bytes) {
+            prop_assert!(!e.to_string().is_empty());
+        } else {
+            // Astronomically unlikely; a panic-free Ok is still a pass.
+        }
+        if let Err(e) = Cbf::<Murmur3>::decode(&bytes) {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn valid_prefix_with_arbitrary_tail_never_panics(
+        cut in 0usize..600,
+        tail in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Grafting junk onto a truncated-but-well-formed prefix exercises
+        // the header/payload length paths behind the CRC gate.
+        let image = mpcbf_image();
+        let cut = cut.min(image.len());
+        let mut frankenstein = image[..cut].to_vec();
+        frankenstein.extend_from_slice(&tail);
+        let _ = Mpcbf::<u64, Murmur3>::decode(&frankenstein);
+        let _ = Cbf::<Murmur3>::decode(&frankenstein);
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_a_structured_error(cut_hint in 0usize..600) {
+        let image = mpcbf_image();
+        let cut = cut_hint % image.len();
+        let err = Mpcbf::<u64, Murmur3>::decode(&image[..cut]);
+        prop_assert!(err.is_err(), "cut at {} decoded successfully", cut);
+    }
+
+    #[test]
+    fn single_bit_flip_at_any_position_is_detected(
+        byte_hint in 0usize..600,
+        bit in 0u32..8,
+    ) {
+        let image = mpcbf_image();
+        let byte = byte_hint % image.len();
+        let mut corrupt = image.clone();
+        corrupt[byte] ^= 1 << bit;
+        prop_assert!(
+            Mpcbf::<u64, Murmur3>::decode(&corrupt).is_err(),
+            "flip of byte {} bit {} went undetected", byte, bit
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_small_image_is_detected_exhaustively() {
+    // CRC-32 detects *all* single-bit errors, so this holds for every
+    // position, not just sampled ones — cheap enough to prove outright.
+    type Case = (&'static str, Vec<u8>, fn(&[u8]) -> bool);
+    let cases: Vec<Case> = vec![
+        ("mpcbf", mpcbf_image(), |b: &[u8]| {
+            Mpcbf::<u64, Murmur3>::decode(b).is_ok()
+        }),
+        ("cbf", cbf_image(), |b: &[u8]| {
+            Cbf::<Murmur3>::decode(b).is_ok()
+        }),
+    ];
+    for (name, image, decodes) in cases {
+        assert!(decodes(&image), "{name}: pristine image must decode");
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut corrupt = image.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    !decodes(&corrupt),
+                    "{name}: flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decoded_errors_are_the_documented_variants() {
+    use mpcbf::core::CodecError;
+    assert_eq!(
+        Mpcbf::<u64, Murmur3>::decode(b"nope").err(),
+        Some(CodecError::Truncated)
+    );
+    let mut bad_magic = mpcbf_image();
+    bad_magic[0] = b'X';
+    assert_eq!(
+        Mpcbf::<u64, Murmur3>::decode(&bad_magic).err(),
+        Some(CodecError::BadMagic)
+    );
+    let image = mpcbf_image();
+    let mut flipped = image.clone();
+    let mid = image.len() / 2;
+    flipped[mid] ^= 0x10;
+    assert!(matches!(
+        Mpcbf::<u64, Murmur3>::decode(&flipped),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+}

@@ -4,8 +4,7 @@
 //! checked, after every operation, against a plain counter-array oracle
 //! and the structural invariants of §III.B.1.
 
-use mpcbf::core::hcbf::HcbfWord;
-use mpcbf::core::FilterError;
+use mpcbf::core::hcbf::{HcbfWord, WordError};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ fn check_against_oracle<W: mpcbf::bitvec::Word>(b1: u32, script: &[Op]) {
                     oracle[p as usize] += 1;
                     assert_eq!(report.new_count, oracle[p as usize], "inc report at {p}");
                 }
-                Err(FilterError::WordOverflow { .. }) => {
+                Err(WordError::Overflow) => {
                     // Only legal when the word is genuinely full.
                     assert_eq!(
                         word.used_bits(b1),
@@ -50,8 +49,8 @@ fn check_against_oracle<W: mpcbf::bitvec::Word>(b1: u32, script: &[Op]) {
                     oracle[p as usize] -= 1;
                     assert_eq!(report.new_count, oracle[p as usize], "dec report at {p}");
                 }
-                Err(FilterError::NotPresent) => {
-                    assert_eq!(oracle[p as usize], 0, "NotPresent on nonzero counter");
+                Err(WordError::ZeroCounter) => {
+                    assert_eq!(oracle[p as usize], 0, "ZeroCounter on nonzero counter");
                 }
                 Err(e) => panic!("unexpected decrement error {e:?}"),
             },

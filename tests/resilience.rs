@@ -1,0 +1,190 @@
+//! Saturation-safe operation, end to end: `ResilientMpcbf` must stay
+//! lossless when the main structure overflows (zero false negatives,
+//! exact drain on removal), its health counters must tell the truth, and
+//! the combined seal/scrub machinery must localise injected damage in
+//! either storage — the main word array or the spill gate.
+
+use mpcbf::core::{
+    CountingFilter, Filter, FilterError, Mpcbf, MpcbfConfig, ResilientMpcbf, SEGMENT_WORDS,
+};
+use mpcbf::hash::Murmur3;
+
+/// A deliberately undersized filter: 64 words of 64 bits, `n_max = 1`,
+/// so every word holds at most `w − b1` increments and a modest skewed
+/// workload drives it past the cliff.
+fn tiny_config(seed: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(4_096)
+        .expected_items(1_000)
+        .hashes(3)
+        .n_max(1)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// A comfortably sized filter for the scrub-focused tests.
+fn roomy_config(seed: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(200_000)
+        .expected_items(2_000)
+        .hashes(3)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn saturation_is_lossless_zero_false_negatives() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(tiny_config(1));
+    // A skewed stream: 400 distinct keys, the first 20 repeated heavily.
+    let mut stream: Vec<Vec<u8>> = Vec::new();
+    for i in 0..400u32 {
+        stream.push(format!("key-{i}").into_bytes());
+    }
+    for round in 0..30u32 {
+        for i in 0..20u32 {
+            stream.push(format!("key-{i}").into_bytes());
+        }
+        let _ = round;
+    }
+    for key in &stream {
+        f.insert_bytes_cost(key)
+            .expect("resilient insert must never fail");
+    }
+    assert!(
+        f.spilled_inserts() > 0,
+        "the workload was sized to overflow; nothing spilled"
+    );
+    for i in 0..400u32 {
+        assert!(
+            f.contains_bytes(format!("key-{i}").into_bytes().as_slice()),
+            "false negative for key-{i} under saturation"
+        );
+    }
+    assert_eq!(f.items(), stream.len() as u64);
+
+    let h = f.health();
+    assert!(h.is_spilling());
+    assert_eq!(h.spilled_inserts, f.spilled_inserts());
+    assert_eq!(h.spill_occupancy, f.spill_occupancy());
+    assert_eq!(h.items + h.spill_occupancy, stream.len() as u64);
+}
+
+#[test]
+fn drain_restores_the_empty_filter() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(tiny_config(2));
+    let hot = b"hammered".as_slice();
+    let copies = 120u32;
+    for _ in 0..copies {
+        f.insert_bytes_cost(hot).unwrap();
+    }
+    assert!(f.health().is_spilling());
+    for n in (0..copies).rev() {
+        f.remove_bytes_cost(hot).unwrap();
+        let expected = u64::from(n);
+        assert_eq!(f.items(), expected, "drain miscounted at {n}");
+    }
+    assert_eq!(f.items(), 0);
+    assert_eq!(f.spill_occupancy(), 0);
+    assert!(!f.contains_bytes(hot), "fully drained key still present");
+    assert!(matches!(
+        f.remove_bytes_cost(hot),
+        Err(FilterError::NotPresent)
+    ));
+}
+
+#[test]
+fn scrub_localises_damage_in_main_storage() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(roomy_config(3));
+    for i in 0..1_000u32 {
+        f.insert_bytes_cost(format!("k{i}").into_bytes().as_slice())
+            .unwrap();
+    }
+    let seal = f.seal();
+    assert!(f.scrub(&seal).is_clean());
+    let word = 3 * SEGMENT_WORDS + 7; // lands in main segment 3
+    f.corrupt_main_word_xor(word, 1 << 17);
+    let report = f.scrub(&seal);
+    assert_eq!(report.corrupt_segments, vec![3]);
+    // Undo restores a clean scrub.
+    f.corrupt_main_word_xor(word, 1 << 17);
+    assert!(f.scrub(&seal).is_clean());
+}
+
+#[test]
+fn scrub_localises_damage_in_the_spill_gate() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(tiny_config(4));
+    let hot = b"hammered".as_slice();
+    for _ in 0..100 {
+        f.insert_bytes_cost(hot).unwrap();
+    }
+    assert!(f.health().is_spilling());
+    let seal = f.seal();
+    assert!(f.scrub(&seal).is_clean());
+    f.corrupt_gate_limb_xor(0, 1 << 5);
+    let report = f.scrub(&seal);
+    let main_segments = f.main().seal().segments();
+    assert_eq!(
+        report.corrupt_segments,
+        vec![main_segments],
+        "gate damage must report offset past the main storage's segments"
+    );
+    f.corrupt_gate_limb_xor(0, 1 << 5);
+    assert!(f.scrub(&seal).is_clean());
+}
+
+#[test]
+fn simultaneous_damage_in_both_storages_is_fully_reported() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(tiny_config(5));
+    let hot = b"hammered".as_slice();
+    for _ in 0..100 {
+        f.insert_bytes_cost(hot).unwrap();
+    }
+    let seal = f.seal();
+    let main_segments = f.main().seal().segments();
+    f.corrupt_main_word_xor(0, 1 << 9);
+    f.corrupt_gate_limb_xor(0, 1 << 9);
+    let report = f.scrub(&seal);
+    assert_eq!(report.corrupt_segments, vec![0, main_segments]);
+    assert_eq!(
+        report.segments_checked,
+        main_segments + seal.gate.segments(),
+        "scrub must walk every segment of both storages"
+    );
+}
+
+#[test]
+fn verify_reports_invariant_breaks_with_offset_segments() {
+    let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(roomy_config(6));
+    for i in 0..500u32 {
+        f.insert_bytes_cost(format!("k{i}").into_bytes().as_slice())
+            .unwrap();
+    }
+    assert_eq!(f.verify(), Ok(()));
+    // A lightly loaded word with bit 63 set breaks the level-walk
+    // invariant ("dirty bits beyond the used region").
+    let word = SEGMENT_WORDS + 1;
+    f.corrupt_main_word_xor(word, 1 << 63);
+    assert_eq!(
+        f.verify(),
+        Err(FilterError::CorruptionDetected { segment: 1 })
+    );
+    f.corrupt_main_word_xor(word, 1 << 63);
+    assert_eq!(f.verify(), Ok(()));
+}
+
+#[test]
+fn resilient_tracks_a_plain_mpcbf_until_the_first_overflow() {
+    // Below saturation the wrapper must be a bit-transparent shell: its
+    // main storage stays identical to a bare Mpcbf fed the same stream.
+    let mut plain: Mpcbf<u64, Murmur3> = Mpcbf::new(roomy_config(7));
+    let mut wrapped: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(roomy_config(7));
+    for i in 0..1_500u32 {
+        let key = format!("k{i}").into_bytes();
+        plain.insert_bytes_cost(&key).unwrap();
+        wrapped.insert_bytes_cost(&key).unwrap();
+    }
+    assert_eq!(wrapped.spilled_inserts(), 0);
+    assert_eq!(plain.raw_words(), wrapped.main().raw_words());
+}
