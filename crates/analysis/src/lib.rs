@@ -45,6 +45,7 @@ pub mod pcbf;
 pub mod tradeoff;
 
 pub use heuristic::{n_max_heuristic, MpcbfShape};
+pub use mpcbf::B1Underflow;
 pub use optimal_k::{optimal_k_cbf, optimal_k_mpcbf};
 
 /// Counters per 4-bit-counter CBF word of `w` bits (the paper's `w/4`).

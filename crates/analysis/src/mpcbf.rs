@@ -8,6 +8,30 @@
 //! is where the accuracy win over CBF comes from.
 
 use crate::math::binomial_expectation;
+use std::fmt;
+
+/// The first-level sub-vector computed for an FPR model came out below one
+/// bit: the word is too small (or too loaded) for the requested
+/// configuration, so the model has no defined value.
+///
+/// Returned by the `try_*` forms ([`try_fpr_mpcbf1_avg`],
+/// [`try_fpr_mpcbf_g`], [`try_fpr_mpcbf_g_avg`]); the panicking forms are
+/// thin wrappers that turn this error into a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct B1Underflow {
+    /// The (possibly negative) `b1` value the formula produced.
+    pub b1: f64,
+    /// Static description of which expression underflowed.
+    pub context: &'static str,
+}
+
+impl fmt::Display for B1Underflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (b1 = {})", self.context, self.b1)
+    }
+}
+
+impl std::error::Error for B1Underflow {}
 
 #[inline]
 fn word_fp(j: u64, b1: u64, j_hashes: f64, q_hashes: f64) -> f64 {
@@ -35,11 +59,30 @@ pub fn fpr_mpcbf1(n: u64, l: u64, w: u32, k: u32, n_max: u32) -> f64 {
 /// the per-word average load `n_avg = n/l` for `n_max`, i.e.
 /// `b1 = w − k·n/l`. Optimistic relative to [`fpr_mpcbf1`]; used by the
 /// paper for Fig. 5.
+///
+/// # Panics
+/// Panics when the average `b1` falls below one bit; use
+/// [`try_fpr_mpcbf1_avg`] to handle that case as a value.
 pub fn fpr_mpcbf1_avg(n: u64, l: u64, w: u32, k: u32) -> f64 {
+    match try_fpr_mpcbf1_avg(n, l, w, k) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`fpr_mpcbf1_avg`]: returns [`B1Underflow`] instead of
+/// panicking when `w − k·n/l < 1` (the configuration is too loaded for the
+/// average-form model to be defined).
+pub fn try_fpr_mpcbf1_avg(n: u64, l: u64, w: u32, k: u32) -> Result<f64, B1Underflow> {
     let n_avg = n as f64 / l as f64;
     let b1 = (f64::from(w) - f64::from(k) * n_avg).floor();
-    assert!(b1 >= 1.0, "average b1 < 1: word too loaded");
-    fpr_mpcbf1_b1(n, l, k, b1 as u32)
+    if b1 < 1.0 {
+        return Err(B1Underflow {
+            b1,
+            context: "average b1 < 1: word too loaded",
+        });
+    }
+    Ok(fpr_mpcbf1_b1(n, l, k, b1 as u32))
 }
 
 /// Eq. (8)/(9): FPR of MPCBF-g with an explicit first-level size `b1`.
@@ -60,19 +103,63 @@ pub fn fpr_mpcbf_g_b1(n: u64, l: u64, k: u32, g: u32, b1: u32) -> f64 {
 }
 
 /// Eq. (9) with the improved HCBF: `b1 = w − (k/g)·n'_max`.
+///
+/// # Panics
+/// Panics when `b1` falls below one bit; use [`try_fpr_mpcbf_g`] to handle
+/// that case as a value.
 pub fn fpr_mpcbf_g(n: u64, l: u64, w: u32, k: u32, g: u32, n_max: u32) -> f64 {
+    match try_fpr_mpcbf_g(n, l, w, k, g, n_max) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`fpr_mpcbf_g`]: returns [`B1Underflow`] instead of
+/// panicking when `w − (k/g)·n_max < 1` (the word cannot host `n_max`
+/// slots and still keep a first level).
+pub fn try_fpr_mpcbf_g(
+    n: u64,
+    l: u64,
+    w: u32,
+    k: u32,
+    g: u32,
+    n_max: u32,
+) -> Result<f64, B1Underflow> {
     let b1 = f64::from(w) - (f64::from(k) / f64::from(g)) * f64::from(n_max);
-    assert!(b1 >= 1.0, "w - (k/g)*n_max < 1: word too small");
-    fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32)
+    if b1 < 1.0 {
+        return Err(B1Underflow {
+            b1,
+            context: "w - (k/g)*n_max < 1: word too small",
+        });
+    }
+    Ok(fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32))
 }
 
 /// The average-form FPR for MPCBF-g (below Eq. 9): `b1 = w − k·n/l`
 /// (each word holds `n'_avg = gn/l` slots of `k/g` hashes each, so the
 /// hierarchy consumes `k·n/l` bits on average regardless of `g`).
+///
+/// # Panics
+/// Panics when the average `b1` falls below one bit; use
+/// [`try_fpr_mpcbf_g_avg`] to handle that case as a value.
 pub fn fpr_mpcbf_g_avg(n: u64, l: u64, w: u32, k: u32, g: u32) -> f64 {
+    match try_fpr_mpcbf_g_avg(n, l, w, k, g) {
+        Ok(f) => f,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`fpr_mpcbf_g_avg`]: returns [`B1Underflow`] instead
+/// of panicking when `w − k·n/l < 1`.
+pub fn try_fpr_mpcbf_g_avg(n: u64, l: u64, w: u32, k: u32, g: u32) -> Result<f64, B1Underflow> {
     let b1 = f64::from(w) - f64::from(k) * n as f64 / l as f64;
-    assert!(b1 >= 1.0, "average b1 < 1: word too loaded");
-    fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32)
+    if b1 < 1.0 {
+        return Err(B1Underflow {
+            b1,
+            context: "average b1 < 1: word too loaded",
+        });
+    }
+    Ok(fpr_mpcbf_g_b1(n, l, k, g, b1.floor() as u32))
 }
 
 #[cfg(test)]
@@ -161,5 +248,47 @@ mod tests {
     #[should_panic(expected = "underflowed")]
     fn oversized_nmax_panics() {
         let _ = fpr_mpcbf1(N, L, 16, 4, 10); // 16 - 40 underflows
+    }
+
+    #[test]
+    fn try_forms_match_panicking_forms_when_defined() {
+        assert_eq!(
+            try_fpr_mpcbf1_avg(N, L, W, 3),
+            Ok(fpr_mpcbf1_avg(N, L, W, 3))
+        );
+        let n_max = heuristic::n_max_heuristic(N, L, 2) as u32;
+        assert_eq!(
+            try_fpr_mpcbf_g(N, L, W, 3, 2, n_max),
+            Ok(fpr_mpcbf_g(N, L, W, 3, 2, n_max))
+        );
+        assert_eq!(
+            try_fpr_mpcbf_g_avg(N, L, W, 3, 2),
+            Ok(fpr_mpcbf_g_avg(N, L, W, 3, 2))
+        );
+    }
+
+    #[test]
+    fn try_forms_report_underflow_as_value() {
+        // Regression: these configurations used to assert-panic deep inside
+        // a sweep; callers (CLI/bench tables) could not render a "—" cell.
+        // w = 16, k = 3, n/l = 25 → b1 = 16 − 75 < 1.
+        let err = try_fpr_mpcbf1_avg(N, N / 25, 16, 3).unwrap_err();
+        assert!(err.b1 < 1.0);
+        assert!(err.to_string().contains("word too loaded"), "{err}");
+
+        // w = 16, k = 4, g = 1, n_max = 10 → b1 = 16 − 40 < 1.
+        let err = try_fpr_mpcbf_g(N, L, 16, 4, 1, 10).unwrap_err();
+        assert!(err.b1 < 1.0);
+        assert!(err.to_string().contains("word too small"), "{err}");
+
+        let err = try_fpr_mpcbf_g_avg(N, N / 25, 16, 3, 2).unwrap_err();
+        assert!(err.b1 < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word too loaded")]
+    fn avg_form_still_panics_on_underflow() {
+        // The panicking wrapper must keep its historical message.
+        let _ = fpr_mpcbf1_avg(N, N / 25, 16, 3);
     }
 }

@@ -7,7 +7,10 @@
 //! * `--out DIR` — directory for CSV output (default `results/`);
 //! * `--quiet` — suppress the human-readable table (CSV still written);
 //! * `--faults SEED` — run the seeded fault-injection campaign instead of
-//!   (or before) the normal workload (honoured by `stress`).
+//!   (or before) the normal workload (honoured by `stress`);
+//! * `--telemetry` — run the metered telemetry validation instead of the
+//!   normal workload: emits `BENCH_telemetry.json` plus a Prometheus text
+//!   page (honoured by `stress`).
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -22,6 +25,8 @@ pub struct Args {
     pub quiet: bool,
     /// Fault-injection campaign seed (`--faults SEED`), if requested.
     pub faults: Option<u64>,
+    /// Run the telemetry validation harness (`--telemetry`).
+    pub telemetry: bool,
 }
 
 impl Default for Args {
@@ -32,6 +37,7 @@ impl Default for Args {
             out_dir: "results".to_string(),
             quiet: false,
             faults: None,
+            telemetry: false,
         }
     }
 }
@@ -76,6 +82,7 @@ impl Args {
                             .unwrap_or_else(|| usage("--faults needs a seed (u64)")),
                     )
                 }
+                "--telemetry" => args.telemetry = true,
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -99,7 +106,9 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED]");
+    eprintln!(
+        "usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED] [--telemetry]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -136,6 +145,12 @@ mod tests {
     fn faults_defaults_to_off() {
         assert_eq!(parse(&[]).faults, None);
         assert_eq!(parse(&["--faults", "0"]).faults, Some(0));
+    }
+
+    #[test]
+    fn telemetry_flag() {
+        assert!(!parse(&[]).telemetry);
+        assert!(parse(&["--telemetry"]).telemetry);
     }
 
     #[test]

@@ -30,18 +30,25 @@ fn main() {
     for mb in [4.0f64, 5.0, 6.0, 7.0, 8.0] {
         let big_m = (mb * 1e6) as u64;
         let f_cbf = cbf::fpr(n, big_m / 4, k);
-        let f16 = mpcbf::fpr_mpcbf1_avg(n, big_m / 16, 16, k);
-        let f32 = mpcbf::fpr_mpcbf1_avg(n, big_m / 32, 32, k);
-        let f64_ = mpcbf::fpr_mpcbf1_avg(n, big_m / 64, 64, k);
-        let f2 = mpcbf::fpr_mpcbf_g_avg(n, big_m / 64, 64, k, 2);
+        // The average-load form is undefined when b1 = w − k·n/l < 1 (e.g.
+        // when --scale pushes n past the word budget); render those cells
+        // as "—" instead of aborting the whole sweep.
+        let cell = |f: Result<f64, mpcbf::B1Underflow>| f.map(sci).unwrap_or_else(|_| "—".into());
+        let f16 = mpcbf::try_fpr_mpcbf1_avg(n, big_m / 16, 16, k);
+        let f32 = mpcbf::try_fpr_mpcbf1_avg(n, big_m / 32, 32, k);
+        let f64_ = mpcbf::try_fpr_mpcbf1_avg(n, big_m / 64, 64, k);
+        let f2 = mpcbf::try_fpr_mpcbf_g_avg(n, big_m / 64, 64, k, 2);
+        let ratio = f64_
+            .map(|f| fixed(f_cbf / f, 1))
+            .unwrap_or_else(|_| "—".into());
         t.row(vec![
             format!("{mb:.1}"),
             sci(f_cbf),
-            sci(f16),
-            sci(f32),
-            sci(f64_),
-            sci(f2),
-            fixed(f_cbf / f64_, 1),
+            cell(f16),
+            cell(f32),
+            cell(f64_),
+            cell(f2),
+            ratio,
         ]);
     }
     t.finish(&args.out_dir, "fig05_mpcbf_fpr", args.quiet);

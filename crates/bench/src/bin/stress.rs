@@ -12,6 +12,13 @@
 //! codec round-trips injected mid-stream (encode → decode → continue),
 //! which property tests don't interleave.
 //!
+//! With `--telemetry` the binary instead runs the metered validation
+//! replay (see `mpcbf_bench::telemetry`): the synthetic workload streams
+//! through the `*_batch_metered` pipeline into per-contender `Telemetry`
+//! registries, the Prometheus pages and `BENCH_telemetry.json` are
+//! emitted, and the measured mean accesses must match Table II/III within
+//! tolerance or the process exits non-zero.
+//!
 //! With `--faults SEED` the binary instead replays the seeded
 //! fault-injection campaign (see `mpcbf_workloads::faults`): every
 //! injected bit flip must be caught by `scrub()`, every poisoned shard by
@@ -411,8 +418,46 @@ fn fault_campaign(seed: u64) {
     println!("fault campaign: seed {seed} — all faults detected or absorbed");
 }
 
+/// The `--telemetry` mode: metered Table II/III validation replay.
+/// Prints the Prometheus pages, writes `BENCH_telemetry.json`, and exits
+/// non-zero if any contender's measured mean accesses drift outside the
+/// tolerance.
+fn telemetry_validation(args: &Args) {
+    let v = mpcbf_bench::telemetry::run_validation(args);
+    let json = v.to_json();
+    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
+    if !args.quiet {
+        println!("{}", v.prometheus_pages());
+        println!("{json}");
+    }
+    for row in &v.rows {
+        println!(
+            "  {}: query {:.3} accesses (expect {:.3}), update {:.3} (expect {:.3}) — {}",
+            row.name,
+            row.measured_query,
+            row.expected_query,
+            row.measured_update,
+            row.expected_update,
+            if row.within_tolerance() {
+                "OK"
+            } else {
+                "DRIFT"
+            }
+        );
+    }
+    println!("wrote BENCH_telemetry.json");
+    if !v.pass() {
+        eprintln!("telemetry validation failed: measured accesses drifted past tolerance");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
+    if args.telemetry {
+        telemetry_validation(&args);
+        return;
+    }
     if let Some(seed) = args.faults {
         fault_campaign(seed);
         return;

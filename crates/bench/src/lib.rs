@@ -9,7 +9,10 @@
 //!   times;
 //! * [`report`] — aligned-table printing plus CSV output into `results/`;
 //! * [`args`] — the tiny flag parser shared by the binaries
-//!   (`--scale N`, `--trials N`, `--out DIR`).
+//!   (`--scale N`, `--trials N`, `--out DIR`);
+//! * [`telemetry`] — the metered validation harness behind `--telemetry`:
+//!   replays the synthetic workload with a [`mpcbf_telemetry::Telemetry`]
+//!   sink and checks measured mean accesses against Table II/III.
 //!
 //! Binaries default to the paper's full parameters; pass `--scale N` to
 //! divide workload sizes by `N` for a quick look. Run with `--release` —
@@ -24,8 +27,10 @@ pub mod args;
 pub mod report;
 pub mod runner;
 pub mod suite;
+pub mod telemetry;
 
 pub use args::Args;
 pub use report::{write_csv, Table};
 pub use runner::{measure_workload, FilterMeasurement, Workload};
 pub use suite::{average, run_suite, AvgRow, Contender};
+pub use telemetry::{run_validation, TelemetryValidation, VariantRow};

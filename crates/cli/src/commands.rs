@@ -200,8 +200,17 @@ pub fn stats(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
 /// `mpcbf replay`: run a flow-monitor measurement over a real trace file
 /// (one `src,dst` record per line; dotted IPv4 or raw u32 fields), the
 /// §IV.D experiment on the user's own data.
+///
+/// With `--telemetry`, every operation is metered into a
+/// [`mpcbf_telemetry::Telemetry`] registry (per-kind accesses, hash bits
+/// and latency, plus the filter's health gauges) and the Prometheus text
+/// page is appended to the report.
 pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
+    use mpcbf_core::metrics::{OpCost, OpKind, OpSink};
+    use mpcbf_hash::Key as _;
+    use mpcbf_telemetry::{prometheus_text, Telemetry};
     use mpcbf_workloads::flowtrace::{parse_trace_records, FlowTrace};
+    use std::time::Instant;
 
     let path = opts
         .input
@@ -239,10 +248,41 @@ pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
         .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
     let mut filter: Mpcbf<u64, Murmur3> = Mpcbf::new(config);
 
+    let telemetry = opts.telemetry.then(Telemetry::new);
+    // Metered update path: same placement as the scalar call, but the
+    // per-op cost and wall time land in the registry.
+    let metered_update = |filter: &mut Mpcbf<u64, Murmur3>,
+                          t: &Telemetry,
+                          kind: OpKind,
+                          flow: &(u32, u32)|
+     -> bool {
+        let kb = flow.key_bytes();
+        let t0 = Instant::now();
+        let result = match kind {
+            OpKind::Insert => filter.insert_bytes_cost(kb.as_slice()),
+            _ => filter.remove_bytes_cost(kb.as_slice()),
+        };
+        let nanos = t0.elapsed().as_nanos() as u64;
+        match result {
+            Ok(cost) => {
+                t.record_batch(kind, 1, cost, nanos);
+                true
+            }
+            Err(_) => {
+                t.record_batch(kind, 1, OpCost::zero(), nanos);
+                false
+            }
+        }
+    };
+
     let mut live: std::collections::HashSet<(u32, u32)> = Default::default();
     let mut refused = 0u64;
     for flow in &trace.test_set {
-        if filter.insert(flow).is_ok() {
+        let ok = match &telemetry {
+            Some(t) => metered_update(&mut filter, t, OpKind::Insert, flow),
+            None => filter.insert(flow).is_ok(),
+        };
+        if ok {
             live.insert(*flow);
         } else {
             refused += 1;
@@ -250,12 +290,20 @@ pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
     }
     for period in &trace.churn.periods {
         for old in &period.deletes {
-            if filter.remove(old).is_ok() {
+            let ok = match &telemetry {
+                Some(t) => metered_update(&mut filter, t, OpKind::Remove, old),
+                None => filter.remove(old).is_ok(),
+            };
+            if ok {
                 live.remove(old);
             }
         }
         for new in &period.inserts {
-            if filter.insert(new).is_ok() {
+            let ok = match &telemetry {
+                Some(t) => metered_update(&mut filter, t, OpKind::Insert, new),
+                None => filter.insert(new).is_ok(),
+            };
+            if ok {
                 live.insert(*new);
             }
         }
@@ -266,7 +314,16 @@ pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
     let mut false_positives = 0u64;
     let mut negatives = 0u64;
     for record in &trace.records {
-        let claimed = filter.contains(record);
+        let claimed = match &telemetry {
+            Some(t) => {
+                let kb = record.key_bytes();
+                let t0 = Instant::now();
+                let (hit, cost) = filter.contains_bytes_cost(kb.as_slice());
+                t.record_batch(OpKind::Query, 1, cost, t0.elapsed().as_nanos() as u64);
+                hit
+            }
+            None => filter.contains(record),
+        };
         hits += u64::from(claimed);
         if !live.contains(record) {
             negatives += 1;
@@ -298,6 +355,11 @@ pub fn replay(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
         "lookup rate       {:.1} M records/s",
         trace.records.len() as f64 / elapsed.as_secs_f64() / 1e6
     ))?;
+    if let Some(t) = &telemetry {
+        t.record_health(&filter.health());
+        p(String::new())?;
+        p(prometheus_text(&t.snapshot()).trim_end().to_string())?;
+    }
     Ok(())
 }
 
@@ -492,6 +554,36 @@ mod tests {
         assert!(text.contains("trace records     200"), "{text}");
         assert!(text.contains("unique flows      50"));
         assert!(text.contains("tracked flows     20"));
+    }
+
+    #[test]
+    fn replay_telemetry_prints_a_metrics_page() {
+        let path = tmp("trace_telemetry.txt");
+        let mut text = String::from("# tiny trace\n");
+        for i in 0..200u32 {
+            text.push_str(&format!("10.0.0.{},192.168.1.{}\n", i % 50, i % 50));
+        }
+        std::fs::write(&path, text).unwrap();
+        let mut out = Vec::new();
+        replay(
+            &opts(&["--input", &path, "--items", "20", "--telemetry"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // The human report is intact and the Prometheus page follows it.
+        assert!(text.contains("trace records     200"), "{text}");
+        assert!(
+            text.contains("mpcbf_ops_total{kind=\"query\"} 200"),
+            "{text}"
+        );
+        assert!(text.contains("mpcbf_ops_total{kind=\"insert\"}"), "{text}");
+        assert!(text.contains("mpcbf_fill_ratio"), "{text}");
+        // MPCBF-1 (the default) reads exactly one word per query.
+        assert!(
+            text.contains("mpcbf_word_accesses_total{kind=\"query\"} 200"),
+            "{text}"
+        );
     }
 
     #[test]

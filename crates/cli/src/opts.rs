@@ -19,9 +19,11 @@ commands:
   size    --items N --fpr F [--hashes K] [--accesses G]
             memory needed by CBF vs MPCBF for a target FPR
   replay  --input TRACE [--items N] [--memory-bits M] [--hashes K]
-            [--accesses G]
+            [--accesses G] [--telemetry]
             replay a flow trace file (`src,dst` per line, dotted IPv4 or
-            u32) through an MPCBF flow monitor and report FPR + rates
+            u32) through an MPCBF flow monitor and report FPR + rates;
+            with --telemetry, meter every operation and print a
+            Prometheus metrics page after the report
 
 defaults: --hashes 3, --accesses 1, --kind mpcbf, --seed 1,
           --memory-bits = 16 bits/item";
@@ -57,6 +59,7 @@ pub struct Opts {
     pub kind: Kind,
     pub seed: u64,
     pub fpr: Option<f64>,
+    pub telemetry: bool,
 }
 
 impl Default for Opts {
@@ -72,6 +75,7 @@ impl Default for Opts {
             kind: Kind::Mpcbf,
             seed: 1,
             fpr: None,
+            telemetry: false,
         }
     }
 }
@@ -110,6 +114,7 @@ impl Opts {
                     }
                     opts.fpr = Some(f);
                 }
+                "--telemetry" => opts.telemetry = true,
                 "--kind" => {
                     opts.kind = match value("--kind")?.as_str() {
                         "mpcbf" => Kind::Mpcbf,
@@ -206,6 +211,12 @@ mod tests {
         assert_eq!(o.accesses, 2);
         assert_eq!(o.kind, Kind::Cbf);
         assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    fn telemetry_flag_defaults_off() {
+        assert!(!parse(&[]).unwrap().telemetry);
+        assert!(parse(&["--telemetry"]).unwrap().telemetry);
     }
 
     #[test]

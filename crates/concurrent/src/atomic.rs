@@ -7,18 +7,29 @@
 //! linearisability comes for free and contention only arises when two
 //! threads hash to the *same* word simultaneously (probability ≈ 1/l).
 
+#[cfg(feature = "stats")]
+use crate::stats::AccessLedger;
 use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::{HcbfWord, WordError};
+#[cfg(feature = "stats")]
+use mpcbf_core::metrics::{AccessStats, OpCost, OpKind, WordTouches};
 use mpcbf_core::scrub::{segment_of, FilterSeal, ScrubReport};
 use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
-use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
+#[cfg(feature = "stats")]
+use mpcbf_hash::mix::bits_for;
+#[cfg(not(feature = "stats"))]
+use mpcbf_hash::DoubleHasher;
+use mpcbf_hash::{Hasher128, Murmur3};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+#[cfg(not(feature = "stats"))]
 const WORD_SALT: u64 = 0x4d50_4342_465f_5744;
+#[cfg(not(feature = "stats"))]
 const GROUP_SALT: u64 = 0x4d50_4342_465f_4752;
 
+#[cfg(not(feature = "stats"))]
 #[inline]
 fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
     let base = k / g;
@@ -35,6 +46,8 @@ pub struct AtomicMpcbf<H: Hasher128 = Murmur3> {
     shape: MpcbfShape,
     seed: u64,
     overflows: AtomicU64,
+    #[cfg(feature = "stats")]
+    stats: AccessLedger,
     _hasher: PhantomData<H>,
 }
 
@@ -53,6 +66,8 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             shape,
             seed: config.seed(),
             overflows: AtomicU64::new(0),
+            #[cfg(feature = "stats")]
+            stats: AccessLedger::new(),
             _hasher: PhantomData,
         }
     }
@@ -75,6 +90,7 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             .sum()
     }
 
+    #[cfg(not(feature = "stats"))]
     #[inline]
     fn targets(&self, key: &[u8], out: &mut [(usize, u32); 64]) -> usize {
         let digest = H::hash128(self.seed, key);
@@ -122,12 +138,45 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         }
     }
 
+    /// The metered cost of one operation, mirroring the sequential
+    /// filter's accounting exactly: distinct words touched, and hash bits
+    /// = word-picker bits per evaluated group + position bits per
+    /// evaluated probe + any counter-traversal bits an update reports.
+    #[cfg(feature = "stats")]
+    fn probe_cost(
+        &self,
+        words_eval: u32,
+        pos_eval: u32,
+        touches: &WordTouches,
+        traversal_bits: u32,
+    ) -> OpCost {
+        OpCost {
+            word_accesses: touches.count(),
+            hash_bits: words_eval * bits_for(self.shape.l)
+                + pos_eval * bits_for(u64::from(self.shape.b1))
+                + traversal_bits,
+        }
+    }
+
+    /// Merged access ledger (feature `stats`): mean accesses / hash bits
+    /// per operation kind, measured under whatever concurrency actually
+    /// happened. With `stats` on, scalar operations run through the
+    /// planned (per-group) paths so their costs mirror the sequential
+    /// accounting; placement and final state are unchanged.
+    #[cfg(feature = "stats")]
+    pub fn access_stats(&self) -> AccessStats {
+        let mut stats = AccessStats::new();
+        self.stats.fold_into(&mut stats);
+        stats
+    }
+
     /// Membership check.
     pub fn contains<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> bool {
         self.contains_bytes(key.key_bytes().as_slice())
     }
 
     /// Membership check on raw bytes.
+    #[cfg(not(feature = "stats"))]
     pub fn contains_bytes(&self, key: &[u8]) -> bool {
         let mut targets = [(0usize, 0u32); 64];
         let n = self.targets(key, &mut targets);
@@ -146,12 +195,19 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         true
     }
 
+    /// Membership check on raw bytes (metered).
+    #[cfg(feature = "stats")]
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        self.query_plan(&self.plan(key))
+    }
+
     /// Inserts a key.
     pub fn insert<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
         self.insert_bytes(key.key_bytes().as_slice())
     }
 
     /// Inserts raw bytes, rolling back on overflow.
+    #[cfg(not(feature = "stats"))]
     pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let mut targets = [(0usize, 0u32); 64];
         let n = self.targets(key, &mut targets);
@@ -170,12 +226,20 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         Ok(())
     }
 
+    /// Inserts raw bytes, rolling back on overflow (metered; one CAS per
+    /// group — identical placement, strictly coarser granularity).
+    #[cfg(feature = "stats")]
+    pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        self.insert_planned(&self.plan(key), self.shape.b1)
+    }
+
     /// Removes a key.
     pub fn remove<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
         self.remove_bytes(key.key_bytes().as_slice())
     }
 
     /// Removes raw bytes, rolling back if the element is absent.
+    #[cfg(not(feature = "stats"))]
     pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let mut targets = [(0usize, 0u32); 64];
         let n = self.targets(key, &mut targets);
@@ -194,6 +258,13 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             }
         }
         Ok(())
+    }
+
+    /// Removes raw bytes, rolling back if the element is absent (metered;
+    /// one CAS per group).
+    #[cfg(feature = "stats")]
+    pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        self.remove_planned(&self.plan(key), self.shape.b1)
     }
 
     /// Plans a key's probes. The plan uses the same `WORD_SALT`/`GROUP_SALT`
@@ -220,10 +291,50 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         }
     }
 
+    /// Queries one planned key (one `Acquire` snapshot per group's word,
+    /// short-circuiting at the first zero).
+    #[cfg(not(feature = "stats"))]
+    #[inline]
+    fn query_plan(&self, plan: &ProbePlan) -> bool {
+        for (word, probes) in plan.groups() {
+            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+            let (all_set, _) = snapshot.query_all(probes);
+            if !all_set {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Queries one planned key (metered twin: same verdict and
+    /// short-circuit, cost recorded into the ledger).
+    #[cfg(feature = "stats")]
+    fn query_plan(&self, plan: &ProbePlan) -> bool {
+        let mut touches = WordTouches::new();
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        let mut hit = true;
+        for (word, probes) in plan.groups() {
+            touches.touch(word);
+            words_eval += 1;
+            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+            let (all_set, evaluated) = snapshot.query_all(probes);
+            pos_eval += evaluated;
+            if !all_set {
+                hit = false;
+                break;
+            }
+        }
+        let cost = self.probe_cost(words_eval, pos_eval, &touches, 0);
+        self.stats.record(OpKind::Query, cost);
+        hit
+    }
+
     /// Inserts one planned key: one CAS per *group* (the whole group's
     /// increments land word-atomically), with cross-group rollback on
     /// overflow. Placement and final state are identical to the scalar
     /// path; the per-word granularity is strictly coarser.
+    #[cfg(not(feature = "stats"))]
     fn insert_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
         let groups: Vec<(usize, &[u32])> = plan.groups().collect();
         for (i, &(word, probes)) in groups.iter().enumerate() {
@@ -242,7 +353,39 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         Ok(())
     }
 
+    /// Metered twin of the planned insert: same effects, cost recorded on
+    /// success (a refused insert reports no cost). Traversal bits come
+    /// from the CAS attempt that actually published.
+    #[cfg(feature = "stats")]
+    fn insert_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            touches.touch(word);
+            let mut group_bits = 0u32;
+            if self
+                .update_word(word, |w| {
+                    w.increment_all(probes, b1).map(|bits| group_bits = bits)
+                })
+                .is_err()
+            {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    self.update_word(rw, |w| w.decrement_all(rp, b1).map(|_| ()))
+                        .expect("rollback decrement");
+                }
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Err(FilterError::WordOverflow { word });
+            }
+            traversal_bits += group_bits;
+        }
+        let cost = self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits);
+        self.stats.record(OpKind::Insert, cost);
+        Ok(())
+    }
+
     /// Mirror of [`Self::insert_planned`] for removal.
+    #[cfg(not(feature = "stats"))]
     fn remove_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
         let groups: Vec<(usize, &[u32])> = plan.groups().collect();
         for (i, &(word, probes)) in groups.iter().enumerate() {
@@ -260,24 +403,40 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         Ok(())
     }
 
+    /// Mirror of [`Self::insert_planned`] for removal (metered twin).
+    #[cfg(feature = "stats")]
+    fn remove_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            touches.touch(word);
+            let mut group_bits = 0u32;
+            if self
+                .update_word(word, |w| {
+                    w.decrement_all(probes, b1).map(|bits| group_bits = bits)
+                })
+                .is_err()
+            {
+                for &(rw, rp) in groups[..i].iter().rev() {
+                    self.update_word(rw, |w| w.increment_all(rp, b1).map(|_| ()))
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+            traversal_bits += group_bits;
+        }
+        let cost = self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits);
+        self.stats.record(OpKind::Remove, cost);
+        Ok(())
+    }
+
     /// Batched membership check: hash all keys, prefetch all target words,
     /// then probe. Each word is read as one atomic snapshot.
     pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
         let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
         self.prefetch_batch(&plans);
-        plans
-            .iter()
-            .map(|plan| {
-                for (word, probes) in plan.groups() {
-                    let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
-                    let (all_set, _) = snapshot.query_all(probes);
-                    if !all_set {
-                        return false;
-                    }
-                }
-                true
-            })
-            .collect()
+        plans.iter().map(|plan| self.query_plan(plan)).collect()
     }
 
     /// Batched insertion (hash all → prefetch all → update all, in key
@@ -559,6 +718,44 @@ mod tests {
                 segment: segment_of(321)
             })
         );
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stats_ledger_matches_sequential_costs() {
+        // Same config/seed as the sequential filter: the atomic ledger's
+        // totals must equal what the sequential `_cost` calls report.
+        use mpcbf_core::{CountingFilter, Filter, Mpcbf};
+        let c = MpcbfConfig::builder()
+            .memory_bits(500_000)
+            .expected_items(5_000)
+            .hashes(3)
+            .seed(44)
+            .build()
+            .unwrap();
+        let atomic: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(c);
+        let mut seq: Mpcbf<u64, Murmur3> = Mpcbf::new(c);
+        let mut expected = mpcbf_core::AccessStats::new();
+        for i in 0..1_000u64 {
+            let key = i.to_le_bytes();
+            atomic.insert_bytes(&key).unwrap();
+            expected
+                .inserts
+                .record(seq.insert_bytes_cost(&key).unwrap());
+        }
+        for i in 0..5_000u64 {
+            let key = i.to_le_bytes();
+            atomic.contains_bytes(&key);
+            expected.queries.record(seq.contains_bytes_cost(&key).1);
+        }
+        for i in 0..300u64 {
+            let key = i.to_le_bytes();
+            atomic.remove_bytes(&key).unwrap();
+            expected
+                .removes
+                .record(seq.remove_bytes_cost(&key).unwrap());
+        }
+        assert_eq!(atomic.access_stats(), expected);
     }
 
     #[test]

@@ -32,6 +32,18 @@
 //! Sharded batch updates hold the shard lock for the whole per-shard run,
 //! so within one shard a batch is observed atomically.
 //!
+//! ## Instrumentation (feature `stats`)
+//!
+//! With the `stats` feature enabled, both variants meter themselves from
+//! the inside: every operation's [`OpCost`](mpcbf_core::OpCost) lands in a
+//! wait-free relaxed-atomic ledger (one per shard for [`ShardedMpcbf`],
+//! one global for [`AtomicMpcbf`]), merged on read by `access_stats()`.
+//! The sharded variant additionally tallies per-shard lock acquisitions,
+//! contention (a failed `try_lock`) and hold time, readable via
+//! `lock_stats()` / `shard_lock_stats()`. The feature is off by default
+//! and the uninstrumented hot path compiles to exactly the code that
+//! existed before the feature — zero cost when off.
+//!
 //! [`HcbfWord`]: mpcbf_core::HcbfWord
 
 #![forbid(unsafe_code)]
@@ -39,6 +51,10 @@
 
 pub mod atomic;
 pub mod sharded;
+#[cfg(feature = "stats")]
+pub mod stats;
 
 pub use atomic::AtomicMpcbf;
 pub use sharded::ShardedMpcbf;
+#[cfg(feature = "stats")]
+pub use stats::{AccessLedger, LockStats, ShardStats};

@@ -40,16 +40,24 @@
 //! behaving exactly like a scalar loop — then per shard take the lock once
 //! and prefetch every word the shard's keys will touch, (3) probe/update.
 
+#[cfg(feature = "stats")]
+use crate::stats::{LockStats, ShardStats};
 use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_bitvec::Word;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
+#[cfg(feature = "stats")]
+use mpcbf_core::metrics::{AccessStats, OpCost, OpKind, WordTouches};
 use mpcbf_core::scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
 use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
+#[cfg(feature = "stats")]
+use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{Hasher128, Murmur3};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "stats")]
+use std::time::Instant;
 
 /// Digest bits reserved for shard selection (the top bits of the 128-bit
 /// digest). The probe planner only ever sees the remaining low bits, so the
@@ -66,6 +74,8 @@ pub struct ShardedMpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
     shape: MpcbfShape,
     seed: u64,
     overflows: AtomicU64,
+    #[cfg(feature = "stats")]
+    stats: Vec<ShardStats>,
     _hasher: PhantomData<H>,
 }
 
@@ -76,18 +86,28 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     ///
     /// The configuration's `l` words are distributed evenly across the
     /// shards; each shard is an independent `ceil(l / shards)`-word
-    /// sub-filter.
+    /// sub-filter, so total capacity never falls below the `l` the
+    /// validated configuration was sized for. The shard-count cap rounds
+    /// *down* to a power of two (`word_cap`): rounding up would mint more
+    /// shards than words, leaving shards whose sub-filter the probe
+    /// planner can never fill.
     ///
     /// # Panics
     /// Panics if the configuration's word size differs from `W::BITS`.
     pub fn new(config: MpcbfConfig, shards: usize) -> Self {
         let shape = config.shape();
         assert_eq!(shape.w, W::BITS, "config word size mismatch");
+        let l = shape.l as usize;
+        let word_cap = if l.is_power_of_two() {
+            l
+        } else {
+            (l.next_power_of_two() >> 1).max(1)
+        };
         let shard_count = shards
             .next_power_of_two()
-            .clamp(1, (shape.l as usize).next_power_of_two())
+            .clamp(1, word_cap)
             .min(1 << SHARD_BITS);
-        let words_per_shard = (shape.l as usize).div_ceil(shard_count).max(1);
+        let words_per_shard = l.div_ceil(shard_count).max(1);
         let shards = (0..shard_count)
             .map(|_| Mutex::new(vec![HcbfWord::new(); words_per_shard]))
             .collect();
@@ -98,6 +118,8 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
             shape,
             seed: config.seed(),
             overflows: AtomicU64::new(0),
+            #[cfg(feature = "stats")]
+            stats: (0..shard_count).map(|_| ShardStats::new()).collect(),
             _hasher: PhantomData,
         }
     }
@@ -110,6 +132,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// Number of shards (always a power of two).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Words owned by each shard (`ceil(l / shard_count)`).
+    pub fn words_per_shard(&self) -> u64 {
+        self.words_per_shard
     }
 
     /// Insertions refused due to word overflow.
@@ -183,6 +210,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 
     /// Queries one planned key against its (already locked) shard.
+    #[cfg(not(feature = "stats"))]
     #[inline]
     fn query_planned(words: &[HcbfWord<W>], plan: &ProbePlan) -> bool {
         for (word, probes) in plan.groups() {
@@ -196,6 +224,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
 
     /// Inserts one planned key into its (already locked) shard, rolling
     /// back every applied group on overflow.
+    #[cfg(not(feature = "stats"))]
     fn insert_planned(
         words: &mut [HcbfWord<W>],
         plan: &ProbePlan,
@@ -215,6 +244,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
 
     /// Removes one planned key from its (already locked) shard, rolling
     /// back every applied group if the element turns out absent.
+    #[cfg(not(feature = "stats"))]
     fn remove_planned(
         words: &mut [HcbfWord<W>],
         plan: &ProbePlan,
@@ -232,16 +262,169 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         Ok(())
     }
 
+    /// The metered cost of an operation inside one shard: distinct words
+    /// touched, plus hash bits = shard routing ([`SHARD_BITS`]) +
+    /// word-picker bits per evaluated group + position bits per evaluated
+    /// probe + any counter-traversal bits an update reports. Mirrors the
+    /// sequential filter's accounting, with the shard selector standing in
+    /// for the extra address entropy this layout consumes.
+    #[cfg(feature = "stats")]
+    fn probe_cost(
+        &self,
+        words_eval: u32,
+        pos_eval: u32,
+        touches: &WordTouches,
+        traversal_bits: u32,
+    ) -> OpCost {
+        OpCost {
+            word_accesses: touches.count(),
+            hash_bits: SHARD_BITS
+                + words_eval * bits_for(self.words_per_shard)
+                + pos_eval * bits_for(u64::from(self.shape.b1))
+                + traversal_bits,
+        }
+    }
+
+    /// Metered twin of [`Self::query_planned`]: same verdict and the same
+    /// short-circuit, also reporting the [`OpCost`].
+    #[cfg(feature = "stats")]
+    fn query_planned_metered(&self, words: &[HcbfWord<W>], plan: &ProbePlan) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        let mut hit = true;
+        for (word, probes) in plan.groups() {
+            touches.touch(word);
+            words_eval += 1;
+            let (all_set, evaluated) = words[word].query_all(probes);
+            pos_eval += evaluated;
+            if !all_set {
+                hit = false;
+                break;
+            }
+        }
+        (hit, self.probe_cost(words_eval, pos_eval, &touches, 0))
+    }
+
+    /// Metered twin of [`Self::insert_planned`] (identical state effects;
+    /// a refused insert reports no cost, as everywhere else).
+    #[cfg(feature = "stats")]
+    fn insert_planned_metered(
+        &self,
+        words: &mut [HcbfWord<W>],
+        plan: &ProbePlan,
+    ) -> Result<OpCost, FilterError> {
+        let b1 = self.shape.b1;
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            touches.touch(word);
+            match words[word].increment_all(probes, b1) {
+                Ok(bits) => traversal_bits += bits,
+                Err(_) => {
+                    for &(rw, rp) in groups[..i].iter().rev() {
+                        words[rw].decrement_all(rp, b1).expect("rollback decrement");
+                    }
+                    return Err(FilterError::WordOverflow { word });
+                }
+            }
+        }
+        Ok(self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits))
+    }
+
+    /// Metered twin of [`Self::remove_planned`].
+    #[cfg(feature = "stats")]
+    fn remove_planned_metered(
+        &self,
+        words: &mut [HcbfWord<W>],
+        plan: &ProbePlan,
+    ) -> Result<OpCost, FilterError> {
+        let b1 = self.shape.b1;
+        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for (i, &(word, probes)) in groups.iter().enumerate() {
+            touches.touch(word);
+            match words[word].decrement_all(probes, b1) {
+                Ok(bits) => traversal_bits += bits,
+                Err(_) => {
+                    for &(rw, rp) in groups[..i].iter().rev() {
+                        words[rw].increment_all(rp, b1).expect("rollback increment");
+                    }
+                    return Err(FilterError::NotPresent);
+                }
+            }
+        }
+        Ok(self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits))
+    }
+
+    /// Acquires one shard's lock, tallying the acquisition (and whether it
+    /// had to block) into that shard's ledger. Returns the acquisition
+    /// instant so the caller can report hold time on release.
+    #[cfg(feature = "stats")]
+    fn lock_shard(&self, shard: usize) -> (parking_lot::MutexGuard<'_, Vec<HcbfWord<W>>>, Instant) {
+        let (guard, contended) = match self.shards[shard].try_lock() {
+            Some(guard) => (guard, false),
+            None => (self.shards[shard].lock(), true),
+        };
+        self.stats[shard].record_lock(contended);
+        (guard, Instant::now())
+    }
+
+    /// Merged access ledger across every shard (feature `stats`): mean
+    /// accesses / hash bits per operation kind, as the paper's tables
+    /// report them, measured under whatever concurrency actually happened.
+    #[cfg(feature = "stats")]
+    pub fn access_stats(&self) -> AccessStats {
+        let mut stats = AccessStats::new();
+        for shard in &self.stats {
+            shard.accesses.fold_into(&mut stats);
+        }
+        stats
+    }
+
+    /// One shard's lock behaviour (feature `stats`). Covers filter
+    /// operations only; maintenance passes (seal/scrub/verify/total_load)
+    /// are not tallied.
+    #[cfg(feature = "stats")]
+    pub fn shard_lock_stats(&self, shard: usize) -> LockStats {
+        self.stats[shard].lock_stats()
+    }
+
+    /// Aggregate lock behaviour across all shards (feature `stats`).
+    #[cfg(feature = "stats")]
+    pub fn lock_stats(&self) -> LockStats {
+        let mut total = LockStats::default();
+        for shard in &self.stats {
+            total.merge(&shard.lock_stats());
+        }
+        total
+    }
+
     /// Membership check.
     pub fn contains<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> bool {
         self.contains_bytes(key.key_bytes().as_slice())
     }
 
     /// Membership check on raw bytes: one lock, `g` word reads.
+    #[cfg(not(feature = "stats"))]
     pub fn contains_bytes(&self, key: &[u8]) -> bool {
         let (shard, plan) = self.plan(key);
         let guard = self.shards[shard].lock();
         Self::query_planned(&guard, &plan)
+    }
+
+    /// Membership check on raw bytes: one lock, `g` word reads (metered).
+    #[cfg(feature = "stats")]
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        let (shard, plan) = self.plan(key);
+        let (guard, held_since) = self.lock_shard(shard);
+        let (hit, cost) = self.query_planned_metered(&guard, &plan);
+        drop(guard);
+        self.stats[shard].record_hold(held_since.elapsed().as_nanos() as u64);
+        self.stats[shard].accesses.record(OpKind::Query, cost);
+        hit
     }
 
     /// Inserts a key.
@@ -250,6 +433,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 
     /// Inserts raw bytes under a single lock, rolling back on overflow.
+    #[cfg(not(feature = "stats"))]
     pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let (shard, plan) = self.plan(key);
         let mut guard = self.shards[shard].lock();
@@ -261,16 +445,50 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         result
     }
 
+    /// Inserts raw bytes under a single lock, rolling back on overflow
+    /// (metered).
+    #[cfg(feature = "stats")]
+    pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let (shard, plan) = self.plan(key);
+        let (mut guard, held_since) = self.lock_shard(shard);
+        let result = self.insert_planned_metered(&mut guard, &plan);
+        drop(guard);
+        self.stats[shard].record_hold(held_since.elapsed().as_nanos() as u64);
+        match result {
+            Ok(cost) => {
+                self.stats[shard].accesses.record(OpKind::Insert, cost);
+                Ok(())
+            }
+            Err(e) => {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
     /// Removes a key.
     pub fn remove<K: mpcbf_hash::Key + ?Sized>(&self, key: &K) -> Result<(), FilterError> {
         self.remove_bytes(key.key_bytes().as_slice())
     }
 
     /// Removes raw bytes under a single lock, rolling back if absent.
+    #[cfg(not(feature = "stats"))]
     pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let (shard, plan) = self.plan(key);
         let mut guard = self.shards[shard].lock();
         Self::remove_planned(&mut guard, &plan, self.shape.b1)
+    }
+
+    /// Removes raw bytes under a single lock, rolling back if absent
+    /// (metered).
+    #[cfg(feature = "stats")]
+    pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
+        let (shard, plan) = self.plan(key);
+        let (mut guard, held_since) = self.lock_shard(shard);
+        let result = self.remove_planned_metered(&mut guard, &plan);
+        drop(guard);
+        self.stats[shard].record_hold(held_since.elapsed().as_nanos() as u64);
+        result.map(|cost| self.stats[shard].accesses.record(OpKind::Remove, cost))
     }
 
     /// Plans a whole batch and returns key indices stably sorted by shard,
@@ -284,11 +502,13 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
 
     /// Runs `body` once per shard that has keys in the batch, holding that
     /// shard's lock exactly once for its whole contiguous run of keys.
+    /// With the `stats` feature, lock acquisitions/contention/hold time
+    /// are tallied per shard here.
     fn for_each_shard_run(
         &self,
         plans: &[(usize, ProbePlan)],
         order: &[usize],
-        mut body: impl FnMut(&mut Vec<HcbfWord<W>>, &[usize]),
+        mut body: impl FnMut(&mut Vec<HcbfWord<W>>, &[usize], usize),
     ) {
         let mut i = 0;
         while i < order.len() {
@@ -298,6 +518,9 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 i += 1;
             }
             let run = &order[start..i];
+            #[cfg(feature = "stats")]
+            let (mut guard, held_since) = self.lock_shard(shard);
+            #[cfg(not(feature = "stats"))]
             let mut guard = self.shards[shard].lock();
             // Stage 2 of the pipeline: with the shard resident, prefetch
             // every word this run will touch before any probing starts.
@@ -306,7 +529,12 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                     prefetch_read(&guard[w as usize]);
                 }
             }
-            body(&mut guard, run);
+            body(&mut guard, run, shard);
+            #[cfg(feature = "stats")]
+            {
+                drop(guard);
+                self.stats[shard].record_hold(held_since.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -315,9 +543,18 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
         let (plans, order) = self.plan_batch(keys);
         let mut out = vec![false; keys.len()];
-        self.for_each_shard_run(&plans, &order, |words, run| {
+        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
             for &idx in run {
-                out[idx] = Self::query_planned(words, &plans[idx].1);
+                #[cfg(feature = "stats")]
+                {
+                    let (hit, cost) = self.query_planned_metered(words, &plans[idx].1);
+                    self.stats[_shard].accesses.record(OpKind::Query, cost);
+                    out[idx] = hit;
+                }
+                #[cfg(not(feature = "stats"))]
+                {
+                    out[idx] = Self::query_planned(words, &plans[idx].1);
+                }
             }
         });
         out
@@ -328,16 +565,33 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// scalar loop would. Per-key results are in input order.
     pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
         let (plans, order) = self.plan_batch(keys);
+        #[cfg(not(feature = "stats"))]
         let b1 = self.shape.b1;
         let mut out = vec![Ok(()); keys.len()];
         let mut failed = 0u64;
-        self.for_each_shard_run(&plans, &order, |words, run| {
+        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
             for &idx in run {
-                let r = Self::insert_planned(words, &plans[idx].1, b1);
-                if r.is_err() {
-                    failed += 1;
+                #[cfg(feature = "stats")]
+                {
+                    out[idx] = match self.insert_planned_metered(words, &plans[idx].1) {
+                        Ok(cost) => {
+                            self.stats[_shard].accesses.record(OpKind::Insert, cost);
+                            Ok(())
+                        }
+                        Err(e) => {
+                            failed += 1;
+                            Err(e)
+                        }
+                    };
                 }
-                out[idx] = r;
+                #[cfg(not(feature = "stats"))]
+                {
+                    let r = Self::insert_planned(words, &plans[idx].1, b1);
+                    if r.is_err() {
+                        failed += 1;
+                    }
+                    out[idx] = r;
+                }
             }
         });
         self.overflows.fetch_add(failed, Ordering::Relaxed);
@@ -347,11 +601,21 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// Batched removal: mirror of [`Self::insert_batch_bytes`].
     pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
         let (plans, order) = self.plan_batch(keys);
+        #[cfg(not(feature = "stats"))]
         let b1 = self.shape.b1;
         let mut out = vec![Ok(()); keys.len()];
-        self.for_each_shard_run(&plans, &order, |words, run| {
+        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
             for &idx in run {
-                out[idx] = Self::remove_planned(words, &plans[idx].1, b1);
+                #[cfg(feature = "stats")]
+                {
+                    out[idx] = self
+                        .remove_planned_metered(words, &plans[idx].1)
+                        .map(|cost| self.stats[_shard].accesses.record(OpKind::Remove, cost));
+                }
+                #[cfg(not(feature = "stats"))]
+                {
+                    out[idx] = Self::remove_planned(words, &plans[idx].1, b1);
+                }
             }
         });
         out
@@ -696,6 +960,98 @@ mod tests {
             f.verify(),
             Err(FilterError::CorruptionDetected { segment: 2 * per })
         );
+    }
+
+    #[test]
+    fn shard_cap_never_mints_more_shards_than_words() {
+        // Regression: with l = 5 words, a request for 8 shards used to
+        // round the word-count cap *up* (next_power_of_two(5) = 8) and
+        // mint 8 shards for 5 words. The cap must round down, so the
+        // shard count never exceeds the configured word count — while
+        // each shard still gets `ceil(l / shards)` words, keeping total
+        // capacity at or above the validated `l`.
+        let c = MpcbfConfig::builder()
+            .memory_bits(320) // l = 5 words of 64 bits
+            .expected_items(4)
+            .hashes(2)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(c.shape().l, 5, "test premise: non-power-of-two l");
+        let f: ShardedMpcbf<u64> = ShardedMpcbf::new(c, 8);
+        assert!(
+            f.shard_count() as u64 <= 5,
+            "{} shards minted for 5 words",
+            f.shard_count()
+        );
+        assert!(
+            f.shard_count() as u64 * f.words_per_shard() >= 5,
+            "{} shards × {} words falls below the configured 5",
+            f.shard_count(),
+            f.words_per_shard()
+        );
+        // Still a working filter at this degenerate size.
+        f.insert(&"x").unwrap();
+        assert!(f.contains(&"x"));
+        f.remove(&"x").unwrap();
+        assert_eq!(f.total_load(), 0);
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn stats_ledger_meters_every_op_kind() {
+        let f = filter();
+        let keys: Vec<u64> = (0..1_000).collect();
+        for r in f.insert_batch(&keys) {
+            r.unwrap();
+        }
+        for k in 0..500u64 {
+            assert!(f.contains(&k));
+        }
+        f.remove(&0u64).unwrap();
+        let stats = f.access_stats();
+        assert_eq!(stats.inserts.ops(), 1_000);
+        assert_eq!(stats.queries.ops(), 500);
+        assert_eq!(stats.removes.ops(), 1);
+        let g = f.shape().g as f64;
+        for tally in [stats.inserts, stats.queries, stats.removes] {
+            assert!(tally.mean_accesses() >= 1.0 && tally.mean_accesses() <= g);
+            assert!(tally.mean_hash_bits() > 0.0);
+        }
+        let locks = f.lock_stats();
+        // 501 scalar ops = 501 acquisitions, plus one per shard run of the
+        // batch insert.
+        assert!(locks.acquisitions >= 501);
+        assert_eq!(locks.contended, 0, "single-threaded: nothing contends");
+    }
+
+    #[cfg(feature = "stats")]
+    #[test]
+    fn batch_and_scalar_metering_agree() {
+        let scalar = filter();
+        let batch = filter();
+        let keys: Vec<u64> = (0..2_000).collect();
+        for k in &keys {
+            scalar.insert(k).unwrap();
+        }
+        for r in batch.insert_batch(&keys) {
+            r.unwrap();
+        }
+        let probes: Vec<u64> = (1_000..4_000).collect();
+        for k in &probes {
+            scalar.contains(k);
+        }
+        batch.contains_batch(&probes);
+        for k in 0..500u64 {
+            scalar.remove(&k).unwrap();
+        }
+        let removals: Vec<u64> = (0..500).collect();
+        for r in batch.remove_batch(&removals) {
+            r.unwrap();
+        }
+        // Identical keys against identical filters: the batch pipeline
+        // must meter exactly what the scalar loop does.
+        assert_eq!(scalar.access_stats(), batch.access_stats());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Instrumentation ledgers for the concurrent filters (feature `stats`).
+//!
+//! The sequential filters return an [`OpCost`] from every `_cost` call, so
+//! a harness can meter them externally. The concurrent filters cannot: the
+//! interesting numbers (per-shard contention, lock hold time, accesses
+//! under concurrency) only exist *inside* the filter. With the `stats`
+//! feature enabled, each shard (or the whole filter, for the lock-free
+//! variant) carries one of these ledgers; every field is a relaxed
+//! `AtomicU64`, so recording is wait-free and merging happens on read.
+
+use mpcbf_core::metrics::{AccessStats, OpCost, OpKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed-atomic totals for one operation kind.
+#[derive(Debug, Default)]
+struct KindTotals {
+    ops: AtomicU64,
+    word_accesses: AtomicU64,
+    hash_bits: AtomicU64,
+}
+
+impl KindTotals {
+    #[inline]
+    fn record(&self, cost: OpCost) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.word_accesses
+            .fetch_add(u64::from(cost.word_accesses), Ordering::Relaxed);
+        self.hash_bits
+            .fetch_add(u64::from(cost.hash_bits), Ordering::Relaxed);
+    }
+}
+
+/// A wait-free per-kind access ledger (queries / inserts / removes).
+#[derive(Debug, Default)]
+pub struct AccessLedger {
+    queries: KindTotals,
+    inserts: KindTotals,
+    removes: KindTotals,
+}
+
+impl AccessLedger {
+    /// A fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation's cost under its kind.
+    #[inline]
+    pub fn record(&self, kind: OpKind, cost: OpCost) {
+        match kind {
+            OpKind::Query => self.queries.record(cost),
+            OpKind::Insert => self.inserts.record(cost),
+            OpKind::Remove => self.removes.record(cost),
+        }
+    }
+
+    /// Folds this ledger's totals into an [`AccessStats`] snapshot.
+    pub fn fold_into(&self, stats: &mut AccessStats) {
+        for (totals, tally) in [
+            (&self.queries, &mut stats.queries),
+            (&self.inserts, &mut stats.inserts),
+            (&self.removes, &mut stats.removes),
+        ] {
+            tally.record_totals(
+                totals.ops.load(Ordering::Relaxed),
+                totals.word_accesses.load(Ordering::Relaxed),
+                totals.hash_bits.load(Ordering::Relaxed),
+            );
+        }
+    }
+}
+
+/// A point-in-time view of one lock's (or lock pool's) behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Times the lock was taken.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock already held (`try_lock` failed
+    /// and the caller had to block).
+    pub contended: u64,
+    /// Total nanoseconds the lock was held.
+    pub hold_nanos: u64,
+}
+
+impl LockStats {
+    /// Merges another view (e.g. another shard's) into this one.
+    pub fn merge(&mut self, other: &LockStats) {
+        self.acquisitions += other.acquisitions;
+        self.contended += other.contended;
+        self.hold_nanos += other.hold_nanos;
+    }
+
+    /// Fraction of acquisitions that had to block, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+/// One shard's full ledger: access totals plus lock behaviour.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Access totals for operations executed inside this shard.
+    pub accesses: AccessLedger,
+    lock_acquisitions: AtomicU64,
+    lock_contended: AtomicU64,
+    lock_hold_nanos: AtomicU64,
+}
+
+impl ShardStats {
+    /// A fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one lock acquisition; `contended` when `try_lock` failed
+    /// and the caller blocked on `lock`.
+    #[inline]
+    pub fn record_lock(&self, contended: bool) {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.lock_contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records how long the lock was held, after release.
+    #[inline]
+    pub fn record_hold(&self, nanos: u64) {
+        self.lock_hold_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// This shard's lock behaviour so far.
+    pub fn lock_stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            contended: self.lock_contended.load(Ordering::Relaxed),
+            hold_nanos: self.lock_hold_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_folds_per_kind() {
+        let ledger = AccessLedger::new();
+        let c = OpCost {
+            word_accesses: 2,
+            hash_bits: 40,
+        };
+        ledger.record(OpKind::Query, c);
+        ledger.record(OpKind::Query, c);
+        ledger.record(OpKind::Insert, c);
+        let mut stats = AccessStats::new();
+        ledger.fold_into(&mut stats);
+        assert_eq!(stats.queries.ops(), 2);
+        assert_eq!(stats.queries.total_accesses(), 4);
+        assert_eq!(stats.inserts.ops(), 1);
+        assert_eq!(stats.removes.ops(), 0);
+        assert!((stats.queries.mean_accesses() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lock_stats_merge_and_ratio() {
+        let shard = ShardStats::new();
+        shard.record_lock(false);
+        shard.record_lock(true);
+        shard.record_hold(100);
+        shard.record_hold(50);
+        let mut total = shard.lock_stats();
+        total.merge(&shard.lock_stats());
+        assert_eq!(total.acquisitions, 4);
+        assert_eq!(total.contended, 2);
+        assert_eq!(total.hold_nanos, 300);
+        assert!((total.contention_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(LockStats::default().contention_ratio(), 0.0);
+    }
+}

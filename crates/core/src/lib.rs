@@ -65,7 +65,7 @@ pub use cbf::Cbf;
 pub use config::{MpcbfConfig, MpcbfConfigBuilder};
 pub use error::{ConfigError, FilterError};
 pub use hcbf::{HcbfWord, WordError};
-pub use metrics::{AccessStats, HealthReport, OpCost, OpTally};
+pub use metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink, OpTally};
 pub use mpcbf::{Mpcbf, Mpcbf1};
 pub use pcbf::Pcbf;
 pub use plan::{prefetch_read, ProbePlan};
@@ -102,7 +102,7 @@ pub mod prelude {
     pub use crate::cbf::Cbf;
     pub use crate::config::MpcbfConfig;
     pub use crate::error::{ConfigError, FilterError};
-    pub use crate::metrics::{AccessStats, HealthReport, OpCost};
+    pub use crate::metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink};
     pub use crate::mpcbf::{Mpcbf, Mpcbf1};
     pub use crate::pcbf::Pcbf;
     pub use crate::plan::ProbePlan;

@@ -11,6 +11,55 @@
 //! Each filter operation returns an [`OpCost`]; harnesses fold them into an
 //! [`AccessStats`] ledger per operation kind.
 
+/// The kind of a filter operation, for sinks that ledger per kind (the
+/// split the paper's tables use: queries vs. updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Membership query.
+    Query,
+    /// Insertion.
+    Insert,
+    /// Deletion.
+    Remove,
+}
+
+impl OpKind {
+    /// Stable lowercase label (used as a metric label by exporters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Query => "query",
+            OpKind::Insert => "insert",
+            OpKind::Remove => "remove",
+        }
+    }
+
+    /// All kinds, in ledger order.
+    pub const ALL: [OpKind; 3] = [OpKind::Query, OpKind::Insert, OpKind::Remove];
+}
+
+/// A consumer of operation telemetry: the metered batch methods on
+/// [`Filter`](crate::traits::Filter) report each batch call here as
+/// `(kind, ops, summed cost, wall nanos)`.
+///
+/// Takes `&self` so one sink can be shared across threads; implementations
+/// are expected to use interior mutability (atomics). The telemetry crate's
+/// registry is the primary implementation; [`NoopSink`] is the zero-cost
+/// default.
+pub trait OpSink {
+    /// Records one batch call: `ops` operations of `kind`, their summed
+    /// [`OpCost`], and the wall-clock nanoseconds the batch took.
+    fn record_batch(&self, kind: OpKind, ops: u64, cost: OpCost, nanos: u64);
+}
+
+/// An [`OpSink`] that discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl OpSink for NoopSink {
+    #[inline]
+    fn record_batch(&self, _kind: OpKind, _ops: u64, _cost: OpCost, _nanos: u64) {}
+}
+
 /// The metered cost of one filter operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCost {
@@ -71,6 +120,18 @@ impl OpTally {
         self.ops
     }
 
+    /// Total distinct-word accesses recorded.
+    #[inline]
+    pub fn total_accesses(&self) -> u64 {
+        self.word_accesses
+    }
+
+    /// Total hash/address bits recorded.
+    #[inline]
+    pub fn total_hash_bits(&self) -> u64 {
+        self.hash_bits
+    }
+
     /// Mean memory accesses per operation (0 if none recorded).
     #[inline]
     pub fn mean_accesses(&self) -> f64 {
@@ -89,6 +150,16 @@ impl OpTally {
         } else {
             self.hash_bits as f64 / self.ops as f64
         }
+    }
+
+    /// Folds pre-aggregated totals into the tally — how instrumentation
+    /// that keeps its own atomic counters (the concurrent filters'
+    /// per-shard ledgers) reports into the shared [`AccessStats`] shape.
+    #[inline]
+    pub fn record_totals(&mut self, ops: u64, word_accesses: u64, hash_bits: u64) {
+        self.ops += ops;
+        self.word_accesses += word_accesses;
+        self.hash_bits += hash_bits;
     }
 
     /// Merges another tally into this one.

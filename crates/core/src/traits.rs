@@ -2,8 +2,9 @@
 //! support ([`CountingFilter`]).
 
 use crate::error::FilterError;
-use crate::metrics::OpCost;
+use crate::metrics::{OpCost, OpKind, OpSink};
 use mpcbf_hash::Key;
+use std::time::Instant;
 
 /// An approximate-membership filter.
 ///
@@ -92,6 +93,43 @@ pub trait Filter {
         (results, total)
     }
 
+    /// Batched membership check that also reports the batch to an
+    /// [`OpSink`] as one `(kind, ops, cost, wall nanos)` sample — the hook
+    /// the telemetry layer's histograms and ledgers hang off.
+    ///
+    /// Verdicts and cost are exactly those of
+    /// [`Filter::contains_batch_cost`]; the sink only observes.
+    fn contains_batch_metered(&self, keys: &[&[u8]], sink: &dyn OpSink) -> (Vec<bool>, OpCost) {
+        let t = Instant::now();
+        let (hits, cost) = self.contains_batch_cost(keys);
+        sink.record_batch(
+            OpKind::Query,
+            keys.len() as u64,
+            cost,
+            t.elapsed().as_nanos() as u64,
+        );
+        (hits, cost)
+    }
+
+    /// Batched insertion that also reports the batch to an [`OpSink`].
+    /// Results and cost are exactly those of [`Filter::insert_batch_cost`];
+    /// refused inserts count toward `ops` but (as always) cost nothing.
+    fn insert_batch_metered(
+        &mut self,
+        keys: &[&[u8]],
+        sink: &dyn OpSink,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let t = Instant::now();
+        let (results, cost) = self.insert_batch_cost(keys);
+        sink.record_batch(
+            OpKind::Insert,
+            keys.len() as u64,
+            cost,
+            t.elapsed().as_nanos() as u64,
+        );
+        (results, cost)
+    }
+
     /// Batched membership check for any [`Key`] type (results only).
     fn contains_batch<K: Key>(&self, keys: &[K]) -> Vec<bool> {
         let owned: Vec<_> = keys.iter().map(Key::key_bytes).collect();
@@ -146,6 +184,26 @@ pub trait CountingFilter: Filter {
             }
         }
         (results, total)
+    }
+
+    /// Batched deletion that also reports the batch to an [`OpSink`].
+    /// Results and cost are exactly those of
+    /// [`CountingFilter::remove_batch_cost`]; failed removals count toward
+    /// `ops` but cost nothing.
+    fn remove_batch_metered(
+        &mut self,
+        keys: &[&[u8]],
+        sink: &dyn OpSink,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let t = Instant::now();
+        let (results, cost) = self.remove_batch_cost(keys);
+        sink.record_batch(
+            OpKind::Remove,
+            keys.len() as u64,
+            cost,
+            t.elapsed().as_nanos() as u64,
+        );
+        (results, cost)
     }
 
     /// Batched deletion for any [`Key`] type (results only).

@@ -1,0 +1,332 @@
+//! Exporters: Prometheus text exposition and a JSON snapshot.
+//!
+//! Both are pure functions over a [`TelemetrySnapshot`], so a scrape never
+//! holds any registry lock longer than the snapshot copy itself. The
+//! workspace is intentionally dependency-free, so the JSON is hand-rolled
+//! (same approach as the `BENCH_*.json` emitters in `mpcbf-bench`).
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::registry::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// Metric-name prefix for the Prometheus page.
+const PREFIX: &str = "mpcbf";
+
+/// Formats an `f64` the way both exposition formats accept: finite values
+/// via Rust's shortest round-trip `{}`, non-finite pinned to 0 (neither a
+/// scrape nor a JSON parser should meet `NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders the snapshot as a Prometheus text-format (version 0.0.4) page.
+///
+/// Exposes, per operation kind: `_ops_total`, `_batches_total`,
+/// `_word_accesses_total`, `_hash_bits_total`, the derived
+/// `_mean_accesses`/`_mean_hash_bits` gauges, and a cumulative
+/// `_op_latency_nanos` histogram. Named counters and gauges follow, each
+/// under `mpcbf_<name>`.
+pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_ops_total Filter operations recorded, by kind."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_ops_total counter");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_ops_total{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            k.ops
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_batches_total Metered batch calls recorded, by kind."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_batches_total counter");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_batches_total{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            k.batches
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_word_accesses_total Distinct machine words fetched (the paper's memory accesses)."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_word_accesses_total counter");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_word_accesses_total{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            k.word_accesses
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_hash_bits_total Hash/address bits consumed (the paper's access bandwidth)."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_hash_bits_total counter");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_hash_bits_total{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            k.hash_bits
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_mean_accesses Mean memory accesses per operation (Table II/III metric)."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_mean_accesses gauge");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_mean_accesses{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            fmt_f64(k.mean_accesses())
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_mean_hash_bits Mean hash bits per operation."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_mean_hash_bits gauge");
+    for (kind, k) in snap.kinds() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_mean_hash_bits{{kind=\"{}\"}} {}",
+            kind.as_str(),
+            fmt_f64(k.mean_hash_bits())
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_op_latency_nanos Per-operation wall latency (batch time split across the batch)."
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_op_latency_nanos histogram");
+    for (kind, k) in snap.kinds() {
+        write_histogram(&mut out, kind.as_str(), &k.latency);
+    }
+
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "# HELP {PREFIX}_counter Named workspace counters.");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "# TYPE {PREFIX}_{name}_total counter");
+            let _ = writeln!(out, "{PREFIX}_{name}_total {value}");
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "# HELP {PREFIX}_gauge Named workspace gauges.");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
+            let _ = writeln!(out, "{PREFIX}_{name} {}", fmt_f64(*value));
+        }
+    }
+
+    out
+}
+
+/// Cumulative `_bucket{le=…}` series plus `_sum`/`_count`, skipping the
+/// empty tail (everything above the last populated bucket collapses into
+/// `+Inf`).
+fn write_histogram(out: &mut String, kind: &str, hist: &HistogramSnapshot) {
+    let last = hist
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| (i + 1).min(BUCKETS - 1));
+    let mut cumulative = 0u64;
+    for i in 0..=last {
+        cumulative += hist.buckets[i];
+        let _ = writeln!(
+            out,
+            "{PREFIX}_op_latency_nanos_bucket{{kind=\"{kind}\",le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(i)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{PREFIX}_op_latency_nanos_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {}",
+        hist.count
+    );
+    let _ = writeln!(
+        out,
+        "{PREFIX}_op_latency_nanos_sum{{kind=\"{kind}\"}} {}",
+        hist.sum
+    );
+    let _ = writeln!(
+        out,
+        "{PREFIX}_op_latency_nanos_count{{kind=\"{kind}\"}} {}",
+        hist.count
+    );
+}
+
+/// Minimal JSON string escaping — names here are `snake_case` by
+/// convention, but a stray quote must not corrupt the document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a self-describing JSON document (same shape the
+/// `BENCH_telemetry.json` harness embeds per variant).
+pub fn json_snapshot(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str("{\n  \"kinds\": {");
+    for (i, (kind, k)) in snap.kinds().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{ \"ops\": {}, \"batches\": {}, \"word_accesses\": {}, \"hash_bits\": {}, \"mean_accesses\": {}, \"mean_hash_bits\": {}, \"latency\": {{ \"count\": {}, \"sum_nanos\": {}, \"mean_nanos\": {}, \"p50_upper_nanos\": {}, \"p99_upper_nanos\": {} }} }}",
+            kind.as_str(),
+            k.ops,
+            k.batches,
+            k.word_accesses,
+            k.hash_bits,
+            fmt_f64(k.mean_accesses()),
+            fmt_f64(k.mean_hash_bits()),
+            k.latency.count,
+            k.latency.sum,
+            fmt_f64(k.latency.mean()),
+            k.latency.quantile_upper_bound(0.5),
+            k.latency.quantile_upper_bound(0.99),
+        );
+    }
+    out.push_str("\n  },\n  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(name), value);
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(name), fmt_f64(*value));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Telemetry;
+    use mpcbf_core::metrics::{OpCost, OpKind, OpSink};
+
+    fn sample() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.record_batch(
+            OpKind::Query,
+            64,
+            OpCost {
+                word_accesses: 64,
+                hash_bits: 1408,
+            },
+            6_400,
+        );
+        t.record_batch(
+            OpKind::Insert,
+            2,
+            OpCost {
+                word_accesses: 2,
+                hash_bits: 60,
+            },
+            500,
+        );
+        t.add_counter("shard_lock_contended", 7);
+        t.set_gauge("fill_ratio", 0.25);
+        t.snapshot()
+    }
+
+    #[test]
+    fn prometheus_page_is_well_formed() {
+        let page = prometheus_text(&sample());
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in page.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(series.starts_with("mpcbf_"), "bad series: {series}");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value: {value}"
+            );
+        }
+        assert!(page.contains("mpcbf_ops_total{kind=\"query\"} 64"));
+        assert!(page.contains("mpcbf_mean_accesses{kind=\"query\"} 1"));
+        assert!(page.contains("mpcbf_shard_lock_contended_total 7"));
+        assert!(page.contains("mpcbf_fill_ratio 0.25"));
+        assert!(page.contains("le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let page = prometheus_text(&sample());
+        let buckets: Vec<u64> = page
+            .lines()
+            .filter(|l| l.starts_with("mpcbf_op_latency_nanos_bucket{kind=\"query\""))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "not cumulative");
+        assert_eq!(*buckets.last().unwrap(), 64, "+Inf bucket must equal count");
+    }
+
+    #[test]
+    fn json_snapshot_has_expected_fields() {
+        let json = json_snapshot(&sample());
+        assert!(json.contains("\"query\""));
+        assert!(json.contains("\"mean_accesses\": 1"));
+        assert!(json.contains("\"shard_lock_contended\": 7"));
+        assert!(json.contains("\"fill_ratio\": 0.25"));
+        // Balanced braces as a cheap structural check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let t = Telemetry::new();
+        t.add_counter("we\"ird\nname", 1);
+        let json = json_snapshot(&t.snapshot());
+        assert!(json.contains("we\\\"ird\\nname"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`AtomicHistogram`] is an HDR-style histogram with power-of-two bucket
+//! boundaries: bucket `i` covers values in `[2^(i-1), 2^i)` (bucket 0 holds
+//! 0 and 1). With 64 buckets it spans the full `u64` nanosecond range at a
+//! fixed 512-byte footprint, recording is a single relaxed fetch-add, and
+//! snapshots from independent recorders merge by plain addition — the three
+//! properties that let one histogram be shared across threads without a
+//! lock anywhere on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit-length of a `u64` value.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: 0 for 0 and 1, else `bit_length(v)` − 1
+/// (so bucket `i ≥ 1` covers `[2^i, 2^(i+1))`, shifted down by one to
+/// keep index 63 reachable only by values ≥ 2^63).
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        (63 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (used for quantile estimates and the
+/// Prometheus `le` labels). Bucket 63's bound is `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < BUCKETS);
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// A mergeable, lock-free latency histogram with power-of-two buckets.
+///
+/// All mutation is through `&self` with relaxed atomics: recorders on
+/// different threads never contend on anything but the cache line, and a
+/// reader sees a near-point-in-time [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (typically nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a value `n` times (one batch observed once, attributed to
+    /// `n` operations, is recorded via [`AtomicHistogram::record`] of the
+    /// per-op share instead — this is for pre-aggregated sources).
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy. Not atomic across buckets (recorders may land
+    /// between loads), but each bucket is itself consistent and the drift
+    /// is bounded by in-flight operations.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        s.count = self.count.load(Ordering::Relaxed);
+        s.sum = self.sum.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` covers values with bit-length `i+1`
+    /// (bucket 0 also holds zero).
+    pub buckets: [u64; BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (per-thread recorders fold
+    /// into a global view this way).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean recorded value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]` —
+    /// a conservative (over-)estimate, exact to within one power of two.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // Every value falls inside its bucket's inclusive upper bound.
+        for v in [0u64, 1, 2, 7, 100, 4096, 1 << 40, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)), "v={v}");
+            if bucket_of(v) > 0 {
+                assert!(v > bucket_upper_bound(bucket_of(v) - 1), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = AtomicHistogram::new();
+        h.record(1);
+        h.record(100);
+        h.record(100);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1_000_201);
+        assert!((s.mean() - 250_050.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 510);
+    }
+
+    #[test]
+    fn quantiles_are_conservative() {
+        let h = AtomicHistogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(10_000);
+        let s = h.snapshot();
+        // p50 lands in the bucket holding 10 ([8, 16)).
+        assert_eq!(s.quantile_upper_bound(0.5), 15);
+        // p100 must cover the outlier.
+        assert!(s.quantile_upper_bound(1.0) >= 10_000);
+        // Empty histogram.
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn record_n_preaggregates() {
+        let h = AtomicHistogram::new();
+        h.record_n(64, 10);
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 640);
+    }
+
+    #[test]
+    fn threads_share_one_histogram() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

@@ -1,0 +1,51 @@
+//! # mpcbf-telemetry
+//!
+//! Observability for the MPCBF workspace: the paper reports *measured*
+//! per-operation memory accesses and access bandwidth (Tables I–III,
+//! Fig. 11), and a production deployment additionally needs latency and
+//! saturation visibility. This crate supplies the pieces:
+//!
+//! * [`AtomicHistogram`] — HDR-style log-bucketed (power-of-two) latency
+//!   histogram; lock-free recording, mergeable snapshots.
+//! * [`Telemetry`] — the registry: implements
+//!   [`OpSink`](mpcbf_core::metrics::OpSink) so the core traits'
+//!   `*_batch_metered` operations feed it directly, folds the concurrent
+//!   filters' [`AccessStats`](mpcbf_core::metrics::AccessStats) ledgers
+//!   and [`HealthReport`](mpcbf_core::metrics::HealthReport) gauges, and
+//!   carries named counters (e.g. per-shard lock contention tallies).
+//! * [`prometheus_text`] / [`json_snapshot`] — text-exposition and JSON
+//!   renderings of a [`TelemetrySnapshot`], for `stress --telemetry`,
+//!   `mpcbf replay --telemetry`, or any embedding service's scrape
+//!   endpoint.
+//!
+//! ```
+//! use mpcbf_core::prelude::*;
+//! use mpcbf_telemetry::{prometheus_text, Telemetry};
+//!
+//! let config = MpcbfConfig::builder()
+//!     .memory_bits(1_000_000)
+//!     .expected_items(1_000)
+//!     .hashes(3)
+//!     .build()
+//!     .unwrap();
+//! let mut filter = Mpcbf1::new(config);
+//! let telemetry = Telemetry::new();
+//!
+//! let keys: Vec<&[u8]> = vec![b"alice", b"bob"];
+//! filter.insert_batch_metered(&keys, &telemetry);
+//! filter.contains_batch_metered(&keys, &telemetry);
+//!
+//! let page = prometheus_text(&telemetry.snapshot());
+//! assert!(page.contains("mpcbf_ops_total{kind=\"query\"} 2"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+
+pub use export::{json_snapshot, prometheus_text};
+pub use histogram::{AtomicHistogram, HistogramSnapshot, BUCKETS};
+pub use registry::{KindSnapshot, Telemetry, TelemetrySnapshot};

@@ -1,0 +1,318 @@
+//! The [`Telemetry`] registry: the workspace's [`OpSink`] implementation.
+//!
+//! One registry aggregates everything a run produces: per-kind operation
+//! ledgers (ops, accesses, hash bits, latency histogram), named monotonic
+//! counters, and named gauges. The hot path — [`OpSink::record_batch`] —
+//! touches only relaxed atomics; the named counter/gauge maps sit behind a
+//! mutex because they are written once per scrape or per drill, never per
+//! operation.
+
+use crate::histogram::{AtomicHistogram, HistogramSnapshot};
+use mpcbf_core::metrics::{AccessStats, HealthReport, OpCost, OpKind, OpSink, OpTally};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-[`OpKind`] running totals plus a latency histogram.
+#[derive(Debug, Default)]
+struct KindLedger {
+    ops: AtomicU64,
+    batches: AtomicU64,
+    word_accesses: AtomicU64,
+    hash_bits: AtomicU64,
+    latency: AtomicHistogram,
+}
+
+impl KindLedger {
+    fn snapshot(&self) -> KindSnapshot {
+        KindSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            word_accesses: self.word_accesses.load(Ordering::Relaxed),
+            hash_bits: self.hash_bits.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time totals for one operation kind.
+#[derive(Debug, Clone, Copy)]
+pub struct KindSnapshot {
+    /// Operations recorded.
+    pub ops: u64,
+    /// Batch calls recorded (ops ≥ batches).
+    pub batches: u64,
+    /// Total distinct-word memory accesses.
+    pub word_accesses: u64,
+    /// Total hash/address bits consumed.
+    pub hash_bits: u64,
+    /// Per-operation latency, nanoseconds (batch wall time attributed
+    /// evenly across the batch's operations).
+    pub latency: HistogramSnapshot,
+}
+
+impl KindSnapshot {
+    /// Mean memory accesses per operation (the paper's Table II/III
+    /// metric); 0 if nothing recorded.
+    pub fn mean_accesses(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.word_accesses as f64 / self.ops as f64
+        }
+    }
+
+    /// Mean hash bits per operation (access bandwidth); 0 if empty.
+    pub fn mean_hash_bits(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.hash_bits as f64 / self.ops as f64
+        }
+    }
+}
+
+/// The registry. Shareable across threads (`&self` everywhere); one per
+/// run, or one per filter-under-test when comparing variants.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    kinds: [KindLedger; 3],
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+impl Telemetry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn ledger(&self, kind: OpKind) -> &KindLedger {
+        match kind {
+            OpKind::Query => &self.kinds[0],
+            OpKind::Insert => &self.kinds[1],
+            OpKind::Remove => &self.kinds[2],
+        }
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at 0 on first
+    /// use). Names should be `snake_case`; the exporter prefixes them.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut map = self.counters.lock().expect("telemetry counter lock");
+        *map.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut map = self.gauges.lock().expect("telemetry gauge lock");
+        map.insert(name.to_string(), value);
+    }
+
+    /// Publishes a [`HealthReport`] as the standard set of health gauges
+    /// (`fill_ratio`, `max_word_load`, … as the exporter names them).
+    pub fn record_health(&self, health: &HealthReport) {
+        self.set_gauge("items", health.items as f64);
+        self.set_gauge("fill_ratio", health.fill_ratio);
+        self.set_gauge("max_word_load", f64::from(health.max_word_load));
+        self.set_gauge("word_capacity", f64::from(health.word_capacity));
+        self.set_gauge("overflows", health.overflows as f64);
+        self.set_gauge("spill_keys", health.spill_keys as f64);
+        self.set_gauge("spill_occupancy", health.spill_occupancy as f64);
+        self.set_gauge("spilled_inserts", health.spilled_inserts as f64);
+    }
+
+    /// Folds one pre-aggregated tally into a kind's ledger — how the
+    /// concurrent filters' per-shard [`AccessStats`] ledgers (which meter
+    /// internally rather than through an [`OpSink`]) reach the registry.
+    /// No latency is recorded: the source has none.
+    pub fn record_tally(&self, kind: OpKind, tally: &OpTally) {
+        let ledger = self.ledger(kind);
+        ledger.ops.fetch_add(tally.ops(), Ordering::Relaxed);
+        ledger
+            .word_accesses
+            .fetch_add(tally.total_accesses(), Ordering::Relaxed);
+        ledger
+            .hash_bits
+            .fetch_add(tally.total_hash_bits(), Ordering::Relaxed);
+    }
+
+    /// Folds a full [`AccessStats`] ledger (all three kinds).
+    pub fn record_access_stats(&self, stats: &AccessStats) {
+        self.record_tally(OpKind::Query, &stats.queries);
+        self.record_tally(OpKind::Insert, &stats.inserts);
+        self.record_tally(OpKind::Remove, &stats.removes);
+    }
+
+    /// A point-in-time copy of everything, ready for export.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            query: self.ledger(OpKind::Query).snapshot(),
+            insert: self.ledger(OpKind::Insert).snapshot(),
+            remove: self.ledger(OpKind::Remove).snapshot(),
+            counters: self
+                .counters
+                .lock()
+                .expect("telemetry counter lock")
+                .clone(),
+            gauges: self.gauges.lock().expect("telemetry gauge lock").clone(),
+        }
+    }
+}
+
+impl OpSink for Telemetry {
+    #[inline]
+    fn record_batch(&self, kind: OpKind, ops: u64, cost: OpCost, nanos: u64) {
+        let ledger = self.ledger(kind);
+        ledger.ops.fetch_add(ops, Ordering::Relaxed);
+        ledger.batches.fetch_add(1, Ordering::Relaxed);
+        ledger
+            .word_accesses
+            .fetch_add(u64::from(cost.word_accesses), Ordering::Relaxed);
+        ledger
+            .hash_bits
+            .fetch_add(u64::from(cost.hash_bits), Ordering::Relaxed);
+        // Attribute the batch's wall time evenly: one histogram sample per
+        // operation at the per-op share, so per-op latency distributions
+        // from different batch sizes remain comparable.
+        match nanos.checked_div(ops) {
+            Some(per_op) => ledger.latency.record_n(per_op, ops),
+            None => ledger.latency.record(nanos),
+        }
+    }
+}
+
+/// Everything the exporters need, decoupled from the live registry.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Query ledger.
+    pub query: KindSnapshot,
+    /// Insert ledger.
+    pub insert: KindSnapshot,
+    /// Remove ledger.
+    pub remove: KindSnapshot,
+    /// Named monotonic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Named gauges, sorted by name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl TelemetrySnapshot {
+    /// `(kind, snapshot)` pairs in ledger order, for exporters.
+    pub fn kinds(&self) -> [(OpKind, &KindSnapshot); 3] {
+        [
+            (OpKind::Query, &self.query),
+            (OpKind::Insert, &self.insert),
+            (OpKind::Remove, &self.remove),
+        ]
+    }
+
+    /// Combined update view (inserts + removes), as Table II reports.
+    pub fn updates(&self) -> KindSnapshot {
+        let mut latency = self.insert.latency;
+        latency.merge(&self.remove.latency);
+        KindSnapshot {
+            ops: self.insert.ops + self.remove.ops,
+            batches: self.insert.batches + self.remove.batches,
+            word_accesses: self.insert.word_accesses + self.remove.word_accesses,
+            hash_bits: self.insert.hash_bits + self.remove.hash_bits,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_per_kind() {
+        let t = Telemetry::new();
+        let cost = OpCost {
+            word_accesses: 64,
+            hash_bits: 1408,
+        };
+        t.record_batch(OpKind::Query, 64, cost, 6_400);
+        t.record_batch(OpKind::Query, 64, cost, 12_800);
+        t.record_batch(OpKind::Insert, 10, OpCost::zero(), 1_000);
+        let s = t.snapshot();
+        assert_eq!(s.query.ops, 128);
+        assert_eq!(s.query.batches, 2);
+        assert_eq!(s.query.word_accesses, 128);
+        assert!((s.query.mean_accesses() - 1.0).abs() < 1e-12);
+        assert!((s.query.mean_hash_bits() - 22.0).abs() < 1e-12);
+        assert_eq!(s.query.latency.count, 128);
+        assert_eq!(s.insert.ops, 10);
+        assert_eq!(s.remove.ops, 0);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let t = Telemetry::new();
+        t.add_counter("lock_contended", 3);
+        t.add_counter("lock_contended", 2);
+        t.set_gauge("fill_ratio", 0.25);
+        t.set_gauge("fill_ratio", 0.5);
+        let s = t.snapshot();
+        assert_eq!(s.counters["lock_contended"], 5);
+        assert!((s.gauges["fill_ratio"] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn health_report_becomes_gauges() {
+        let t = Telemetry::new();
+        t.record_health(&HealthReport {
+            items: 10,
+            fill_ratio: 0.125,
+            max_word_load: 7,
+            word_capacity: 50,
+            overflows: 0,
+            spill_keys: 2,
+            spill_occupancy: 3,
+            spilled_inserts: 4,
+        });
+        let s = t.snapshot();
+        assert!((s.gauges["fill_ratio"] - 0.125).abs() < 1e-12);
+        assert!((s.gauges["spill_occupancy"] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_folding_matches_sink_totals() {
+        let via_sink = Telemetry::new();
+        let cost = OpCost {
+            word_accesses: 2,
+            hash_bits: 44,
+        };
+        for _ in 0..5 {
+            via_sink.record_batch(OpKind::Remove, 1, cost, 100);
+        }
+
+        let mut stats = AccessStats::new();
+        for _ in 0..5 {
+            stats.removes.record(cost);
+        }
+        let via_tally = Telemetry::new();
+        via_tally.record_access_stats(&stats);
+
+        let a = via_sink.snapshot().remove;
+        let b = via_tally.snapshot().remove;
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.word_accesses, b.word_accesses);
+        assert_eq!(a.hash_bits, b.hash_bits);
+    }
+
+    #[test]
+    fn updates_view_combines() {
+        let t = Telemetry::new();
+        let c = OpCost {
+            word_accesses: 1,
+            hash_bits: 10,
+        };
+        t.record_batch(OpKind::Insert, 2, c, 200);
+        t.record_batch(OpKind::Remove, 2, c, 200);
+        let u = t.snapshot().updates();
+        assert_eq!(u.ops, 4);
+        assert!((u.mean_accesses() - 0.5).abs() < 1e-12);
+        assert_eq!(u.latency.count, 4);
+    }
+}

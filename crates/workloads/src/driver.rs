@@ -15,7 +15,7 @@ use crate::churn::ChurnPlan;
 use crate::faults::{FaultPlan, StreamFaultLog};
 use crate::flowtrace::FlowTrace;
 use crate::synthetic::SyntheticWorkload;
-use mpcbf_core::metrics::OpCost;
+use mpcbf_core::metrics::{OpCost, OpSink};
 use mpcbf_core::{CountingFilter, Filter};
 use mpcbf_hash::Key;
 
@@ -45,6 +45,26 @@ pub struct DriverReport {
     pub cost: OpCost,
 }
 
+fn insert_batched_inner<F: Filter, K: Key>(
+    filter: &mut F,
+    keys: &[K],
+    batch: usize,
+    report: &mut DriverReport,
+    sink: Option<&dyn OpSink>,
+) {
+    for chunk in keys.chunks(batch.max(1)) {
+        let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
+        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let (results, cost) = match sink {
+            Some(sink) => filter.insert_batch_metered(&views, sink),
+            None => filter.insert_batch_cost(&views),
+        };
+        report.inserts += results.len() as u64;
+        report.insert_failures += results.iter().filter(|r| r.is_err()).count() as u64;
+        report.cost = report.cost.add(cost);
+    }
+}
+
 /// Inserts `keys` in `batch`-sized chunks.
 pub fn insert_batched<F: Filter, K: Key>(
     filter: &mut F,
@@ -52,12 +72,37 @@ pub fn insert_batched<F: Filter, K: Key>(
     batch: usize,
     report: &mut DriverReport,
 ) {
+    insert_batched_inner(filter, keys, batch, report, None);
+}
+
+/// [`insert_batched`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink`.
+pub fn insert_batched_metered<F: Filter, K: Key>(
+    filter: &mut F,
+    keys: &[K],
+    batch: usize,
+    report: &mut DriverReport,
+    sink: &dyn OpSink,
+) {
+    insert_batched_inner(filter, keys, batch, report, Some(sink));
+}
+
+fn remove_batched_inner<F: CountingFilter, K: Key>(
+    filter: &mut F,
+    keys: &[K],
+    batch: usize,
+    report: &mut DriverReport,
+    sink: Option<&dyn OpSink>,
+) {
     for chunk in keys.chunks(batch.max(1)) {
         let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
-        let (results, cost) = filter.insert_batch_cost(&views);
-        report.inserts += results.len() as u64;
-        report.insert_failures += results.iter().filter(|r| r.is_err()).count() as u64;
+        let (results, cost) = match sink {
+            Some(sink) => filter.remove_batch_metered(&views, sink),
+            None => filter.remove_batch_cost(&views),
+        };
+        report.deletes += results.len() as u64;
+        report.delete_failures += results.iter().filter(|r| r.is_err()).count() as u64;
         report.cost = report.cost.add(cost);
     }
 }
@@ -69,25 +114,28 @@ pub fn remove_batched<F: CountingFilter, K: Key>(
     batch: usize,
     report: &mut DriverReport,
 ) {
-    for chunk in keys.chunks(batch.max(1)) {
-        let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
-        let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
-        let (results, cost) = filter.remove_batch_cost(&views);
-        report.deletes += results.len() as u64;
-        report.delete_failures += results.iter().filter(|r| r.is_err()).count() as u64;
-        report.cost = report.cost.add(cost);
-    }
+    remove_batched_inner(filter, keys, batch, report, None);
 }
 
-/// Queries `keys` in `batch`-sized chunks. `is_member`, when given, must
-/// be parallel to `keys`; positives on known non-members are counted as
-/// false positives.
-pub fn query_batched<F: Filter, K: Key>(
+/// [`remove_batched`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink`.
+pub fn remove_batched_metered<F: CountingFilter, K: Key>(
+    filter: &mut F,
+    keys: &[K],
+    batch: usize,
+    report: &mut DriverReport,
+    sink: &dyn OpSink,
+) {
+    remove_batched_inner(filter, keys, batch, report, Some(sink));
+}
+
+fn query_batched_inner<F: Filter, K: Key>(
     filter: &F,
     keys: &[K],
     is_member: Option<&[bool]>,
     batch: usize,
     report: &mut DriverReport,
+    sink: Option<&dyn OpSink>,
 ) {
     if let Some(oracle) = is_member {
         assert_eq!(oracle.len(), keys.len(), "oracle must be parallel to keys");
@@ -96,7 +144,10 @@ pub fn query_batched<F: Filter, K: Key>(
     for (c, chunk) in keys.chunks(batch).enumerate() {
         let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
-        let (answers, cost) = filter.contains_batch_cost(&views);
+        let (answers, cost) = match sink {
+            Some(sink) => filter.contains_batch_metered(&views, sink),
+            None => filter.contains_batch_cost(&views),
+        };
         report.queries += answers.len() as u64;
         report.hits += answers.iter().filter(|&&a| a).count() as u64;
         if let Some(oracle) = is_member {
@@ -111,6 +162,45 @@ pub fn query_batched<F: Filter, K: Key>(
     }
 }
 
+/// Queries `keys` in `batch`-sized chunks. `is_member`, when given, must
+/// be parallel to `keys`; positives on known non-members are counted as
+/// false positives.
+pub fn query_batched<F: Filter, K: Key>(
+    filter: &F,
+    keys: &[K],
+    is_member: Option<&[bool]>,
+    batch: usize,
+    report: &mut DriverReport,
+) {
+    query_batched_inner(filter, keys, is_member, batch, report, None);
+}
+
+/// [`query_batched`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink`.
+pub fn query_batched_metered<F: Filter, K: Key>(
+    filter: &F,
+    keys: &[K],
+    is_member: Option<&[bool]>,
+    batch: usize,
+    report: &mut DriverReport,
+    sink: &dyn OpSink,
+) {
+    query_batched_inner(filter, keys, is_member, batch, report, Some(sink));
+}
+
+fn churn_batched_inner<F: CountingFilter, K: Key>(
+    filter: &mut F,
+    plan: &ChurnPlan<K>,
+    batch: usize,
+    report: &mut DriverReport,
+    sink: Option<&dyn OpSink>,
+) {
+    for period in &plan.periods {
+        remove_batched_inner(filter, &period.deletes, batch, report, sink);
+        insert_batched_inner(filter, &period.inserts, batch, report, sink);
+    }
+}
+
 /// Replays a [`ChurnPlan`]: per period, batched deletes then batched
 /// inserts — the paper's update-period protocol (§IV.A).
 pub fn churn_batched<F: CountingFilter, K: Key>(
@@ -119,10 +209,19 @@ pub fn churn_batched<F: CountingFilter, K: Key>(
     batch: usize,
     report: &mut DriverReport,
 ) {
-    for period in &plan.periods {
-        remove_batched(filter, &period.deletes, batch, report);
-        insert_batched(filter, &period.inserts, batch, report);
-    }
+    churn_batched_inner(filter, plan, batch, report, None);
+}
+
+/// [`churn_batched`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink`.
+pub fn churn_batched_metered<F: CountingFilter, K: Key>(
+    filter: &mut F,
+    plan: &ChurnPlan<K>,
+    batch: usize,
+    report: &mut DriverReport,
+    sink: &dyn OpSink,
+) {
+    churn_batched_inner(filter, plan, batch, report, Some(sink));
 }
 
 /// Replays the §IV.A synthetic protocol: insert the test set, run the
@@ -133,16 +232,38 @@ pub fn replay_synthetic<F: CountingFilter>(
     workload: &SyntheticWorkload,
     batch: usize,
 ) -> DriverReport {
+    replay_synthetic_inner(filter, workload, batch, None)
+}
+
+/// [`replay_synthetic`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink` — the telemetry-backed replay used by
+/// the bench validation harness and the CLI's `--telemetry` mode.
+pub fn replay_synthetic_metered<F: CountingFilter>(
+    filter: &mut F,
+    workload: &SyntheticWorkload,
+    batch: usize,
+    sink: &dyn OpSink,
+) -> DriverReport {
+    replay_synthetic_inner(filter, workload, batch, Some(sink))
+}
+
+fn replay_synthetic_inner<F: CountingFilter>(
+    filter: &mut F,
+    workload: &SyntheticWorkload,
+    batch: usize,
+    sink: Option<&dyn OpSink>,
+) -> DriverReport {
     let mut report = DriverReport::default();
-    insert_batched(filter, &workload.test_set, batch, &mut report);
-    query_batched(
+    insert_batched_inner(filter, &workload.test_set, batch, &mut report, sink);
+    query_batched_inner(
         filter,
         &workload.queries,
         Some(&workload.is_member),
         batch,
         &mut report,
+        sink,
     );
-    churn_batched(filter, &workload.churn, batch, &mut report);
+    churn_batched_inner(filter, &workload.churn, batch, &mut report, sink);
     report
 }
 
@@ -153,10 +274,30 @@ pub fn replay_flowtrace<F: CountingFilter>(
     trace: &FlowTrace,
     batch: usize,
 ) -> DriverReport {
+    replay_flowtrace_inner(filter, trace, batch, None)
+}
+
+/// [`replay_flowtrace`], additionally streaming every batch's
+/// [`OpCost`]/latency into `sink`.
+pub fn replay_flowtrace_metered<F: CountingFilter>(
+    filter: &mut F,
+    trace: &FlowTrace,
+    batch: usize,
+    sink: &dyn OpSink,
+) -> DriverReport {
+    replay_flowtrace_inner(filter, trace, batch, Some(sink))
+}
+
+fn replay_flowtrace_inner<F: CountingFilter>(
+    filter: &mut F,
+    trace: &FlowTrace,
+    batch: usize,
+    sink: Option<&dyn OpSink>,
+) -> DriverReport {
     let mut report = DriverReport::default();
-    insert_batched(filter, &trace.test_set, batch, &mut report);
-    query_batched(filter, &trace.records, None, batch, &mut report);
-    churn_batched(filter, &trace.churn, batch, &mut report);
+    insert_batched_inner(filter, &trace.test_set, batch, &mut report, sink);
+    query_batched_inner(filter, &trace.records, None, batch, &mut report, sink);
+    churn_batched_inner(filter, &trace.churn, batch, &mut report, sink);
     report
 }
 
@@ -331,6 +472,67 @@ mod tests {
         let (again, log2) = replay_synthetic_faulty(&mut again_f, &w, DEFAULT_BATCH, &plan);
         assert_eq!((again, log2), (faulty, log));
         assert_eq!(again_f.raw_words(), faulty_f.raw_words());
+    }
+
+    #[test]
+    fn metered_replay_streams_exactly_the_report() {
+        use mpcbf_core::metrics::OpKind;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Test sink: tallies ops and summed cost per kind.
+        #[derive(Default)]
+        struct TallySink {
+            ops: [AtomicU64; 3],
+            accesses: AtomicU64,
+            hash_bits: AtomicU64,
+        }
+        impl OpSink for TallySink {
+            fn record_batch(&self, kind: OpKind, ops: u64, cost: OpCost, _nanos: u64) {
+                self.ops[kind as usize].fetch_add(ops, Ordering::Relaxed);
+                self.accesses
+                    .fetch_add(u64::from(cost.word_accesses), Ordering::Relaxed);
+                self.hash_bits
+                    .fetch_add(u64::from(cost.hash_bits), Ordering::Relaxed);
+            }
+        }
+
+        let spec = SyntheticSpec {
+            periods: 2,
+            ..SyntheticSpec::default()
+        }
+        .scaled_down(100);
+        let w = SyntheticWorkload::generate(&spec);
+
+        let mut plain_f = filter();
+        let plain = replay_synthetic(&mut plain_f, &w, DEFAULT_BATCH);
+        let sink = TallySink::default();
+        let mut metered_f = filter();
+        let metered = replay_synthetic_metered(&mut metered_f, &w, DEFAULT_BATCH, &sink);
+
+        // Metering must be a pure observer: identical report and state.
+        assert_eq!(metered, plain);
+        assert_eq!(metered_f.raw_words(), plain_f.raw_words());
+        // And the sink must have seen exactly the replayed operations.
+        assert_eq!(
+            sink.ops[OpKind::Query as usize].load(Ordering::Relaxed),
+            plain.queries
+        );
+        assert_eq!(
+            sink.ops[OpKind::Insert as usize].load(Ordering::Relaxed),
+            plain.inserts
+        );
+        assert_eq!(
+            sink.ops[OpKind::Remove as usize].load(Ordering::Relaxed),
+            plain.deletes
+        );
+        assert_eq!(
+            sink.accesses.load(Ordering::Relaxed),
+            u64::from(plain.cost.word_accesses)
+        );
+        assert_eq!(
+            sink.hash_bits.load(Ordering::Relaxed),
+            u64::from(plain.cost.hash_bits)
+        );
     }
 
     #[test]

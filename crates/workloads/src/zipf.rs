@@ -63,16 +63,24 @@ impl Zipf {
     /// Deterministically apportions `total` items over the ranks in
     /// proportion to the PMF (largest-remainder rounding), returning the
     /// per-rank counts. Every rank receives at least one item if
-    /// `total >= n`.
+    /// `total >= n`: each rank is seeded with one item and the remaining
+    /// `total − n` are apportioned by largest remainder, so heavy-tailed
+    /// shapes cannot starve tail ranks. (Largest-remainder alone hands out
+    /// only `total − Σfloor` leftovers, leaving tail ranks with
+    /// `pmf · total < 1` at zero.)
     pub fn apportion(&self, total: u64) -> Vec<u64> {
         let n = self.cdf.len();
+        // The documented minimum: with enough items to go around, every
+        // rank starts at one and only the surplus is distributed.
+        let base = u64::from(total >= n as u64);
+        let surplus = total - base * n as u64;
         let mut counts: Vec<u64> = Vec::with_capacity(n);
         let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
-        let mut assigned = 0u64;
+        let mut assigned = base * n as u64;
         for rank in 1..=n {
-            let exact = self.pmf(rank) * total as f64;
+            let exact = self.pmf(rank) * surplus as f64;
             let floor = exact.floor() as u64;
-            counts.push(floor);
+            counts.push(base + floor);
             assigned += floor;
             remainders.push((rank - 1, exact - exact.floor()));
         }
@@ -145,6 +153,27 @@ mod tests {
         assert_eq!(total, 5_585_633);
         // Heavy head: top rank gets far more than the mean.
         assert!(counts[0] > 10 * (5_585_633 / 292_363));
+    }
+
+    #[test]
+    fn apportion_feeds_every_tail_rank() {
+        // Regression: with a heavy tail, pmf(n) · total < 1 for the last
+        // ranks, so pure largest-remainder rounding left them at zero
+        // despite the documented "at least one item if total >= n".
+        let z = Zipf::new(1_000, 2.0);
+        let counts = z.apportion(1_000);
+        assert_eq!(counts.iter().sum::<u64>(), 1_000);
+        assert!(
+            counts.iter().all(|&c| c >= 1),
+            "tail rank starved: last counts = {:?}",
+            &counts[990..]
+        );
+        // The head must still dominate after seeding the minimum.
+        let z = Zipf::new(10_000, 1.5);
+        let counts = z.apportion(100_000);
+        assert_eq!(counts.iter().sum::<u64>(), 100_000);
+        assert!(counts[9_999] >= 1);
+        assert!(counts[0] > counts[9_999] * 100);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! panicked thread is simply re-acquired, matching upstream semantics
 //! closely enough for this workspace's sharded-filter use.
 
-use std::sync::MutexGuard;
+pub use std::sync::MutexGuard;
+use std::sync::TryLockError;
 
 /// A mutual-exclusion primitive with parking_lot's `lock()` API.
 #[derive(Debug, Default)]
@@ -26,6 +27,16 @@ impl<T> Mutex<T> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking, ignoring poisoning.
+    /// Returns `None` if the lock is held by another thread.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
         }
     }
 
@@ -56,6 +67,19 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_reports_held_locks() {
+        let m = Mutex::new(5u32);
+        {
+            let _held = m.lock();
+            // Same-thread re-entry would deadlock on lock(); try_lock must
+            // decline instead.
+            assert!(m.try_lock().is_none());
+        }
+        *m.try_lock().expect("uncontended try_lock succeeds") += 1;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Metering contract: the `_metered` batch methods must report to their
+//! [`OpSink`] *exactly* the totals a scalar loop over the `_cost` calls
+//! would accumulate — same op counts, same summed word accesses, same
+//! summed hash bits — for every filter variant that overrides the batch
+//! path. The sink only observes: results and returned cost must be
+//! identical to the unmetered batch call on a clone.
+//!
+//! Also pins down [`WordTouches`] at its `k ≤ 64` design boundary: the
+//! dedup buffer holds at most 64 distinct words (CBF's largest supported
+//! `k`), saturating — never panicking — beyond it.
+
+use mpcbf::core::metrics::WordTouches;
+use mpcbf::core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, OpCost, OpKind, OpSink, Pcbf};
+use mpcbf::hash::Murmur3;
+use mpcbf::variants::Rcbf;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::fmt::Debug;
+
+/// A single-threaded [`OpSink`] ledgering `(ops, cost)` per kind.
+#[derive(Debug, Default)]
+struct TallySink {
+    totals: RefCell<[(u64, OpCost); 3]>,
+}
+
+impl TallySink {
+    fn kind(&self, kind: OpKind) -> (u64, OpCost) {
+        self.totals.borrow()[kind as usize]
+    }
+}
+
+impl OpSink for TallySink {
+    fn record_batch(&self, kind: OpKind, ops: u64, cost: OpCost, _nanos: u64) {
+        let mut totals = self.totals.borrow_mut();
+        let (o, c) = &mut totals[kind as usize];
+        *o += ops;
+        *c = c.add(cost);
+    }
+}
+
+fn to_bytes(keys: &[u16]) -> Vec<Vec<u8>> {
+    keys.iter().map(|k| k.to_le_bytes().to_vec()).collect()
+}
+
+fn views(keys: &[Vec<u8>]) -> Vec<&[u8]> {
+    keys.iter().map(|k| k.as_slice()).collect()
+}
+
+/// The reference accounting: scalar `_cost` loops, failed ops free.
+fn scalar_totals<F: CountingFilter>(
+    f: &mut F,
+    inserts: &[Vec<u8>],
+    queries: &[Vec<u8>],
+    removes: &[Vec<u8>],
+) -> [OpCost; 3] {
+    let mut insert_cost = OpCost::zero();
+    for k in inserts {
+        if let Ok(c) = f.insert_bytes_cost(k) {
+            insert_cost = insert_cost.add(c);
+        }
+    }
+    let query_cost = OpCost::accumulate(queries.iter().map(|k| f.contains_bytes_cost(k).1));
+    let mut remove_cost = OpCost::zero();
+    for k in removes {
+        if let Ok(c) = f.remove_bytes_cost(k) {
+            remove_cost = remove_cost.add(c);
+        }
+    }
+    [query_cost, insert_cost, remove_cost]
+}
+
+/// Drives one variant through insert → query → remove on three clones
+/// (scalar loop, unmetered batch, metered batch + sink) and checks that
+/// the sink saw exactly the scalar totals while the metered results match
+/// the unmetered batch call bit for bit.
+fn check_metered<F: CountingFilter + Clone + Debug>(
+    name: &str,
+    proto: F,
+    inserts: &[Vec<u8>],
+    queries: &[Vec<u8>],
+    removes: &[Vec<u8>],
+) {
+    let mut scalar = proto.clone();
+    let mut batch = proto.clone();
+    let mut metered = proto;
+    let sink = TallySink::default();
+
+    let expected = scalar_totals(&mut scalar, inserts, queries, removes);
+
+    let i = views(inserts);
+    let q = views(queries);
+    let r = views(removes);
+
+    let b_ins = batch.insert_batch_cost(&i);
+    let m_ins = metered.insert_batch_metered(&i, &sink);
+    assert_eq!(b_ins, m_ins, "{name}: metered insert diverged from batch");
+
+    let b_q = batch.contains_batch_cost(&q);
+    let m_q = metered.contains_batch_metered(&q, &sink);
+    assert_eq!(b_q, m_q, "{name}: metered query diverged from batch");
+
+    let b_rem = batch.remove_batch_cost(&r);
+    let m_rem = metered.remove_batch_metered(&r, &sink);
+    assert_eq!(b_rem, m_rem, "{name}: metered remove diverged from batch");
+
+    assert_eq!(
+        format!("{batch:?}"),
+        format!("{metered:?}"),
+        "{name}: metering changed filter state"
+    );
+
+    for (kind, expected_cost, ops) in [
+        (OpKind::Query, expected[0], queries.len()),
+        (OpKind::Insert, expected[1], inserts.len()),
+        (OpKind::Remove, expected[2], removes.len()),
+    ] {
+        let (seen_ops, seen_cost) = sink.kind(kind);
+        assert_eq!(
+            seen_ops,
+            ops as u64,
+            "{name}: sink {} op count",
+            kind.as_str()
+        );
+        assert_eq!(
+            seen_cost,
+            expected_cost,
+            "{name}: sink {} cost != scalar-loop sum",
+            kind.as_str()
+        );
+    }
+}
+
+fn mpcbf(g: u32) -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(50_000)
+            .expected_items(500)
+            .hashes(3)
+            .accesses(g)
+            .seed(11)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Tiny enough that inserts overflow words mid-batch: refused ops must
+/// still count toward the sink's op total while contributing zero cost.
+fn tiny_mpcbf() -> Mpcbf<u64, Murmur3> {
+    Mpcbf::new(
+        MpcbfConfig::builder()
+            .memory_bits(256)
+            .expected_items(1)
+            .n_max(2)
+            .hashes(3)
+            .seed(5)
+            .build()
+            .unwrap(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn metered_batches_report_the_scalar_sum(
+        inserts in prop::collection::vec(0u16..48, 0..60),
+        queries in prop::collection::vec(0u16..96, 0..60),
+        removes in prop::collection::vec(0u16..48, 0..60),
+    ) {
+        let (i, q, r) = (to_bytes(&inserts), to_bytes(&queries), to_bytes(&removes));
+        check_metered("CBF", Cbf::<Murmur3>::new(2_048, 3, 7), &i, &q, &r);
+        check_metered("PCBF-2", Pcbf::<Murmur3>::new(128, 64, 3, 2, 7), &i, &q, &r);
+        check_metered("MPCBF-1", mpcbf(1), &i, &q, &r);
+        check_metered("MPCBF-2", mpcbf(2), &i, &q, &r);
+        check_metered("MPCBF-tiny", tiny_mpcbf(), &i, &q, &r);
+        check_metered("RCBF", Rcbf::<Murmur3>::new(512, 12, 2, 7), &i, &q, &r);
+    }
+}
+
+#[test]
+fn noop_sink_batches_still_return_real_costs() {
+    // NoopSink is the zero-cost default; the returned cost must be the
+    // real one even though nothing is recorded.
+    let mut f = mpcbf(1);
+    let keys = to_bytes(&[1, 2, 3]);
+    let v = views(&keys);
+    let sink = mpcbf::core::NoopSink;
+    let (results, cost) = f.insert_batch_metered(&v, &sink);
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(cost.word_accesses, 3); // MPCBF-1: one word per insert
+    let (_, qcost) = f.contains_batch_metered(&v, &sink);
+    assert_eq!(qcost.word_accesses, 3);
+}
+
+#[test]
+fn word_touches_counts_exactly_64_distinct_words() {
+    // k = 64 is the largest CBF configuration the tracker is sized for:
+    // all 64 distinct touches must land.
+    let mut t = WordTouches::new();
+    for w in 0..64 {
+        t.touch(w);
+    }
+    assert_eq!(t.count(), 64);
+}
+
+#[test]
+fn word_touches_dedupes_at_the_full_boundary() {
+    // 63 distinct + re-touches of each: duplicates stay free right up to
+    // the boundary, and the 64th distinct word still fits afterwards.
+    let mut t = WordTouches::new();
+    for w in 0..63 {
+        t.touch(w);
+        t.touch(w);
+    }
+    assert_eq!(t.count(), 63);
+    for w in 0..63 {
+        t.touch(w);
+    }
+    assert_eq!(t.count(), 63);
+    t.touch(63);
+    assert_eq!(t.count(), 64);
+}
+
+#[test]
+fn word_touches_saturates_past_64_without_forgetting() {
+    // The 65th distinct word is dropped (saturation, not panic), but the
+    // 64 recorded words still dedup correctly.
+    let mut t = WordTouches::new();
+    for w in 0..64 {
+        t.touch(w);
+    }
+    t.touch(1_000_000);
+    assert_eq!(t.count(), 64);
+    for w in 0..64 {
+        t.touch(w); // all already recorded: free
+    }
+    assert_eq!(t.count(), 64);
+}
