@@ -5,6 +5,7 @@
 //! access — e.g. a 512-bit DDR burst or cache line. `WideWord<N>` gives the
 //! harness those points: `WideWord<4>` = 256 bits, `WideWord<8>` = 512 bits.
 
+use crate::kernel;
 use crate::word::Word;
 
 /// A `64·N`-bit word stored as `N` little-endian 64-bit limbs.
@@ -48,6 +49,19 @@ impl<const N: usize> Word for WideWord<N> {
     }
 
     #[inline]
+    fn mask_below(i: u32) -> Self {
+        let mut limbs = [0u64; N];
+        let i = i.min(Self::BITS);
+        let (limb, off) = Self::split(i.min(Self::BITS - 1));
+        let full = if i == Self::BITS { N } else { limb };
+        limbs[..full].fill(u64::MAX);
+        if full < N {
+            limbs[limb] = kernel::mask_below_u64(off);
+        }
+        WideWord { limbs }
+    }
+
+    #[inline]
     fn bit(&self, i: u32) -> bool {
         debug_assert!(i < Self::BITS);
         let (limb, off) = Self::split(i);
@@ -76,24 +90,21 @@ impl<const N: usize> Word for WideWord<N> {
     #[inline]
     fn rank(&self, i: u32) -> u32 {
         debug_assert!(i <= Self::BITS);
-        let (limb, off) = Self::split(i.min(Self::BITS - 1));
         if i == Self::BITS {
             return self.count_ones();
         }
+        let (limb, off) = Self::split(i);
         let mut ones = 0;
         for l in &self.limbs[..limb] {
             ones += l.count_ones();
         }
-        if off > 0 {
-            ones += (self.limbs[limb] & ((1u64 << off) - 1)).count_ones();
-        }
-        ones
+        ones + (self.limbs[limb] & kernel::mask_below_u64(off)).count_ones()
     }
 
     fn insert_zero(&mut self, pos: u32) {
         debug_assert!(pos < Self::BITS);
         let (limb, off) = Self::split(pos);
-        let low_mask = if off == 0 { 0u64 } else { (1u64 << off) - 1 };
+        let low_mask = kernel::mask_below_u64(off);
         let low = self.limbs[limb] & low_mask;
         let high = self.limbs[limb] & !low_mask;
         let mut carry = high >> 63;
@@ -114,7 +125,7 @@ impl<const N: usize> Word for WideWord<N> {
             self.limbs[j] = (self.limbs[j] >> 1) | (carry << 63);
             carry = next_carry;
         }
-        let low_mask = if off == 0 { 0u64 } else { (1u64 << off) - 1 };
+        let low_mask = kernel::mask_below_u64(off);
         let low = self.limbs[limb] & low_mask;
         let high = (self.limbs[limb] >> 1) & !low_mask;
         self.limbs[limb] = high | low | (carry << 63);
@@ -141,6 +152,64 @@ impl<const N: usize> Word for WideWord<N> {
             }
         }
         None
+    }
+
+    // Hot tier: whole limbs use plain POPCNT either way; the boundary limb
+    // goes through the runtime-dispatched kernel (BZHI/PDEP/PEXT on BMI2).
+
+    #[inline]
+    fn rank_hot(&self, i: u32) -> u32 {
+        debug_assert!(i <= Self::BITS);
+        if i == Self::BITS {
+            return self.count_ones();
+        }
+        let (limb, off) = Self::split(i);
+        let mut ones = 0;
+        for l in &self.limbs[..limb] {
+            ones += l.count_ones();
+        }
+        ones + kernel::rank_u64(self.limbs[limb], off)
+    }
+
+    #[inline]
+    fn rank_range_hot(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a <= b && b <= Self::BITS);
+        let (la, _) = Self::split(a.min(Self::BITS - 1));
+        let (lb, _) = Self::split(b.min(Self::BITS - 1));
+        if la == lb && b < Self::BITS {
+            // Both ends in one limb: a single masked popcount.
+            let off = la as u32 * 64;
+            return kernel::rank_range_u64(self.limbs[la], a - off, b - off);
+        }
+        self.rank_hot(b) - self.rank_hot(a)
+    }
+
+    #[inline]
+    fn insert_zero_hot(&mut self, pos: u32) {
+        debug_assert!(pos < Self::BITS);
+        let (limb, off) = Self::split(pos);
+        // PDEP discards the boundary limb's top bit, so capture the carry
+        // before the kernel call.
+        let mut carry = self.limbs[limb] >> 63;
+        self.limbs[limb] = kernel::insert_zero_u64(self.limbs[limb], off);
+        for l in &mut self.limbs[limb + 1..] {
+            let next_carry = *l >> 63;
+            *l = (*l << 1) | carry;
+            carry = next_carry;
+        }
+    }
+
+    #[inline]
+    fn remove_bit_hot(&mut self, pos: u32) {
+        debug_assert!(pos < Self::BITS);
+        let (limb, off) = Self::split(pos);
+        let mut carry = 0u64;
+        for j in (limb + 1..N).rev() {
+            let next_carry = self.limbs[j] & 1;
+            self.limbs[j] = (self.limbs[j] >> 1) | (carry << 63);
+            carry = next_carry;
+        }
+        self.limbs[limb] = kernel::remove_bit_u64(self.limbs[limb], off) | (carry << 63);
     }
 }
 

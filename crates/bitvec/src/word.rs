@@ -6,7 +6,17 @@
 //! (number of ones below a position within a level), and every counter
 //! increment inserts one zero bit into the middle of the word, shifting the
 //! tail right. The trait below is the minimal algebra for that.
+//!
+//! Each primitive exists in two tiers: the plain methods (`rank`,
+//! `insert_zero`, …) are the portable baseline, branch-free via
+//! [`Word::mask_below`]; the `_hot` methods default to the baseline but are
+//! overridden for the widths with runtime-dispatched kernels
+//! ([`crate::kernel`]) — `u64` and the wide words lower to
+//! `BZHI`/`PDEP`/`PEXT` on CPUs that have them. The two tiers are proven
+//! bit-identical by differential property tests, so the hot path may be
+//! swapped per process without any observable difference.
 
+use crate::kernel;
 use core::fmt::Debug;
 
 /// A fixed-width bit container.
@@ -20,6 +30,13 @@ pub trait Word: Copy + Clone + Eq + Debug + Default + Send + Sync + 'static {
 
     /// The all-zeros word.
     fn zero() -> Self;
+
+    /// All ones strictly below bit `i`; `i ≥ Self::BITS` saturates to the
+    /// all-ones word (the same contract as x86's `BZHI` mask). Every
+    /// position-masking primitive below is defined in terms of this, so no
+    /// implementation ever computes `(1 << i) - 1` with `i` at the width —
+    /// the shift hazard the old `rank` carried.
+    fn mask_below(i: u32) -> Self;
 
     /// Tests bit `i`.
     fn bit(&self, i: u32) -> bool;
@@ -65,15 +82,52 @@ pub trait Word: Copy + Clone + Eq + Debug + Default + Send + Sync + 'static {
     fn used_bits(&self) -> u32 {
         self.highest_set_bit().map_or(0, |b| b + 1)
     }
+
+    /// [`Word::rank`] through the runtime-dispatched kernel. Bit-identical
+    /// to the baseline; only the instruction sequence may differ.
+    #[inline]
+    fn rank_hot(&self, i: u32) -> u32 {
+        self.rank(i)
+    }
+
+    /// [`Word::rank_range`] through the runtime-dispatched kernel.
+    #[inline]
+    fn rank_range_hot(&self, a: u32, b: u32) -> u32 {
+        self.rank_range(a, b)
+    }
+
+    /// [`Word::insert_zero`] through the runtime-dispatched kernel.
+    #[inline]
+    fn insert_zero_hot(&mut self, pos: u32) {
+        self.insert_zero(pos);
+    }
+
+    /// [`Word::remove_bit`] through the runtime-dispatched kernel.
+    #[inline]
+    fn remove_bit_hot(&mut self, pos: u32) {
+        self.remove_bit(pos);
+    }
 }
 
 macro_rules! impl_word_for_prim {
-    ($($t:ty),*) => {$(
+    ($($t:ty => { $($hot:item)* }),* $(,)?) => {$(
         impl Word for $t {
             const BITS: u32 = <$t>::BITS;
 
             #[inline]
             fn zero() -> Self { 0 }
+
+            #[inline]
+            fn mask_below(i: u32) -> Self {
+                // Branch-free for every in-range i: both shifts stay in
+                // 0..BITS. The compare handles the i == BITS saturation
+                // the old `(1 << i) - 1` form could not express.
+                if i >= Self::BITS {
+                    <$t>::MAX
+                } else {
+                    (<$t>::MAX >> 1) >> (Self::BITS - 1 - i)
+                }
+            }
 
             #[inline]
             fn bit(&self, i: u32) -> bool {
@@ -100,40 +154,38 @@ macro_rules! impl_word_for_prim {
 
             #[inline]
             fn rank(&self, i: u32) -> u32 {
-                debug_assert!(i <= Self::BITS);
-                if i == Self::BITS {
-                    <$t>::count_ones(*self)
-                } else {
-                    <$t>::count_ones(*self & ((1 << i) - 1))
+                (*self & Self::mask_below(i)).count_ones()
+            }
+
+            #[inline]
+            fn rank_range(&self, a: u32, b: u32) -> u32 {
+                debug_assert!(a <= b && b <= Self::BITS);
+                if a >= Self::BITS {
+                    // Only reachable as the empty range [BITS, BITS).
+                    return 0;
                 }
+                ((*self >> a) & Self::mask_below(b - a)).count_ones()
             }
 
             #[inline]
             fn insert_zero(&mut self, pos: u32) {
                 debug_assert!(pos < Self::BITS);
-                let low_mask: $t = if pos == 0 { 0 } else { (1 << pos) - 1 };
-                let low = *self & low_mask;
-                let high = *self & !low_mask;
-                *self = (high << 1) | low;
+                let low = *self & Self::mask_below(pos);
+                *self = ((*self ^ low) << 1) | low;
             }
 
             #[inline]
             fn remove_bit(&mut self, pos: u32) {
                 debug_assert!(pos < Self::BITS);
-                let low_mask: $t = if pos == 0 { 0 } else { (1 << pos) - 1 };
+                let low_mask = Self::mask_below(pos);
                 let low = *self & low_mask;
-                let high = (*self >> 1) & !low_mask;
-                *self = high | low;
+                *self = ((*self >> 1) & !low_mask) | low;
             }
 
             #[inline]
             fn is_zero_from(&self, pos: u32) -> bool {
                 debug_assert!(pos <= Self::BITS);
-                if pos == Self::BITS {
-                    true
-                } else {
-                    (*self >> pos) == 0
-                }
+                *self & !Self::mask_below(pos) == 0
             }
 
             #[inline]
@@ -144,11 +196,41 @@ macro_rules! impl_word_for_prim {
                     Some(Self::BITS - 1 - self.leading_zeros())
                 }
             }
+
+            $($hot)*
         }
     )*};
 }
 
-impl_word_for_prim!(u16, u32, u64, u128);
+impl_word_for_prim!(
+    u16 => {},
+    u32 => {},
+    // The paper's main word width carries the runtime-dispatched kernels:
+    // BZHI + POPCNT ranks and single-instruction PDEP/PEXT hierarchy
+    // shifts on CPUs with BMI2, the portable baseline elsewhere.
+    u64 => {
+        #[inline]
+        fn rank_hot(&self, i: u32) -> u32 {
+            kernel::rank_u64(*self, i)
+        }
+
+        #[inline]
+        fn rank_range_hot(&self, a: u32, b: u32) -> u32 {
+            kernel::rank_range_u64(*self, a, b)
+        }
+
+        #[inline]
+        fn insert_zero_hot(&mut self, pos: u32) {
+            *self = kernel::insert_zero_u64(*self, pos);
+        }
+
+        #[inline]
+        fn remove_bit_hot(&mut self, pos: u32) {
+            *self = kernel::remove_bit_u64(*self, pos);
+        }
+    },
+    u128 => {},
+);
 
 #[cfg(test)]
 mod tests {
@@ -182,6 +264,58 @@ mod tests {
         check_basic::<u32>();
         check_basic::<u64>();
         check_basic::<u128>();
+    }
+
+    fn check_mask_below<W: Word>() {
+        assert_eq!(W::mask_below(0), W::zero());
+        for i in 0..=W::BITS {
+            let mask = W::mask_below(i);
+            assert_eq!(mask.count_ones(), i, "popcount of mask_below({i})");
+            assert!(mask.is_zero_from(i), "mask_below({i}) has high bits");
+        }
+        // Saturation beyond the width.
+        assert_eq!(W::mask_below(W::BITS + 1), W::mask_below(W::BITS));
+        assert_eq!(W::mask_below(u32::MAX), W::mask_below(W::BITS));
+    }
+
+    #[test]
+    fn mask_below_all_widths() {
+        check_mask_below::<u16>();
+        check_mask_below::<u32>();
+        check_mask_below::<u64>();
+        check_mask_below::<u128>();
+    }
+
+    fn check_hot_matches_plain<W: Word>() {
+        // Drive a nontrivial pattern through plain and hot tiers in
+        // lockstep; every intermediate state must agree bit-for-bit.
+        let mut plain = W::zero();
+        for i in (0..W::BITS).step_by(3) {
+            plain.set_bit(i);
+        }
+        plain.clear_bit(W::BITS - 1);
+        let mut hot = plain;
+        for pos in 0..W::BITS - 1 {
+            assert_eq!(plain.rank_hot(pos), plain.rank(pos), "rank_hot({pos})");
+            assert_eq!(
+                plain.rank_range_hot(pos / 2, pos),
+                plain.rank_range(pos / 2, pos)
+            );
+            plain.insert_zero(pos);
+            hot.insert_zero_hot(pos);
+            assert_eq!(plain, hot, "insert_zero at {pos}");
+            plain.remove_bit(pos);
+            hot.remove_bit_hot(pos);
+            assert_eq!(plain, hot, "remove_bit at {pos}");
+        }
+    }
+
+    #[test]
+    fn hot_tier_matches_plain_tier() {
+        check_hot_matches_plain::<u16>();
+        check_hot_matches_plain::<u32>();
+        check_hot_matches_plain::<u64>();
+        check_hot_matches_plain::<u128>();
     }
 
     fn check_insert_remove_roundtrip<W: Word>() {

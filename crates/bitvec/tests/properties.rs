@@ -126,6 +126,79 @@ proptest! {
     }
 
     #[test]
+    fn mask_below_defines_rank_all_widths(sets in prop::collection::vec(0u32..512, 0..80)) {
+        // Satellite pin: rank(i) == count_ones(bits & mask_below(i)) across
+        // the full 0..=BITS range for every word type, including wide words.
+        fn check<W: Word>(sets: &[u32]) {
+            let mut w = W::zero();
+            for &i in sets {
+                w.set_bit(i % W::BITS);
+            }
+            for i in 0..=W::BITS {
+                let mut masked = w;
+                let keep = W::mask_below(i);
+                for b in 0..W::BITS {
+                    if !keep.bit(b) {
+                        masked.clear_bit(b);
+                    }
+                }
+                prop_assert_eq!(w.rank(i), masked.count_ones(), "rank({}) vs mask", i);
+                prop_assert_eq!(w.rank_hot(i), w.rank(i), "rank_hot({})", i);
+            }
+            // Saturation beyond the width.
+            prop_assert_eq!(W::mask_below(W::BITS + 7), W::mask_below(W::BITS));
+        }
+        check::<u16>(&sets);
+        check::<u32>(&sets);
+        check::<u64>(&sets);
+        check::<u128>(&sets);
+        check::<mpcbf_bitvec::W256>(&sets);
+        check::<mpcbf_bitvec::W512>(&sets);
+    }
+
+    #[test]
+    fn hot_tier_is_bit_identical_all_widths(
+        sets in prop::collection::vec(0u32..512, 0..80),
+        pos in 0u32..512,
+        a in 0u32..512,
+        b in 0u32..512,
+    ) {
+        // Dispatched (hot) primitives must match the portable baseline
+        // bit-for-bit on every width, wherever the kernel dispatches.
+        fn check<W: Word>(
+            sets: &[u32],
+            pos: u32,
+            a: u32,
+            b: u32,
+        ) {
+            let mut w = W::zero();
+            for &i in sets {
+                w.set_bit(i % W::BITS);
+            }
+            let pos = pos % W::BITS;
+            let (a, b) = {
+                let (a, b) = (a % (W::BITS + 1), b % (W::BITS + 1));
+                if a <= b { (a, b) } else { (b, a) }
+            };
+            prop_assert_eq!(w.rank_range_hot(a, b), w.rank_range(a, b));
+            let mut plain = w;
+            let mut hot = w;
+            plain.insert_zero(pos);
+            hot.insert_zero_hot(pos);
+            prop_assert_eq!(plain, hot, "insert_zero at {}", pos);
+            plain.remove_bit(pos);
+            hot.remove_bit_hot(pos);
+            prop_assert_eq!(plain, hot, "remove_bit at {}", pos);
+        }
+        check::<u16>(&sets, pos, a, b);
+        check::<u32>(&sets, pos, a, b);
+        check::<u64>(&sets, pos, a, b);
+        check::<u128>(&sets, pos, a, b);
+        check::<mpcbf_bitvec::W256>(&sets, pos, a, b);
+        check::<mpcbf_bitvec::W512>(&sets, pos, a, b);
+    }
+
+    #[test]
     fn counter_widths_straddle_safely(width in 1u32..=32, idx in 0usize..100) {
         // Write a value near max into one counter; neighbours unaffected.
         let mut cv = CounterVec::new(100, width);

@@ -10,6 +10,7 @@
 #[cfg(feature = "stats")]
 use crate::stats::AccessLedger;
 use mpcbf_analysis::heuristic::MpcbfShape;
+use mpcbf_bitvec::AlignedVec;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::{HcbfWord, WordError};
 #[cfg(feature = "stats")]
@@ -42,7 +43,7 @@ fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
 
 /// A lock-free MPCBF (64-bit words only).
 pub struct AtomicMpcbf<H: Hasher128 = Murmur3> {
-    words: Vec<AtomicU64>,
+    words: AlignedVec<AtomicU64>,
     shape: MpcbfShape,
     seed: u64,
     overflows: AtomicU64,
@@ -59,8 +60,7 @@ impl<H: Hasher128> AtomicMpcbf<H> {
     pub fn new(config: MpcbfConfig) -> Self {
         let shape = config.shape();
         assert_eq!(shape.w, 64, "AtomicMpcbf requires 64-bit words");
-        let mut words = Vec::with_capacity(shape.l as usize);
-        words.resize_with(shape.l as usize, || AtomicU64::new(0));
+        let words = AlignedVec::from_fn(shape.l as usize, |_| AtomicU64::new(0));
         AtomicMpcbf {
             words,
             shape,
@@ -558,6 +558,13 @@ mod tests {
             .build()
             .unwrap();
         AtomicMpcbf::new(c)
+    }
+
+    #[test]
+    fn word_storage_is_cache_line_aligned() {
+        let f = filter();
+        let addr = f.words.as_slice().as_ptr() as usize;
+        assert_eq!(addr % mpcbf_bitvec::CACHE_LINE_BYTES, 0);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 #[cfg(feature = "stats")]
 use crate::stats::{LockStats, ShardStats};
 use mpcbf_analysis::heuristic::MpcbfShape;
-use mpcbf_bitvec::Word;
+use mpcbf_bitvec::{AlignedVec, Word};
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
 #[cfg(feature = "stats")]
@@ -68,7 +68,7 @@ pub const SHARD_BITS: u32 = 16;
 /// each guarded by one [`parking_lot::Mutex`], with keys routed by a digest
 /// field disjoint from the probe bits.
 pub struct ShardedMpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
-    shards: Vec<Mutex<Vec<HcbfWord<W>>>>,
+    shards: Vec<Mutex<AlignedVec<HcbfWord<W>>>>,
     shard_mask: u64,
     words_per_shard: u64,
     shape: MpcbfShape,
@@ -109,7 +109,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
             .min(1 << SHARD_BITS);
         let words_per_shard = l.div_ceil(shard_count).max(1);
         let shards = (0..shard_count)
-            .map(|_| Mutex::new(vec![HcbfWord::new(); words_per_shard]))
+            .map(|_| Mutex::new(AlignedVec::filled(words_per_shard, HcbfWord::new())))
             .collect();
         ShardedMpcbf {
             shards,
@@ -363,7 +363,13 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// had to block) into that shard's ledger. Returns the acquisition
     /// instant so the caller can report hold time on release.
     #[cfg(feature = "stats")]
-    fn lock_shard(&self, shard: usize) -> (parking_lot::MutexGuard<'_, Vec<HcbfWord<W>>>, Instant) {
+    fn lock_shard(
+        &self,
+        shard: usize,
+    ) -> (
+        parking_lot::MutexGuard<'_, AlignedVec<HcbfWord<W>>>,
+        Instant,
+    ) {
         let (guard, contended) = match self.shards[shard].try_lock() {
             Some(guard) => (guard, false),
             None => (self.shards[shard].lock(), true),
@@ -508,7 +514,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         &self,
         plans: &[(usize, ProbePlan)],
         order: &[usize],
-        mut body: impl FnMut(&mut Vec<HcbfWord<W>>, &[usize], usize),
+        mut body: impl FnMut(&mut AlignedVec<HcbfWord<W>>, &[usize], usize),
     ) {
         let mut i = 0;
         while i < order.len() {
@@ -724,6 +730,16 @@ mod tests {
             .build()
             .unwrap();
         ShardedMpcbf::new(c, 64)
+    }
+
+    #[test]
+    fn every_shard_storage_is_cache_line_aligned() {
+        let f = filter();
+        for shard in &f.shards {
+            let guard = shard.lock();
+            let addr = guard.as_slice().as_ptr() as usize;
+            assert_eq!(addr % mpcbf_bitvec::CACHE_LINE_BYTES, 0);
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!    improved HCBF (§III.B.3) can maximise `b1 = w − k·n_max`.
 
 use crate::FilterError;
-use mpcbf_bitvec::Word;
+use mpcbf_bitvec::{kernel, Word};
 use mpcbf_hash::mix::bits_for;
 
 /// Errors a single-word HCBF operation can report.
@@ -149,22 +149,29 @@ impl<W: Word> HcbfWord<W> {
     }
 
     /// Reads the counter value at first-level position `p`.
+    ///
+    /// Carried-rank walk: `rank(level_start)` is remembered from the
+    /// previous iteration, so each level needs two masked popcounts
+    /// instead of the four the naive `rank_range` pair would spend.
     pub fn counter(&self, p: u32, b1: u32) -> u32 {
         debug_assert!(p < b1);
         let mut level_start = 0u32;
         let mut level_size = b1;
         let mut pos = p;
         let mut count = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
         loop {
             let gp = level_start + pos;
             if !self.bits.bit(gp) {
                 return count;
             }
             count += 1;
-            let child = self.bits.rank_range(level_start, gp);
-            let next_size = self.bits.rank_range(level_start, level_start + level_size);
-            level_start += level_size;
-            level_size = next_size;
+            let child = self.bits.rank_hot(gp) - r_start;
+            let next_start = level_start + level_size;
+            let r_next = self.bits.rank_hot(next_start);
+            level_start = next_start;
+            level_size = r_next - r_start;
+            r_start = r_next;
             pos = child;
         }
     }
@@ -187,12 +194,49 @@ impl<W: Word> HcbfWord<W> {
         let mut pos = p;
         let mut depth = 1u32;
         let mut traversal_bits = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
+        loop {
+            let gp = level_start + pos;
+            let child = self.bits.rank_hot(gp) - r_start;
+            let next_start = level_start + level_size;
+            if !self.bits.bit(gp) {
+                // First zero on the chain: flip it, give it a child slot.
+                self.bits.set_bit(gp);
+                self.bits.insert_zero_hot(next_start + child);
+                return Ok(IncrementReport {
+                    new_count: depth,
+                    traversal_bits,
+                });
+            }
+            let r_next = self.bits.rank_hot(next_start);
+            let next_size = r_next - r_start;
+            level_start = next_start;
+            level_size = next_size;
+            r_start = r_next;
+            pos = child;
+            depth += 1;
+            traversal_bits += bits_for(u64::from(next_size));
+        }
+    }
+
+    /// Portable baseline for [`HcbfWord::increment`]: the naive
+    /// `rank_range`-per-level walk with no kernel dispatch. Kept verbatim
+    /// for differential tests pinning the hot walk bit-identical.
+    pub fn increment_reference(&mut self, p: u32, b1: u32) -> Result<IncrementReport, WordError> {
+        debug_assert!(p < b1 && b1 <= W::BITS);
+        if self.used_bits(b1) >= W::BITS {
+            return Err(WordError::Overflow);
+        }
+        let mut level_start = 0u32;
+        let mut level_size = b1;
+        let mut pos = p;
+        let mut depth = 1u32;
+        let mut traversal_bits = 0u32;
         loop {
             let gp = level_start + pos;
             let child = self.bits.rank_range(level_start, gp);
             let next_start = level_start + level_size;
             if !self.bits.bit(gp) {
-                // First zero on the chain: flip it, give it a child slot.
                 self.bits.set_bit(gp);
                 self.bits.insert_zero(next_start + child);
                 return Ok(IncrementReport {
@@ -225,13 +269,50 @@ impl<W: Word> HcbfWord<W> {
         let mut pos = p;
         let mut depth = 1u32;
         let mut traversal_bits = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
+        loop {
+            let gp = level_start + pos;
+            let child = self.bits.rank_hot(gp) - r_start;
+            let next_start = level_start + level_size;
+            let child_gp = next_start + child;
+            if !self.bits.bit(child_gp) {
+                // `gp` is the deepest one: drop its child slot, clear it.
+                self.bits.remove_bit_hot(child_gp);
+                self.bits.clear_bit(gp);
+                return Ok(DecrementReport {
+                    new_count: depth - 1,
+                    traversal_bits,
+                });
+            }
+            let r_next = self.bits.rank_hot(next_start);
+            let next_size = r_next - r_start;
+            level_start = next_start;
+            level_size = next_size;
+            r_start = r_next;
+            pos = child;
+            depth += 1;
+            traversal_bits += bits_for(u64::from(next_size));
+        }
+    }
+
+    /// Portable baseline for [`HcbfWord::decrement`]; see
+    /// [`HcbfWord::increment_reference`].
+    pub fn decrement_reference(&mut self, p: u32, b1: u32) -> Result<DecrementReport, WordError> {
+        debug_assert!(p < b1 && b1 <= W::BITS);
+        if !self.bits.bit(p) {
+            return Err(WordError::ZeroCounter);
+        }
+        let mut level_start = 0u32;
+        let mut level_size = b1;
+        let mut pos = p;
+        let mut depth = 1u32;
+        let mut traversal_bits = 0u32;
         loop {
             let gp = level_start + pos;
             let child = self.bits.rank_range(level_start, gp);
             let next_start = level_start + level_size;
             let child_gp = next_start + child;
             if !self.bits.bit(child_gp) {
-                // `gp` is the deepest one: drop its child slot, clear it.
                 self.bits.remove_bit(child_gp);
                 self.bits.clear_bit(gp);
                 return Ok(DecrementReport {
@@ -252,8 +333,32 @@ impl<W: Word> HcbfWord<W> {
     /// in `probes` in order, stopping at the first zero (the scalar query
     /// short-circuit). Returns the verdict and how many positions were
     /// evaluated, for bandwidth metering.
+    ///
+    /// Branchless within a chunk: all membership bits are gathered into a
+    /// mask first, then one `trailing_zeros` finds the first miss — no
+    /// per-probe branch, but the reported evaluation count is exactly what
+    /// the short-circuiting scalar loop would have metered.
     #[inline]
     pub fn query_all(&self, probes: &[u32]) -> (bool, u32) {
+        let mut evaluated = 0u32;
+        for chunk in probes.chunks(64) {
+            let mut hits = 0u64;
+            for (j, &p) in chunk.iter().enumerate() {
+                hits |= u64::from(self.bits.bit(p)) << j;
+            }
+            let misses = !hits & kernel::mask_below_u64(chunk.len() as u32);
+            if misses != 0 {
+                return (false, evaluated + misses.trailing_zeros() + 1);
+            }
+            evaluated += chunk.len() as u32;
+        }
+        (true, evaluated)
+    }
+
+    /// Portable baseline for [`HcbfWord::query_all`]: the short-circuiting
+    /// scalar loop, kept for differential tests of the metering contract.
+    #[inline]
+    pub fn query_all_reference(&self, probes: &[u32]) -> (bool, u32) {
         let mut evaluated = 0u32;
         for &p in probes {
             evaluated += 1;
@@ -306,6 +411,44 @@ impl<W: Word> HcbfWord<W> {
         Ok(traversal_bits)
     }
 
+    /// Portable baseline for [`HcbfWord::increment_all`]: the same
+    /// all-or-nothing contract driven entirely by the reference walks.
+    pub fn increment_all_reference(&mut self, probes: &[u32], b1: u32) -> Result<u32, WordError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.increment_reference(p, b1) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.decrement_reference(q, b1)
+                            .expect("rollback of a fresh increment cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
+    /// Portable baseline for [`HcbfWord::decrement_all`]; see
+    /// [`HcbfWord::increment_all_reference`].
+    pub fn decrement_all_reference(&mut self, probes: &[u32], b1: u32) -> Result<u32, WordError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.decrement_reference(p, b1) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.increment_reference(q, b1)
+                            .expect("rollback of a fresh decrement cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
     /// The sizes of all non-empty levels, starting with `b1`.
     pub fn level_sizes(&self, b1: u32) -> Vec<u32> {
         let mut sizes = vec![b1];
@@ -337,17 +480,10 @@ impl<W: Word> HcbfWord<W> {
         if !self.bits.is_zero_from(used) {
             return Err(format!("dirty bits beyond used region (used = {used})"));
         }
-        // Walking the level layout must consume exactly `used` bits.
+        // Walking the level layout must consume exactly `used` bits: every
+        // level beyond v1 is counted by count_ones, so the walk's total
+        // must equal b1 + count_ones.
         let walked: u32 = self.level_sizes(b1).iter().sum();
-        let trailing_zero_children = {
-            // The deepest level's set bits own child slots of size equal to
-            // its popcount; level_sizes stops when a level has no ones, but
-            // that level's *slots* still occupy space. Recompute used from
-            // the walk: every level beyond v1 is fully counted by
-            // count_ones, so walked == b1 + count_ones must hold.
-            0
-        };
-        let _ = trailing_zero_children;
         if walked != used {
             return Err(format!(
                 "level walk covered {walked} bits but used_bits says {used}"

@@ -26,7 +26,7 @@ use crate::scrub::{segment_of, FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_analysis::heuristic::MpcbfShape;
-use mpcbf_bitvec::Word;
+use mpcbf_bitvec::{AlignedVec, Word};
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
 use std::marker::PhantomData;
@@ -53,7 +53,7 @@ use std::marker::PhantomData;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mpcbf<W: Word = u64, H: Hasher128 = Murmur3> {
-    words: Vec<HcbfWord<W>>,
+    words: AlignedVec<HcbfWord<W>>,
     shape: MpcbfShape,
     seed: u64,
     items: u64,
@@ -76,7 +76,7 @@ impl<W: Word, H: Hasher128> Mpcbf<W, H> {
             W::BITS
         );
         Mpcbf {
-            words: vec![HcbfWord::new(); shape.l as usize],
+            words: AlignedVec::filled(shape.l as usize, HcbfWord::new()),
             shape,
             seed: config.seed(),
             items: 0,
@@ -571,7 +571,10 @@ impl<H: Hasher128> Mpcbf<u64, H> {
         let shape = config.shape();
         debug_assert_eq!(raw.len(), shape.l as usize);
         Mpcbf {
-            words: raw.into_iter().map(HcbfWord::from_raw).collect(),
+            words: AlignedVec::from_iter_exact(
+                shape.l as usize,
+                raw.into_iter().map(HcbfWord::from_raw),
+            ),
             shape,
             seed: config.seed(),
             items,
@@ -599,6 +602,15 @@ mod tests {
             .build()
             .unwrap();
         Mpcbf::new(c)
+    }
+
+    #[test]
+    fn word_storage_is_cache_line_aligned() {
+        // The one-memory-access property (§III.B.2) needs every word to
+        // live inside a single cache line, not straddle two.
+        let f = small(1);
+        let addr = f.words.as_slice().as_ptr() as usize;
+        assert_eq!(addr % mpcbf_bitvec::CACHE_LINE_BYTES, 0);
     }
 
     #[test]
