@@ -1,10 +1,11 @@
-//! Batch-pipeline micro-benchmarks: the scalar loop vs the batched
-//! hash-all → prefetch-all → probe-all operations, at batch sizes
-//! 1, 8, 64 and 512 (1 isolates the dispatch overhead; 512 shows the
-//! asymptote; 8/64 bracket realistic packet-burst sizes).
+//! Batch-pipeline micro-benchmarks: the scalar loop vs the fused batch
+//! operations (hash into a reusable plan buffer, then probe/update), at
+//! batch sizes 1, 8, 64 and 512 (1 isolates the dispatch overhead — it
+//! degrades to the scalar path; 512 shows the asymptote; 8/64 bracket
+//! realistic packet-burst sizes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, PlanBuffer};
 use mpcbf_hash::Murmur3;
 use std::hint::black_box;
 
@@ -80,9 +81,12 @@ fn bench_query_batches(c: &mut Criterion) {
                     &batch,
                     |b, &batch| {
                         let mut off = 0;
+                        let mut plans = PlanBuffer::new();
                         b.iter(|| {
                             off = (off + batch) % (mix_views.len() - batch);
-                            black_box(f.contains_batch_cost(&mix_views[off..off + batch]))
+                            black_box(
+                                f.contains_batch_with(&mix_views[off..off + batch], &mut plans),
+                            )
                         })
                     },
                 );
@@ -127,9 +131,10 @@ fn bench_update_batches(c: &mut Criterion) {
                     BenchmarkId::new(concat!($name, "/batch"), batch),
                     &batch,
                     |b, &batch| {
+                        let mut plans = PlanBuffer::new();
                         b.iter(|| {
-                            black_box(f.insert_batch_cost(&churn_views[..batch]));
-                            black_box(f.remove_batch_cost(&churn_views[..batch]));
+                            black_box(f.insert_batch_with(&churn_views[..batch], &mut plans));
+                            black_box(f.remove_batch_with(&churn_views[..batch], &mut plans));
                         })
                     },
                 );

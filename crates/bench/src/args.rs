@@ -10,7 +10,10 @@
 //!   (or before) the normal workload (honoured by `stress`);
 //! * `--telemetry` — run the metered telemetry validation instead of the
 //!   normal workload: emits `BENCH_telemetry.json` plus a Prometheus text
-//!   page (honoured by `stress`).
+//!   page (honoured by `stress`);
+//! * `--gate` — regression-gate mode (honoured by `bench_batch`): measure,
+//!   compare against the recorded baseline JSON instead of overwriting it,
+//!   and exit non-zero on a regression.
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -27,6 +30,9 @@ pub struct Args {
     pub faults: Option<u64>,
     /// Run the telemetry validation harness (`--telemetry`).
     pub telemetry: bool,
+    /// Regression-gate mode (`--gate`): compare against the recorded
+    /// baseline instead of regenerating it; exit non-zero on regression.
+    pub gate: bool,
 }
 
 impl Default for Args {
@@ -38,6 +44,7 @@ impl Default for Args {
             quiet: false,
             faults: None,
             telemetry: false,
+            gate: false,
         }
     }
 }
@@ -83,6 +90,7 @@ impl Args {
                     )
                 }
                 "--telemetry" => args.telemetry = true,
+                "--gate" => args.gate = true,
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -107,7 +115,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED] [--telemetry]"
+        "usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED] \
+         [--telemetry] [--gate]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -151,6 +160,12 @@ mod tests {
     fn telemetry_flag() {
         assert!(!parse(&[]).telemetry);
         assert!(parse(&["--telemetry"]).telemetry);
+    }
+
+    #[test]
+    fn gate_flag() {
+        assert!(!parse(&[]).gate);
+        assert!(parse(&["--gate"]).gate);
     }
 
     #[test]

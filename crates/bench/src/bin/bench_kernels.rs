@@ -10,20 +10,20 @@
 //!    update and query paths against the `*_reference` walks, on `u64` and
 //!    on the 512-bit wide word;
 //! 3. **MPCBF-1 batch query** — end-to-end queries/sec, scalar vs. the
-//!    batch-64 pipeline, to track the speedup against the PR 1 baseline
-//!    (1.51x in `BENCH_batch.json`).
+//!    fused batch-64 pipeline (reusable plan buffer, interleaved word
+//!    walks), to track the speedup against the PR 1 baseline (1.51x in
+//!    `BENCH_batch.json`).
 //!
-//! The `prefetch` feature is compile-time, so one binary can only measure
-//! one setting; the JSON keeps `prefetch_on` / `prefetch_off` on one line
-//! each and a run preserves the *other* line from an existing
-//! `BENCH_kernels.json`. CI runs the binary twice (with and without
-//! `--features prefetch`) to fill both. Run from the repo root.
+//! The JSON also records the per-operation kernel routing the batch
+//! pipeline resolved ([`Kernel::batch`]): query walks always take the
+//! branchless portable kernel, update walks take the accelerated kernel
+//! when the CPU offers one. Run from the repo root.
 
 use mpcbf_bench::report::fixed;
 use mpcbf_bench::Args;
 use mpcbf_bitvec::{kernel, Kernel, Word, W512};
 use mpcbf_core::hcbf::HcbfWord;
-use mpcbf_core::{Filter, Mpcbf, MpcbfConfig};
+use mpcbf_core::{Filter, Mpcbf, MpcbfConfig, PlanBuffer};
 use mpcbf_hash::Murmur3;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -234,24 +234,14 @@ fn bench_mpcbf1_batch(args: &Args, budget: Duration) -> (f64, f64) {
         black_box(hits);
         views.len() as u64
     });
+    let mut plans = PlanBuffer::new();
     let batch64 = ops_per_sec(budget, || {
         for chunk in views.chunks(64) {
-            black_box(filter.contains_batch_cost(chunk));
+            black_box(filter.contains_batch_with(chunk, &mut plans));
         }
         views.len() as u64
     });
     (scalar, batch64)
-}
-
-/// Pulls the single-line `"prefetch_on"`/`"prefetch_off"` value out of a
-/// previously written `BENCH_kernels.json`, so the two compile-time runs
-/// compose into one file.
-fn carry_over(existing: &str, key: &str) -> Option<String> {
-    let needle = format!("  \"{key}\": ");
-    existing.lines().find_map(|line| {
-        let rest = line.strip_prefix(&needle)?;
-        Some(rest.trim_end_matches(',').to_string())
-    })
 }
 
 fn main() {
@@ -263,26 +253,7 @@ fn main() {
     let (w512_update, w512_query) = bench_word_walks::<W512>("w512", 330, budget);
     let (scalar, batch64) = bench_mpcbf1_batch(&args, budget);
 
-    let prefetch_on = cfg!(feature = "prefetch");
-    let this_leg = format!(
-        "{{\"mpcbf1_scalar_query_ops_per_sec\": {scalar:.0}, \
-         \"mpcbf1_batch64_query_ops_per_sec\": {batch64:.0}, \
-         \"batch64_speedup_vs_scalar\": {}}}",
-        fixed(batch64 / scalar, 3)
-    );
-    let existing = std::fs::read_to_string("BENCH_kernels.json").unwrap_or_default();
-    let (on_leg, off_leg) = if prefetch_on {
-        (
-            this_leg,
-            carry_over(&existing, "prefetch_off").unwrap_or_else(|| "null".into()),
-        )
-    } else {
-        (
-            carry_over(&existing, "prefetch_on").unwrap_or_else(|| "null".into()),
-            this_leg,
-        )
-    };
-
+    let routing = Kernel::batch();
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(
@@ -295,6 +266,12 @@ fn main() {
             Ok(v) => format!("\"{v}\""),
             Err(_) => "null".to_string(),
         }
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch_routing\": {{\"query_kernel\": \"{}\", \"update_kernel\": \"{}\"}},",
+        routing.query.kernel().name(),
+        routing.update.kernel().name(),
     );
     json.push_str("  \"primitives_u64\": [\n");
     for (i, p) in primitives.iter().enumerate() {
@@ -335,11 +312,9 @@ fn main() {
         json,
         "  \"mpcbf1_batch_query\": {{\"scalar_ops_per_sec\": {scalar:.0}, \
          \"batch64_ops_per_sec\": {batch64:.0}, \"speedup_vs_scalar\": {}, \
-         \"pr1_baseline_speedup\": 1.51}},",
+         \"pr1_baseline_speedup\": 1.51}}",
         fixed(batch64 / scalar, 3)
     );
-    let _ = writeln!(json, "  \"prefetch_on\": {on_leg},");
-    let _ = writeln!(json, "  \"prefetch_off\": {off_leg}");
     json.push_str("}\n");
 
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

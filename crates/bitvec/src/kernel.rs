@@ -135,6 +135,139 @@ fn detect() -> Kernel {
     Kernel::Portable
 }
 
+/// A fn-pointer bundle of the four u64 primitives, resolved once.
+///
+/// This is the batch-level dispatch surface: [`Kernel::batch`] resolves the
+/// per-operation routing a single time, and the walks then either call the
+/// bundled pointers or (for the inlined hot paths) branch on the carried
+/// [`KernelOps::kernel`] tag — a register compare instead of the relaxed
+/// atomic load [`Kernel::active`] costs on every word probe.
+///
+/// The `kernel` field is private on purpose: an accelerated bundle can only
+/// be constructed by [`KernelOps::accelerated`] *after* runtime detection
+/// confirmed BMI2 + POPCNT, so carrying the tag is a proof token the
+/// dispatchers below may trust.
+#[derive(Clone, Copy)]
+pub struct KernelOps {
+    kernel: Kernel,
+    /// Ones strictly below bit `i` (`i ≥ 64` saturates).
+    pub rank: fn(u64, u32) -> u32,
+    /// Ones in `[a, b)`.
+    pub rank_range: fn(u64, u32, u32) -> u32,
+    /// Insert a zero at `pos`, shifting the tail up one.
+    pub insert_zero: fn(u64, u32) -> u64,
+    /// Remove the bit at `pos`, shifting the tail down one.
+    pub remove_bit: fn(u64, u32) -> u64,
+}
+
+impl core::fmt::Debug for KernelOps {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KernelOps")
+            .field("kernel", &self.kernel)
+            .finish()
+    }
+}
+
+impl KernelOps {
+    /// The portable mask-and-shift bundle; always available.
+    #[inline]
+    pub fn portable() -> KernelOps {
+        KernelOps {
+            kernel: Kernel::Portable,
+            rank: rank_u64_portable,
+            rank_range: rank_range_u64_portable,
+            insert_zero: insert_zero_u64_portable,
+            remove_bit: remove_bit_u64_portable,
+        }
+    }
+
+    /// The best available bundle for *update* walks: BMI2 when this CPU
+    /// has it (honouring the `MPCBF_KERNEL` override through
+    /// [`Kernel::active`]), the portable bundle otherwise.
+    #[inline]
+    pub fn accelerated() -> KernelOps {
+        #[cfg(target_arch = "x86_64")]
+        if Kernel::active().is_accelerated() {
+            return KernelOps {
+                kernel: Kernel::Bmi2,
+                rank: bmi2_checked::rank,
+                rank_range: bmi2_checked::rank_range,
+                insert_zero: bmi2_checked::insert_zero,
+                remove_bit: bmi2_checked::remove_bit,
+            };
+        }
+        KernelOps::portable()
+    }
+
+    /// Which kernel this bundle routes to.
+    #[inline]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+}
+
+/// Per-operation kernel routing for one batch, resolved by
+/// [`Kernel::batch`].
+///
+/// Queries and updates want different kernels: the rank/insert/remove
+/// primitives only pay off inside update walks (the word is already in a
+/// register and the traversal is popcount-bound), while query walks are
+/// single-bit tests that the portable short-circuit loop wins outright —
+/// BENCH_kernels.json showed BMI2 query walks at 0.73x (u64) and 0.43x
+/// (512-bit). So `query` is *always* the portable bundle and `update` is
+/// accelerated when the CPU allows.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchKernel {
+    /// Bundle for query-side walks: always portable by construction.
+    pub query: KernelOps,
+    /// Bundle for update-side walks: BMI2 when detected.
+    pub update: KernelOps,
+}
+
+impl Kernel {
+    /// Resolves per-operation kernel routing once for a whole batch — one
+    /// atomic load total, instead of one per word probe. See
+    /// [`BatchKernel`] for why queries and updates route differently.
+    #[inline]
+    pub fn batch() -> BatchKernel {
+        BatchKernel {
+            query: KernelOps::portable(),
+            update: KernelOps::accelerated(),
+        }
+    }
+}
+
+/// Safe wrappers over the BMI2 intrinsics, only ever reachable through a
+/// [`KernelOps::accelerated`] bundle (whose constructor re-checked
+/// detection), so the target-feature obligation is discharged before any
+/// pointer to these functions exists.
+#[cfg(target_arch = "x86_64")]
+mod bmi2_checked {
+    pub(super) fn rank(bits: u64, i: u32) -> u32 {
+        debug_assert!(super::Kernel::active().is_accelerated());
+        // SAFETY: only reachable via a bundle built after detection.
+        unsafe { super::bmi2::rank_u64(bits, i) }
+    }
+
+    pub(super) fn rank_range(bits: u64, a: u32, b: u32) -> u32 {
+        debug_assert!(super::Kernel::active().is_accelerated());
+        // SAFETY: only reachable via a bundle built after detection.
+        unsafe { super::bmi2::rank_range_u64(bits, a, b) }
+    }
+
+    pub(super) fn insert_zero(bits: u64, pos: u32) -> u64 {
+        debug_assert!(super::Kernel::active().is_accelerated());
+        // SAFETY: only reachable via a bundle built after detection.
+        unsafe { super::bmi2::insert_zero_u64(bits, pos) }
+    }
+
+    pub(super) fn remove_bit(bits: u64, pos: u32) -> u64 {
+        debug_assert!(super::Kernel::active().is_accelerated());
+        // SAFETY: only reachable via a bundle built after detection.
+        unsafe { super::bmi2::remove_bit_u64(bits, pos) }
+    }
+}
+
 /// All ones strictly below bit `i` (`i ≥ 64` saturates to all ones) — the
 /// portable twin of `BZHI`'s mask, with no undefined shift anywhere: the
 /// double shift `(MAX >> 1) >> (63 - i)` keeps every shift amount in
@@ -273,6 +406,57 @@ pub fn remove_bit_u64(bits: u64, pos: u32) -> u64 {
     remove_bit_u64_portable(bits, pos)
 }
 
+/// Routed `rank`: like [`rank_u64`] but dispatched on the batch-resolved
+/// bundle's tag (a register compare) instead of the cached atomic load.
+/// Both arms inline fully.
+#[inline]
+pub fn rank_u64_routed(bits: u64, i: u32, ops: &KernelOps) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if ops.kernel().is_accelerated() {
+        // SAFETY: an accelerated `KernelOps` is only constructible by
+        // `KernelOps::accelerated()` after runtime detection (the tag
+        // field is private), so BMI2 + POPCNT are present.
+        return unsafe { bmi2::rank_u64(bits, i) };
+    }
+    rank_u64_portable(bits, i)
+}
+
+/// Routed `rank_range`; see [`rank_u64_routed`].
+#[inline]
+pub fn rank_range_u64_routed(bits: u64, a: u32, b: u32, ops: &KernelOps) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if ops.kernel().is_accelerated() {
+        // SAFETY: accelerated bundles imply detection succeeded (see
+        // `rank_u64_routed`).
+        return unsafe { bmi2::rank_range_u64(bits, a, b) };
+    }
+    rank_range_u64_portable(bits, a, b)
+}
+
+/// Routed insert-a-zero; see [`rank_u64_routed`].
+#[inline]
+pub fn insert_zero_u64_routed(bits: u64, pos: u32, ops: &KernelOps) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if ops.kernel().is_accelerated() {
+        // SAFETY: accelerated bundles imply detection succeeded (see
+        // `rank_u64_routed`).
+        return unsafe { bmi2::insert_zero_u64(bits, pos) };
+    }
+    insert_zero_u64_portable(bits, pos)
+}
+
+/// Routed remove-the-bit; see [`rank_u64_routed`].
+#[inline]
+pub fn remove_bit_u64_routed(bits: u64, pos: u32, ops: &KernelOps) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if ops.kernel().is_accelerated() {
+        // SAFETY: accelerated bundles imply detection succeeded (see
+        // `rank_u64_routed`).
+        return unsafe { bmi2::remove_bit_u64(bits, pos) };
+    }
+    remove_bit_u64_portable(bits, pos)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +536,59 @@ mod tests {
             let bits = next() >> 1; // top bit clear: insert loses nothing
             let pos = (next() % 64) as u32;
             assert_eq!(remove_bit_u64(insert_zero_u64(bits, pos), pos), bits);
+        }
+    }
+
+    #[test]
+    fn batch_routing_never_selects_bmi2_for_queries() {
+        let bk = Kernel::batch();
+        assert_eq!(bk.query.kernel(), Kernel::Portable);
+        // The update bundle follows the process-wide verdict.
+        assert_eq!(bk.update.kernel(), Kernel::active());
+        assert_eq!(KernelOps::portable().kernel(), Kernel::Portable);
+    }
+
+    #[test]
+    fn batch_bundles_match_portable_for_all_primitives() {
+        // Both bundles of one batch resolution, driven through the fn
+        // pointers and the tag-routed dispatchers, must be bit-identical
+        // to the portable baseline on both CI legs.
+        let bk = Kernel::batch();
+        let mut next = rng(0x0123_4567_89ab_cdef);
+        for ops in [bk.query, bk.update] {
+            for _ in 0..2_000 {
+                let bits = next();
+                let i = (next() % 66) as u32;
+                assert_eq!((ops.rank)(bits, i), rank_u64_portable(bits, i));
+                assert_eq!(rank_u64_routed(bits, i, &ops), rank_u64_portable(bits, i));
+                let a = (next() % 65) as u32;
+                let b = a + (next() % (65 - u64::from(a))) as u32;
+                assert_eq!(
+                    (ops.rank_range)(bits, a, b),
+                    rank_range_u64_portable(bits, a, b)
+                );
+                assert_eq!(
+                    rank_range_u64_routed(bits, a, b, &ops),
+                    rank_range_u64_portable(bits, a, b)
+                );
+                let pos = (next() % 64) as u32;
+                assert_eq!(
+                    (ops.insert_zero)(bits, pos),
+                    insert_zero_u64_portable(bits, pos)
+                );
+                assert_eq!(
+                    insert_zero_u64_routed(bits, pos, &ops),
+                    insert_zero_u64_portable(bits, pos)
+                );
+                assert_eq!(
+                    (ops.remove_bit)(bits, pos),
+                    remove_bit_u64_portable(bits, pos)
+                );
+                assert_eq!(
+                    remove_bit_u64_routed(bits, pos, &ops),
+                    remove_bit_u64_portable(bits, pos)
+                );
+            }
         }
     }
 

@@ -39,7 +39,7 @@ pub mod word;
 pub use crate::aligned::{AlignedVec, CACHE_LINE_BYTES};
 pub use crate::bitvec::BitVec;
 pub use crate::counters::CounterVec;
-pub use crate::kernel::Kernel;
+pub use crate::kernel::{BatchKernel, Kernel, KernelOps};
 pub use crate::wide::WideWord;
 pub use crate::word::Word;
 

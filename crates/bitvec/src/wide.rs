@@ -211,6 +211,63 @@ impl<const N: usize> Word for WideWord<N> {
         }
         self.limbs[limb] = kernel::remove_bit_u64(self.limbs[limb], off) | (carry << 63);
     }
+
+    // Routed tier: the same boundary-limb structure as the hot tier, but
+    // dispatched on a batch-resolved bundle tag instead of the cached
+    // atomic, so a whole batch of walks costs one detection load total.
+
+    #[inline]
+    fn rank_routed(&self, i: u32, ops: &kernel::KernelOps) -> u32 {
+        debug_assert!(i <= Self::BITS);
+        if i == Self::BITS {
+            return self.count_ones();
+        }
+        let (limb, off) = Self::split(i);
+        let mut ones = 0;
+        for l in &self.limbs[..limb] {
+            ones += l.count_ones();
+        }
+        ones + kernel::rank_u64_routed(self.limbs[limb], off, ops)
+    }
+
+    #[inline]
+    fn rank_range_routed(&self, a: u32, b: u32, ops: &kernel::KernelOps) -> u32 {
+        debug_assert!(a <= b && b <= Self::BITS);
+        let (la, _) = Self::split(a.min(Self::BITS - 1));
+        let (lb, _) = Self::split(b.min(Self::BITS - 1));
+        if la == lb && b < Self::BITS {
+            let off = la as u32 * 64;
+            return kernel::rank_range_u64_routed(self.limbs[la], a - off, b - off, ops);
+        }
+        self.rank_routed(b, ops) - self.rank_routed(a, ops)
+    }
+
+    #[inline]
+    fn insert_zero_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+        debug_assert!(pos < Self::BITS);
+        let (limb, off) = Self::split(pos);
+        let mut carry = self.limbs[limb] >> 63;
+        self.limbs[limb] = kernel::insert_zero_u64_routed(self.limbs[limb], off, ops);
+        for l in &mut self.limbs[limb + 1..] {
+            let next_carry = *l >> 63;
+            *l = (*l << 1) | carry;
+            carry = next_carry;
+        }
+    }
+
+    #[inline]
+    fn remove_bit_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+        debug_assert!(pos < Self::BITS);
+        let (limb, off) = Self::split(pos);
+        let mut carry = 0u64;
+        for j in (limb + 1..N).rev() {
+            let next_carry = self.limbs[j] & 1;
+            self.limbs[j] = (self.limbs[j] >> 1) | (carry << 63);
+            carry = next_carry;
+        }
+        self.limbs[limb] =
+            kernel::remove_bit_u64_routed(self.limbs[limb], off, ops) | (carry << 63);
+    }
 }
 
 #[cfg(test)]

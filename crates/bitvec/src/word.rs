@@ -107,6 +107,38 @@ pub trait Word: Copy + Clone + Eq + Debug + Default + Send + Sync + 'static {
     fn remove_bit_hot(&mut self, pos: u32) {
         self.remove_bit(pos);
     }
+
+    /// [`Word::rank`] through a batch-resolved kernel bundle
+    /// ([`Kernel::batch`](crate::Kernel::batch)): dispatch rides the
+    /// bundle's tag in a register instead of re-loading the cached atomic
+    /// on every probe. Defaults to the portable baseline; widths with
+    /// accelerated kernels override.
+    #[inline]
+    fn rank_routed(&self, i: u32, ops: &kernel::KernelOps) -> u32 {
+        let _ = ops;
+        self.rank(i)
+    }
+
+    /// [`Word::rank_range`] through a batch-resolved kernel bundle.
+    #[inline]
+    fn rank_range_routed(&self, a: u32, b: u32, ops: &kernel::KernelOps) -> u32 {
+        let _ = ops;
+        self.rank_range(a, b)
+    }
+
+    /// [`Word::insert_zero`] through a batch-resolved kernel bundle.
+    #[inline]
+    fn insert_zero_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+        let _ = ops;
+        self.insert_zero(pos);
+    }
+
+    /// [`Word::remove_bit`] through a batch-resolved kernel bundle.
+    #[inline]
+    fn remove_bit_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+        let _ = ops;
+        self.remove_bit(pos);
+    }
 }
 
 macro_rules! impl_word_for_prim {
@@ -228,6 +260,26 @@ impl_word_for_prim!(
         fn remove_bit_hot(&mut self, pos: u32) {
             *self = kernel::remove_bit_u64(*self, pos);
         }
+
+        #[inline]
+        fn rank_routed(&self, i: u32, ops: &kernel::KernelOps) -> u32 {
+            kernel::rank_u64_routed(*self, i, ops)
+        }
+
+        #[inline]
+        fn rank_range_routed(&self, a: u32, b: u32, ops: &kernel::KernelOps) -> u32 {
+            kernel::rank_range_u64_routed(*self, a, b, ops)
+        }
+
+        #[inline]
+        fn insert_zero_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+            *self = kernel::insert_zero_u64_routed(*self, pos, ops);
+        }
+
+        #[inline]
+        fn remove_bit_routed(&mut self, pos: u32, ops: &kernel::KernelOps) {
+            *self = kernel::remove_bit_u64_routed(*self, pos, ops);
+        }
     },
     u128 => {},
 );
@@ -316,6 +368,42 @@ mod tests {
         check_hot_matches_plain::<u32>();
         check_hot_matches_plain::<u64>();
         check_hot_matches_plain::<u128>();
+    }
+
+    fn check_routed_matches_plain<W: Word>() {
+        // Both bundles of a batch resolution must be bit-identical to the
+        // plain tier at every step.
+        let bk = crate::Kernel::batch();
+        for ops in [bk.query, bk.update] {
+            let mut plain = W::zero();
+            for i in (0..W::BITS).step_by(3) {
+                plain.set_bit(i);
+            }
+            plain.clear_bit(W::BITS - 1);
+            let mut routed = plain;
+            for pos in 0..W::BITS - 1 {
+                assert_eq!(plain.rank_routed(pos, &ops), plain.rank(pos));
+                assert_eq!(
+                    plain.rank_range_routed(pos / 2, pos, &ops),
+                    plain.rank_range(pos / 2, pos)
+                );
+                plain.insert_zero(pos);
+                routed.insert_zero_routed(pos, &ops);
+                assert_eq!(plain, routed, "insert_zero_routed at {pos}");
+                plain.remove_bit(pos);
+                routed.remove_bit_routed(pos, &ops);
+                assert_eq!(plain, routed, "remove_bit_routed at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_tier_matches_plain_tier() {
+        check_routed_matches_plain::<u16>();
+        check_routed_matches_plain::<u64>();
+        check_routed_matches_plain::<u128>();
+        check_routed_matches_plain::<crate::W256>();
+        check_routed_matches_plain::<crate::W512>();
     }
 
     fn check_insert_remove_roundtrip<W: Word>() {

@@ -10,13 +10,15 @@
 #[cfg(feature = "stats")]
 use crate::stats::AccessLedger;
 use mpcbf_analysis::heuristic::MpcbfShape;
-use mpcbf_bitvec::AlignedVec;
+use mpcbf_bitvec::{AlignedVec, Kernel, KernelOps};
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::{HcbfWord, WordError};
 #[cfg(feature = "stats")]
 use mpcbf_core::metrics::{AccessStats, OpCost, OpKind, WordTouches};
 use mpcbf_core::scrub::{segment_of, FilterSeal, ScrubReport};
-use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
+#[cfg(feature = "stats")]
+use mpcbf_core::ProbePlan;
+use mpcbf_core::{FilterError, PlanBuffer};
 #[cfg(feature = "stats")]
 use mpcbf_hash::mix::bits_for;
 #[cfg(not(feature = "stats"))]
@@ -270,6 +272,7 @@ impl<H: Hasher128> AtomicMpcbf<H> {
     /// Plans a key's probes. The plan uses the same `WORD_SALT`/`GROUP_SALT`
     /// streams as [`Self::targets`], so planned and scalar operations place
     /// elements identically.
+    #[cfg(feature = "stats")]
     #[inline]
     fn plan(&self, key: &[u8]) -> ProbePlan {
         ProbePlan::partitioned(
@@ -281,29 +284,17 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         )
     }
 
-    /// Prefetches every word a batch of plans will touch.
-    #[inline]
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        for plan in plans {
-            for &w in plan.words() {
-                prefetch_read(&self.words[w as usize]);
-            }
-        }
-    }
-
-    /// Queries one planned key (one `Acquire` snapshot per group's word,
-    /// short-circuiting at the first zero).
-    #[cfg(not(feature = "stats"))]
-    #[inline]
-    fn query_plan(&self, plan: &ProbePlan) -> bool {
-        for (word, probes) in plan.groups() {
-            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
-            let (all_set, _) = snapshot.query_all(probes);
-            if !all_set {
-                return false;
-            }
-        }
-        true
+    /// Plans a whole batch into the caller's [`PlanBuffer`] — the same
+    /// digest streams as [`Self::targets`]/[`ProbePlan`], zero allocation
+    /// once the buffer is warm.
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_partitioned(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.shape.l,
+            self.shape.k,
+            self.shape.g,
+            u64::from(self.shape.b1),
+        );
     }
 
     /// Queries one planned key (metered twin: same verdict and
@@ -330,26 +321,176 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         hit
     }
 
-    /// Inserts one planned key: one CAS per *group* (the whole group's
-    /// increments land word-atomically), with cross-group rollback on
-    /// overflow. Placement and final state are identical to the scalar
+    /// Queries one planned key out of the batch's [`PlanBuffer`] (one
+    /// `Acquire` snapshot per group's word, short-circuiting at the first
+    /// zero).
+    #[cfg(not(feature = "stats"))]
+    #[inline]
+    fn query_planned_buf(&self, plans: &PlanBuffer, i: usize) -> bool {
+        for (word, probes) in plans.groups_of(i) {
+            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+            let (all_set, _) = snapshot.query_all(probes);
+            if !all_set {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Metered twin of [`Self::query_planned_buf`].
+    #[cfg(feature = "stats")]
+    fn query_planned_buf(&self, plans: &PlanBuffer, i: usize) -> bool {
+        let mut touches = WordTouches::new();
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        let mut hit = true;
+        for (word, probes) in plans.groups_of(i) {
+            touches.touch(word);
+            words_eval += 1;
+            let snapshot = HcbfWord::from_raw(self.words[word].load(Ordering::Acquire));
+            let (all_set, evaluated) = snapshot.query_all(probes);
+            pos_eval += evaluated;
+            if !all_set {
+                hit = false;
+                break;
+            }
+        }
+        let cost = self.probe_cost(words_eval, pos_eval, &touches, 0);
+        self.stats.record(OpKind::Query, cost);
+        hit
+    }
+
+    /// Inserts one planned key out of the batch's [`PlanBuffer`]: one CAS
+    /// per *group* (the whole group's increments land word-atomically)
+    /// through the batch-resolved update kernel, with cross-group rollback
+    /// on overflow. Placement and final state are identical to the scalar
     /// path; the per-word granularity is strictly coarser.
     #[cfg(not(feature = "stats"))]
-    fn insert_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
-        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
-        for (i, &(word, probes)) in groups.iter().enumerate() {
+    fn insert_planned_buf(
+        &self,
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
             if self
-                .update_word(word, |w| w.increment_all(probes, b1).map(|_| ()))
+                .update_word(word, |w| {
+                    w.increment_all_routed(probes, b1, ops).map(|_| ())
+                })
                 .is_err()
             {
-                for &(rw, rp) in groups[..i].iter().rev() {
-                    self.update_word(rw, |w| w.decrement_all(rp, b1).map(|_| ()))
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    self.update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
                         .expect("rollback decrement");
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Err(FilterError::WordOverflow { word });
             }
         }
+        Ok(())
+    }
+
+    /// Metered twin of [`Self::insert_planned_buf`].
+    #[cfg(feature = "stats")]
+    fn insert_planned_buf(
+        &self,
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            touches.touch(word);
+            let mut group_bits = 0u32;
+            if self
+                .update_word(word, |w| {
+                    w.increment_all_routed(probes, b1, ops)
+                        .map(|bits| group_bits = bits)
+                })
+                .is_err()
+            {
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    self.update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
+                        .expect("rollback decrement");
+                }
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                return Err(FilterError::WordOverflow { word });
+            }
+            traversal_bits += group_bits;
+        }
+        let cost = self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits);
+        self.stats.record(OpKind::Insert, cost);
+        Ok(())
+    }
+
+    /// Mirror of [`Self::insert_planned_buf`] for removal.
+    #[cfg(not(feature = "stats"))]
+    fn remove_planned_buf(
+        &self,
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            if self
+                .update_word(word, |w| {
+                    w.decrement_all_routed(probes, b1, ops).map(|_| ())
+                })
+                .is_err()
+            {
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    self.update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
+    }
+
+    /// Metered twin of [`Self::remove_planned_buf`].
+    #[cfg(feature = "stats")]
+    fn remove_planned_buf(
+        &self,
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            touches.touch(word);
+            let mut group_bits = 0u32;
+            if self
+                .update_word(word, |w| {
+                    w.decrement_all_routed(probes, b1, ops)
+                        .map(|bits| group_bits = bits)
+                })
+                .is_err()
+            {
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    self.update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+            traversal_bits += group_bits;
+        }
+        let cost = self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits);
+        self.stats.record(OpKind::Remove, cost);
         Ok(())
     }
 
@@ -384,25 +525,6 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         Ok(())
     }
 
-    /// Mirror of [`Self::insert_planned`] for removal.
-    #[cfg(not(feature = "stats"))]
-    fn remove_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
-        let groups: Vec<(usize, &[u32])> = plan.groups().collect();
-        for (i, &(word, probes)) in groups.iter().enumerate() {
-            if self
-                .update_word(word, |w| w.decrement_all(probes, b1).map(|_| ()))
-                .is_err()
-            {
-                for &(rw, rp) in groups[..i].iter().rev() {
-                    self.update_word(rw, |w| w.increment_all(rp, b1).map(|_| ()))
-                        .expect("rollback increment");
-                }
-                return Err(FilterError::NotPresent);
-            }
-        }
-        Ok(())
-    }
-
     /// Mirror of [`Self::insert_planned`] for removal (metered twin).
     #[cfg(feature = "stats")]
     fn remove_planned(&self, plan: &ProbePlan, b1: u32) -> Result<(), FilterError> {
@@ -431,35 +553,61 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         Ok(())
     }
 
-    /// Batched membership check: hash all keys, prefetch all target words,
-    /// then probe. Each word is read as one atomic snapshot.
+    /// Batched membership check (hash all → probe all, in key order).
+    /// Each word is read as one atomic snapshot.
     pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
-        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
-        self.prefetch_batch(&plans);
-        plans.iter().map(|plan| self.query_plan(plan)).collect()
+        self.contains_batch_bytes_with(keys, &mut PlanBuffer::new())
     }
 
-    /// Batched insertion (hash all → prefetch all → update all, in key
-    /// order). Per-key results are in input order.
-    pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
-        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
-        self.prefetch_batch(&plans);
-        let b1 = self.shape.b1;
-        plans
-            .iter()
-            .map(|plan| self.insert_planned(plan, b1))
+    /// [`Self::contains_batch_bytes`] against a caller-held [`PlanBuffer`]:
+    /// reusing the buffer across batches allocates nothing after warm-up
+    /// and yields bit-identical results to a fresh buffer.
+    pub fn contains_batch_bytes_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> Vec<bool> {
+        self.plan_into(keys, plans);
+        (0..keys.len())
+            .map(|i| self.query_planned_buf(plans, i))
             .collect()
     }
 
-    /// Batched removal (hash all → prefetch all → update all, in key
-    /// order). Per-key results are in input order.
-    pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
-        let plans: Vec<ProbePlan> = keys.iter().map(|k| self.plan(k)).collect();
-        self.prefetch_batch(&plans);
+    /// Batched insertion (hash all → update all, in key order). Per-key
+    /// results are in input order.
+    pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        self.insert_batch_bytes_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// [`Self::insert_batch_bytes`] against a caller-held [`PlanBuffer`].
+    /// The update kernel bundle is resolved once here and drives every CAS
+    /// walk in the batch, rollbacks included.
+    pub fn insert_batch_bytes_with(
+        &self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> Vec<Result<(), FilterError>> {
+        self.plan_into(keys, plans);
+        let ops = Kernel::batch().update;
         let b1 = self.shape.b1;
-        plans
-            .iter()
-            .map(|plan| self.remove_planned(plan, b1))
+        (0..keys.len())
+            .map(|i| self.insert_planned_buf(plans, i, b1, &ops))
+            .collect()
+    }
+
+    /// Batched removal (hash all → update all, in key order). Per-key
+    /// results are in input order.
+    pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
+        self.remove_batch_bytes_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// [`Self::remove_batch_bytes`] against a caller-held [`PlanBuffer`].
+    pub fn remove_batch_bytes_with(
+        &self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> Vec<Result<(), FilterError>> {
+        self.plan_into(keys, plans);
+        let ops = Kernel::batch().update;
+        let b1 = self.shape.b1;
+        (0..keys.len())
+            .map(|i| self.remove_planned_buf(plans, i, b1, &ops))
             .collect()
     }
 

@@ -18,9 +18,11 @@
 //!   self-contained value type).
 //!
 //! Both expose the batch-first pipeline (`contains_batch` /
-//! `insert_batch` / `remove_batch`): hash every key up front, prefetch the
-//! target words, then probe or update — with per-key results in input
-//! order and state bit-identical to the equivalent scalar loop.
+//! `insert_batch` / `remove_batch`, plus allocation-free `*_batch_bytes_with`
+//! twins that reuse caller-held scratch): hash every key up front into a
+//! [`PlanBuffer`](mpcbf_core::PlanBuffer), resolve the update kernel once
+//! per batch, then probe or update — with per-key results in input order
+//! and state bit-identical to the equivalent scalar loop.
 //!
 //! ## Consistency model
 //!
@@ -55,6 +57,6 @@ pub mod sharded;
 pub mod stats;
 
 pub use atomic::AtomicMpcbf;
-pub use sharded::ShardedMpcbf;
+pub use sharded::{ShardBatch, ShardedMpcbf};
 #[cfg(feature = "stats")]
 pub use stats::{AccessLedger, LockStats, ShardStats};

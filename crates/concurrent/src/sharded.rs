@@ -33,23 +33,25 @@
 //!
 //! # Batch pipeline
 //!
-//! [`ShardedMpcbf::contains_batch_bytes`] and friends run the three-stage
-//! pipeline: (1) hash every key and build its [`ProbePlan`], (2) group keys
-//! by shard — a stable sort, so keys within one shard are processed in
-//! their original batch order, which keeps duplicate keys in a batch
-//! behaving exactly like a scalar loop — then per shard take the lock once
-//! and prefetch every word the shard's keys will touch, (3) probe/update.
+//! [`ShardedMpcbf::contains_batch_bytes_with`] and friends run the fused
+//! pipeline against a caller-held [`ShardBatch`] scratch: (1) hash every
+//! key into the scratch's [`PlanBuffer`] (zero allocation once warm),
+//! (2) group keys by shard — a stable sort, so keys within one shard are
+//! processed in their original batch order, which keeps duplicate keys in
+//! a batch behaving exactly like a scalar loop — then per shard take the
+//! lock once for its whole contiguous run, (3) probe/update, with update
+//! runs driving the per-batch-resolved kernel bundle ([`Kernel::batch`]).
 
 #[cfg(feature = "stats")]
 use crate::stats::{LockStats, ShardStats};
 use mpcbf_analysis::heuristic::MpcbfShape;
-use mpcbf_bitvec::{AlignedVec, Word};
+use mpcbf_bitvec::{AlignedVec, Kernel, KernelOps, Word};
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
 #[cfg(feature = "stats")]
 use mpcbf_core::metrics::{AccessStats, OpCost, OpKind, WordTouches};
 use mpcbf_core::scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
-use mpcbf_core::{prefetch_read, FilterError, ProbePlan};
+use mpcbf_core::{FilterError, PlanBuffer, ProbePlan};
 #[cfg(feature = "stats")]
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{Hasher128, Murmur3};
@@ -58,6 +60,30 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 #[cfg(feature = "stats")]
 use std::time::Instant;
+
+/// Reusable scratch for the sharded batch pipeline: the batch's probe
+/// plans plus the shard routing and run ordering derived from them.
+///
+/// Hold one per worker thread and pass it to the `*_batch_bytes_with`
+/// entry points; after the first batch at a given size, planning and
+/// shard grouping allocate nothing. The plain `*_batch_bytes` entry
+/// points build a fresh scratch per call.
+#[derive(Debug, Default)]
+pub struct ShardBatch {
+    plans: PlanBuffer,
+    /// Home shard per key (parallel to the plan buffer's keys).
+    shards: Vec<u32>,
+    /// Key indices stably sorted by shard: each shard's keys form one
+    /// contiguous run in original batch order.
+    order: Vec<u32>,
+}
+
+impl ShardBatch {
+    /// An empty scratch; the first batch sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Digest bits reserved for shard selection (the top bits of the 128-bit
 /// digest). The probe planner only ever sees the remaining low bits, so the
@@ -262,6 +288,70 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         Ok(())
     }
 
+    /// Buffer-indexed twin of [`Self::query_planned`]: reads key `i`'s
+    /// groups straight out of the batch's [`PlanBuffer`].
+    #[cfg(not(feature = "stats"))]
+    #[inline]
+    fn query_planned_buf(words: &[HcbfWord<W>], plans: &PlanBuffer, i: usize) -> bool {
+        for (word, probes) in plans.groups_of(i) {
+            let (all_set, _) = words[word].query_all(probes);
+            if !all_set {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Buffer-indexed twin of [`Self::insert_planned`], driving the
+    /// batch-resolved update kernel. Rollback re-walks the already-applied
+    /// groups by index — no per-key allocation.
+    #[cfg(not(feature = "stats"))]
+    fn insert_planned_buf(
+        words: &mut [HcbfWord<W>],
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            if words[word].increment_all_routed(probes, b1, ops).is_err() {
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    words[rw]
+                        .decrement_all_routed(rp, b1, ops)
+                        .expect("rollback decrement");
+                }
+                return Err(FilterError::WordOverflow { word });
+            }
+        }
+        Ok(())
+    }
+
+    /// Buffer-indexed twin of [`Self::remove_planned`].
+    #[cfg(not(feature = "stats"))]
+    fn remove_planned_buf(
+        words: &mut [HcbfWord<W>],
+        plans: &PlanBuffer,
+        i: usize,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<(), FilterError> {
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            if words[word].decrement_all_routed(probes, b1, ops).is_err() {
+                for u in (0..t).rev() {
+                    let (rw, rp) = plans.group(i, u);
+                    words[rw]
+                        .increment_all_routed(rp, b1, ops)
+                        .expect("rollback increment");
+                }
+                return Err(FilterError::NotPresent);
+            }
+        }
+        Ok(())
+    }
+
     /// The metered cost of an operation inside one shard: distinct words
     /// touched, plus hash bits = shard routing ([`SHARD_BITS`]) +
     /// word-picker bits per evaluated group + position bits per evaluated
@@ -351,6 +441,94 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Err(_) => {
                     for &(rw, rp) in groups[..i].iter().rev() {
                         words[rw].increment_all(rp, b1).expect("rollback increment");
+                    }
+                    return Err(FilterError::NotPresent);
+                }
+            }
+        }
+        Ok(self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits))
+    }
+
+    /// Buffer-indexed twin of [`Self::query_planned_metered`].
+    #[cfg(feature = "stats")]
+    fn query_planned_metered_buf(
+        &self,
+        words: &[HcbfWord<W>],
+        plans: &PlanBuffer,
+        i: usize,
+    ) -> (bool, OpCost) {
+        let mut touches = WordTouches::new();
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        let mut hit = true;
+        for (word, probes) in plans.groups_of(i) {
+            touches.touch(word);
+            words_eval += 1;
+            let (all_set, evaluated) = words[word].query_all(probes);
+            pos_eval += evaluated;
+            if !all_set {
+                hit = false;
+                break;
+            }
+        }
+        (hit, self.probe_cost(words_eval, pos_eval, &touches, 0))
+    }
+
+    /// Buffer-indexed twin of [`Self::insert_planned_metered`], driving
+    /// the batch-resolved update kernel (identical state effects).
+    #[cfg(feature = "stats")]
+    fn insert_planned_metered_buf(
+        &self,
+        words: &mut [HcbfWord<W>],
+        plans: &PlanBuffer,
+        i: usize,
+        ops: &KernelOps,
+    ) -> Result<OpCost, FilterError> {
+        let b1 = self.shape.b1;
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            touches.touch(word);
+            match words[word].increment_all_routed(probes, b1, ops) {
+                Ok(bits) => traversal_bits += bits,
+                Err(_) => {
+                    for u in (0..t).rev() {
+                        let (rw, rp) = plans.group(i, u);
+                        words[rw]
+                            .decrement_all_routed(rp, b1, ops)
+                            .expect("rollback decrement");
+                    }
+                    return Err(FilterError::WordOverflow { word });
+                }
+            }
+        }
+        Ok(self.probe_cost(self.shape.g, self.shape.k, &touches, traversal_bits))
+    }
+
+    /// Buffer-indexed twin of [`Self::remove_planned_metered`].
+    #[cfg(feature = "stats")]
+    fn remove_planned_metered_buf(
+        &self,
+        words: &mut [HcbfWord<W>],
+        plans: &PlanBuffer,
+        i: usize,
+        ops: &KernelOps,
+    ) -> Result<OpCost, FilterError> {
+        let b1 = self.shape.b1;
+        let mut touches = WordTouches::new();
+        let mut traversal_bits = 0u32;
+        for t in 0..plans.group_count() {
+            let (word, probes) = plans.group(i, t);
+            touches.touch(word);
+            match words[word].decrement_all_routed(probes, b1, ops) {
+                Ok(bits) => traversal_bits += bits,
+                Err(_) => {
+                    for u in (0..t).rev() {
+                        let (rw, rp) = plans.group(i, u);
+                        words[rw]
+                            .increment_all_routed(rp, b1, ops)
+                            .expect("rollback increment");
                     }
                     return Err(FilterError::NotPresent);
                 }
@@ -497,13 +675,32 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         result.map(|cost| self.stats[shard].accesses.record(OpKind::Remove, cost))
     }
 
-    /// Plans a whole batch and returns key indices stably sorted by shard,
-    /// so each shard's keys form one contiguous run in original order.
-    fn plan_batch(&self, keys: &[&[u8]]) -> (Vec<(usize, ProbePlan)>, Vec<usize>) {
-        let plans: Vec<(usize, ProbePlan)> = keys.iter().map(|k| self.plan(k)).collect();
-        let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_by_key(|&i| plans[i].0);
-        (plans, order)
+    /// Plans a whole batch into the caller's scratch: probe plans in the
+    /// [`PlanBuffer`], home shards in a side vector, and key indices
+    /// stably sorted by shard so each shard's keys form one contiguous
+    /// run in original order. Zero allocation once the scratch is warm.
+    fn plan_batch_into(&self, keys: &[&[u8]], scratch: &mut ShardBatch) {
+        let ShardBatch {
+            plans,
+            shards,
+            order,
+        } = scratch;
+        shards.clear();
+        shards.reserve(keys.len());
+        plans.plan_partitioned(
+            keys.iter().map(|key| {
+                let (shard, probe_digest) = self.split_digest(H::hash128(self.seed, key));
+                shards.push(shard as u32);
+                probe_digest
+            }),
+            self.words_per_shard,
+            self.shape.k,
+            self.shape.g,
+            u64::from(self.shape.b1),
+        );
+        order.clear();
+        order.extend(0..keys.len() as u32);
+        order.sort_by_key(|&i| shards[i as usize]);
     }
 
     /// Runs `body` once per shard that has keys in the batch, holding that
@@ -512,15 +709,15 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// are tallied per shard here.
     fn for_each_shard_run(
         &self,
-        plans: &[(usize, ProbePlan)],
-        order: &[usize],
-        mut body: impl FnMut(&mut AlignedVec<HcbfWord<W>>, &[usize], usize),
+        scratch: &ShardBatch,
+        mut body: impl FnMut(&mut AlignedVec<HcbfWord<W>>, &[u32], usize),
     ) {
+        let order = &scratch.order;
         let mut i = 0;
         while i < order.len() {
-            let shard = plans[order[i]].0;
+            let shard = scratch.shards[order[i] as usize] as usize;
             let start = i;
-            while i < order.len() && plans[order[i]].0 == shard {
+            while i < order.len() && scratch.shards[order[i] as usize] as usize == shard {
                 i += 1;
             }
             let run = &order[start..i];
@@ -528,13 +725,6 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
             let (mut guard, held_since) = self.lock_shard(shard);
             #[cfg(not(feature = "stats"))]
             let mut guard = self.shards[shard].lock();
-            // Stage 2 of the pipeline: with the shard resident, prefetch
-            // every word this run will touch before any probing starts.
-            for &idx in run {
-                for &w in plans[idx].1.words() {
-                    prefetch_read(&guard[w as usize]);
-                }
-            }
             body(&mut guard, run, shard);
             #[cfg(feature = "stats")]
             {
@@ -545,21 +735,29 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 
     /// Batched membership check: hashes all keys, then visits each shard
-    /// once (lock → prefetch → probe). Results are in input order.
+    /// once (lock → probe run). Results are in input order.
     pub fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
-        let (plans, order) = self.plan_batch(keys);
+        self.contains_batch_bytes_with(keys, &mut ShardBatch::new())
+    }
+
+    /// [`Self::contains_batch_bytes`] against a caller-held scratch:
+    /// reusing `scratch` across batches allocates nothing after warm-up
+    /// and yields bit-identical results to a fresh scratch.
+    pub fn contains_batch_bytes_with(&self, keys: &[&[u8]], scratch: &mut ShardBatch) -> Vec<bool> {
+        self.plan_batch_into(keys, scratch);
+        let plans = &scratch.plans;
         let mut out = vec![false; keys.len()];
-        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
+        self.for_each_shard_run(scratch, |words, run, _shard| {
             for &idx in run {
                 #[cfg(feature = "stats")]
                 {
-                    let (hit, cost) = self.query_planned_metered(words, &plans[idx].1);
+                    let (hit, cost) = self.query_planned_metered_buf(words, plans, idx as usize);
                     self.stats[_shard].accesses.record(OpKind::Query, cost);
-                    out[idx] = hit;
+                    out[idx as usize] = hit;
                 }
                 #[cfg(not(feature = "stats"))]
                 {
-                    out[idx] = Self::query_planned(words, &plans[idx].1);
+                    out[idx as usize] = Self::query_planned_buf(words, plans, idx as usize);
                 }
             }
         });
@@ -570,33 +768,47 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     /// shard are applied in batch order, so duplicates behave exactly as a
     /// scalar loop would. Per-key results are in input order.
     pub fn insert_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
-        let (plans, order) = self.plan_batch(keys);
+        self.insert_batch_bytes_with(keys, &mut ShardBatch::new())
+    }
+
+    /// [`Self::insert_batch_bytes`] against a caller-held scratch. The
+    /// update kernel bundle is resolved once here and drives every word
+    /// walk in the batch, rollbacks included.
+    pub fn insert_batch_bytes_with(
+        &self,
+        keys: &[&[u8]],
+        scratch: &mut ShardBatch,
+    ) -> Vec<Result<(), FilterError>> {
+        self.plan_batch_into(keys, scratch);
+        let plans = &scratch.plans;
+        let ops = Kernel::batch().update;
         #[cfg(not(feature = "stats"))]
         let b1 = self.shape.b1;
         let mut out = vec![Ok(()); keys.len()];
         let mut failed = 0u64;
-        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
+        self.for_each_shard_run(scratch, |words, run, _shard| {
             for &idx in run {
                 #[cfg(feature = "stats")]
                 {
-                    out[idx] = match self.insert_planned_metered(words, &plans[idx].1) {
-                        Ok(cost) => {
-                            self.stats[_shard].accesses.record(OpKind::Insert, cost);
-                            Ok(())
-                        }
-                        Err(e) => {
-                            failed += 1;
-                            Err(e)
-                        }
-                    };
+                    out[idx as usize] =
+                        match self.insert_planned_metered_buf(words, plans, idx as usize, &ops) {
+                            Ok(cost) => {
+                                self.stats[_shard].accesses.record(OpKind::Insert, cost);
+                                Ok(())
+                            }
+                            Err(e) => {
+                                failed += 1;
+                                Err(e)
+                            }
+                        };
                 }
                 #[cfg(not(feature = "stats"))]
                 {
-                    let r = Self::insert_planned(words, &plans[idx].1, b1);
+                    let r = Self::insert_planned_buf(words, plans, idx as usize, b1, &ops);
                     if r.is_err() {
                         failed += 1;
                     }
-                    out[idx] = r;
+                    out[idx as usize] = r;
                 }
             }
         });
@@ -606,21 +818,33 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
 
     /// Batched removal: mirror of [`Self::insert_batch_bytes`].
     pub fn remove_batch_bytes(&self, keys: &[&[u8]]) -> Vec<Result<(), FilterError>> {
-        let (plans, order) = self.plan_batch(keys);
+        self.remove_batch_bytes_with(keys, &mut ShardBatch::new())
+    }
+
+    /// [`Self::remove_batch_bytes`] against a caller-held scratch.
+    pub fn remove_batch_bytes_with(
+        &self,
+        keys: &[&[u8]],
+        scratch: &mut ShardBatch,
+    ) -> Vec<Result<(), FilterError>> {
+        self.plan_batch_into(keys, scratch);
+        let plans = &scratch.plans;
+        let ops = Kernel::batch().update;
         #[cfg(not(feature = "stats"))]
         let b1 = self.shape.b1;
         let mut out = vec![Ok(()); keys.len()];
-        self.for_each_shard_run(&plans, &order, |words, run, _shard| {
+        self.for_each_shard_run(scratch, |words, run, _shard| {
             for &idx in run {
                 #[cfg(feature = "stats")]
                 {
-                    out[idx] = self
-                        .remove_planned_metered(words, &plans[idx].1)
+                    out[idx as usize] = self
+                        .remove_planned_metered_buf(words, plans, idx as usize, &ops)
                         .map(|cost| self.stats[_shard].accesses.record(OpKind::Remove, cost));
                 }
                 #[cfg(not(feature = "stats"))]
                 {
-                    out[idx] = Self::remove_planned(words, &plans[idx].1, b1);
+                    out[idx as usize] =
+                        Self::remove_planned_buf(words, plans, idx as usize, b1, &ops);
                 }
             }
         });

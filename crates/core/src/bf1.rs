@@ -8,7 +8,7 @@
 //! counting setting.
 
 use crate::metrics::{OpCost, WordTouches};
-use crate::plan::{prefetch_read, ProbePlan};
+use crate::plan::{distinct_words, PlanBuffer, SMALL_BATCH};
 use crate::traits::Filter;
 use crate::{split_hashes, ConfigError, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::BitVec;
@@ -139,42 +139,18 @@ impl<H: Hasher128> BfG<H> {
         (words_eval, pos_eval)
     }
 
-    /// Stage 1 of the batch pipeline: hash every key into a partitioned
-    /// [`ProbePlan`] (same word-selector and per-group streams as
-    /// [`BfG::for_each_position`]).
-    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
-        keys.iter()
-            .map(|key| {
-                ProbePlan::partitioned(
-                    H::hash128(self.seed, key),
-                    self.l as u64,
-                    self.k,
-                    self.g,
-                    u64::from(self.w),
-                )
-            })
-            .collect()
-    }
-
-    /// Stage 2: request the first limb of every planned word.
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        let limbs = self.bits.raw_limbs();
-        let w = self.w as usize;
-        for plan in plans {
-            for &word in plan.words() {
-                prefetch_read(&limbs[word as usize * w / 64]);
-            }
-        }
-    }
-
-    /// The per-operation access bandwidth for a replayed plan prefix.
-    #[inline]
-    fn cost(&self, words_eval: u32, pos_eval: u32, touches: &WordTouches) -> OpCost {
-        OpCost {
-            word_accesses: touches.count(),
-            hash_bits: words_eval * bits_for(self.l as u64)
-                + pos_eval * bits_for(u64::from(self.w)),
-        }
+    /// Stage 1 of the batch pipeline: hash every key into the caller's
+    /// [`PlanBuffer`] (same word-selector and per-group streams as
+    /// [`BfG::for_each_position`]), with zero allocation once the buffer
+    /// is warm.
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_partitioned(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.l as u64,
+            self.k,
+            self.g,
+            u64::from(self.w),
+        );
     }
 }
 
@@ -230,24 +206,39 @@ impl<H: Hasher128> Filter for BfG<H> {
         self.k
     }
 
-    /// Pipelined batch query: hash all keys, prefetch all planned words,
-    /// then probe group by group in scalar order (short-circuiting on the
-    /// first zero bit with the same words/positions accounting).
+    /// Batch query via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::contains_batch_with`] to skip
+    /// the per-call allocation.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch query: probe group by group in scalar order off the
+    /// buffer's plans (short-circuiting on the first zero bit with the
+    /// same words/positions accounting). Batches below [`SMALL_BATCH`]
+    /// degrade to the scalar loop.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut hits = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                let (hit, cost) = self.contains_bytes_cost(key);
+                hits.push(hit);
+                total = total.add(cost);
+            }
+            return (hits, total);
+        }
+        self.plan_into(keys, plans);
         let mut hits = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
             let mut words_eval = 0u32;
             let mut pos_eval = 0u32;
             let mut member = true;
-            'groups: for (word, probes) in plan.groups() {
+            'groups: for (word, probes) in plans.groups_of(i) {
                 words_eval += 1;
                 for &off in probes {
                     pos_eval += 1;
-                    touches.touch(word);
                     if !self.bits.get(word * self.w as usize + off as usize) {
                         member = false;
                         break 'groups;
@@ -255,27 +246,58 @@ impl<H: Hasher128> Filter for BfG<H> {
                 }
             }
             hits.push(member);
-            total = total.add(self.cost(words_eval, pos_eval, &touches));
+            total = total.add(OpCost {
+                word_accesses: distinct_words(&plans.words_of(i)[..words_eval as usize]),
+                hash_bits: words_eval * bits_for(self.l as u64)
+                    + pos_eval * bits_for(u64::from(self.w)),
+            });
         }
         (hits, total)
     }
 
-    /// Pipelined batch insert: bits are set strictly in key order.
+    /// Batch insert via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::insert_batch_with`] to skip the
+    /// per-call allocation.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch insert: bits are set strictly in key order off the
+    /// buffer's plans. Batches below [`SMALL_BATCH`] degrade to the
+    /// scalar loop.
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.insert_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
-            for (word, probes) in plan.groups() {
+        for i in 0..keys.len() {
+            for (word, probes) in plans.groups_of(i) {
                 for &off in probes {
-                    touches.touch(word);
                     self.bits.set(word * self.w as usize + off as usize);
                 }
             }
             self.items += 1;
-            total = total.add(self.cost(self.g, self.k, &touches));
+            total = total.add(OpCost {
+                word_accesses: distinct_words(plans.words_of(i)),
+                hash_bits: self.g * bits_for(self.l as u64) + self.k * bits_for(u64::from(self.w)),
+            });
             results.push(Ok(()));
         }
         (results, total)

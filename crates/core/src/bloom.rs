@@ -5,7 +5,7 @@
 //! one-access generalisation lives in [`crate::bf1`].
 
 use crate::metrics::{OpCost, WordTouches};
-use crate::plan::{prefetch_read, ProbePlan};
+use crate::plan::{PlanBuffer, SMALL_BATCH};
 use crate::traits::Filter;
 use crate::{ConfigError, FilterError};
 use mpcbf_bitvec::BitVec;
@@ -102,21 +102,29 @@ impl<H: Hasher128> BloomFilter<H> {
         bit / self.word_bits as usize
     }
 
-    /// Stage 1 of the batch pipeline: hash every key into a [`ProbePlan`].
-    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
-        keys.iter()
-            .map(|key| ProbePlan::flat(H::hash128(self.seed, key), self.k, self.bits.len() as u64))
-            .collect()
+    /// Stage 1 of the batch pipeline: hash every key into the caller's
+    /// [`PlanBuffer`] as flat plans (no group bookkeeping).
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_flat(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.k,
+            self.bits.len() as u64,
+        );
     }
 
-    /// Stage 2: request every planned limb before any probing starts.
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        let limbs = self.bits.raw_limbs();
-        for plan in plans {
-            for &p in plan.probes() {
-                prefetch_read(&limbs[p as usize / 64]);
+    /// Distinct machine words among `probes` — same dedup semantics as a
+    /// per-key [`WordTouches`] tracker (k ≤ 64 never saturates), without
+    /// the per-key state.
+    #[inline]
+    fn distinct_probe_words(&self, probes: &[u32]) -> u32 {
+        let mut n = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            let w = self.word_of(p as usize);
+            if !probes[..i].iter().any(|&q| self.word_of(q as usize) == w) {
+                n += 1;
             }
         }
+        n
     }
 }
 
@@ -169,55 +177,93 @@ impl<H: Hasher128> Filter for BloomFilter<H> {
         self.k
     }
 
-    /// Pipelined batch query: hash all keys, prefetch all planned limbs,
-    /// then probe each key replaying the scalar order (including the
-    /// short-circuit on the first zero bit).
+    /// Batch query via the fused flat pipeline with a fresh plan buffer;
+    /// hold a [`PlanBuffer`] and call [`Filter::contains_batch_with`] to
+    /// skip the per-call allocation.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused flat batch query: probe each planned key in scalar order
+    /// (including the short-circuit on the first zero bit), straight off
+    /// the buffer's index runs. Batches below [`SMALL_BATCH`] degrade to
+    /// the scalar loop.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut hits = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                let (hit, cost) = self.contains_bytes_cost(key);
+                hits.push(hit);
+                total = total.add(cost);
+            }
+            return (hits, total);
+        }
+        self.plan_into(keys, plans);
         let addr_bits = bits_for(self.bits.len() as u64);
         let mut hits = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
+            let probes = plans.slots_of(i);
             let mut evaluated = 0u32;
             let mut member = true;
-            for &p in plan.probes() {
-                let p = p as usize;
-                touches.touch(self.word_of(p));
+            for &p in probes {
                 evaluated += 1;
-                if !self.bits.get(p) {
+                if !self.bits.get(p as usize) {
                     member = false;
                     break;
                 }
             }
             hits.push(member);
             total = total.add(OpCost {
-                word_accesses: touches.count(),
+                word_accesses: self.distinct_probe_words(&probes[..evaluated as usize]),
                 hash_bits: evaluated * addr_bits,
             });
         }
         (hits, total)
     }
 
-    /// Pipelined batch insert: plans and prefetches up front, then sets
-    /// bits strictly in key order (never fails for a plain Bloom filter).
+    /// Batch insert via the fused flat pipeline with a fresh plan buffer;
+    /// hold a [`PlanBuffer`] and call [`Filter::insert_batch_with`] to
+    /// skip the per-call allocation.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused flat batch insert: sets bits strictly in key order off the
+    /// buffer's index runs (never fails for a plain Bloom filter).
+    /// Batches below [`SMALL_BATCH`] degrade to the scalar loop.
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.insert_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let addr_bits = bits_for(self.bits.len() as u64);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
-            for &p in plan.probes() {
-                let p = p as usize;
-                touches.touch(self.word_of(p));
-                self.bits.set(p);
+        for i in 0..keys.len() {
+            let probes = plans.slots_of(i);
+            for &p in probes {
+                self.bits.set(p as usize);
             }
             self.items += 1;
             total = total.add(OpCost {
-                word_accesses: touches.count(),
+                word_accesses: self.distinct_probe_words(probes),
                 hash_bits: self.k * addr_bits,
             });
             results.push(Ok(()));

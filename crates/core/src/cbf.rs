@@ -8,7 +8,7 @@
 //! the paper reports (e.g. 2.1 for k = 3 on the trace workload).
 
 use crate::metrics::{OpCost, WordTouches};
-use crate::plan::{prefetch_read, ProbePlan};
+use crate::plan::{PlanBuffer, SMALL_BATCH};
 use crate::scrub::{segment_of, FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
 use crate::{ConfigError, FilterError};
@@ -245,28 +245,32 @@ impl<H: Hasher128> Cbf<H> {
         counter * self.counters.width() as usize / self.word_bits as usize
     }
 
-    /// Stage 1 of the batch pipeline: hash every key into a [`ProbePlan`].
-    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
-        keys.iter()
-            .map(|key| {
-                ProbePlan::flat(
-                    H::hash128(self.seed, key),
-                    self.k,
-                    self.counters.len() as u64,
-                )
-            })
-            .collect()
+    /// Stage 1 of the batch pipeline: hash every key into the caller's
+    /// [`PlanBuffer`] as flat plans — no group bookkeeping at all, just
+    /// `k` counter indices per key, with zero allocation once the buffer
+    /// is warm.
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_flat(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.k,
+            self.counters.len() as u64,
+        );
     }
 
-    /// Stage 2: request every planned counter limb before probing.
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        let width = self.counters.width() as usize;
-        let limbs = self.counters.raw_limbs();
-        for plan in plans {
-            for &p in plan.probes() {
-                prefetch_read(&limbs[p as usize * width / 64]);
+    /// Distinct machine words among `probes` — the fused path's
+    /// replacement for a per-key [`WordTouches`] tracker: same dedup
+    /// semantics (k ≤ 64 never saturates the scalar tracker either),
+    /// computed by an O(k²) scan with no per-key state.
+    #[inline]
+    fn distinct_probe_words(&self, probes: &[u32]) -> u32 {
+        let mut n = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            let w = self.word_of(p as usize);
+            if !probes[..i].iter().any(|&q| self.word_of(q as usize) == w) {
+                n += 1;
             }
         }
+        n
     }
 }
 
@@ -319,55 +323,95 @@ impl<H: Hasher128> Filter for Cbf<H> {
         self.k
     }
 
-    /// Pipelined batch query: hash all keys, prefetch every planned
-    /// counter limb, then probe each key in scalar order (short-circuiting
-    /// on the first zero counter).
+    /// Batch query via the fused flat pipeline with a fresh plan buffer;
+    /// hold a [`PlanBuffer`] and call [`Filter::contains_batch_with`] to
+    /// skip the per-call allocation.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused flat batch query: the plan buffer holds just `k` counter
+    /// indices per key — no groups, no per-key tracker structures — and
+    /// each key probes in scalar order, short-circuiting on the first
+    /// zero counter. Batches below [`SMALL_BATCH`] degrade to the scalar
+    /// loop.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut hits = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                let (hit, cost) = self.contains_bytes_cost(key);
+                hits.push(hit);
+                total = total.add(cost);
+            }
+            return (hits, total);
+        }
+        self.plan_into(keys, plans);
         let addr_bits = bits_for(self.counters.len() as u64);
         let mut hits = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
+            let probes = plans.slots_of(i);
             let mut evaluated = 0u32;
             let mut member = true;
-            for &p in plan.probes() {
-                let p = p as usize;
-                touches.touch(self.word_of(p));
+            for &p in probes {
                 evaluated += 1;
-                if !self.counters.is_set(p) {
+                if !self.counters.is_set(p as usize) {
                     member = false;
                     break;
                 }
             }
             hits.push(member);
             total = total.add(OpCost {
-                word_accesses: touches.count(),
+                word_accesses: self.distinct_probe_words(&probes[..evaluated as usize]),
                 hash_bits: evaluated * addr_bits,
             });
         }
         (hits, total)
     }
 
-    /// Pipelined batch insert: increments are applied strictly in key
-    /// order, so the counter array ends bit-identical to a scalar loop.
+    /// Batch insert via the fused flat pipeline with a fresh plan buffer;
+    /// hold a [`PlanBuffer`] and call [`Filter::insert_batch_with`] to
+    /// skip the per-call allocation.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused flat batch insert: increments are applied strictly in key
+    /// order straight off the plan buffer's index runs, so the counter
+    /// array ends bit-identical to a scalar loop. Batches below
+    /// [`SMALL_BATCH`] degrade to the scalar loop.
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.insert_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let addr_bits = bits_for(self.counters.len() as u64);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
-            for &p in plan.probes() {
-                let p = p as usize;
-                touches.touch(self.word_of(p));
-                self.counters.increment(p);
+        for i in 0..keys.len() {
+            let probes = plans.slots_of(i);
+            for &p in probes {
+                self.counters.increment(p as usize);
             }
             self.items += 1;
             total = total.add(OpCost {
-                word_accesses: touches.count(),
+                word_accesses: self.distinct_probe_words(probes),
                 hash_bits: self.k * addr_bits,
             });
             results.push(Ok(()));
@@ -402,34 +446,54 @@ impl<H: Hasher128> CountingFilter for Cbf<H> {
         })
     }
 
-    /// Pipelined batch remove: each key runs the same unmetered presence
-    /// pass as the scalar path, then the metered decrements — applied in
-    /// key order, so an absent key leaves the counters untouched and later
-    /// keys in the batch see every earlier key's decrements.
+    /// Batch remove via the fused flat pipeline with a fresh plan buffer;
+    /// hold a [`PlanBuffer`] and call [`CountingFilter::remove_batch_with`]
+    /// to skip the per-call allocation.
     fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.remove_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused flat batch remove: each key runs the same unmetered presence
+    /// pass as the scalar path, then the metered decrements — applied in
+    /// key order off the plan buffer, so an absent key leaves the counters
+    /// untouched and later keys in the batch see every earlier key's
+    /// decrements. Batches below [`SMALL_BATCH`] degrade to the scalar
+    /// loop.
+    fn remove_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.remove_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let addr_bits = bits_for(self.counters.len() as u64);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            if plan
-                .probes()
-                .iter()
-                .any(|&p| !self.counters.is_set(p as usize))
-            {
+        for i in 0..keys.len() {
+            let probes = plans.slots_of(i);
+            if probes.iter().any(|&p| !self.counters.is_set(p as usize)) {
                 results.push(Err(FilterError::NotPresent));
                 continue;
             }
-            let mut touches = WordTouches::new();
-            for &p in plan.probes() {
-                let p = p as usize;
-                touches.touch(self.word_of(p));
-                self.counters.decrement(p);
+            for &p in probes {
+                self.counters.decrement(p as usize);
             }
             self.items = self.items.saturating_sub(1);
             total = total.add(OpCost {
-                word_accesses: touches.count(),
+                word_accesses: self.distinct_probe_words(probes),
                 hash_bits: self.k * addr_bits,
             });
             results.push(Ok(()));

@@ -26,7 +26,7 @@
 //!    improved HCBF (§III.B.3) can maximise `b1 = w − k·n_max`.
 
 use crate::FilterError;
-use mpcbf_bitvec::{kernel, Word};
+use mpcbf_bitvec::{KernelOps, Word};
 use mpcbf_hash::mix::bits_for;
 
 /// Errors a single-word HCBF operation can report.
@@ -295,6 +295,92 @@ impl<W: Word> HcbfWord<W> {
         }
     }
 
+    /// [`HcbfWord::increment`] through a batch-resolved kernel bundle
+    /// ([`mpcbf_bitvec::Kernel::batch`]): the same carried-rank walk, but
+    /// dispatch rides the bundle tag resolved once per batch instead of
+    /// the cached atomic load every primitive pays. Bit-identical to
+    /// [`HcbfWord::increment`] by the routed-tier differential tests.
+    pub fn increment_routed(
+        &mut self,
+        p: u32,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<IncrementReport, WordError> {
+        debug_assert!(p < b1 && b1 <= W::BITS);
+        if self.used_bits(b1) >= W::BITS {
+            return Err(WordError::Overflow);
+        }
+        let mut level_start = 0u32;
+        let mut level_size = b1;
+        let mut pos = p;
+        let mut depth = 1u32;
+        let mut traversal_bits = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
+        loop {
+            let gp = level_start + pos;
+            let child = self.bits.rank_routed(gp, ops) - r_start;
+            let next_start = level_start + level_size;
+            if !self.bits.bit(gp) {
+                self.bits.set_bit(gp);
+                self.bits.insert_zero_routed(next_start + child, ops);
+                return Ok(IncrementReport {
+                    new_count: depth,
+                    traversal_bits,
+                });
+            }
+            let r_next = self.bits.rank_routed(next_start, ops);
+            let next_size = r_next - r_start;
+            level_start = next_start;
+            level_size = next_size;
+            r_start = r_next;
+            pos = child;
+            depth += 1;
+            traversal_bits += bits_for(u64::from(next_size));
+        }
+    }
+
+    /// [`HcbfWord::decrement`] through a batch-resolved kernel bundle;
+    /// see [`HcbfWord::increment_routed`].
+    pub fn decrement_routed(
+        &mut self,
+        p: u32,
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<DecrementReport, WordError> {
+        debug_assert!(p < b1 && b1 <= W::BITS);
+        if !self.bits.bit(p) {
+            return Err(WordError::ZeroCounter);
+        }
+        let mut level_start = 0u32;
+        let mut level_size = b1;
+        let mut pos = p;
+        let mut depth = 1u32;
+        let mut traversal_bits = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
+        loop {
+            let gp = level_start + pos;
+            let child = self.bits.rank_routed(gp, ops) - r_start;
+            let next_start = level_start + level_size;
+            let child_gp = next_start + child;
+            if !self.bits.bit(child_gp) {
+                self.bits.remove_bit_routed(child_gp, ops);
+                self.bits.clear_bit(gp);
+                return Ok(DecrementReport {
+                    new_count: depth - 1,
+                    traversal_bits,
+                });
+            }
+            let r_next = self.bits.rank_routed(next_start, ops);
+            let next_size = r_next - r_start;
+            level_start = next_start;
+            level_size = next_size;
+            r_start = r_next;
+            pos = child;
+            depth += 1;
+            traversal_bits += bits_for(u64::from(next_size));
+        }
+    }
+
     /// Portable baseline for [`HcbfWord::decrement`]; see
     /// [`HcbfWord::increment_reference`].
     pub fn decrement_reference(&mut self, p: u32, b1: u32) -> Result<DecrementReport, WordError> {
@@ -334,23 +420,22 @@ impl<W: Word> HcbfWord<W> {
     /// short-circuit). Returns the verdict and how many positions were
     /// evaluated, for bandwidth metering.
     ///
-    /// Branchless within a chunk: all membership bits are gathered into a
-    /// mask first, then one `trailing_zeros` finds the first miss — no
-    /// per-probe branch, but the reported evaluation count is exactly what
-    /// the short-circuiting scalar loop would have metered.
+    /// This is deliberately the plain portable short-circuit loop — the
+    /// same walk the scalar path runs. An earlier gather-all-bits-then-
+    /// `trailing_zeros` variant measured *slower* (it always evaluates the
+    /// whole chunk while real workloads short-circuit early), and the BMI2
+    /// kernels never help here: a query touches no rank/insert/remove
+    /// primitive at all. Per-op kernel routing therefore pins query walks
+    /// to portable; batching wins come from the plan/interleave layers
+    /// above, not from this loop.
     #[inline]
     pub fn query_all(&self, probes: &[u32]) -> (bool, u32) {
         let mut evaluated = 0u32;
-        for chunk in probes.chunks(64) {
-            let mut hits = 0u64;
-            for (j, &p) in chunk.iter().enumerate() {
-                hits |= u64::from(self.bits.bit(p)) << j;
+        for &p in probes {
+            evaluated += 1;
+            if !self.bits.bit(p) {
+                return (false, evaluated);
             }
-            let misses = !hits & kernel::mask_below_u64(chunk.len() as u32);
-            if misses != 0 {
-                return (false, evaluated + misses.trailing_zeros() + 1);
-            }
-            evaluated += chunk.len() as u32;
         }
         (true, evaluated)
     }
@@ -402,6 +487,56 @@ impl<W: Word> HcbfWord<W> {
                 Err(e) => {
                     for &q in probes[..i].iter().rev() {
                         self.increment(q, b1)
+                            .expect("rollback of a fresh decrement cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
+    /// [`HcbfWord::increment_all`] through a batch-resolved kernel bundle:
+    /// the all-or-nothing contract with every walk (including rollback)
+    /// routed via `ops`. The batch insert path resolves routing once and
+    /// drives every word through this.
+    pub fn increment_all_routed(
+        &mut self,
+        probes: &[u32],
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<u32, WordError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.increment_routed(p, b1, ops) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.decrement_routed(q, b1, ops)
+                            .expect("rollback of a fresh increment cannot fail");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(traversal_bits)
+    }
+
+    /// [`HcbfWord::decrement_all`] through a batch-resolved kernel bundle;
+    /// see [`HcbfWord::increment_all_routed`].
+    pub fn decrement_all_routed(
+        &mut self,
+        probes: &[u32],
+        b1: u32,
+        ops: &KernelOps,
+    ) -> Result<u32, WordError> {
+        let mut traversal_bits = 0u32;
+        for (i, &p) in probes.iter().enumerate() {
+            match self.decrement_routed(p, b1, ops) {
+                Ok(r) => traversal_bits += r.traversal_bits,
+                Err(e) => {
+                    for &q in probes[..i].iter().rev() {
+                        self.increment_routed(q, b1, ops)
                             .expect("rollback of a fresh decrement cannot fail");
                     }
                     return Err(e);
@@ -708,6 +843,66 @@ mod tests {
         assert_eq!(w.query_all(&[2, 5, 9]), (false, 2)); // stops at the zero
         assert_eq!(w.query_all(&[7]), (false, 1));
         assert_eq!(w.query_all(&[]), (true, 0));
+    }
+
+    #[test]
+    fn routed_walks_match_hot_walks() {
+        // Both bundles of one batch resolution must yield bit-identical
+        // words and reports to the dispatched hot walks, step for step.
+        let bk = mpcbf_bitvec::Kernel::batch();
+        for ops in [bk.query, bk.update] {
+            let mut hot = H64::new();
+            let mut routed = H64::new();
+            let mut s = 0x9e37_79b9_7f4a_7c15u64;
+            let mut rand = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for _ in 0..3_000 {
+                let p = (rand() % 40) as u32;
+                if rand() % 3 == 0 {
+                    let a = hot.decrement(p, 40);
+                    let b = routed.decrement_routed(p, 40, &ops);
+                    assert_eq!(a, b);
+                } else if hot.remaining_capacity(40) > 0 {
+                    let a = hot.increment(p, 40);
+                    let b = routed.increment_routed(p, 40, &ops);
+                    assert_eq!(a, b);
+                }
+                assert_eq!(hot.raw(), routed.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn routed_batches_match_plain_batches() {
+        let bk = mpcbf_bitvec::Kernel::batch();
+        let probes = [3u32, 3, 17, 0, 9];
+        let mut plain = H64::new();
+        let mut routed = H64::new();
+        assert_eq!(
+            plain.increment_all(&probes, 40),
+            routed.increment_all_routed(&probes, 40, &bk.update)
+        );
+        assert_eq!(plain.raw(), routed.raw());
+        assert_eq!(
+            plain.decrement_all(&probes, 40),
+            routed.decrement_all_routed(&probes, 40, &bk.update)
+        );
+        assert_eq!(plain.raw(), routed.raw());
+        // Rollback on failure is routed too and leaves the word intact.
+        let mut w = H16::new();
+        for _ in 0..4 {
+            w.increment(0, 10).unwrap();
+        }
+        let before = *w.raw();
+        assert_eq!(
+            w.increment_all_routed(&[1, 2, 3], 10, &bk.update),
+            Err(WordError::Overflow)
+        );
+        assert_eq!(*w.raw(), before);
     }
 
     #[test]

@@ -35,11 +35,7 @@
 //! assert!(!filter.contains(&"alice"));
 //! ```
 
-// The only unsafe in the crate is the `_mm_prefetch` cache hint inside
-// `plan::prefetch_read`, compiled solely under the opt-in `prefetch`
-// feature; portable builds keep the blanket forbid.
-#![cfg_attr(not(feature = "prefetch"), forbid(unsafe_code))]
-#![cfg_attr(feature = "prefetch", deny(unsafe_code))]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bf1;
@@ -68,7 +64,7 @@ pub use hcbf::{HcbfWord, WordError};
 pub use metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink, OpTally};
 pub use mpcbf::{Mpcbf, Mpcbf1};
 pub use pcbf::Pcbf;
-pub use plan::{prefetch_read, ProbePlan};
+pub use plan::{PlanBuffer, ProbePlan, SMALL_BATCH};
 pub use resilient::{ResilientMpcbf, ResilientSeal};
 pub use scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
 pub use traits::{CountingFilter, Filter};
@@ -105,7 +101,7 @@ pub mod prelude {
     pub use crate::metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink};
     pub use crate::mpcbf::{Mpcbf, Mpcbf1};
     pub use crate::pcbf::Pcbf;
-    pub use crate::plan::ProbePlan;
+    pub use crate::plan::{PlanBuffer, ProbePlan};
     pub use crate::resilient::{ResilientMpcbf, ResilientSeal};
     pub use crate::scrub::{FilterSeal, ScrubReport};
     pub use crate::traits::{CountingFilter, Filter};

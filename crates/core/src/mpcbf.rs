@@ -21,15 +21,32 @@
 use crate::config::MpcbfConfig;
 use crate::hcbf::{HcbfWord, WordError};
 use crate::metrics::{HealthReport, OpCost, WordTouches};
-use crate::plan::{prefetch_read, ProbePlan};
+use crate::plan::{distinct_words, PlanBuffer, SMALL_BATCH};
 use crate::scrub::{segment_of, FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_analysis::heuristic::MpcbfShape;
-use mpcbf_bitvec::{AlignedVec, Word};
+use mpcbf_bitvec::{AlignedVec, Kernel, Word};
 use mpcbf_hash::mix::bits_for;
 use mpcbf_hash::{DoubleHasher, Hasher128, Murmur3};
 use std::marker::PhantomData;
+
+/// In-flight word walks per interleaved query block.
+///
+/// Eight independent lanes give the memory subsystem enough outstanding
+/// loads to cover DRAM latency on out-of-cache filters without spilling
+/// the lane snapshots out of registers/L1 on cache-resident ones; this is
+/// the software-pipelining replacement for the retired `prefetch` feature
+/// (explicit prefetch hints lost on cache-resident filters, where the
+/// hint costs an instruction but saves nothing).
+const LANES: usize = 8;
+
+/// Largest `g` for which the interleaved query snapshots every lane's
+/// group words up front. Beyond this, a lane's snapshot no longer fits
+/// the block's register/L1 budget, so keys fall back to the sequential
+/// walk (still plan-driven and allocation-free). In practice `g ≤ 4`
+/// covers every configuration in the paper (g ∈ {1, 2, 4}).
+const MAX_SNAP_GROUPS: usize = 4;
 
 /// The Multiple-Partitioned Counting Bloom Filter.
 ///
@@ -267,30 +284,36 @@ impl<W: Word, H: Hasher128> Mpcbf<W, H> {
         }
     }
 
-    /// Stage 1 of the batch pipeline: hash every key into a partitioned
-    /// [`ProbePlan`] — the same word-selector and per-group streams as
-    /// [`Mpcbf::for_each_position`].
-    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
-        keys.iter()
-            .map(|key| {
-                ProbePlan::partitioned(
-                    H::hash128(self.seed, key),
-                    self.shape.l,
-                    self.shape.k,
-                    self.shape.g,
-                    u64::from(self.shape.b1),
-                )
-            })
-            .collect()
+    /// Stage 1 of the batch pipeline: hash every key into the caller's
+    /// [`PlanBuffer`] — the same word-selector and per-group streams as
+    /// [`Mpcbf::for_each_position`], with zero allocation once the buffer
+    /// is warm.
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_partitioned(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.shape.l,
+            self.shape.k,
+            self.shape.g,
+            u64::from(self.shape.b1),
+        );
     }
 
-    /// Stage 2: request every planned HCBF word before probing starts.
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        for plan in plans {
-            for &word in plan.words() {
-                prefetch_read(&self.words[word as usize]);
+    /// Probes one planned key sequentially (the g > [`MAX_SNAP_GROUPS`]
+    /// query fallback), returning `(member, words_eval, pos_eval)` with
+    /// exact scalar short-circuit accounting.
+    #[inline]
+    fn query_planned(&self, plans: &PlanBuffer, i: usize) -> (bool, u32, u32) {
+        let mut words_eval = 0u32;
+        let mut pos_eval = 0u32;
+        for (word, probes) in plans.groups_of(i) {
+            words_eval += 1;
+            let (all_set, evaluated) = self.words[word].query_all(probes);
+            pos_eval += evaluated;
+            if !all_set {
+                return (false, words_eval, pos_eval);
             }
         }
+        (true, words_eval, pos_eval)
     }
 }
 
@@ -354,54 +377,136 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
         self.shape.k
     }
 
-    /// Pipelined batch query: hash all keys, prefetch every planned HCBF
-    /// word, then probe group by group via [`HcbfWord::query_all`] —
-    /// replaying the scalar evaluation order and short-circuit accounting.
+    /// Batch query via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::contains_batch_with`] to skip
+    /// the per-call allocation.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch query: hash every key into the caller's plan buffer,
+    /// then walk [`LANES`] keys' word sets concurrently — each block first
+    /// snapshots every lane's planned HCBF words (independent loads the
+    /// CPU overlaps), then evaluates verdicts from the snapshots with the
+    /// scalar evaluation order and short-circuit accounting. Batches below
+    /// [`SMALL_BATCH`] degrade to the scalar loop, which is observationally
+    /// identical and skips the plan stage.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut hits = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                let (hit, cost) = self.contains_bytes_cost(key);
+                hits.push(hit);
+                total = total.add(cost);
+            }
+            return (hits, total);
+        }
+        self.plan_into(keys, plans);
+        let g = self.shape.g as usize;
         let mut hits = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
-            let mut words_eval = 0u32;
-            let mut pos_eval = 0u32;
-            let mut member = true;
-            for (word, probes) in plan.groups() {
-                words_eval += 1;
-                touches.touch(word);
-                let (all_set, evaluated) = self.words[word].query_all(probes);
-                pos_eval += evaluated;
-                if !all_set {
-                    member = false;
-                    break;
+        if g <= MAX_SNAP_GROUPS {
+            let mut snap = [[HcbfWord::<W>::new(); MAX_SNAP_GROUPS]; LANES];
+            let mut block = 0usize;
+            while block < keys.len() {
+                let lanes = LANES.min(keys.len() - block);
+                // Phase 1: issue every lane's word loads back to back, so
+                // up to LANES * g independent fetches are in flight before
+                // any verdict logic runs.
+                for (lane, snap_words) in snap.iter_mut().enumerate().take(lanes) {
+                    let words = plans.words_of(block + lane);
+                    for (slot, &word) in snap_words.iter_mut().zip(words) {
+                        *slot = self.words[word as usize];
+                    }
                 }
+                // Phase 2: evaluate each lane from its snapshot, replaying
+                // the scalar order (groups in plan order, probes in stream
+                // order, short-circuit on the first zero bit).
+                for (lane, snap_words) in snap.iter().enumerate().take(lanes) {
+                    let i = block + lane;
+                    let mut words_eval = 0u32;
+                    let mut pos_eval = 0u32;
+                    let mut member = true;
+                    for (t, word) in snap_words.iter().enumerate().take(g) {
+                        words_eval += 1;
+                        let (_, probes) = plans.group(i, t);
+                        let (all_set, evaluated) = word.query_all(probes);
+                        pos_eval += evaluated;
+                        if !all_set {
+                            member = false;
+                            break;
+                        }
+                    }
+                    hits.push(member);
+                    total = total.add(OpCost {
+                        word_accesses: distinct_words(&plans.words_of(i)[..words_eval as usize]),
+                        hash_bits: words_eval * bits_for(self.shape.l)
+                            + pos_eval * bits_for(u64::from(self.shape.b1)),
+                    });
+                }
+                block += lanes;
             }
-            hits.push(member);
-            total = total.add(self.base_cost(words_eval, pos_eval, &touches));
+        } else {
+            for i in 0..keys.len() {
+                let (member, words_eval, pos_eval) = self.query_planned(plans, i);
+                hits.push(member);
+                total = total.add(OpCost {
+                    word_accesses: distinct_words(&plans.words_of(i)[..words_eval as usize]),
+                    hash_bits: words_eval * bits_for(self.shape.l)
+                        + pos_eval * bits_for(u64::from(self.shape.b1)),
+                });
+            }
         }
         (hits, total)
     }
 
-    /// Pipelined batch insert: keys are applied strictly in order via
-    /// [`HcbfWord::increment_all`] per group; a word overflow rolls back
-    /// that key's earlier groups (the HCBF encoding is canonical in the
-    /// counter multiset, so the filter is left bit-identical to never
-    /// having attempted the key) and is reported per key.
+    /// Batch insert via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::insert_batch_with`] to skip the
+    /// per-call allocation.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch insert: keys are applied strictly in order via
+    /// [`HcbfWord::increment_all_routed`] per group, with the update
+    /// kernel bundle resolved **once** for the whole batch
+    /// ([`Kernel::batch`]) instead of a cached-atomic load per word probe.
+    /// A word overflow rolls back that key's earlier groups through the
+    /// plan buffer (no allocation; the HCBF encoding is canonical in the
+    /// counter multiset, so the filter is left bit-identical to never
+    /// having attempted the key) and is reported per key. Batches below
+    /// [`SMALL_BATCH`] degrade to the scalar loop.
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.insert_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
+        let ops = Kernel::batch().update;
         let b1 = self.shape.b1;
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
             let mut traversal_bits = 0u32;
             let mut failed: Option<(usize, WordError)> = None;
             let mut applied_groups = 0usize;
-            for (word, probes) in plan.groups() {
-                touches.touch(word);
-                match self.words[word].increment_all(probes, b1) {
+            for (word, probes) in plans.groups_of(i) {
+                match self.words[word].increment_all_routed(probes, b1, &ops) {
                     Ok(bits) => {
                         traversal_bits += bits;
                         applied_groups += 1;
@@ -414,10 +519,10 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
                 }
             }
             if let Some((word, e)) = failed {
-                let applied: Vec<(usize, &[u32])> = plan.groups().take(applied_groups).collect();
-                for &(rw, probes) in applied.iter().rev() {
+                for t in (0..applied_groups).rev() {
+                    let (rw, probes) = plans.group(i, t);
                     self.words[rw]
-                        .decrement_all(probes, b1)
+                        .decrement_all_routed(probes, b1, &ops)
                         .expect("rollback decrement must succeed");
                 }
                 self.overflows += 1;
@@ -425,9 +530,12 @@ impl<W: Word, H: Hasher128> Filter for Mpcbf<W, H> {
                 continue;
             }
             self.items += 1;
-            let mut cost = self.base_cost(self.shape.g, self.shape.k, &touches);
-            cost.hash_bits += traversal_bits;
-            total = total.add(cost);
+            total = total.add(OpCost {
+                word_accesses: distinct_words(plans.words_of(i)),
+                hash_bits: self.shape.g * bits_for(self.shape.l)
+                    + self.shape.k * bits_for(u64::from(self.shape.b1))
+                    + traversal_bits,
+            });
             results.push(Ok(()));
         }
         (results, total)
@@ -469,24 +577,49 @@ impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
         Ok(cost)
     }
 
-    /// Pipelined batch remove: the mirror of the batch insert — keys are
-    /// drained strictly in order via [`HcbfWord::decrement_all`] per
-    /// group, with a [`FilterError::NotPresent`] rolling back that key's
-    /// earlier groups and costing nothing, exactly like the scalar path.
+    /// Batch remove via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`CountingFilter::remove_batch_with`] to
+    /// skip the per-call allocation.
     fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.remove_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch remove: the mirror of the batch insert — keys are
+    /// drained strictly in order via [`HcbfWord::decrement_all_routed`]
+    /// per group under one batch-resolved update bundle, with a
+    /// [`FilterError::NotPresent`] rolling back that key's earlier groups
+    /// through the plan buffer and costing nothing, exactly like the
+    /// scalar path.
+    fn remove_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.remove_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
+        let ops = Kernel::batch().update;
         let b1 = self.shape.b1;
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
             let mut traversal_bits = 0u32;
             let mut failed = false;
             let mut applied_groups = 0usize;
-            for (word, probes) in plan.groups() {
-                touches.touch(word);
-                match self.words[word].decrement_all(probes, b1) {
+            for (word, probes) in plans.groups_of(i) {
+                match self.words[word].decrement_all_routed(probes, b1, &ops) {
                     Ok(bits) => {
                         traversal_bits += bits;
                         applied_groups += 1;
@@ -499,19 +632,22 @@ impl<W: Word, H: Hasher128> CountingFilter for Mpcbf<W, H> {
                 }
             }
             if failed {
-                let applied: Vec<(usize, &[u32])> = plan.groups().take(applied_groups).collect();
-                for &(rw, probes) in applied.iter().rev() {
+                for t in (0..applied_groups).rev() {
+                    let (rw, probes) = plans.group(i, t);
                     self.words[rw]
-                        .increment_all(probes, b1)
+                        .increment_all_routed(probes, b1, &ops)
                         .expect("rollback increment must succeed");
                 }
                 results.push(Err(FilterError::NotPresent));
                 continue;
             }
             self.items = self.items.saturating_sub(1);
-            let mut cost = self.base_cost(self.shape.g, self.shape.k, &touches);
-            cost.hash_bits += traversal_bits;
-            total = total.add(cost);
+            total = total.add(OpCost {
+                word_accesses: distinct_words(plans.words_of(i)),
+                hash_bits: self.shape.g * bits_for(self.shape.l)
+                    + self.shape.k * bits_for(u64::from(self.shape.b1))
+                    + traversal_bits,
+            });
             results.push(Ok(()));
         }
         (results, total)

@@ -9,7 +9,7 @@
 //! penalty.
 
 use crate::metrics::{OpCost, WordTouches};
-use crate::plan::{prefetch_read, ProbePlan};
+use crate::plan::{distinct_words, PlanBuffer, SMALL_BATCH};
 use crate::traits::{CountingFilter, Filter};
 use crate::{split_hashes, ConfigError, FilterError, GROUP_SALT, WORD_SALT};
 use mpcbf_bitvec::CounterVec;
@@ -181,31 +181,34 @@ impl<H: Hasher128> Pcbf<H> {
         }
     }
 
-    /// Stage 1 of the batch pipeline: hash every key into a partitioned
-    /// [`ProbePlan`] (word selector over `l`, per-group slot streams over
-    /// `w/4` counters — the same streams as [`Pcbf::for_each_slot`]).
-    fn plan_batch(&self, keys: &[&[u8]]) -> Vec<ProbePlan> {
-        keys.iter()
-            .map(|key| {
-                ProbePlan::partitioned(
-                    H::hash128(self.seed, key),
-                    self.l as u64,
-                    self.k,
-                    self.g,
-                    u64::from(self.counters_per_word),
-                )
-            })
-            .collect()
+    /// Stage 1 of the batch pipeline: hash every key into the caller's
+    /// [`PlanBuffer`] (word selector over `l`, per-group slot streams over
+    /// `w/4` counters — the same streams as [`Pcbf::for_each_slot`]),
+    /// with zero allocation once the buffer is warm.
+    fn plan_into(&self, keys: &[&[u8]], plans: &mut PlanBuffer) {
+        plans.plan_partitioned(
+            keys.iter().map(|key| H::hash128(self.seed, key)),
+            self.l as u64,
+            self.k,
+            self.g,
+            u64::from(self.counters_per_word),
+        );
     }
 
-    /// Stage 2: request the first limb of every planned word.
-    fn prefetch_batch(&self, plans: &[ProbePlan]) {
-        let limbs = self.counters.raw_limbs();
-        let w = self.w as usize;
-        for plan in plans {
-            for &word in plan.words() {
-                prefetch_read(&limbs[word as usize * w / 64]);
-            }
+    /// The fused batch paths' cost for a replayed plan prefix: distinct
+    /// evaluated words plus the evaluated address bits.
+    #[inline]
+    fn planned_cost(
+        &self,
+        plans: &PlanBuffer,
+        i: usize,
+        words_eval: u32,
+        slots_eval: u32,
+    ) -> OpCost {
+        OpCost {
+            word_accesses: distinct_words(&plans.words_of(i)[..words_eval as usize]),
+            hash_bits: words_eval * bits_for(self.l as u64)
+                + slots_eval * bits_for(u64::from(self.counters_per_word)),
         }
     }
 
@@ -257,23 +260,38 @@ impl<H: Hasher128> Filter for Pcbf<H> {
         self.k
     }
 
-    /// Pipelined batch query: hash all, prefetch all planned words, then
-    /// probe in scalar order with identical short-circuit accounting.
+    /// Batch query via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::contains_batch_with`] to skip
+    /// the per-call allocation.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch query: probe in scalar order off the buffer's plans
+    /// with identical short-circuit accounting. Batches below
+    /// [`SMALL_BATCH`] degrade to the scalar loop.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut hits = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                let (hit, cost) = self.contains_bytes_cost(key);
+                hits.push(hit);
+                total = total.add(cost);
+            }
+            return (hits, total);
+        }
+        self.plan_into(keys, plans);
         let mut hits = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
+        for i in 0..keys.len() {
             let mut words_eval = 0u32;
             let mut slots_eval = 0u32;
             let mut member = true;
-            'groups: for (word, probes) in plan.groups() {
+            'groups: for (word, probes) in plans.groups_of(i) {
                 words_eval += 1;
                 for &slot in probes {
                     slots_eval += 1;
-                    touches.touch(word);
                     if !self.counters.is_set(self.slot_index(word, slot)) {
                         member = false;
                         break 'groups;
@@ -281,27 +299,51 @@ impl<H: Hasher128> Filter for Pcbf<H> {
                 }
             }
             hits.push(member);
-            total = total.add(self.cost(words_eval, slots_eval, &touches));
+            total = total.add(self.planned_cost(plans, i, words_eval, slots_eval));
         }
         (hits, total)
     }
 
-    /// Pipelined batch insert: increments applied strictly in key order.
+    /// Batch insert via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`Filter::insert_batch_with`] to skip the
+    /// per-call allocation.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch insert: increments applied strictly in key order off
+    /// the buffer's plans. Batches below [`SMALL_BATCH`] degrade to the
+    /// scalar loop.
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.insert_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let mut touches = WordTouches::new();
-            for (word, probes) in plan.groups() {
+        for i in 0..keys.len() {
+            for (word, probes) in plans.groups_of(i) {
                 for &slot in probes {
-                    touches.touch(word);
                     self.counters.increment(self.slot_index(word, slot));
                 }
             }
             self.items += 1;
-            total = total.add(self.cost(self.g, self.k, &touches));
+            total = total.add(self.planned_cost(plans, i, self.g, self.k));
             results.push(Ok(()));
         }
         (results, total)
@@ -339,15 +381,41 @@ impl<H: Hasher128> CountingFilter for Pcbf<H> {
         Ok(self.cost(we, se, &touches))
     }
 
-    /// Pipelined batch remove: per key, the same unmetered presence pass
-    /// as the scalar path, then metered decrements in key order.
+    /// Batch remove via the fused pipeline with a fresh plan buffer; hold
+    /// a [`PlanBuffer`] and call [`CountingFilter::remove_batch_with`] to
+    /// skip the per-call allocation.
     fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let plans = self.plan_batch(keys);
-        self.prefetch_batch(&plans);
+        self.remove_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Fused batch remove: per key, the same unmetered presence pass as
+    /// the scalar path, then metered decrements in key order off the
+    /// buffer's plans. Batches below [`SMALL_BATCH`] degrade to the
+    /// scalar loop.
+    fn remove_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        if keys.len() < SMALL_BATCH {
+            let mut results = Vec::with_capacity(keys.len());
+            let mut total = OpCost::zero();
+            for key in keys {
+                match self.remove_bytes_cost(key) {
+                    Ok(cost) => {
+                        total = total.add(cost);
+                        results.push(Ok(()));
+                    }
+                    Err(e) => results.push(Err(e)),
+                }
+            }
+            return (results, total);
+        }
+        self.plan_into(keys, plans);
         let mut results = Vec::with_capacity(keys.len());
         let mut total = OpCost::zero();
-        for plan in &plans {
-            let present = plan.groups().all(|(word, probes)| {
+        for i in 0..keys.len() {
+            let present = plans.groups_of(i).all(|(word, probes)| {
                 probes
                     .iter()
                     .all(|&slot| self.counters.is_set(self.slot_index(word, slot)))
@@ -356,15 +424,13 @@ impl<H: Hasher128> CountingFilter for Pcbf<H> {
                 results.push(Err(FilterError::NotPresent));
                 continue;
             }
-            let mut touches = WordTouches::new();
-            for (word, probes) in plan.groups() {
+            for (word, probes) in plans.groups_of(i) {
                 for &slot in probes {
-                    touches.touch(word);
                     self.counters.decrement(self.slot_index(word, slot));
                 }
             }
             self.items = self.items.saturating_sub(1);
-            total = total.add(self.cost(self.g, self.k, &touches));
+            total = total.add(self.planned_cost(plans, i, self.g, self.k));
             results.push(Ok(()));
         }
         (results, total)

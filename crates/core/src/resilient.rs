@@ -36,6 +36,7 @@ use crate::cbf::Cbf;
 use crate::config::MpcbfConfig;
 use crate::metrics::{HealthReport, OpCost};
 use crate::mpcbf::Mpcbf;
+use crate::plan::PlanBuffer;
 use crate::scrub::{FilterSeal, ScrubReport};
 use crate::traits::{CountingFilter, Filter};
 use crate::FilterError;
@@ -274,7 +275,13 @@ impl<H: Hasher128> Filter for ResilientMpcbf<H> {
     /// then every miss consults the spill — observationally identical to
     /// the scalar loop.
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
-        let (mut hits, mut total) = self.main.contains_batch_cost(keys);
+        self.contains_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Buffer-reusing twin: the scratch is threaded through to the main
+    /// filter's fused batch pass; the spill pass is unchanged.
+    fn contains_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        let (mut hits, mut total) = self.main.contains_batch_with(keys, plans);
         for (hit, key) in hits.iter_mut().zip(keys) {
             if !*hit {
                 let (spill_hit, spill_cost) = self.spill_contains_cost(key);
@@ -289,7 +296,16 @@ impl<H: Hasher128> Filter for ResilientMpcbf<H> {
     /// with its per-key rollback, then each refused key is routed to the
     /// spill in key order — the exact state a scalar loop produces.
     fn insert_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
-        let (mut results, mut total) = self.main.insert_batch_cost(keys);
+        self.insert_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Buffer-reusing twin of [`Self::insert_batch_cost`].
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        let (mut results, mut total) = self.main.insert_batch_with(keys, plans);
         for (result, key) in results.iter_mut().zip(keys) {
             if matches!(result, Err(FilterError::WordOverflow { .. })) {
                 total = total.add(self.spill_insert(key));
@@ -317,6 +333,15 @@ impl<H: Hasher128> CountingFilter for ResilientMpcbf<H> {
     /// main subset goes through the main filter's pipelined batch pass.
     /// The final state and per-key results match the scalar loop exactly.
     fn remove_batch_cost(&mut self, keys: &[&[u8]]) -> (Vec<Result<(), FilterError>>, OpCost) {
+        self.remove_batch_with(keys, &mut PlanBuffer::new())
+    }
+
+    /// Buffer-reusing twin of [`Self::remove_batch_cost`].
+    fn remove_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
         // Partition in key order, simulating the spill drain so in-batch
         // duplicates of a spilled key route correctly: the first `count`
         // copies go to the spill, the rest to the main filter.
@@ -346,7 +371,7 @@ impl<H: Hasher128> CountingFilter for ResilientMpcbf<H> {
         let (main_results, main_total) = if main_keys.is_empty() {
             (Vec::new(), OpCost::zero())
         } else {
-            self.main.remove_batch_cost(&main_keys)
+            self.main.remove_batch_with(&main_keys, plans)
         };
         total = total.add(main_total);
 

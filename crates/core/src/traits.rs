@@ -3,6 +3,7 @@
 
 use crate::error::FilterError;
 use crate::metrics::{OpCost, OpKind, OpSink};
+use crate::plan::PlanBuffer;
 use mpcbf_hash::Key;
 use std::time::Instant;
 
@@ -91,6 +92,35 @@ pub trait Filter {
             }
         }
         (results, total)
+    }
+
+    /// Batched membership check using a caller-held [`PlanBuffer`] —
+    /// the allocation-free entry point of the fused batch pipeline.
+    ///
+    /// Callers that issue many batches hold one buffer and pass it to
+    /// every call; after the first batch at a given size the plan stage
+    /// performs no allocation. The buffer is scratch space only: its
+    /// contents on return are unspecified, and reusing a buffer **must**
+    /// yield bit-identical verdicts and costs to a fresh one.
+    ///
+    /// The default ignores the buffer and delegates to
+    /// [`Filter::contains_batch_cost`]; filters with a fused pipeline
+    /// override this and route `contains_batch_cost` through it.
+    fn contains_batch_with(&self, keys: &[&[u8]], _plans: &mut PlanBuffer) -> (Vec<bool>, OpCost) {
+        self.contains_batch_cost(keys)
+    }
+
+    /// Batched insertion using a caller-held [`PlanBuffer`]; the buffer
+    /// contract is as for [`Filter::contains_batch_with`].
+    ///
+    /// The default ignores the buffer and delegates to
+    /// [`Filter::insert_batch_cost`].
+    fn insert_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        _plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        self.insert_batch_cost(keys)
     }
 
     /// Batched membership check that also reports the batch to an
@@ -184,6 +214,19 @@ pub trait CountingFilter: Filter {
             }
         }
         (results, total)
+    }
+
+    /// Batched deletion using a caller-held [`PlanBuffer`]; the buffer
+    /// contract is as for [`Filter::contains_batch_with`].
+    ///
+    /// The default ignores the buffer and delegates to
+    /// [`CountingFilter::remove_batch_cost`].
+    fn remove_batch_with(
+        &mut self,
+        keys: &[&[u8]],
+        _plans: &mut PlanBuffer,
+    ) -> (Vec<Result<(), FilterError>>, OpCost) {
+        self.remove_batch_cost(keys)
     }
 
     /// Batched deletion that also reports the batch to an [`OpSink`].

@@ -14,7 +14,7 @@
 //! filter — a property the tests pin down.
 
 use crate::engine::{run_job, Emitter, JobConfig, JobStats};
-use mpcbf_core::Filter;
+use mpcbf_core::{Filter, PlanBuffer};
 use mpcbf_hash::Key;
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -29,10 +29,17 @@ pub trait KeyFilter: Sync {
     /// Batched membership test; must answer exactly like `keys.len()`
     /// calls to [`KeyFilter::test`]. The default does precisely that, so
     /// existing custom implementations keep working; filter-backed
-    /// implementations override it with the pipelined batch probe
-    /// (hash all → prefetch → probe).
+    /// implementations override it with the fused batch probe (hash all
+    /// into the plan buffer, then probe).
     fn test_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
         keys.iter().map(|k| self.test(k)).collect()
+    }
+
+    /// [`KeyFilter::test_batch`] against a caller-held [`PlanBuffer`], so
+    /// a chunked pre-pass plans every chunk into the same scratch. The
+    /// default ignores the buffer; reuse must be answer-identical.
+    fn test_batch_with(&self, keys: &[&[u8]], _plans: &mut PlanBuffer) -> Vec<bool> {
+        self.test_batch(keys)
     }
 }
 
@@ -45,6 +52,11 @@ impl<F: Filter + Sync> KeyFilter for F {
     #[inline]
     fn test_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
         self.contains_batch_cost(keys).0
+    }
+
+    #[inline]
+    fn test_batch_with(&self, keys: &[&[u8]], plans: &mut PlanBuffer) -> Vec<bool> {
+        self.contains_batch_with(keys, plans).0
     }
 }
 
@@ -117,14 +129,17 @@ where
     let right_total = right.len() as u64;
 
     // Pushdown runs as a batched pre-pass: probe the right side's keys in
-    // chunks through the filter's batch pipeline (one hash stage, one
-    // prefetch stage, one probe stage per chunk) and keep only a bitmap.
+    // chunks through the filter's fused batch pipeline (one hash stage,
+    // one probe stage per chunk) and keep only a bitmap. One plan buffer
+    // serves every chunk, so the pre-pass stops allocating after the
+    // first chunk.
     let pass: Option<Vec<bool>> = filter.map(|f| {
         let owned: Vec<_> = right.iter().map(|(k, _)| k.key_bytes()).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
         let mut out = Vec::with_capacity(views.len());
+        let mut plans = PlanBuffer::new();
         for chunk in views.chunks(PUSHDOWN_BATCH) {
-            out.extend(f.test_batch(chunk));
+            out.extend(f.test_batch_with(chunk, &mut plans));
         }
         out
     });

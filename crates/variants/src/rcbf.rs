@@ -135,11 +135,9 @@ impl<H: Hasher128> Filter for Rcbf<H> {
 
     fn contains_batch_cost(&self, keys: &[&[u8]]) -> (Vec<bool>, OpCost) {
         // RCBF probes exactly one bucket per key, so the batch pipeline is
-        // ideal: hash every key, prefetch every bucket chain, then probe.
+        // simply: hash every key up front, then probe the bucket chains in
+        // one tight loop (the hardware prefetcher overlaps the chains).
         let slots: Vec<(usize, u32)> = keys.iter().map(|k| self.slot(k)).collect();
-        for &(bucket, _) in &slots {
-            mpcbf_core::prefetch_read(&self.buckets[bucket]);
-        }
         let hits = slots
             .iter()
             .map(|&(bucket, f)| self.buckets[bucket].iter().any(|e| e.fingerprint == f))

@@ -4,23 +4,25 @@
 //! The generators in this crate produce *pure data* — key streams, churn
 //! periods, Zipf-shaped query mixes. This module is the bridge to a
 //! filter: each protocol phase is chunked into fixed-size batches and
-//! driven through the batch API ([`Filter::insert_batch_cost`],
-//! [`Filter::contains_batch_cost`], [`CountingFilter::remove_batch_cost`]),
-//! which pipelines hash → prefetch → probe per chunk. The batch ops are
-//! equivalence-tested against the scalar loop, so a batched replay
-//! observes exactly the hits, failures and costs a scalar replay would —
-//! harnesses can switch between the two and compare throughput only.
+//! driven through the batch API ([`Filter::insert_batch_with`],
+//! [`Filter::contains_batch_with`], [`CountingFilter::remove_batch_with`]),
+//! which plans hash → probe per chunk into one [`PlanBuffer`] held across
+//! the whole phase, so a replay stops allocating after its first chunk.
+//! The batch ops are equivalence-tested against the scalar loop, so a
+//! batched replay observes exactly the hits, failures and costs a scalar
+//! replay would — harnesses can switch between the two and compare
+//! throughput only.
 
 use crate::churn::ChurnPlan;
 use crate::faults::{FaultPlan, StreamFaultLog};
 use crate::flowtrace::FlowTrace;
 use crate::synthetic::SyntheticWorkload;
 use mpcbf_core::metrics::{OpCost, OpSink};
-use mpcbf_core::{CountingFilter, Filter};
+use mpcbf_core::{CountingFilter, Filter, PlanBuffer};
 use mpcbf_hash::Key;
 
-/// Default keys per batch: large enough to amortise the hash stage and to
-/// give prefetches time to land, small enough to stay cache-resident.
+/// Default keys per batch: large enough to amortise the hash stage and
+/// keep several word walks in flight, small enough to stay cache-resident.
 pub const DEFAULT_BATCH: usize = 64;
 
 /// Aggregate outcome of a batched replay.
@@ -52,12 +54,13 @@ fn insert_batched_inner<F: Filter, K: Key>(
     report: &mut DriverReport,
     sink: Option<&dyn OpSink>,
 ) {
+    let mut plans = PlanBuffer::new();
     for chunk in keys.chunks(batch.max(1)) {
         let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
         let (results, cost) = match sink {
             Some(sink) => filter.insert_batch_metered(&views, sink),
-            None => filter.insert_batch_cost(&views),
+            None => filter.insert_batch_with(&views, &mut plans),
         };
         report.inserts += results.len() as u64;
         report.insert_failures += results.iter().filter(|r| r.is_err()).count() as u64;
@@ -94,12 +97,13 @@ fn remove_batched_inner<F: CountingFilter, K: Key>(
     report: &mut DriverReport,
     sink: Option<&dyn OpSink>,
 ) {
+    let mut plans = PlanBuffer::new();
     for chunk in keys.chunks(batch.max(1)) {
         let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
         let (results, cost) = match sink {
             Some(sink) => filter.remove_batch_metered(&views, sink),
-            None => filter.remove_batch_cost(&views),
+            None => filter.remove_batch_with(&views, &mut plans),
         };
         report.deletes += results.len() as u64;
         report.delete_failures += results.iter().filter(|r| r.is_err()).count() as u64;
@@ -141,12 +145,13 @@ fn query_batched_inner<F: Filter, K: Key>(
         assert_eq!(oracle.len(), keys.len(), "oracle must be parallel to keys");
     }
     let batch = batch.max(1);
+    let mut plans = PlanBuffer::new();
     for (c, chunk) in keys.chunks(batch).enumerate() {
         let owned: Vec<_> = chunk.iter().map(Key::key_bytes).collect();
         let views: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
         let (answers, cost) = match sink {
             Some(sink) => filter.contains_batch_metered(&views, sink),
-            None => filter.contains_batch_cost(&views),
+            None => filter.contains_batch_with(&views, &mut plans),
         };
         report.queries += answers.len() as u64;
         report.hits += answers.iter().filter(|&&a| a).count() as u64;
