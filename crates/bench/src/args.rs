@@ -8,6 +8,9 @@
 //! * `--quiet` — suppress the human-readable table (CSV still written);
 //! * `--faults SEED` — run the seeded fault-injection campaign instead of
 //!   (or before) the normal workload (honoured by `stress`);
+//! * `--drill-matrix` — run the fault campaign over every seed in
+//!   `mpcbf_workloads::DRILL_SEEDS` (the CI kill-point drill matrix,
+//!   honoured by `stress`);
 //! * `--telemetry` — run the metered telemetry validation instead of the
 //!   normal workload: emits `BENCH_telemetry.json` plus a Prometheus text
 //!   page (honoured by `stress`);
@@ -28,6 +31,9 @@ pub struct Args {
     pub quiet: bool,
     /// Fault-injection campaign seed (`--faults SEED`), if requested.
     pub faults: Option<u64>,
+    /// Run the fault campaign over every shared drill seed
+    /// (`--drill-matrix`).
+    pub drill_matrix: bool,
     /// Run the telemetry validation harness (`--telemetry`).
     pub telemetry: bool,
     /// Regression-gate mode (`--gate`): compare against the recorded
@@ -43,6 +49,7 @@ impl Default for Args {
             out_dir: "results".to_string(),
             quiet: false,
             faults: None,
+            drill_matrix: false,
             telemetry: false,
             gate: false,
         }
@@ -89,6 +96,7 @@ impl Args {
                             .unwrap_or_else(|| usage("--faults needs a seed (u64)")),
                     )
                 }
+                "--drill-matrix" => args.drill_matrix = true,
                 "--telemetry" => args.telemetry = true,
                 "--gate" => args.gate = true,
                 "--quiet" => args.quiet = true,
@@ -116,7 +124,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED] \
-         [--telemetry] [--gate]"
+         [--drill-matrix] [--telemetry] [--gate]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -154,6 +162,12 @@ mod tests {
     fn faults_defaults_to_off() {
         assert_eq!(parse(&[]).faults, None);
         assert_eq!(parse(&["--faults", "0"]).faults, Some(0));
+    }
+
+    #[test]
+    fn drill_matrix_flag() {
+        assert!(!parse(&[]).drill_matrix);
+        assert!(parse(&["--drill-matrix"]).drill_matrix);
     }
 
     #[test]

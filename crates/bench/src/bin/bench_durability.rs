@@ -1,0 +1,182 @@
+//! Durability overhead benchmark: insert throughput per fsync policy
+//! and recovery time as a function of WAL length.
+//!
+//! ```text
+//! cargo run --release -p mpcbf-bench --bin bench_durability
+//! cargo run --release -p mpcbf-bench --bin bench_durability -- --scale 10
+//! ```
+//!
+//! Emits `BENCH_durability.json` (consumed by the CI durability job) with
+//! two sections:
+//!
+//! * `throughput` — durable scalar inserts per second under `Always`,
+//!   `EveryN(64)` and `Interval(2ms)` fsync, against the same filter
+//!   shape, so the cost of the ack⟹durable guarantee is visible;
+//! * `recovery` — wall-clock `open_or_recover` time versus the number of
+//!   WAL records replayed (no snapshot taken, so every record replays),
+//!   plus the scrub verdict.
+
+use mpcbf_bench::Args;
+use mpcbf_core::{Mpcbf, MpcbfConfig};
+use mpcbf_durability::{DurabilityOptions, DurableFilter, FsyncPolicy};
+use mpcbf_hash::Murmur3;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mpcbf-bench-durability-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(items: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(16 * items.max(1_000))
+        .expected_items(items.max(1_000))
+        .hashes(3)
+        .seed(7)
+        .build()
+        .expect("shape")
+}
+
+struct ThroughputRow {
+    policy: String,
+    ops: u64,
+    ops_per_sec: f64,
+}
+
+struct RecoveryRow {
+    wal_records: u64,
+    millis: f64,
+    records_replayed: u64,
+    scrub_clean: bool,
+}
+
+fn throughput(policy: FsyncPolicy, ops: u64) -> ThroughputRow {
+    let dir = scratch_dir(&policy.name());
+    let cfg = config(ops);
+    let opts = DurabilityOptions::new(&dir).fsync(policy);
+    let mut durable: DurableFilter<Mpcbf<u64, Murmur3>> =
+        DurableFilter::create(Mpcbf::new(cfg), opts).expect("create");
+    let start = Instant::now();
+    for i in 0..ops {
+        let _ = durable.insert_bytes(&i.to_le_bytes());
+    }
+    durable.sync().expect("final sync");
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(durable);
+    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+    ThroughputRow {
+        policy: policy.name(),
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+    }
+}
+
+fn recovery(wal_records: u64) -> RecoveryRow {
+    let dir = scratch_dir(&format!("recover-{wal_records}"));
+    let cfg = config(wal_records);
+    // Relaxed fsync keeps setup fast; the final sync makes it all durable.
+    let opts = DurabilityOptions::new(&dir).fsync(FsyncPolicy::EveryN(1024));
+    let mut durable: DurableFilter<Mpcbf<u64, Murmur3>> =
+        DurableFilter::create(Mpcbf::new(cfg), opts).expect("create");
+    for i in 0..wal_records {
+        let _ = durable.insert_bytes(&i.to_le_bytes());
+    }
+    durable.sync().expect("final sync");
+    drop(durable); // crash with the whole history in the WAL
+
+    let start = Instant::now();
+    let (_, report) =
+        DurableFilter::open_or_recover(DurabilityOptions::new(&dir), || -> Mpcbf<u64, Murmur3> {
+            Mpcbf::new(cfg)
+        })
+        .expect("recovery");
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+    RecoveryRow {
+        wal_records,
+        millis,
+        records_replayed: report.records_replayed,
+        scrub_clean: report.scrub_clean,
+    }
+}
+
+fn to_json(throughputs: &[ThroughputRow], recoveries: &[RecoveryRow]) -> String {
+    let mut json = String::with_capacity(4 * 1024);
+    json.push_str("{\n  \"throughput\": [\n");
+    for (i, r) in throughputs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}}}",
+            r.policy, r.ops, r.ops_per_sec
+        );
+        json.push_str(if i + 1 < throughputs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in recoveries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"wal_records\": {}, \"millis\": {:.2}, \"records_replayed\": {}, \
+             \"scrub_clean\": {}}}",
+            r.wal_records, r.millis, r.records_replayed, r.scrub_clean
+        );
+        json.push_str(if i + 1 < recoveries.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let args = Args::parse();
+    let ops = args.scaled(8_000);
+
+    println!("durable insert throughput ({ops} scalar inserts per policy):");
+    let throughputs: Vec<ThroughputRow> = [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(64),
+        FsyncPolicy::Interval(Duration::from_millis(2)),
+    ]
+    .into_iter()
+    .map(|policy| throughput(policy, ops))
+    .collect();
+    for r in &throughputs {
+        println!("  {:<16} {:>12.0} ops/s", r.policy, r.ops_per_sec);
+    }
+
+    println!("recovery time vs WAL length (no snapshot, full replay):");
+    let recoveries: Vec<RecoveryRow> = [1u64, 4, 16]
+        .iter()
+        .map(|&m| recovery(args.scaled(2_000) * m))
+        .collect();
+    for r in &recoveries {
+        println!(
+            "  {:>8} records  {:>9.2} ms  replayed {}  scrub {}",
+            r.wal_records,
+            r.millis,
+            r.records_replayed,
+            if r.scrub_clean { "clean" } else { "DIRTY" }
+        );
+        assert!(r.scrub_clean, "recovered image must scrub clean");
+        assert_eq!(
+            r.records_replayed, r.wal_records,
+            "without a snapshot every WAL record must replay"
+        );
+    }
+
+    let json = to_json(&throughputs, &recoveries);
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("wrote BENCH_durability.json");
+}

@@ -24,21 +24,32 @@
 //! injected bit flip must be caught by `scrub()`, every poisoned shard by
 //! the epoch scrub, every dropped/duplicated batch op by population
 //! accounting, every forced overflow absorbed by `ResilientMpcbf` with
-//! zero false negatives, and every failed batch insert must leave the
-//! filter bit-identical. Any violation panics, failing CI.
+//! zero false negatives, every failed batch insert must leave the
+//! filter bit-identical, and every seeded kill point (crash mid-append,
+//! mid-fsync, mid-snapshot-write, mid-rename, mid-truncate) must recover
+//! bit-exactly through the durability layer. Any violation panics,
+//! failing CI.
+//!
+//! With `--drill-matrix` the campaign runs over every seed in
+//! [`mpcbf_workloads::DRILL_SEEDS`] — the exact matrix CI executes.
 
 use mpcbf_bench::Args;
 use mpcbf_concurrent::ShardedMpcbf;
 use mpcbf_core::scrub::SEGMENT_WORDS;
 use mpcbf_core::{Cbf, CountingFilter, Filter, Mpcbf, MpcbfConfig, ResilientMpcbf};
+use mpcbf_durability::{
+    encode_frame, DurabilityOptions, DurableFilter, DurableShardedMpcbf, KillSite, KillSwitch,
+    WalOp, WalRecord,
+};
 use mpcbf_hash::Murmur3;
 use mpcbf_variants::{DlCbf, Rcbf, ViCbf};
 use mpcbf_workloads::driver::{replay_synthetic, replay_synthetic_faulty};
 use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
-use mpcbf_workloads::{FaultMix, FaultPlan};
+use mpcbf_workloads::{FaultMix, FaultPlan, DRILL_SEEDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 const KEY_SPACE: u64 = 5_000;
 
@@ -402,6 +413,283 @@ fn drill_stream_faults(plan: &FaultPlan) {
     );
 }
 
+/// A fresh scratch directory for one durability scenario.
+fn drill_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+    let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mpcbf-stress-drill-{tag}-{}-{id}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One seeded insert/remove op over the drill key space.
+#[derive(Clone, Copy)]
+enum DrillOp {
+    Insert(u64),
+    Remove(u64),
+}
+
+/// A deterministic op stream: mostly inserts, removes only of live keys
+/// (the supported contract), over a small key space so removes happen.
+fn drill_ops(seed: u64, count: usize) -> Vec<DrillOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD121);
+    let mut live: HashMap<u64, u32> = HashMap::new();
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = rng.gen_range(0..400u64);
+        let can_remove = live.get(&key).copied().unwrap_or(0) > 0;
+        if can_remove && rng.gen_range(0..10u32) < 4 {
+            *live.get_mut(&key).unwrap() -= 1;
+            ops.push(DrillOp::Remove(key));
+        } else {
+            *live.entry(key).or_insert(0) += 1;
+            ops.push(DrillOp::Insert(key));
+        }
+    }
+    ops
+}
+
+fn drill_config(seed: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(100_000)
+        .expected_items(1_000)
+        .hashes(3)
+        .seed(seed ^ 0xDB1)
+        .build()
+        .expect("shape")
+}
+
+/// Runs one kill-point scenario against `DurableFilter<Mpcbf>` and
+/// proves bit-exact recovery. Every op acknowledged before the crash
+/// must survive it; the recovered image must equal a reference filter
+/// that applied exactly the durable prefix; torn tails must be reported
+/// and the recovered image must scrub clean.
+fn drill_one_kill(seed: u64, site: KillSite, op_hint: u64, byte_hint: u64) {
+    let cfg = drill_config(seed);
+    let dir = drill_dir("kill");
+    let kill = KillSwitch::new();
+    let opts = DurabilityOptions::new(&dir).kill(kill.clone());
+    let mut durable: DurableFilter<Mpcbf<u64, Murmur3>> =
+        DurableFilter::create(Mpcbf::new(cfg), opts).expect("create");
+    let mut reference: Mpcbf<u64, Murmur3> = Mpcbf::new(cfg);
+
+    let ops = drill_ops(seed, 200);
+    let kill_at = (op_hint % ops.len() as u64) as usize;
+    // A scalar 8-byte-key frame is fixed-size; a budget in
+    // 1..frame_len always leaves a torn (reported) tail.
+    let frame_len = encode_frame(&WalRecord {
+        seq: 1,
+        op: WalOp::Insert(vec![0; 8]),
+    })
+    .len() as u64;
+    let budget = 1 + byte_hint % (frame_len - 1);
+
+    let apply_ref = |reference: &mut Mpcbf<u64, Murmur3>, op: DrillOp| match op {
+        DrillOp::Insert(k) => {
+            let _ = reference.insert_bytes_cost(&k.to_le_bytes());
+        }
+        DrillOp::Remove(k) => {
+            let _ = reference.remove_bytes_cost(&k.to_le_bytes());
+        }
+    };
+    let apply_durable = |durable: &mut DurableFilter<Mpcbf<u64, Murmur3>>, op: DrillOp| match op {
+        DrillOp::Insert(k) => durable.insert_bytes(&k.to_le_bytes()).map(|_| ()),
+        DrillOp::Remove(k) => durable.remove_bytes(&k.to_le_bytes()).map(|_| ()),
+    };
+
+    // Acknowledged prefix, with a mid-stream snapshot to force recovery
+    // through the snapshot + WAL-replay path, not WAL-only.
+    let mut acked: HashMap<u64, i64> = HashMap::new();
+    for (i, &op) in ops[..kill_at].iter().enumerate() {
+        if i == kill_at / 2 {
+            durable.snapshot().expect("unarmed snapshot");
+        }
+        match apply_durable(&mut durable, op) {
+            // Only a successful op guarantees key presence/absence; a
+            // refused op is acked (and replayed) but changed nothing.
+            Ok(()) => match op {
+                DrillOp::Insert(k) => *acked.entry(k).or_insert(0) += 1,
+                DrillOp::Remove(k) => *acked.entry(k).or_insert(0) -= 1,
+            },
+            Err(e) if e.is_kill() => panic!("unarmed op killed: {e}"),
+            Err(_) => {} // deterministic filter refusal: still acked
+        }
+        apply_ref(&mut reference, op);
+    }
+
+    // Arm and crash. What is durable past the ack point depends on the
+    // site: a torn append never hit disk whole (frame dropped), a failed
+    // fsync left a complete frame behind (replayed: durable but never
+    // acknowledged — allowed), and the snapshot sites crash housekeeping
+    // with no op in flight at all.
+    kill.arm(site, budget);
+    let mut expect_torn = false;
+    match site {
+        KillSite::WalAppend | KillSite::WalFsync => {
+            let op = ops[kill_at];
+            let err = apply_durable(&mut durable, op).expect_err("armed op must crash");
+            assert!(err.is_kill(), "expected a kill, got: {err}");
+            if site == KillSite::WalFsync {
+                // Frame complete ⇒ durable, but never acknowledged:
+                // the client may not assume either outcome for this
+                // key, so it is exempt from the acked-presence check.
+                apply_ref(&mut reference, op);
+                let (DrillOp::Insert(k) | DrillOp::Remove(k)) = op;
+                acked.remove(&k);
+            } else {
+                expect_torn = true; // budget < frame ⇒ torn tail
+            }
+        }
+        KillSite::SnapshotWrite | KillSite::SnapshotRename | KillSite::WalTruncate => {
+            match durable.snapshot() {
+                // With no op logged yet there is no sealed segment to
+                // purge, so the truncate site never executes and the
+                // scenario degrades to a crash after a clean snapshot.
+                Ok(()) if site == KillSite::WalTruncate && kill_at == 0 => kill.disarm(),
+                Ok(()) => panic!("{site}: armed snapshot must crash"),
+                Err(err) => {
+                    assert!(err.is_kill(), "expected a kill, got: {err}");
+                    assert_eq!(kill.fired(), Some(site), "the armed site must fire");
+                }
+            }
+        }
+    }
+    drop(durable); // the "crash": writer state abandoned
+
+    let (recovered, report) =
+        DurableFilter::open_or_recover(DurabilityOptions::new(&dir), || -> Mpcbf<u64, Murmur3> {
+            Mpcbf::new(cfg)
+        })
+        .expect("recovery must always succeed");
+    assert_eq!(
+        recovered.inner().raw_words(),
+        reference.raw_words(),
+        "{site}: recovered image must be bit-identical to the durable prefix"
+    );
+    for (&key, &net) in &acked {
+        if net > 0 {
+            assert!(
+                recovered.contains_bytes(&key.to_le_bytes()),
+                "{site}: false negative for acknowledged key {key}"
+            );
+        }
+    }
+    if expect_torn {
+        assert!(
+            !report.torn_tails.is_empty(),
+            "{site}: a torn append must be reported"
+        );
+        assert!(report.bytes_truncated > 0, "{site}: torn bytes truncated");
+    }
+    assert!(
+        report.scrub_clean,
+        "{site}: recovered image must scrub clean"
+    );
+    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+}
+
+/// Kill-point scenario against the per-shard WAL layout: crash one
+/// shard's append mid-frame, recover all shards in parallel, and prove
+/// the acknowledged prefix survived bit-exactly.
+fn drill_sharded_kill(seed: u64, op_hint: u64, byte_hint: u64) {
+    let cfg = MpcbfConfig::builder()
+        .memory_bits(400_000)
+        .expected_items(4_000)
+        .hashes(3)
+        .seed(seed ^ 0x5D5D)
+        .build()
+        .expect("shape");
+    let dir = drill_dir("sharded");
+    let kill = KillSwitch::new();
+    let opts = DurabilityOptions::new(&dir).kill(kill.clone());
+    let mut durable: DurableShardedMpcbf<Murmur3> =
+        DurableShardedMpcbf::create(ShardedMpcbf::new(cfg, 8), opts).expect("create");
+    let reference: ShardedMpcbf<u64, Murmur3> = ShardedMpcbf::new(cfg, 8);
+
+    let ops = drill_ops(seed ^ 0x77, 200);
+    let kill_at = (op_hint % ops.len() as u64) as usize;
+    for &op in &ops[..kill_at] {
+        match op {
+            DrillOp::Insert(k) => {
+                let _ = durable.insert_bytes(&k.to_le_bytes());
+                let _ = reference.insert_bytes(&k.to_le_bytes());
+            }
+            DrillOp::Remove(k) => {
+                let _ = durable.remove_bytes(&k.to_le_bytes());
+                let _ = reference.remove_bytes(&k.to_le_bytes());
+            }
+        }
+    }
+    let frame_len = encode_frame(&WalRecord {
+        seq: 1,
+        op: WalOp::Insert(vec![0; 8]),
+    })
+    .len() as u64;
+    kill.arm(KillSite::WalAppend, 1 + byte_hint % (frame_len - 1));
+    let victim = match ops[kill_at] {
+        DrillOp::Insert(k) | DrillOp::Remove(k) => k,
+    };
+    let err = match ops[kill_at] {
+        DrillOp::Insert(k) => durable.insert_bytes(&k.to_le_bytes()),
+        DrillOp::Remove(k) => durable.remove_bytes(&k.to_le_bytes()),
+    }
+    .expect_err("armed shard append must crash");
+    assert!(err.is_kill(), "expected a kill, got: {err}");
+    drop(durable);
+
+    let (recovered, report) = DurableShardedMpcbf::open_or_recover(
+        DurabilityOptions::new(&dir),
+        || -> ShardedMpcbf<u64, Murmur3> { ShardedMpcbf::new(cfg, 8) },
+    )
+    .expect("sharded recovery must succeed");
+    for s in 0..reference.shard_count() {
+        assert_eq!(
+            recovered.inner().shard_raw_words(s),
+            reference.shard_raw_words(s),
+            "shard {s} must recover bit-identical (victim key {victim})"
+        );
+    }
+    assert!(
+        !report.torn_tails.is_empty(),
+        "the torn shard append must be reported"
+    );
+    assert!(
+        report.scrub_clean,
+        "recovered sharded image must scrub clean"
+    );
+    std::fs::remove_dir_all(&dir).expect("scratch cleanup");
+}
+
+/// Drill 6: seeded kill-point injection. Every kill site is exercised
+/// at a plan-derived op index and torn-write byte budget, plus every
+/// explicit `Fault::CrashPoint` the plan drew, plus one per-shard WAL
+/// crash — each proving bit-exact recovery with zero false negatives.
+fn drill_durability(plan: &FaultPlan) {
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xDEAD);
+    let mut scenarios = 0usize;
+    for &site in &KillSite::ALL {
+        drill_one_kill(plan.seed, site, rng.gen(), rng.gen());
+        scenarios += 1;
+    }
+    for (site_hint, op_hint, byte_hint) in plan.crash_points() {
+        let site = KillSite::ALL[(site_hint % KillSite::ALL.len() as u64) as usize];
+        drill_one_kill(plan.seed, site, op_hint, byte_hint);
+        scenarios += 1;
+    }
+    drill_sharded_kill(plan.seed, rng.gen(), rng.gen());
+    scenarios += 1;
+    println!(
+        "  durability drill: {scenarios} kill-point scenarios \
+         (all {} sites + {} plan crash points + sharded) recovered bit-exact — OK",
+        KillSite::ALL.len(),
+        plan.crash_points().count()
+    );
+}
+
 /// The `--faults SEED` campaign: replay one deterministic [`FaultPlan`]
 /// through every drill. Any undetected or unabsorbed fault panics.
 fn fault_campaign(seed: u64) {
@@ -415,6 +703,7 @@ fn fault_campaign(seed: u64) {
     drill_spillover(&plan);
     drill_batch_rollback(&plan);
     drill_stream_faults(&plan);
+    drill_durability(&plan);
     println!("fault campaign: seed {seed} — all faults detected or absorbed");
 }
 
@@ -456,6 +745,14 @@ fn main() {
     let args = Args::parse();
     if args.telemetry {
         telemetry_validation(&args);
+        return;
+    }
+    if args.drill_matrix {
+        println!("drill matrix: seeds {DRILL_SEEDS:?}");
+        for seed in DRILL_SEEDS {
+            fault_campaign(seed);
+        }
+        println!("drill matrix: every seed clean");
         return;
     }
     if let Some(seed) = args.faults {

@@ -197,6 +197,73 @@ pub fn stats(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mpcbf recover`: open-or-recover a durable MPCBF directory and print
+/// the recovery report (snapshot used, records replayed, torn tails
+/// repaired, scrub verdict). A fresh directory is initialised from the
+/// shape flags. With `--input`, the keys are then inserted through the
+/// write-ahead log and a snapshot is taken, so the directory is the
+/// filter's durable home rather than a one-shot image file.
+pub fn recover(
+    opts: &Opts,
+    keys: Option<&mut Keys<'_>>,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    use mpcbf_durability::{DurabilityOptions, DurableFilter};
+
+    let dir = opts.require_dir()?;
+    let items = opts.items.unwrap_or(100_000);
+    let config = MpcbfConfig::builder()
+        .memory_bits(opts.memory_or_default(items))
+        .expected_items(items)
+        .hashes(opts.hashes)
+        .accesses(opts.accesses)
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
+    let (mut filter, report) =
+        DurableFilter::open_or_recover(DurabilityOptions::new(dir), || -> Mpcbf<u64, Murmur3> {
+            Mpcbf::new(config)
+        })
+        .map_err(|e| CliError::Runtime(format!("recovery failed: {e}")))?;
+
+    writeln!(out, "{report}").map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+    writeln!(
+        out,
+        "items {}  overflows {}  seq {}",
+        filter.inner().items(),
+        filter.inner().overflows(),
+        filter.seq()
+    )
+    .map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+
+    if let Some(keys) = keys {
+        let mut inserted = 0u64;
+        let mut refused = 0u64;
+        for key in keys {
+            let key = key?;
+            if key.is_empty() {
+                continue;
+            }
+            match filter.insert_bytes(key.as_bytes()) {
+                Ok(()) => inserted += 1,
+                Err(mpcbf_durability::DurableError::Filter(_)) => refused += 1,
+                Err(e) => return Err(CliError::Runtime(format!("durable insert failed: {e}"))),
+            }
+        }
+        filter
+            .snapshot()
+            .map_err(|e| CliError::Runtime(format!("snapshot failed: {e}")))?;
+        eprintln!("inserted {inserted} keys durably ({refused} refused), snapshot taken");
+    }
+
+    if !report.scrub_clean {
+        return Err(CliError::Runtime(
+            "recovered image failed the scrub cross-check".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// `mpcbf replay`: run a flow-monitor measurement over a real trace file
 /// (one `src,dst` record per line; dotted IPv4 or raw u32 fields), the
 /// §IV.D experiment on the user's own data.

@@ -9,6 +9,7 @@
 //! mpcbf remove --filter f.mpcbf [--input keys.txt]
 //! mpcbf stats  --filter f.mpcbf
 //! mpcbf size   --items 1000000 --fpr 0.001 [--hashes 3] [--accesses 1]
+//! mpcbf recover --dir d/ [--items N] [--input keys.txt]  # durable home
 //! ```
 
 use std::io::{BufRead, Write};
@@ -52,6 +53,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "insert" => commands::update(&opts, &mut read_keys(&opts)?, true),
         "remove" => commands::update(&opts, &mut read_keys(&opts)?, false),
         "stats" => commands::stats(&opts, &mut out),
+        "recover" => {
+            // Keys are only streamed in when --input was given; plain
+            // recovery must not block reading stdin.
+            if opts.input.is_some() {
+                commands::recover(&opts, Some(&mut read_keys(&opts)?), &mut out)
+            } else {
+                commands::recover(&opts, None, &mut out)
+            }
+        }
         "replay" => commands::replay(&opts, &mut out),
         "size" => commands::size(&opts, &mut out),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),

@@ -24,6 +24,12 @@ commands:
             u32) through an MPCBF flow monitor and report FPR + rates;
             with --telemetry, meter every operation and print a
             Prometheus metrics page after the report
+  recover --dir DIR [--items N] [--memory-bits M] [--hashes K]
+          [--accesses G] [--seed S] [--input FILE]
+            open-or-recover a durable MPCBF (snapshot + WAL replay,
+            torn tails repaired) and print the recovery report; a fresh
+            DIR is initialised from the shape flags; with --input, the
+            keys are then inserted durably and a snapshot is taken
 
 defaults: --hashes 3, --accesses 1, --kind mpcbf, --seed 1,
           --memory-bits = 16 bits/item";
@@ -52,6 +58,7 @@ pub struct Opts {
     pub out: Option<String>,
     pub filter: Option<String>,
     pub input: Option<String>,
+    pub dir: Option<String>,
     pub memory_bits: Option<u64>,
     pub items: Option<u64>,
     pub hashes: u32,
@@ -68,6 +75,7 @@ impl Default for Opts {
             out: None,
             filter: None,
             input: None,
+            dir: None,
             memory_bits: None,
             items: None,
             hashes: 3,
@@ -95,6 +103,7 @@ impl Opts {
                 "--out" => opts.out = Some(value("--out")?),
                 "--filter" => opts.filter = Some(value("--filter")?),
                 "--input" => opts.input = Some(value("--input")?),
+                "--dir" => opts.dir = Some(value("--dir")?),
                 "--memory-bits" => {
                     opts.memory_bits = Some(parse_num(&value("--memory-bits")?, "--memory-bits")?)
                 }
@@ -144,6 +153,13 @@ impl Opts {
         self.filter
             .as_deref()
             .ok_or_else(|| CliError::Usage("--filter FILE is required".into()))
+    }
+
+    /// `--dir`, required (durable-filter commands).
+    pub fn require_dir(&self) -> Result<&str, CliError> {
+        self.dir
+            .as_deref()
+            .ok_or_else(|| CliError::Usage("--dir DIR is required".into()))
     }
 
     /// Memory budget: explicit, or the 16-bits/item default.
@@ -247,8 +263,10 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert!(o.require_items().is_err());
         assert!(o.require_filter().is_err());
-        let o = parse(&["--items", "5", "--filter", "x"]).unwrap();
+        assert!(o.require_dir().is_err());
+        let o = parse(&["--items", "5", "--filter", "x", "--dir", "d"]).unwrap();
         assert_eq!(o.require_items().unwrap(), 5);
         assert_eq!(o.require_filter().unwrap(), "x");
+        assert_eq!(o.require_dir().unwrap(), "d");
     }
 }

@@ -46,6 +46,7 @@
 use crate::stats::{LockStats, ShardStats};
 use mpcbf_analysis::heuristic::MpcbfShape;
 use mpcbf_bitvec::{AlignedVec, Kernel, KernelOps, Word};
+use mpcbf_core::codec;
 use mpcbf_core::config::MpcbfConfig;
 use mpcbf_core::hcbf::HcbfWord;
 #[cfg(feature = "stats")]
@@ -938,6 +939,91 @@ impl<H: Hasher128> ShardedMpcbf<u64, H> {
         let damaged = guard[word].raw() ^ mask;
         guard[word] = HcbfWord::from_raw(damaged);
     }
+
+    /// The shard this key routes to (the top [`SHARD_BITS`] of its
+    /// digest, masked to the shard count). The durability layer uses
+    /// this to append each operation to its home shard's WAL.
+    pub fn home_shard(&self, key: &[u8]) -> usize {
+        self.split_digest(H::hash128(self.seed, key)).0
+    }
+
+    /// Encodes the whole sharded filter into the portable wire format
+    /// (kind [`codec::KIND_SHARDED64`]): shape header, shard geometry,
+    /// then each shard's word array in shard order.
+    ///
+    /// Takes each shard lock once, in order; concurrent updates to
+    /// not-yet-visited shards can land in the image, so snapshot callers
+    /// should quiesce writers first (the durability layer does).
+    pub fn encode(&self) -> Vec<u8> {
+        let shape = self.shape;
+        let mut w = codec::Writer::new(codec::KIND_SHARDED64);
+        w.u64(shape.l);
+        w.u32(shape.k);
+        w.u32(shape.g);
+        w.u32(shape.n_max);
+        w.u64(self.seed);
+        w.u32(self.shards.len() as u32);
+        w.u64(self.words_per_shard);
+        w.u64(self.overflows());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            let raw: Vec<u64> = guard.iter().map(|word| *word.raw()).collect();
+            w.limbs(&raw);
+        }
+        w.finish()
+    }
+
+    /// Decodes a filter previously produced by [`ShardedMpcbf::encode`],
+    /// revalidating the shard geometry and every word's hierarchy
+    /// invariant — malformed images error, never panic.
+    pub fn decode(buf: &[u8]) -> Result<Self, codec::CodecError> {
+        use codec::CodecError;
+        let mut r = codec::Reader::open(buf, codec::KIND_SHARDED64)?;
+        let l = r.u64()?;
+        let k = r.u32()?;
+        let g = r.u32()?;
+        let n_max = r.u32()?;
+        let seed = r.u64()?;
+        let shard_count = r.u32()? as usize;
+        let words_per_shard = r.u64()?;
+        let overflows = r.u64()?;
+        if !(2..=(1u64 << 40)).contains(&l) {
+            return Err(CodecError::BadHeader("word count"));
+        }
+        if shard_count == 0 || !shard_count.is_power_of_two() {
+            return Err(CodecError::BadHeader("shard count"));
+        }
+        let config = MpcbfConfig::builder()
+            .memory_bits(l * 64)
+            .expected_items(1)
+            .hashes(k)
+            .accesses(g)
+            .n_max(n_max)
+            .seed(seed)
+            .build()
+            .map_err(|_| CodecError::BadHeader("shape"))?;
+        let filter: Self = ShardedMpcbf::new(config, shard_count);
+        // `new` re-derives the geometry from (l, shard_count); a stored
+        // geometry it disagrees with means the header is inconsistent.
+        if filter.shard_count() != shard_count || filter.words_per_shard != words_per_shard {
+            return Err(CodecError::BadHeader("shard geometry"));
+        }
+        let b1 = filter.shape.b1;
+        for shard in &filter.shards {
+            let limbs = r.limbs(words_per_shard as usize)?;
+            let mut guard = shard.lock();
+            for (i, &raw) in limbs.iter().enumerate() {
+                let word = HcbfWord::<u64>::from_raw(raw);
+                if word.check_invariants(b1).is_err() {
+                    return Err(CodecError::BadHeader("word invariant"));
+                }
+                guard[i] = word;
+            }
+        }
+        r.expect_end()?;
+        filter.overflows.store(overflows, Ordering::Relaxed);
+        Ok(filter)
+    }
 }
 
 #[cfg(test)]
@@ -1300,5 +1386,50 @@ mod tests {
         f.insert(&"present").unwrap();
         assert_eq!(f.remove(&"absent"), Err(FilterError::NotPresent));
         assert!(f.contains(&"present"));
+    }
+
+    #[test]
+    fn codec_roundtrip_is_bit_exact() {
+        let f = filter();
+        let keys: Vec<Vec<u8>> = (0..3_000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            f.insert_bytes(k).unwrap();
+        }
+        let image = f.encode();
+        assert_eq!(image, f.encode(), "encode must be deterministic");
+        let d = ShardedMpcbf::<u64>::decode(&image).unwrap();
+        assert_eq!(d.shard_count(), f.shard_count());
+        assert_eq!(d.words_per_shard(), f.words_per_shard());
+        assert_eq!(d.overflows(), f.overflows());
+        for s in 0..f.shard_count() {
+            assert_eq!(d.shard_raw_words(s), f.shard_raw_words(s), "shard {s}");
+        }
+        for k in &keys {
+            assert!(d.contains_bytes(k));
+        }
+        assert_eq!(d.verify(), Ok(()));
+        // The decoded filter keeps routing identically.
+        assert_eq!(d.home_shard(b"some key"), f.home_shard(b"some key"));
+        d.remove_bytes(&keys[0]).unwrap();
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_images() {
+        let f = filter();
+        for i in 0..500u64 {
+            f.insert(&i).unwrap();
+        }
+        let image = f.encode();
+        for pos in [0usize, 4, 5, 30, image.len() / 2, image.len() - 1] {
+            let mut corrupt = image.clone();
+            corrupt[pos] ^= 0x08;
+            assert!(
+                ShardedMpcbf::<u64>::decode(&corrupt).is_err(),
+                "bitflip at {pos} went undetected"
+            );
+        }
+        for cut in [0usize, 7, image.len() / 4, image.len() - 2] {
+            assert!(ShardedMpcbf::<u64>::decode(&image[..cut]).is_err());
+        }
     }
 }

@@ -67,8 +67,21 @@ impl std::error::Error for CodecError {}
 
 const MAGIC: &[u8; 4] = b"MPCB";
 const VERSION: u8 = 1;
-const KIND_CBF: u8 = 1;
-const KIND_MPCBF64: u8 = 2;
+/// Image kind byte for [`Cbf`].
+pub const KIND_CBF: u8 = 1;
+/// Image kind byte for [`Mpcbf`] over 64-bit words.
+pub const KIND_MPCBF64: u8 = 2;
+/// Image kind byte for [`ResilientMpcbf`] (main + gate + spill map).
+pub const KIND_RESILIENT: u8 = 3;
+/// Image kind byte for `ShardedMpcbf` over 64-bit words (encoded by the
+/// `mpcbf-concurrent` crate through this module's [`Writer`]/[`Reader`]).
+pub const KIND_SHARDED64: u8 = 4;
+
+/// Hard ceiling on any single length field decoded from an image, in
+/// entries. Nothing this codec serializes legitimately exceeds it, and
+/// rejecting larger values up front means a crafted (but CRC-valid)
+/// header can never drive `Vec::with_capacity` into an abort or OOM.
+const MAX_DECODE_ENTRIES: u64 = 1 << 40;
 
 /// IEEE CRC-32 (reflected, poly 0xEDB88320), table-free bitwise variant —
 /// encoding happens once per broadcast, so simplicity beats speed here.
@@ -84,12 +97,19 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-struct Writer {
+/// Builds a framed image: magic + kind + version, caller-appended
+/// fields, and a trailing CRC-32 sealed by [`Writer::finish`].
+///
+/// Public so sibling crates (e.g. `mpcbf-concurrent`'s sharded codec and
+/// the durability crate's snapshots) can emit images in the same framed
+/// format without re-implementing the envelope.
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new(kind: u8) -> Self {
+    /// Starts an image of the given kind byte (see the `KIND_*` consts).
+    pub fn new(kind: u8) -> Self {
         let mut buf = Vec::with_capacity(64);
         buf.extend_from_slice(MAGIC);
         buf.push(kind);
@@ -97,36 +117,51 @@ impl Writer {
         Writer { buf }
     }
 
-    fn u32(&mut self, v: u32) {
+    /// Appends a little-endian u32 field.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Appends a little-endian u64 field.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn limbs(&mut self, limbs: &[u64]) {
+    /// Appends raw bytes verbatim (callers encode the length separately).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a limb array as little-endian u64s.
+    pub fn limbs(&mut self, limbs: &[u64]) {
         self.buf.reserve(limbs.len() * 8);
         for &l in limbs {
             self.buf.extend_from_slice(&l.to_le_bytes());
         }
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    /// Seals the image with its CRC-32 and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
         let crc = crc32(&self.buf);
         self.u32(crc);
         self.buf
     }
 }
 
-struct Reader<'a> {
+/// Cursor over a framed image previously produced by [`Writer`].
+///
+/// [`Reader::open`] validates the envelope (magic, kind, version, CRC)
+/// before any field is read, and every accessor bounds-checks against
+/// the body — malformed input yields [`CodecError`], never a panic and
+/// never an unbounded allocation.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
     /// Validates magic/kind/version/CRC and positions after the header.
-    fn open(buf: &'a [u8], kind: u8) -> Result<Self, CodecError> {
+    pub fn open(buf: &'a [u8], kind: u8) -> Result<Self, CodecError> {
         if buf.len() < MAGIC.len() + 2 + 4 {
             return Err(CodecError::Truncated);
         }
@@ -148,7 +183,8 @@ impl<'a> Reader<'a> {
         Ok(Reader { buf: body, pos: 6 })
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    /// Reads a little-endian u32 field.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
         let end = self.pos + 4;
         if end > self.buf.len() {
             return Err(CodecError::Truncated);
@@ -158,7 +194,8 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    /// Reads a little-endian u64 field.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
         let end = self.pos + 8;
         if end > self.buf.len() {
             return Err(CodecError::Truncated);
@@ -168,7 +205,38 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
 
-    fn limbs(&mut self, count: usize) -> Result<Vec<u64>, CodecError> {
+    /// Reads `count` raw bytes, bounds-checked against the body.
+    pub fn bytes(&mut self, count: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(count)
+            .ok_or(CodecError::BadHeader("byte run overflows"))?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let b = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(b)
+    }
+
+    /// Body bytes not yet consumed (excludes the CRC trailer).
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Reads `count` little-endian u64 limbs.
+    ///
+    /// The count is validated against the remaining body *before* any
+    /// allocation: a CRC-valid image with a crafted huge length field
+    /// must produce [`CodecError::Truncated`], not an OOM abort from
+    /// `Vec::with_capacity`.
+    pub fn limbs(&mut self, count: usize) -> Result<Vec<u64>, CodecError> {
+        let need = count
+            .checked_mul(8)
+            .ok_or(CodecError::BadHeader("limb count overflows"))?;
+        if need > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             out.push(self.u64()?);
@@ -176,7 +244,8 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn expect_end(&self) -> Result<(), CodecError> {
+    /// Fails unless every body byte has been consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -211,7 +280,7 @@ impl<H: Hasher128> Cbf<H> {
         let word_bits = r.u32()?;
         let items = r.u64()?;
         let saturations = r.u64()?;
-        if len == 0 || !(1..=32).contains(&width) {
+        if len == 0 || len as u64 > MAX_DECODE_ENTRIES || !(1..=32).contains(&width) {
             return Err(CodecError::BadHeader("counter geometry"));
         }
         if !(1..=64).contains(&k) {
@@ -220,7 +289,10 @@ impl<H: Hasher128> Cbf<H> {
         if !word_bits.is_power_of_two() || !(8..=512).contains(&word_bits) {
             return Err(CodecError::BadHeader("word bits"));
         }
-        let limb_count = (len * width as usize).div_ceil(64);
+        let limb_count = len
+            .checked_mul(width as usize)
+            .ok_or(CodecError::BadHeader("counter geometry"))?
+            .div_ceil(64);
         let limbs = r.limbs(limb_count)?;
         r.expect_end()?;
         Ok(Self::from_raw_parts(
@@ -263,7 +335,7 @@ impl<H: Hasher128> Mpcbf<u64, H> {
         let seed = r.u64()?;
         let items = r.u64()?;
         let overflows = r.u64()?;
-        if l < 2 {
+        if !(2..=MAX_DECODE_ENTRIES).contains(&l) {
             return Err(CodecError::BadHeader("word count"));
         }
         let config = MpcbfConfig::builder()
@@ -291,9 +363,73 @@ impl<H: Hasher128> Mpcbf<u64, H> {
     }
 }
 
+impl<H: Hasher128> crate::resilient::ResilientMpcbf<H> {
+    /// Encodes the resilient filter — main filter image, spill-gate
+    /// image, and the exact spill map — into one framed image.
+    ///
+    /// Spill entries are sorted by key so the encoding is deterministic:
+    /// two filters in the same logical state produce byte-identical
+    /// images (snapshots taken by the durability layer rely on this).
+    pub fn encode(&self) -> Vec<u8> {
+        let (main, gate, exact, spilled_inserts) = self.spill_parts();
+        let main_image = main.encode();
+        let gate_image = gate.encode();
+        let mut w = Writer::new(KIND_RESILIENT);
+        w.u64(main_image.len() as u64);
+        w.bytes(&main_image);
+        w.u64(gate_image.len() as u64);
+        w.bytes(&gate_image);
+        w.u64(spilled_inserts);
+        w.u64(exact.len() as u64);
+        let mut entries: Vec<(&Vec<u8>, &u32)> = exact.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (key, &mult) in entries {
+            w.u32(key.len() as u32);
+            w.bytes(key);
+            w.u32(mult);
+        }
+        w.finish()
+    }
+
+    /// Decodes a filter previously produced by [`ResilientMpcbf::encode`].
+    ///
+    /// Both nested images revalidate their own envelopes, and every
+    /// spill entry is bounds-checked — a malformed image errors, it
+    /// never panics or fabricates spill state.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::open(buf, KIND_RESILIENT)?;
+        let main_len = r.u64()? as usize;
+        let main = Mpcbf::<u64, H>::decode(r.bytes(main_len)?)?;
+        let gate_len = r.u64()? as usize;
+        let gate = Cbf::<H>::decode(r.bytes(gate_len)?)?;
+        let spilled_inserts = r.u64()?;
+        let entry_count = r.u64()?;
+        // Each entry is at least 8 bytes on the wire, so the remaining
+        // body bounds the plausible count before anything is allocated.
+        if entry_count > (r.remaining() as u64) / 8 {
+            return Err(CodecError::BadHeader("spill entry count"));
+        }
+        let mut exact = std::collections::HashMap::with_capacity(entry_count as usize);
+        for _ in 0..entry_count {
+            let klen = r.u32()? as usize;
+            let key = r.bytes(klen)?.to_vec();
+            let mult = r.u32()?;
+            if mult == 0 {
+                return Err(CodecError::BadHeader("zero spill multiplicity"));
+            }
+            if exact.insert(key, mult).is_some() {
+                return Err(CodecError::BadHeader("duplicate spill key"));
+            }
+        }
+        r.expect_end()?;
+        Ok(Self::from_spill_parts(main, gate, exact, spilled_inserts))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilient::ResilientMpcbf;
     use crate::traits::{CountingFilter, Filter};
     use mpcbf_hash::Murmur3;
 
@@ -437,6 +573,98 @@ mod tests {
         // The classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn resilient_roundtrip_is_deterministic_and_preserves_spill() {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(256)
+            .expected_items(1000)
+            .hashes(3)
+            .n_max(1)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(cfg);
+        for i in 0..200u64 {
+            f.insert(&i).unwrap();
+        }
+        assert!(f.spill_occupancy() > 0, "tiny shape must spill");
+        let image = f.encode();
+        // Determinism: re-encoding the same logical state is byte-identical
+        // (spill entries are sorted, HashMap order doesn't leak through).
+        assert_eq!(image, f.encode());
+        let d = ResilientMpcbf::<Murmur3>::decode(&image).unwrap();
+        assert_eq!(d.items(), f.items());
+        assert_eq!(d.spill_occupancy(), f.spill_occupancy());
+        assert_eq!(d.spill_keys(), f.spill_keys());
+        assert_eq!(d.spilled_inserts(), f.spilled_inserts());
+        assert_eq!(d.main().raw_words(), f.main().raw_words());
+        for i in 0..200u64 {
+            assert!(d.contains(&i), "false negative for {i} after roundtrip");
+        }
+        assert_eq!(d.encode(), image);
+        // The decoded filter keeps working.
+        let mut d = d;
+        d.remove(&3u64).unwrap();
+    }
+
+    #[test]
+    fn resilient_bitflips_and_truncation_are_detected() {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(256)
+            .expected_items(1000)
+            .hashes(3)
+            .n_max(1)
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut f: ResilientMpcbf<Murmur3> = ResilientMpcbf::new(cfg);
+        for i in 0..150u64 {
+            f.insert(&i).unwrap();
+        }
+        let image = f.encode();
+        for pos in [0usize, 4, 5, 40, image.len() / 2, image.len() - 1] {
+            let mut corrupt = image.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(
+                ResilientMpcbf::<Murmur3>::decode(&corrupt).is_err(),
+                "bitflip at {pos} went undetected"
+            );
+        }
+        for cut in [0usize, 5, 10, image.len() / 3, image.len() - 3] {
+            assert!(
+                ResilientMpcbf::<Murmur3>::decode(&image[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_huge_lengths_error_instead_of_aborting() {
+        // A CRC-valid image whose length field claims more limbs than
+        // any buffer could hold must fail cleanly, not OOM.
+        let mut w = Writer::new(KIND_MPCBF64);
+        w.u64(u64::MAX / 8); // l
+        w.u32(3); // k
+        w.u32(1); // g
+        w.u32(0); // n_max
+        w.u64(1); // seed
+        w.u64(0); // items
+        w.u64(0); // overflows
+        let image = w.finish();
+        assert!(Mpcbf::<u64, Murmur3>::decode(&image).is_err());
+
+        let mut w = Writer::new(KIND_CBF);
+        w.u64(u64::MAX / 2); // len: len*width overflows usize
+        w.u32(32); // width
+        w.u32(3); // k
+        w.u64(1); // seed
+        w.u32(64); // word_bits
+        w.u64(0); // items
+        w.u64(0); // saturations
+        let image = w.finish();
+        assert!(Cbf::<Murmur3>::decode(&image).is_err());
     }
 
     #[test]

@@ -54,6 +54,15 @@ const SPILL_FRACTION: u64 = 16;
 /// functional gate.
 const MIN_SPILL_BITS: u64 = 4096;
 
+/// Borrowed decomposition for the codec: main filter, spill gate,
+/// exact spill map, and the lifetime spilled-insert counter.
+pub(crate) type SpillParts<'a, H> = (
+    &'a Mpcbf<u64, H>,
+    &'a Cbf<H>,
+    &'a HashMap<Vec<u8>, u32>,
+    u64,
+);
+
 /// An [`Mpcbf`] that absorbs word overflows into a bounded spill
 /// structure instead of refusing inserts.
 ///
@@ -226,6 +235,30 @@ impl<H: Hasher128> ResilientMpcbf<H> {
         }
         self.spill_occupancy -= 1;
         cost
+    }
+
+    /// Decomposes the filter for the codec: main filter, spill gate,
+    /// exact spill map, and the lifetime spilled-insert counter.
+    pub(crate) fn spill_parts(&self) -> SpillParts<'_, H> {
+        (&self.main, &self.gate, &self.exact, self.spilled_inserts)
+    }
+
+    /// Rebuilds a filter from codec-validated parts; `spill_occupancy`
+    /// is recomputed from the map so it can never disagree with it.
+    pub(crate) fn from_spill_parts(
+        main: Mpcbf<u64, H>,
+        gate: Cbf<H>,
+        exact: HashMap<Vec<u8>, u32>,
+        spilled_inserts: u64,
+    ) -> Self {
+        let spill_occupancy = exact.values().map(|&c| u64::from(c)).sum();
+        ResilientMpcbf {
+            main,
+            gate,
+            exact,
+            spill_occupancy,
+            spilled_inserts,
+        }
     }
 
     /// True if the spill currently holds a copy of `key`, with the gate

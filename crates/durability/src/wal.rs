@@ -1,0 +1,570 @@
+//! Segmented, CRC-framed write-ahead log.
+//!
+//! A log is a directory of segment files named `{prefix}-{firstseq}.wal`
+//! where `firstseq` is the sequence number of the first record the
+//! segment may hold. Each segment starts with an 8-byte header (magic +
+//! version) followed by frames in [`crate::record`]'s format. Appends go
+//! to the newest segment; when it exceeds the configured size the log
+//! rotates to a fresh one.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for throughput: `Always` syncs on
+//! every append (acknowledged ⟹ durable — the only policy under which
+//! the kill-point drills can demand bit-exact recovery of every ack),
+//! `EveryN` syncs once per `n` appends, `Interval` at most once per
+//! period. An unsynced acknowledged op can be lost to a crash under the
+//! relaxed policies; it can never be *torn into view* — a partially
+//! written frame fails its CRC and is truncated on recovery.
+//!
+//! # Recovery scan
+//!
+//! [`Wal::scan`] reads segments in order, validating every frame. The
+//! first invalid frame ends the scan: in repair mode the segment is
+//! physically truncated at the frame boundary and any later segments
+//! are deleted (they are unreachable past a hole in the sequence), with
+//! every amputation reported. Sequence numbers must strictly increase
+//! across the whole scan; a regression is treated as corruption at that
+//! frame.
+
+use crate::error::DurableError;
+use crate::kill::{KillSite, KillSwitch};
+use crate::record::{decode_frame, encode_frame, FrameError, WalRecord};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Segment header: magic, format version, reserved padding.
+pub const SEGMENT_HEADER: [u8; 8] = *b"MPWL\x01\0\0\0";
+
+/// When the log calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: an acknowledged op is durable.
+    Always,
+    /// Sync once per `n` appends (and on rotation/snapshot).
+    EveryN(u32),
+    /// Sync at most once per interval (and on rotation/snapshot).
+    Interval(Duration),
+}
+
+impl FsyncPolicy {
+    /// Short stable name for reports and benchmarks.
+    pub fn name(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every-{n}"),
+            FsyncPolicy::Interval(d) => format!("interval-{}us", d.as_micros()),
+        }
+    }
+}
+
+/// A torn or corrupt WAL tail found (and amputated) during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The WAL prefix the damage was found under (per-shard logs).
+    pub wal: String,
+    /// First sequence number of the damaged segment.
+    pub segment_first_seq: u64,
+    /// Byte offset of the first invalid frame.
+    pub offset: u64,
+    /// Bytes cut from that segment.
+    pub bytes_dropped: u64,
+    /// Why the frame was rejected.
+    pub reason: String,
+}
+
+/// What a recovery scan saw.
+#[derive(Debug, Clone, Default)]
+pub struct WalScan {
+    /// Valid records decoded (all segments).
+    pub records: u64,
+    /// Damage found at the tail, if any.
+    pub torn: Option<TornTail>,
+    /// Whole segments deleted because they sat past the damage.
+    pub segments_dropped: u64,
+    /// Total bytes removed (truncation + dropped segments).
+    pub bytes_truncated: u64,
+    /// Highest sequence number scanned (0 when the log is empty).
+    pub last_seq: u64,
+}
+
+struct ActiveSegment {
+    file: File,
+    bytes: u64,
+}
+
+/// An append-only, segmented WAL bound to one directory and prefix.
+pub struct Wal {
+    dir: PathBuf,
+    prefix: String,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    kill: KillSwitch,
+    active: Option<ActiveSegment>,
+    appends_since_sync: u32,
+    last_sync: Instant,
+}
+
+fn segment_name(prefix: &str, first_seq: u64) -> String {
+    format!("{prefix}-{first_seq:020}.wal")
+}
+
+impl Wal {
+    /// Opens a log handle over `dir` with the given file-name prefix.
+    /// No segment is created until [`Wal::rotate`] or the first append.
+    pub fn new(
+        dir: &Path,
+        prefix: &str,
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+        kill: KillSwitch,
+    ) -> Result<Self, DurableError> {
+        fs::create_dir_all(dir).map_err(|e| DurableError::io("create wal dir", e))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            prefix: prefix.to_string(),
+            fsync,
+            segment_bytes: segment_bytes.max(SEGMENT_HEADER.len() as u64 + 1),
+            kill,
+            active: None,
+            appends_since_sync: 0,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// All segment files for `prefix` in `dir`, sorted by first seq.
+    pub fn segment_paths(dir: &Path, prefix: &str) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(DurableError::io("list wal dir", e)),
+        };
+        let lead = format!("{prefix}-");
+        for entry in entries {
+            let entry = entry.map_err(|e| DurableError::io("list wal dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(&lead)
+                .and_then(|s| s.strip_suffix(".wal"))
+            else {
+                continue;
+            };
+            if let Ok(first_seq) = stem.parse::<u64>() {
+                out.push((first_seq, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|&(seq, _)| seq);
+        Ok(out)
+    }
+
+    /// Seals the current segment (sync + close) and starts a fresh one
+    /// whose name records `first_seq`.
+    pub fn rotate(&mut self, first_seq: u64) -> Result<(), DurableError> {
+        self.sync()?;
+        self.active = None;
+        let path = self.dir.join(segment_name(&self.prefix, first_seq));
+        let mut file = match OpenOptions::new().create_new(true).write(true).open(&path) {
+            Ok(file) => file,
+            // A crash can land between a rotation and its first append;
+            // recovery then re-rotates to the same first_seq. The scan
+            // has already proven that segment holds no record past
+            // last_seq (a valid one would have advanced last_seq), so
+            // whatever is in it — a bare header, or a tail the repair
+            // already amputated — is dead weight: reclaim it wholesale.
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| DurableError::io("reopen wal segment", e))?;
+                file.set_len(0)
+                    .map_err(|e| DurableError::io("reclaim wal segment", e))?;
+                file
+            }
+            Err(e) => return Err(DurableError::io("create wal segment", e)),
+        };
+        file.write_all(&SEGMENT_HEADER)
+            .map_err(|e| DurableError::io("write wal header", e))?;
+        file.sync_data()
+            .map_err(|e| DurableError::io("sync wal header", e))?;
+        sync_dir(&self.dir)?;
+        self.active = Some(ActiveSegment {
+            file,
+            bytes: SEGMENT_HEADER.len() as u64,
+        });
+        Ok(())
+    }
+
+    /// Appends one record, honoring the rotation size and fsync policy.
+    ///
+    /// Under an armed [`KillSite::WalAppend`] the frame is cut short at
+    /// the seeded byte budget — the torn bytes land in the file, exactly
+    /// as an OS crash mid-`write` would leave them — and the call fails
+    /// with [`DurableError::Killed`].
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        let frame = encode_frame(record);
+        let needs_rotation = match &self.active {
+            None => true,
+            Some(seg) => {
+                seg.bytes > SEGMENT_HEADER.len() as u64
+                    && seg.bytes + frame.len() as u64 > self.segment_bytes
+            }
+        };
+        if needs_rotation {
+            self.rotate(record.seq)?;
+        }
+        let seg = self.active.as_mut().expect("rotation populated active");
+        if let Some(budget) = self.kill.write_budget(KillSite::WalAppend) {
+            let cut = (budget as usize).min(frame.len());
+            seg.file
+                .write_all(&frame[..cut])
+                .map_err(|e| DurableError::io("append wal frame", e))?;
+            // A crashed process never gets to buffer-flush; sync what the
+            // OS already has so the drill sees a deterministic torn tail.
+            let _ = seg.file.sync_data();
+            return Err(DurableError::Killed(KillSite::WalAppend));
+        }
+        seg.file
+            .write_all(&frame)
+            .map_err(|e| DurableError::io("append wal frame", e))?;
+        seg.bytes += frame.len() as u64;
+        self.appends_since_sync += 1;
+        let due = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Interval(d) => self.last_sync.elapsed() >= d,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far onto disk.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        if let Some(site) = self.kill.check(KillSite::WalFsync) {
+            return Err(DurableError::Killed(site));
+        }
+        if let Some(seg) = &mut self.active {
+            seg.file
+                .sync_data()
+                .map_err(|e| DurableError::io("fsync wal", e))?;
+        }
+        self.appends_since_sync = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Deletes every sealed segment strictly older than `first_seq`
+    /// (the active segment created by the last rotation stays). Called
+    /// after a snapshot has made those records redundant.
+    pub fn purge_below(&mut self, first_seq: u64) -> Result<u64, DurableError> {
+        let mut removed = 0;
+        for (seq, path) in Self::segment_paths(&self.dir, &self.prefix)? {
+            if seq >= first_seq {
+                continue;
+            }
+            if let Some(site) = self.kill.check(KillSite::WalTruncate) {
+                return Err(DurableError::Killed(site));
+            }
+            fs::remove_file(&path).map_err(|e| DurableError::io("purge wal segment", e))?;
+            removed += 1;
+        }
+        if removed > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Reads and validates every record under `dir`/`prefix`, repairing
+    /// damage in place: the first invalid frame truncates its segment at
+    /// the frame boundary and deletes all later segments.
+    pub fn scan(dir: &Path, prefix: &str) -> Result<(Vec<WalRecord>, WalScan), DurableError> {
+        let mut records = Vec::new();
+        let mut scan = WalScan::default();
+        let segments = Self::segment_paths(dir, prefix)?;
+        let mut stop_at: Option<usize> = None;
+        'segments: for (idx, (first_seq, path)) in segments.iter().enumerate() {
+            let data = fs::read(path).map_err(|e| DurableError::io("read wal segment", e))?;
+            if data.is_empty() {
+                // A crash between segment creation and the header write
+                // leaves a zero-length file: an empty log, not damage.
+                continue;
+            }
+            if data.len() < SEGMENT_HEADER.len() || data[..SEGMENT_HEADER.len()] != SEGMENT_HEADER {
+                truncate_segment(
+                    path,
+                    0,
+                    &data,
+                    *first_seq,
+                    prefix,
+                    "bad segment header",
+                    &mut scan,
+                )?;
+                stop_at = Some(idx);
+                break 'segments;
+            }
+            let mut pos = SEGMENT_HEADER.len();
+            while pos < data.len() {
+                match decode_frame(&data[pos..]) {
+                    Ok((record, consumed)) => {
+                        if record.seq <= scan.last_seq && scan.records > 0 {
+                            truncate_segment(
+                                path,
+                                pos as u64,
+                                &data,
+                                *first_seq,
+                                prefix,
+                                "sequence regression",
+                                &mut scan,
+                            )?;
+                            stop_at = Some(idx);
+                            break 'segments;
+                        }
+                        scan.last_seq = record.seq;
+                        scan.records += 1;
+                        records.push(record);
+                        pos += consumed;
+                    }
+                    Err(err) => {
+                        let reason = frame_error_reason(&err);
+                        truncate_segment(
+                            path, pos as u64, &data, *first_seq, prefix, reason, &mut scan,
+                        )?;
+                        stop_at = Some(idx);
+                        break 'segments;
+                    }
+                }
+            }
+        }
+        if let Some(bad_idx) = stop_at {
+            for (_, path) in &segments[bad_idx + 1..] {
+                let len = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(path).map_err(|e| DurableError::io("drop wal segment", e))?;
+                scan.segments_dropped += 1;
+                scan.bytes_truncated += len;
+            }
+        }
+        Ok((records, scan))
+    }
+}
+
+fn frame_error_reason(err: &FrameError) -> &'static str {
+    match err {
+        FrameError::TornTail { .. } => "torn frame",
+        FrameError::BadLength(_) => "bad frame length",
+        FrameError::BadKind(_) => "bad op kind",
+        FrameError::ChecksumMismatch { .. } => "frame CRC mismatch",
+        FrameError::DigestMismatch { .. } => "key digest mismatch",
+        FrameError::BadPayload(_) => "bad frame payload",
+    }
+}
+
+fn truncate_segment(
+    path: &Path,
+    offset: u64,
+    data: &[u8],
+    first_seq: u64,
+    prefix: &str,
+    reason: &str,
+    scan: &mut WalScan,
+) -> Result<(), DurableError> {
+    let dropped = data.len() as u64 - offset;
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| DurableError::io("open wal for repair", e))?;
+    file.set_len(offset)
+        .map_err(|e| DurableError::io("truncate wal tail", e))?;
+    file.sync_data()
+        .map_err(|e| DurableError::io("sync repaired wal", e))?;
+    scan.torn = Some(TornTail {
+        wal: prefix.to_string(),
+        segment_first_seq: first_seq,
+        offset,
+        bytes_dropped: dropped,
+        reason: reason.to_string(),
+    });
+    scan.bytes_truncated += dropped;
+    Ok(())
+}
+
+/// Fsyncs a directory so renames/creates/deletes inside it are durable.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), DurableError> {
+    // Windows cannot open directories for sync; durability of the rename
+    // is best-effort there. On unix this is the real barrier.
+    match File::open(dir) {
+        Ok(f) => f.sync_data().map_err(|e| DurableError::io("fsync dir", e)),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalOp;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("mpcbf-wal-{tag}-{}-{id}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Insert(seq.to_le_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip_across_rotations() {
+        let dir = scratch_dir("roundtrip");
+        let mut wal = Wal::new(&dir, "wal", FsyncPolicy::Always, 256, KillSwitch::new()).unwrap();
+        wal.rotate(1).unwrap();
+        for seq in 1..=50 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        assert!(
+            Wal::segment_paths(&dir, "wal").unwrap().len() > 1,
+            "256-byte segments must rotate"
+        );
+        let (records, scan) = Wal::scan(&dir, "wal").unwrap();
+        assert_eq!(records.len(), 50);
+        assert_eq!(scan.records, 50);
+        assert_eq!(scan.last_seq, 50);
+        assert!(scan.torn.is_none());
+        assert_eq!(records, (1..=50).map(rec).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = scratch_dir("torn");
+        let mut wal =
+            Wal::new(&dir, "wal", FsyncPolicy::Always, 1 << 20, KillSwitch::new()).unwrap();
+        wal.rotate(1).unwrap();
+        for seq in 1..=10 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        drop(wal);
+        // Tear the last frame by cutting 3 bytes off the file.
+        let (_, path) = Wal::segment_paths(&dir, "wal").unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let (records, scan) = Wal::scan(&dir, "wal").unwrap();
+        assert_eq!(records.len(), 9, "torn record must not replay");
+        let torn = scan.torn.expect("tear must be reported");
+        assert!(torn.bytes_dropped > 0);
+        // The repair is physical: a second scan is clean.
+        let (records2, scan2) = Wal::scan(&dir, "wal").unwrap();
+        assert_eq!(records2.len(), 9);
+        assert!(scan2.torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_past_damage_are_dropped() {
+        let dir = scratch_dir("drop");
+        let mut wal = Wal::new(&dir, "wal", FsyncPolicy::Always, 128, KillSwitch::new()).unwrap();
+        wal.rotate(1).unwrap();
+        for seq in 1..=40 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        drop(wal);
+        let segments = Wal::segment_paths(&dir, "wal").unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt a frame byte in the middle segment.
+        let (_, victim) = &segments[1];
+        let mut data = fs::read(victim).unwrap();
+        let at = SEGMENT_HEADER.len() + 6;
+        data[at] ^= 0xFF;
+        fs::write(victim, &data).unwrap();
+        let (records, scan) = Wal::scan(&dir, "wal").unwrap();
+        assert!(scan.torn.is_some());
+        assert!(scan.segments_dropped >= 1, "later segments must drop");
+        // Only the first segment's records survive, in order.
+        let first_count = records.len() as u64;
+        assert!(first_count < 40);
+        assert_eq!(
+            records,
+            (1..=first_count).map(rec).collect::<Vec<_>>(),
+            "surviving prefix must be exactly the leading records"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn purge_keeps_the_active_segment() {
+        let dir = scratch_dir("purge");
+        let mut wal = Wal::new(&dir, "wal", FsyncPolicy::Always, 128, KillSwitch::new()).unwrap();
+        wal.rotate(1).unwrap();
+        for seq in 1..=30 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        wal.rotate(31).unwrap();
+        let removed = wal.purge_below(31).unwrap();
+        assert!(removed >= 1);
+        let left = Wal::segment_paths(&dir, "wal").unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].0, 31);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotate_reclaims_a_preexisting_empty_segment() {
+        // Crash right after a rotation: the new segment exists with only
+        // its header. Recovery re-rotates to the same first_seq and must
+        // reclaim the file instead of failing on create_new.
+        let dir = scratch_dir("rerotate");
+        let mut wal =
+            Wal::new(&dir, "wal", FsyncPolicy::Always, 1 << 20, KillSwitch::new()).unwrap();
+        wal.rotate(1).unwrap();
+        wal.append(&rec(1)).unwrap();
+        wal.rotate(2).unwrap(); // segment 2 created, never appended to
+        drop(wal); // crash
+
+        let mut wal2 =
+            Wal::new(&dir, "wal", FsyncPolicy::Always, 1 << 20, KillSwitch::new()).unwrap();
+        wal2.rotate(2)
+            .expect("re-rotation must reclaim the segment");
+        wal2.append(&rec(2)).unwrap();
+        drop(wal2);
+        let (records, scan) = Wal::scan(&dir, "wal").unwrap();
+        assert_eq!(records, vec![rec(1), rec(2)]);
+        assert!(scan.torn.is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_mid_append_leaves_a_recoverable_torn_tail() {
+        let dir = scratch_dir("kill");
+        let kill = KillSwitch::new();
+        let mut wal = Wal::new(&dir, "wal", FsyncPolicy::Always, 1 << 20, kill.clone()).unwrap();
+        wal.rotate(1).unwrap();
+        for seq in 1..=5 {
+            wal.append(&rec(seq)).unwrap();
+        }
+        kill.arm(KillSite::WalAppend, 7);
+        let err = wal.append(&rec(6)).unwrap_err();
+        assert!(err.is_kill());
+        drop(wal); // the "crash"
+        let (records, scan) = Wal::scan(&dir, "wal").unwrap();
+        assert_eq!(records.len(), 5, "the unacknowledged record is gone");
+        assert!(scan.torn.is_some(), "7 stray bytes must be reported");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -453,6 +453,7 @@ mod tests {
             dropped_ops: 4,
             duplicated_ops: 2,
             hot_keys: 0,
+            crash_points: 0,
         };
         let plan = FaultPlan::generate(0xFEED, mix);
 

@@ -4,8 +4,9 @@
 //! campaign of injected defects: in-memory bit flips (for the scrub
 //! drills), poisoned shards (for the concurrent epoch-scrub drills),
 //! dropped and duplicated batch operations (delivery faults the
-//! differential oracle must notice), and hot keys hammered far past a
-//! word's capacity (forcing overflow so the spillover path has real work).
+//! differential oracle must notice), hot keys hammered far past a
+//! word's capacity (forcing overflow so the spillover path has real work),
+//! and seeded crash points (kill-switch sites for the durability drills).
 //!
 //! The plan is *pure data* — it names structure-agnostic *hints* (a word
 //! hint, a shard hint, an op-stream index hint) that the consumer reduces
@@ -23,6 +24,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The seeds every fault/durability drill campaign runs under — the
+/// single source of truth shared by `stress --faults`, `stress
+/// --drill-matrix`, and the CI matrix in `.github/workflows/ci.yml`
+/// (a test below pins the workflow file to this list so they cannot
+/// drift apart).
+pub const DRILL_SEEDS: [u64; 5] = [1, 7, 42, 1337, 4242];
 
 /// One injected defect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +73,19 @@ pub enum Fault {
         /// How many copies to insert (always > 64, past any word budget).
         copies: u32,
     },
+    /// Crash the process (via the durability kill switch) at a seeded
+    /// point: `site_hint` is reduced modulo the number of kill sites,
+    /// `op_hint` modulo the op stream length picks *when*, and
+    /// `byte_hint` seeds the torn-write byte budget for the
+    /// mid-write sites.
+    CrashPoint {
+        /// Reduced modulo the consumer's kill-site count.
+        site_hint: u64,
+        /// Reduced modulo the drill's op stream length.
+        op_hint: u64,
+        /// Seeds the torn-write byte budget (reduced modulo frame size).
+        byte_hint: u64,
+    },
 }
 
 /// How many faults of each kind [`FaultPlan::generate`] draws.
@@ -80,6 +101,8 @@ pub struct FaultMix {
     pub duplicated_ops: usize,
     /// `Fault::HotKey` count.
     pub hot_keys: usize,
+    /// `Fault::CrashPoint` count (durability kill-point drills).
+    pub crash_points: usize,
 }
 
 impl Default for FaultMix {
@@ -90,6 +113,7 @@ impl Default for FaultMix {
             dropped_ops: 5,
             duplicated_ops: 3,
             hot_keys: 2,
+            crash_points: 3,
         }
     }
 }
@@ -166,6 +190,15 @@ impl FaultPlan {
                 copies: 65 + rng.gen_range(0..64u32),
             });
         }
+        // Crash points are drawn LAST so that plans generated by older
+        // mixes (without crash points) keep their draws bit-identical.
+        for _ in 0..mix.crash_points {
+            faults.push(Fault::CrashPoint {
+                site_hint: rng.gen(),
+                op_hint: rng.gen(),
+                byte_hint: rng.gen(),
+            });
+        }
         FaultPlan { seed, faults }
     }
 
@@ -193,6 +226,18 @@ impl FaultPlan {
     pub fn hot_keys(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.faults.iter().filter_map(|f| match *f {
             Fault::HotKey { key, copies } => Some((key, copies)),
+            _ => None,
+        })
+    }
+
+    /// The crash points, as `(site_hint, op_hint, byte_hint)` triples.
+    pub fn crash_points(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.faults.iter().filter_map(|f| match *f {
+            Fault::CrashPoint {
+                site_hint,
+                op_hint,
+                byte_hint,
+            } => Some((site_hint, op_hint, byte_hint)),
             _ => None,
         })
     }
@@ -260,15 +305,62 @@ mod tests {
             dropped_ops: 3,
             duplicated_ops: 4,
             hot_keys: 5,
+            crash_points: 6,
         };
         let plan = FaultPlan::generate(7, mix);
         assert_eq!(plan.flips().count(), 2);
         assert_eq!(plan.poisonings().count(), 1);
         assert_eq!(plan.hot_keys().count(), 5);
+        assert_eq!(plan.crash_points().count(), 6);
         assert_eq!(
             plan.faults.len(),
-            2 + 1 + 3 + 4 + 5,
+            2 + 1 + 3 + 4 + 5 + 6,
             "every fault is materialised"
+        );
+    }
+
+    #[test]
+    fn crash_points_do_not_disturb_earlier_draws() {
+        // Crash points are appended after every other kind, so turning
+        // them off must reproduce the exact prefix an older plan drew.
+        let with = FaultPlan::generate(42, FaultMix::default());
+        let without = FaultPlan::generate(
+            42,
+            FaultMix {
+                crash_points: 0,
+                ..FaultMix::default()
+            },
+        );
+        assert_eq!(
+            &with.faults[..without.faults.len()],
+            &without.faults[..],
+            "pre-crash-point draws must stay bit-identical"
+        );
+    }
+
+    #[test]
+    fn ci_matrix_uses_the_shared_drill_seeds() {
+        // The CI workflow hardcodes its seed matrix in YAML; pin it to
+        // DRILL_SEEDS so the two cannot drift apart silently.
+        let workflow = match std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../.github/workflows/ci.yml"
+        )) {
+            Ok(text) => text,
+            // Packaged builds (no repo checkout) skip the pin.
+            Err(_) => return,
+        };
+        let want = format!(
+            "seed: [{}]",
+            DRILL_SEEDS
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(
+            workflow.contains(&want),
+            "ci.yml seed matrix must match DRILL_SEEDS ({want})"
         );
     }
 

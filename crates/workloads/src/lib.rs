@@ -47,7 +47,7 @@ pub use churn::ChurnPlan;
 pub use driver::{
     replay_flowtrace, replay_synthetic, replay_synthetic_faulty, DriverReport, DEFAULT_BATCH,
 };
-pub use faults::{Fault, FaultMix, FaultPlan, StreamFaultLog};
+pub use faults::{Fault, FaultMix, FaultPlan, StreamFaultLog, DRILL_SEEDS};
 pub use flowtrace::{FlowTrace, FlowTraceSpec};
 pub use patents::{PatentDataset, PatentSpec};
 pub use synthetic::{SyntheticSpec, SyntheticWorkload};

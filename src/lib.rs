@@ -15,6 +15,8 @@
 //!   formulas, overflow bounds, optimal-k search).
 //! * [`variants`] — related-work comparators (d-left CBF, VI-CBF).
 //! * [`concurrent`] — thread-safe MPCBF variants.
+//! * [`durability`] — write-ahead log, snapshots, and crash recovery
+//!   (`DurableFilter`, `DurableShardedMpcbf`, kill-point drills).
 //! * [`telemetry`] — latency histograms, counters/gauges, Prometheus-text
 //!   and JSON exporters fed by the metered batch operations.
 //! * [`workloads`] — synthetic-string, flow-trace and patent workloads.
@@ -45,6 +47,7 @@ pub use mpcbf_analysis as analysis;
 pub use mpcbf_bitvec as bitvec;
 pub use mpcbf_concurrent as concurrent;
 pub use mpcbf_core as core;
+pub use mpcbf_durability as durability;
 pub use mpcbf_hash as hash;
 pub use mpcbf_mapreduce as mapreduce;
 pub use mpcbf_telemetry as telemetry;
