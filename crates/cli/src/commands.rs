@@ -264,6 +264,90 @@ pub fn recover(
     Ok(())
 }
 
+/// Parses `--fsync always|every-N|interval-Nms|interval-Nus`.
+fn parse_fsync(raw: &str) -> Result<mpcbf_durability::FsyncPolicy, CliError> {
+    use mpcbf_durability::FsyncPolicy;
+    use std::time::Duration;
+    if raw == "always" {
+        return Ok(FsyncPolicy::Always);
+    }
+    if let Some(n) = raw.strip_prefix("every-") {
+        let n: u32 = n
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError::Usage(format!("bad --fsync batch size in `{raw}`")))?;
+        return Ok(FsyncPolicy::EveryN(n));
+    }
+    if let Some(rest) = raw.strip_prefix("interval-") {
+        let (digits, unit): (&str, fn(u64) -> Duration) = match rest.strip_suffix("ms") {
+            Some(d) => (d, Duration::from_millis),
+            None => match rest.strip_suffix("us") {
+                Some(d) => (d, Duration::from_micros),
+                None => return Err(CliError::Usage(format!("bad --fsync interval `{raw}`"))),
+            },
+        };
+        let n: u64 = digits
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError::Usage(format!("bad --fsync interval `{raw}`")))?;
+        return Ok(FsyncPolicy::Interval(unit(n)));
+    }
+    Err(CliError::Usage(format!(
+        "unknown --fsync policy `{raw}` (always|every-N|interval-Nms|interval-Nus)"
+    )))
+}
+
+/// `mpcbf serve`: recover (or create) a durable sharded MPCBF and serve
+/// it over TCP until a client sends the SHUTDOWN opcode.
+///
+/// Prints the recovery report, then `listening on ADDR` — harnesses
+/// (the kill −9 soak bench among them) parse that line to learn the
+/// OS-assigned port when `--addr` ends in `:0`.
+pub fn serve(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
+    use mpcbf_durability::DurabilityOptions;
+    use mpcbf_server::{Server, ServerConfig};
+
+    let dir = opts.require_dir()?;
+    let items = opts.items.unwrap_or(100_000);
+    let config = MpcbfConfig::builder()
+        .memory_bits(opts.memory_or_default(items))
+        .expected_items(items)
+        .hashes(opts.hashes)
+        .accesses(opts.accesses)
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
+    let fsync = parse_fsync(opts.fsync.as_deref().unwrap_or("always"))?;
+    let mut durability = DurabilityOptions::new(dir).fsync(fsync);
+    durability.snapshot_every = opts.snapshot_every;
+
+    let server = Server::start(ServerConfig {
+        addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7700".into()),
+        metrics_addr: opts.metrics_addr.clone(),
+        durability,
+        filter: config,
+        shards: opts.shards.unwrap_or(8),
+    })
+    .map_err(|e| CliError::Runtime(format!("server start failed: {e}")))?;
+
+    let report = server.recovery_report();
+    writeln!(out, "{report}").map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+    writeln!(out, "listening on {}", server.local_addr())
+        .map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+    if let Some(m) = server.metrics_addr() {
+        writeln!(out, "metrics on http://{m}/metrics")
+            .map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+    }
+    out.flush()
+        .map_err(|e| CliError::Runtime(format!("write error: {e}")))?;
+
+    server
+        .wait()
+        .map_err(|e| CliError::Runtime(format!("server stopped uncleanly: {e}")))
+}
+
 /// `mpcbf replay`: run a flow-monitor measurement over a real trace file
 /// (one `src,dst` record per line; dotted IPv4 or raw u32 fields), the
 /// §IV.D experiment on the user's own data.

@@ -63,6 +63,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
         }
         "replay" => commands::replay(&opts, &mut out),
+        "serve" => commands::serve(&opts, &mut out),
         "size" => commands::size(&opts, &mut out),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }

@@ -30,9 +30,19 @@ commands:
             torn tails repaired) and print the recovery report; a fresh
             DIR is initialised from the shape flags; with --input, the
             keys are then inserted durably and a snapshot is taken
+  serve   --dir DIR [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+          [--shards P] [--fsync always|every-N|interval-Nms|interval-Nus]
+          [--snapshot-every N] [--items N] [--memory-bits M]
+          [--hashes K] [--accesses G] [--seed S]
+            recover (or create) a durable sharded MPCBF in DIR and serve
+            it over TCP (length-prefixed frame protocol; see
+            mpcbf-server); prints `listening on ADDR`, then blocks until
+            a client sends SHUTDOWN; acked mutations are WAL-logged
+            under the chosen fsync policy before the reply
 
 defaults: --hashes 3, --accesses 1, --kind mpcbf, --seed 1,
-          --memory-bits = 16 bits/item";
+          --memory-bits = 16 bits/item, --addr 127.0.0.1:7700,
+          --shards 8, --fsync always";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -67,6 +77,11 @@ pub struct Opts {
     pub seed: u64,
     pub fpr: Option<f64>,
     pub telemetry: bool,
+    pub addr: Option<String>,
+    pub metrics_addr: Option<String>,
+    pub shards: Option<usize>,
+    pub fsync: Option<String>,
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for Opts {
@@ -84,6 +99,11 @@ impl Default for Opts {
             seed: 1,
             fpr: None,
             telemetry: false,
+            addr: None,
+            metrics_addr: None,
+            shards: None,
+            fsync: None,
+            snapshot_every: None,
         }
     }
 }
@@ -124,6 +144,20 @@ impl Opts {
                     opts.fpr = Some(f);
                 }
                 "--telemetry" => opts.telemetry = true,
+                "--addr" => opts.addr = Some(value("--addr")?),
+                "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
+                "--shards" => {
+                    let n = parse_num(&value("--shards")?, "--shards")?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--shards must be positive".into()));
+                    }
+                    opts.shards = Some(n as usize);
+                }
+                "--fsync" => opts.fsync = Some(value("--fsync")?),
+                "--snapshot-every" => {
+                    opts.snapshot_every =
+                        Some(parse_num(&value("--snapshot-every")?, "--snapshot-every")?)
+                }
                 "--kind" => {
                     opts.kind = match value("--kind")?.as_str() {
                         "mpcbf" => Kind::Mpcbf,
@@ -256,6 +290,31 @@ mod tests {
             parse(&["--kind", "weird"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse(&[
+            "--dir",
+            "d",
+            "--addr",
+            "127.0.0.1:0",
+            "--metrics-addr",
+            "127.0.0.1:9100",
+            "--shards",
+            "16",
+            "--fsync",
+            "every-64",
+            "--snapshot-every",
+            "10k",
+        ])
+        .unwrap();
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(o.shards, Some(16));
+        assert_eq!(o.fsync.as_deref(), Some("every-64"));
+        assert_eq!(o.snapshot_every, Some(10_000));
+        assert!(matches!(parse(&["--shards", "0"]), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -209,6 +209,12 @@ impl<H: Hasher128> AtomicMpcbf<H> {
     }
 
     /// Inserts raw bytes, rolling back on overflow.
+    ///
+    /// Unlike the locked variants, a rollback step here *can* fail under
+    /// contention: another thread removing this key mid-rollback drains
+    /// the counter first. The state is then indeterminate for this key,
+    /// reported as [`FilterError::CorruptionDetected`] (a scrub resolves
+    /// it) — never a panic a remote caller could trigger.
     #[cfg(not(feature = "stats"))]
     pub fn insert_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let mut targets = [(0usize, 0u32); 64];
@@ -218,8 +224,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             let (word, p) = targets[i];
             if let Err(e) = self.update_word(word, |w| w.increment(p, b1).map(|_| ())) {
                 for &(rw, rp) in targets[..i].iter().rev() {
-                    self.update_word(rw, |w| w.decrement(rp, b1).map(|_| ()))
-                        .expect("rollback decrement");
+                    if self
+                        .update_word(rw, |w| w.decrement(rp, b1).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Err(e.at(word));
@@ -240,7 +252,9 @@ impl<H: Hasher128> AtomicMpcbf<H> {
         self.remove_bytes(key.key_bytes().as_slice())
     }
 
-    /// Removes raw bytes, rolling back if the element is absent.
+    /// Removes raw bytes, rolling back if the element is absent. Rollback
+    /// failure reports `CorruptionDetected` instead of panicking — see
+    /// [`Self::insert_bytes`].
     #[cfg(not(feature = "stats"))]
     pub fn remove_bytes(&self, key: &[u8]) -> Result<(), FilterError> {
         let mut targets = [(0usize, 0u32); 64];
@@ -253,8 +267,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
                 .is_err()
             {
                 for &(rw, rp) in targets[..i].iter().rev() {
-                    self.update_word(rw, |w| w.increment(rp, b1).map(|_| ()))
-                        .expect("rollback increment");
+                    if self
+                        .update_word(rw, |w| w.increment(rp, b1).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -383,8 +403,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    self.update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
-                        .expect("rollback decrement");
+                    if self
+                        .update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Err(FilterError::WordOverflow { word });
@@ -417,8 +443,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    self.update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
-                        .expect("rollback decrement");
+                    if self
+                        .update_word(rw, |w| w.decrement_all_routed(rp, b1, ops).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Err(FilterError::WordOverflow { word });
@@ -449,8 +481,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    self.update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
-                        .expect("rollback increment");
+                    if self
+                        .update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -482,8 +520,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
             {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    self.update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
-                        .expect("rollback increment");
+                    if self
+                        .update_word(rw, |w| w.increment_all_routed(rp, b1, ops).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -512,8 +556,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
                 .is_err()
             {
                 for &(rw, rp) in groups[..i].iter().rev() {
-                    self.update_word(rw, |w| w.decrement_all(rp, b1).map(|_| ()))
-                        .expect("rollback decrement");
+                    if self
+                        .update_word(rw, |w| w.decrement_all(rp, b1).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 self.overflows.fetch_add(1, Ordering::Relaxed);
                 return Err(FilterError::WordOverflow { word });
@@ -541,8 +591,14 @@ impl<H: Hasher128> AtomicMpcbf<H> {
                 .is_err()
             {
                 for &(rw, rp) in groups[..i].iter().rev() {
-                    self.update_word(rw, |w| w.increment_all(rp, b1).map(|_| ()))
-                        .expect("rollback increment");
+                    if self
+                        .update_word(rw, |w| w.increment_all(rp, b1).map(|_| ()))
+                        .is_err()
+                    {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: segment_of(rw),
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -911,6 +967,37 @@ mod tests {
                 .record(seq.remove_bytes_cost(&key).unwrap());
         }
         assert_eq!(atomic.access_stats(), expected);
+    }
+
+    #[test]
+    fn racing_overflow_rollbacks_never_panic() {
+        // Hammer one key with concurrent insert/remove pairs on a filter
+        // tiny enough to overflow: an insert's rollback can race a remove
+        // that drains the counter first. That must surface as a
+        // CorruptionDetected error, never the old rollback panic.
+        let c = MpcbfConfig::builder()
+            .memory_bits(320)
+            .expected_items(4)
+            .hashes(2)
+            .seed(7)
+            .build()
+            .unwrap();
+        let f: AtomicMpcbf<Murmur3> = AtomicMpcbf::new(c);
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let f = &f;
+                s.spawn(move |_| {
+                    for _ in 0..2_000 {
+                        let _ = f.insert(&"hot");
+                        let _ = f.remove(&"hot");
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // However the race resolved, the filter still serves requests.
+        let _ = f.contains(&"hot");
+        while f.remove(&"hot").is_ok() {}
     }
 
     #[test]

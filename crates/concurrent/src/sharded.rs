@@ -190,6 +190,23 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         (self.words_per_shard as usize).div_ceil(SEGMENT_WORDS)
     }
 
+    /// Lifts a shard-local error to the filter-global frame: a
+    /// [`FilterError::CorruptionDetected`] raised inside shard `shard` (a
+    /// rollback step that itself failed — word state the lock should have
+    /// made impossible) carries a shard-local segment index; re-index it
+    /// as `shard · segments_per_shard + local` so it lines up with the
+    /// [`Self::verify`]/[`ShardedMpcbf::scrub`] reporting convention.
+    /// Every other error passes through untouched.
+    #[inline]
+    fn globalize_err(&self, shard: usize, err: FilterError) -> FilterError {
+        match err {
+            FilterError::CorruptionDetected { segment } => FilterError::CorruptionDetected {
+                segment: shard * self.segments_per_shard() + segment,
+            },
+            other => other,
+        }
+    }
+
     /// Epoch-based structural self-check: takes each shard lock exactly
     /// once (like the batch pipeline's shard runs) and re-walks every
     /// word's hierarchy invariants. Concurrent operations on other shards
@@ -250,7 +267,12 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 
     /// Inserts one planned key into its (already locked) shard, rolling
-    /// back every applied group on overflow.
+    /// back every applied group on overflow. A rollback step that itself
+    /// fails means the word no longer holds what this call just wrote —
+    /// damage, not overflow — and is reported as `CorruptionDetected`
+    /// with a *shard-local* segment (the entry points globalize it)
+    /// rather than panicking while the shard lock is held, which would
+    /// poison the lock and brick the shard for every future caller.
     #[cfg(not(feature = "stats"))]
     fn insert_planned(
         words: &mut [HcbfWord<W>],
@@ -261,7 +283,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         for (i, &(word, probes)) in groups.iter().enumerate() {
             if words[word].increment_all(probes, b1).is_err() {
                 for &(rw, rp) in groups[..i].iter().rev() {
-                    words[rw].decrement_all(rp, b1).expect("rollback decrement");
+                    if words[rw].decrement_all(rp, b1).is_err() {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: rw / SEGMENT_WORDS,
+                        });
+                    }
                 }
                 return Err(FilterError::WordOverflow { word });
             }
@@ -270,7 +296,9 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
     }
 
     /// Removes one planned key from its (already locked) shard, rolling
-    /// back every applied group if the element turns out absent.
+    /// back every applied group if the element turns out absent. Rollback
+    /// failure reports `CorruptionDetected` (shard-local segment) instead
+    /// of panicking — see [`Self::insert_planned`].
     #[cfg(not(feature = "stats"))]
     fn remove_planned(
         words: &mut [HcbfWord<W>],
@@ -281,7 +309,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         for (i, &(word, probes)) in groups.iter().enumerate() {
             if words[word].decrement_all(probes, b1).is_err() {
                 for &(rw, rp) in groups[..i].iter().rev() {
-                    words[rw].increment_all(rp, b1).expect("rollback increment");
+                    if words[rw].increment_all(rp, b1).is_err() {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: rw / SEGMENT_WORDS,
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -319,9 +351,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
             if words[word].increment_all_routed(probes, b1, ops).is_err() {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    words[rw]
-                        .decrement_all_routed(rp, b1, ops)
-                        .expect("rollback decrement");
+                    if words[rw].decrement_all_routed(rp, b1, ops).is_err() {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: rw / SEGMENT_WORDS,
+                        });
+                    }
                 }
                 return Err(FilterError::WordOverflow { word });
             }
@@ -343,9 +377,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
             if words[word].decrement_all_routed(probes, b1, ops).is_err() {
                 for u in (0..t).rev() {
                     let (rw, rp) = plans.group(i, u);
-                    words[rw]
-                        .increment_all_routed(rp, b1, ops)
-                        .expect("rollback increment");
+                    if words[rw].increment_all_routed(rp, b1, ops).is_err() {
+                        return Err(FilterError::CorruptionDetected {
+                            segment: rw / SEGMENT_WORDS,
+                        });
+                    }
                 }
                 return Err(FilterError::NotPresent);
             }
@@ -415,7 +451,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Ok(bits) => traversal_bits += bits,
                 Err(_) => {
                     for &(rw, rp) in groups[..i].iter().rev() {
-                        words[rw].decrement_all(rp, b1).expect("rollback decrement");
+                        if words[rw].decrement_all(rp, b1).is_err() {
+                            return Err(FilterError::CorruptionDetected {
+                                segment: rw / SEGMENT_WORDS,
+                            });
+                        }
                     }
                     return Err(FilterError::WordOverflow { word });
                 }
@@ -441,7 +481,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Ok(bits) => traversal_bits += bits,
                 Err(_) => {
                     for &(rw, rp) in groups[..i].iter().rev() {
-                        words[rw].increment_all(rp, b1).expect("rollback increment");
+                        if words[rw].increment_all(rp, b1).is_err() {
+                            return Err(FilterError::CorruptionDetected {
+                                segment: rw / SEGMENT_WORDS,
+                            });
+                        }
                     }
                     return Err(FilterError::NotPresent);
                 }
@@ -496,9 +540,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Err(_) => {
                     for u in (0..t).rev() {
                         let (rw, rp) = plans.group(i, u);
-                        words[rw]
-                            .decrement_all_routed(rp, b1, ops)
-                            .expect("rollback decrement");
+                        if words[rw].decrement_all_routed(rp, b1, ops).is_err() {
+                            return Err(FilterError::CorruptionDetected {
+                                segment: rw / SEGMENT_WORDS,
+                            });
+                        }
                     }
                     return Err(FilterError::WordOverflow { word });
                 }
@@ -527,9 +573,11 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Err(_) => {
                     for u in (0..t).rev() {
                         let (rw, rp) = plans.group(i, u);
-                        words[rw]
-                            .increment_all_routed(rp, b1, ops)
-                            .expect("rollback increment");
+                        if words[rw].increment_all_routed(rp, b1, ops).is_err() {
+                            return Err(FilterError::CorruptionDetected {
+                                segment: rw / SEGMENT_WORDS,
+                            });
+                        }
                     }
                     return Err(FilterError::NotPresent);
                 }
@@ -624,10 +672,10 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         let mut guard = self.shards[shard].lock();
         let result = Self::insert_planned(&mut guard, &plan, self.shape.b1);
         drop(guard);
-        if result.is_err() {
+        if matches!(result, Err(FilterError::WordOverflow { .. })) {
             self.overflows.fetch_add(1, Ordering::Relaxed);
         }
-        result
+        result.map_err(|e| self.globalize_err(shard, e))
     }
 
     /// Inserts raw bytes under a single lock, rolling back on overflow
@@ -645,8 +693,10 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 Ok(())
             }
             Err(e) => {
-                self.overflows.fetch_add(1, Ordering::Relaxed);
-                Err(e)
+                if matches!(e, FilterError::WordOverflow { .. }) {
+                    self.overflows.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(self.globalize_err(shard, e))
             }
         }
     }
@@ -662,6 +712,7 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         let (shard, plan) = self.plan(key);
         let mut guard = self.shards[shard].lock();
         Self::remove_planned(&mut guard, &plan, self.shape.b1)
+            .map_err(|e| self.globalize_err(shard, e))
     }
 
     /// Removes raw bytes under a single lock, rolling back if absent
@@ -673,7 +724,9 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
         let result = self.remove_planned_metered(&mut guard, &plan);
         drop(guard);
         self.stats[shard].record_hold(held_since.elapsed().as_nanos() as u64);
-        result.map(|cost| self.stats[shard].accesses.record(OpKind::Remove, cost))
+        result
+            .map(|cost| self.stats[shard].accesses.record(OpKind::Remove, cost))
+            .map_err(|e| self.globalize_err(shard, e))
     }
 
     /// Plans a whole batch into the caller's scratch: probe plans in the
@@ -798,18 +851,20 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                                 Ok(())
                             }
                             Err(e) => {
-                                failed += 1;
-                                Err(e)
+                                if matches!(e, FilterError::WordOverflow { .. }) {
+                                    failed += 1;
+                                }
+                                Err(self.globalize_err(_shard, e))
                             }
                         };
                 }
                 #[cfg(not(feature = "stats"))]
                 {
                     let r = Self::insert_planned_buf(words, plans, idx as usize, b1, &ops);
-                    if r.is_err() {
+                    if matches!(r, Err(FilterError::WordOverflow { .. })) {
                         failed += 1;
                     }
-                    out[idx as usize] = r;
+                    out[idx as usize] = r.map_err(|e| self.globalize_err(_shard, e));
                 }
             }
         });
@@ -840,12 +895,14 @@ impl<W: Word, H: Hasher128> ShardedMpcbf<W, H> {
                 {
                     out[idx as usize] = self
                         .remove_planned_metered_buf(words, plans, idx as usize, &ops)
-                        .map(|cost| self.stats[_shard].accesses.record(OpKind::Remove, cost));
+                        .map(|cost| self.stats[_shard].accesses.record(OpKind::Remove, cost))
+                        .map_err(|e| self.globalize_err(_shard, e));
                 }
                 #[cfg(not(feature = "stats"))]
                 {
                     out[idx as usize] =
-                        Self::remove_planned_buf(words, plans, idx as usize, b1, &ops);
+                        Self::remove_planned_buf(words, plans, idx as usize, b1, &ops)
+                            .map_err(|e| self.globalize_err(_shard, e));
                 }
             }
         });
@@ -1378,6 +1435,60 @@ mod tests {
         // Identical keys against identical filters: the batch pipeline
         // must meter exactly what the scalar loop does.
         assert_eq!(scalar.access_stats(), batch.access_stats());
+    }
+
+    #[test]
+    fn corruption_errors_carry_global_segment_indices() {
+        // A failed rollback surfaces as CorruptionDetected with a
+        // shard-local segment; the entry points must re-index it into the
+        // verify()/scrub() global frame, and leave other errors alone.
+        let f = filter();
+        let per = f.segments_per_shard();
+        assert_eq!(
+            f.globalize_err(5, FilterError::CorruptionDetected { segment: 2 }),
+            FilterError::CorruptionDetected {
+                segment: 5 * per + 2
+            }
+        );
+        assert_eq!(
+            f.globalize_err(5, FilterError::WordOverflow { word: 7 }),
+            FilterError::WordOverflow { word: 7 }
+        );
+        assert_eq!(
+            f.globalize_err(5, FilterError::NotPresent),
+            FilterError::NotPresent
+        );
+    }
+
+    #[test]
+    fn saturating_batches_refuse_without_bricking_the_shard() {
+        // Drive a tiny filter far past capacity with duplicate-heavy
+        // batches: every refusal must be a WordOverflow error (and only
+        // those may bump the overflow counter), the rollbacks must never
+        // poison a shard lock, and the filter must keep serving.
+        let c = MpcbfConfig::builder()
+            .memory_bits(320)
+            .expected_items(4)
+            .hashes(2)
+            .seed(7)
+            .build()
+            .unwrap();
+        let f: ShardedMpcbf<u64> = ShardedMpcbf::new(c, 4);
+        let keys: Vec<u64> = (0..64).map(|i| i % 4).collect();
+        let mut refused = 0u64;
+        for _ in 0..8 {
+            for r in f.insert_batch(&keys) {
+                if let Err(e) = r {
+                    assert!(matches!(e, FilterError::WordOverflow { .. }), "{e:?}");
+                    refused += 1;
+                }
+            }
+        }
+        assert!(refused > 0, "test premise: the filter must saturate");
+        assert_eq!(f.overflows(), refused);
+        assert!(f.contains(&0u64));
+        while f.remove(&0u64).is_ok() {}
+        assert_eq!(f.verify(), Ok(()));
     }
 
     #[test]

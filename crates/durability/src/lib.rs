@@ -71,6 +71,6 @@ pub use error::DurableError;
 pub use kill::{KillSite, KillSwitch};
 pub use record::{decode_frame, encode_frame, FrameError, WalOp, WalRecord};
 pub use report::RecoveryReport;
-pub use sharded::DurableShardedMpcbf;
+pub use sharded::{decode_envelope, encode_envelope, DurableShardedMpcbf};
 pub use snapshot::SnapshotStore;
 pub use wal::{FsyncPolicy, TornTail, Wal, WalScan};

@@ -32,7 +32,11 @@ fn wal_prefix(shard: usize) -> String {
 }
 
 /// Builds the snapshot envelope: magic, per-shard seqs, inner image, CRC.
-fn encode_envelope(seqs: &[u64], image: &[u8]) -> Vec<u8> {
+///
+/// Public so a server that decomposes the wrapper (see
+/// [`DurableShardedMpcbf::into_service_parts`]) can publish snapshots in
+/// the same format recovery expects.
+pub fn encode_envelope(seqs: &[u64], image: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + 4 + seqs.len() * 8 + 8 + image.len() + 4);
     out.extend_from_slice(ENVELOPE_MAGIC);
     out.extend_from_slice(&(seqs.len() as u32).to_le_bytes());
@@ -47,7 +51,7 @@ fn encode_envelope(seqs: &[u64], image: &[u8]) -> Vec<u8> {
 }
 
 /// Total parse of the envelope; `None` on any inconsistency.
-fn decode_envelope(buf: &[u8]) -> Option<(Vec<u64>, &[u8])> {
+pub fn decode_envelope(buf: &[u8]) -> Option<(Vec<u64>, &[u8])> {
     if buf.len() < 4 + 4 + 8 + 4 || &buf[..4] != ENVELOPE_MAGIC {
         return None;
     }
@@ -325,6 +329,24 @@ impl<H: Hasher128> DurableShardedMpcbf<H> {
             wal.sync()?;
         }
         Ok(())
+    }
+
+    /// Shutdown flush — every acknowledged op durable before a clean
+    /// stop. Alias of [`DurableShardedMpcbf::sync`], named for symmetry
+    /// with [`crate::DurableFilter::flush`].
+    pub fn flush(&mut self) -> Result<(), DurableError> {
+        self.sync()
+    }
+
+    /// Decomposes the single-writer wrapper into its parts so a server
+    /// can own each shard's WAL (plus its sequence counter) on that
+    /// shard's worker thread while sharing the `&self`-concurrent filter
+    /// across connections. The [`SnapshotStore`] keeps writing envelopes
+    /// ([`encode_envelope`]) that [`DurableShardedMpcbf::open_or_recover`]
+    /// reads back, so service checkpoints and library recovery stay one
+    /// format.
+    pub fn into_service_parts(self) -> (ShardedMpcbf<u64, H>, Vec<Wal>, Vec<u64>, SnapshotStore) {
+        (self.inner, self.wals, self.seqs, self.snapshots)
     }
 
     /// Whole-filter snapshot: syncs every WAL, publishes the envelope

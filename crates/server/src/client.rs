@@ -1,0 +1,192 @@
+//! Blocking client for the filter protocol.
+//!
+//! One request in flight per connection; open several [`Client`]s for
+//! concurrency. Scalar mutations return a [`KeyOutcome`] (an `Overflow`
+//! refusal is an answer, not an error); transport and server failures
+//! surface as [`ClientError`].
+
+use crate::protocol::{
+    encode_request, read_frame, write_frame, KeyOutcome, Request, STATUS_OK, STATUS_REFUSED,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-call.
+    Io(io::Error),
+    /// The server answered with an error status.
+    Server {
+        /// The wire status byte (`STATUS_BAD_REQUEST`, …).
+        status: u8,
+        /// The server's human-readable reason.
+        message: String,
+    },
+    /// The response payload did not match the protocol.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server error (status {status}): {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a filter server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with Nagle disabled (the protocol is request/response).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(payload),
+            None => Err(ClientError::Protocol("server closed the connection")),
+        }
+    }
+
+    /// Calls and peels the status byte, turning non-OK/REFUSED statuses
+    /// into [`ClientError::Server`].
+    fn call_ok(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        let payload = self.call(req)?;
+        let (&status, body) = payload
+            .split_first()
+            .ok_or(ClientError::Protocol("empty response"))?;
+        if status == STATUS_OK {
+            Ok(body.to_vec())
+        } else {
+            Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(body).into_owned(),
+            })
+        }
+    }
+
+    /// A scalar mutation: OK → `Applied`, REFUSED → the carried code.
+    fn mutate(&mut self, req: &Request) -> Result<KeyOutcome, ClientError> {
+        let payload = self.call(req)?;
+        match payload.split_first() {
+            Some((&STATUS_OK, _)) => Ok(KeyOutcome::Applied),
+            Some((&STATUS_REFUSED, body)) => body
+                .first()
+                .and_then(|&c| KeyOutcome::from_code(c))
+                .ok_or(ClientError::Protocol("bad refusal code")),
+            Some((&status, body)) => Err(ClientError::Server {
+                status,
+                message: String::from_utf8_lossy(body).into_owned(),
+            }),
+            None => Err(ClientError::Protocol("empty response")),
+        }
+    }
+
+    fn batch_codes(&mut self, req: &Request, n: usize) -> Result<Vec<KeyOutcome>, ClientError> {
+        let body = self.call_ok(req)?;
+        let codes = decode_counted(&body, n)?;
+        codes
+            .iter()
+            .map(|&c| KeyOutcome::from_code(c).ok_or(ClientError::Protocol("bad outcome code")))
+            .collect()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call_ok(&Request::Ping).map(|_| ())
+    }
+
+    /// Inserts one key; acknowledged as durable per the server's fsync
+    /// policy once this returns `Applied`.
+    pub fn insert(&mut self, key: &[u8]) -> Result<KeyOutcome, ClientError> {
+        self.mutate(&Request::Insert(key.to_vec()))
+    }
+
+    /// Removes one key.
+    pub fn remove(&mut self, key: &[u8]) -> Result<KeyOutcome, ClientError> {
+        self.mutate(&Request::Remove(key.to_vec()))
+    }
+
+    /// Membership query.
+    pub fn query(&mut self, key: &[u8]) -> Result<bool, ClientError> {
+        let body = self.call_ok(&Request::Query(key.to_vec()))?;
+        match body.first() {
+            Some(&b) => Ok(b != 0),
+            None => Err(ClientError::Protocol("missing presence byte")),
+        }
+    }
+
+    /// Inserts a batch; one outcome per key, in request order.
+    pub fn insert_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<KeyOutcome>, ClientError> {
+        self.batch_codes(&Request::InsertBatch(keys.to_vec()), keys.len())
+    }
+
+    /// Removes a batch.
+    pub fn remove_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<KeyOutcome>, ClientError> {
+        self.batch_codes(&Request::RemoveBatch(keys.to_vec()), keys.len())
+    }
+
+    /// Queries a batch; one presence flag per key, in request order.
+    pub fn query_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<bool>, ClientError> {
+        let body = self.call_ok(&Request::QueryBatch(keys.to_vec()))?;
+        Ok(decode_counted(&body, keys.len())?
+            .iter()
+            .map(|&b| b != 0)
+            .collect())
+    }
+
+    /// Server and recovery statistics as a JSON document.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        let body = self.call_ok(&Request::Stats)?;
+        String::from_utf8(body).map_err(|_| ClientError::Protocol("stats not utf-8"))
+    }
+
+    /// Forces a snapshot checkpoint (fsync + snapshot + log truncation).
+    pub fn checkpoint(&mut self) -> Result<(), ClientError> {
+        self.call_ok(&Request::Checkpoint).map(|_| ())
+    }
+
+    /// Fsyncs every shard's WAL without snapshotting.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.call_ok(&Request::Flush).map(|_| ())
+    }
+
+    /// Asks the server to stop gracefully (acknowledged before the stop
+    /// begins).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call_ok(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Parses a `u32 n | n bytes` body and checks it matches the request.
+fn decode_counted(body: &[u8], expect: usize) -> Result<&[u8], ClientError> {
+    let (head, rest) = body
+        .split_first_chunk::<4>()
+        .ok_or(ClientError::Protocol("missing count"))?;
+    let n = u32::from_le_bytes(*head) as usize;
+    if n != expect || rest.len() != n {
+        return Err(ClientError::Protocol("count mismatch"));
+    }
+    Ok(rest)
+}

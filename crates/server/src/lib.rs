@@ -1,0 +1,31 @@
+//! Filter-as-a-service: a durable, multi-core TCP front-end for the
+//! multi-partitioned counting Bloom filter.
+//!
+//! The server wraps [`mpcbf_durability`]'s sharded WAL in a
+//! thread-per-shard service: connection threads answer queries straight
+//! from the shared lock-striped filter, while mutations route (by the
+//! same top-digest-bit rule the filter shards on) to the one worker
+//! thread that owns that shard's write-ahead log. An acknowledgement
+//! therefore always means "logged under the configured
+//! [`FsyncPolicy`](mpcbf_durability::FsyncPolicy)" — after a crash,
+//! [`Server::start`] replays the logs and every acked key answers
+//! present again.
+//!
+//! * [`Server`] / [`ServerConfig`] — the service itself.
+//! * [`Client`] — a blocking connection speaking the frame protocol.
+//! * [`protocol`] — the wire format: length-prefixed frames, total
+//!   parsing, hard size ceilings.
+//! * `/metrics` — an optional HTTP listener serving the Prometheus page.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod metrics;
+pub mod protocol;
+mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::http_get_text;
+pub use protocol::KeyOutcome;
+pub use server::{Server, ServerConfig, ServerError};

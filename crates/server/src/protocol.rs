@@ -1,0 +1,377 @@
+//! Wire protocol for the filter server: length-prefixed frames carrying
+//! one request or response each.
+//!
+//! ```text
+//! frame:    u32 payload_len (LE) | payload (≤ MAX_FRAME bytes)
+//! request:  u8 opcode | body
+//! response: u8 status | body
+//! ```
+//!
+//! Request bodies:
+//! * `PING`, `STATS`, `CHECKPOINT`, `FLUSH`, `SHUTDOWN` — empty.
+//! * `INSERT` / `REMOVE` / `QUERY` — the raw key bytes (≤ [`MAX_KEY`]).
+//! * `*_BATCH` — `u32 count`, then per key `u32 len | bytes`
+//!   (≤ [`MAX_BATCH`] keys).
+//!
+//! Response bodies, by status:
+//! * `OK`: `QUERY` → one presence byte; `QUERY_BATCH` → `u32 n` + n
+//!   presence bytes; `INSERT_BATCH`/`REMOVE_BATCH` → `u32 n` + n per-key
+//!   [`KeyOutcome`] codes; `STATS` → a JSON document; everything else
+//!   empty.
+//! * `REFUSED`: one [`KeyOutcome`] code (scalar mutations only).
+//! * `BAD_REQUEST` / `SERVER_ERROR`: a human-readable reason.
+//!
+//! [`decode_request`] is total: any payload yields `Ok` or an error
+//! string — never a panic, never an allocation beyond what the input's
+//! own length already bounds. A `BAD_REQUEST` keeps the connection
+//! (framing is intact); an oversized length prefix closes it (the byte
+//! stream can no longer be trusted).
+
+use mpcbf_core::FilterError;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload. Large enough for a [`MAX_BATCH`]
+/// of small keys or a stats page; small enough that a hostile length
+/// prefix cannot drive an allocation.
+pub const MAX_FRAME: u32 = 1 << 20;
+/// Largest accepted key, matching the WAL's practical frame budget.
+pub const MAX_KEY: usize = 64 * 1024;
+/// Largest accepted batch.
+pub const MAX_BATCH: usize = 4096;
+
+/// Liveness probe; empty OK reply.
+pub const OP_PING: u8 = 0x01;
+/// Insert one key (logged before ack).
+pub const OP_INSERT: u8 = 0x02;
+/// Remove one key (logged before ack).
+pub const OP_REMOVE: u8 = 0x03;
+/// Membership query (unlogged).
+pub const OP_QUERY: u8 = 0x04;
+/// Insert a batch (one WAL frame per touched shard).
+pub const OP_INSERT_BATCH: u8 = 0x05;
+/// Remove a batch.
+pub const OP_REMOVE_BATCH: u8 = 0x06;
+/// Query a batch.
+pub const OP_QUERY_BATCH: u8 = 0x07;
+/// Server/filter statistics as JSON.
+pub const OP_STATS: u8 = 0x08;
+/// Force a snapshot checkpoint (sync + snapshot + log truncation).
+pub const OP_CHECKPOINT: u8 = 0x09;
+/// Fsync every shard's WAL without snapshotting.
+pub const OP_FLUSH: u8 = 0x0A;
+/// Acknowledge, then gracefully stop the server.
+pub const OP_SHUTDOWN: u8 = 0x0B;
+
+/// Request handled.
+pub const STATUS_OK: u8 = 0;
+/// The filter refused the operation (body: one [`KeyOutcome`] code).
+pub const STATUS_REFUSED: u8 = 1;
+/// Malformed request payload; the connection stays open.
+pub const STATUS_BAD_REQUEST: u8 = 2;
+/// The server could not make the operation durable; nothing was acked.
+pub const STATUS_SERVER_ERROR: u8 = 3;
+
+/// Per-key result of a mutation, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyOutcome {
+    /// Logged and applied.
+    Applied,
+    /// Refused: a word would overflow (logged; replay re-refuses).
+    Overflow,
+    /// Refused: the key was not present to remove.
+    NotPresent,
+    /// The shard detected damaged state handling this key.
+    Corruption,
+}
+
+impl KeyOutcome {
+    /// The wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            KeyOutcome::Applied => 0,
+            KeyOutcome::Overflow => 1,
+            KeyOutcome::NotPresent => 2,
+            KeyOutcome::Corruption => 3,
+        }
+    }
+
+    /// Total parse of a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(KeyOutcome::Applied),
+            1 => Some(KeyOutcome::Overflow),
+            2 => Some(KeyOutcome::NotPresent),
+            3 => Some(KeyOutcome::Corruption),
+            _ => None,
+        }
+    }
+
+    /// True when the mutation was acknowledged as applied.
+    pub fn is_applied(self) -> bool {
+        matches!(self, KeyOutcome::Applied)
+    }
+}
+
+/// Maps a filter verdict onto its wire code.
+pub fn key_code(result: &Result<(), FilterError>) -> u8 {
+    match result {
+        Ok(()) => KeyOutcome::Applied.code(),
+        Err(FilterError::WordOverflow { .. }) => KeyOutcome::Overflow.code(),
+        Err(FilterError::NotPresent) => KeyOutcome::NotPresent.code(),
+        Err(FilterError::CorruptionDetected { .. }) => KeyOutcome::Corruption.code(),
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Insert one key.
+    Insert(Vec<u8>),
+    /// Remove one key.
+    Remove(Vec<u8>),
+    /// Query one key.
+    Query(Vec<u8>),
+    /// Insert a batch of keys.
+    InsertBatch(Vec<Vec<u8>>),
+    /// Remove a batch of keys.
+    RemoveBatch(Vec<Vec<u8>>),
+    /// Query a batch of keys.
+    QueryBatch(Vec<Vec<u8>>),
+    /// Server statistics.
+    Stats,
+    /// Force a checkpoint.
+    Checkpoint,
+    /// Fsync all WALs.
+    Flush,
+    /// Graceful stop.
+    Shutdown,
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*pos..pos.checked_add(4)?)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn take_bytes<'a>(buf: &'a [u8], pos: &mut usize, len: usize) -> Option<&'a [u8]> {
+    let bytes = buf.get(*pos..pos.checked_add(len)?)?;
+    *pos += len;
+    Some(bytes)
+}
+
+fn decode_keys(body: &[u8]) -> Result<Vec<Vec<u8>>, &'static str> {
+    let mut pos = 0;
+    let n = take_u32(body, &mut pos).ok_or("batch header truncated")? as usize;
+    if n > MAX_BATCH {
+        return Err("batch too large");
+    }
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = take_u32(body, &mut pos).ok_or("key length truncated")? as usize;
+        if len > MAX_KEY {
+            return Err("key too large");
+        }
+        keys.push(
+            take_bytes(body, &mut pos, len)
+                .ok_or("key truncated")?
+                .to_vec(),
+        );
+    }
+    if pos != body.len() {
+        return Err("trailing bytes after batch");
+    }
+    Ok(keys)
+}
+
+/// Total parse of a request payload. The error string becomes the
+/// `BAD_REQUEST` body.
+pub fn decode_request(payload: &[u8]) -> Result<Request, &'static str> {
+    let (&op, body) = payload.split_first().ok_or("empty frame")?;
+    let expect_empty = |req: Request| {
+        if body.is_empty() {
+            Ok(req)
+        } else {
+            Err("unexpected body")
+        }
+    };
+    match op {
+        OP_PING => expect_empty(Request::Ping),
+        OP_STATS => expect_empty(Request::Stats),
+        OP_CHECKPOINT => expect_empty(Request::Checkpoint),
+        OP_FLUSH => expect_empty(Request::Flush),
+        OP_SHUTDOWN => expect_empty(Request::Shutdown),
+        OP_INSERT | OP_REMOVE | OP_QUERY => {
+            if body.len() > MAX_KEY {
+                return Err("key too large");
+            }
+            let key = body.to_vec();
+            Ok(match op {
+                OP_INSERT => Request::Insert(key),
+                OP_REMOVE => Request::Remove(key),
+                _ => Request::Query(key),
+            })
+        }
+        OP_INSERT_BATCH | OP_REMOVE_BATCH | OP_QUERY_BATCH => {
+            let keys = decode_keys(body)?;
+            Ok(match op {
+                OP_INSERT_BATCH => Request::InsertBatch(keys),
+                OP_REMOVE_BATCH => Request::RemoveBatch(keys),
+                _ => Request::QueryBatch(keys),
+            })
+        }
+        _ => Err("unknown opcode"),
+    }
+}
+
+/// Encodes a request payload (the client side of [`decode_request`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    fn scalar(op: u8, key: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + key.len());
+        out.push(op);
+        out.extend_from_slice(key);
+        out
+    }
+    fn batch(op: u8, keys: &[Vec<u8>]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + keys.iter().map(|k| 4 + k.len()).sum::<usize>());
+        out.push(op);
+        out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+        for k in keys {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k);
+        }
+        out
+    }
+    match req {
+        Request::Ping => vec![OP_PING],
+        Request::Stats => vec![OP_STATS],
+        Request::Checkpoint => vec![OP_CHECKPOINT],
+        Request::Flush => vec![OP_FLUSH],
+        Request::Shutdown => vec![OP_SHUTDOWN],
+        Request::Insert(key) => scalar(OP_INSERT, key),
+        Request::Remove(key) => scalar(OP_REMOVE, key),
+        Request::Query(key) => scalar(OP_QUERY, key),
+        Request::InsertBatch(keys) => batch(OP_INSERT_BATCH, keys),
+        Request::RemoveBatch(keys) => batch(OP_REMOVE_BATCH, keys),
+        Request::QueryBatch(keys) => batch(OP_QUERY_BATCH, keys),
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame (blocking). `Ok(None)` on a clean
+/// close at a frame boundary; errors on oversized prefixes or mid-frame
+/// disconnects.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "disconnect inside a frame prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds the protocol ceiling",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let requests = [
+            Request::Ping,
+            Request::Stats,
+            Request::Checkpoint,
+            Request::Flush,
+            Request::Shutdown,
+            Request::Insert(b"alice".to_vec()),
+            Request::Remove(Vec::new()),
+            Request::Query(vec![0xFF; 100]),
+            Request::InsertBatch(vec![b"a".to_vec(), Vec::new(), vec![7; 300]]),
+            Request::RemoveBatch(Vec::new().into_iter().collect()),
+            Request::QueryBatch(vec![b"x".to_vec()]),
+        ];
+        for req in requests {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn decode_is_total_over_arbitrary_bytes() {
+        // Every prefix truncation and every single-byte corruption of a
+        // valid payload must parse or error — never panic.
+        let payload = encode_request(&Request::InsertBatch(vec![
+            b"one".to_vec(),
+            b"two".to_vec(),
+            vec![9; 50],
+        ]));
+        for cut in 0..payload.len() {
+            let _ = decode_request(&payload[..cut]);
+        }
+        for pos in 0..payload.len() {
+            for mask in [0x01, 0x80, 0xFF] {
+                let mut corrupt = payload.clone();
+                corrupt[pos] ^= mask;
+                let _ = decode_request(&corrupt);
+            }
+        }
+        let _ = decode_request(&[]);
+        let _ = decode_request(&[0x42; 64]);
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        // A batch header claiming u32::MAX keys must fail on the count
+        // check, not attempt the allocation.
+        let mut payload = vec![OP_INSERT_BATCH];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err("batch too large"));
+
+        let mut payload = vec![OP_INSERT_BATCH];
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err("key too large"));
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // Oversized prefix: rejected without allocating the claimed size.
+        let hostile = (MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut &hostile[..]).is_err());
+        // Mid-prefix disconnect errors instead of spinning.
+        assert!(read_frame(&mut &[0x01u8][..]).is_err());
+    }
+}

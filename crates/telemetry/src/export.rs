@@ -129,6 +129,7 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
     if !snap.counters.is_empty() {
         let _ = writeln!(out, "# HELP {PREFIX}_counter Named workspace counters.");
         for (name, value) in &snap.counters {
+            let name = prom_name(name);
             let _ = writeln!(out, "# TYPE {PREFIX}_{name}_total counter");
             let _ = writeln!(out, "{PREFIX}_{name}_total {value}");
         }
@@ -137,11 +138,31 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
     if !snap.gauges.is_empty() {
         let _ = writeln!(out, "# HELP {PREFIX}_gauge Named workspace gauges.");
         for (name, value) in &snap.gauges {
+            let name = prom_name(name);
             let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
             let _ = writeln!(out, "{PREFIX}_{name} {}", fmt_f64(*value));
         }
     }
 
+    out
+}
+
+/// Sanitizes a user-supplied series name into the Prometheus metric-name
+/// alphabet `[a-zA-Z0-9_:]`. Anything outside it — quotes, newlines,
+/// backslashes, spaces — becomes `_`, so a hostile registry name cannot
+/// smuggle extra lines or labels into the exposition page (`json_escape`
+/// guards the JSON path; this is its exposition-format twin).
+fn prom_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
     out
 }
 
@@ -328,5 +349,35 @@ mod tests {
         t.add_counter("we\"ird\nname", 1);
         let json = json_snapshot(&t.snapshot());
         assert!(json.contains("we\\\"ird\\nname"));
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_names() {
+        // A newline in a registry name could otherwise inject a whole
+        // fake series into the exposition page; braces and quotes could
+        // forge labels. Every character outside the metric-name alphabet
+        // must collapse to `_`.
+        let t = Telemetry::new();
+        t.add_counter("we\"ird\nfake_series 999", 1);
+        t.set_gauge("evil{label=\"x\"}", 2.5);
+        let page = prometheus_text(&t.snapshot());
+        assert!(page.contains("mpcbf_we_ird_fake_series_999_total 1"));
+        assert!(page.contains("mpcbf_evil_label__x__ 2.5"));
+        for line in page.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "hostile name leaked into the page: {line}"
+            );
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value: {value}"
+            );
+        }
     }
 }

@@ -21,6 +21,8 @@
 //!   and JSON exporters fed by the metered batch operations.
 //! * [`workloads`] — synthetic-string, flow-trace and patent workloads.
 //! * [`mapreduce`] — mini MapReduce engine with filter-pushdown joins.
+//! * [`server`] — filter-as-a-service: a durable multi-core TCP server
+//!   over the sharded filter, plus the blocking [`server::Client`].
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use mpcbf_core as core;
 pub use mpcbf_durability as durability;
 pub use mpcbf_hash as hash;
 pub use mpcbf_mapreduce as mapreduce;
+pub use mpcbf_server as server;
 pub use mpcbf_telemetry as telemetry;
 pub use mpcbf_variants as variants;
 pub use mpcbf_workloads as workloads;

@@ -1,0 +1,192 @@
+//! Server protocol hardening, in the spirit of `decoder_hardening.rs`:
+//! truncated frames, oversized length prefixes, arbitrary payload bytes
+//! and mid-frame disconnects must never panic the server, never desync
+//! a surviving connection, and never stop it serving well-formed
+//! clients.
+//!
+//! One shared server (leaked, torn down with the test process) absorbs
+//! the hostile traffic; every scenario ends by proving the server still
+//! answers a fresh, well-formed client.
+
+use mpcbf::core::MpcbfConfig;
+use mpcbf::durability::{DurabilityOptions, FsyncPolicy};
+use mpcbf::server::protocol::{self, MAX_FRAME};
+use mpcbf::server::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+fn shared_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("mpcbf-hardening-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            metrics_addr: None,
+            durability: DurabilityOptions::new(&dir).fsync(FsyncPolicy::EveryN(256)),
+            filter: MpcbfConfig::builder()
+                .memory_bits(200_000)
+                .expected_items(2_000)
+                .hashes(3)
+                .seed(3)
+                .build()
+                .expect("config"),
+            shards: 4,
+        })
+        .expect("start hardening server");
+        let addr = server.local_addr();
+        // The server lives for the whole test process; hostile clients
+        // come and go underneath it.
+        std::mem::forget(server);
+        addr
+    })
+}
+
+/// The liveness probe every scenario ends with: a fresh connection must
+/// complete a full insert/query round-trip.
+fn assert_still_serving(tag: &str) {
+    let mut client = Client::connect(shared_server_addr()).expect("connect after hostility");
+    client
+        .ping()
+        .unwrap_or_else(|e| panic!("ping after {tag}: {e}"));
+    let key = format!("liveness-{tag}").into_bytes();
+    assert!(
+        client
+            .insert(&key)
+            .expect("insert after hostility")
+            .is_applied(),
+        "insert refused after {tag}"
+    );
+    assert!(client.query(&key).expect("query after hostility"));
+}
+
+#[test]
+fn truncated_frames_and_mid_frame_disconnects() {
+    let addr = shared_server_addr();
+    // Every prefix of a valid framed request, dropped mid-write.
+    let payload = protocol::encode_request(&protocol::Request::Insert(b"victim".to_vec()));
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    for cut in 0..framed.len() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&framed[..cut]).expect("partial write");
+        drop(stream); // disconnect inside the prefix or the frame body
+    }
+    assert_still_serving("mid-frame disconnects");
+}
+
+#[test]
+fn oversized_length_prefix_closes_without_allocation() {
+    let addr = shared_server_addr();
+    for hostile_len in [MAX_FRAME + 1, u32::MAX / 2, u32::MAX] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(&hostile_len.to_le_bytes())
+            .expect("hostile prefix");
+        // The server must drop the stream rather than wait for (or
+        // allocate) gigabytes; the next read observes EOF.
+        let mut one = [0u8; 1];
+        use std::io::Read;
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("timeout");
+        let n = stream.read(&mut one).expect("read after hostile prefix");
+        assert_eq!(n, 0, "connection must close after an oversized prefix");
+    }
+    assert_still_serving("oversized prefixes");
+}
+
+#[test]
+fn garbage_then_valid_on_the_same_connection() {
+    let addr = shared_server_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A well-framed but meaningless payload: BAD_REQUEST, connection
+    // stays open because framing never desynced.
+    let garbage = [0xEEu8; 32];
+    stream
+        .write_all(&(garbage.len() as u32).to_le_bytes())
+        .expect("prefix");
+    stream.write_all(&garbage).expect("garbage payload");
+    let mut reader = stream.try_clone().expect("clone");
+    let response = protocol::read_frame(&mut reader)
+        .expect("response after garbage")
+        .expect("frame after garbage");
+    assert_eq!(response.first(), Some(&protocol::STATUS_BAD_REQUEST));
+
+    // Same socket, now a valid request: it must be served normally.
+    let valid = protocol::encode_request(&protocol::Request::Query(b"whatever".to_vec()));
+    protocol::write_frame(&mut stream, &valid).expect("valid frame");
+    let response = protocol::read_frame(&mut reader)
+        .expect("response after recovery")
+        .expect("frame after recovery");
+    assert_eq!(response.first(), Some(&protocol::STATUS_OK));
+    assert_still_serving("garbage then valid");
+}
+
+#[test]
+fn hostile_batch_headers_are_refused() {
+    let addr = shared_server_addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // A batch claiming u32::MAX keys, and a key claiming u32::MAX bytes:
+    // both must come back BAD_REQUEST without the allocation.
+    let mut huge_count = vec![protocol::OP_INSERT_BATCH];
+    huge_count.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut huge_key = vec![protocol::OP_INSERT_BATCH];
+    huge_key.extend_from_slice(&1u32.to_le_bytes());
+    huge_key.extend_from_slice(&u32::MAX.to_le_bytes());
+    for payload in [huge_count, huge_key] {
+        protocol::write_frame(&mut stream, &payload).expect("hostile batch");
+        let response = protocol::read_frame(&mut stream)
+            .expect("response")
+            .expect("frame");
+        assert_eq!(response.first(), Some(&protocol::STATUS_BAD_REQUEST));
+    }
+    assert_still_serving("hostile batch headers");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_framed_payloads_never_kill_the_server(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        // The one payload excluded: a well-formed SHUTDOWN would stop
+        // the shared server out from under the other scenarios.
+        let mut payload = payload;
+        if payload == [protocol::OP_SHUTDOWN] {
+            payload[0] = 0xFF;
+        }
+        let addr = shared_server_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        protocol::write_frame(&mut stream, &payload).expect("framed fuzz");
+        // Whatever the payload decoded to, the server must answer with a
+        // well-formed frame (any status) rather than dying or stalling.
+        let response = protocol::read_frame(&mut stream)
+            .expect("fuzz response")
+            .expect("fuzz frame");
+        prop_assert!(!response.is_empty());
+        drop(stream);
+
+        let mut client = Client::connect(addr).expect("reconnect");
+        client.ping().expect("ping after fuzz");
+    }
+
+    #[test]
+    fn raw_unframed_bytes_never_kill_the_server(
+        bytes in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        // Not even framed: raw noise (an HTTP request, a TLS hello, /dev/urandom)
+        // hits the filter port and disconnects.
+        let addr = shared_server_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ = stream.write_all(&bytes);
+        drop(stream);
+        let mut client = Client::connect(addr).expect("reconnect");
+        client.ping().expect("ping after noise");
+    }
+}
