@@ -16,7 +16,11 @@
 //!   page (honoured by `stress`);
 //! * `--gate` — regression-gate mode (honoured by `bench_batch`): measure,
 //!   compare against the recorded baseline JSON instead of overwriting it,
-//!   and exit non-zero on a regression.
+//!   and exit non-zero on a regression;
+//! * `--ramp` — run the elastic capacity-ramp drill instead of the normal
+//!   workload (honoured by `stress`): a 10x key ramp against the elastic
+//!   pool, checking zero false negatives and the analytic FPR envelope at
+//!   every phase, including mid-compaction.
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone)]
@@ -39,6 +43,8 @@ pub struct Args {
     /// Regression-gate mode (`--gate`): compare against the recorded
     /// baseline instead of regenerating it; exit non-zero on regression.
     pub gate: bool,
+    /// Run the elastic capacity-ramp drill (`--ramp`).
+    pub ramp: bool,
 }
 
 impl Default for Args {
@@ -52,6 +58,7 @@ impl Default for Args {
             drill_matrix: false,
             telemetry: false,
             gate: false,
+            ramp: false,
         }
     }
 }
@@ -99,6 +106,7 @@ impl Args {
                 "--drill-matrix" => args.drill_matrix = true,
                 "--telemetry" => args.telemetry = true,
                 "--gate" => args.gate = true,
+                "--ramp" => args.ramp = true,
                 "--quiet" => args.quiet = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -124,7 +132,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale N] [--trials N] [--out DIR] [--quiet] [--faults SEED] \
-         [--drill-matrix] [--telemetry] [--gate]"
+         [--drill-matrix] [--telemetry] [--gate] [--ramp]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -168,6 +176,12 @@ mod tests {
     fn drill_matrix_flag() {
         assert!(!parse(&[]).drill_matrix);
         assert!(parse(&["--drill-matrix"]).drill_matrix);
+    }
+
+    #[test]
+    fn ramp_flag() {
+        assert!(!parse(&[]).ramp);
+        assert!(parse(&["--ramp"]).ramp);
     }
 
     #[test]

@@ -32,6 +32,15 @@
 //!
 //! With `--drill-matrix` the campaign runs over every seed in
 //! [`mpcbf_workloads::DRILL_SEEDS`] — the exact matrix CI executes.
+//!
+//! With `--ramp` the binary instead runs the elastic capacity drill: a
+//! 10x phased key ramp (`mpcbf_workloads::RampSpec`) against a
+//! manual-mode `ElasticMpcbf`, asserting zero false negatives on the
+//! live set and empirical FPR within the analytic stacked-generation
+//! envelope at every phase boundary *and at sampled points inside an
+//! in-flight compaction*, plus a sliding-window rotation check (no
+//! false negative on any in-window key across a full rotation cycle).
+//! Any violation panics, failing CI.
 
 use mpcbf_bench::Args;
 use mpcbf_concurrent::ShardedMpcbf;
@@ -45,7 +54,7 @@ use mpcbf_hash::Murmur3;
 use mpcbf_variants::{DlCbf, Rcbf, ViCbf};
 use mpcbf_workloads::driver::{replay_synthetic, replay_synthetic_faulty};
 use mpcbf_workloads::synthetic::{SyntheticSpec, SyntheticWorkload};
-use mpcbf_workloads::{FaultMix, FaultPlan, DRILL_SEEDS};
+use mpcbf_workloads::{FaultMix, FaultPlan, RampSpec, DRILL_SEEDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -741,8 +750,137 @@ fn telemetry_validation(args: &Args) {
     }
 }
 
+/// One FPR-vs-envelope sample: empirical false-positive rate over the
+/// never-inserted probe set must sit inside the analytic envelope (plus
+/// four binomial standard deviations of sampling noise).
+fn check_fpr_within_envelope(
+    filter: &mpcbf_core::ElasticMpcbf<Murmur3>,
+    probes: &[Vec<u8>],
+    when: &str,
+) -> (f64, f64) {
+    let hits = probes.iter().filter(|p| filter.contains_bytes(p)).count();
+    let empirical = hits as f64 / probes.len() as f64;
+    let envelope = filter.fpr_envelope();
+    let sigma = (envelope * (1.0 - envelope) / probes.len() as f64)
+        .max(0.0)
+        .sqrt();
+    assert!(
+        empirical <= envelope + 4.0 * sigma + 1e-9,
+        "{when}: empirical FPR {empirical:.6} exceeds envelope {envelope:.6} (+4σ)"
+    );
+    (empirical, envelope)
+}
+
+/// The elastic capacity drill (see the module docs).
+fn ramp_drill(args: &Args) {
+    use mpcbf_core::policy::CapacityPolicy;
+    use mpcbf_core::{ElasticMpcbf, SlidingWindowMpcbf};
+
+    let base_items = args.scaled(20_000);
+    let spec = RampSpec::tenfold(base_items, 0x7a3f);
+    let probes = spec.negative_probes(20_000);
+    let config = MpcbfConfig::builder()
+        .memory_bits(16 * base_items)
+        .expected_items(base_items)
+        .hashes(3)
+        .seed(0x5eed)
+        .build()
+        .expect("ramp shape");
+
+    println!("ramp drill: {base_items} -> {} keys", spec.final_items());
+    let mut filter: ElasticMpcbf<Murmur3> =
+        ElasticMpcbf::manual(config, CapacityPolicy::default()).expect("elastic filter");
+    let mut live: Vec<Vec<u8>> = Vec::with_capacity(spec.final_items() as usize);
+    let mut mid_samples = 0u64;
+    for (i, phase) in spec.phases().into_iter().enumerate() {
+        for key in &phase.keys {
+            filter
+                .insert_bytes(key)
+                .expect("elastic insert is lossless");
+        }
+        live.extend(phase.keys);
+        // Drive any parked scale plan, sampling FPR *inside* the
+        // migration: the envelope must hold at every instant, not just
+        // at the fixed points.
+        while let Some(plan) = filter.scale_plan() {
+            filter.apply_scale(&plan).expect("apply parked scale plan");
+            assert!(filter.begin_compaction(), "scale-up must leave sources");
+            while filter.compacting() {
+                filter.step_compaction(live.len() / 64 + 1);
+                check_fpr_within_envelope(&filter, &probes, "mid-compaction");
+                mid_samples += 1;
+                for key in live.iter().step_by(97) {
+                    assert!(
+                        filter.contains_bytes(key),
+                        "false negative mid-compaction at phase {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(filter.items(), phase.target_items, "phase {i} population");
+        for key in &live {
+            assert!(filter.contains_bytes(key), "false negative at phase {i}");
+        }
+        let (empirical, envelope) =
+            check_fpr_within_envelope(&filter, &probes, &format!("phase {i}"));
+        filter.verify().expect("structural invariants");
+        println!(
+            "  phase {i}: items {} generations {} fpr {empirical:.6} <= envelope {envelope:.6}",
+            filter.items(),
+            filter.generation_count(),
+        );
+    }
+    assert!(
+        filter.scale_events() > 0,
+        "a 10x ramp must trigger at least one scale-up"
+    );
+    assert!(mid_samples > 0, "the drill must sample inside a migration");
+    println!(
+        "ramp drill: clean ({} scale events, {} compactions, {mid_samples} mid-migration samples)",
+        filter.scale_events(),
+        filter.compactions()
+    );
+
+    // Sliding window: a full rotation cycle with zero false negatives
+    // on every in-window key.
+    let slots = 4usize;
+    let per_epoch = args.scaled(2_000);
+    let mut window: SlidingWindowMpcbf<Murmur3> = SlidingWindowMpcbf::new(config, slots);
+    let mut epochs: Vec<Vec<Vec<u8>>> = Vec::new();
+    for epoch in 0..(2 * slots as u64 + 1) {
+        let keys: Vec<Vec<u8>> = (0..per_epoch)
+            .map(|i| format!("window-{epoch}-{i}").into_bytes())
+            .collect();
+        for key in &keys {
+            window.insert_bytes(key).expect("window insert");
+        }
+        epochs.push(keys);
+        // Every key whose slot is still in the ring must answer present.
+        let in_window = epochs.iter().rev().take(slots);
+        for (age, keys) in in_window.enumerate() {
+            for key in keys {
+                assert!(
+                    window.contains_bytes(key),
+                    "window false negative (epoch age {age}, rotation {epoch})"
+                );
+            }
+        }
+        window.rotate();
+    }
+    window.verify().expect("window invariants");
+    println!(
+        "window drill: clean ({} rotations, {} slots)",
+        window.rotations(),
+        slots
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if args.ramp {
+        ramp_drill(&args);
+        return;
+    }
     if args.telemetry {
         telemetry_validation(&args);
         return;

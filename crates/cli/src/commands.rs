@@ -329,6 +329,7 @@ pub fn serve(opts: &Opts, out: &mut impl Write) -> Result<(), CliError> {
         durability,
         filter: config,
         shards: opts.shards.unwrap_or(8),
+        elastic: opts.elastic,
     })
     .map_err(|e| CliError::Runtime(format!("server start failed: {e}")))?;
 

@@ -32,13 +32,16 @@ commands:
             keys are then inserted durably and a snapshot is taken
   serve   --dir DIR [--addr HOST:PORT] [--metrics-addr HOST:PORT]
           [--shards P] [--fsync always|every-N|interval-Nms|interval-Nus]
-          [--snapshot-every N] [--items N] [--memory-bits M]
+          [--snapshot-every N] [--elastic] [--items N] [--memory-bits M]
           [--hashes K] [--accesses G] [--seed S]
             recover (or create) a durable sharded MPCBF in DIR and serve
             it over TCP (length-prefixed frame protocol; see
             mpcbf-server); prints `listening on ADDR`, then blocks until
             a client sends SHUTDOWN; acked mutations are WAL-logged
-            under the chosen fsync policy before the reply
+            under the chosen fsync policy before the reply; with
+            --elastic, shards autoscale under overload (scale-ups are
+            WAL-logged, mutations shed RETRY_LATER while a shard
+            reorganises) — a DIR keeps its mode for life
 
 defaults: --hashes 3, --accesses 1, --kind mpcbf, --seed 1,
           --memory-bits = 16 bits/item, --addr 127.0.0.1:7700,
@@ -82,6 +85,7 @@ pub struct Opts {
     pub shards: Option<usize>,
     pub fsync: Option<String>,
     pub snapshot_every: Option<u64>,
+    pub elastic: bool,
 }
 
 impl Default for Opts {
@@ -104,6 +108,7 @@ impl Default for Opts {
             shards: None,
             fsync: None,
             snapshot_every: None,
+            elastic: false,
         }
     }
 }
@@ -144,6 +149,7 @@ impl Opts {
                     opts.fpr = Some(f);
                 }
                 "--telemetry" => opts.telemetry = true,
+                "--elastic" => opts.elastic = true,
                 "--addr" => opts.addr = Some(value("--addr")?),
                 "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
                 "--shards" => {
@@ -307,8 +313,11 @@ mod tests {
             "every-64",
             "--snapshot-every",
             "10k",
+            "--elastic",
         ])
         .unwrap();
+        assert!(o.elastic);
+        assert!(!parse(&["--dir", "d"]).unwrap().elastic);
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
         assert_eq!(o.shards, Some(16));

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod elastic;
 pub mod sharded;
 #[cfg(feature = "stats")]
 pub mod stats;
 
 pub use atomic::AtomicMpcbf;
+pub use elastic::{ElasticShardedMpcbf, ElasticStats};
 pub use sharded::{ShardBatch, ShardedMpcbf};
 #[cfg(feature = "stats")]
 pub use stats::{AccessLedger, LockStats, ShardStats};

@@ -76,6 +76,12 @@ pub const KIND_RESILIENT: u8 = 3;
 /// Image kind byte for `ShardedMpcbf` over 64-bit words (encoded by the
 /// `mpcbf-concurrent` crate through this module's [`Writer`]/[`Reader`]).
 pub const KIND_SHARDED64: u8 = 4;
+/// Image kind byte for [`ElasticMpcbf`](crate::elastic::ElasticMpcbf)
+/// (generation stack + rosters + capacity-policy state).
+pub const KIND_ELASTIC: u8 = 5;
+/// Image kind byte for `ElasticShardedMpcbf` (encoded by the
+/// `mpcbf-concurrent` crate through this module's [`Writer`]/[`Reader`]).
+pub const KIND_ELASTIC_SHARDED: u8 = 6;
 
 /// Hard ceiling on any single length field decoded from an image, in
 /// entries. Nothing this codec serializes legitimately exceeds it, and
@@ -426,9 +432,233 @@ impl<H: Hasher128> crate::resilient::ResilientMpcbf<H> {
     }
 }
 
+/// Encodes one sorted roster (key → multiplicity) into `w`.
+fn encode_roster(w: &mut Writer, roster: &std::collections::HashMap<Vec<u8>, u32>) {
+    w.u64(roster.len() as u64);
+    let mut entries: Vec<(&Vec<u8>, &u32)> = roster.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    for (key, &mult) in entries {
+        w.u32(key.len() as u32);
+        w.bytes(key);
+        w.u32(mult);
+    }
+}
+
+/// Decodes a roster written by [`encode_roster`], rejecting zero
+/// multiplicities, duplicate keys, and counts the body cannot hold.
+fn decode_roster(
+    r: &mut Reader<'_>,
+) -> Result<std::collections::HashMap<Vec<u8>, u32>, CodecError> {
+    let entry_count = r.u64()?;
+    if entry_count > (r.remaining() as u64) / 8 {
+        return Err(CodecError::BadHeader("roster entry count"));
+    }
+    let mut roster = std::collections::HashMap::with_capacity(entry_count as usize);
+    for _ in 0..entry_count {
+        let klen = r.u32()? as usize;
+        let key = r.bytes(klen)?.to_vec();
+        let mult = r.u32()?;
+        if mult == 0 {
+            return Err(CodecError::BadHeader("zero roster multiplicity"));
+        }
+        if roster.insert(key, mult).is_some() {
+            return Err(CodecError::BadHeader("duplicate roster key"));
+        }
+    }
+    Ok(roster)
+}
+
+impl<H: Hasher128> crate::elastic::ElasticMpcbf<H> {
+    /// Encodes the whole generation stack — policy, trigger state, every
+    /// generation's resilient image + roster, and the in-flight
+    /// migration's source ids — into one framed image.
+    ///
+    /// The migration *worklist* is deliberately not serialized: migrated
+    /// keys leave their source roster, so the remaining work is exactly
+    /// the keys still in the source rosters and [`decode`] rebuilds it
+    /// deterministically. Rosters are sorted, so the encoding is
+    /// deterministic end to end (durability snapshots rely on this).
+    ///
+    /// [`decode`]: ElasticMpcbf::decode
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_ELASTIC);
+        // Policy (f64 thresholds as raw bits).
+        w.u64(self.policy.max_pressure.to_bits());
+        w.u64(self.policy.release_pressure.to_bits());
+        w.u64(self.policy.max_spilled);
+        w.u64(self.policy.growth.to_bits());
+        w.u64(self.policy.max_generations as u64);
+        w.u64(self.policy.check_interval);
+        w.u64(self.policy.compact_batch as u64);
+        // Base shape parameters.
+        w.u64(self.base.seed);
+        w.u32(self.base.k);
+        w.u32(self.base.g);
+        w.u32(self.base.w);
+        w.u32(self.base.n_max);
+        // Trigger / lifecycle state.
+        let mut flags = 0u32;
+        if self.auto {
+            flags |= 1;
+        }
+        if self.latched {
+            flags |= 2;
+        }
+        if self.pending_scale.is_some() {
+            flags |= 4;
+        }
+        if self.migration.is_some() {
+            flags |= 8;
+        }
+        w.u32(flags);
+        w.u64(self.next_id);
+        w.u64(self.scale_events);
+        w.u64(self.compactions);
+        w.u64(self.migrated_keys);
+        if let Some(spec) = &self.pending_scale {
+            w.u64(spec.memory_bits);
+            w.u64(spec.expected_items);
+        }
+        // The generation stack, oldest first.
+        w.u64(self.generations.len() as u64);
+        for gen in &self.generations {
+            w.u64(gen.id);
+            w.u64(gen.memory_bits);
+            w.u64(gen.expected_items);
+            let image = gen.filter.encode();
+            w.u64(image.len() as u64);
+            w.bytes(&image);
+            encode_roster(&mut w, &gen.roster);
+        }
+        if let Some(migration) = &self.migration {
+            w.u64(migration.source_ids.len() as u64);
+            for &id in &migration.source_ids {
+                w.u64(id);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a filter previously produced by [`ElasticMpcbf::encode`].
+    ///
+    /// Every nested resilient image revalidates its own envelope, the
+    /// policy is re-validated, generation ids must be strictly increasing
+    /// below `next_id`, each roster's total multiplicity must equal its
+    /// filter's item count, and migration source ids must name sealed
+    /// generations — a malformed image errors, never panics, and never
+    /// fabricates a stack that the filter's own invariants would reject.
+    pub fn decode(buf: &[u8]) -> Result<Self, CodecError> {
+        use crate::elastic::{BaseParams, Generation, ScaleSpec};
+        use crate::policy::CapacityPolicy;
+
+        let mut r = Reader::open(buf, KIND_ELASTIC)?;
+        let policy = CapacityPolicy {
+            max_pressure: f64::from_bits(r.u64()?),
+            release_pressure: f64::from_bits(r.u64()?),
+            max_spilled: r.u64()?,
+            growth: f64::from_bits(r.u64()?),
+            max_generations: usize::try_from(r.u64()?)
+                .map_err(|_| CodecError::BadHeader("max_generations"))?,
+            check_interval: r.u64()?,
+            compact_batch: usize::try_from(r.u64()?)
+                .map_err(|_| CodecError::BadHeader("compact_batch"))?,
+        };
+        policy
+            .validate()
+            .map_err(|_| CodecError::BadHeader("capacity policy"))?;
+        let base = BaseParams {
+            seed: r.u64()?,
+            k: r.u32()?,
+            g: r.u32()?,
+            w: r.u32()?,
+            n_max: r.u32()?,
+        };
+        let flags = r.u32()?;
+        if flags & !0xF != 0 {
+            return Err(CodecError::BadHeader("unknown flags"));
+        }
+        let auto = flags & 1 != 0;
+        let latched = flags & 2 != 0;
+        let next_id = r.u64()?;
+        let scale_events = r.u64()?;
+        let compactions = r.u64()?;
+        let migrated_keys = r.u64()?;
+        let pending_scale = if flags & 4 != 0 {
+            Some(ScaleSpec {
+                memory_bits: r.u64()?,
+                expected_items: r.u64()?,
+            })
+        } else {
+            None
+        };
+        let gen_count = r.u64()?;
+        if gen_count == 0 || gen_count > (r.remaining() as u64) / 32 {
+            return Err(CodecError::BadHeader("generation count"));
+        }
+        let mut generations: Vec<Generation<H>> = Vec::with_capacity(gen_count as usize);
+        let mut last_id: Option<u64> = None;
+        for _ in 0..gen_count {
+            let id = r.u64()?;
+            if id >= next_id || last_id.is_some_and(|prev| id <= prev) {
+                return Err(CodecError::BadHeader("generation id order"));
+            }
+            last_id = Some(id);
+            let memory_bits = r.u64()?;
+            let expected_items = r.u64()?;
+            let image_len = r.u64()? as usize;
+            let filter = crate::resilient::ResilientMpcbf::<H>::decode(r.bytes(image_len)?)?;
+            let roster = decode_roster(&mut r)?;
+            let total: u64 = roster.values().map(|&c| u64::from(c)).sum();
+            if total != filter.items() {
+                return Err(CodecError::BadHeader("roster does not cover the filter"));
+            }
+            generations.push(Generation {
+                id,
+                filter,
+                roster,
+                memory_bits,
+                expected_items,
+            });
+        }
+        let migration_sources = if flags & 8 != 0 {
+            let count = r.u64()?;
+            if count > (r.remaining() as u64) / 8 {
+                return Err(CodecError::BadHeader("migration source count"));
+            }
+            let active_id = generations.last().expect("gen_count >= 1").id;
+            let mut sources = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = r.u64()?;
+                if id == active_id || !generations.iter().any(|g| g.id == id) {
+                    return Err(CodecError::BadHeader("migration source id"));
+                }
+                sources.push(id);
+            }
+            Some(sources)
+        } else {
+            None
+        };
+        r.expect_end()?;
+        Ok(Self::from_parts(
+            generations,
+            policy,
+            base,
+            next_id,
+            latched,
+            auto,
+            pending_scale,
+            migration_sources,
+            scale_events,
+            compactions,
+            migrated_keys,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::elastic::ElasticMpcbf;
     use crate::resilient::ResilientMpcbf;
     use crate::traits::{CountingFilter, Filter};
     use mpcbf_hash::Murmur3;
@@ -665,6 +895,90 @@ mod tests {
         w.u64(0); // saturations
         let image = w.finish();
         assert!(Cbf::<Murmur3>::decode(&image).is_err());
+    }
+
+    fn loaded_elastic() -> ElasticMpcbf<Murmur3> {
+        let cfg = MpcbfConfig::builder()
+            .memory_bits(32_768)
+            .expected_items(500)
+            .hashes(3)
+            .seed(31)
+            .build()
+            .unwrap();
+        let mut f: ElasticMpcbf<Murmur3> =
+            ElasticMpcbf::manual(cfg, crate::policy::CapacityPolicy::default()).unwrap();
+        for i in 0..5_000u64 {
+            f.insert(&i).unwrap();
+        }
+        let spec = f.scale_plan().expect("overload must park a plan");
+        f.apply_scale(&spec).unwrap();
+        for i in 5_000..6_000u64 {
+            f.insert(&i).unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn elastic_roundtrip_is_deterministic_and_preserves_the_stack() {
+        let f = loaded_elastic();
+        assert!(f.generation_count() >= 2);
+        let image = f.encode();
+        assert_eq!(image, f.encode(), "encoding must be deterministic");
+        let d = ElasticMpcbf::<Murmur3>::decode(&image).unwrap();
+        assert_eq!(d.generation_count(), f.generation_count());
+        assert_eq!(d.items(), f.items());
+        assert_eq!(d.scale_events(), f.scale_events());
+        assert_eq!(d.generation_infos(), f.generation_infos());
+        for i in 0..6_000u64 {
+            assert!(d.contains(&i), "false negative for {i} after roundtrip");
+        }
+        assert_eq!(d.encode(), image);
+        // The decoded filter keeps working: removals route by roster.
+        let mut d = d;
+        for i in 0..6_000u64 {
+            d.remove(&i).unwrap();
+        }
+        assert_eq!(d.items(), 0);
+    }
+
+    #[test]
+    fn elastic_mid_migration_roundtrip_resumes_compaction() {
+        let mut f = loaded_elastic();
+        assert!(f.begin_compaction());
+        f.step_compaction(100);
+        assert!(f.compacting(), "partial step must leave work");
+        let image = f.encode();
+        let mut d = ElasticMpcbf::<Murmur3>::decode(&image).unwrap();
+        assert!(d.compacting(), "migration must survive the roundtrip");
+        assert_eq!(d.items(), f.items());
+        // Both copies drain to the same final state.
+        while d.step_compaction(512) > 0 {}
+        while f.step_compaction(512) > 0 {}
+        assert_eq!(d.generation_count(), f.generation_count());
+        assert_eq!(d.items(), f.items());
+        for i in 0..6_000u64 {
+            assert!(d.contains(&i));
+        }
+        assert_eq!(d.encode(), f.encode(), "resumed stacks must converge");
+    }
+
+    #[test]
+    fn elastic_bitflips_and_truncation_are_detected() {
+        let image = loaded_elastic().encode();
+        for pos in [0usize, 4, 5, 30, 80, image.len() / 2, image.len() - 1] {
+            let mut corrupt = image.clone();
+            corrupt[pos] ^= 0x20;
+            assert!(
+                ElasticMpcbf::<Murmur3>::decode(&corrupt).is_err(),
+                "bitflip at {pos} went undetected"
+            );
+        }
+        for cut in [0usize, 5, 20, image.len() / 3, image.len() - 3] {
+            assert!(
+                ElasticMpcbf::<Murmur3>::decode(&image[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

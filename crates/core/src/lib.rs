@@ -43,15 +43,18 @@ pub mod bloom;
 pub mod cbf;
 pub mod codec;
 pub mod config;
+pub mod elastic;
 pub mod error;
 pub mod hcbf;
 pub mod metrics;
 pub mod mpcbf;
 pub mod pcbf;
 pub mod plan;
+pub mod policy;
 pub mod resilient;
 pub mod scrub;
 pub mod traits;
+pub mod window;
 
 pub use codec::CodecError;
 
@@ -59,15 +62,18 @@ pub use bf1::BfG;
 pub use bloom::BloomFilter;
 pub use cbf::Cbf;
 pub use config::{MpcbfConfig, MpcbfConfigBuilder};
+pub use elastic::{ElasticMpcbf, GenerationInfo, ScaleSpec};
 pub use error::{ConfigError, FilterError};
 pub use hcbf::{HcbfWord, WordError};
 pub use metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink, OpTally};
 pub use mpcbf::{Mpcbf, Mpcbf1};
 pub use pcbf::Pcbf;
 pub use plan::{PlanBuffer, ProbePlan, SMALL_BATCH};
+pub use policy::CapacityPolicy;
 pub use resilient::{ResilientMpcbf, ResilientSeal};
 pub use scrub::{FilterSeal, ScrubReport, SEGMENT_WORDS};
 pub use traits::{CountingFilter, Filter};
+pub use window::SlidingWindowMpcbf;
 
 /// Salt for the word-selector hash stream (`H_1..H_g` in the paper).
 pub(crate) const WORD_SALT: u64 = 0x4d50_4342_465f_5744; // "MPCBF_WD"
@@ -97,14 +103,17 @@ pub mod prelude {
     pub use crate::bloom::BloomFilter;
     pub use crate::cbf::Cbf;
     pub use crate::config::MpcbfConfig;
+    pub use crate::elastic::{ElasticMpcbf, GenerationInfo, ScaleSpec};
     pub use crate::error::{ConfigError, FilterError};
     pub use crate::metrics::{AccessStats, HealthReport, NoopSink, OpCost, OpKind, OpSink};
     pub use crate::mpcbf::{Mpcbf, Mpcbf1};
     pub use crate::pcbf::Pcbf;
     pub use crate::plan::{PlanBuffer, ProbePlan};
+    pub use crate::policy::CapacityPolicy;
     pub use crate::resilient::{ResilientMpcbf, ResilientSeal};
     pub use crate::scrub::{FilterSeal, ScrubReport};
     pub use crate::traits::{CountingFilter, Filter};
+    pub use crate::window::SlidingWindowMpcbf;
 }
 
 #[cfg(test)]

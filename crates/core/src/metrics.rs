@@ -242,6 +242,30 @@ impl HealthReport {
     pub fn is_saturated(&self) -> bool {
         self.max_word_load >= self.word_capacity
     }
+
+    /// One-number capacity-pressure summary in `[0, 1]` and beyond.
+    ///
+    /// Defined as the worst of the average fill ratio and the hottest
+    /// word's load fraction, clamped up to at least `1.0` whenever the
+    /// structure has already overflowed or is spilling — those states mean
+    /// the shape has *demonstrably* run out of room regardless of what
+    /// the averages claim. A
+    /// [`CapacityPolicy`](crate::policy::CapacityPolicy) compares this
+    /// summary (plus the raw spill gauges) against its thresholds to
+    /// decide when an elastic filter must grow.
+    pub fn pressure(&self) -> f64 {
+        let word_pressure = if self.word_capacity == 0 {
+            0.0
+        } else {
+            f64::from(self.max_word_load) / f64::from(self.word_capacity)
+        };
+        let p = self.fill_ratio.max(word_pressure);
+        if self.overflows > 0 || self.is_spilling() {
+            p.max(1.0)
+        } else {
+            p
+        }
+    }
 }
 
 /// Deduplicating tracker for word indices touched within one operation.

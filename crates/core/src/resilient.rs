@@ -142,6 +142,26 @@ impl<H: Hasher128> ResilientMpcbf<H> {
         self.main.items() + self.spill_occupancy
     }
 
+    /// Analytic false-positive envelope at the current occupancy.
+    ///
+    /// This is Eq. (8)/(9) evaluated for the main filter's shape at its
+    /// *current* item count. The spill contributes no term: spilled
+    /// membership is decided by the exact map (the gate only
+    /// short-circuits negatives), so the spill can never produce a false
+    /// positive. The envelope therefore rises with occupancy but stays
+    /// finite even when the shape is saturated — exactly the quantity an
+    /// elastic wrapper sums across generations to bound its stacked FPR.
+    pub fn fpr_envelope(&self) -> f64 {
+        let shape = self.main.shape();
+        mpcbf_analysis::mpcbf::fpr_mpcbf_g_b1(
+            self.main.items(),
+            shape.l,
+            shape.k,
+            shape.g,
+            shape.b1,
+        )
+    }
+
     /// Saturation snapshot of the whole structure: the main filter's
     /// fill/overflow figures plus the spill's occupancy.
     pub fn health(&self) -> HealthReport {

@@ -1,0 +1,260 @@
+//! Sliding-window MPCBF: a ring of timed generations.
+//!
+//! Flow-trace workloads care about *recent* membership — "has this flow
+//! been seen in the last N intervals?" — and stale flows must age out or
+//! the filter's occupancy (and FPR) only ever grows.
+//! [`SlidingWindowMpcbf`] holds a **ring of generation slots**, each a
+//! lossless [`ResilientMpcbf`]:
+//!
+//! * inserts land in the **active** slot,
+//! * queries OR across **all** slots (so the window FPR is bounded by
+//!   the sum of per-slot envelopes, like the elastic stack),
+//! * [`SlidingWindowMpcbf::rotate`] advances the window one interval:
+//!   the *oldest* slot is dropped wholesale and rebuilt empty (with a
+//!   fresh epoch-derived seed) to become the new active slot.
+//!
+//! Dropping a whole generation is what makes ageing **exact**: a key
+//! inserted during the last `slots` intervals lives in a slot that has
+//! not been rebuilt yet, so in-window keys can never produce a false
+//! negative; out-of-window keys vanish with their slot, counters and
+//! all, with none of the decay-error of per-counter ageing schemes. The
+//! caller drives rotation (a packet pipeline rotates on interval
+//! boundaries; tests rotate explicitly), keeping the structure free of
+//! clocks and therefore deterministic.
+
+use crate::config::MpcbfConfig;
+use crate::metrics::OpCost;
+use crate::resilient::ResilientMpcbf;
+use crate::traits::Filter;
+use crate::FilterError;
+use mpcbf_hash::{Hasher128, Murmur3};
+
+/// Salt folded into per-epoch slot seeds so every slot generation hashes
+/// independently of its predecessors.
+const WINDOW_SALT: u64 = 0x5749_4e44_4f57_2121; // "WINDOW!!"
+
+/// splitmix64 finalizer (same mixing as the elastic generations).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A sliding-window filter over a ring of MPCBF generations.
+///
+/// ```
+/// use mpcbf_core::{Filter, MpcbfConfig, SlidingWindowMpcbf};
+///
+/// let config = MpcbfConfig::builder()
+///     .memory_bits(100_000)
+///     .expected_items(1_000)
+///     .hashes(3)
+///     .seed(21)
+///     .build()
+///     .unwrap();
+/// let mut window: SlidingWindowMpcbf = SlidingWindowMpcbf::new(config, 4);
+/// window.insert(&"flow-a").unwrap();
+/// window.rotate(); // one interval passes
+/// assert!(window.contains(&"flow-a")); // still in-window
+/// for _ in 0..4 {
+///     window.rotate();
+/// }
+/// assert!(!window.contains(&"flow-a")); // aged out with its slot
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindowMpcbf<H: Hasher128 = Murmur3> {
+    /// The ring; `slots[active]` takes inserts.
+    slots: Vec<ResilientMpcbf<H>>,
+    /// Index of the slot currently taking inserts.
+    active: usize,
+    /// Lifetime rotation count; also the epoch feeding fresh slot seeds.
+    rotations: u64,
+    /// Per-slot configuration template (seed re-derived per epoch).
+    config: MpcbfConfig,
+}
+
+impl<H: Hasher128> SlidingWindowMpcbf<H> {
+    /// Creates a window of `slots` generations, each shaped by `config`
+    /// (so the whole window holds roughly `slots x expected_items` flows
+    /// in `slots x memory_bits` of memory).
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero.
+    pub fn new(config: MpcbfConfig, slots: usize) -> Self {
+        assert!(slots > 0, "a window needs at least one slot");
+        let ring = (0..slots as u64)
+            .map(|i| ResilientMpcbf::new(Self::slot_config(&config, i)))
+            .collect();
+        SlidingWindowMpcbf {
+            slots: ring,
+            active: 0,
+            rotations: 0,
+            config,
+        }
+    }
+
+    /// The slot configuration for epoch `epoch`: the template with an
+    /// epoch-mixed seed, so rebuilt slots never correlate with the key
+    /// placements of the generation they replaced.
+    fn slot_config(template: &MpcbfConfig, epoch: u64) -> MpcbfConfig {
+        let shape = template.shape();
+        MpcbfConfig::builder()
+            .memory_bits(shape.l * u64::from(shape.w))
+            .expected_items(template.expected_items())
+            .hashes(shape.k)
+            .accesses(shape.g)
+            .word_bits(shape.w)
+            .n_max(shape.n_max)
+            .seed(template.seed() ^ mix64(WINDOW_SALT.wrapping_add(epoch)))
+            .build()
+            .expect("template config already validated")
+    }
+
+    /// Number of slots in the ring (the window length, in intervals).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lifetime rotation count.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Net elements currently stored across the window.
+    pub fn items(&self) -> u64 {
+        self.slots.iter().map(|s| s.items()).sum()
+    }
+
+    /// Analytic false-positive envelope of the window: the sum of every
+    /// slot's envelope (union bound over the OR'd queries).
+    pub fn fpr_envelope(&self) -> f64 {
+        self.slots.iter().map(|s| s.fpr_envelope()).sum()
+    }
+
+    /// Structural self-check across every slot.
+    pub fn verify(&self) -> Result<(), FilterError> {
+        for slot in &self.slots {
+            slot.verify()?;
+        }
+        Ok(())
+    }
+
+    /// Advances the window one interval: the oldest slot is dropped
+    /// wholesale (its keys age out *exactly*) and rebuilt empty with a
+    /// fresh epoch seed, becoming the new active slot.
+    pub fn rotate(&mut self) {
+        self.rotations += 1;
+        let next = (self.active + 1) % self.slots.len();
+        let epoch = self.rotations.wrapping_add(self.slots.len() as u64);
+        self.slots[next] = ResilientMpcbf::new(Self::slot_config(&self.config, epoch));
+        self.active = next;
+    }
+}
+
+impl<H: Hasher128> Filter for SlidingWindowMpcbf<H> {
+    /// ORs the query across all slots, active (most recent) first.
+    fn contains_bytes_cost(&self, key: &[u8]) -> (bool, OpCost) {
+        let mut total = OpCost::zero();
+        let n = self.slots.len();
+        for back in 0..n {
+            let slot = &self.slots[(self.active + n - back) % n];
+            let (hit, cost) = slot.contains_bytes_cost(key);
+            total = total.add(cost);
+            if hit {
+                return (true, total);
+            }
+        }
+        (false, total)
+    }
+
+    /// Lossless insert into the active slot.
+    fn insert_bytes_cost(&mut self, key: &[u8]) -> Result<OpCost, FilterError> {
+        self.slots[self.active].insert_bytes_cost(key)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.slots.iter().map(|s| s.memory_bits()).sum()
+    }
+
+    fn num_hashes(&self) -> u32 {
+        self.config.shape().k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_config(seed: u64) -> MpcbfConfig {
+        MpcbfConfig::builder()
+            .memory_bits(100_000)
+            .expected_items(1_000)
+            .hashes(3)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn in_window_keys_never_false_negative_across_a_full_rotation() {
+        let slots = 4usize;
+        let mut w: SlidingWindowMpcbf = SlidingWindowMpcbf::new(window_config(1), slots);
+        // Insert a distinct batch per interval across one full rotation
+        // of the ring, plus change.
+        let mut live: Vec<Vec<u64>> = Vec::new();
+        for interval in 0..(2 * slots as u64) {
+            let batch: Vec<u64> = (0..500u64).map(|i| interval * 10_000 + i).collect();
+            for key in &batch {
+                w.insert(key).unwrap();
+            }
+            live.push(batch);
+            // Every batch inserted within the last `slots` intervals must
+            // still be present — zero false negatives on in-window keys.
+            let start = live.len().saturating_sub(slots);
+            for batch in &live[start..] {
+                for key in batch {
+                    assert!(w.contains(key), "in-window key {key} lost");
+                }
+            }
+            w.rotate();
+        }
+        assert_eq!(w.rotations(), 2 * slots as u64);
+        assert_eq!(w.verify(), Ok(()));
+    }
+
+    #[test]
+    fn out_of_window_keys_age_out() {
+        let mut w: SlidingWindowMpcbf = SlidingWindowMpcbf::new(window_config(2), 3);
+        for key in 0..200u64 {
+            w.insert(&key).unwrap();
+        }
+        for _ in 0..3 {
+            w.rotate();
+        }
+        let survivors = (0..200u64).filter(|k| w.contains(k)).count();
+        // Aged-out keys can only reappear as fresh false positives of the
+        // rebuilt slots, which are empty — so none survive.
+        assert_eq!(survivors, 0, "aged-out keys must vanish with their slot");
+        assert_eq!(w.items(), 0);
+    }
+
+    #[test]
+    fn rotation_resets_occupancy_and_envelope() {
+        let mut w: SlidingWindowMpcbf = SlidingWindowMpcbf::new(window_config(3), 2);
+        for key in 0..1_000u64 {
+            w.insert(&key).unwrap();
+        }
+        let full = w.fpr_envelope();
+        assert!(full > 0.0);
+        w.rotate();
+        w.rotate();
+        assert_eq!(w.items(), 0);
+        assert!(w.fpr_envelope() < full);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_is_rejected() {
+        let _w: SlidingWindowMpcbf = SlidingWindowMpcbf::new(window_config(4), 0);
+    }
+}

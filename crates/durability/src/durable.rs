@@ -362,6 +362,10 @@ pub(crate) fn apply_op<F: CountingFilter>(filter: &mut F, op: &WalOp) {
             let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
             let _ = filter.remove_batch_cost(&views);
         }
+        // Structural events belong to the elastic replay path
+        // (`elastic::apply_elastic_op`); a fixed-size filter has no
+        // generations to scale or compact.
+        WalOp::ScaleUp { .. } | WalOp::Compact => {}
     }
 }
 

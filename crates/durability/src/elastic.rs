@@ -1,0 +1,592 @@
+//! Durability for [`ElasticShardedMpcbf`]: WAL-logged structural events.
+//!
+//! The elastic pool changes *shape* at runtime — shards scale up and
+//! compact — so its log carries two record kinds beyond key mutations:
+//! [`WalOp::ScaleUp`] (the exact [`ScaleSpec`] applied, logged before the
+//! generation is pushed) and [`WalOp::Compact`] (logged when a
+//! compaction begins). Replay re-applies the same spec at the same
+//! position in the per-shard op stream, so a recovered stack has the
+//! same generations, seeds, and membership as the crashed one; a
+//! [`WalOp::Compact`] record drains the whole migration synchronously
+//! during replay, which lands the recovered filter at the compaction's
+//! fixed point (counter updates commute, so interleaving differences
+//! between the live run and replay cannot diverge the state).
+//!
+//! The file layout is identical to [`crate::sharded`]: one WAL per shard
+//! (`wal-s{N}-*.wal`), whole-pool snapshots in the same CRC-sealed
+//! [`encode_envelope`] format. The wrapped pool is built in **manual
+//! mode** by this module itself — an auto-scaling pool would mutate its
+//! shape without logging, and recovery could not reproduce it.
+
+use crate::durable::DurabilityOptions;
+use crate::error::DurableError;
+use crate::record::{WalOp, WalRecord};
+use crate::report::RecoveryReport;
+use crate::sharded::{decode_envelope, encode_envelope};
+use crate::snapshot::SnapshotStore;
+use crate::wal::Wal;
+use mpcbf_concurrent::ElasticShardedMpcbf;
+use mpcbf_core::policy::CapacityPolicy;
+use mpcbf_core::{MpcbfConfig, ScaleSpec};
+use mpcbf_hash::{Hasher128, Murmur3};
+
+const SNAP_PREFIX: &str = "snap";
+
+fn wal_prefix(shard: usize) -> String {
+    format!("wal-s{shard:04}")
+}
+
+/// Write-ahead-logged [`ElasticShardedMpcbf`] with per-shard logs,
+/// logged scale/compaction events, and parallel crash recovery.
+/// Mutations take `&mut self` — single-writer, like
+/// [`crate::DurableShardedMpcbf`]; a durable server decomposes the
+/// wrapper with [`DurableElasticSharded::into_service_parts`] and drives
+/// each shard's WAL from that shard's worker.
+pub struct DurableElasticSharded<H: Hasher128 = Murmur3> {
+    inner: ElasticShardedMpcbf<H>,
+    wals: Vec<Wal>,
+    seqs: Vec<u64>,
+    snapshots: SnapshotStore,
+    records_since_snapshot: u64,
+    snapshot_every: Option<u64>,
+}
+
+impl<H: Hasher128> DurableElasticSharded<H> {
+    /// Starts a fresh durable elastic pool: a manual-mode
+    /// [`ElasticShardedMpcbf`] (structural events only happen through
+    /// the logged entry points), an initial snapshot, one WAL segment
+    /// per shard.
+    pub fn create(
+        config: MpcbfConfig,
+        shards: usize,
+        policy: CapacityPolicy,
+        opts: DurabilityOptions,
+    ) -> Result<Self, DurableError> {
+        let inner = ElasticShardedMpcbf::<H>::manual(config, shards, policy).map_err(|reason| {
+            DurableError::Io {
+                context: "elastic pool construction",
+                source: std::io::Error::new(std::io::ErrorKind::InvalidInput, reason),
+            }
+        })?;
+        Self::create_from(inner, opts)
+    }
+
+    /// [`DurableElasticSharded::create`] over an existing pool. The pool
+    /// must be manually driven (built by [`ElasticShardedMpcbf::manual`]
+    /// or decoded from an image of one): an auto-scaling pool would
+    /// change shape without a WAL record and break replay.
+    pub fn create_from(
+        inner: ElasticShardedMpcbf<H>,
+        opts: DurabilityOptions,
+    ) -> Result<Self, DurableError> {
+        let shard_count = inner.shard_count();
+        let snapshots = SnapshotStore::new(&opts.dir, SNAP_PREFIX, opts.kill.clone())?;
+        let mut wals = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let mut wal = Wal::new(
+                &opts.dir,
+                &wal_prefix(shard),
+                opts.fsync,
+                opts.segment_bytes,
+                opts.kill.clone(),
+            )?;
+            wal.rotate(1)?;
+            wals.push(wal);
+        }
+        let seqs = vec![0; shard_count];
+        snapshots.write(0, &encode_envelope(&seqs, &inner.encode()))?;
+        Ok(DurableElasticSharded {
+            inner,
+            wals,
+            seqs,
+            snapshots,
+            records_since_snapshot: 0,
+            snapshot_every: opts.snapshot_every,
+        })
+    }
+
+    /// Recovers from `opts.dir`: newest valid snapshot, then every
+    /// shard's WAL scanned, repaired, and replayed in parallel —
+    /// including structural events, so the recovered pool has the same
+    /// generation stacks as the crashed one. `fallback` supplies the
+    /// pool for a fresh (or fully corrupt) directory; it must be
+    /// manual-mode (see [`DurableElasticSharded::create_from`]).
+    pub fn open_or_recover(
+        opts: DurabilityOptions,
+        fallback: impl FnOnce() -> ElasticShardedMpcbf<H>,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        let snapshots = SnapshotStore::new(&opts.dir, SNAP_PREFIX, opts.kill.clone())?;
+        let mut report = RecoveryReport::default();
+        let (base, corrupt) = snapshots.load_latest_with(|bytes| {
+            let (seqs, image) = decode_envelope(bytes)?;
+            let filter = ElasticShardedMpcbf::<H>::decode(image).ok()?;
+            (seqs.len() == filter.shard_count()).then_some((seqs, filter))
+        })?;
+        report.snapshots_corrupt = corrupt;
+        let (inner, snap_seqs) = match base {
+            Some((snap_seq, (seqs, filter))) => {
+                report.snapshot_seq = Some(snap_seq);
+                (filter, seqs)
+            }
+            None => {
+                let filter = fallback();
+                let count = filter.shard_count();
+                (filter, vec![0; count])
+            }
+        };
+        let shard_count = inner.shard_count();
+
+        // Scan + repair + replay each shard's log on its own thread.
+        // Structural records apply to the shard whose log they came
+        // from, so the per-shard partition of the replay is exact.
+        let mut shard_results: Vec<Option<Result<(RecoveryReport, u64), DurableError>>> =
+            (0..shard_count).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shard_count);
+            for (shard, &base_seq) in snap_seqs.iter().enumerate() {
+                let dir = opts.dir.clone();
+                let inner_ref = &inner;
+                handles.push(scope.spawn(move || {
+                    let prefix = wal_prefix(shard);
+                    let (records, scan) = Wal::scan(&dir, &prefix)?;
+                    let mut shard_report = RecoveryReport {
+                        records_scanned: scan.records,
+                        segments_dropped: scan.segments_dropped,
+                        bytes_truncated: scan.bytes_truncated,
+                        scrub_clean: true,
+                        ..Default::default()
+                    };
+                    shard_report.torn_tails.extend(scan.torn);
+                    let mut last_seq = base_seq;
+                    for record in &records {
+                        if record.seq <= base_seq {
+                            continue;
+                        }
+                        shard_report.records_replayed += 1;
+                        shard_report.ops_replayed += record.op.op_count();
+                        apply_elastic_op(inner_ref, shard, &record.op);
+                        last_seq = record.seq;
+                    }
+                    shard_report.last_seq = last_seq;
+                    Ok((shard_report, last_seq))
+                }));
+            }
+            for (shard, handle) in handles.into_iter().enumerate() {
+                shard_results[shard] = Some(handle.join().expect("shard recovery panicked"));
+            }
+        });
+
+        let mut seqs = Vec::with_capacity(shard_count);
+        for result in shard_results {
+            let (shard_report, last_seq) = result.expect("every shard joined")?;
+            report.absorb_shard(&shard_report);
+            seqs.push(last_seq);
+        }
+
+        // The elastic pool has no epoch-scrub seal; the structural
+        // verifier (roster/filter/migration cross-checks per shard) is
+        // the integrity gate.
+        report.scrub_clean = inner.verify().is_ok();
+
+        let mut wals = Vec::with_capacity(shard_count);
+        for (shard, &last_seq) in seqs.iter().enumerate() {
+            let mut wal = Wal::new(
+                &opts.dir,
+                &wal_prefix(shard),
+                opts.fsync,
+                opts.segment_bytes,
+                opts.kill.clone(),
+            )?;
+            wal.rotate(last_seq + 1)?;
+            wals.push(wal);
+        }
+        Ok((
+            DurableElasticSharded {
+                inner,
+                wals,
+                seqs,
+                snapshots,
+                records_since_snapshot: 0,
+                snapshot_every: opts.snapshot_every,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped elastic pool (reads only; mutate through the logged
+    /// entry points).
+    pub fn inner(&self) -> &ElasticShardedMpcbf<H> {
+        &self.inner
+    }
+
+    /// Per-shard last-assigned sequence numbers.
+    pub fn shard_seqs(&self) -> &[u64] {
+        &self.seqs
+    }
+
+    fn log_to(&mut self, shard: usize, op: WalOp) -> Result<(), DurableError> {
+        let seq = self.seqs[shard] + 1;
+        self.wals[shard].append(&WalRecord { seq, op })?;
+        self.seqs[shard] = seq;
+        self.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    fn maybe_snapshot(&mut self) -> Result<(), DurableError> {
+        if let Some(every) = self.snapshot_every {
+            if self.records_since_snapshot >= every {
+                self.snapshot()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Log-then-apply capacity management for one shard: if the shard
+    /// has parked a scale plan, logs the exact [`ScaleSpec`] and a
+    /// compaction marker, then applies both; while a migration is in
+    /// flight, drains one policy-sized batch so compaction rides the
+    /// write path at batch granularity.
+    fn drive_capacity(&mut self, shard: usize) -> Result<(), DurableError> {
+        if let Some(spec) = self.inner.with_shard(shard, |f| f.scale_plan()) {
+            self.log_to(
+                shard,
+                WalOp::ScaleUp {
+                    memory_bits: spec.memory_bits,
+                    expected_items: spec.expected_items,
+                },
+            )?;
+            // Apply failure (a spec no shape fits) replays identically,
+            // so the log and the filter cannot disagree.
+            let _ = self.inner.with_shard(shard, |f| f.apply_scale(&spec));
+            self.log_to(shard, WalOp::Compact)?;
+            self.inner.with_shard(shard, |f| {
+                f.begin_compaction();
+            });
+        }
+        self.inner.with_shard(shard, |f| {
+            if f.compacting() {
+                let batch = f.policy().compact_batch;
+                f.step_compaction(batch);
+            }
+        });
+        Ok(())
+    }
+
+    /// Logs to the key's home-shard WAL, applies, then drives that
+    /// shard's capacity management (logged scale-up, batch-granular
+    /// compaction).
+    pub fn insert_bytes(&mut self, key: &[u8]) -> Result<(), DurableError> {
+        let shard = self.inner.home_shard(key);
+        self.log_to(shard, WalOp::Insert(key.to_vec()))?;
+        let result = self.inner.insert_bytes(key);
+        self.drive_capacity(shard)?;
+        self.maybe_snapshot()?;
+        result.map_err(DurableError::Filter)
+    }
+
+    /// Logs to the key's home-shard WAL, then applies.
+    pub fn remove_bytes(&mut self, key: &[u8]) -> Result<(), DurableError> {
+        let shard = self.inner.home_shard(key);
+        self.log_to(shard, WalOp::Remove(key.to_vec()))?;
+        let result = self.inner.remove_bytes(key);
+        self.maybe_snapshot()?;
+        result.map_err(DurableError::Filter)
+    }
+
+    /// Logs the batch as one frame per touched shard, applies, then
+    /// drives capacity management on every touched shard.
+    pub fn insert_batch_bytes(
+        &mut self,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Result<(), mpcbf_core::FilterError>>, DurableError> {
+        let touched = self.log_batch(keys, true)?;
+        let mut results = Vec::with_capacity(keys.len());
+        for key in keys {
+            results.push(self.inner.insert_bytes(key));
+        }
+        for shard in touched {
+            self.drive_capacity(shard)?;
+        }
+        self.maybe_snapshot()?;
+        Ok(results)
+    }
+
+    /// Batch remove twin of [`DurableElasticSharded::insert_batch_bytes`].
+    pub fn remove_batch_bytes(
+        &mut self,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Result<(), mpcbf_core::FilterError>>, DurableError> {
+        self.log_batch(keys, false)?;
+        let mut results = Vec::with_capacity(keys.len());
+        for key in keys {
+            results.push(self.inner.remove_bytes(key));
+        }
+        self.maybe_snapshot()?;
+        Ok(results)
+    }
+
+    fn log_batch(&mut self, keys: &[&[u8]], insert: bool) -> Result<Vec<usize>, DurableError> {
+        let mut per_shard: Vec<Vec<Vec<u8>>> = vec![Vec::new(); self.wals.len()];
+        for key in keys {
+            per_shard[self.inner.home_shard(key)].push(key.to_vec());
+        }
+        let mut touched = Vec::new();
+        for (shard, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let op = if insert {
+                WalOp::InsertBatch(group)
+            } else {
+                WalOp::RemoveBatch(group)
+            };
+            self.log_to(shard, op)?;
+            touched.push(shard);
+        }
+        Ok(touched)
+    }
+
+    /// Unlogged read.
+    pub fn contains_bytes(&self, key: &[u8]) -> bool {
+        self.inner.contains_bytes(key)
+    }
+
+    /// Forces every shard's WAL to disk.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        for wal in &mut self.wals {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Shutdown flush — alias of [`DurableElasticSharded::sync`], named
+    /// for symmetry with [`crate::DurableFilter::flush`].
+    pub fn flush(&mut self) -> Result<(), DurableError> {
+        self.sync()
+    }
+
+    /// Decomposes the single-writer wrapper into its parts so a server
+    /// can own each shard's WAL (plus its sequence counter) on that
+    /// shard's worker thread. Snapshot envelopes stay in the
+    /// [`encode_envelope`] format
+    /// [`DurableElasticSharded::open_or_recover`] reads back.
+    #[allow(clippy::type_complexity)]
+    pub fn into_service_parts(self) -> (ElasticShardedMpcbf<H>, Vec<Wal>, Vec<u64>, SnapshotStore) {
+        (self.inner, self.wals, self.seqs, self.snapshots)
+    }
+
+    /// Whole-pool snapshot: syncs every WAL, publishes the envelope
+    /// (per-shard seqs + pool image, which captures generation stacks
+    /// and any in-flight migration) atomically, then rotates and purges
+    /// every shard's log.
+    pub fn snapshot(&mut self) -> Result<(), DurableError> {
+        self.sync()?;
+        let envelope = encode_envelope(&self.seqs, &self.inner.encode());
+        let snap_seq = self.seqs.iter().copied().max().unwrap_or(0);
+        self.snapshots.write(snap_seq, &envelope)?;
+        for (shard, wal) in self.wals.iter_mut().enumerate() {
+            wal.rotate(self.seqs[shard] + 1)?;
+            wal.purge_below(self.seqs[shard] + 1)?;
+        }
+        self.snapshots.purge_below(snap_seq)?;
+        self.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// Replay twin of the live entry points. Key ops re-route through the
+/// pool (deterministic, so they land back in `shard`); structural ops
+/// apply to `shard` directly — a [`WalOp::ScaleUp`] pushes the logged
+/// spec, a [`WalOp::Compact`] begins and fully drains the migration so
+/// the recovered stack is deterministic.
+pub fn apply_elastic_op<H: Hasher128>(pool: &ElasticShardedMpcbf<H>, shard: usize, op: &WalOp) {
+    match op {
+        WalOp::Insert(key) => {
+            let _ = pool.insert_bytes(key);
+        }
+        WalOp::Remove(key) => {
+            let _ = pool.remove_bytes(key);
+        }
+        WalOp::InsertBatch(keys) => {
+            for key in keys {
+                let _ = pool.insert_bytes(key);
+            }
+        }
+        WalOp::RemoveBatch(keys) => {
+            for key in keys {
+                let _ = pool.remove_bytes(key);
+            }
+        }
+        WalOp::ScaleUp {
+            memory_bits,
+            expected_items,
+        } => {
+            let spec = ScaleSpec {
+                memory_bits: *memory_bits,
+                expected_items: *expected_items,
+            };
+            // A spec that failed to apply live fails identically here.
+            let _ = pool.with_shard(shard, |f| f.apply_scale(&spec));
+        }
+        WalOp::Compact => {
+            pool.with_shard(shard, |f| {
+                if f.begin_compaction() {
+                    while f.step_compaction(4096) > 0 {}
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("mpcbf-del-{tag}-{}-{id}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pool_config(seed: u64) -> MpcbfConfig {
+        MpcbfConfig::builder()
+            .memory_bits(131_072)
+            .expected_items(2_000)
+            .hashes(3)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn fresh_pool(seed: u64) -> ElasticShardedMpcbf {
+        ElasticShardedMpcbf::manual(pool_config(seed), 2, CapacityPolicy::default()).unwrap()
+    }
+
+    #[test]
+    fn overload_scales_through_the_log_and_recovers_the_stack() {
+        let dir = scratch_dir("scale");
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable = DurableElasticSharded::<Murmur3>::create(
+            pool_config(11),
+            2,
+            CapacityPolicy::default(),
+            opts.clone(),
+        )
+        .unwrap();
+        for i in 0..20_000u64 {
+            durable.insert_bytes(&i.to_le_bytes()).unwrap();
+        }
+        let stats = durable.inner().stats();
+        assert!(stats.scale_events > 0, "10x overload must log a scale-up");
+        drop(durable); // crash without a snapshot of the tail
+
+        let (recovered, report) =
+            DurableElasticSharded::<Murmur3>::open_or_recover(opts, || fresh_pool(11)).unwrap();
+        assert!(report.scrub_clean, "verify must pass: {report}");
+        assert!(report.records_replayed > 0);
+        let rstats = recovered.inner().stats();
+        assert_eq!(rstats.items, 20_000);
+        assert_eq!(rstats.scale_events, stats.scale_events);
+        for i in 0..20_000u64 {
+            assert!(
+                recovered.contains_bytes(&i.to_le_bytes()),
+                "false negative {i} after recovery"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_mid_migration_recovers_and_finishes_compaction() {
+        let dir = scratch_dir("midmig");
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable = DurableElasticSharded::<Murmur3>::create(
+            pool_config(12),
+            2,
+            CapacityPolicy::default(),
+            opts.clone(),
+        )
+        .unwrap();
+        // Push far enough that some shard is mid-compaction (the write
+        // path drains `compact_batch` keys per insert, so a burst right
+        // after the trigger leaves a migration in flight).
+        let mut i = 0u64;
+        while durable.inner().stats().compacting_shards == 0 && i < 60_000 {
+            durable.insert_bytes(&i.to_le_bytes()).unwrap();
+            i += 1;
+        }
+        assert!(i < 60_000, "never entered a compaction window");
+        durable.snapshot().unwrap();
+        for j in i..i + 500 {
+            durable.insert_bytes(&j.to_le_bytes()).unwrap();
+        }
+        let total = i + 500;
+        drop(durable);
+
+        let (recovered, report) =
+            DurableElasticSharded::<Murmur3>::open_or_recover(opts, || fresh_pool(12)).unwrap();
+        assert!(report.snapshot_seq.is_some());
+        assert!(report.scrub_clean, "verify must pass: {report}");
+        assert_eq!(recovered.inner().items(), total);
+        for k in 0..total {
+            assert!(recovered.contains_bytes(&k.to_le_bytes()), "lost key {k}");
+        }
+        // Recovery must leave the in-flight migration resumable.
+        let mut drained = 0u64;
+        for shard in 0..recovered.inner().shard_count() {
+            drained += recovered.inner().with_shard(shard, |f| {
+                let mut moved = 0u64;
+                while f.compacting() {
+                    moved += f.step_compaction(1024) as u64;
+                }
+                moved
+            });
+        }
+        let _ = drained;
+        assert_eq!(recovered.inner().verify(), Ok(()));
+        assert_eq!(recovered.inner().items(), total);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batches_and_removals_replay_into_the_elastic_pool() {
+        let dir = scratch_dir("batch");
+        let opts = DurabilityOptions::new(&dir);
+        let mut durable = DurableElasticSharded::<Murmur3>::create(
+            pool_config(13),
+            2,
+            CapacityPolicy::default(),
+            opts.clone(),
+        )
+        .unwrap();
+        let keys: Vec<Vec<u8>> = (0..4_000u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        durable.insert_batch_bytes(&views).unwrap();
+        durable.remove_batch_bytes(&views[..1_000]).unwrap();
+        durable.remove_bytes(&keys[1_000]).unwrap();
+        drop(durable);
+
+        let (recovered, report) =
+            DurableElasticSharded::<Murmur3>::open_or_recover(opts, || fresh_pool(13)).unwrap();
+        assert!(report.scrub_clean);
+        assert_eq!(recovered.inner().items(), 4_000 - 1_001);
+        let mut removed_hits = 0u64;
+        for (idx, key) in keys.iter().enumerate() {
+            if idx > 1_000 {
+                assert!(recovered.contains_bytes(key), "false negative {idx}");
+            } else if recovered.contains_bytes(key) {
+                removed_hits += 1; // false positive — allowed, just bounded
+            }
+        }
+        assert!(
+            removed_hits < 100,
+            "removed keys should mostly query absent, {removed_hits} hit"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -59,6 +59,7 @@
 mod error;
 
 pub mod durable;
+pub mod elastic;
 pub mod kill;
 pub mod record;
 pub mod report;
@@ -67,6 +68,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use durable::{DurabilityOptions, DurableFilter, DurableImage};
+pub use elastic::{apply_elastic_op, DurableElasticSharded};
 pub use error::DurableError;
 pub use kill::{KillSite, KillSwitch};
 pub use record::{decode_frame, encode_frame, FrameError, WalOp, WalRecord};

@@ -36,6 +36,8 @@ const KIND_INSERT: u8 = 1;
 const KIND_REMOVE: u8 = 2;
 const KIND_INSERT_BATCH: u8 = 3;
 const KIND_REMOVE_BATCH: u8 = 4;
+const KIND_SCALE: u8 = 5;
+const KIND_COMPACT: u8 = 6;
 
 /// A logged filter mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +50,22 @@ pub enum WalOp {
     InsertBatch(Vec<Vec<u8>>),
     /// A batch of keys removed as one all-or-nothing frame.
     RemoveBatch(Vec<Vec<u8>>),
+    /// An elastic filter opened a new generation with this sizing.
+    /// Logged *before* the scale is applied, so replay re-applies the
+    /// exact spec the live filter used. Non-elastic filters replay it as
+    /// a no-op.
+    ScaleUp {
+        /// Memory budget of the new generation, in bits.
+        memory_bits: u64,
+        /// Expected element count the new generation is shaped for.
+        expected_items: u64,
+    },
+    /// An elastic filter began compacting its sealed generations.
+    /// Replay runs the whole compaction synchronously at this point, so
+    /// a recovered stack is deterministic regardless of how far the live
+    /// (batch-granular) migration had progressed before the crash.
+    /// Non-elastic filters replay it as a no-op.
+    Compact,
 }
 
 impl WalOp {
@@ -57,14 +75,18 @@ impl WalOp {
             WalOp::Remove(_) => KIND_REMOVE,
             WalOp::InsertBatch(_) => KIND_INSERT_BATCH,
             WalOp::RemoveBatch(_) => KIND_REMOVE_BATCH,
+            WalOp::ScaleUp { .. } => KIND_SCALE,
+            WalOp::Compact => KIND_COMPACT,
         }
     }
 
-    /// Individual key operations this op applies.
+    /// Individual key operations this op applies (structural events
+    /// apply none).
     pub fn op_count(&self) -> u64 {
         match self {
             WalOp::Insert(_) | WalOp::Remove(_) => 1,
             WalOp::InsertBatch(keys) | WalOp::RemoveBatch(keys) => keys.len() as u64,
+            WalOp::ScaleUp { .. } | WalOp::Compact => 0,
         }
     }
 
@@ -81,6 +103,16 @@ impl WalOp {
                 }
                 out
             }
+            WalOp::ScaleUp {
+                memory_bits,
+                expected_items,
+            } => {
+                let mut out = Vec::with_capacity(16);
+                out.extend_from_slice(&memory_bits.to_le_bytes());
+                out.extend_from_slice(&expected_items.to_le_bytes());
+                out
+            }
+            WalOp::Compact => Vec::new(),
         }
     }
 }
@@ -226,6 +258,21 @@ pub fn decode_frame(buf: &[u8]) -> Result<(WalRecord, usize), FrameError> {
                 WalOp::RemoveBatch(keys)
             }
         }
+        KIND_SCALE => {
+            if payload.len() != 16 {
+                return Err(FrameError::BadPayload("scale payload size"));
+            }
+            WalOp::ScaleUp {
+                memory_bits: u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")),
+                expected_items: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+            }
+        }
+        KIND_COMPACT => {
+            if !payload.is_empty() {
+                return Err(FrameError::BadPayload("compact payload must be empty"));
+            }
+            WalOp::Compact
+        }
         other => return Err(FrameError::BadKind(other)),
     };
     Ok((WalRecord { seq, op }, total))
@@ -284,7 +331,59 @@ mod tests {
                 seq: u64::MAX,
                 op: WalOp::RemoveBatch(vec![]),
             },
+            WalRecord {
+                seq: 4,
+                op: WalOp::ScaleUp {
+                    memory_bits: 1 << 20,
+                    expected_items: 10_000,
+                },
+            },
+            WalRecord {
+                seq: 5,
+                op: WalOp::Compact,
+            },
         ]
+    }
+
+    #[test]
+    fn structural_ops_apply_zero_key_ops() {
+        assert_eq!(
+            WalOp::ScaleUp {
+                memory_bits: 1,
+                expected_items: 1
+            }
+            .op_count(),
+            0
+        );
+        assert_eq!(WalOp::Compact.op_count(), 0);
+    }
+
+    #[test]
+    fn malformed_structural_payloads_are_rejected() {
+        // A scale frame with a truncated payload, CRC/digest fixed up.
+        let rec = WalRecord {
+            seq: 7,
+            op: WalOp::ScaleUp {
+                memory_bits: 64,
+                expected_items: 1,
+            },
+        };
+        let frame = encode_frame(&rec);
+        // Rebuild the frame with the payload cut to 8 bytes.
+        let payload = &frame[4 + 17..4 + 17 + 8];
+        let body_len = 17 + payload.len();
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&(body_len as u32).to_le_bytes());
+        forged.extend_from_slice(&7u64.to_le_bytes());
+        forged.push(5); // KIND_SCALE
+        forged.extend_from_slice(&mpcbf_hash::xxhash::xxh64(payload, 7).to_le_bytes());
+        forged.extend_from_slice(payload);
+        let crc = crc32(&forged[4..]);
+        forged.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&forged),
+            Err(FrameError::BadPayload(_))
+        ));
     }
 
     #[test]

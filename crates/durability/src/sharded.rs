@@ -384,6 +384,10 @@ fn apply_shard_op<H: Hasher128>(filter: &ShardedMpcbf<u64, H>, op: &WalOp) {
             let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
             let _ = filter.remove_batch_bytes(&views);
         }
+        // Structural events belong to the elastic replay path
+        // (`elastic::apply_elastic_op`); the fixed-size sharded pool has
+        // no generations to scale or compact.
+        WalOp::ScaleUp { .. } | WalOp::Compact => {}
     }
 }
 

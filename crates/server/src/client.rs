@@ -4,13 +4,30 @@
 //! concurrency. Scalar mutations return a [`KeyOutcome`] (an `Overflow`
 //! refusal is an answer, not an error); transport and server failures
 //! surface as [`ClientError`].
+//!
+//! # Retries
+//!
+//! The client retries under a bounded exponential backoff with jitter,
+//! configured by [`ClientConfig`]:
+//!
+//! * **`RETRY_LATER`** (a shard reorganising behind a scale-up) retries
+//!   every request kind — the server applied nothing, so resending is
+//!   always safe. The server's suggested delay is the backoff floor.
+//! * **Transport errors** retry *idempotent reads only* (`ping`,
+//!   `query`, `query_batch`, `stats`), reconnecting first. A mutation
+//!   whose connection died mid-call is **not** retried: the ack was
+//!   lost, not the outcome, and a blind resend could double-apply to a
+//!   counting filter. Mutations only retry connection-level failures
+//!   before a frame is acked via the initial `connect` path.
 
 use crate::protocol::{
     encode_request, read_frame, write_frame, KeyOutcome, Request, STATUS_OK, STATUS_REFUSED,
+    STATUS_RETRY_LATER,
 };
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Errors surfaced by [`Client`] calls.
 #[derive(Debug)]
@@ -26,6 +43,12 @@ pub enum ClientError {
     },
     /// The response payload did not match the protocol.
     Protocol(&'static str),
+    /// Every retry was shed with `RETRY_LATER`; the shard is still
+    /// reorganising. Nothing was applied — the caller may retry later.
+    Overloaded {
+        /// The server's last suggested delay, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -36,6 +59,9 @@ impl fmt::Display for ClientError {
                 write!(f, "server error (status {status}): {message}")
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server shedding load (retry after {retry_after_ms} ms)")
+            }
         }
     }
 }
@@ -48,20 +74,110 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Connection and retry tuning for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout (`None`: the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout per response (`None`: block forever).
+    pub read_timeout: Option<Duration>,
+    /// Retries after the first attempt (`0`: fail immediately).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Seed for the jitter PRNG (decorrelates clients that fail
+    /// together).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: None,
+            max_retries: 4,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15 ^ std::process::id() as u64,
+        }
+    }
+}
+
 /// A blocking connection to a filter server.
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    config: ClientConfig,
+    /// xorshift64 state for backoff jitter.
+    rng: u64,
 }
 
 impl Client {
-    /// Connects with Nagle disabled (the protocol is request/response).
+    /// Connects with the default [`ClientConfig`] (5 s connect timeout,
+    /// 4 retries, 10 ms–1 s backoff).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    fn call(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+    /// Connects with explicit timeouts and retry tuning.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ClientConfig) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let stream = open_stream(addr, &config)?;
+        let rng = if config.jitter_seed == 0 {
+            1
+        } else {
+            config.jitter_seed
+        };
+        Ok(Client {
+            stream,
+            addr,
+            config,
+            rng,
+        })
+    }
+
+    /// The retry configuration in effect.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Replaces the dead stream with a fresh connection.
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = open_stream(self.addr, &self.config)?;
+        Ok(())
+    }
+
+    fn jitter(&mut self) -> f64 {
+        // xorshift64: cheap, seedable, no external dependency.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bounded exponential backoff: `base * 2^attempt`, capped, floored
+    /// at the server's hint, with ±50% multiplicative jitter.
+    fn backoff(&mut self, attempt: u32, hint_ms: u32) {
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.config.backoff_max);
+        let floor = Duration::from_millis(u64::from(hint_ms));
+        let delay = exp.max(floor);
+        let jittered = delay.mul_f64(0.5 + self.jitter());
+        std::thread::sleep(jittered.min(self.config.backoff_max.max(floor)));
+    }
+
+    /// One attempt: write the frame, read the reply.
+    fn call_once(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
         write_frame(&mut self.stream, &encode_request(req))?;
         match read_frame(&mut self.stream)? {
             Some(payload) => Ok(payload),
@@ -69,10 +185,44 @@ impl Client {
         }
     }
 
+    /// Retrying call. `RETRY_LATER` retries for every request kind
+    /// (nothing was applied); transport errors retry (with a
+    /// reconnect) only when `retry_io` — the idempotent reads.
+    fn call(&mut self, req: &Request, retry_io: bool) -> Result<Vec<u8>, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(req) {
+                Ok(payload) => {
+                    if payload.first() == Some(&STATUS_RETRY_LATER) {
+                        let hint = parse_retry_hint(&payload[1..]);
+                        if attempt >= self.config.max_retries {
+                            return Err(ClientError::Overloaded {
+                                retry_after_ms: hint,
+                            });
+                        }
+                        self.backoff(attempt, hint);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Ok(payload);
+                }
+                Err(ClientError::Io(e)) => {
+                    if !retry_io || attempt >= self.config.max_retries {
+                        return Err(ClientError::Io(e));
+                    }
+                    self.backoff(attempt, 0);
+                    attempt += 1;
+                    self.reconnect()?;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
     /// Calls and peels the status byte, turning non-OK/REFUSED statuses
     /// into [`ClientError::Server`].
-    fn call_ok(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
-        let payload = self.call(req)?;
+    fn call_ok(&mut self, req: &Request, retry_io: bool) -> Result<Vec<u8>, ClientError> {
+        let payload = self.call(req, retry_io)?;
         let (&status, body) = payload
             .split_first()
             .ok_or(ClientError::Protocol("empty response"))?;
@@ -88,7 +238,7 @@ impl Client {
 
     /// A scalar mutation: OK → `Applied`, REFUSED → the carried code.
     fn mutate(&mut self, req: &Request) -> Result<KeyOutcome, ClientError> {
-        let payload = self.call(req)?;
+        let payload = self.call(req, false)?;
         match payload.split_first() {
             Some((&STATUS_OK, _)) => Ok(KeyOutcome::Applied),
             Some((&STATUS_REFUSED, body)) => body
@@ -104,7 +254,7 @@ impl Client {
     }
 
     fn batch_codes(&mut self, req: &Request, n: usize) -> Result<Vec<KeyOutcome>, ClientError> {
-        let body = self.call_ok(req)?;
+        let body = self.call_ok(req, false)?;
         let codes = decode_counted(&body, n)?;
         codes
             .iter()
@@ -114,7 +264,7 @@ impl Client {
 
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        self.call_ok(&Request::Ping).map(|_| ())
+        self.call_ok(&Request::Ping, true).map(|_| ())
     }
 
     /// Inserts one key; acknowledged as durable per the server's fsync
@@ -130,7 +280,7 @@ impl Client {
 
     /// Membership query.
     pub fn query(&mut self, key: &[u8]) -> Result<bool, ClientError> {
-        let body = self.call_ok(&Request::Query(key.to_vec()))?;
+        let body = self.call_ok(&Request::Query(key.to_vec()), true)?;
         match body.first() {
             Some(&b) => Ok(b != 0),
             None => Err(ClientError::Protocol("missing presence byte")),
@@ -149,7 +299,7 @@ impl Client {
 
     /// Queries a batch; one presence flag per key, in request order.
     pub fn query_batch(&mut self, keys: &[Vec<u8>]) -> Result<Vec<bool>, ClientError> {
-        let body = self.call_ok(&Request::QueryBatch(keys.to_vec()))?;
+        let body = self.call_ok(&Request::QueryBatch(keys.to_vec()), true)?;
         Ok(decode_counted(&body, keys.len())?
             .iter()
             .map(|&b| b != 0)
@@ -158,25 +308,45 @@ impl Client {
 
     /// Server and recovery statistics as a JSON document.
     pub fn stats_json(&mut self) -> Result<String, ClientError> {
-        let body = self.call_ok(&Request::Stats)?;
+        let body = self.call_ok(&Request::Stats, true)?;
         String::from_utf8(body).map_err(|_| ClientError::Protocol("stats not utf-8"))
     }
 
     /// Forces a snapshot checkpoint (fsync + snapshot + log truncation).
     pub fn checkpoint(&mut self) -> Result<(), ClientError> {
-        self.call_ok(&Request::Checkpoint).map(|_| ())
+        self.call_ok(&Request::Checkpoint, false).map(|_| ())
     }
 
     /// Fsyncs every shard's WAL without snapshotting.
     pub fn flush(&mut self) -> Result<(), ClientError> {
-        self.call_ok(&Request::Flush).map(|_| ())
+        self.call_ok(&Request::Flush, false).map(|_| ())
     }
 
     /// Asks the server to stop gracefully (acknowledged before the stop
     /// begins).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        self.call_ok(&Request::Shutdown).map(|_| ())
+        self.call_ok(&Request::Shutdown, false).map(|_| ())
     }
+}
+
+/// Opens a TCP stream per the config: connect-timeout when configured,
+/// Nagle off (the protocol is request/response), read timeout applied.
+fn open_stream(addr: SocketAddr, config: &ClientConfig) -> io::Result<TcpStream> {
+    let stream = match config.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    Ok(stream)
+}
+
+/// The `RETRY_LATER` body: a `u32` delay hint; a malformed body is a
+/// zero hint (the backoff schedule still applies).
+fn parse_retry_hint(body: &[u8]) -> u32 {
+    body.first_chunk::<4>()
+        .map(|b| u32::from_le_bytes(*b))
+        .unwrap_or(0)
 }
 
 /// Parses a `u32 n | n bytes` body and checks it matches the request.
@@ -189,4 +359,25 @@ fn decode_counted(body: &[u8], expect: usize) -> Result<&[u8], ClientError> {
         return Err(ClientError::Protocol("count mismatch"));
     }
     Ok(rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_bounded() {
+        let c = ClientConfig::default();
+        assert!(c.max_retries > 0);
+        assert!(c.backoff_base <= c.backoff_max);
+        assert!(c.connect_timeout.is_some());
+    }
+
+    #[test]
+    fn retry_hint_parse_is_total() {
+        assert_eq!(parse_retry_hint(&[]), 0);
+        assert_eq!(parse_retry_hint(&[5]), 0);
+        assert_eq!(parse_retry_hint(&7u32.to_le_bytes()), 7);
+        assert_eq!(parse_retry_hint(&[1, 0, 0, 0, 99]), 1);
+    }
 }

@@ -25,7 +25,7 @@ mod metrics;
 pub mod protocol;
 mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use metrics::http_get_text;
 pub use protocol::KeyOutcome;
 pub use server::{Server, ServerConfig, ServerError};

@@ -19,6 +19,8 @@
 //!   [`KeyOutcome`] codes; `STATS` → a JSON document; everything else
 //!   empty.
 //! * `REFUSED`: one [`KeyOutcome`] code (scalar mutations only).
+//! * `RETRY_LATER`: `u32` suggested retry delay in milliseconds
+//!   (mutations only, while the key's shard reorganises).
 //! * `BAD_REQUEST` / `SERVER_ERROR`: a human-readable reason.
 //!
 //! [`decode_request`] is total: any payload yields `Ok` or an error
@@ -70,6 +72,10 @@ pub const STATUS_REFUSED: u8 = 1;
 pub const STATUS_BAD_REQUEST: u8 = 2;
 /// The server could not make the operation durable; nothing was acked.
 pub const STATUS_SERVER_ERROR: u8 = 3;
+/// The target shard is reorganising (scale-up / compaction); nothing
+/// was applied. Body: `u32` suggested retry delay in milliseconds. The
+/// client should back off and resend the identical request.
+pub const STATUS_RETRY_LATER: u8 = 4;
 
 /// Per-key result of a mutation, as carried on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -34,14 +34,15 @@
 use crate::metrics;
 use crate::protocol::{
     decode_request, key_code, write_frame, KeyOutcome, Request, MAX_FRAME, STATUS_BAD_REQUEST,
-    STATUS_OK, STATUS_REFUSED, STATUS_SERVER_ERROR,
+    STATUS_OK, STATUS_REFUSED, STATUS_RETRY_LATER, STATUS_SERVER_ERROR,
 };
-use mpcbf_concurrent::ShardedMpcbf;
+use mpcbf_concurrent::{ElasticShardedMpcbf, ShardedMpcbf};
 use mpcbf_core::metrics::{OpCost, OpKind, OpSink};
+use mpcbf_core::policy::CapacityPolicy;
 use mpcbf_core::MpcbfConfig;
 use mpcbf_durability::{
-    encode_envelope, DurabilityOptions, DurableError, DurableShardedMpcbf, RecoveryReport,
-    SnapshotStore, Wal, WalOp, WalRecord,
+    encode_envelope, DurabilityOptions, DurableElasticSharded, DurableError, DurableShardedMpcbf,
+    RecoveryReport, SnapshotStore, Wal, WalOp, WalRecord,
 };
 use mpcbf_hash::Murmur3;
 use mpcbf_telemetry::Telemetry;
@@ -73,6 +74,13 @@ pub struct ServerConfig {
     pub filter: MpcbfConfig,
     /// Shard count for a fresh filter (recovery keeps the on-disk one).
     pub shards: usize,
+    /// Serve an autoscaling [`ElasticShardedMpcbf`] instead of the
+    /// fixed-size pool: shards grow under sustained overload (logged to
+    /// the WAL first), compact in the background, and shed mutations
+    /// with `RETRY_LATER` while they reorganise. A durability directory
+    /// keeps its mode for life — recovery cannot read the other mode's
+    /// snapshot images.
+    pub elastic: bool,
 }
 
 /// Errors surfaced while starting or stopping the server.
@@ -104,6 +112,65 @@ impl From<io::Error> for ServerError {
 impl From<DurableError> for ServerError {
     fn from(e: DurableError) -> Self {
         ServerError::Durable(e)
+    }
+}
+
+/// The served filter: a fixed-size sharded pool or the autoscaling
+/// elastic pool. Both route keys by disjoint digest bits, expose the
+/// same query surface, and snapshot through the same envelope — the
+/// variants only diverge on the worker's structural duties.
+#[derive(Clone)]
+pub(crate) enum ServiceFilter {
+    /// Fixed-geometry pool ([`DurableShardedMpcbf`] parts).
+    Fixed(Arc<ShardedMpcbf<u64, Murmur3>>),
+    /// Autoscaling per-shard generation stacks
+    /// ([`DurableElasticSharded`] parts).
+    Elastic(Arc<ElasticShardedMpcbf<Murmur3>>),
+}
+
+impl ServiceFilter {
+    fn shard_count(&self) -> usize {
+        match self {
+            ServiceFilter::Fixed(f) => f.shard_count(),
+            ServiceFilter::Elastic(f) => f.shard_count(),
+        }
+    }
+
+    fn home_shard(&self, key: &[u8]) -> usize {
+        match self {
+            ServiceFilter::Fixed(f) => f.home_shard(key),
+            ServiceFilter::Elastic(f) => f.home_shard(key),
+        }
+    }
+
+    fn contains_bytes(&self, key: &[u8]) -> bool {
+        match self {
+            ServiceFilter::Fixed(f) => f.contains_bytes(key),
+            ServiceFilter::Elastic(f) => f.contains_bytes(key),
+        }
+    }
+
+    fn contains_batch_bytes(&self, keys: &[&[u8]]) -> Vec<bool> {
+        match self {
+            ServiceFilter::Fixed(f) => f.contains_batch_bytes(keys),
+            ServiceFilter::Elastic(f) => f.contains_batch_bytes(keys),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            ServiceFilter::Fixed(f) => f.encode(),
+            ServiceFilter::Elastic(f) => f.encode(),
+        }
+    }
+
+    /// Word-overflow refusals (the elastic pool absorbs overload into
+    /// spill stores instead of refusing, so it reports none).
+    fn overflows(&self) -> u64 {
+        match self {
+            ServiceFilter::Fixed(f) => f.overflows(),
+            ServiceFilter::Elastic(_) => 0,
+        }
     }
 }
 
@@ -171,11 +238,17 @@ struct ServerCounters {
     frames: AtomicU64,
     bad_requests: AtomicU64,
     checkpoints: AtomicU64,
+    /// Mutations refused with `RETRY_LATER` while a shard reorganised.
+    shed: AtomicU64,
 }
 
 /// State shared by the acceptor, connection threads, and coordinator.
 pub(crate) struct Shared {
-    filter: Arc<ShardedMpcbf<u64, Murmur3>>,
+    filter: ServiceFilter,
+    /// Per-shard "reorganising" latches: raised by a shard worker from
+    /// the moment it commits to a logged scale-up until the migration
+    /// drains; dispatch sheds mutations for flagged shards.
+    scaling: Vec<Arc<AtomicBool>>,
     /// Cleared at teardown so worker queues close once connection
     /// threads (which hold clones) have exited.
     shard_txs: Mutex<Vec<Sender<ShardJob>>>,
@@ -200,6 +273,13 @@ impl Shared {
     /// thread).
     pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// True while `shard`'s worker is scaling or compacting.
+    fn is_scaling(&self, shard: usize) -> bool {
+        self.scaling
+            .get(shard)
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     fn request_shutdown(&self) {
@@ -285,14 +365,40 @@ impl Shared {
         let snap = self.telemetry.snapshot();
         let ops: u64 = snap.kinds().iter().map(|(_, k)| k.ops).sum();
         let r = &self.recovery;
+        let elastic = match &self.filter {
+            ServiceFilter::Fixed(_) => String::new(),
+            ServiceFilter::Elastic(pool) => {
+                let st = pool.stats();
+                format!(
+                    concat!(
+                        ",\"elastic\":{{\"generations\":{},\"scale_events\":{},",
+                        "\"compactions\":{},\"migrated_keys\":{},\"fpr_envelope\":{},",
+                        "\"max_shard_fpr\":{},\"compacting_shards\":{},\"max_pressure\":{}}}"
+                    ),
+                    st.generations,
+                    st.scale_events,
+                    st.compactions,
+                    st.migrated_keys,
+                    st.fpr_envelope,
+                    st.max_shard_fpr,
+                    st.compacting_shards,
+                    st.max_pressure,
+                )
+            }
+        };
         format!(
             concat!(
-                "{{\"shards\":{},\"fsync\":\"{}\",\"ops\":{},\"overflows\":{},",
-                "\"connections\":{},\"frames\":{},\"bad_requests\":{},\"checkpoints\":{},",
+                "{{\"shards\":{},\"mode\":\"{}\",\"fsync\":\"{}\",\"ops\":{},",
+                "\"overflows\":{},\"connections\":{},\"frames\":{},\"bad_requests\":{},",
+                "\"checkpoints\":{},\"shed\":{},",
                 "\"recovery\":{{\"records_replayed\":{},\"ops_replayed\":{},",
-                "\"torn_tails\":{},\"segments_dropped\":{},\"scrub_clean\":{}}}}}"
+                "\"torn_tails\":{},\"segments_dropped\":{},\"scrub_clean\":{}}}{}}}"
             ),
             self.filter.shard_count(),
+            match &self.filter {
+                ServiceFilter::Fixed(_) => "fixed",
+                ServiceFilter::Elastic(_) => "elastic",
+            },
             self.fsync_name,
             ops,
             self.filter.overflows(),
@@ -300,11 +406,13 @@ impl Shared {
             self.counters.frames.load(Ordering::Relaxed),
             self.counters.bad_requests.load(Ordering::Relaxed),
             self.counters.checkpoints.load(Ordering::Relaxed),
+            self.counters.shed.load(Ordering::Relaxed),
             r.records_replayed,
             r.ops_replayed,
             r.torn_tails.len(),
             r.segments_dropped,
             r.scrub_clean,
+            elastic,
         )
     }
 
@@ -327,25 +435,78 @@ impl Shared {
             "server_checkpoints".into(),
             c.checkpoints.load(Ordering::Relaxed),
         );
+        snap.counters
+            .insert("server_shed".into(), c.shed.load(Ordering::Relaxed));
         snap.gauges
             .insert("server_shards".into(), self.filter.shard_count() as f64);
         snap.gauges
             .insert("filter_overflows".into(), self.filter.overflows() as f64);
+        if let ServiceFilter::Elastic(pool) = &self.filter {
+            let st = pool.stats();
+            snap.counters
+                .insert("elastic_scale_events".into(), st.scale_events);
+            snap.counters
+                .insert("elastic_compactions".into(), st.compactions);
+            snap.counters
+                .insert("elastic_migrated_keys".into(), st.migrated_keys);
+            snap.gauges
+                .insert("elastic_generations".into(), st.generations as f64);
+            snap.gauges
+                .insert("elastic_fpr_envelope".into(), st.fpr_envelope);
+            snap.gauges
+                .insert("elastic_max_shard_fpr".into(), st.max_shard_fpr);
+            snap.gauges.insert(
+                "elastic_compacting_shards".into(),
+                st.compacting_shards as f64,
+            );
+            snap.gauges
+                .insert("elastic_max_pressure".into(), st.max_pressure);
+        }
         mpcbf_telemetry::prometheus_text(&snap)
     }
 }
 
 /// One shard's single-writer loop: owns the WAL and sequence counter.
+/// In elastic mode it also owns the shard's structural lifecycle: it
+/// logs and applies scale-ups, and drains migrations between jobs.
 struct ShardWorker {
     shard: usize,
     wal: Wal,
     seq: u64,
-    filter: Arc<ShardedMpcbf<u64, Murmur3>>,
+    filter: ServiceFilter,
+    /// Shared with dispatch: raised while this shard reorganises.
+    scaling: Arc<AtomicBool>,
 }
 
 impl ShardWorker {
     fn run(mut self, rx: Receiver<ShardJob>) {
-        while let Ok(job) = rx.recv() {
+        // Recovery may hand back a shard mid-migration; resume draining
+        // (and shedding) instead of forgetting the in-flight work.
+        if let ServiceFilter::Elastic(pool) = &self.filter {
+            if pool.with_shard(self.shard, |f| f.compacting()) {
+                self.scaling.store(true, Ordering::SeqCst);
+            }
+        }
+        loop {
+            let job = if self.scaling.load(Ordering::Relaxed) {
+                // Interleave migration batches with queued work: a busy
+                // queue still drains the migration one timeout at a
+                // time, an idle one drains it at full speed.
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(job) => Some(job),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match rx.recv() {
+                    Ok(job) => Some(job),
+                    Err(_) => break,
+                }
+            };
+            let Some(job) = job else {
+                self.step_migration();
+                continue;
+            };
             match job {
                 ShardJob::Apply { op, reply } => {
                     let record = WalRecord {
@@ -361,6 +522,7 @@ impl ShardWorker {
                                 codes,
                                 error: None,
                             });
+                            self.drive_capacity();
                         }
                         Err(e) => {
                             let _ = reply.send(ShardReply {
@@ -403,33 +565,97 @@ impl ShardWorker {
             }
         }
         // Queue closed: graceful stop. Flush everything acknowledged
-        // under a relaxed policy before the thread exits.
+        // under a relaxed policy before the thread exits. An in-flight
+        // migration is persisted by the teardown checkpoint's image and
+        // resumes after recovery.
         let _ = self.wal.sync();
+    }
+
+    /// After a mutation lands: if the shard parked a scale plan, commit
+    /// to it — log the exact spec, push the generation, log the
+    /// compaction marker, start migrating — and raise the shed latch
+    /// until the migration drains.
+    fn drive_capacity(&mut self) {
+        let ServiceFilter::Elastic(pool) = &self.filter else {
+            return;
+        };
+        let Some(spec) = pool.with_shard(self.shard, |f| f.scale_plan()) else {
+            return;
+        };
+        let scale = WalRecord {
+            seq: self.seq + 1,
+            op: WalOp::ScaleUp {
+                memory_bits: spec.memory_bits,
+                expected_items: spec.expected_items,
+            },
+        };
+        if self.wal.append(&scale).is_err() {
+            // The plan stays parked; the next mutation retries the log.
+            return;
+        }
+        self.seq += 1;
+        self.scaling.store(true, Ordering::SeqCst);
+        // An unshapeable spec fails identically during replay, so the
+        // log and the filter cannot disagree.
+        let _ = pool.with_shard(self.shard, |f| f.apply_scale(&spec));
+        let compact = WalRecord {
+            seq: self.seq + 1,
+            op: WalOp::Compact,
+        };
+        if self.wal.append(&compact).is_ok() {
+            self.seq += 1;
+            pool.with_shard(self.shard, |f| {
+                f.begin_compaction();
+            });
+        }
+        self.step_migration();
+    }
+
+    /// Moves one batch of keys into the active generation; drops the
+    /// shed latch once the migration is drained.
+    fn step_migration(&mut self) {
+        let ServiceFilter::Elastic(pool) = &self.filter else {
+            self.scaling.store(false, Ordering::SeqCst);
+            return;
+        };
+        let still_going = pool.with_shard(self.shard, |f| {
+            if f.compacting() {
+                let batch = f.policy().compact_batch.max(64);
+                f.step_compaction(batch);
+            }
+            f.compacting()
+        });
+        if !still_going {
+            self.scaling.store(false, Ordering::SeqCst);
+        }
     }
 }
 
 /// Applies a logged op to the filter, collecting per-key wire codes in
 /// the op's own key order.
-fn apply_codes(filter: &ShardedMpcbf<u64, Murmur3>, op: &WalOp) -> Vec<u8> {
-    match op {
-        WalOp::Insert(key) => vec![key_code(&filter.insert_bytes(key))],
-        WalOp::Remove(key) => vec![key_code(&filter.remove_bytes(key))],
-        WalOp::InsertBatch(keys) => {
+fn apply_codes(filter: &ServiceFilter, op: &WalOp) -> Vec<u8> {
+    match (filter, op) {
+        (ServiceFilter::Fixed(f), WalOp::Insert(key)) => vec![key_code(&f.insert_bytes(key))],
+        (ServiceFilter::Fixed(f), WalOp::Remove(key)) => vec![key_code(&f.remove_bytes(key))],
+        (ServiceFilter::Fixed(f), WalOp::InsertBatch(keys)) => {
             let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-            filter
-                .insert_batch_bytes(&views)
-                .iter()
-                .map(key_code)
-                .collect()
+            f.insert_batch_bytes(&views).iter().map(key_code).collect()
         }
-        WalOp::RemoveBatch(keys) => {
+        (ServiceFilter::Fixed(f), WalOp::RemoveBatch(keys)) => {
             let views: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
-            filter
-                .remove_batch_bytes(&views)
-                .iter()
-                .map(key_code)
-                .collect()
+            f.remove_batch_bytes(&views).iter().map(key_code).collect()
         }
+        (ServiceFilter::Elastic(f), WalOp::Insert(key)) => vec![key_code(&f.insert_bytes(key))],
+        (ServiceFilter::Elastic(f), WalOp::Remove(key)) => vec![key_code(&f.remove_bytes(key))],
+        (ServiceFilter::Elastic(f), WalOp::InsertBatch(keys)) => {
+            keys.iter().map(|k| key_code(&f.insert_bytes(k))).collect()
+        }
+        (ServiceFilter::Elastic(f), WalOp::RemoveBatch(keys)) => {
+            keys.iter().map(|k| key_code(&f.remove_bytes(k))).collect()
+        }
+        // Structural records are authored by the worker itself, never
+        // dispatched as jobs; they only flow through recovery replay.
+        (_, WalOp::ScaleUp { .. } | WalOp::Compact) => Vec::new(),
     }
 }
 
@@ -456,15 +682,38 @@ impl Server {
             durability,
             filter,
             shards,
+            elastic,
         } = config;
         let fsync_name = durability.fsync.name();
         let snapshot_every = durability.snapshot_every;
-        let (durable, recovery) =
-            DurableShardedMpcbf::<Murmur3>::open_or_recover(durability, || {
-                ShardedMpcbf::new(filter, shards)
-            })?;
-        let (filter, wals, seqs, snapshots) = durable.into_service_parts();
-        let filter = Arc::new(filter);
+        let (filter, wals, seqs, snapshots, recovery) = if elastic {
+            let (durable, recovery) =
+                DurableElasticSharded::<Murmur3>::open_or_recover(durability, || {
+                    ElasticShardedMpcbf::manual(filter, shards, CapacityPolicy::default())
+                        .expect("default capacity policy is valid")
+                })?;
+            let (pool, wals, seqs, snapshots) = durable.into_service_parts();
+            (
+                ServiceFilter::Elastic(Arc::new(pool)),
+                wals,
+                seqs,
+                snapshots,
+                recovery,
+            )
+        } else {
+            let (durable, recovery) =
+                DurableShardedMpcbf::<Murmur3>::open_or_recover(durability, || {
+                    ShardedMpcbf::new(filter, shards)
+                })?;
+            let (pool, wals, seqs, snapshots) = durable.into_service_parts();
+            (
+                ServiceFilter::Fixed(Arc::new(pool)),
+                wals,
+                seqs,
+                snapshots,
+                recovery,
+            )
+        };
         let telemetry = Arc::new(Telemetry::new());
         recovery.record_to(&telemetry);
 
@@ -481,14 +730,18 @@ impl Server {
 
         let mut txs = Vec::with_capacity(wals.len());
         let mut workers = Vec::with_capacity(wals.len());
+        let mut scaling = Vec::with_capacity(wals.len());
         for (shard, (wal, seq)) in wals.into_iter().zip(seqs).enumerate() {
             let (tx, rx) = channel();
             txs.push(tx);
+            let flag = Arc::new(AtomicBool::new(false));
+            scaling.push(flag.clone());
             let worker = ShardWorker {
                 shard,
                 wal,
                 seq,
                 filter: filter.clone(),
+                scaling: flag,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -499,6 +752,7 @@ impl Server {
 
         let shared = Arc::new(Shared {
             filter,
+            scaling,
             shard_txs: Mutex::new(txs),
             snapshots,
             telemetry,
@@ -699,6 +953,18 @@ fn read_frame_polling(stream: &mut TcpStream, shutdown: &AtomicBool) -> Option<V
     }
 }
 
+/// The suggested client backoff while a shard reorganises. Migration
+/// batches drain on a millisecond cadence, so single-digit-millisecond
+/// retries converge quickly without hammering the dispatch path.
+const RETRY_AFTER_MS: u32 = 5;
+
+fn shed_response() -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(STATUS_RETRY_LATER);
+    out.extend_from_slice(&RETRY_AFTER_MS.to_le_bytes());
+    out
+}
+
 fn error_response(status: u8, reason: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(1 + reason.len());
     out.push(status);
@@ -830,6 +1096,10 @@ fn mutate_scalar(shared: &Shared, key: Vec<u8>, insert: bool) -> Vec<u8> {
         OpKind::Remove
     };
     let shard = shared.filter.home_shard(&key);
+    if shared.is_scaling(shard) {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        return shed_response();
+    }
     let txs = shared
         .shard_txs
         .lock()
@@ -901,6 +1171,17 @@ fn mutate_batch(shared: &Shared, keys: Vec<Vec<u8>>, insert: bool) -> Vec<u8> {
         let shard = shared.filter.home_shard(&key);
         per_shard[shard].push(key);
         origin[shard].push(i as u32);
+    }
+    // A batch is one all-or-nothing frame per shard: if any touched
+    // shard is reorganising, shed the whole batch (partial acks would
+    // force the client to split the batch to retry).
+    if per_shard
+        .iter()
+        .enumerate()
+        .any(|(shard, group)| !group.is_empty() && shared.is_scaling(shard))
+    {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        return shed_response();
     }
     let (reply_tx, reply_rx) = channel();
     let mut pending = 0;
@@ -998,6 +1279,7 @@ mod tests {
                 .build()
                 .expect("test config"),
             shards: 4,
+            elastic: false,
         }
     }
 
@@ -1061,6 +1343,80 @@ mod tests {
         for i in 100..200u32 {
             let key = format!("batch-key-{i}").into_bytes();
             assert!(client.query(&key).expect("query"), "lost batch-key-{i}");
+        }
+        server.shutdown().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn elastic_server_scales_sheds_and_recovers() {
+        let dir = scratch_dir("elastic");
+        let config = || ServerConfig {
+            elastic: true,
+            // Small geometry so a few thousand keys are a 10x overload.
+            filter: MpcbfConfig::builder()
+                .memory_bits(131_072)
+                .expected_items(2_000)
+                .hashes(3)
+                .seed(91)
+                .build()
+                .expect("elastic test config"),
+            shards: 2,
+            ..test_config(&dir)
+        };
+        let total = 20_000u64;
+        {
+            let server = Server::start(config()).expect("start");
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            // The client's RETRY_LATER backoff must absorb every shed:
+            // all inserts eventually ack even while shards reorganise.
+            for i in 0..total {
+                assert!(
+                    client
+                        .insert(&i.to_le_bytes())
+                        .expect("insert")
+                        .is_applied(),
+                    "insert {i} not applied"
+                );
+            }
+            let stats = client.stats_json().expect("stats");
+            assert!(stats.contains("\"mode\":\"elastic\""), "{stats}");
+            assert!(stats.contains("\"scale_events\":"), "{stats}");
+            let scale_events: u64 = stats
+                .split("\"scale_events\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|v| v.parse().ok())
+                .expect("scale_events in stats");
+            assert!(scale_events > 0, "10x overload must scale: {stats}");
+            let shed: u64 = stats
+                .split("\"shed\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|v| v.parse().ok())
+                .expect("shed counter in stats");
+            assert!(
+                shed > 0,
+                "reorganising shards must shed at least one mutation: {stats}"
+            );
+            for i in 0..total {
+                assert!(client.query(&i.to_le_bytes()).expect("query"), "FN {i}");
+            }
+            client.shutdown_server().expect("shutdown frame");
+            server.wait().expect("teardown");
+        }
+
+        // Every acked key survives the restart with the scaled stacks.
+        let server = Server::start(config()).expect("restart");
+        assert!(server.recovery_report().scrub_clean);
+        let mut client = Client::connect(server.local_addr()).expect("reconnect");
+        let stats = client.stats_json().expect("stats");
+        assert!(stats.contains("\"mode\":\"elastic\""), "{stats}");
+        for i in 0..total {
+            assert!(
+                client.query(&i.to_le_bytes()).expect("query"),
+                "lost key {i} across restart"
+            );
         }
         server.shutdown().expect("shutdown");
         let _ = std::fs::remove_dir_all(&dir);

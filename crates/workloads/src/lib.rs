@@ -40,6 +40,7 @@ pub mod driver;
 pub mod faults;
 pub mod flowtrace;
 pub mod patents;
+pub mod ramp;
 pub mod synthetic;
 pub mod zipf;
 
@@ -50,4 +51,5 @@ pub use driver::{
 pub use faults::{Fault, FaultMix, FaultPlan, StreamFaultLog, DRILL_SEEDS};
 pub use flowtrace::{FlowTrace, FlowTraceSpec};
 pub use patents::{PatentDataset, PatentSpec};
+pub use ramp::{RampPhase, RampSpec};
 pub use synthetic::{SyntheticSpec, SyntheticWorkload};

@@ -1,0 +1,156 @@
+//! Capacity-ramp plans: phased key-growth streams, as pure data.
+//!
+//! The elastic filter's contract is exercised by *growth*, not steady
+//! state: a stream that starts at the provisioned capacity and climbs
+//! to a multiple of it, with membership checkpoints along the way. A
+//! [`RampSpec`] captures that shape independently of any filter — each
+//! phase carries the fresh keys to insert, and the cumulative live set
+//! after a phase is every key of every phase so far (the ramp never
+//! deletes). Harnesses replay the phases in order, sampling the FPR
+//! gauge and sweeping the live set for false negatives between phases.
+//!
+//! Keys are deterministic and collision-free by construction (a seed
+//! tag plus a monotone counter), so the same spec replays identically
+//! across the stress drill, the elastic benchmark, and CI.
+
+/// One ramp phase: the fresh keys that take the cumulative population
+/// to `target_items`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RampPhase {
+    /// Cumulative live population once this phase's keys are inserted.
+    pub target_items: u64,
+    /// Fresh keys to insert (disjoint from every other phase).
+    pub keys: Vec<Vec<u8>>,
+}
+
+/// A phased growth stream from `base_items` to
+/// `base_items * overload_factor`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RampSpec {
+    /// The provisioned capacity the ramp starts from (phase 0 fills
+    /// exactly this many keys).
+    pub base_items: u64,
+    /// Final population as a multiple of `base_items` (the paper-style
+    /// 10x overload is `10`).
+    pub overload_factor: u64,
+    /// Phases after the fill: cumulative targets are evenly spaced
+    /// between `base_items` and `base_items * overload_factor`.
+    pub ramp_phases: usize,
+    /// Folded into every key so independent ramps never collide.
+    pub seed: u64,
+}
+
+impl RampSpec {
+    /// A 10x ramp in 9 steps over `base_items` provisioned capacity.
+    pub fn tenfold(base_items: u64, seed: u64) -> Self {
+        RampSpec {
+            base_items,
+            overload_factor: 10,
+            ramp_phases: 9,
+            seed,
+        }
+    }
+
+    /// Final cumulative population.
+    pub fn final_items(&self) -> u64 {
+        self.base_items * self.overload_factor.max(1)
+    }
+
+    /// Materialises the phases: phase 0 fills to `base_items`, then
+    /// `ramp_phases` phases climb evenly to `final_items()`. Keys are
+    /// `seed (LE) | counter (LE)` — 16 bytes, unique across the ramp.
+    pub fn phases(&self) -> Vec<RampPhase> {
+        let base = self.base_items.max(1);
+        let last = self.final_items().max(base);
+        let steps = self.ramp_phases.max(1) as u64;
+        let mut targets = vec![base];
+        for i in 1..=steps {
+            let t = base + (last - base) * i / steps;
+            if t > *targets.last().expect("targets non-empty") {
+                targets.push(t);
+            }
+        }
+        let mut counter = 0u64;
+        let mut phases = Vec::with_capacity(targets.len());
+        for target in targets {
+            let mut keys = Vec::with_capacity((target - counter) as usize);
+            while counter < target {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&self.seed.to_le_bytes());
+                key[8..].copy_from_slice(&counter.to_le_bytes());
+                keys.push(key.to_vec());
+                counter += 1;
+            }
+            phases.push(RampPhase {
+                target_items: target,
+                keys,
+            });
+        }
+        phases
+    }
+
+    /// Keys that are never inserted by this ramp — the probe set for
+    /// empirical FPR measurement. Drawn from the counter range past
+    /// `final_items()`, so they are disjoint from every phase.
+    pub fn negative_probes(&self, count: usize) -> Vec<Vec<u8>> {
+        let start = self.final_items();
+        (0..count as u64)
+            .map(|i| {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(!self.seed).to_le_bytes());
+                key[8..].copy_from_slice(&(start + i).to_le_bytes());
+                key.to_vec()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tenfold_ramp_targets_and_key_uniqueness() {
+        let spec = RampSpec::tenfold(1_000, 42);
+        let phases = spec.phases();
+        assert_eq!(phases.first().map(|p| p.target_items), Some(1_000));
+        assert_eq!(phases.last().map(|p| p.target_items), Some(10_000));
+        let mut seen = HashSet::new();
+        let mut cumulative = 0u64;
+        for phase in &phases {
+            cumulative += phase.keys.len() as u64;
+            assert_eq!(cumulative, phase.target_items, "phases are cumulative");
+            for key in &phase.keys {
+                assert!(seen.insert(key.clone()), "duplicate ramp key");
+            }
+        }
+        for probe in spec.negative_probes(500) {
+            assert!(!seen.contains(&probe), "probe collides with a ramp key");
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_stay_sane() {
+        let flat = RampSpec {
+            base_items: 10,
+            overload_factor: 1,
+            ramp_phases: 4,
+            seed: 7,
+        };
+        let phases = flat.phases();
+        assert_eq!(phases.len(), 1, "no growth: just the fill phase");
+        assert_eq!(phases[0].target_items, 10);
+
+        let tiny = RampSpec {
+            base_items: 1,
+            overload_factor: 3,
+            ramp_phases: 10,
+            seed: 8,
+        };
+        let phases = tiny.phases();
+        assert_eq!(phases.last().map(|p| p.target_items), Some(3));
+        let total: u64 = phases.iter().map(|p| p.keys.len() as u64).sum();
+        assert_eq!(total, 3);
+    }
+}

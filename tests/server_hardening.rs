@@ -36,6 +36,7 @@ fn shared_server_addr() -> SocketAddr {
                 .build()
                 .expect("config"),
             shards: 4,
+            elastic: false,
         })
         .expect("start hardening server");
         let addr = server.local_addr();
