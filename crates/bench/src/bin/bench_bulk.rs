@@ -1,0 +1,231 @@
+//! Bulk-build benchmark: naive per-key insert vs the cache-bucketed
+//! streaming builder vs the parallel region finish.
+//!
+//! ```text
+//! cargo run --release -p mpcbf-bench --bin bench_bulk
+//! cargo run --release -p mpcbf-bench --bin bench_bulk -- --scale 100
+//! cargo run --release -p mpcbf-bench --bin bench_bulk -- --scale 100 --gate
+//! ```
+//!
+//! Builds MPCBF-1 at 16 bits/key over a ladder of key counts up to 10^8
+//! (DRAM-resident at the top) from the shared [`BulkKeys`] stream, and
+//! emits `BENCH_bulk.json` with per-contender wall time, keys/s, speedup
+//! over the naive scalar loop, and the peak-RSS delta attributed to each
+//! build (the high-water mark is reset before each contender). Every
+//! contender's filter is checked identical to the naive build before the
+//! row is trusted.
+//!
+//! `--gate` re-measures only the buffered contender at the ladder's base
+//! rung (n = 10^6) and compares its speedup against the same-n row in
+//! the committed `BENCH_bulk.json` — the full-scale rungs are too slow
+//! for CI, and cache-resident speedups are far below the DRAM-resident
+//! headline, so the gate compares like with like (and still applies a
+//! generous tolerance: staging costs are noisy near cache capacity).
+
+use mpcbf_bench::{rss, Args};
+use mpcbf_core::{BulkBuilder, Filter, Mpcbf, MpcbfConfig};
+use mpcbf_hash::Murmur3;
+use mpcbf_workloads::BulkKeys;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Keys buffered per generator chunk (a few hundred KB resident).
+const CHUNK: usize = 8_192;
+
+/// Hash seed for filters and the key stream.
+const SEED: u64 = 0x1b9d;
+
+/// Gate floor: measured speedup must stay above `recorded * tolerance`.
+/// Generous because the gate rung sits near cache capacity, where
+/// staging overhead and machine noise swing the ratio hardest.
+const GATE_TOLERANCE: f64 = 0.5;
+
+/// The ladder rung the gate compares (present at every `--scale`).
+const GATE_N: u64 = 1_000_000;
+
+struct Row {
+    n: u64,
+    contender: &'static str,
+    secs: f64,
+    keys_per_sec: f64,
+    speedup_vs_naive: f64,
+    peak_rss_mib: Option<f64>,
+}
+
+fn config(n: u64) -> MpcbfConfig {
+    MpcbfConfig::builder()
+        .memory_bits(16 * n)
+        .expected_items(n)
+        .hashes(3)
+        .seed(SEED)
+        .build()
+        .expect("bulk bench shape")
+}
+
+/// Times one build, attributing peak RSS to it.
+fn timed(build: impl FnOnce() -> Mpcbf<u64, Murmur3>) -> (Mpcbf<u64, Murmur3>, f64, Option<f64>) {
+    rss::reset_peak_rss();
+    let start = Instant::now();
+    let filter = build();
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let peak = rss::peak_rss_bytes().map(rss::bytes_to_mib);
+    (filter, secs, peak)
+}
+
+fn naive_build(n: u64) -> Mpcbf<u64, Murmur3> {
+    let mut filter = Mpcbf::new(config(n));
+    BulkKeys::new(SEED, n).for_each_chunk(CHUNK, |chunk| {
+        for key in chunk {
+            let _ = filter.insert_bytes(key);
+        }
+    });
+    filter
+}
+
+fn buffered_builder(n: u64) -> BulkBuilder<Murmur3> {
+    let mut builder = BulkBuilder::new(config(n));
+    BulkKeys::new(SEED, n).for_each_chunk(CHUNK, |chunk| {
+        builder.push_chunk(chunk);
+    });
+    builder
+}
+
+/// One ladder rung: runs all three contenders, checks them identical,
+/// returns their rows.
+fn rung(n: u64, threads: usize, quiet: bool) -> Vec<Row> {
+    let (naive, naive_secs, naive_peak) = timed(|| naive_build(n));
+    let (buffered, buffered_secs, buffered_peak) = timed(|| buffered_builder(n).finish());
+    let (parallel, parallel_secs, parallel_peak) =
+        timed(|| mpcbf_concurrent::build_parallel(buffered_builder(n), threads));
+    assert_eq!(
+        naive.raw_words(),
+        buffered.raw_words(),
+        "buffered build diverged from naive at n={n}"
+    );
+    assert_eq!(
+        naive.raw_words(),
+        parallel.raw_words(),
+        "parallel build diverged from naive at n={n}"
+    );
+    assert_eq!(naive.items(), buffered.items());
+    assert_eq!(naive.overflows(), buffered.overflows());
+    let mut rows = Vec::new();
+    for (contender, secs, peak) in [
+        ("naive", naive_secs, naive_peak),
+        ("buffered", buffered_secs, buffered_peak),
+        ("parallel", parallel_secs, parallel_peak),
+    ] {
+        let row = Row {
+            n,
+            contender,
+            secs,
+            keys_per_sec: n as f64 / secs,
+            speedup_vs_naive: naive_secs / secs,
+            peak_rss_mib: peak,
+        };
+        if !quiet {
+            println!(
+                "n {:>11}  {:<8}  {:>8.3}s  {:>12.0} keys/s  {:>6.2}x{}",
+                row.n,
+                row.contender,
+                row.secs,
+                row.keys_per_sec,
+                row.speedup_vs_naive,
+                row.peak_rss_mib
+                    .map(|m| format!("  peak {m:.0} MiB"))
+                    .unwrap_or_default(),
+            );
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Pulls the recorded buffered speedup at the gate rung out of a
+/// previously written `BENCH_bulk.json` (hand-rolled like the writer).
+fn baseline_buffered_speedup(json: &str, n: u64) -> Option<f64> {
+    let needle_n = format!("\"n\": {n},");
+    let line = json
+        .lines()
+        .find(|l| l.contains(&needle_n) && l.contains("\"contender\": \"buffered\""))?;
+    let value = line.split("\"speedup_vs_naive\": ").nth(1)?;
+    value
+        .split(|c: char| c != '.' && !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = mpcbf_concurrent::default_threads();
+
+    if args.gate {
+        let recorded = std::fs::read_to_string("BENCH_bulk.json")
+            .ok()
+            .as_deref()
+            .and_then(|j| baseline_buffered_speedup(j, GATE_N))
+            .unwrap_or_else(|| {
+                eprintln!("gate: no buffered n={GATE_N} baseline in BENCH_bulk.json");
+                std::process::exit(2);
+            });
+        let rows = rung(GATE_N, threads, args.quiet);
+        let measured = rows
+            .iter()
+            .find(|r| r.contender == "buffered")
+            .map(|r| r.speedup_vs_naive)
+            .expect("buffered row");
+        let floor = recorded * GATE_TOLERANCE;
+        println!(
+            "gate: buffered n={GATE_N} speedup measured {measured:.3}x, \
+             recorded baseline {recorded:.3}x (floor {floor:.3}x)"
+        );
+        if measured < floor {
+            eprintln!("gate: FAIL — bulk-build speedup regressed below the recorded baseline");
+            std::process::exit(1);
+        }
+        println!("gate: OK");
+        return;
+    }
+
+    // The top rung is the title claim — a billion keys, where the
+    // filter (2 GB) dwarfs every cache level and naive insertion is
+    // one TLB-missing DRAM round trip per key. CI runs --scale 100, so
+    // it climbs only to 10^7 there.
+    let ladder: Vec<u64> = [1_000_000u64, 10_000_000, 100_000_000, 1_000_000_000]
+        .iter()
+        .map(|&n| (n / args.scale).max(100_000))
+        .collect();
+    let mut rows = Vec::new();
+    for &n in &ladder {
+        if rows.iter().any(|r: &Row| r.n == n) {
+            continue; // scale collapsed two rungs onto the same n
+        }
+        rows.extend(rung(n, threads, args.quiet));
+    }
+
+    let mut json = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"contender\": \"{}\", \"secs\": {:.4}, \
+             \"keys_per_sec\": {:.0}, \"speedup_vs_naive\": {:.3}, \"peak_rss_mib\": {}}}{}",
+            r.n,
+            r.contender,
+            r.secs,
+            r.keys_per_sec,
+            r.speedup_vs_naive,
+            r.peak_rss_mib
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"threads\": {threads}, \"bits_per_key\": 16, \"hashes\": 3, \
+         \"chunk\": {CHUNK}, \"seed\": {SEED}\n}}\n"
+    );
+    std::fs::write("BENCH_bulk.json", &json).expect("write BENCH_bulk.json");
+    println!("wrote BENCH_bulk.json");
+}

@@ -18,7 +18,7 @@
 //! * `window` — a full [`SlidingWindowMpcbf`] rotation cycle: rotation
 //!   throughput and the in-window false-negative sweep (must be zero).
 
-use mpcbf_bench::Args;
+use mpcbf_bench::{rss, Args};
 use mpcbf_core::policy::CapacityPolicy;
 use mpcbf_core::{ElasticMpcbf, Filter, MpcbfConfig, SlidingWindowMpcbf};
 use mpcbf_hash::Murmur3;
@@ -49,6 +49,7 @@ fn empirical_fpr(filter: &ElasticMpcbf<Murmur3>, probes: &[Vec<u8>]) -> f64 {
 
 fn main() {
     let args = Args::parse();
+    rss::reset_peak_rss();
     let base_items = args.scaled(20_000);
     let spec = RampSpec::tenfold(base_items, 0x2b2b);
     let probes = spec.negative_probes(20_000);
@@ -136,6 +137,7 @@ fn main() {
     }
     let rotations = window.rotations();
     assert_eq!(window_fn, 0, "in-window keys must never go false-negative");
+    let peak_rss_mib = rss::peak_rss_bytes().map(rss::bytes_to_mib);
     if !args.quiet {
         println!(
             "window: {rotations} rotations, {:.1} ms/rotation, {window_fn} in-window FNs",
@@ -175,11 +177,14 @@ fn main() {
         json,
         "  ],\n  \"window\": {{\"slots\": {slots}, \"rotations\": {rotations}, \
          \"ms_per_rotation\": {:.3}, \"in_window_false_negatives\": {window_fn}}},\n  \
-         \"scale_events\": {}, \"compactions\": {}, \"migrated_keys\": {}\n}}\n",
+         \"scale_events\": {}, \"compactions\": {}, \"migrated_keys\": {},          \"peak_rss_mib\": {}\n}}\n",
         1e3 * rotate_secs / rotations as f64,
         filter.scale_events(),
         filter.compactions(),
         filter.migrated_keys(),
+        peak_rss_mib
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_else(|| "null".to_string()),
     );
     std::fs::write("BENCH_elastic.json", &json).expect("write BENCH_elastic.json");
     println!("wrote BENCH_elastic.json");

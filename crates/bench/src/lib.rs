@@ -25,6 +25,7 @@
 
 pub mod args;
 pub mod report;
+pub mod rss;
 pub mod runner;
 pub mod suite;
 pub mod telemetry;

@@ -36,7 +36,7 @@ pub mod kernel;
 pub mod wide;
 pub mod word;
 
-pub use crate::aligned::{AlignedVec, CACHE_LINE_BYTES};
+pub use crate::aligned::{advise_huge_slice, AlignedVec, CACHE_LINE_BYTES};
 pub use crate::bitvec::BitVec;
 pub use crate::counters::CounterVec;
 pub use crate::kernel::{BatchKernel, Kernel, KernelOps};

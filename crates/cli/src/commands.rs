@@ -71,8 +71,113 @@ impl AnyFilter {
     }
 }
 
+/// Streams the build's key source into `push`: `--synthetic N` walks the
+/// deterministic [`mpcbf_workloads::BulkKeys`] stream in chunks (never
+/// materialised), otherwise every non-empty line of `keys`.
+fn feed_keys(
+    opts: &Opts,
+    keys: &mut Keys<'_>,
+    push: &mut dyn FnMut(&[u8]),
+) -> Result<u64, CliError> {
+    let mut total = 0u64;
+    if let Some(n) = opts.synthetic {
+        mpcbf_workloads::BulkKeys::new(opts.seed, n).for_each_chunk(8_192, |chunk| {
+            for key in chunk {
+                push(key);
+            }
+        });
+        total = n;
+    } else {
+        for key in keys {
+            let key = key?;
+            if key.is_empty() {
+                continue;
+            }
+            push(key.as_bytes());
+            total += 1;
+        }
+    }
+    Ok(total)
+}
+
+/// `mpcbf build --bulk`: ingest through the cache-bucketed streaming
+/// builder. With `--out`, writes a plain MPCBF image via the codec path;
+/// with `--dir`, bulk-builds a sharded filter and materialises a durable
+/// snapshot directory directly — no per-key WAL frames — that `serve`
+/// and `recover` cold-start from with zero records replayed.
+fn bulk_build(opts: &Opts, keys: &mut Keys<'_>) -> Result<(), CliError> {
+    use mpcbf_concurrent::{build_parallel, ShardedBulkBuilder};
+    use mpcbf_core::BulkBuilder;
+
+    if opts.kind != Kind::Mpcbf {
+        return Err(CliError::Usage("--bulk supports --kind mpcbf only".into()));
+    }
+    let items = match (opts.items, opts.synthetic) {
+        (Some(n), _) => n,
+        (None, Some(n)) => n,
+        (None, None) => return Err(CliError::Usage("--items N (positive) is required".into())),
+    };
+    if items == 0 {
+        return Err(CliError::Usage("--items N (positive) is required".into()));
+    }
+    let memory = opts.memory_or_default(items);
+    let config = MpcbfConfig::builder()
+        .memory_bits(memory)
+        .expected_items(items)
+        .hashes(opts.hashes)
+        .accesses(opts.accesses)
+        .seed(opts.seed)
+        .build()
+        .map_err(|e| CliError::Runtime(format!("infeasible configuration: {e}")))?;
+    let threads = opts
+        .threads
+        .unwrap_or_else(mpcbf_concurrent::default_threads);
+
+    if let Some(dir) = opts.dir.as_deref() {
+        use mpcbf_durability::{DurabilityOptions, DurableShardedMpcbf};
+        let mut builder: ShardedBulkBuilder<Murmur3> =
+            ShardedBulkBuilder::new(config, opts.shards.unwrap_or(8));
+        let total = feed_keys(opts, keys, &mut |key| builder.push(key))?;
+        let filter = builder.finish_parallel(threads);
+        let fsync = parse_fsync(opts.fsync.as_deref().unwrap_or("always"))?;
+        DurableShardedMpcbf::<Murmur3>::bootstrap(
+            &filter,
+            DurabilityOptions::new(dir).fsync(fsync),
+        )
+        .map_err(|e| CliError::Runtime(format!("bootstrap failed: {e}")))?;
+        eprintln!(
+            "bulk-built {dir}: {total} keys into {} shards ({} refused), \
+             snapshot written, no WAL replay needed",
+            filter.shard_count(),
+            filter.overflows(),
+        );
+        return Ok(());
+    }
+
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("--out FILE (or --dir DIR) is required".into()))?;
+    let mut builder: BulkBuilder<Murmur3> = BulkBuilder::new(config);
+    let total = feed_keys(opts, keys, &mut |key| {
+        builder.push(key);
+    })?;
+    let filter = build_parallel(builder, threads);
+    let inserted = filter.items();
+    let refused = filter.overflows();
+    AnyFilter::Mpcbf(filter).store(out)?;
+    eprintln!(
+        "bulk-built {out}: {total} keys streamed, {inserted} inserted, \
+         {refused} refused, {memory} bits"
+    );
+    Ok(())
+}
+
 /// `mpcbf build`: construct a filter from a key stream and write it out.
 pub fn build(opts: &Opts, keys: &mut Keys<'_>) -> Result<(), CliError> {
+    if opts.bulk {
+        return bulk_build(opts, keys);
+    }
     let out = opts
         .out
         .as_deref()
@@ -756,5 +861,74 @@ mod tests {
             stats(&opts(&["--filter", &path]), &mut Vec::new()),
             Err(CliError::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn bulk_build_writes_the_same_snapshot_as_sequential() {
+        // Same keys, same config: the bulk path must serialise a
+        // byte-identical filter image to the scalar build path.
+        let seq = tmp("seq.mpcbf");
+        let blk = tmp("bulk.mpcbf");
+        let stream = ["alpha", "beta", "gamma", "delta", "alpha"];
+        build(
+            &opts(&["--out", &seq, "--items", "100"]),
+            &mut keys(&stream),
+        )
+        .unwrap();
+        build(
+            &opts(&["--bulk", "--out", &blk, "--items", "100"]),
+            &mut keys(&stream),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&seq).unwrap(),
+            std::fs::read(&blk).unwrap(),
+            "bulk and sequential snapshots differ"
+        );
+
+        let o = opts(&["--filter", &blk]);
+        let mut out = Vec::new();
+        query(&o, &mut keys(&["alpha", "zeta"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("alpha\ttrue"), "{text}");
+    }
+
+    #[test]
+    fn bulk_build_dir_cold_starts_without_replay() {
+        use mpcbf_concurrent::ShardedMpcbf;
+        use mpcbf_durability::{DurabilityOptions, DurableShardedMpcbf};
+
+        let dir = tmp("bulk-dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let o = opts(&[
+            "--bulk",
+            "--synthetic",
+            "2000",
+            "--items",
+            "2000",
+            "--dir",
+            &dir,
+            "--shards",
+            "4",
+        ]);
+        build(&o, &mut keys(&[])).unwrap();
+
+        let config = MpcbfConfig::builder()
+            .memory_bits(o.memory_or_default(2000))
+            .expected_items(2000)
+            .hashes(o.hashes)
+            .accesses(o.accesses)
+            .seed(o.seed)
+            .build()
+            .unwrap();
+        let (recovered, report) =
+            DurableShardedMpcbf::<Murmur3>::open_or_recover(DurabilityOptions::new(&dir), || {
+                ShardedMpcbf::new(config, 4)
+            })
+            .unwrap();
+        assert_eq!(report.records_replayed, 0, "bootstrap dir replayed WAL");
+        assert_eq!(report.snapshot_seq, Some(0));
+        assert!(recovered.inner().total_load() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

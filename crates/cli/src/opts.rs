@@ -8,6 +8,14 @@ commands:
   build   --out FILE --items N [--memory-bits M] [--hashes K]
           [--accesses G] [--kind mpcbf|cbf] [--seed S] [--input FILE]
             build a filter from newline-separated keys (default stdin)
+          [--bulk] [--threads T] [--synthetic N] [--dir DIR [--shards P]]
+            with --bulk, ingest through the cache-bucketed streaming
+            builder (mpcbf kind only): --synthetic N generates N
+            deterministic keys instead of reading --input/stdin;
+            --threads T parallelises the region sweeps; with --dir
+            instead of --out, bulk-build a sharded filter and write a
+            durable snapshot directory that `mpcbf serve`/`recover`
+            cold-start from without any WAL replay
   query   --filter FILE [--input FILE]
             print `key<TAB>true|false` per key
   insert  --filter FILE [--input FILE]
@@ -86,6 +94,9 @@ pub struct Opts {
     pub fsync: Option<String>,
     pub snapshot_every: Option<u64>,
     pub elastic: bool,
+    pub bulk: bool,
+    pub threads: Option<usize>,
+    pub synthetic: Option<u64>,
 }
 
 impl Default for Opts {
@@ -109,6 +120,9 @@ impl Default for Opts {
             fsync: None,
             snapshot_every: None,
             elastic: false,
+            bulk: false,
+            threads: None,
+            synthetic: None,
         }
     }
 }
@@ -150,6 +164,17 @@ impl Opts {
                 }
                 "--telemetry" => opts.telemetry = true,
                 "--elastic" => opts.elastic = true,
+                "--bulk" => opts.bulk = true,
+                "--threads" => {
+                    let n = parse_num(&value("--threads")?, "--threads")?;
+                    if n == 0 {
+                        return Err(CliError::Usage("--threads must be positive".into()));
+                    }
+                    opts.threads = Some(n as usize);
+                }
+                "--synthetic" => {
+                    opts.synthetic = Some(parse_num(&value("--synthetic")?, "--synthetic")?)
+                }
                 "--addr" => opts.addr = Some(value("--addr")?),
                 "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")?),
                 "--shards" => {
@@ -324,6 +349,22 @@ mod tests {
         assert_eq!(o.fsync.as_deref(), Some("every-64"));
         assert_eq!(o.snapshot_every, Some(10_000));
         assert!(matches!(parse(&["--shards", "0"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bulk_flags() {
+        let o = parse(&["--bulk", "--threads", "4", "--synthetic", "1M"]).unwrap();
+        assert!(o.bulk);
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.synthetic, Some(1_000_000));
+        let o = parse(&[]).unwrap();
+        assert!(!o.bulk);
+        assert_eq!(o.threads, None);
+        assert_eq!(o.synthetic, None);
+        assert!(matches!(
+            parse(&["--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -52,12 +52,14 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod bulk;
 pub mod elastic;
 pub mod sharded;
 #[cfg(feature = "stats")]
 pub mod stats;
 
 pub use atomic::AtomicMpcbf;
+pub use bulk::{build_parallel, build_resilient_parallel, default_threads, ShardedBulkBuilder};
 pub use elastic::{ElasticShardedMpcbf, ElasticStats};
 pub use sharded::{ShardBatch, ShardedMpcbf};
 #[cfg(feature = "stats")]

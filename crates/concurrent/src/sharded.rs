@@ -937,6 +937,34 @@ impl<H: Hasher128> ShardedMpcbf<u64, H> {
         self.shards[shard].lock().iter().map(|w| *w.raw()).collect()
     }
 
+    /// Installs a bulk-built word array into one shard (the
+    /// `bulk::ShardedBulkBuilder` finish path — builders stage into
+    /// their own arrays and swap them in here).
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly one shard's length.
+    pub(crate) fn bulk_install(&self, shard: usize, words: AlignedVec<HcbfWord<u64>>) {
+        assert_eq!(words.len() as u64, self.words_per_shard);
+        *self.shards[shard].lock() = words;
+    }
+
+    /// Adds bulk-build refusals to the overflow tally.
+    pub(crate) fn bulk_add_overflows(&self, n: u64) {
+        self.overflows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The digest split the insert path uses (shard, probe digest), for
+    /// the bulk builder's router.
+    #[inline]
+    pub(crate) fn bulk_split_digest(&self, digest: u128) -> (usize, u128) {
+        self.split_digest(digest)
+    }
+
+    /// The hash seed, for the bulk builder's digest computation.
+    pub(crate) fn bulk_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Epoch-based seal: checksums every shard's word array, taking each
     /// shard lock exactly once. Returns one [`FilterSeal`] per shard.
     ///

@@ -339,6 +339,49 @@ impl<W: Word> HcbfWord<W> {
         }
     }
 
+    /// [`HcbfWord::increment`] with every primitive statically inlined:
+    /// the bulk sweep's walk. A sweep applies millions of staged
+    /// increments back to back, and at that rate the per-primitive
+    /// indirect call of the routed tier costs more than any accelerated
+    /// kernel saves — the portable primitives inline to two or three
+    /// instructions each. Bit-identical to [`HcbfWord::increment`] and
+    /// [`HcbfWord::increment_routed`]: same carried-rank walk over the
+    /// same primitives, differing only in dispatch.
+    #[inline]
+    pub fn increment_inline(&mut self, p: u32, b1: u32) -> Result<IncrementReport, WordError> {
+        debug_assert!(p < b1 && b1 <= W::BITS);
+        if self.used_bits(b1) >= W::BITS {
+            return Err(WordError::Overflow);
+        }
+        let mut level_start = 0u32;
+        let mut level_size = b1;
+        let mut pos = p;
+        let mut depth = 1u32;
+        let mut traversal_bits = 0u32;
+        let mut r_start = 0u32; // rank(level_start), carried across levels
+        loop {
+            let gp = level_start + pos;
+            let child = self.bits.rank(gp) - r_start;
+            let next_start = level_start + level_size;
+            if !self.bits.bit(gp) {
+                self.bits.set_bit(gp);
+                self.bits.insert_zero(next_start + child);
+                return Ok(IncrementReport {
+                    new_count: depth,
+                    traversal_bits,
+                });
+            }
+            let r_next = self.bits.rank(next_start);
+            let next_size = r_next - r_start;
+            level_start = next_start;
+            level_size = next_size;
+            r_start = r_next;
+            pos = child;
+            depth += 1;
+            traversal_bits += bits_for(u64::from(next_size));
+        }
+    }
+
     /// [`HcbfWord::decrement`] through a batch-resolved kernel bundle;
     /// see [`HcbfWord::increment_routed`].
     pub fn decrement_routed(

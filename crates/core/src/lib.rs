@@ -40,6 +40,7 @@
 
 pub mod bf1;
 pub mod bloom;
+pub mod bulk;
 pub mod cbf;
 pub mod codec;
 pub mod config;
@@ -60,6 +61,7 @@ pub use codec::CodecError;
 
 pub use bf1::BfG;
 pub use bloom::BloomFilter;
+pub use bulk::{BulkBuilder, BulkStage, BulkStats, RegionJob, ResilientBulkBuilder};
 pub use cbf::Cbf;
 pub use config::{MpcbfConfig, MpcbfConfigBuilder};
 pub use elastic::{ElasticMpcbf, GenerationInfo, ScaleSpec};
@@ -101,6 +103,7 @@ pub(crate) fn split_hashes(k: u32, g: u32, t: u32) -> u32 {
 pub mod prelude {
     pub use crate::bf1::BfG;
     pub use crate::bloom::BloomFilter;
+    pub use crate::bulk::{BulkBuilder, BulkStats, ResilientBulkBuilder};
     pub use crate::cbf::Cbf;
     pub use crate::config::MpcbfConfig;
     pub use crate::elastic::{ElasticMpcbf, GenerationInfo, ScaleSpec};

@@ -263,6 +263,20 @@ impl<H: Hasher128> ResilientMpcbf<H> {
         (&self.main, &self.gate, &self.exact, self.spilled_inserts)
     }
 
+    /// Spills a key the bulk builder's main-shape admission refused
+    /// (the `bulk::ResilientBulkBuilder` push path). Spill structures
+    /// commute per key, so spilling at push time reproduces the scalar
+    /// insert's spill state exactly.
+    pub(crate) fn bulk_spill_insert(&mut self, key: &[u8]) {
+        let _ = self.spill_insert(key);
+    }
+
+    /// Installs the bulk-built main filter (the builder's admission
+    /// decisions match the scalar insert, so the pair stays coherent).
+    pub(crate) fn bulk_replace_main(&mut self, main: Mpcbf<u64, H>) {
+        self.main = main;
+    }
+
     /// Rebuilds a filter from codec-validated parts; `spill_occupancy`
     /// is recomputed from the map so it can never disagree with it.
     pub(crate) fn from_spill_parts(

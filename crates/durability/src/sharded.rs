@@ -127,6 +127,31 @@ impl<H: Hasher128> DurableShardedMpcbf<H> {
         })
     }
 
+    /// Materialises a bulk-built filter as a durable directory without
+    /// logging a single per-key WAL frame: initial snapshot of `inner`
+    /// as it stands, plus one empty WAL segment per shard. A subsequent
+    /// [`DurableShardedMpcbf::open_or_recover`] (or `mpcbf serve`)
+    /// cold-starts from the snapshot with zero records replayed.
+    pub fn bootstrap(
+        inner: &ShardedMpcbf<u64, H>,
+        opts: DurabilityOptions,
+    ) -> Result<(), DurableError> {
+        let shard_count = inner.shard_count();
+        let snapshots = SnapshotStore::new(&opts.dir, SNAP_PREFIX, opts.kill.clone())?;
+        for shard in 0..shard_count {
+            let mut wal = Wal::new(
+                &opts.dir,
+                &wal_prefix(shard),
+                opts.fsync,
+                opts.segment_bytes,
+                opts.kill.clone(),
+            )?;
+            wal.rotate(1)?;
+        }
+        snapshots.write(0, &encode_envelope(&vec![0; shard_count], &inner.encode()))?;
+        Ok(())
+    }
+
     /// Recovers from `opts.dir`: newest valid snapshot, then every
     /// shard's WAL scanned, repaired, and replayed in parallel.
     /// `fallback` supplies the filter for a fresh (or fully corrupt)

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulkkeys;
 pub mod churn;
 pub mod driver;
 pub mod faults;
@@ -44,6 +45,7 @@ pub mod ramp;
 pub mod synthetic;
 pub mod zipf;
 
+pub use bulkkeys::{BulkKeys, BULK_KEY_LEN};
 pub use churn::ChurnPlan;
 pub use driver::{
     replay_flowtrace, replay_synthetic, replay_synthetic_faulty, DriverReport, DEFAULT_BATCH,
